@@ -1,0 +1,181 @@
+// Command ber runs the paper's memory experiments and reproduces the
+// block-error-rate figures: Figure 17 (hyperbolic vs planar surface
+// codes), Figure 18 (hyperbolic vs toric-hexagonal color codes),
+// Figure 19 (flagged MWPM vs plain MWPM on the [[30,8,3,3]] code) and
+// Figure 20 (flagged vs Chamberland-style Restriction decoding).
+//
+// Shot counts default to laptop scale; raise -shots (and sweep -ps) to
+// approach the paper's cluster-scale statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/fpn/flagproxy/internal/catalog"
+	"github.com/fpn/flagproxy/internal/color"
+	"github.com/fpn/flagproxy/internal/css"
+	"github.com/fpn/flagproxy/internal/experiment"
+	"github.com/fpn/flagproxy/internal/fpn"
+	"github.com/fpn/flagproxy/internal/schedule"
+	"github.com/fpn/flagproxy/internal/surface"
+)
+
+func main() {
+	figFlag := flag.String("fig", "19", "figure to reproduce: 17, 18, 19 or 20")
+	shots := flag.Int("shots", 2000, "shots per point")
+	seed := flag.Int64("seed", 1, "base RNG seed")
+	psFlag := flag.String("ps", "5e-4,1e-3", "comma-separated physical error rates")
+	maxN := flag.Int("maxn", 64, "largest hyperbolic blocklength simulated (figs 17/18)")
+	flag.Parse()
+
+	var ps []float64
+	for _, s := range strings.Split(*psFlag, ",") {
+		p, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -ps entry %q: %v\n", s, err)
+			os.Exit(2)
+		}
+		ps = append(ps, p)
+	}
+
+	switch *figFlag {
+	case "17":
+		fig17(ps, *shots, *seed, *maxN)
+	case "18":
+		fig18(ps, *shots, *seed, *maxN)
+	case "19":
+		fig19(ps, *shots, *seed)
+	case "20":
+		fig20(ps, *shots, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figFlag)
+		os.Exit(2)
+	}
+}
+
+var fpnArch = fpn.Options{UseFlags: true, FlagSharing: true, MaxDegree: 4}
+
+func runPoint(code *css.Code, arch fpn.Options, dec experiment.DecoderKind, basis css.Basis, p float64, shots int, seed int64) {
+	runPointSched(code, arch, nil, dec, basis, p, shots, seed)
+}
+
+func runPointSched(code *css.Code, arch fpn.Options, sched *schedule.Schedule, dec experiment.DecoderKind, basis css.Basis, p float64, shots int, seed int64) {
+	res, err := experiment.Run(experiment.Config{
+		Code: code, Arch: arch, Basis: basis, P: p,
+		Shots: shots, Seed: seed, Decoder: dec, Schedule: sched,
+	})
+	if err != nil {
+		fmt.Printf("%-18s %-22s %c p=%-8.1e error: %v\n", code.Name, dec, basis, p, err)
+		return
+	}
+	fmt.Printf("%-18s %-22s %c p=%-8.1e BER=%.5f BERnorm=%.5f [%0.5f,%0.5f] (%d/%d)\n",
+		code.Name, dec, basis, p, res.BER, res.BERNorm, res.CILow, res.CIHigh,
+		res.LogicalErrors, res.Shots)
+}
+
+// fig17 compares hyperbolic surface codes against planar d=5, d=7.
+func fig17(ps []float64, shots int, seed int64, maxN int) {
+	fmt.Println("Figure 17: BER_norm of surface codes (flagged MWPM; planar uses the canonical Tomita-Svore schedule)")
+	for _, d := range []int{5, 7} {
+		l, err := surface.Rotated(d)
+		if err != nil {
+			continue
+		}
+		sched, _, err := schedule.CanonicalRotated(l)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "canonical d=%d: %v\n", d, err)
+			continue
+		}
+		for _, basis := range []css.Basis{css.X, css.Z} {
+			for _, p := range ps {
+				runPointSched(l.Code, fpn.Options{}, sched, experiment.FlaggedMWPM, basis, p, shots, seed)
+			}
+		}
+	}
+	for _, e := range catalog.Standard() {
+		if e.Family != "surface" || e.Code.N > maxN {
+			continue
+		}
+		for _, basis := range []css.Basis{css.X, css.Z} {
+			for _, p := range ps {
+				runPoint(e.Code, fpnArch, experiment.FlaggedMWPM, basis, p, shots, seed)
+			}
+		}
+	}
+}
+
+// fig18 compares hyperbolic color codes against the toric 6.6.6 baseline.
+func fig18(ps []float64, shots int, seed int64, maxN int) {
+	fmt.Println("Figure 18: BER_norm of color codes (flagged Restriction decoder)")
+	var codes []*css.Code
+	rng := rand.New(rand.NewSource(seed))
+	for _, l := range []int{2, 3} {
+		c, err := color.HexagonalToric(l)
+		if err != nil {
+			continue
+		}
+		c.ComputeDistances(4, 30_000_000, 20, rng)
+		codes = append(codes, c)
+	}
+	for _, e := range catalog.Standard() {
+		if e.Family == "color" && e.Code.N <= maxN {
+			codes = append(codes, e.Code)
+		}
+	}
+	for _, code := range codes {
+		for _, basis := range []css.Basis{css.X, css.Z} {
+			for _, p := range ps {
+				runPoint(code, fpnArch, experiment.FlaggedRestriction, basis, p, shots, seed)
+			}
+		}
+	}
+}
+
+// fig19: flagged MWPM vs plain MWPM on the [[30,8,3,3]] {5,5} code.
+func fig19(ps []float64, shots int, seed int64) {
+	fmt.Println("Figure 19: [[30,8,3,3]] hyperbolic surface code, flagged vs plain MWPM")
+	code := findCode("surface", 30)
+	if code == nil {
+		fmt.Fprintln(os.Stderr, "no [[30,8,3,3]] code in catalogue")
+		os.Exit(1)
+	}
+	for _, dec := range []experiment.DecoderKind{experiment.FlaggedMWPM, experiment.PlainMWPM} {
+		for _, basis := range []css.Basis{css.X, css.Z} {
+			for _, p := range ps {
+				runPoint(code, fpnArch, dec, basis, p, shots, seed)
+			}
+		}
+	}
+}
+
+// fig20: flagged vs Chamberland-style Restriction on a small {4,6}
+// hyperbolic color code.
+func fig20(ps []float64, shots int, seed int64) {
+	fmt.Println("Figure 20: {4,6} hyperbolic color code, flagged vs Chamberland-style Restriction")
+	code := findCode("color", 48)
+	if code == nil {
+		fmt.Fprintln(os.Stderr, "no small {4,6} color code in catalogue")
+		os.Exit(1)
+	}
+	for _, dec := range []experiment.DecoderKind{experiment.FlaggedRestriction, experiment.BaselineRestriction} {
+		for _, basis := range []css.Basis{css.X, css.Z} {
+			for _, p := range ps {
+				runPoint(code, fpnArch, dec, basis, p, shots, seed)
+			}
+		}
+	}
+}
+
+func findCode(family string, n int) *css.Code {
+	for _, e := range catalog.Standard() {
+		if e.Family == family && e.Code.N == n {
+			return e.Code
+		}
+	}
+	return nil
+}

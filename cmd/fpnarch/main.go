@@ -1,0 +1,176 @@
+// Command fpnarch builds Flag-Proxy Networks for the code catalogue and
+// reproduces the paper's architectural results: Figure 8(a) (qubit
+// composition by type), Figure 12 (effective rates with and without flag
+// sharing), Table I (highest mean connectivity per subfamily), and the
+// headline space-efficiency ratios versus the d=5 planar surface code.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/fpn/flagproxy/internal/catalog"
+	"github.com/fpn/flagproxy/internal/fpn"
+	"github.com/fpn/flagproxy/internal/surface"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "what to print: 8a, 12, table1, headline or all")
+	flag.Parse()
+
+	entries := catalog.Standard()
+	switch *fig {
+	case "8a":
+		fig8a(entries)
+	case "12":
+		fig12(entries)
+	case "table1":
+		table1(entries)
+	case "headline":
+		headline(entries)
+	case "all":
+		fig8a(entries)
+		fmt.Println()
+		fig12(entries)
+		fmt.Println()
+		table1(entries)
+		fmt.Println()
+		headline(entries)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+// subfamilyGroup is one populated (family, {r,s}) slot of the catalogue.
+type subfamilyGroup struct {
+	family  string
+	rs      [2]int
+	entries []catalog.Entry
+}
+
+func subfamilies(entries []catalog.Entry) []subfamilyGroup {
+	var out []subfamilyGroup
+	for _, fam := range []string{"surface", "color"} {
+		var rss [][2]int
+		if fam == "surface" {
+			rss = catalog.SurfaceSubfamilies
+		} else {
+			rss = catalog.ColorSubfamilies
+		}
+		for _, rs := range rss {
+			es := catalog.BySubfamily(entries, fam, rs)
+			if len(es) > 0 {
+				out = append(out, subfamilyGroup{family: fam, rs: rs, entries: es})
+			}
+		}
+	}
+	return out
+}
+
+// fig8a prints the mean qubit composition per subfamily (shared flags).
+func fig8a(entries []catalog.Entry) {
+	fmt.Println("Figure 8(a): qubit composition by type (FPN with flag sharing, degree ≤ 4)")
+	fmt.Printf("%-8s %-8s %8s %8s %8s %8s\n", "family", "sub", "data%", "parity%", "flag%", "proxy%")
+	for _, sf := range subfamilies(entries) {
+		fam, rs, es := sf.family, sf.rs, sf.entries
+		var frac [4]float64
+		for _, e := range es {
+			net, err := fpn.Build(e.Code, fpn.Options{UseFlags: true, FlagSharing: true, MaxDegree: 4})
+			if err != nil {
+				continue
+			}
+			counts := net.CountByType()
+			total := float64(net.NumQubits())
+			frac[0] += float64(counts[fpn.Data]) / total
+			frac[1] += float64(counts[fpn.Parity]) / total
+			frac[2] += float64(counts[fpn.Flag]) / total
+			frac[3] += float64(counts[fpn.Proxy]) / total
+		}
+		n := float64(len(es))
+		fmt.Printf("%-8s {%d,%-2d}  %8.1f %8.1f %8.1f %8.1f\n",
+			fam, rs[0], rs[1], 100*frac[0]/n, 100*frac[1]/n, 100*frac[2]/n, 100*frac[3]/n)
+	}
+}
+
+// fig12 prints effective rates with and without flag sharing.
+func fig12(entries []catalog.Entry) {
+	fmt.Println("Figure 12: effective rate Reff = k/N with and without flag sharing")
+	fmt.Printf("(d=5 planar surface code reference: %.4f = 1/49)\n", 1.0/49)
+	fmt.Printf("%-8s %-16s %10s %10s %8s\n", "family", "code", "no-share", "shared", "gain")
+	for _, e := range entries {
+		plain, err1 := fpn.Build(e.Code, fpn.Options{UseFlags: true, MaxDegree: 4})
+		shared, err2 := fpn.Build(e.Code, fpn.Options{UseFlags: true, FlagSharing: true, MaxDegree: 4})
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		fmt.Printf("%-8s %-16s %10.4f %10.4f %7.2fx\n",
+			e.Family, e.Code.Name, plain.EffectiveRate(), shared.EffectiveRate(),
+			shared.EffectiveRate()/plain.EffectiveRate())
+	}
+}
+
+// table1 prints the highest mean degree per subfamily plus the planar
+// surface codes.
+func table1(entries []catalog.Entry) {
+	fmt.Println("Table I: highest mean degree by subfamily (FPN with flag sharing)")
+	fmt.Printf("%-10s %-10s %12s %10s\n", "family", "subfamily", "mean-degree", "max-degree")
+	for _, sf := range subfamilies(entries) {
+		fam, rs, es := sf.family, sf.rs, sf.entries
+		best := 0.0
+		maxDeg := 0
+		for _, e := range es {
+			net, err := fpn.Build(e.Code, fpn.Options{UseFlags: true, FlagSharing: true, MaxDegree: 4})
+			if err != nil {
+				continue
+			}
+			if net.MeanDegree() > best {
+				best = net.MeanDegree()
+			}
+			if net.MaxDegreeUsed() > maxDeg {
+				maxDeg = net.MaxDegreeUsed()
+			}
+		}
+		fmt.Printf("%-10s {%d,%-2d}    %12.2f %10d\n", fam, rs[0], rs[1], best, maxDeg)
+	}
+	for _, d := range []int{3, 5, 7} {
+		l, err := surface.Rotated(d)
+		if err != nil {
+			continue
+		}
+		net, err := fpn.Build(l.Code, fpn.Options{})
+		if err != nil {
+			continue
+		}
+		fmt.Printf("%-10s d=%-7d %12.2f %10d\n", "planar", d, net.MeanDegree(), net.MaxDegreeUsed())
+	}
+}
+
+// headline prints the mean efficiency ratio versus the d=5 planar code.
+func headline(entries []catalog.Entry) {
+	ref := 1.0 / 49
+	fmt.Println("Headline: space efficiency vs d=5 planar surface code (Reff = 1/49)")
+	for _, fam := range []string{"surface", "color"} {
+		sum, max, n := 0.0, 0.0, 0
+		for _, e := range entries {
+			if e.Family != fam {
+				continue
+			}
+			net, err := fpn.Build(e.Code, fpn.Options{UseFlags: true, FlagSharing: true, MaxDegree: 4})
+			if err != nil {
+				continue
+			}
+			ratio := net.EffectiveRate() / ref
+			sum += ratio
+			if ratio > max {
+				max = ratio
+			}
+			n++
+		}
+		if n > 0 {
+			fmt.Printf("hyperbolic %-8s mean %.1fx, up to %.1fx (paper: %s)\n",
+				fam, sum/float64(n), max, map[string]string{"surface": "2.9x / 4.6x", "color": "5.5x / 6.8x"}[fam])
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Command mapgen regenerates the hyperbolic code inventory (the
+// reproduction of the paper's Tables IV and V): for every {r,s}
+// subfamily it searches the finite-group menu for rotation pairs, builds
+// the closed maps, and prints each code's parameters and ideal rate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/fpn/flagproxy/internal/catalog"
+	"github.com/fpn/flagproxy/internal/fpn"
+)
+
+func main() {
+	family := flag.String("family", "all", "family to list: surface, color or all")
+	jsonPath := flag.String("json", "", "also write the catalogue (with dart permutations) to this JSON file")
+	semi := flag.Int("semi", 0, "also derive semi-hyperbolic codes by l-fold subdivision of the {4,s} entries (0 = off)")
+	flag.Parse()
+
+	entries := catalog.Standard()
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := catalog.WriteJSON(f, entries); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d entries to %s\n", len(entries), *jsonPath)
+	}
+	if *family == "surface" || *family == "all" {
+		fmt.Println("Table IV: hyperbolic surface codes (edges→data, faces→Z, vertices→X)")
+		fmt.Printf("%-10s %-8s %5s %5s %4s %4s %7s %8s %s\n",
+			"subfamily", "Rideal", "n", "k", "dX", "dZ", "exact", "Reff(%)", "group")
+		for _, e := range entries {
+			if e.Family != "surface" {
+				continue
+			}
+			printEntry(e)
+		}
+		fmt.Println()
+	}
+	if *family == "color" || *family == "all" {
+		fmt.Println("Table V: hyperbolic color codes (truncated {s/2,2r} maps, 3-colored plaquettes)")
+		fmt.Printf("%-10s %-8s %5s %5s %4s %4s %7s %8s %s\n",
+			"subfamily", "Rideal", "n", "k", "dX", "dZ", "exact", "Reff(%)", "group")
+		for _, e := range entries {
+			if e.Family != "color" {
+				continue
+			}
+			printEntry(e)
+		}
+	}
+	if *family != "surface" && *family != "color" && *family != "all" {
+		fmt.Fprintf(os.Stderr, "unknown family %q\n", *family)
+		os.Exit(2)
+	}
+	if *semi > 1 {
+		fmt.Println()
+		fmt.Printf("Semi-hyperbolic codes (l=%d subdivision of the {4,s} entries)\n", *semi)
+		fmt.Printf("%-10s %-8s %5s %5s %4s %4s %7s %8s %s\n",
+			"subfamily", "Rideal", "n", "k", "dX", "dZ", "exact", "Reff(%)", "group")
+		for _, e := range catalog.SemiHyperbolicCodes(entries, *semi, 4000) {
+			printEntry(e)
+		}
+	}
+}
+
+func printEntry(e catalog.Entry) {
+	net, err := fpn.Build(e.Code, fpn.Options{UseFlags: true, FlagSharing: true, MaxDegree: 4})
+	reff := 0.0
+	if err == nil {
+		reff = net.EffectiveRate()
+	}
+	exact := "yes"
+	if !e.Code.DXExact || !e.Code.DZExact {
+		exact = "bound"
+	}
+	fmt.Printf("{%d,%-2d}     %-8.3f %5d %5d %4d %4d %7s %8.2f %s\n",
+		e.Subfamily[0], e.Subfamily[1], e.Code.IdealRate(),
+		e.Code.N, e.Code.K, e.Code.DX, e.Code.DZ, exact, 100*reff, e.GroupName)
+}

@@ -1,0 +1,85 @@
+// Command schedule reproduces Figure 14: syndrome-extraction latencies
+// of the greedy scheduling algorithm (Algorithm 1) on the raw code
+// Tanner graphs, compared against the theoretical shortest
+// (890 + 40·δ ns) and longest (890 + 40·(δX+δZ) ns) circuits, plus the
+// FPN latencies of §V-G3.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"github.com/fpn/flagproxy/internal/catalog"
+	"github.com/fpn/flagproxy/internal/css"
+	"github.com/fpn/flagproxy/internal/fpn"
+	"github.com/fpn/flagproxy/internal/schedule"
+	"github.com/fpn/flagproxy/internal/surface"
+)
+
+func main() {
+	withFPN := flag.Bool("fpn", true, "also print FPN (flag+proxy) round latencies")
+	flag.Parse()
+
+	fmt.Println("Figure 14: greedy syndrome-extraction latencies (direct architecture)")
+	fmt.Printf("%-8s %-16s %6s %6s %9s %9s %9s\n",
+		"family", "code", "δX", "δZ", "greedy", "shortest", "longest")
+	report := func(family, name string, code *css.Code) {
+		net, err := fpn.Build(code, fpn.Options{})
+		if err != nil {
+			fmt.Printf("%-8s %-16s build error: %v\n", family, name, err)
+			return
+		}
+		s, err := schedule.Greedy(net)
+		if err != nil {
+			fmt.Printf("%-8s %-16s schedule error: %v\n", family, name, err)
+			return
+		}
+		plan, err := schedule.BuildRoundPlan(s)
+		if err != nil {
+			fmt.Printf("%-8s %-16s plan error: %v\n", family, name, err)
+			return
+		}
+		dx := code.MaxWeight(css.X)
+		dz := code.MaxWeight(css.Z)
+		dmax := dx
+		if dz > dmax {
+			dmax = dz
+		}
+		fmt.Printf("%-8s %-16s %6d %6d %8.0fns %8.0fns %8.0fns\n",
+			family, name, dx, dz, plan.LatencyNs,
+			schedule.TheoreticalShortestNs(dmax),
+			schedule.TheoreticalLongestNs(dx, dz))
+	}
+	for _, d := range []int{3, 5, 7} {
+		l, err := surface.Rotated(d)
+		if err != nil {
+			continue
+		}
+		report("planar", l.Code.Name, l.Code)
+	}
+	for _, e := range catalog.Standard() {
+		report(e.Family, e.Code.Name, e.Code)
+	}
+
+	if *withFPN {
+		fmt.Println()
+		fmt.Println("§V-G3: FPN (flags shared, degree ≤ 4) round latencies")
+		fmt.Printf("%-8s %-16s %8s %8s %10s\n", "family", "code", "phases", "CXlayers", "latency")
+		for _, e := range catalog.Standard() {
+			net, err := fpn.Build(e.Code, fpn.Options{UseFlags: true, FlagSharing: true, MaxDegree: 4})
+			if err != nil {
+				continue
+			}
+			s, err := schedule.Greedy(net)
+			if err != nil {
+				continue
+			}
+			plan, err := schedule.BuildRoundPlan(s)
+			if err != nil {
+				continue
+			}
+			fmt.Printf("%-8s %-16s %8d %8d %8.0fns\n",
+				e.Family, e.Code.Name, plan.Phases, plan.CXLayers, plan.LatencyNs)
+		}
+	}
+}

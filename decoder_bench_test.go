@@ -1,0 +1,145 @@
+package flagproxy
+
+import (
+	"testing"
+
+	"github.com/fpn/flagproxy/internal/circuit"
+	"github.com/fpn/flagproxy/internal/css"
+	"github.com/fpn/flagproxy/internal/decoder"
+	"github.com/fpn/flagproxy/internal/dem"
+	"github.com/fpn/flagproxy/internal/fpn"
+	"github.com/fpn/flagproxy/internal/noise"
+	"github.com/fpn/flagproxy/internal/schedule"
+	"github.com/fpn/flagproxy/internal/sim"
+)
+
+// decoderFixture prepares a decoding workload: the [[30,8,3,3]] FPN
+// memory circuit at p=1e-3 with pre-sampled shots.
+type decoderFixture struct {
+	c     *circuit.Circuit
+	model *dem.Model
+	res   *sim.Result
+	shots int
+}
+
+func newDecoderFixture(b *testing.B) *decoderFixture {
+	b.Helper()
+	code := catalogCode(b, "surface", 30)
+	net, err := fpn.Build(code, fpnArch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := schedule.Greedy(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := schedule.BuildRoundPlan(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nm := &noise.Model{P: 1e-3}
+	c, err := circuit.BuildMemory(circuit.MemorySpec{Plan: plan, Basis: css.Z, Rounds: 3, Noise: nm})
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := dem.Extract(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shots := 512
+	return &decoderFixture{c: c, model: model, res: sim.Run(c, shots, 42), shots: shots}
+}
+
+func (f *decoderFixture) decodeAll(b *testing.B, dec interface {
+	Decode(func(int) bool) ([]bool, error)
+}) float64 {
+	b.Helper()
+	errs := 0
+	for shot := 0; shot < f.shots; shot++ {
+		corr, err := dec.Decode(func(d int) bool { return f.res.DetectorBit(d, shot) })
+		if err != nil {
+			errs++
+			continue
+		}
+		for o := range f.c.Observables {
+			if corr[o] != f.res.ObservableBit(o, shot) {
+				errs++
+				break
+			}
+		}
+	}
+	return float64(errs) / float64(f.shots)
+}
+
+// BenchmarkDecoderMWPMThroughput measures the flagged MWPM decoder's
+// per-shot decoding cost on realistic syndromes.
+func BenchmarkDecoderMWPMThroughput(b *testing.B) {
+	f := newDecoderFixture(b)
+	dec, err := decoder.NewMWPM(f.model, css.Z, 1e-3, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ber float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ber = f.decodeAll(b, dec)
+	}
+	b.ReportMetric(float64(f.shots)*float64(b.N)/b.Elapsed().Seconds(), "shots/s")
+	b.ReportMetric(ber, "BER")
+}
+
+// BenchmarkDecoderUnionFindThroughput measures the flag-aware union-find
+// decoder (the fast approximate extension) on the same workload.
+func BenchmarkDecoderUnionFindThroughput(b *testing.B) {
+	f := newDecoderFixture(b)
+	dec, err := decoder.NewUnionFind(f.model, css.Z, 1e-3, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ber float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ber = f.decodeAll(b, dec)
+	}
+	b.ReportMetric(float64(f.shots)*float64(b.N)/b.Elapsed().Seconds(), "shots/s")
+	b.ReportMetric(ber, "BER")
+}
+
+// BenchmarkDEMExtraction measures detector-error-model extraction time
+// for the [[30,8,3,3]] FPN circuit (the one-off cost per experiment).
+func BenchmarkDEMExtraction(b *testing.B) {
+	f := newDecoderFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dem.Extract(f.c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFrameSampler measures the bit-packed Pauli-frame sampler.
+func BenchmarkFrameSampler(b *testing.B) {
+	f := newDecoderFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Run(f.c, 4096, int64(i))
+	}
+	b.ReportMetric(4096*float64(b.N)/b.Elapsed().Seconds(), "shots/s")
+}
+
+// BenchmarkDecoderBPOSDThroughput measures the BP+OSD extension decoder
+// on the same workload as the matching benchmarks.
+func BenchmarkDecoderBPOSDThroughput(b *testing.B) {
+	f := newDecoderFixture(b)
+	dec, err := decoder.NewBPOSD(f.model, css.Z, 30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ber float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ber = f.decodeAll(b, dec)
+	}
+	b.ReportMetric(float64(f.shots)*float64(b.N)/b.Elapsed().Seconds(), "shots/s")
+	b.ReportMetric(ber, "BER")
+}

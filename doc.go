@@ -1,0 +1,15 @@
+// Package flagproxy is a from-scratch Go reproduction of "Flag-Proxy
+// Networks: Overcoming the Architectural, Scheduling and Decoding
+// Obstacles of Quantum LDPC Codes" (MICRO 2024): hyperbolic surface and
+// color code construction from group-theoretic tilings, the Flag-Proxy
+// Network architecture, greedy syndrome-extraction scheduling, a
+// circuit-level Pauli-frame simulator with detector error models, and
+// the paper's flag-aware MWPM and Restriction decoders with their
+// prior-work baselines.
+//
+// The public entry points live in the cmd/ binaries and examples/; the
+// library packages are under internal/ (see DESIGN.md for the system
+// inventory and EXPERIMENTS.md for the reproduced tables and figures).
+// The root package holds the benchmark harness: one benchmark per paper
+// table and figure (bench_test.go).
+package flagproxy

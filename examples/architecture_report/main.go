@@ -1,0 +1,72 @@
+// Architecture report: surveys Flag-Proxy Network overheads across the
+// whole hyperbolic code catalogue — qubit budgets, flag-sharing savings,
+// proxy counts, connectivity, and space efficiency against the planar
+// surface code family. This is the workload the paper's introduction
+// motivates: choosing a code family for a fixed fabrication budget.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/fpn/flagproxy/internal/catalog"
+	"github.com/fpn/flagproxy/internal/fpn"
+	"github.com/fpn/flagproxy/internal/surface"
+)
+
+func main() {
+	fmt.Println("=== Flag-Proxy Network architecture survey ===")
+	fmt.Println()
+	fmt.Printf("%-16s %6s %5s | %9s %9s %7s | %7s %7s | %9s\n",
+		"code", "n", "k", "N(plain)", "N(share)", "proxies", "meanDeg", "maxDeg", "Reff-gain")
+
+	for _, e := range catalog.Standard() {
+		plain, err := fpn.Build(e.Code, fpn.Options{UseFlags: true, MaxDegree: 4})
+		if err != nil {
+			log.Printf("%s: %v", e.Code.Name, err)
+			continue
+		}
+		shared, err := fpn.Build(e.Code, fpn.Options{UseFlags: true, FlagSharing: true, MaxDegree: 4})
+		if err != nil {
+			log.Printf("%s: %v", e.Code.Name, err)
+			continue
+		}
+		fmt.Printf("%-16s %6d %5d | %9d %9d %7d | %7.2f %7d | %8.2fx\n",
+			e.Code.Name, e.Code.N, e.Code.K,
+			plain.NumQubits(), shared.NumQubits(), shared.CountByType()[fpn.Proxy],
+			shared.MeanDegree(), shared.MaxDegreeUsed(),
+			shared.EffectiveRate()/plain.EffectiveRate())
+	}
+
+	fmt.Println()
+	fmt.Println("Planar surface code reference (standard N = 2d²−1 implementation):")
+	for _, d := range []int{3, 5, 7, 9, 11} {
+		l, err := surface.Rotated(d)
+		if err != nil {
+			continue
+		}
+		net, err := fpn.Build(l.Code, fpn.Options{})
+		if err != nil {
+			continue
+		}
+		fmt.Printf("  d=%-2d  N=%4d  Reff=%.4f  meanDeg=%.2f\n",
+			d, net.NumQubits(), net.EffectiveRate(), net.MeanDegree())
+	}
+
+	fmt.Println()
+	fmt.Println("Logical-qubit budget view: physical qubits needed for 32 logical qubits")
+	fmt.Println("(paper §VI-E: [[150,32,6,6]] needs 424 physical vs 1568 for 32 planar d=5 patches)")
+	for _, e := range catalog.Standard() {
+		if e.Code.K < 8 {
+			continue
+		}
+		shared, err := fpn.Build(e.Code, fpn.Options{UseFlags: true, FlagSharing: true, MaxDegree: 4})
+		if err != nil {
+			continue
+		}
+		blocks := (32 + e.Code.K - 1) / e.Code.K
+		phys := blocks * shared.NumQubits()
+		fmt.Printf("  %-16s %2d block(s) × %4d qubits = %5d physical (planar d=5: %d)\n",
+			e.Code.Name, blocks, shared.NumQubits(), phys, 32*49)
+	}
+}

@@ -1,0 +1,57 @@
+// Hyperbolic memory: sweeps the physical error rate for the
+// [[30,8,3,3]] hyperbolic surface code and prints the BER curve for the
+// flagged MWPM decoder against the plain (flag-ignoring) baseline —
+// the experiment behind the paper's Figure 19.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/fpn/flagproxy/internal/catalog"
+	"github.com/fpn/flagproxy/internal/css"
+	"github.com/fpn/flagproxy/internal/experiment"
+	"github.com/fpn/flagproxy/internal/fpn"
+)
+
+func main() {
+	shots := flag.Int("shots", 3000, "shots per point")
+	flag.Parse()
+
+	var code *css.Code
+	for _, e := range catalog.Standard() {
+		if e.Family == "surface" && e.Code.N == 30 {
+			code = e.Code
+			break
+		}
+	}
+	if code == nil {
+		log.Fatal("no [[30,8,3,3]] code in catalogue")
+	}
+	arch := fpn.Options{UseFlags: true, FlagSharing: true, MaxDegree: 4}
+	fmt.Printf("%s on its degree-4 FPN, memory-Z, %d shots/point\n", code.Params(), *shots)
+	fmt.Printf("%-10s %-14s %-14s %-8s\n", "p", "flagged BER", "plain BER", "ratio")
+	for _, p := range []float64{2e-4, 5e-4, 1e-3, 2e-3, 4e-3} {
+		var ber [2]float64
+		for i, dec := range []experiment.DecoderKind{experiment.FlaggedMWPM, experiment.PlainMWPM} {
+			res, err := experiment.Run(experiment.Config{
+				Code: code, Arch: arch, Basis: css.Z,
+				P: p, Shots: *shots, Seed: 7, Decoder: dec,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			ber[i] = res.BER
+		}
+		ratio := 0.0
+		if ber[0] > 0 {
+			ratio = ber[1] / ber[0]
+		}
+		fmt.Printf("%-10.1e %-14.5f %-14.5f %-8.2f\n", p, ber[0], ber[1], ratio)
+	}
+	fmt.Println()
+	fmt.Println("The flagged decoder recovers the full code distance (deff = 3), so its")
+	fmt.Println("BER falls quadratically with p while the plain decoder's falls linearly")
+	fmt.Println("(deff = 2) — the gap widens as p decreases, as in the paper's Figure 19.")
+}

@@ -1,0 +1,3 @@
+module github.com/fpn/flagproxy
+
+go 1.22

@@ -1,0 +1,104 @@
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/fpn/flagproxy/internal/color"
+	"github.com/fpn/flagproxy/internal/css"
+	"github.com/fpn/flagproxy/internal/surface"
+	"github.com/fpn/flagproxy/internal/tiling"
+)
+
+// EntryJSON is the serialized form of a catalogue entry: enough to
+// reconstruct the code exactly (the dart permutations define the map,
+// and the map defines the code).
+type EntryJSON struct {
+	Family    string `json:"family"`
+	Subfamily [2]int `json:"subfamily"`
+	GroupName string `json:"group"`
+	Name      string `json:"name"`
+	N         int    `json:"n"`
+	K         int    `json:"k"`
+	DX        int    `json:"dx"`
+	DZ        int    `json:"dz"`
+	DXExact   bool   `json:"dx_exact"`
+	DZExact   bool   `json:"dz_exact"`
+	Sigma     []int  `json:"sigma"`
+	Alpha     []int  `json:"alpha"`
+}
+
+// WriteJSON serializes entries to w.
+func WriteJSON(w io.Writer, entries []Entry) error {
+	out := make([]EntryJSON, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, EntryJSON{
+			Family:    e.Family,
+			Subfamily: e.Subfamily,
+			GroupName: e.GroupName,
+			Name:      e.Code.Name,
+			N:         e.Code.N,
+			K:         e.Code.K,
+			DX:        e.Code.DX,
+			DZ:        e.Code.DZ,
+			DXExact:   e.Code.DXExact,
+			DZExact:   e.Code.DZExact,
+			Sigma:     e.Map.Sigma,
+			Alpha:     e.Map.Alpha,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON reconstructs catalogue entries from serialized form,
+// rebuilding each code from its dart permutations and verifying the
+// recorded parameters.
+func ReadJSON(r io.Reader) ([]Entry, error) {
+	var in []EntryJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, err
+	}
+	var out []Entry
+	for _, ej := range in {
+		m, err := tiling.New(ej.Sigma, ej.Alpha)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: entry %s: %w", ej.Name, err)
+		}
+		var code *css.Code
+		switch ej.Family {
+		case "surface":
+			code, err = surface.FromMap(m, ej.Name, fmt.Sprintf("hyperbolic-surface {%d,%d}", ej.Subfamily[0], ej.Subfamily[1]))
+		case "color":
+			code, err = colorFromMap(m, ej)
+		default:
+			return nil, fmt.Errorf("catalog: entry %s: unknown family %q", ej.Name, ej.Family)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("catalog: entry %s: %w", ej.Name, err)
+		}
+		if code.N != ej.N || code.K != ej.K {
+			return nil, fmt.Errorf("catalog: entry %s: rebuilt [[%d,%d]] does not match recorded [[%d,%d]]",
+				ej.Name, code.N, code.K, ej.N, ej.K)
+		}
+		// Distances carry over (recomputing color distances is costly).
+		code.DX, code.DZ = ej.DX, ej.DZ
+		code.DXExact, code.DZExact = ej.DXExact, ej.DZExact
+		out = append(out, Entry{
+			Family:    ej.Family,
+			Subfamily: ej.Subfamily,
+			GroupName: ej.GroupName,
+			Code:      code,
+			Map:       m,
+		})
+	}
+	return out, nil
+}
+
+// colorFromMap rebuilds a color code from its base map.
+func colorFromMap(m *tiling.Map, ej EntryJSON) (*css.Code, error) {
+	return color.FromMap(m, ej.Name,
+		fmt.Sprintf("hyperbolic-color {%d,%d}", ej.Subfamily[0], ej.Subfamily[1]))
+}

@@ -1,0 +1,41 @@
+package catalog
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/fpn/flagproxy/internal/surface"
+	"github.com/fpn/flagproxy/internal/tiling"
+)
+
+// SearchSurfaceCodes supplements the group-based generator with the
+// direct dart-permutation backtracking search (tiling.Search), which can
+// reach blocklengths below the smallest group quotient — e.g. a
+// {5,5} map with 10 edges ([[10,4,2]]) where the smallest regular map
+// has 30. Sizes are dart counts to try; the search is randomized but
+// seeded, so results are reproducible.
+func SearchSurfaceCodes(r, s int, dartSizes []int, seed int64, maxSteps int) []Entry {
+	var out []Entry
+	for _, nd := range dartSizes {
+		rng := rand.New(rand.NewSource(seed + int64(nd)))
+		m := tiling.Search(r, s, nd, rng, maxSteps)
+		if m == nil {
+			continue
+		}
+		code, err := surface.FromMap(m,
+			fmt.Sprintf("hysc-%d_%d-%d-searched", r, s, m.E()),
+			fmt.Sprintf("hyperbolic-surface {%d,%d}", r, s))
+		if err != nil || code.K == 0 || code.DZ < 2 || code.DX < 2 {
+			continue
+		}
+		out = append(out, Entry{
+			Family:    "surface",
+			Subfamily: [2]int{r, s},
+			GroupName: "dart-search",
+			Code:      code,
+			Map:       m,
+		})
+	}
+	sortEntries(out)
+	return out
+}

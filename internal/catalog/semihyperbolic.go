@@ -1,0 +1,45 @@
+package catalog
+
+import (
+	"fmt"
+
+	"github.com/fpn/flagproxy/internal/surface"
+	"github.com/fpn/flagproxy/internal/tiling"
+)
+
+// SemiHyperbolicCodes derives semi-hyperbolic surface codes from the
+// {4,s} entries of the catalogue by l-fold face subdivision: the code
+// dimension k is preserved while both distances grow with l — the
+// middle ground between planar (k=1, unbounded d) and fully hyperbolic
+// (k ∝ n, d ∝ log n) codes that the paper's related work positions as
+// the scalable alternative.
+func SemiHyperbolicCodes(base []Entry, l, maxN int) []Entry {
+	var out []Entry
+	for _, e := range base {
+		if e.Family != "surface" || e.Subfamily[0] != 4 {
+			continue
+		}
+		if e.Code.N*l*l > maxN {
+			continue
+		}
+		sub, err := tiling.Subdivide(e.Map, l)
+		if err != nil {
+			continue
+		}
+		code, err := surface.FromMap(sub,
+			fmt.Sprintf("semi-%d_%d-l%d-%d", e.Subfamily[0], e.Subfamily[1], l, sub.E()),
+			fmt.Sprintf("semi-hyperbolic {4,%d} l=%d", e.Subfamily[1], l))
+		if err != nil {
+			continue
+		}
+		out = append(out, Entry{
+			Family:    "semi-hyperbolic",
+			Subfamily: e.Subfamily,
+			GroupName: e.GroupName + fmt.Sprintf("/l=%d", l),
+			Code:      code,
+			Map:       sub,
+		})
+	}
+	sortEntries(out)
+	return out
+}

@@ -1,0 +1,117 @@
+// Package circuit provides the Clifford circuit IR shared by the
+// simulator and the detector-error-model extractor, plus the
+// memory-experiment builder that lowers a scheduled syndrome-extraction
+// round plan into a full noisy circuit with detector and observable
+// annotations (the Stim substitute).
+package circuit
+
+import (
+	"fmt"
+
+	"github.com/fpn/flagproxy/internal/css"
+)
+
+// OpKind enumerates circuit operations.
+type OpKind int
+
+// Operations. Noise channels are explicit ops so the detector error
+// model can enumerate fault sites.
+const (
+	OpCX     OpKind = iota // Pairs: (control, target) CNOTs, parallel
+	OpH                    // Qubits
+	OpReset                // Qubits: reset to |0>
+	OpMR                   // Qubits: measure Z then reset; FlipProb applies
+	OpM                    // Qubits: terminal measure Z; FlipProb applies
+	OpPauli1               // Qubits: Pauli channel with PX/PY/PZ each
+	OpDepol1               // Qubits: depolarizing, rate P (X,Y,Z each P/3)
+	OpDepol2               // Pairs: two-qubit depolarizing, rate P (15 outcomes P/15)
+	OpXFlip                // Qubits: X error with probability P (reset failure)
+)
+
+// Op is one (parallel) operation layer.
+type Op struct {
+	Kind       OpKind
+	Qubits     []int
+	Pairs      [][2]int
+	P          float64 // Depol1/Depol2/XFlip rate
+	PX, PY, PZ float64 // Pauli1 rates
+	FlipProb   float64 // MR/M misread probability
+}
+
+// Detector compares the parity of a set of measurement indices against
+// the noiseless reference (which is deterministic by construction).
+type Detector struct {
+	Meas   []int
+	IsFlag bool
+	Check  int       // check index for syndrome detectors; -1 for flags
+	Flag   int       // physical flag qubit for flag detectors; -1 otherwise
+	Round  int       // 0-based round; rounds is the final data-readout round
+	Basis  css.Basis // basis of the check (syndrome) or window (flag)
+	Color  int       // check color (color codes); -1 otherwise
+}
+
+// Circuit is a complete annotated experiment.
+type Circuit struct {
+	NumQubits   int
+	Ops         []Op
+	NumMeas     int
+	Detectors   []Detector
+	Observables [][]int // measurement index lists, one per logical
+}
+
+// AddOp appends an op, assigning measurement indices for MR/M; it
+// returns the index of the first measurement of the op (or -1).
+func (c *Circuit) AddOp(op Op) int {
+	first := -1
+	if op.Kind == OpMR || op.Kind == OpM {
+		first = c.NumMeas
+		c.NumMeas += len(op.Qubits)
+	}
+	c.Ops = append(c.Ops, op)
+	return first
+}
+
+// Validate performs structural checks.
+func (c *Circuit) Validate() error {
+	for oi, op := range c.Ops {
+		for _, q := range op.Qubits {
+			if q < 0 || q >= c.NumQubits {
+				return fmt.Errorf("circuit: op %d qubit %d out of range", oi, q)
+			}
+		}
+		for _, p := range op.Pairs {
+			if p[0] == p[1] || p[0] < 0 || p[1] < 0 || p[0] >= c.NumQubits || p[1] >= c.NumQubits {
+				return fmt.Errorf("circuit: op %d bad pair %v", oi, p)
+			}
+		}
+	}
+	for di, d := range c.Detectors {
+		if len(d.Meas) == 0 {
+			return fmt.Errorf("circuit: detector %d empty", di)
+		}
+		for _, m := range d.Meas {
+			if m < 0 || m >= c.NumMeas {
+				return fmt.Errorf("circuit: detector %d meas %d out of range", di, m)
+			}
+		}
+	}
+	for oi, o := range c.Observables {
+		for _, m := range o {
+			if m < 0 || m >= c.NumMeas {
+				return fmt.Errorf("circuit: observable %d meas %d out of range", oi, m)
+			}
+		}
+	}
+	return nil
+}
+
+// CountKind returns the number of ops of the given kind.
+func (c *Circuit) CountKind(k OpKind) int {
+	n := 0
+	for _, op := range c.Ops {
+		if op.Kind == k {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,187 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/fpn/flagproxy/internal/css"
+	"github.com/fpn/flagproxy/internal/fpn"
+	"github.com/fpn/flagproxy/internal/group"
+	"github.com/fpn/flagproxy/internal/noise"
+	"github.com/fpn/flagproxy/internal/schedule"
+	"github.com/fpn/flagproxy/internal/surface"
+	"github.com/fpn/flagproxy/internal/tiling"
+)
+
+func steane(t *testing.T) *css.Code {
+	t.Helper()
+	sups := [][]int{{0, 1, 2, 3}, {1, 2, 4, 5}, {2, 3, 5, 6}}
+	var checks []css.Check
+	for _, b := range []css.Basis{css.X, css.Z} {
+		for _, s := range sups {
+			checks = append(checks, css.Check{Basis: b, Support: s, Color: -1})
+		}
+	}
+	c, err := css.New("steane", "test", 7, checks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func planFor(t *testing.T, code *css.Code, opt fpn.Options) *schedule.RoundPlan {
+	t.Helper()
+	net, err := fpn.Build(code, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := schedule.Greedy(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := schedule.BuildRoundPlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestAddOpAssignsMeasurementIndices(t *testing.T) {
+	c := &Circuit{NumQubits: 3}
+	first := c.AddOp(Op{Kind: OpMR, Qubits: []int{0, 1}})
+	if first != 0 || c.NumMeas != 2 {
+		t.Fatalf("first=%d NumMeas=%d", first, c.NumMeas)
+	}
+	second := c.AddOp(Op{Kind: OpM, Qubits: []int{2}})
+	if second != 2 || c.NumMeas != 3 {
+		t.Fatalf("second=%d NumMeas=%d", second, c.NumMeas)
+	}
+	if c.AddOp(Op{Kind: OpH, Qubits: []int{0}}) != -1 {
+		t.Fatal("non-measurement op must return -1")
+	}
+}
+
+func TestValidateCatchesBadDetector(t *testing.T) {
+	c := &Circuit{NumQubits: 2}
+	c.AddOp(Op{Kind: OpM, Qubits: []int{0}})
+	c.Detectors = append(c.Detectors, Detector{Meas: []int{5}})
+	if err := c.Validate(); err == nil {
+		t.Fatal("expected out-of-range detector error")
+	}
+}
+
+func TestValidateCatchesBadPair(t *testing.T) {
+	c := &Circuit{NumQubits: 2}
+	c.AddOp(Op{Kind: OpCX, Pairs: [][2]int{{0, 0}}})
+	if err := c.Validate(); err == nil {
+		t.Fatal("expected self-pair error")
+	}
+}
+
+func TestBuildMemoryCounts(t *testing.T) {
+	code := steane(t)
+	plan := planFor(t, code, fpn.Options{})
+	rounds := 3
+	c, err := BuildMemory(MemorySpec{Plan: plan, Basis: css.Z, Rounds: rounds, Noise: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measurements: 6 parities x 3 rounds + 7 data = 25.
+	if c.NumMeas != 6*rounds+7 {
+		t.Fatalf("NumMeas = %d, want %d", c.NumMeas, 6*rounds+7)
+	}
+	// Detectors for Z memory: Z checks have rounds+1 detectors each
+	// (first, middles, final), X checks rounds-1 each.
+	wantDet := 3*(rounds+1) + 3*(rounds-1)
+	if len(c.Detectors) != wantDet {
+		t.Fatalf("detectors = %d, want %d", len(c.Detectors), wantDet)
+	}
+	if len(c.Observables) != code.K {
+		t.Fatalf("observables = %d, want %d", len(c.Observables), code.K)
+	}
+}
+
+func TestBuildMemoryNoiseOpsPresent(t *testing.T) {
+	code := steane(t)
+	plan := planFor(t, code, fpn.Options{})
+	nm := &noise.Model{P: 1e-3}
+	c, err := BuildMemory(MemorySpec{Plan: plan, Basis: css.X, Rounds: 2, Noise: nm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CountKind(OpPauli1) != 2 {
+		t.Fatalf("Pauli1 twirl ops = %d, want 2 (one per round)", c.CountKind(OpPauli1))
+	}
+	if c.CountKind(OpDepol2) == 0 || c.CountKind(OpXFlip) == 0 {
+		t.Fatal("missing gate/reset noise ops")
+	}
+	// Noiseless variant must contain none.
+	c0, err := BuildMemory(MemorySpec{Plan: plan, Basis: css.X, Rounds: 2, Noise: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []OpKind{OpPauli1, OpDepol1, OpDepol2, OpXFlip} {
+		if c0.CountKind(k) != 0 {
+			t.Fatal("noiseless circuit contains noise ops")
+		}
+	}
+}
+
+func TestBuildMemoryRejectsBadSpec(t *testing.T) {
+	code := steane(t)
+	plan := planFor(t, code, fpn.Options{})
+	if _, err := BuildMemory(MemorySpec{Plan: plan, Basis: css.Z, Rounds: 0}); err == nil {
+		t.Fatal("expected error for 0 rounds")
+	}
+	if _, err := BuildMemory(MemorySpec{Plan: plan, Basis: 'Q', Rounds: 1}); err == nil {
+		t.Fatal("expected error for bad basis")
+	}
+}
+
+func TestBuildMemoryFlagDetectorsPerRound(t *testing.T) {
+	g, err := group.Alt(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	var code *css.Code
+	for _, p := range group.FindRSPairs(g, 5, 5, rng, 3000, 5, 60) {
+		if p.Sub.Order() != 60 {
+			continue
+		}
+		m, err := tiling.FromGroupPair(p)
+		if err != nil || !m.NonDegenerate() {
+			continue
+		}
+		code, err = surface.FromMap(m, "hysc-30", "test")
+		if err == nil {
+			break
+		}
+	}
+	if code == nil {
+		t.Fatal("no code")
+	}
+	plan := planFor(t, code, fpn.Options{UseFlags: true, FlagSharing: true, MaxDegree: 4})
+	rounds := 3
+	c, err := BuildMemory(MemorySpec{Plan: plan, Basis: css.Z, Rounds: rounds, Noise: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perRound := map[int]int{}
+	for _, d := range c.Detectors {
+		if d.IsFlag {
+			perRound[d.Round]++
+			if len(d.Meas) != 1 {
+				t.Fatal("flag detectors must be single measurements")
+			}
+		}
+	}
+	if len(perRound) != rounds {
+		t.Fatalf("flag detectors span %d rounds, want %d", len(perRound), rounds)
+	}
+	for r := 1; r < rounds; r++ {
+		if perRound[r] != perRound[0] {
+			t.Fatalf("flag detector count varies: %v", perRound)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package circuit
+
+import (
+	"fmt"
+
+	"github.com/fpn/flagproxy/internal/css"
+	"github.com/fpn/flagproxy/internal/schedule"
+)
+
+// BuildCodeCapacity constructs a code-capacity memory experiment: data
+// qubits suffer independent depolarizing noise once, and a single
+// noiseless syndrome-extraction round reads the stabilizers perfectly
+// (the noise model of the paper's appendix note on the Restriction
+// decoder). The plan should come from a direct (flag-free) architecture;
+// any flags present simply measure deterministically.
+func BuildCodeCapacity(plan *schedule.RoundPlan, basis css.Basis, p float64) (*Circuit, error) {
+	if basis != css.X && basis != css.Z {
+		return nil, fmt.Errorf("circuit: invalid memory basis %q", basis)
+	}
+	net := plan.Net
+	code := net.Code
+	c := &Circuit{NumQubits: net.NumQubits()}
+	dataQubits := make([]int, code.N)
+	copy(dataQubits, net.DataQubit)
+
+	c.AddOp(Op{Kind: OpReset, Qubits: dataQubits})
+	if basis == css.X {
+		c.AddOp(Op{Kind: OpH, Qubits: dataQubits})
+	}
+	c.AddOp(Op{Kind: OpDepol1, Qubits: dataQubits, P: p})
+
+	measIndex := make([]int, len(plan.Meas))
+	mi := 0
+	for _, layer := range plan.Layers {
+		switch layer.Kind {
+		case schedule.LayerReset, schedule.LayerProxyReset:
+			c.AddOp(Op{Kind: OpReset, Qubits: layer.Qubits})
+		case schedule.LayerH:
+			c.AddOp(Op{Kind: OpH, Qubits: layer.Qubits})
+		case schedule.LayerCX:
+			c.AddOp(Op{Kind: OpCX, Pairs: layer.Pairs})
+			if len(layer.Resets) > 0 {
+				c.AddOp(Op{Kind: OpReset, Qubits: layer.Resets})
+			}
+		case schedule.LayerMR:
+			first := c.AddOp(Op{Kind: OpMR, Qubits: layer.Qubits})
+			for range layer.Qubits {
+				measIndex[mi] = first + (mi - firstMiOfLayer(plan, mi))
+				mi++
+			}
+		}
+	}
+	if mi != len(plan.Meas) {
+		return nil, fmt.Errorf("circuit: measurement accounting mismatch")
+	}
+	if basis == css.X {
+		c.AddOp(Op{Kind: OpH, Qubits: dataQubits})
+	}
+	dataMeasFirst := c.AddOp(Op{Kind: OpM, Qubits: dataQubits})
+
+	for i, mt := range plan.Meas {
+		if mt.Kind != schedule.MeasParity {
+			continue
+		}
+		ch := code.Checks[mt.Check]
+		if ch.Basis != basis {
+			continue // the opposite basis is non-deterministic in one round
+		}
+		// One perfect round: the parity measurement itself is a detector,
+		// and so is its comparison against the data readout.
+		c.Detectors = append(c.Detectors, Detector{
+			Meas: []int{measIndex[i]}, Check: mt.Check, Flag: -1, Round: 0,
+			Basis: ch.Basis, Color: ch.Color,
+		})
+	}
+	logicals := code.LogicalZ
+	if basis == css.X {
+		logicals = code.LogicalX
+	}
+	for _, l := range logicals {
+		var obs []int
+		for _, q := range l.Support() {
+			obs = append(obs, dataMeasFirst+q)
+		}
+		c.Observables = append(c.Observables, obs)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

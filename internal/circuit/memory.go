@@ -1,0 +1,215 @@
+package circuit
+
+import (
+	"fmt"
+
+	"github.com/fpn/flagproxy/internal/css"
+	"github.com/fpn/flagproxy/internal/noise"
+	"github.com/fpn/flagproxy/internal/schedule"
+)
+
+// MemorySpec configures a memory experiment.
+type MemorySpec struct {
+	Plan   *schedule.RoundPlan
+	Basis  css.Basis // memory basis: Z preserves |0..0>, X preserves |+..+>
+	Rounds int
+	Noise  *noise.Model // nil for a noiseless circuit
+}
+
+// BuildMemory lowers a round plan into a full memory-experiment circuit:
+// data initialization, Rounds syndrome-extraction rounds, transversal
+// data readout, detectors and logical observables.
+func BuildMemory(spec MemorySpec) (*Circuit, error) {
+	plan := spec.Plan
+	net := plan.Net
+	code := net.Code
+	if spec.Rounds < 1 {
+		return nil, fmt.Errorf("circuit: need at least 1 round")
+	}
+	if spec.Basis != css.X && spec.Basis != css.Z {
+		return nil, fmt.Errorf("circuit: invalid memory basis %q", spec.Basis)
+	}
+	c := &Circuit{NumQubits: net.NumQubits()}
+	nm := spec.Noise
+
+	dataQubits := make([]int, code.N)
+	copy(dataQubits, net.DataQubit)
+
+	allQubits := make([]int, c.NumQubits)
+	for i := range allQubits {
+		allQubits[i] = i
+	}
+
+	// Data initialization.
+	c.AddOp(Op{Kind: OpReset, Qubits: dataQubits})
+	if nm != nil {
+		c.AddOp(Op{Kind: OpXFlip, Qubits: dataQubits, P: nm.ResetFlip()})
+	}
+	if spec.Basis == css.X {
+		c.AddOp(Op{Kind: OpH, Qubits: dataQubits})
+		if nm != nil {
+			c.AddOp(Op{Kind: OpDepol1, Qubits: dataQubits, P: nm.Depol1()})
+		}
+	}
+
+	// measIndex[r][i] = global measurement index of plan.Meas[i] in round r.
+	measIndex := make([][]int, spec.Rounds)
+
+	for r := 0; r < spec.Rounds; r++ {
+		if nm != nil {
+			px, py, pz := nm.PauliTwirl(plan.LatencyNs)
+			c.AddOp(Op{Kind: OpPauli1, Qubits: allQubits, PX: px, PY: py, PZ: pz})
+		}
+		measIndex[r] = make([]int, len(plan.Meas))
+		mi := 0
+		for _, layer := range plan.Layers {
+			switch layer.Kind {
+			case schedule.LayerReset:
+				if r == 0 {
+					c.AddOp(Op{Kind: OpReset, Qubits: layer.Qubits})
+					if nm != nil {
+						c.AddOp(Op{Kind: OpXFlip, Qubits: layer.Qubits, P: nm.ResetFlip()})
+					}
+				}
+			case schedule.LayerProxyReset:
+				c.AddOp(Op{Kind: OpReset, Qubits: layer.Qubits})
+				if nm != nil {
+					c.AddOp(Op{Kind: OpXFlip, Qubits: layer.Qubits, P: nm.ResetFlip()})
+				}
+			case schedule.LayerH:
+				c.AddOp(Op{Kind: OpH, Qubits: layer.Qubits})
+				if nm != nil {
+					c.AddOp(Op{Kind: OpDepol1, Qubits: layer.Qubits, P: nm.Depol1()})
+				}
+			case schedule.LayerCX:
+				c.AddOp(Op{Kind: OpCX, Pairs: layer.Pairs})
+				if len(layer.Resets) > 0 {
+					c.AddOp(Op{Kind: OpReset, Qubits: layer.Resets})
+				}
+				if nm != nil {
+					c.AddOp(Op{Kind: OpDepol2, Pairs: layer.Pairs, P: nm.Depol2()})
+					if len(layer.Resets) > 0 {
+						c.AddOp(Op{Kind: OpXFlip, Qubits: layer.Resets, P: nm.ResetFlip()})
+					}
+					busy := map[int]bool{}
+					for _, p := range layer.Pairs {
+						busy[p[0]], busy[p[1]] = true, true
+					}
+					for _, q := range layer.Resets {
+						busy[q] = true
+					}
+					var idle []int
+					for q := 0; q < c.NumQubits; q++ {
+						if !busy[q] {
+							idle = append(idle, q)
+						}
+					}
+					if len(idle) > 0 {
+						c.AddOp(Op{Kind: OpDepol1, Qubits: idle, P: nm.Idle()})
+					}
+				}
+			case schedule.LayerMR:
+				flip := 0.0
+				if nm != nil {
+					flip = nm.MeasFlip()
+				}
+				first := c.AddOp(Op{Kind: OpMR, Qubits: layer.Qubits, FlipProb: flip})
+				if nm != nil {
+					c.AddOp(Op{Kind: OpXFlip, Qubits: layer.Qubits, P: nm.ResetFlip()})
+				}
+				for range layer.Qubits {
+					measIndex[r][mi] = first + (mi - firstMiOfLayer(plan, mi))
+					mi++
+				}
+			}
+		}
+		if mi != len(plan.Meas) {
+			return nil, fmt.Errorf("circuit: plan measurement accounting mismatch (%d vs %d)", mi, len(plan.Meas))
+		}
+	}
+
+	// Final transversal data readout.
+	if spec.Basis == css.X {
+		c.AddOp(Op{Kind: OpH, Qubits: dataQubits})
+		if nm != nil {
+			c.AddOp(Op{Kind: OpDepol1, Qubits: dataQubits, P: nm.Depol1()})
+		}
+	}
+	flip := 0.0
+	if nm != nil {
+		flip = nm.MeasFlip()
+	}
+	dataMeasFirst := c.AddOp(Op{Kind: OpM, Qubits: dataQubits, FlipProb: flip})
+	dataMeas := func(q int) int { return dataMeasFirst + q } // dataQubits are ids 0..N-1 in order
+
+	// Detectors.
+	for i, mt := range plan.Meas {
+		for r := 0; r < spec.Rounds; r++ {
+			m := measIndex[r][i]
+			switch mt.Kind {
+			case schedule.MeasFlag:
+				c.Detectors = append(c.Detectors, Detector{
+					Meas: []int{m}, IsFlag: true, Check: -1, Flag: mt.Flag, Round: r, Basis: mt.Basis, Color: -1,
+				})
+			case schedule.MeasParity:
+				ch := code.Checks[mt.Check]
+				det := Detector{Check: mt.Check, Flag: -1, Round: r, Basis: ch.Basis, Color: ch.Color}
+				if r == 0 {
+					if ch.Basis != spec.Basis {
+						continue // non-deterministic in the first round
+					}
+					det.Meas = []int{m}
+				} else {
+					det.Meas = []int{measIndex[r-1][i], m}
+				}
+				c.Detectors = append(c.Detectors, det)
+			}
+		}
+		// Final detector: last-round parity vs data readout.
+		if mt.Kind == schedule.MeasParity {
+			ch := code.Checks[mt.Check]
+			if ch.Basis == spec.Basis {
+				meas := []int{measIndex[spec.Rounds-1][i]}
+				for _, q := range ch.Support {
+					meas = append(meas, dataMeas(q))
+				}
+				c.Detectors = append(c.Detectors, Detector{
+					Meas: meas, Check: mt.Check, Flag: -1, Round: spec.Rounds, Basis: ch.Basis, Color: ch.Color,
+				})
+			}
+		}
+	}
+
+	// Observables: the memory-basis logicals over the data readout.
+	logicals := code.LogicalZ
+	if spec.Basis == css.X {
+		logicals = code.LogicalX
+	}
+	for _, l := range logicals {
+		var obs []int
+		for _, q := range l.Support() {
+			obs = append(obs, dataMeas(q))
+		}
+		c.Observables = append(c.Observables, obs)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// firstMiOfLayer returns the plan-measurement index at which the MR layer
+// containing plan.Meas[mi] begins.
+func firstMiOfLayer(plan *schedule.RoundPlan, mi int) int {
+	count := 0
+	for _, layer := range plan.Layers {
+		if layer.Kind != schedule.LayerMR {
+			continue
+		}
+		if mi < count+len(layer.Qubits) {
+			return count
+		}
+		count += len(layer.Qubits)
+	}
+	return count
+}

@@ -1,0 +1,99 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteStim serializes the circuit in Google Stim's text format so that
+// experiments can be cross-validated against the simulator the paper
+// used. Detectors and observables are emitted with rec[-k]
+// back-references relative to the end of the measurement record;
+// measurement misreads use Stim's M(p)/MR(p) argument form.
+func (c *Circuit) WriteStim(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, op := range c.Ops {
+		switch op.Kind {
+		case OpCX:
+			fmt.Fprint(bw, "CX")
+			for _, p := range op.Pairs {
+				fmt.Fprintf(bw, " %d %d", p[0], p[1])
+			}
+			fmt.Fprintln(bw)
+		case OpH:
+			writeQubitsOp(bw, "H", op.Qubits)
+		case OpReset:
+			writeQubitsOp(bw, "R", op.Qubits)
+		case OpMR:
+			if op.FlipProb > 0 {
+				fmt.Fprintf(bw, "MR(%g)", op.FlipProb)
+			} else {
+				fmt.Fprint(bw, "MR")
+			}
+			for _, q := range op.Qubits {
+				fmt.Fprintf(bw, " %d", q)
+			}
+			fmt.Fprintln(bw)
+		case OpM:
+			if op.FlipProb > 0 {
+				fmt.Fprintf(bw, "M(%g)", op.FlipProb)
+			} else {
+				fmt.Fprint(bw, "M")
+			}
+			for _, q := range op.Qubits {
+				fmt.Fprintf(bw, " %d", q)
+			}
+			fmt.Fprintln(bw)
+		case OpPauli1:
+			fmt.Fprintf(bw, "PAULI_CHANNEL_1(%g, %g, %g)", op.PX, op.PY, op.PZ)
+			for _, q := range op.Qubits {
+				fmt.Fprintf(bw, " %d", q)
+			}
+			fmt.Fprintln(bw)
+		case OpDepol1:
+			fmt.Fprintf(bw, "DEPOLARIZE1(%g)", op.P)
+			for _, q := range op.Qubits {
+				fmt.Fprintf(bw, " %d", q)
+			}
+			fmt.Fprintln(bw)
+		case OpDepol2:
+			fmt.Fprintf(bw, "DEPOLARIZE2(%g)", op.P)
+			for _, p := range op.Pairs {
+				fmt.Fprintf(bw, " %d %d", p[0], p[1])
+			}
+			fmt.Fprintln(bw)
+		case OpXFlip:
+			fmt.Fprintf(bw, "X_ERROR(%g)", op.P)
+			for _, q := range op.Qubits {
+				fmt.Fprintf(bw, " %d", q)
+			}
+			fmt.Fprintln(bw)
+		default:
+			return fmt.Errorf("circuit: cannot serialize op kind %d", op.Kind)
+		}
+	}
+	for _, d := range c.Detectors {
+		fmt.Fprint(bw, "DETECTOR")
+		for _, m := range d.Meas {
+			fmt.Fprintf(bw, " rec[%d]", m-c.NumMeas)
+		}
+		fmt.Fprintln(bw)
+	}
+	for oi, obs := range c.Observables {
+		fmt.Fprintf(bw, "OBSERVABLE_INCLUDE(%d)", oi)
+		for _, m := range obs {
+			fmt.Fprintf(bw, " rec[%d]", m-c.NumMeas)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+func writeQubitsOp(w io.Writer, name string, qubits []int) {
+	fmt.Fprint(w, name)
+	for _, q := range qubits {
+		fmt.Fprintf(w, " %d", q)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,76 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/fpn/flagproxy/internal/css"
+	"github.com/fpn/flagproxy/internal/fpn"
+	"github.com/fpn/flagproxy/internal/noise"
+)
+
+func TestWriteStimSmall(t *testing.T) {
+	c := &Circuit{NumQubits: 3}
+	c.AddOp(Op{Kind: OpReset, Qubits: []int{0, 1, 2}})
+	c.AddOp(Op{Kind: OpH, Qubits: []int{0}})
+	c.AddOp(Op{Kind: OpCX, Pairs: [][2]int{{0, 1}}})
+	c.AddOp(Op{Kind: OpDepol2, Pairs: [][2]int{{0, 1}}, P: 0.001})
+	c.AddOp(Op{Kind: OpMR, Qubits: []int{1}, FlipProb: 0.001})
+	c.AddOp(Op{Kind: OpM, Qubits: []int{0, 2}})
+	c.Detectors = append(c.Detectors, Detector{Meas: []int{0}})
+	c.Observables = append(c.Observables, []int{1, 2})
+
+	var sb strings.Builder
+	if err := c.WriteStim(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := []string{
+		"R 0 1 2",
+		"H 0",
+		"CX 0 1",
+		"DEPOLARIZE2(0.001) 0 1",
+		"MR(0.001) 1",
+		"M 0 2",
+		"DETECTOR rec[-3]",
+		"OBSERVABLE_INCLUDE(0) rec[-2] rec[-1]",
+	}
+	for _, line := range want {
+		if !strings.Contains(out, line) {
+			t.Fatalf("missing %q in:\n%s", line, out)
+		}
+	}
+}
+
+func TestWriteStimFullMemory(t *testing.T) {
+	sups := [][]int{{0, 1, 2, 3}, {1, 2, 4, 5}, {2, 3, 5, 6}}
+	var checks []css.Check
+	for _, b := range []css.Basis{css.X, css.Z} {
+		for _, s := range sups {
+			checks = append(checks, css.Check{Basis: b, Support: s, Color: -1})
+		}
+	}
+	code, err := css.New("steane", "test", 7, checks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := planFor(t, code, fpn.Options{UseFlags: true})
+	c, err := BuildMemory(MemorySpec{Plan: plan, Basis: css.Z, Rounds: 2, Noise: &noise.Model{P: 1e-3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := c.WriteStim(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(out, "DETECTOR") != len(c.Detectors) {
+		t.Fatal("detector count mismatch in stim output")
+	}
+	if !strings.Contains(out, "PAULI_CHANNEL_1(") {
+		t.Fatal("missing decoherence channel")
+	}
+	if !strings.Contains(out, "OBSERVABLE_INCLUDE(0)") {
+		t.Fatal("missing observable")
+	}
+}

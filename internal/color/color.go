@@ -1,0 +1,59 @@
+// Package color builds color codes: hyperbolic color codes from 3-face-
+// colorable trivalent tilings (truncated {s/2, 2r} maps) and the toric
+// hexagonal (6.6.6) color code used as the Euclidean baseline. Each
+// plaquette carries both an X and a Z check on the same support.
+package color
+
+import (
+	"fmt"
+
+	"github.com/fpn/flagproxy/internal/css"
+	"github.com/fpn/flagproxy/internal/tiling"
+)
+
+// FromTiling converts a validated color tiling into a CSS code with one X
+// and one Z check per plaquette, tagged with the plaquette color.
+func FromTiling(ct *tiling.ColorTiling, name, family string) (*css.Code, error) {
+	if err := ct.Validate(); err != nil {
+		return nil, err
+	}
+	var checks []css.Check
+	for _, f := range ct.Faces {
+		checks = append(checks, css.Check{Basis: css.X, Support: append([]int(nil), f.Qubits...), Color: f.Color})
+	}
+	for _, f := range ct.Faces {
+		checks = append(checks, css.Check{Basis: css.Z, Support: append([]int(nil), f.Qubits...), Color: f.Color})
+	}
+	return css.New(name, family, ct.NQubits, checks)
+}
+
+// FromMap truncates an {s/2, 2r} base map into the {r,s}-subfamily
+// hyperbolic color code.
+func FromMap(m *tiling.Map, name, family string) (*css.Code, error) {
+	ct, err := tiling.Truncate(m)
+	if err != nil {
+		return nil, err
+	}
+	return FromTiling(ct, name, family)
+}
+
+// HexagonalToric builds the 6.6.6 color code on an L×L torus
+// ([[6L², 4, d]]), the translation-invariant counterpart used as the
+// paper's "planar color code" baseline in this reproduction (closed
+// boundary conditions keep the decoder machinery identical to the
+// hyperbolic case). The green/blue classes are the up/down triangles of
+// the underlying {3,6} torus, so the 3-coloring exists for every L ≥ 2.
+func HexagonalToric(l int) (*css.Code, error) {
+	m, err := tiling.TriangularTorus(l)
+	if err != nil {
+		return nil, err
+	}
+	code, err := FromMap(m, fmt.Sprintf("hex-toric-%d", l), "hexagonal-color")
+	if err != nil {
+		return nil, err
+	}
+	if code.K != 4 {
+		return nil, fmt.Errorf("color: hexagonal toric L=%d has k=%d, want 4", l, code.K)
+	}
+	return code, nil
+}

@@ -1,0 +1,237 @@
+package decoder
+
+import (
+	"math"
+	"sort"
+
+	"github.com/fpn/flagproxy/internal/css"
+	"github.com/fpn/flagproxy/internal/dem"
+	"github.com/fpn/flagproxy/internal/gf2"
+)
+
+// BPOSD is a belief-propagation + ordered-statistics decoder operating
+// directly on the projected detector error model: variables are the
+// error mechanisms (equivalence-class members kept separate, so flag
+// bits participate as ordinary checks), and the parity checks are the
+// syndrome and flag detectors. This is the modern general-QLDPC
+// decoding stack (Panteleev–Kalachev / Roffe style) included as an
+// extension: unlike matching it needs no graph-like structure, so it
+// also applies to the hypergraph-product codes of §VII-A.
+type BPOSD struct {
+	Basis css.Basis
+	// Iters is the number of min-sum iterations before OSD (default 30).
+	Iters int
+
+	numObs int
+	dets   []int // row order: detector ids (syndrome + flag)
+	rowOf  map[int]int
+	varDet [][]int // variable -> row indices
+	varObs [][]int // variable -> observables flipped
+	prior  []float64
+	h      *gf2.Matrix // rows = dets, cols = variables
+}
+
+// NewBPOSD builds the decoder for one syndrome basis; flag detectors are
+// included as checks so the flag protocol is used implicitly.
+func NewBPOSD(model *dem.Model, basis css.Basis, iters int) (*BPOSD, error) {
+	if iters <= 0 {
+		iters = 30
+	}
+	events := model.Project(basis)
+	d := &BPOSD{Basis: basis, Iters: iters, numObs: len(model.Circuit.Observables), rowOf: map[int]int{}}
+	addRow := func(det int) int {
+		if r, ok := d.rowOf[det]; ok {
+			return r
+		}
+		r := len(d.dets)
+		d.rowOf[det] = r
+		d.dets = append(d.dets, det)
+		return r
+	}
+	for _, ev := range events {
+		var rows []int
+		for _, det := range ev.Dets {
+			rows = append(rows, addRow(det))
+		}
+		for _, f := range ev.Flags {
+			rows = append(rows, addRow(f))
+		}
+		d.varDet = append(d.varDet, rows)
+		d.varObs = append(d.varObs, append([]int(nil), ev.Obs...))
+		p := ev.P
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		if p > 0.49 {
+			p = 0.49
+		}
+		d.prior = append(d.prior, p)
+	}
+	d.h = gf2.MatrixFromSupports(len(d.dets), len(d.varDet), transposeSupports(len(d.dets), d.varDet))
+	return d, nil
+}
+
+// transposeSupports turns per-variable row lists into per-row variable
+// lists.
+func transposeSupports(rows int, varDet [][]int) [][]int {
+	out := make([][]int, rows)
+	for v, rs := range varDet {
+		for _, r := range rs {
+			out[r] = append(out[r], v)
+		}
+	}
+	return out
+}
+
+// Decode runs min-sum BP on the Tanner graph of (detectors × error
+// mechanisms); if the hard decision does not reproduce the syndrome, an
+// OSD-0 pass solves for the most reliable consistent error set.
+func (d *BPOSD) Decode(detBit func(int) bool) ([]bool, error) {
+	correction := make([]bool, d.numObs)
+	syndrome := make([]bool, len(d.dets))
+	any := false
+	for r, det := range d.dets {
+		if detBit(det) {
+			syndrome[r] = true
+			any = true
+		}
+	}
+	if !any {
+		return correction, nil
+	}
+	nv := len(d.varDet)
+	// Message storage indexed by (variable, position in its row list).
+	v2c := make([][]float64, nv)
+	c2v := make([][]float64, nv)
+	priorLLR := make([]float64, nv)
+	for v := 0; v < nv; v++ {
+		priorLLR[v] = math.Log((1 - d.prior[v]) / d.prior[v])
+		v2c[v] = make([]float64, len(d.varDet[v]))
+		c2v[v] = make([]float64, len(d.varDet[v]))
+		for k := range v2c[v] {
+			v2c[v][k] = priorLLR[v]
+		}
+	}
+	// Check adjacency: row -> list of (variable, slot).
+	type slotRef struct{ v, k int }
+	rowVars := make([][]slotRef, len(d.dets))
+	for v := 0; v < nv; v++ {
+		for k, r := range d.varDet[v] {
+			rowVars[r] = append(rowVars[r], slotRef{v, k})
+		}
+	}
+	posterior := make([]float64, nv)
+	hard := make([]bool, nv)
+	for iter := 0; iter < d.Iters; iter++ {
+		// Check update (min-sum with sign from syndrome).
+		for r, refs := range rowVars {
+			sign := 1.0
+			if syndrome[r] {
+				sign = -1.0
+			}
+			min1, min2 := math.Inf(1), math.Inf(1)
+			arg1 := -1
+			prod := sign
+			for i, ref := range refs {
+				m := v2c[ref.v][ref.k]
+				if m < 0 {
+					prod = -prod
+				}
+				a := math.Abs(m)
+				if a < min1 {
+					min2 = min1
+					min1 = a
+					arg1 = i
+				} else if a < min2 {
+					min2 = a
+				}
+			}
+			for i, ref := range refs {
+				mag := min1
+				if i == arg1 {
+					mag = min2
+				}
+				s := prod
+				if v2c[ref.v][ref.k] < 0 {
+					s = -s
+				}
+				c2v[ref.v][ref.k] = 0.75 * s * mag // normalized min-sum
+			}
+		}
+		// Variable update and hard decision.
+		satisfied := true
+		for v := 0; v < nv; v++ {
+			total := priorLLR[v]
+			for k := range c2v[v] {
+				total += c2v[v][k]
+			}
+			posterior[v] = total
+			hard[v] = total < 0
+			for k := range v2c[v] {
+				v2c[v][k] = total - c2v[v][k]
+			}
+		}
+		// Syndrome check for early exit.
+		for r, refs := range rowVars {
+			par := false
+			for _, ref := range refs {
+				if hard[ref.v] {
+					par = !par
+				}
+			}
+			if par != syndrome[r] {
+				satisfied = false
+				break
+			}
+		}
+		if satisfied {
+			for v := 0; v < nv; v++ {
+				if hard[v] {
+					for _, o := range d.varObs[v] {
+						correction[o] = !correction[o]
+					}
+				}
+			}
+			return correction, nil
+		}
+	}
+	// OSD-0: order variables by reliability (most-likely-error first) and
+	// solve H·e = s on the reliable information set.
+	order := make([]int, nv)
+	for v := range order {
+		order[v] = v
+	}
+	sort.Slice(order, func(i, j int) bool { return posterior[order[i]] < posterior[order[j]] })
+	perm := gf2.NewMatrix(d.h.Rows(), nv)
+	for newCol, v := range order {
+		for _, r := range d.varDet[v] {
+			perm.Set(r, newCol, true)
+		}
+	}
+	s := gf2.NewVec(d.h.Rows())
+	for r, bit := range syndrome {
+		if bit {
+			s.Set(r, true)
+		}
+	}
+	sol, ok := gf2.Solve(perm, s)
+	if !ok {
+		// The syndrome is outside the column space (should not happen for
+		// a complete error model); return the BP hard decision.
+		for v := 0; v < nv; v++ {
+			if hard[v] {
+				for _, o := range d.varObs[v] {
+					correction[o] = !correction[o]
+				}
+			}
+		}
+		return correction, nil
+	}
+	for _, newCol := range sol.Support() {
+		v := order[newCol]
+		for _, o := range d.varObs[v] {
+			correction[o] = !correction[o]
+		}
+	}
+	return correction, nil
+}

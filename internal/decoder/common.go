@@ -1,0 +1,66 @@
+package decoder
+
+import (
+	"math"
+	"sort"
+
+	"github.com/fpn/flagproxy/internal/dem"
+	"github.com/fpn/flagproxy/internal/matching"
+)
+
+// matchEdge is a float-weighted edge of a per-shot matching instance.
+type matchEdge struct {
+	u, v int
+	w    float64
+}
+
+// applyEmptyClass handles the empty-syndrome equivalence class: when the
+// observed flags are explained strictly better by one of its error
+// members than by "no error" (whose flag difference is |F|), the
+// member's Pauli frames are applied. This is how the flag protocol
+// catches propagation errors that flip no parity check at all.
+func applyEmptyClass(empty *dem.Class, flags map[int]bool, nFlags int, correction []bool) {
+	if empty == nil || nFlags == 0 {
+		return
+	}
+	rep, diff := empty.Select(flags, nFlags)
+	if diff < nFlags {
+		for _, o := range rep.Obs {
+			correction[o] = !correction[o]
+		}
+	}
+}
+
+// collectFlagList returns the sorted union of all member flag detectors
+// across classes (including the empty-syndrome class), which is the set
+// a decoder must read from the shot.
+func collectFlagList(classes []dem.Class) []int {
+	seen := map[int]bool{}
+	for ci := range classes {
+		for _, m := range classes[ci].Members {
+			for _, f := range m.Flags {
+				seen[f] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for f := range seen {
+		out = append(out, f)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// minWeightPerfect quantizes float weights and runs the exact blossom
+// minimum-weight perfect matching.
+func minWeightPerfect(n int, edges []matchEdge) ([]int, error) {
+	qedges := make([]matching.Edge, len(edges))
+	for i, e := range edges {
+		w := e.w
+		if math.IsInf(w, 1) || w > 1e12 {
+			w = 1e12
+		}
+		qedges[i] = matching.Edge{U: e.u, V: e.v, W: int64(w * weightScale)}
+	}
+	return matching.MinWeightPerfect(n, qedges)
+}

@@ -1,0 +1,216 @@
+// Package decoder implements the paper's two flag-aware decoders — the
+// flagged MWPM decoder for (hyperbolic) surface codes (§VI-C) and the
+// flagged Restriction decoder for (hyperbolic) color codes (§VI-D) —
+// plus the prior-work baselines they are compared against in §VI-F: a
+// plain MWPM decoder that ignores flag information (the PyMatching
+// stand-in) and a Chamberland-style Restriction decoder that uses flags
+// only inside the matching stage.
+package decoder
+
+import (
+	"sort"
+
+	"github.com/fpn/flagproxy/internal/dem"
+)
+
+// decompose splits hyperedges with more than atomMax syndrome bits into
+// components that reuse existing small error footprints, so the
+// components can live in a matching graph (the paper's
+// hyperedge-to-clique translation, Figure 16(a), refined so Pauli frames
+// stay consistent). For MWPM decoding atomMax is 2; the Restriction
+// decoder uses atomMax 3 so that data-like one-per-color triples stay
+// intact. Events with footprints larger than maxSize are dropped (rare
+// high-order coincidences).
+func decompose(events []dem.ProjEvent, maxSize int) []dem.ProjEvent {
+	return decomposeAtoms(events, 2, maxSize)
+}
+
+func decomposeAtoms(events []dem.ProjEvent, atomMax, maxSize int) []dem.ProjEvent {
+	// Index existing footprints of size ≤ atomMax, preferring a flagless
+	// exemplar's observables.
+	atomObs := map[string][]int{}
+	flagless := map[string]bool{}
+	keyOf := func(dets []int) string {
+		b := make([]byte, 0, 4*len(dets))
+		for _, d := range dets {
+			b = append(b, byte(d), byte(d>>8), byte(d>>16), byte(d>>24))
+		}
+		return string(b)
+	}
+	for _, ev := range events {
+		if len(ev.Dets) == 0 || len(ev.Dets) > atomMax {
+			continue
+		}
+		k := keyOf(ev.Dets)
+		if _, ok := atomObs[k]; !ok || (!flagless[k] && len(ev.Flags) == 0) {
+			atomObs[k] = ev.Obs
+			flagless[k] = len(ev.Flags) == 0
+		}
+	}
+	var out []dem.ProjEvent
+	for _, ev := range events {
+		if len(ev.Dets) <= atomMax {
+			out = append(out, ev)
+			continue
+		}
+		if len(ev.Dets) > maxSize {
+			continue
+		}
+		parts := matchDecomposition(ev.Dets, atomMax, atomObs)
+		if parts == nil {
+			// Fallback: consecutive pairs in sorted order.
+			for i := 0; i+1 < len(ev.Dets); i += 2 {
+				parts = append(parts, []int{ev.Dets[i], ev.Dets[i+1]})
+			}
+			if len(ev.Dets)%2 == 1 {
+				parts = append(parts, []int{ev.Dets[len(ev.Dets)-1]})
+			}
+		}
+		// Distribute observables: components inherit the obs of their
+		// existing footprint; any residual lands on the first component so
+		// the total stays equal to the event's obs.
+		residual := intSet(ev.Obs)
+		var compObs [][]int
+		for _, part := range parts {
+			obs := atomObs[keyOf(part)]
+			compObs = append(compObs, obs)
+			for _, o := range obs {
+				toggle(residual, o)
+			}
+		}
+		extra := setToSorted(residual)
+		for i, part := range parts {
+			obs := compObs[i]
+			if i == 0 && len(extra) > 0 {
+				merged := intSet(obs)
+				for _, o := range extra {
+					toggle(merged, o)
+				}
+				obs = setToSorted(merged)
+			}
+			out = append(out, dem.ProjEvent{
+				Dets:  append([]int(nil), part...),
+				Flags: ev.Flags,
+				Obs:   append([]int(nil), obs...),
+				P:     ev.P,
+			})
+		}
+	}
+	return out
+}
+
+// matchDecomposition searches for a partition of dets into existing
+// footprints of size ≤ atomMax, preferring larger atoms first so that
+// data-like triples beat pair splits.
+func matchDecomposition(dets []int, atomMax int, atomObs map[string][]int) [][]int {
+	keyOf := func(ds []int) string {
+		b := make([]byte, 0, 4*len(ds))
+		for _, d := range ds {
+			b = append(b, byte(d), byte(d>>8), byte(d>>16), byte(d>>24))
+		}
+		return string(b)
+	}
+	var parts [][]int
+	used := make([]bool, len(dets))
+	var rec func() bool
+	rec = func() bool {
+		first := -1
+		for i, u := range used {
+			if !u {
+				first = i
+				break
+			}
+		}
+		if first < 0 {
+			return true
+		}
+		used[first] = true
+		// Try atoms from largest to smallest containing dets[first].
+		var free []int
+		for j := first + 1; j < len(dets); j++ {
+			if !used[j] {
+				free = append(free, j)
+			}
+		}
+		for size := atomMax; size >= 1; size-- {
+			if size == 1 {
+				if _, ok := atomObs[keyOf([]int{dets[first]})]; ok {
+					parts = append(parts, []int{dets[first]})
+					if rec() {
+						return true
+					}
+					parts = parts[:len(parts)-1]
+				}
+				continue
+			}
+			// Choose size-1 companions from free.
+			idx := make([]int, size-1)
+			var choose func(pos, start int) bool
+			choose = func(pos, start int) bool {
+				if pos == size-1 {
+					atom := []int{dets[first]}
+					for _, fi := range idx {
+						atom = append(atom, dets[fi])
+					}
+					sort.Ints(atom)
+					if _, ok := atomObs[keyOf(atom)]; !ok {
+						return false
+					}
+					for _, fi := range idx {
+						used[fi] = true
+					}
+					parts = append(parts, atom)
+					if rec() {
+						return true
+					}
+					parts = parts[:len(parts)-1]
+					for _, fi := range idx {
+						used[fi] = false
+					}
+					return false
+				}
+				for k := start; k < len(free); k++ {
+					idx[pos] = free[k]
+					if choose(pos+1, k+1) {
+						return true
+					}
+				}
+				return false
+			}
+			if choose(0, 0) {
+				return true
+			}
+		}
+		used[first] = false
+		return false
+	}
+	if rec() {
+		return parts
+	}
+	return nil
+}
+
+func intSet(s []int) map[int]bool {
+	m := map[int]bool{}
+	for _, v := range s {
+		m[v] = true
+	}
+	return m
+}
+
+func toggle(m map[int]bool, v int) {
+	if m[v] {
+		delete(m, v)
+	} else {
+		m[v] = true
+	}
+}
+
+func setToSorted(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}

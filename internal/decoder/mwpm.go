@@ -1,0 +1,331 @@
+package decoder
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"github.com/fpn/flagproxy/internal/css"
+	"github.com/fpn/flagproxy/internal/dem"
+)
+
+// weightScale quantizes -log-probability weights into the integer domain
+// of the blossom matcher.
+const weightScale = 1000.0
+
+// MWPM is the flagged minimum-weight perfect-matching decoder for
+// surface codes: per shot it selects a flag-conditioned representative
+// from every error equivalence class, builds the weighted decoding
+// graph, matches the flipped syndrome bits along shortest paths, and
+// lifts the matched paths back to Pauli-frame corrections.
+type MWPM struct {
+	Basis css.Basis
+	// UseFlags selects the flag protocol; when false the decoder is the
+	// plain-MWPM baseline (PyMatching stand-in) that ignores flag bits.
+	UseFlags bool
+	// DisableRenorm switches off the Equation 9 probability
+	// renormalization while keeping flag-conditioned representative
+	// selection (an ablation knob; the paper always renormalizes).
+	DisableRenorm bool
+
+	classes []dem.Class
+	pM      float64
+	numObs  int
+
+	verts    []int       // vertex -> syndrome detector id
+	vertOf   map[int]int // detector -> vertex
+	boundary int         // boundary vertex index, or -1
+	edges    []graphEdge
+	adj      [][]int    // vertex -> edge ids
+	empty    *dem.Class // empty-syndrome equivalence class, if any
+	flagAll  []int      // every flag detector mentioned by any class
+
+	baseRep    []dem.ProjEvent // flagless representative per class
+	baseWeight []float64
+	flagIndex  map[int][]int // flag detector -> class ids with members on it
+}
+
+type graphEdge struct {
+	u, v  int // vertices (v may be the boundary vertex)
+	class int
+}
+
+// NewMWPM builds the decoder for one syndrome basis of a model. pM is
+// the measurement misread probability used in Equation 9.
+func NewMWPM(model *dem.Model, basis css.Basis, pM float64, useFlags bool) (*MWPM, error) {
+	events := model.Project(basis)
+	events = decompose(events, 8)
+	classes := dem.BuildClasses(events)
+	d := &MWPM{
+		Basis:    basis,
+		UseFlags: useFlags,
+		classes:  classes,
+		pM:       pM,
+		numObs:   len(model.Circuit.Observables),
+		vertOf:   map[int]int{},
+		boundary: -1,
+	}
+	for _, cl := range classes {
+		for _, det := range cl.Dets {
+			if _, ok := d.vertOf[det]; !ok {
+				d.vertOf[det] = len(d.verts)
+				d.verts = append(d.verts, det)
+			}
+		}
+		if len(cl.Dets) == 1 {
+			d.boundary = -2 // mark needed
+		}
+	}
+	if d.boundary == -2 {
+		d.boundary = len(d.verts)
+	}
+	nv := len(d.verts)
+	if d.boundary >= 0 {
+		nv++
+	}
+	d.adj = make([][]int, nv)
+	for ci, cl := range classes {
+		var u, v int
+		switch len(cl.Dets) {
+		case 0:
+			d.empty = &classes[ci]
+			continue
+		case 1:
+			u, v = d.vertOf[cl.Dets[0]], d.boundary
+		case 2:
+			u, v = d.vertOf[cl.Dets[0]], d.vertOf[cl.Dets[1]]
+		default:
+			return nil, fmt.Errorf("decoder: class with %d dets survived decomposition", len(cl.Dets))
+		}
+		ei := len(d.edges)
+		d.edges = append(d.edges, graphEdge{u: u, v: v, class: ci})
+		d.adj[u] = append(d.adj[u], ei)
+		d.adj[v] = append(d.adj[v], ei)
+	}
+	d.flagAll = collectFlagList(classes)
+	// Flagless base representatives and weights.
+	d.baseRep = make([]dem.ProjEvent, len(classes))
+	d.baseWeight = make([]float64, len(classes))
+	d.flagIndex = map[int][]int{}
+	for ci := range classes {
+		rep, p := classes[ci].Representative(nil, 0, pM)
+		d.baseRep[ci] = rep
+		d.baseWeight[ci] = weightOf(p)
+		seen := map[int]bool{}
+		for _, m := range classes[ci].Members {
+			for _, f := range m.Flags {
+				if !seen[f] {
+					seen[f] = true
+					d.flagIndex[f] = append(d.flagIndex[f], ci)
+				}
+			}
+		}
+	}
+	return d, nil
+}
+
+func weightOf(p float64) float64 {
+	if p < 1e-15 {
+		p = 1e-15
+	}
+	if p > 0.5 {
+		p = 0.5
+	}
+	return -math.Log(p)
+}
+
+// NumClasses reports the equivalence-class count (for diagnostics).
+func (d *MWPM) NumClasses() int { return len(d.classes) }
+
+// Decode maps a shot's detector bits to predicted observable flips.
+// detBit must return whether detector id fired.
+func (d *MWPM) Decode(detBit func(int) bool) ([]bool, error) {
+	// Flipped syndrome vertices and observed flags.
+	var src []int
+	for vi, det := range d.verts {
+		if detBit(det) {
+			src = append(src, vi)
+		}
+	}
+	correction := make([]bool, d.numObs)
+	flags := map[int]bool{}
+	nFlags := 0
+	if d.UseFlags {
+		for _, f := range d.flagAll {
+			if detBit(f) {
+				flags[f] = true
+				nFlags++
+			}
+		}
+	}
+	if len(src) == 0 {
+		// No parity check fired: the only possible explanations live in
+		// the empty-syndrome equivalence class (flag-only propagation
+		// errors) or are "no error".
+		if d.UseFlags {
+			applyEmptyClass(d.empty, flags, nFlags, correction)
+		}
+		return correction, nil
+	}
+	// Per-shot class representatives and weights.
+	rep := d.baseRep
+	weight := d.baseWeight
+	if nFlags > 0 {
+		rep = make([]dem.ProjEvent, len(d.classes))
+		weight = make([]float64, len(d.classes))
+		copy(rep, d.baseRep)
+		wM := weightOf(d.pM)
+		for ci := range d.classes {
+			// Default: flagless representative at diff |F|; Equation 9
+			// gives weight |F|·wM + (|σ|−1)·(−log π).
+			exp := float64(len(d.classes[ci].Dets) - 1)
+			if exp < 1 {
+				exp = 1
+			}
+			weight[ci] = d.baseWeight[ci]*exp + float64(nFlags)*wM
+		}
+		// Classes with members touching an observed flag re-select their
+		// representative against the actual flag set.
+		adjusted := map[int]bool{}
+		for f := range flags {
+			for _, ci := range d.flagIndex[f] {
+				adjusted[ci] = true
+			}
+		}
+		for ci := range adjusted {
+			r, p := d.classes[ci].Representative(flags, nFlags, d.pM)
+			rep[ci] = r
+			weight[ci] = weightOf(p)
+		}
+		if d.DisableRenorm {
+			for ci := range d.classes {
+				weight[ci] = weightOf(rep[ci].P)
+			}
+		}
+	}
+	nv := len(d.adj)
+	if d.boundary < 0 && len(src)%2 != 0 {
+		return nil, fmt.Errorf("decoder: odd syndrome weight %d on a closed code", len(src))
+	}
+	// Dijkstra from each source.
+	dist := make([][]float64, len(src))
+	prevEdge := make([][]int, len(src))
+	for i, s := range src {
+		dist[i], prevEdge[i] = d.dijkstra(s, weight, nv)
+	}
+	// Matching instance: real nodes 0..k-1, virtual boundary nodes
+	// k..2k-1 when a boundary exists.
+	k := len(src)
+	var medges []matchEdge
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			if w := dist[i][src[j]]; !math.IsInf(w, 1) {
+				medges = append(medges, matchEdge{i, j, w})
+			}
+		}
+	}
+	if d.boundary >= 0 {
+		for i := 0; i < k; i++ {
+			if w := dist[i][d.boundary]; !math.IsInf(w, 1) {
+				medges = append(medges, matchEdge{i, k + i, w})
+			}
+		}
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				medges = append(medges, matchEdge{k + i, k + j, 0})
+			}
+		}
+	}
+	total := k
+	if d.boundary >= 0 {
+		total = 2 * k
+	}
+	mate, err := minWeightPerfect(total, medges)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < k; i++ {
+		j := mate[i]
+		if j < i && j < k {
+			continue // handled from the other side
+		}
+		var target int
+		if j < k {
+			target = src[j]
+		} else if j == k+i {
+			target = d.boundary
+		} else {
+			return nil, fmt.Errorf("decoder: real node matched to foreign virtual node")
+		}
+		// Walk the shortest-path tree of source i from target back.
+		cur := target
+		for cur != src[i] {
+			ei := prevEdge[i][cur]
+			if ei < 0 {
+				return nil, fmt.Errorf("decoder: broken shortest-path tree")
+			}
+			e := d.edges[ei]
+			for _, o := range rep[e.class].Obs {
+				correction[o] = !correction[o]
+			}
+			if e.u == cur {
+				cur = e.v
+			} else {
+				cur = e.u
+			}
+		}
+	}
+	return correction, nil
+}
+
+// dijkstra computes shortest paths from s over the decoding graph with
+// the given per-class weights.
+func (d *MWPM) dijkstra(s int, weight []float64, nv int) ([]float64, []int) {
+	dist := make([]float64, nv)
+	prev := make([]int, nv)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[s] = 0
+	pq := &floatHeap{{0, s}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(heapItem)
+		if it.d > dist[it.v] {
+			continue
+		}
+		for _, ei := range d.adj[it.v] {
+			e := d.edges[ei]
+			to := e.u
+			if to == it.v {
+				to = e.v
+			}
+			nd := it.d + weight[e.class]
+			if nd < dist[to] {
+				dist[to] = nd
+				prev[to] = ei
+				heap.Push(pq, heapItem{nd, to})
+			}
+		}
+	}
+	return dist, prev
+}
+
+type heapItem struct {
+	d float64
+	v int
+}
+
+type floatHeap []heapItem
+
+func (h floatHeap) Len() int            { return len(h) }
+func (h floatHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h floatHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *floatHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
+func (h *floatHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,94 @@
+package decoder
+
+import (
+	"sort"
+
+	"github.com/fpn/flagproxy/internal/css"
+	"github.com/fpn/flagproxy/internal/dem"
+)
+
+// maskedMWPM wraps an MWPM decoder with one flag detector forced to 0,
+// emulating an architecture that does not measure that flag.
+type maskedMWPM struct {
+	d    *MWPM
+	flag int
+}
+
+func (m maskedMWPM) Decode(detBit func(int) bool) ([]bool, error) {
+	return m.d.Decode(func(det int) bool {
+		if det == m.flag {
+			return false
+		}
+		return detBit(det)
+	})
+}
+
+// OperationallyRedundantFlags measures flag overuse (the paper's
+// Figure 5 discussion) operationally: a flag detector is redundant if
+// masking its measurement changes no single-fault decoding outcome.
+// Only faults whose classes mention the flag are re-decoded, so the
+// probe is cheap. The result is the sorted list of redundant flag
+// detectors of the given basis graph.
+func OperationallyRedundantFlags(model *dem.Model, basis css.Basis, pM float64) ([]int, error) {
+	base, err := NewMWPM(model, basis, pM, true)
+	if err != nil {
+		return nil, err
+	}
+	// Events to probe per flag: any event whose footprint mentions it.
+	byFlag := map[int][]dem.Event{}
+	for _, ev := range model.Events {
+		rel := false
+		for _, d := range ev.Dets {
+			if model.Circuit.Detectors[d].Basis == basis {
+				rel = true
+			}
+		}
+		if !rel {
+			continue
+		}
+		for _, f := range ev.Flags {
+			byFlag[f] = append(byFlag[f], ev)
+		}
+	}
+	detBitOf := func(ev dem.Event) func(int) bool {
+		set := map[int]bool{}
+		for _, d := range ev.Dets {
+			set[d] = true
+		}
+		for _, f := range ev.Flags {
+			set[f] = true
+		}
+		return func(d int) bool { return set[d] }
+	}
+	var redundant []int
+	for f, events := range byFlag {
+		masked := maskedMWPM{d: base, flag: f}
+		same := true
+		for _, ev := range events {
+			bit := detBitOf(ev)
+			c1, err1 := base.Decode(bit)
+			c2, err2 := masked.Decode(bit)
+			if (err1 == nil) != (err2 == nil) {
+				same = false
+				break
+			}
+			if err1 != nil {
+				continue
+			}
+			for o := range c1 {
+				if c1[o] != c2[o] {
+					same = false
+					break
+				}
+			}
+			if !same {
+				break
+			}
+		}
+		if same {
+			redundant = append(redundant, f)
+		}
+	}
+	sort.Ints(redundant)
+	return redundant, nil
+}

@@ -1,0 +1,417 @@
+package decoder
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/fpn/flagproxy/internal/css"
+	"github.com/fpn/flagproxy/internal/dem"
+)
+
+// latticePairs enumerates the restricted lattices L_RG, L_RB, L_GB.
+var latticePairs = [3][2]int{{0, 1}, {0, 2}, {1, 2}}
+
+// Restriction is the flagged Restriction decoder for color codes: it
+// matches flipped syndrome bits on the three color-restricted lattices,
+// removes doubly-selected flag edges immediately (the paper's key rule),
+// and lifts the remaining matched edges to Pauli-frame corrections.
+type Restriction struct {
+	Basis css.Basis
+	// UseFlags enables flag-conditioned representative selection in the
+	// matching stage.
+	UseFlags bool
+	// FlagLifting enables the paper's flag handling outside the matching
+	// stage (flag-conditioned Pauli frames and the double-appearance
+	// rule). When false the decoder behaves like Chamberland et al.'s,
+	// which "only handles flag edges in the MWPM stage".
+	FlagLifting bool
+
+	// Debug, when non-nil, receives a trace of each decode.
+	Debug func(format string, args ...interface{})
+
+	classes []dem.Class
+	pM      float64
+	numObs  int
+
+	detColor map[int]int
+
+	// Per lattice: vertices, adjacency, edges referencing classes.
+	latVerts  [3][]int
+	latVertOf [3]map[int]int
+	latEdges  [3][]graphEdge
+	latAdj    [3][][]int
+
+	baseRep    []dem.ProjEvent
+	baseWeight []float64
+	flagIndex  map[int][]int
+	empty      *dem.Class // empty-syndrome equivalence class, if any
+	flagAll    []int      // every flag detector mentioned by any class
+}
+
+// NewRestriction builds the decoder for one basis of a color-code model.
+func NewRestriction(model *dem.Model, basis css.Basis, pM float64, useFlags, flagLifting bool) (*Restriction, error) {
+	events := model.Project(basis)
+	// Propagation errors flip many plaquettes at once; decompose them
+	// into existing atoms of at most three detectors (one per color) so
+	// every class is representable on the restricted lattices.
+	events = decomposeAtoms(events, 3, 12)
+	classes := dem.BuildClasses(events)
+	d := &Restriction{
+		Basis:       basis,
+		UseFlags:    useFlags,
+		FlagLifting: flagLifting,
+		classes:     classes,
+		pM:          pM,
+		numObs:      len(model.Circuit.Observables),
+		detColor:    map[int]int{},
+		flagIndex:   map[int][]int{},
+	}
+	for di, det := range model.Circuit.Detectors {
+		if !det.IsFlag && det.Basis == basis {
+			if det.Color < 0 || det.Color > 2 {
+				return nil, fmt.Errorf("decoder: detector %d lacks a color", di)
+			}
+			d.detColor[di] = det.Color
+		}
+	}
+	for li := range latticePairs {
+		d.latVertOf[li] = map[int]int{}
+	}
+	for ci, cl := range classes {
+		if len(cl.Dets) == 0 {
+			d.empty = &classes[ci]
+			continue
+		}
+		for li, pair := range latticePairs {
+			var proj []int
+			for _, det := range cl.Dets {
+				c := d.detColor[det]
+				if c == pair[0] || c == pair[1] {
+					proj = append(proj, det)
+				}
+			}
+			if len(proj) != 2 {
+				continue // not representable as an edge of this lattice
+			}
+			var vs [2]int
+			for k, det := range proj {
+				vi, ok := d.latVertOf[li][det]
+				if !ok {
+					vi = len(d.latVerts[li])
+					d.latVertOf[li][det] = vi
+					d.latVerts[li] = append(d.latVerts[li], det)
+				}
+				vs[k] = vi
+			}
+			for len(d.latAdj[li]) < len(d.latVerts[li]) {
+				d.latAdj[li] = append(d.latAdj[li], nil)
+			}
+			ei := len(d.latEdges[li])
+			d.latEdges[li] = append(d.latEdges[li], graphEdge{u: vs[0], v: vs[1], class: ci})
+			d.latAdj[li][vs[0]] = append(d.latAdj[li][vs[0]], ei)
+			d.latAdj[li][vs[1]] = append(d.latAdj[li][vs[1]], ei)
+		}
+	}
+	d.flagAll = collectFlagList(classes)
+	d.baseRep = make([]dem.ProjEvent, len(classes))
+	d.baseWeight = make([]float64, len(classes))
+	for ci := range classes {
+		rep, p := classes[ci].Representative(nil, 0, pM)
+		d.baseRep[ci] = rep
+		d.baseWeight[ci] = weightOf(p)
+		seen := map[int]bool{}
+		for _, m := range classes[ci].Members {
+			for _, f := range m.Flags {
+				if !seen[f] {
+					seen[f] = true
+					d.flagIndex[f] = append(d.flagIndex[f], ci)
+				}
+			}
+		}
+	}
+	return d, nil
+}
+
+// Decode maps detector bits to predicted observable flips.
+func (d *Restriction) Decode(detBit func(int) bool) ([]bool, error) {
+	correction := make([]bool, d.numObs)
+	var flipped []int
+	for det := range d.detColor {
+		if detBit(det) {
+			flipped = append(flipped, det)
+		}
+	}
+	sort.Ints(flipped)
+	flags := map[int]bool{}
+	nFlags := 0
+	if d.UseFlags {
+		for _, f := range d.flagAll {
+			if detBit(f) {
+				flags[f] = true
+				nFlags++
+			}
+		}
+	}
+	if len(flipped) == 0 {
+		// No parity check fired: only the empty-syndrome equivalence
+		// class (flag-only propagation errors) can explain the flags.
+		if d.UseFlags && d.FlagLifting {
+			applyEmptyClass(d.empty, flags, nFlags, correction)
+		}
+		return correction, nil
+	}
+	rep := d.baseRep
+	weight := d.baseWeight
+	if nFlags > 0 {
+		// The restriction decoder keeps base −log π weights and adds only
+		// the flag-similarity penalty (Equation 9's pM term); the
+		// π^{|σ|−1} exponent is specific to the pairwise matching graph
+		// and would double-count 3-detector data classes here.
+		rep = make([]dem.ProjEvent, len(d.classes))
+		weight = make([]float64, len(d.classes))
+		copy(rep, d.baseRep)
+		wM := weightOf(d.pM)
+		for ci := range d.classes {
+			weight[ci] = d.baseWeight[ci] + float64(nFlags)*wM
+		}
+		adjusted := map[int]bool{}
+		for f := range flags {
+			for _, ci := range d.flagIndex[f] {
+				adjusted[ci] = true
+			}
+		}
+		for ci := range adjusted {
+			r, diff := d.classes[ci].Select(flags, nFlags)
+			rep[ci] = r
+			weight[ci] = weightOf(r.P) + float64(diff)*wM
+		}
+	}
+	// Matching on the three restricted lattices; EM counts class picks.
+	em := map[int]int{}
+	for li, pair := range latticePairs {
+		var src []int
+		for _, det := range flipped {
+			c := d.detColor[det]
+			if c != pair[0] && c != pair[1] {
+				continue
+			}
+			vi, ok := d.latVertOf[li][det]
+			if !ok {
+				return nil, fmt.Errorf("decoder: flipped detector %d not in lattice %d", det, li)
+			}
+			src = append(src, vi)
+		}
+		if len(src) == 0 {
+			continue
+		}
+		if len(src)%2 != 0 {
+			return nil, fmt.Errorf("decoder: odd syndrome weight %d in restricted lattice %d", len(src), li)
+		}
+		dists := make([][]float64, len(src))
+		prevs := make([][]int, len(src))
+		for i, s := range src {
+			dists[i], prevs[i] = latDijkstra(s, weight, d.latEdges[li], d.latAdj[li])
+		}
+		var medges []matchEdge
+		for i := 0; i < len(src); i++ {
+			for j := i + 1; j < len(src); j++ {
+				if w := dists[i][src[j]]; !math.IsInf(w, 1) {
+					medges = append(medges, matchEdge{i, j, w})
+				}
+			}
+		}
+		mate, err := minWeightPerfect(len(src), medges)
+		if err != nil {
+			return nil, fmt.Errorf("decoder: lattice %d matching: %w", li, err)
+		}
+		for i := range src {
+			j := mate[i]
+			if j < i {
+				continue
+			}
+			cur := src[j]
+			for cur != src[i] {
+				ei := prevs[i][cur]
+				if ei < 0 {
+					return nil, fmt.Errorf("decoder: broken path in lattice %d", li)
+				}
+				e := d.latEdges[li][ei]
+				em[e.class]++
+				if d.Debug != nil {
+					d.Debug("lattice %d: path edge class %d dets=%v obs=%v w=%.2f",
+						li, e.class, d.classes[e.class].Dets, rep[e.class].Obs, weight[e.class])
+				}
+				if e.u == cur {
+					cur = e.v
+				} else {
+					cur = e.u
+				}
+			}
+		}
+	}
+	// Lifting.
+	applyClass := func(ci int) {
+		r := rep[ci]
+		if !d.FlagLifting {
+			r = d.baseRep[ci]
+		}
+		for _, o := range r.Obs {
+			correction[o] = !correction[o]
+		}
+	}
+	applied := map[int]bool{}
+	if d.FlagLifting {
+		// Paper rule: flag edges appearing at least twice in EM are
+		// corrected immediately and removed.
+		for ci, count := range em {
+			if count >= 2 && len(rep[ci].Flags) > 0 {
+				applyClass(ci)
+				applied[ci] = true
+				delete(em, ci)
+			}
+		}
+	}
+	for ci, count := range em {
+		if count >= 2 {
+			applyClass(ci)
+			applied[ci] = true
+			delete(em, ci)
+		}
+	}
+	// Residual repair: classes selected by only one lattice (or missed
+	// entirely) are applied greedily while they reduce the residual
+	// syndrome.
+	residual := map[int]bool{}
+	for _, det := range flipped {
+		residual[det] = true
+	}
+	for ci := range applied {
+		for _, det := range d.classes[ci].Dets {
+			toggle(residual, det)
+		}
+	}
+	if len(residual) > 0 {
+		// Exact-cover repair: find the minimum-weight set of classes
+		// (preferring those the matchings touched) whose footprints XOR
+		// to the residual syndrome.
+		cover := d.coverResidual(residual, em, applied, weight)
+		for _, ci := range cover {
+			applyClass(ci)
+		}
+	}
+	return correction, nil
+}
+
+// coverResidual searches for a minimum-weight subset of classes whose
+// detector footprints XOR exactly to the residual. Candidates are the
+// classes fully contained in the residual, with classes selected by a
+// single lattice matching discounted so they are preferred. The residual
+// from near-distance fault patterns is small, so a bounded DFS suffices;
+// an empty result means the repair gave up.
+func (d *Restriction) coverResidual(residual map[int]bool, em map[int]int, applied map[int]bool, weight []float64) []int {
+	type cand struct {
+		ci int
+		w  float64
+	}
+	var cands []cand
+	for ci := range d.classes {
+		if applied[ci] {
+			continue
+		}
+		if subset(d.classes[ci].Dets, residual) {
+			w := weight[ci]
+			if em[ci] > 0 {
+				w /= 4 // the matchings voted for this class once
+			}
+			cands = append(cands, cand{ci, w})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].w < cands[j].w })
+	if len(cands) > 40 {
+		cands = cands[:40]
+	}
+	target := map[int]bool{}
+	for det := range residual {
+		target[det] = true
+	}
+	var best []int
+	bestW := math.Inf(1)
+	var cur []int
+	var dfs func(idx int, rem map[int]bool, w float64)
+	dfs = func(idx int, rem map[int]bool, w float64) {
+		if w >= bestW {
+			return
+		}
+		if len(rem) == 0 {
+			best = append([]int(nil), cur...)
+			bestW = w
+			return
+		}
+		if idx >= len(cands) || len(cur) >= 6 {
+			return
+		}
+		for i := idx; i < len(cands); i++ {
+			c := cands[i]
+			if !subset(d.classes[c.ci].Dets, rem) {
+				continue
+			}
+			for _, det := range d.classes[c.ci].Dets {
+				toggle(rem, det)
+			}
+			cur = append(cur, c.ci)
+			dfs(i+1, rem, w+c.w)
+			cur = cur[:len(cur)-1]
+			for _, det := range d.classes[c.ci].Dets {
+				toggle(rem, det)
+			}
+		}
+	}
+	dfs(0, target, 0)
+	return best
+}
+
+func subset(dets []int, set map[int]bool) bool {
+	if len(dets) == 0 {
+		return false
+	}
+	for _, det := range dets {
+		if !set[det] {
+			return false
+		}
+	}
+	return true
+}
+
+func latDijkstra(s int, weight []float64, edges []graphEdge, adj [][]int) ([]float64, []int) {
+	nv := len(adj)
+	dist := make([]float64, nv)
+	prev := make([]int, nv)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[s] = 0
+	pq := &floatHeap{{0, s}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(heapItem)
+		if it.d > dist[it.v] {
+			continue
+		}
+		for _, ei := range adj[it.v] {
+			e := edges[ei]
+			to := e.u
+			if to == it.v {
+				to = e.v
+			}
+			nd := it.d + weight[e.class]
+			if nd < dist[to] {
+				dist[to] = nd
+				prev[to] = ei
+				heap.Push(pq, heapItem{nd, to})
+			}
+		}
+	}
+	return dist, prev
+}

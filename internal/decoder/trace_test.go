@@ -1,0 +1,86 @@
+package decoder
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/fpn/flagproxy/internal/color"
+	"github.com/fpn/flagproxy/internal/css"
+	"github.com/fpn/flagproxy/internal/dem"
+	"github.com/fpn/flagproxy/internal/fpn"
+)
+
+func TestTraceOneRestrictionFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	code, err := color.HexagonalToric(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, _ := buildModel(t, code, fpn.Options{UseFlags: true, FlagSharing: true, MaxDegree: 4}, css.Z, 3, 1e-3)
+	dec, err := NewRestriction(model, css.Z, 1e-3, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a flagless 2-red-det event with non-empty observables.
+	var target *dem.Event
+	for i, ev := range model.Events {
+		if len(ev.Flags) != 0 || len(ev.Obs) == 0 || len(ev.Dets) != 2 {
+			continue
+		}
+		allRed := true
+		zOnly := true
+		for _, d := range ev.Dets {
+			det := model.Circuit.Detectors[d]
+			if det.Basis != css.Z {
+				zOnly = false
+			}
+			if det.Color != 0 {
+				allRed = false
+			}
+		}
+		if allRed && zOnly {
+			target = &model.Events[i]
+			break
+		}
+	}
+	if target == nil {
+		t.Skip("no such event")
+	}
+	t.Logf("event dets=%v", target.Dets)
+	for _, d := range target.Dets {
+		det := model.Circuit.Detectors[d]
+		t.Logf("  det %d: check=%d round=%d color=%d", d, det.Check, det.Round, det.Color)
+	}
+	// What classes contain subsets of these dets?
+	want := intSet(target.Dets)
+	for ci, cl := range dec.classes {
+		if subset(cl.Dets, want) {
+			rep := dec.baseRep[ci]
+			t.Logf("  class %d dets=%v obs=%v flags=%v p=%.2g w=%.2f members=%d",
+				ci, cl.Dets, rep.Obs, rep.Flags, rep.P, dec.baseWeight[ci], len(cl.Members))
+		}
+	}
+	// Show all members of the matching class.
+	for ci, cl := range dec.classes {
+		if len(cl.Dets) == 2 && cl.Dets[0] == target.Dets[0] && cl.Dets[1] == target.Dets[1] {
+			for _, m := range cl.Members {
+				t.Logf("  class %d member flags=%v obs=%v p=%.3g", ci, m.Flags, m.Obs, m.P)
+			}
+		}
+	}
+	dec.Debug = t.Logf
+	corr, err := dec.Decode(detBitFromEvent(*target))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int
+	for o, b := range corr {
+		if b {
+			got = append(got, o)
+		}
+	}
+	sort.Ints(got)
+	t.Logf("correction obs=%v (want [])", got)
+}

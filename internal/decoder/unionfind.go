@@ -1,0 +1,329 @@
+package decoder
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/fpn/flagproxy/internal/css"
+	"github.com/fpn/flagproxy/internal/dem"
+)
+
+// UnionFind is a Delfosse–Nickerson style union-find decoder operating
+// on the same projected decoding graph as the flagged MWPM decoder. It
+// trades accuracy for near-linear decoding time, and — as an extension
+// of the paper's flag protocol — it still selects flag-conditioned Pauli
+// frames during peeling, so it benefits from flag measurements without
+// paying the matching cost.
+type UnionFind struct {
+	Basis    css.Basis
+	UseFlags bool
+
+	classes []dem.Class
+	pM      float64
+	numObs  int
+
+	verts    []int
+	vertOf   map[int]int
+	boundary int // boundary vertex index, or -1
+	edges    []graphEdge
+	adj      [][]int
+
+	baseRep   []dem.ProjEvent
+	flagIndex map[int][]int
+	empty     *dem.Class // empty-syndrome equivalence class, if any
+	flagAll   []int      // every flag detector mentioned by any class
+}
+
+// NewUnionFind builds the decoder for one syndrome basis.
+func NewUnionFind(model *dem.Model, basis css.Basis, pM float64, useFlags bool) (*UnionFind, error) {
+	events := model.Project(basis)
+	events = decompose(events, 8)
+	classes := dem.BuildClasses(events)
+	d := &UnionFind{
+		Basis:    basis,
+		UseFlags: useFlags,
+		classes:  classes,
+		pM:       pM,
+		numObs:   len(model.Circuit.Observables),
+		vertOf:   map[int]int{},
+		boundary: -1,
+	}
+	needBoundary := false
+	for _, cl := range classes {
+		for _, det := range cl.Dets {
+			if _, ok := d.vertOf[det]; !ok {
+				d.vertOf[det] = len(d.verts)
+				d.verts = append(d.verts, det)
+			}
+		}
+		if len(cl.Dets) == 1 {
+			needBoundary = true
+		}
+	}
+	if needBoundary {
+		d.boundary = len(d.verts)
+	}
+	nv := len(d.verts)
+	if d.boundary >= 0 {
+		nv++
+	}
+	d.adj = make([][]int, nv)
+	for ci, cl := range classes {
+		var u, v int
+		switch len(cl.Dets) {
+		case 0:
+			d.empty = &classes[ci]
+			continue
+		case 1:
+			u, v = d.vertOf[cl.Dets[0]], d.boundary
+		case 2:
+			u, v = d.vertOf[cl.Dets[0]], d.vertOf[cl.Dets[1]]
+		default:
+			return nil, fmt.Errorf("decoder: class with %d dets survived decomposition", len(cl.Dets))
+		}
+		ei := len(d.edges)
+		d.edges = append(d.edges, graphEdge{u: u, v: v, class: ci})
+		d.adj[u] = append(d.adj[u], ei)
+		d.adj[v] = append(d.adj[v], ei)
+	}
+	d.flagAll = collectFlagList(classes)
+	d.baseRep = make([]dem.ProjEvent, len(classes))
+	d.flagIndex = map[int][]int{}
+	for ci := range classes {
+		rep, _ := classes[ci].Representative(nil, 0, pM)
+		d.baseRep[ci] = rep
+		seen := map[int]bool{}
+		for _, m := range classes[ci].Members {
+			for _, f := range m.Flags {
+				if !seen[f] {
+					seen[f] = true
+					d.flagIndex[f] = append(d.flagIndex[f], ci)
+				}
+			}
+		}
+	}
+	return d, nil
+}
+
+// uf is a union-find forest over graph vertices with cluster metadata.
+type uf struct {
+	parent []int
+	rank   []int
+	parity []int  // number of unmatched defects in the cluster, mod 2
+	bound  []bool // cluster touches the boundary
+}
+
+func newUF(n int) *uf {
+	u := &uf{parent: make([]int, n), rank: make([]int, n), parity: make([]int, n), bound: make([]bool, n)}
+	for i := range u.parent {
+		u.parent[i] = i
+	}
+	return u
+}
+
+func (u *uf) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *uf) union(a, b int) int {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return ra
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	u.parity[ra] ^= u.parity[rb]
+	u.bound[ra] = u.bound[ra] || u.bound[rb]
+	return ra
+}
+
+// neutral reports whether the cluster of x needs no further growth.
+func (u *uf) neutral(x int) bool {
+	r := u.find(x)
+	return u.parity[r] == 0 || u.bound[r]
+}
+
+// Decode maps detector bits to predicted observable flips.
+func (d *UnionFind) Decode(detBit func(int) bool) ([]bool, error) {
+	correction := make([]bool, d.numObs)
+	defect := make([]bool, len(d.adj))
+	var defects []int
+	for vi, det := range d.verts {
+		if detBit(det) {
+			defect[vi] = true
+			defects = append(defects, vi)
+		}
+	}
+	flags := map[int]bool{}
+	nFlags := 0
+	if d.UseFlags {
+		for _, f := range d.flagAll {
+			if detBit(f) {
+				flags[f] = true
+				nFlags++
+			}
+		}
+	}
+	if len(defects) == 0 {
+		// Flag-only shots decode through the empty-syndrome class.
+		if d.UseFlags {
+			applyEmptyClass(d.empty, flags, nFlags, correction)
+		}
+		return correction, nil
+	}
+	rep := d.baseRep
+	if nFlags > 0 {
+		rep = make([]dem.ProjEvent, len(d.classes))
+		copy(rep, d.baseRep)
+		adjusted := map[int]bool{}
+		for f := range flags {
+			for _, ci := range d.flagIndex[f] {
+				adjusted[ci] = true
+			}
+		}
+		for ci := range adjusted {
+			r, _ := d.classes[ci].Representative(flags, nFlags, d.pM)
+			rep[ci] = r
+		}
+	}
+
+	u := newUF(len(d.adj))
+	for _, v := range defects {
+		u.parity[v] = 1
+	}
+	if d.boundary >= 0 {
+		u.bound[d.boundary] = true
+	}
+	// Edge growth: 0 (untouched), 1 (half), 2 (grown). Grow all edges on
+	// the frontier of non-neutral clusters by one half-step per stage.
+	growth := make([]int, len(d.edges))
+	inCluster := make([]bool, len(d.adj))
+	for _, v := range defects {
+		inCluster[v] = true
+	}
+	grownEdges := []int{}
+	for stage := 0; stage < 2*len(d.edges)+2; stage++ {
+		active := false
+		var toGrow []int
+		for ei, e := range d.edges {
+			if growth[ei] >= 2 {
+				continue
+			}
+			uIn := inCluster[e.u] && !u.neutral(e.u)
+			vIn := inCluster[e.v] && !u.neutral(e.v)
+			if uIn || vIn {
+				toGrow = append(toGrow, ei)
+			}
+		}
+		for _, ei := range toGrow {
+			e := d.edges[ei]
+			growth[ei]++
+			if growth[ei] == 2 {
+				inCluster[e.u] = true
+				inCluster[e.v] = true
+				u.union(e.u, e.v)
+				grownEdges = append(grownEdges, ei)
+			}
+			active = true
+		}
+		if !active {
+			break
+		}
+		allNeutral := true
+		for _, v := range defects {
+			if !u.neutral(v) {
+				allNeutral = false
+				break
+			}
+		}
+		if allNeutral {
+			break
+		}
+	}
+	for _, v := range defects {
+		if !u.neutral(v) {
+			return nil, fmt.Errorf("decoder: union-find failed to neutralize all clusters")
+		}
+	}
+	// Peeling: build a spanning forest of the grown subgraph, rooted at
+	// the boundary where available, and peel leaves inward.
+	sort.Ints(grownEdges)
+	treeAdj := make([][]int, len(d.adj))
+	for _, ei := range grownEdges {
+		e := d.edges[ei]
+		treeAdj[e.u] = append(treeAdj[e.u], ei)
+		treeAdj[e.v] = append(treeAdj[e.v], ei)
+	}
+	visited := make([]bool, len(d.adj))
+	var order []int // vertices in BFS order
+	parentEdge := make([]int, len(d.adj))
+	for i := range parentEdge {
+		parentEdge[i] = -1
+	}
+	bfs := func(root int) {
+		if visited[root] {
+			return
+		}
+		visited[root] = true
+		queue := []int{root}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			for _, ei := range treeAdj[v] {
+				e := d.edges[ei]
+				to := e.u
+				if to == v {
+					to = e.v
+				}
+				if !visited[to] {
+					visited[to] = true
+					parentEdge[to] = ei
+					queue = append(queue, to)
+				}
+			}
+		}
+	}
+	if d.boundary >= 0 {
+		bfs(d.boundary)
+	}
+	for _, v := range defects {
+		bfs(v)
+	}
+	// Peel from the leaves (reverse BFS order): a defective vertex sends
+	// its defect up its parent edge, applying that edge's Pauli frames.
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		if !defect[v] || parentEdge[v] < 0 {
+			continue
+		}
+		ei := parentEdge[v]
+		e := d.edges[ei]
+		to := e.u
+		if to == v {
+			to = e.v
+		}
+		for _, o := range rep[e.class].Obs {
+			correction[o] = !correction[o]
+		}
+		defect[v] = false
+		if to != d.boundary {
+			defect[to] = !defect[to]
+		}
+	}
+	for _, v := range defects {
+		if defect[v] {
+			return nil, fmt.Errorf("decoder: peeling left an unmatched defect")
+		}
+	}
+	return correction, nil
+}

@@ -1,0 +1,72 @@
+package decoder
+
+import (
+	"testing"
+
+	"github.com/fpn/flagproxy/internal/css"
+	"github.com/fpn/flagproxy/internal/fpn"
+	"github.com/fpn/flagproxy/internal/surface"
+	"github.com/fpn/flagproxy/internal/tiling"
+)
+
+func TestUnionFindSingleFaults(t *testing.T) {
+	// On single faults the union-find decoder sees a tiny syndrome and
+	// should be as good as matching when flags disambiguate.
+	code := hyper55(t)
+	model, _ := buildModel(t, code, fpn.Options{UseFlags: true, FlagSharing: true, MaxDegree: 4}, css.Z, 3, 1e-3)
+	amb := ambiguousFaults(model)
+	dec, err := NewUnionFind(model, css.Z, 1e-3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails, ambFails, total := exhaustiveSingleFault(t, model, dec, css.Z, amb)
+	t.Logf("union-find: %d/%d failures (%d ambiguous)", fails, total, ambFails)
+	// UF is approximate: allow a small failure rate but require it to be
+	// in the same league as matching (which achieves 0).
+	if fails-ambFails > total/50 {
+		t.Fatalf("union-find failed %d/%d unambiguous single faults", fails-ambFails, total)
+	}
+}
+
+func TestUnionFindVsMWPMToric(t *testing.T) {
+	m, err := tiling.SquareTorus(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := surface.FromMap(m, "toric-4", "toric")
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, _ := buildModel(t, code, fpn.Options{}, css.Z, 4, 1e-3)
+	amb := ambiguousFaults(model)
+	ufDec, err := NewUnionFind(model, css.Z, 1e-3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails, ambFails, total := exhaustiveSingleFault(t, model, ufDec, css.Z, amb)
+	t.Logf("toric UF: %d/%d failures (%d ambiguous)", fails, total, ambFails)
+	if fails-ambFails > total/50 {
+		t.Fatalf("UF failed %d unambiguous faults on the toric code", fails-ambFails)
+	}
+}
+
+func TestUnionFindFlagConditioning(t *testing.T) {
+	// The flag-aware UF must beat the flag-blind UF on single faults.
+	code := hyper55(t)
+	model, _ := buildModel(t, code, fpn.Options{UseFlags: true, FlagSharing: true, MaxDegree: 4}, css.Z, 3, 1e-3)
+	amb := ambiguousFaults(model)
+	withFlags, err := NewUnionFind(model, css.Z, 1e-3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := NewUnionFind(model, css.Z, 1e-3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, _, _ := exhaustiveSingleFault(t, model, withFlags, css.Z, amb)
+	f2, _, total := exhaustiveSingleFault(t, model, without, css.Z, amb)
+	t.Logf("UF flagged %d vs flag-blind %d of %d", f1, f2, total)
+	if f1 >= f2 {
+		t.Fatalf("flag conditioning did not help UF: %d vs %d", f1, f2)
+	}
+}

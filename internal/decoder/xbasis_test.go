@@ -1,0 +1,45 @@
+package decoder
+
+import (
+	"testing"
+
+	"github.com/fpn/flagproxy/internal/color"
+	"github.com/fpn/flagproxy/internal/css"
+	"github.com/fpn/flagproxy/internal/fpn"
+)
+
+// The X-basis (memory-X) graphs must decode as well as the Z-basis ones:
+// the hyperbolic codes are not self-dual qubit-for-qubit, so this
+// exercises genuinely different matrices.
+func TestFlaggedMWPMXBasisSingleFaults(t *testing.T) {
+	code := hyper55(t)
+	model, _ := buildModel(t, code, fpn.Options{UseFlags: true, FlagSharing: true, MaxDegree: 4}, css.X, 3, 1e-3)
+	amb := ambiguousFaults(model)
+	dec, err := NewMWPM(model, css.X, 1e-3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails, ambFails, total := exhaustiveSingleFault(t, model, dec, css.X, amb)
+	t.Logf("memory-X flagged MWPM: %d/%d failures (%d ambiguous)", fails, total, ambFails)
+	if fails > ambFails {
+		t.Fatalf("flagged decoder failed %d unambiguous single faults in X basis", fails-ambFails)
+	}
+}
+
+func TestFlaggedRestrictionXBasisSingleFaults(t *testing.T) {
+	code, err := color.HexagonalToric(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, _ := buildModel(t, code, fpn.Options{UseFlags: true, FlagSharing: true, MaxDegree: 4}, css.X, 3, 1e-3)
+	amb := ambiguousFaults(model)
+	dec, err := NewRestriction(model, css.X, 1e-3, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails, ambFails, total := exhaustiveSingleFault(t, model, dec, css.X, amb)
+	t.Logf("memory-X flagged restriction: %d/%d failures (%d ambiguous)", fails, total, ambFails)
+	if fails > ambFails {
+		t.Fatalf("flagged restriction failed %d unambiguous single faults in X basis", fails-ambFails)
+	}
+}

@@ -1,0 +1,180 @@
+// Package dem extracts the decoding hypergraph (detector error model)
+// of a noisy circuit: every elementary fault is injected into the
+// deterministic frame simulator and its detector/observable footprint
+// recorded as a hyperedge with syndrome bits σ(e), flag bits f(e),
+// Pauli-frame effects λ(e) and probability π(e) — the structure of §VI-A.
+// It also implements the paper's error equivalence classes (§VI-B):
+// events are grouped by σ(e), and a flag-conditioned representative is
+// selected per class with the Equation 9 renormalization.
+package dem
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/fpn/flagproxy/internal/circuit"
+	"github.com/fpn/flagproxy/internal/sim"
+)
+
+// Event is one hyperedge of the decoding hypergraph.
+type Event struct {
+	Dets  []int // sorted syndrome-detector indices (non-flag)
+	Flags []int // sorted flag-detector indices
+	Obs   []int // sorted observable indices flipped
+	P     float64
+}
+
+// Model is the full decoding hypergraph of a circuit.
+type Model struct {
+	Circuit *circuit.Circuit
+	Events  []Event
+}
+
+// fault is one elementary error mechanism to inject.
+type fault struct {
+	inj sim.Injection
+	p   float64
+}
+
+// Extract enumerates every fault site of the circuit's noise channels,
+// propagates each through the frame simulator (64 faults per pass), and
+// merges identical footprints.
+func Extract(c *circuit.Circuit) (*Model, error) {
+	var faults []fault
+	measBase := 0
+	for oi, op := range c.Ops {
+		switch op.Kind {
+		case circuit.OpPauli1:
+			for _, q := range op.Qubits {
+				if op.PX > 0 {
+					faults = append(faults, fault{sim.Injection{OpIndex: oi, Paulis: []sim.Pauli{{Qubit: q, X: true}}}, op.PX})
+				}
+				if op.PY > 0 {
+					faults = append(faults, fault{sim.Injection{OpIndex: oi, Paulis: []sim.Pauli{{Qubit: q, X: true, Z: true}}}, op.PY})
+				}
+				if op.PZ > 0 {
+					faults = append(faults, fault{sim.Injection{OpIndex: oi, Paulis: []sim.Pauli{{Qubit: q, Z: true}}}, op.PZ})
+				}
+			}
+		case circuit.OpDepol1:
+			if op.P > 0 {
+				for _, q := range op.Qubits {
+					for idx := 1; idx <= 3; idx++ {
+						faults = append(faults, fault{sim.Injection{OpIndex: oi, Paulis: pauliFromIndex(q, idx)}, op.P / 3})
+					}
+				}
+			}
+		case circuit.OpDepol2:
+			if op.P > 0 {
+				for _, pr := range op.Pairs {
+					for k := 1; k <= 15; k++ {
+						var ps []sim.Pauli
+						ps = append(ps, pauliFromIndex(pr[0], k/4)...)
+						ps = append(ps, pauliFromIndex(pr[1], k%4)...)
+						faults = append(faults, fault{sim.Injection{OpIndex: oi, Paulis: ps}, op.P / 15})
+					}
+				}
+			}
+		case circuit.OpXFlip:
+			if op.P > 0 {
+				for _, q := range op.Qubits {
+					faults = append(faults, fault{sim.Injection{OpIndex: oi, Paulis: []sim.Pauli{{Qubit: q, X: true}}}, op.P})
+				}
+			}
+		case circuit.OpMR, circuit.OpM:
+			if op.FlipProb > 0 {
+				for i := range op.Qubits {
+					faults = append(faults, fault{sim.Injection{IsMeasFlip: true, FlipMeas: measBase + i}, op.FlipProb})
+				}
+			}
+		}
+		if op.Kind == circuit.OpMR || op.Kind == circuit.OpM {
+			measBase += len(op.Qubits)
+		}
+	}
+	merged := map[string]*Event{}
+	for start := 0; start < len(faults); start += 64 {
+		end := start + 64
+		if end > len(faults) {
+			end = len(faults)
+		}
+		batch := faults[start:end]
+		inj := make([]sim.Injection, len(batch))
+		for i, f := range batch {
+			inj[i] = f.inj
+			inj[i].Lane = i
+		}
+		res := sim.RunDeterministic(c, len(batch), inj)
+		for i, f := range batch {
+			var dets, flags, obs []int
+			for d := range c.Detectors {
+				if res.DetectorBit(d, i) {
+					if c.Detectors[d].IsFlag {
+						flags = append(flags, d)
+					} else {
+						dets = append(dets, d)
+					}
+				}
+			}
+			for o := range c.Observables {
+				if res.ObservableBit(o, i) {
+					obs = append(obs, o)
+				}
+			}
+			if len(dets) == 0 && len(flags) == 0 {
+				if len(obs) > 0 {
+					return nil, fmt.Errorf("dem: undetectable fault flips an observable (distance 1 circuit)")
+				}
+				continue
+			}
+			key := footprintKey(dets, flags, obs)
+			if ev, ok := merged[key]; ok {
+				ev.P = ev.P*(1-f.p) + f.p*(1-ev.P)
+			} else {
+				merged[key] = &Event{Dets: dets, Flags: flags, Obs: obs, P: f.p}
+			}
+		}
+	}
+	m := &Model{Circuit: c}
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		m.Events = append(m.Events, *merged[k])
+	}
+	return m, nil
+}
+
+func pauliFromIndex(q, idx int) []sim.Pauli {
+	switch idx {
+	case 1:
+		return []sim.Pauli{{Qubit: q, X: true}}
+	case 2:
+		return []sim.Pauli{{Qubit: q, X: true, Z: true}}
+	case 3:
+		return []sim.Pauli{{Qubit: q, Z: true}}
+	}
+	return nil
+}
+
+func footprintKey(dets, flags, obs []int) string {
+	b := make([]byte, 0, 4*(len(dets)+len(flags)+len(obs))+3)
+	for _, d := range dets {
+		b = appendInt(b, d)
+	}
+	b = append(b, '|')
+	for _, f := range flags {
+		b = appendInt(b, f)
+	}
+	b = append(b, '|')
+	for _, o := range obs {
+		b = appendInt(b, o)
+	}
+	return string(b)
+}
+
+func appendInt(b []byte, v int) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}

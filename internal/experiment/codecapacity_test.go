@@ -1,0 +1,71 @@
+package experiment
+
+import (
+	"testing"
+
+	"github.com/fpn/flagproxy/internal/color"
+	"github.com/fpn/flagproxy/internal/css"
+	"github.com/fpn/flagproxy/internal/fpn"
+)
+
+func TestCodeCapacitySurface(t *testing.T) {
+	code := hyper55(t)
+	res, err := Run(Config{
+		Code:         code,
+		Arch:         fpn.Options{}, // direct: code capacity assumes perfect extraction
+		Basis:        css.Z,
+		P:            0.05,
+		Shots:        2000,
+		Seed:         1,
+		Decoder:      FlaggedMWPM,
+		CodeCapacity: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BER == 0 || res.BER > 0.5 {
+		t.Fatalf("code-capacity BER %.4f implausible at p=0.05", res.BER)
+	}
+	// At very low p the BER must drop by roughly p² scaling (d=3 code
+	// corrects one error).
+	low, err := Run(Config{
+		Code: code, Arch: fpn.Options{}, Basis: css.Z, P: 0.005,
+		Shots: 2000, Seed: 2, Decoder: FlaggedMWPM, CodeCapacity: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.BER >= res.BER {
+		t.Fatalf("BER did not fall with p: %.4f vs %.4f", low.BER, res.BER)
+	}
+	t.Logf("code capacity [[30,8,3,3]]: BER(0.05)=%.4f BER(0.005)=%.4f", res.BER, low.BER)
+}
+
+// The appendix note: the Restriction decoder accurately decodes our
+// catalogued color codes under code-capacity noise (it fails on some
+// hyperbolic color codes, which is why the paper's Table V is filtered).
+func TestCodeCapacityColorRestriction(t *testing.T) {
+	code, err := color.HexagonalToric(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Code:         code,
+		Arch:         fpn.Options{},
+		Basis:        css.Z,
+		P:            0.02,
+		Shots:        2000,
+		Seed:         3,
+		Decoder:      FlaggedRestriction,
+		CodeCapacity: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d=4 corrects any single error: BER ~ C(24,2) p² ≈ 0.1 at p=0.02;
+	// must certainly beat the no-coding rate 1-(1-p)^24 ≈ 0.38.
+	if res.BER > 0.3 {
+		t.Fatalf("restriction decoder code-capacity BER %.4f too high", res.BER)
+	}
+	t.Logf("code capacity hex-toric-2: BER(0.02)=%.4f", res.BER)
+}

@@ -1,0 +1,49 @@
+package experiment
+
+import (
+	"testing"
+
+	"github.com/fpn/flagproxy/internal/css"
+	"github.com/fpn/flagproxy/internal/fpn"
+)
+
+func TestMeasureDeffFlaggedVsPlain(t *testing.T) {
+	code := hyper55(t)
+	base := Config{
+		Code:  code,
+		Arch:  fpn.Options{UseFlags: true, FlagSharing: true, MaxDegree: 4},
+		Basis: css.Z,
+		P:     1e-3,
+		Seed:  1,
+	}
+	flagged := base
+	flagged.Decoder = FlaggedMWPM
+	plain := base
+	plain.Decoder = PlainMWPM
+
+	rf, err := MeasureDeff(flagged, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := MeasureDeff(plain, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("flagged: %d faults, %d failures (%d ambiguous), flagged frac %.2f, deff ≥ %d",
+		rf.Faults, rf.SingleFailures, rf.Ambiguous, rf.FlaggedFraction, rf.DeffLowerBound)
+	t.Logf("plain:   %d failures, deff ≥ %d", rp.SingleFailures, rp.DeffLowerBound)
+	if rf.DeffLowerBound != 3 {
+		t.Fatalf("flagged decoder deff bound %d, want 3", rf.DeffLowerBound)
+	}
+	if rp.DeffLowerBound != 2 {
+		t.Fatalf("plain decoder deff bound %d, want 2", rp.DeffLowerBound)
+	}
+	if rf.PairsSampled == 0 {
+		t.Fatal("no pairs sampled")
+	}
+	// d=3 code: two faults exceed the correction radius, so some sampled
+	// pair should fail, hinting deff ≤ 3.
+	if rf.DeffUpperHint != 3 {
+		t.Logf("note: no failing pair in %d samples (hint %d)", rf.PairsSampled, rf.DeffUpperHint)
+	}
+}

@@ -1,0 +1,234 @@
+// Package experiment runs the paper's memory experiments (§III-C): a
+// code is held for d syndrome-extraction rounds under circuit-level
+// noise, the syndrome history is decoded, and the block error rate
+// BER (and BER_norm = BER/k) is estimated over many shots.
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"github.com/fpn/flagproxy/internal/circuit"
+	"github.com/fpn/flagproxy/internal/css"
+	"github.com/fpn/flagproxy/internal/decoder"
+	"github.com/fpn/flagproxy/internal/dem"
+	"github.com/fpn/flagproxy/internal/fpn"
+	"github.com/fpn/flagproxy/internal/noise"
+	"github.com/fpn/flagproxy/internal/schedule"
+	"github.com/fpn/flagproxy/internal/sim"
+)
+
+// DecoderKind selects the decoding algorithm.
+type DecoderKind int
+
+// Decoder kinds.
+const (
+	FlaggedMWPM DecoderKind = iota
+	PlainMWPM               // PyMatching stand-in: ignores flag information
+	FlaggedRestriction
+	BaselineRestriction // Chamberland-style: flags only in the matching stage
+	FlaggedUnionFind    // fast approximate decoder with flag-conditioned frames
+	BPOSD               // belief propagation + OSD-0 on the detector error model
+)
+
+func (k DecoderKind) String() string {
+	switch k {
+	case FlaggedMWPM:
+		return "flagged-mwpm"
+	case PlainMWPM:
+		return "plain-mwpm"
+	case FlaggedRestriction:
+		return "flagged-restriction"
+	case BaselineRestriction:
+		return "baseline-restriction"
+	case FlaggedUnionFind:
+		return "flagged-unionfind"
+	case BPOSD:
+		return "bp-osd"
+	}
+	return "unknown"
+}
+
+// Config describes one memory experiment.
+type Config struct {
+	Code    *css.Code
+	Arch    fpn.Options
+	Basis   css.Basis // memory basis
+	Rounds  int       // 0 → min(dX, dZ)
+	P       float64
+	Shots   int
+	Seed    int64
+	Decoder DecoderKind
+	// CodeCapacity switches to the code-capacity noise model: one
+	// perfect syndrome-extraction round after independent depolarizing
+	// noise on the data qubits (Rounds is ignored).
+	CodeCapacity bool
+	// Schedule, when non-nil, overrides the greedy scheduler (e.g. the
+	// canonical rotated-surface-code ordering). Its network must have
+	// been built for Code with options equivalent to Arch.
+	Schedule *schedule.Schedule
+	// FixedIdle selects the prior-work decoherence convention (flat p
+	// per round) instead of the paper's latency-scaled T1/T2 model.
+	FixedIdle bool
+}
+
+// Result is the outcome of a memory experiment.
+type Result struct {
+	Config        Config
+	Net           *fpn.Network
+	LatencyNs     float64
+	Shots         int
+	LogicalErrors int
+	BER           float64
+	BERNorm       float64
+	CILow, CIHigh float64 // Wilson 95% interval on BER
+}
+
+// Run executes the full pipeline: architecture, schedule, circuit,
+// detector error model, sampling and decoding.
+func Run(cfg Config) (*Result, error) {
+	if cfg.CodeCapacity {
+		cfg.Rounds = 1
+	}
+	if cfg.Rounds == 0 {
+		cfg.Rounds = cfg.Code.DX
+		if cfg.Code.DZ < cfg.Rounds {
+			cfg.Rounds = cfg.Code.DZ
+		}
+		if cfg.Rounds < 1 {
+			return nil, fmt.Errorf("experiment: code has no distance metadata; set Rounds")
+		}
+	}
+	var net *fpn.Network
+	var s *schedule.Schedule
+	if cfg.Schedule != nil {
+		s = cfg.Schedule
+		net = s.Net
+	} else {
+		var err error
+		net, err = fpn.Build(cfg.Code, cfg.Arch)
+		if err != nil {
+			return nil, err
+		}
+		s, err = schedule.Greedy(net)
+		if err != nil {
+			return nil, err
+		}
+	}
+	plan, err := schedule.BuildRoundPlan(s)
+	if err != nil {
+		return nil, err
+	}
+	nm := &noise.Model{P: cfg.P, FixedIdle: cfg.FixedIdle}
+	var c *circuit.Circuit
+	if cfg.CodeCapacity {
+		c, err = circuit.BuildCodeCapacity(plan, cfg.Basis, cfg.P)
+	} else {
+		c, err = circuit.BuildMemory(circuit.MemorySpec{Plan: plan, Basis: cfg.Basis, Rounds: cfg.Rounds, Noise: nm})
+	}
+	if err != nil {
+		return nil, err
+	}
+	model, err := dem.Extract(c)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := newDecoder(cfg.Decoder, model, cfg.Basis, nm.MeasFlip())
+	if err != nil {
+		return nil, err
+	}
+	res := sim.Run(c, cfg.Shots, cfg.Seed)
+	// Decode shots in parallel: the decoders share only read-only state
+	// across Decode calls.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > cfg.Shots {
+		workers = cfg.Shots
+	}
+	counts := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for shot := w; shot < cfg.Shots; shot += workers {
+				corr, err := dec.Decode(func(d int) bool { return res.DetectorBit(d, shot) })
+				if err != nil {
+					// A decoding failure counts as a logical error.
+					counts[w]++
+					continue
+				}
+				for o := range c.Observables {
+					if corr[o] != res.ObservableBit(o, shot) {
+						counts[w]++
+						break
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	errors := 0
+	for _, n := range counts {
+		errors += n
+	}
+	ber := float64(errors) / float64(cfg.Shots)
+	lo, hi := wilson(errors, cfg.Shots)
+	return &Result{
+		Config:        cfg,
+		Net:           net,
+		LatencyNs:     plan.LatencyNs,
+		Shots:         cfg.Shots,
+		LogicalErrors: errors,
+		BER:           ber,
+		BERNorm:       ber / float64(cfg.Code.K),
+		CILow:         lo,
+		CIHigh:        hi,
+	}, nil
+}
+
+// Decoder is the common decode interface of both decoder families.
+type Decoder interface {
+	Decode(func(int) bool) ([]bool, error)
+}
+
+func newDecoder(kind DecoderKind, model *dem.Model, basis css.Basis, pM float64) (Decoder, error) {
+	switch kind {
+	case FlaggedMWPM:
+		return decoder.NewMWPM(model, basis, pM, true)
+	case PlainMWPM:
+		return decoder.NewMWPM(model, basis, pM, false)
+	case FlaggedRestriction:
+		return decoder.NewRestriction(model, basis, pM, true, true)
+	case BaselineRestriction:
+		return decoder.NewRestriction(model, basis, pM, true, false)
+	case FlaggedUnionFind:
+		return decoder.NewUnionFind(model, basis, pM, true)
+	case BPOSD:
+		return decoder.NewBPOSD(model, basis, 30)
+	}
+	return nil, fmt.Errorf("experiment: unknown decoder kind %d", kind)
+}
+
+// wilson returns the 95% Wilson score interval for k successes in n
+// trials.
+func wilson(k, n int) (float64, float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	const z = 1.96
+	p := float64(k) / float64(n)
+	nn := float64(n)
+	denom := 1 + z*z/nn
+	center := (p + z*z/(2*nn)) / denom
+	half := z * math.Sqrt(p*(1-p)/nn+z*z/(4*nn*nn)) / denom
+	lo, hi := center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}

@@ -1,0 +1,140 @@
+package experiment
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/fpn/flagproxy/internal/css"
+	"github.com/fpn/flagproxy/internal/fpn"
+	"github.com/fpn/flagproxy/internal/group"
+	"github.com/fpn/flagproxy/internal/surface"
+	"github.com/fpn/flagproxy/internal/tiling"
+)
+
+func hyper55(t *testing.T) *css.Code {
+	t.Helper()
+	g, err := group.Alt(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for _, p := range group.FindRSPairs(g, 5, 5, rng, 3000, 5, 60) {
+		if p.Sub.Order() != 60 {
+			continue
+		}
+		m, err := tiling.FromGroupPair(p)
+		if err != nil || !m.NonDegenerate() {
+			continue
+		}
+		code, err := surface.FromMap(m, "hysc-30", "hyperbolic-surface {5,5}")
+		if err == nil {
+			return code
+		}
+	}
+	t.Fatal("no [[30,8,3,3]] code")
+	return nil
+}
+
+func TestMemoryRunBasic(t *testing.T) {
+	code := hyper55(t)
+	res, err := Run(Config{
+		Code:    code,
+		Arch:    fpn.Options{UseFlags: true, FlagSharing: true, MaxDegree: 4},
+		Basis:   css.Z,
+		P:       1e-3,
+		Shots:   300,
+		Seed:    1,
+		Decoder: FlaggedMWPM,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shots != 300 {
+		t.Fatal("shot accounting wrong")
+	}
+	if res.BER < 0 || res.BER > 1 || res.BERNorm > res.BER {
+		t.Fatalf("BER %.4f norm %.4f inconsistent", res.BER, res.BERNorm)
+	}
+	if res.CILow > res.BER || res.CIHigh < res.BER {
+		t.Fatal("Wilson interval does not cover the estimate")
+	}
+	t.Logf("[[30,8,3,3]] p=1e-3: BER=%.4f (%d/%d), latency %.0f ns",
+		res.BER, res.LogicalErrors, res.Shots, res.LatencyNs)
+}
+
+func TestBERDecreasesWithP(t *testing.T) {
+	code := hyper55(t)
+	base := Config{
+		Code:    code,
+		Arch:    fpn.Options{UseFlags: true, FlagSharing: true, MaxDegree: 4},
+		Basis:   css.Z,
+		Shots:   400,
+		Seed:    2,
+		Decoder: FlaggedMWPM,
+	}
+	high := base
+	high.P = 3e-3
+	low := base
+	low.P = 3e-4
+	rh, err := Run(high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := Run(low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("BER(3e-3)=%.4f BER(3e-4)=%.4f", rh.BER, rl.BER)
+	if rl.BER >= rh.BER && rh.BER > 0 {
+		t.Fatalf("BER did not decrease with p: %.4f vs %.4f", rl.BER, rh.BER)
+	}
+}
+
+func TestFlaggedBeatsPlainAtLowP(t *testing.T) {
+	// Figure 19's statistical shape: at low p the flagged decoder's BER
+	// is below the plain decoder's (deff 3 vs 2).
+	code := hyper55(t)
+	base := Config{
+		Code:  code,
+		Arch:  fpn.Options{UseFlags: true, FlagSharing: true, MaxDegree: 4},
+		Basis: css.Z,
+		P:     1e-3,
+		Shots: 1500,
+		Seed:  3,
+	}
+	flagged := base
+	flagged.Decoder = FlaggedMWPM
+	plain := base
+	plain.Decoder = PlainMWPM
+	rf, err := Run(flagged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("flagged BER=%.4f plain BER=%.4f", rf.BER, rp.BER)
+	if rf.BER > rp.BER {
+		t.Fatalf("flagged (%.4f) worse than plain (%.4f)", rf.BER, rp.BER)
+	}
+}
+
+func TestDefaultRoundsFromDistance(t *testing.T) {
+	code := hyper55(t)
+	res, err := Run(Config{
+		Code:    code,
+		Arch:    fpn.Options{UseFlags: true, FlagSharing: true, MaxDegree: 4},
+		Basis:   css.X,
+		P:       1e-3,
+		Shots:   50,
+		Seed:    4,
+		Decoder: FlaggedMWPM,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Config.Rounds != 3 {
+		t.Fatalf("rounds = %d, want 3 (= d)", res.Config.Rounds)
+	}
+}

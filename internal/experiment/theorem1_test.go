@@ -1,0 +1,58 @@
+package experiment
+
+import (
+	"testing"
+
+	"github.com/fpn/flagproxy/internal/catalog"
+	"github.com/fpn/flagproxy/internal/css"
+	"github.com/fpn/flagproxy/internal/fpn"
+)
+
+// Empirical Theorem 1: adding proxy qubits to a fault-tolerant FPN
+// preserves fault tolerance. The {4,6} hyperbolic color code's flag
+// network is fault-tolerant without a degree bound (no proxies); the
+// degree-4 version inserts proxy chains, and the flagged Restriction
+// decoder must still correct every single fault.
+func TestTheorem1ProxiesPreserveFaultTolerance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: two exhaustive deff probes")
+	}
+	var code *css.Code
+	for _, e := range catalog.Standard() {
+		if e.Family == "color" && e.Code.N == 48 {
+			code = e.Code
+		}
+	}
+	if code == nil {
+		t.Skip("no [[48,8,4]] code")
+	}
+	base := Config{
+		Code:    code,
+		Basis:   css.Z,
+		P:       1e-3,
+		Seed:    1,
+		Decoder: FlaggedRestriction,
+		Rounds:  3,
+	}
+	noProxies := base
+	noProxies.Arch = fpn.Options{UseFlags: true, FlagSharing: true} // unbounded degree
+	withProxies := base
+	withProxies.Arch = fpn.Options{UseFlags: true, FlagSharing: true, MaxDegree: 4}
+
+	rn, err := MeasureDeff(noProxies, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := MeasureDeff(withProxies, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("no proxies:   %d faults, %d failures (%d ambiguous)", rn.Faults, rn.SingleFailures, rn.Ambiguous)
+	t.Logf("with proxies: %d faults, %d failures (%d ambiguous)", rp.Faults, rp.SingleFailures, rp.Ambiguous)
+	if rn.DeffLowerBound != 3 {
+		t.Fatalf("proxy-free FPN not fault tolerant (%d failures)", rn.SingleFailures)
+	}
+	if rp.DeffLowerBound != 3 {
+		t.Fatalf("Theorem 1 violated: proxies broke fault tolerance (%d failures)", rp.SingleFailures)
+	}
+}

@@ -1,0 +1,37 @@
+package fpn
+
+import "github.com/fpn/flagproxy/internal/planar"
+
+// BiplanarDecomposition attempts to split the coupling graph into two
+// planar layers (the paper's appendix notes all its FPNs are biplanar,
+// "much like bivariate bicycle codes"). The greedy first-fit strategy is
+// a sufficient certificate when it succeeds: each returned layer is
+// planar and together they cover every edge. A false result means the
+// heuristic failed, not necessarily that the graph is not biplanar.
+func (n *Network) BiplanarDecomposition() ([2][][2]int, bool) {
+	var layers [2][][2]int
+	var edges [][2]int
+	for q := 0; q < n.NumQubits(); q++ {
+		for _, v := range n.Neighbors(q) {
+			if v > q {
+				edges = append(edges, [2]int{q, v})
+			}
+		}
+	}
+	nv := n.NumQubits()
+	for _, e := range edges {
+		placed := false
+		for l := 0; l < 2; l++ {
+			trial := append(append([][2]int{}, layers[l]...), e)
+			if planar.IsPlanar(nv, trial) {
+				layers[l] = trial
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return layers, false
+		}
+	}
+	return layers, true
+}

@@ -1,0 +1,58 @@
+package fpn
+
+import (
+	"testing"
+
+	"github.com/fpn/flagproxy/internal/planar"
+	"github.com/fpn/flagproxy/internal/surface"
+)
+
+func TestBiplanarPlanarCode(t *testing.T) {
+	// The planar surface code is planar, hence trivially biplanar.
+	l, err := surface.Rotated(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Build(l.Code, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layers, ok := n.BiplanarDecomposition()
+	if !ok {
+		t.Fatal("planar code should decompose")
+	}
+	if len(layers[1]) != 0 {
+		t.Fatalf("planar code should fit in one layer, second layer has %d edges", len(layers[1]))
+	}
+}
+
+// The appendix claim: hyperbolic FPNs are biplanar. Verify the greedy
+// certificate on the [[30,8,3,3]] FPN.
+func TestBiplanarHyperbolicFPN(t *testing.T) {
+	code := hyper55(t)
+	n, err := Build(code, Options{UseFlags: true, FlagSharing: true, MaxDegree: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layers, ok := n.BiplanarDecomposition()
+	if !ok {
+		t.Fatal("greedy biplanar decomposition failed on the [[30,8,3,3]] FPN")
+	}
+	// Certificate check: both layers planar, union covers all edges.
+	total := 0
+	for l := 0; l < 2; l++ {
+		if !planar.IsPlanar(n.NumQubits(), layers[l]) {
+			t.Fatalf("layer %d is not planar", l)
+		}
+		total += len(layers[l])
+	}
+	want := 0
+	for q := 0; q < n.NumQubits(); q++ {
+		want += n.Degree(q)
+	}
+	want /= 2
+	if total != want {
+		t.Fatalf("layers cover %d edges, want %d", total, want)
+	}
+	t.Logf("biplanar: %d + %d edges across two planar layers", len(layers[0]), len(layers[1]))
+}

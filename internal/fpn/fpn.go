@@ -1,0 +1,358 @@
+// Package fpn builds Flag-Proxy Networks, the paper's architecture for
+// realizing quantum codes with bounded qubit connectivity. Starting from
+// a CSS code's Tanner graph it introduces flag qubits (⌊δ/2⌋ per
+// weight-δ check, each protecting a pair of data qubits — the paper's
+// Figure 10 protocol), optionally merges flags across checks that share
+// a data-qubit pair (flag sharing, via maximum-weight matching), and
+// inserts proxy qubits until every qubit meets the degree bound.
+package fpn
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/fpn/flagproxy/internal/css"
+	"github.com/fpn/flagproxy/internal/matching"
+)
+
+// QubitType classifies the physical qubits of a network.
+type QubitType int
+
+// Physical qubit roles.
+const (
+	Data QubitType = iota
+	Parity
+	Flag
+	Proxy
+)
+
+func (t QubitType) String() string {
+	switch t {
+	case Data:
+		return "data"
+	case Parity:
+		return "parity"
+	case Flag:
+		return "flag"
+	case Proxy:
+		return "proxy"
+	}
+	return "unknown"
+}
+
+// FlagGroup is one flag qubit's assignment within a check: the flag
+// relays the listed data qubits (usually two) to the check's parity
+// qubit.
+type FlagGroup struct {
+	Flag int   // physical flag qubit
+	Data []int // data qubit ids (code indexing)
+}
+
+// CheckWiring describes how one check's syndrome is extracted.
+type CheckWiring struct {
+	Check  int // index into Code.Checks
+	Groups []FlagGroup
+	Direct []int // data qubits entangled directly with the parity qubit
+}
+
+// Options controls network construction.
+type Options struct {
+	// UseFlags enables the flag layer; when false the network wires data
+	// qubits directly to parity qubits (the naive architecture used for
+	// the PyMatching/Chromobius baselines).
+	UseFlags bool
+	// FlagSharing merges flag qubits across checks sharing a data pair.
+	FlagSharing bool
+	// MaxDegree, when > 0, inserts proxy qubits until every qubit has
+	// degree ≤ MaxDegree. The paper targets 4.
+	MaxDegree int
+}
+
+// Network is a Flag-Proxy Network: the physical qubit set, its coupling
+// graph, and the per-check wiring used by the scheduler.
+type Network struct {
+	Code  *css.Code
+	Opt   Options
+	Types []QubitType
+
+	DataQubit   []int // data index -> physical id (identity mapping)
+	ParityQubit []int // check index -> physical id
+	Wiring      []CheckWiring
+
+	adj map[int]map[int]bool
+}
+
+// Build constructs the network for a code.
+func Build(code *css.Code, opt Options) (*Network, error) {
+	if opt.MaxDegree != 0 && opt.MaxDegree < 3 {
+		return nil, fmt.Errorf("fpn: max degree %d too small (need ≥ 3)", opt.MaxDegree)
+	}
+	n := &Network{Code: code, Opt: opt, adj: map[int]map[int]bool{}}
+	for q := 0; q < code.N; q++ {
+		n.Types = append(n.Types, Data)
+		n.DataQubit = append(n.DataQubit, q)
+	}
+	n.ParityQubit = make([]int, len(code.Checks))
+	for ci := range code.Checks {
+		n.ParityQubit[ci] = n.addQubit(Parity)
+	}
+	if opt.UseFlags {
+		n.buildFlagLayer()
+	} else {
+		for ci, ch := range code.Checks {
+			n.Wiring = append(n.Wiring, CheckWiring{Check: ci, Direct: append([]int(nil), ch.Support...)})
+			for _, q := range ch.Support {
+				n.addEdge(q, n.ParityQubit[ci])
+			}
+		}
+	}
+	if opt.MaxDegree > 0 {
+		n.insertProxies()
+	}
+	return n, nil
+}
+
+func (n *Network) addQubit(t QubitType) int {
+	id := len(n.Types)
+	n.Types = append(n.Types, t)
+	return id
+}
+
+func (n *Network) addEdge(a, b int) {
+	if a == b {
+		panic("fpn: self edge")
+	}
+	if n.adj[a] == nil {
+		n.adj[a] = map[int]bool{}
+	}
+	if n.adj[b] == nil {
+		n.adj[b] = map[int]bool{}
+	}
+	n.adj[a][b] = true
+	n.adj[b][a] = true
+}
+
+func (n *Network) removeEdge(a, b int) {
+	delete(n.adj[a], b)
+	delete(n.adj[b], a)
+}
+
+// buildFlagLayer assigns flags per check following Figure 10, optionally
+// merging flags across checks via maximum-weight matching on data-qubit
+// pairs (weight = number of common checks).
+func (n *Network) buildFlagLayer() {
+	code := n.Code
+	// sharedPair[q1*N+q2] = physical flag id for the globally matched pair.
+	sharedFlag := map[[2]int]int{}
+	if n.Opt.FlagSharing {
+		// Count common checks per data pair.
+		pairChecks := map[[2]int]int{}
+		for _, ch := range code.Checks {
+			sup := ch.Support
+			for i := 0; i < len(sup); i++ {
+				for j := i + 1; j < len(sup); j++ {
+					a, b := sup[i], sup[j]
+					if a > b {
+						a, b = b, a
+					}
+					pairChecks[[2]int{a, b}]++
+				}
+			}
+		}
+		var edges []matching.Edge
+		for pair, cnt := range pairChecks {
+			if cnt >= 2 {
+				edges = append(edges, matching.Edge{U: pair[0], V: pair[1], W: int64(cnt)})
+			}
+		}
+		// Deterministic order for reproducibility.
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].U != edges[j].U {
+				return edges[i].U < edges[j].U
+			}
+			return edges[i].V < edges[j].V
+		})
+		mate := matching.MaxWeight(code.N, edges, false)
+		for a := 0; a < code.N; a++ {
+			b := mate[a]
+			if b > a {
+				sharedFlag[[2]int{a, b}] = -1 // allocate lazily on first use
+			}
+		}
+	}
+	matchedWith := map[int]int{}
+	for pair := range sharedFlag {
+		matchedWith[pair[0]] = pair[1]
+		matchedWith[pair[1]] = pair[0]
+	}
+	for ci, ch := range code.Checks {
+		w := CheckWiring{Check: ci}
+		inCheck := map[int]bool{}
+		for _, q := range ch.Support {
+			inCheck[q] = true
+		}
+		used := map[int]bool{}
+		// First place globally shared pairs fully contained in the check.
+		for _, q := range ch.Support {
+			if used[q] {
+				continue
+			}
+			p, ok := matchedWith[q]
+			if !ok || !inCheck[p] || used[p] {
+				continue
+			}
+			a, b := q, p
+			if a > b {
+				a, b = b, a
+			}
+			f := sharedFlag[[2]int{a, b}]
+			if f < 0 {
+				f = n.addQubit(Flag)
+				sharedFlag[[2]int{a, b}] = f
+				n.addEdge(a, f)
+				n.addEdge(b, f)
+			}
+			n.addEdge(f, n.ParityQubit[ci])
+			w.Groups = append(w.Groups, FlagGroup{Flag: f, Data: []int{a, b}})
+			used[a], used[b] = true, true
+		}
+		// Pair the remaining qubits with per-check flags.
+		var rest []int
+		for _, q := range ch.Support {
+			if !used[q] {
+				rest = append(rest, q)
+			}
+		}
+		for len(rest) >= 2 {
+			a, b := rest[0], rest[1]
+			rest = rest[2:]
+			f := n.addQubit(Flag)
+			n.addEdge(a, f)
+			n.addEdge(b, f)
+			n.addEdge(f, n.ParityQubit[ci])
+			w.Groups = append(w.Groups, FlagGroup{Flag: f, Data: []int{a, b}})
+		}
+		// An odd leftover interacts directly with the parity qubit.
+		if len(rest) == 1 {
+			w.Direct = append(w.Direct, rest[0])
+			n.addEdge(rest[0], n.ParityQubit[ci])
+		}
+		n.Wiring = append(n.Wiring, w)
+	}
+}
+
+// insertProxies reduces every qubit's degree to at most MaxDegree by
+// moving neighbors onto chained proxy qubits (Figure 11).
+func (n *Network) insertProxies() {
+	maxDeg := n.Opt.MaxDegree
+	for q := 0; q < len(n.Types); q++ {
+		for len(n.adj[q]) > maxDeg {
+			move := len(n.adj[q]) - maxDeg + 1
+			if move > maxDeg-1 {
+				move = maxDeg - 1
+			}
+			// Move the highest-numbered neighbors (typically flags or
+			// parities added later) onto a fresh proxy.
+			var neigh []int
+			for v := range n.adj[q] {
+				neigh = append(neigh, v)
+			}
+			sort.Ints(neigh)
+			victims := neigh[len(neigh)-move:]
+			p := n.addQubit(Proxy)
+			for _, v := range victims {
+				n.removeEdge(q, v)
+				n.addEdge(p, v)
+			}
+			n.addEdge(q, p)
+		}
+	}
+}
+
+// Degree returns the coupling degree of physical qubit q.
+func (n *Network) Degree(q int) int { return len(n.adj[q]) }
+
+// Neighbors returns the sorted neighbor list of q.
+func (n *Network) Neighbors(q int) []int {
+	var out []int
+	for v := range n.adj[q] {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NumQubits returns the total number of physical qubits N.
+func (n *Network) NumQubits() int { return len(n.Types) }
+
+// CountByType tallies qubits per role.
+func (n *Network) CountByType() map[QubitType]int {
+	out := map[QubitType]int{}
+	for _, t := range n.Types {
+		out[t]++
+	}
+	return out
+}
+
+// EffectiveRate returns k/N.
+func (n *Network) EffectiveRate() float64 {
+	return float64(n.Code.K) / float64(n.NumQubits())
+}
+
+// MeanDegree returns the average coupling degree.
+func (n *Network) MeanDegree() float64 {
+	total := 0
+	for q := range n.Types {
+		total += len(n.adj[q])
+	}
+	return float64(total) / float64(len(n.Types))
+}
+
+// MaxDegreeUsed returns the maximum coupling degree present.
+func (n *Network) MaxDegreeUsed() int {
+	best := 0
+	for q := range n.Types {
+		if len(n.adj[q]) > best {
+			best = len(n.adj[q])
+		}
+	}
+	return best
+}
+
+// ProxyPath returns a shortest physical path from a to b whose interior
+// vertices are all proxy qubits, or nil if none exists. When a and b are
+// adjacent the path is [a, b].
+func (n *Network) ProxyPath(a, b int) []int {
+	if n.adj[a][b] {
+		return []int{a, b}
+	}
+	// BFS from a through proxy-only interior.
+	prev := map[int]int{a: a}
+	queue := []int{a}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, v := range n.Neighbors(cur) {
+			if _, seen := prev[v]; seen {
+				continue
+			}
+			if v == b {
+				prev[v] = cur
+				path := []int{b}
+				for x := cur; x != a; x = prev[x] {
+					path = append(path, x)
+				}
+				path = append(path, a)
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path
+			}
+			if n.Types[v] == Proxy {
+				prev[v] = cur
+				queue = append(queue, v)
+			}
+		}
+	}
+	return nil
+}

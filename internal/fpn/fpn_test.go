@@ -1,0 +1,234 @@
+package fpn
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/fpn/flagproxy/internal/css"
+	"github.com/fpn/flagproxy/internal/group"
+	"github.com/fpn/flagproxy/internal/surface"
+	"github.com/fpn/flagproxy/internal/tiling"
+)
+
+func steane(t *testing.T) *css.Code {
+	t.Helper()
+	sups := [][]int{{0, 1, 2, 3}, {1, 2, 4, 5}, {2, 3, 5, 6}}
+	var checks []css.Check
+	for _, b := range []css.Basis{css.X, css.Z} {
+		for _, s := range sups {
+			checks = append(checks, css.Check{Basis: b, Support: s, Color: -1})
+		}
+	}
+	c, err := css.New("steane", "test", 7, checks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func hyper55(t *testing.T) *css.Code {
+	t.Helper()
+	g, err := group.Alt(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for _, p := range group.FindRSPairs(g, 5, 5, rng, 3000, 5, 60) {
+		if p.Sub.Order() != 60 {
+			continue
+		}
+		m, err := tiling.FromGroupPair(p)
+		if err != nil || !m.NonDegenerate() {
+			continue
+		}
+		code, err := surface.FromMap(m, "hysc-30", "hyperbolic-surface {5,5}")
+		if err == nil {
+			return code
+		}
+	}
+	t.Fatal("no [[30,8,3,3]] code")
+	return nil
+}
+
+func TestDirectNetwork(t *testing.T) {
+	code := steane(t)
+	n, err := Build(code, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 data + 6 parity.
+	if n.NumQubits() != 13 {
+		t.Fatalf("N = %d, want 13", n.NumQubits())
+	}
+	counts := n.CountByType()
+	if counts[Data] != 7 || counts[Parity] != 6 || counts[Flag] != 0 {
+		t.Fatalf("counts = %v", counts)
+	}
+	for _, w := range n.Wiring {
+		if len(w.Groups) != 0 || len(w.Direct) != len(code.Checks[w.Check].Support) {
+			t.Fatal("direct wiring wrong")
+		}
+	}
+	// Every parity qubit has degree = check weight.
+	for ci := range code.Checks {
+		if n.Degree(n.ParityQubit[ci]) != len(code.Checks[ci].Support) {
+			t.Fatal("parity degree mismatch")
+		}
+	}
+}
+
+func TestFlagNetworkNoSharing(t *testing.T) {
+	code := steane(t)
+	n, err := Build(code, Options{UseFlags: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := n.CountByType()
+	// Each weight-4 check gets 2 flags: 6 checks × 2 = 12 flags.
+	if counts[Flag] != 12 {
+		t.Fatalf("flags = %d, want 12", counts[Flag])
+	}
+	for _, w := range n.Wiring {
+		if len(w.Groups) != 2 || len(w.Direct) != 0 {
+			t.Fatalf("wiring %+v", w)
+		}
+		for _, g := range w.Groups {
+			if len(g.Data) != 2 {
+				t.Fatal("flag group must cover a pair")
+			}
+		}
+	}
+}
+
+func TestFlagSharingReducesFlags(t *testing.T) {
+	code := hyper55(t)
+	plain, err := Build(code, Options{UseFlags: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := Build(code, Options{UseFlags: true, FlagSharing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := plain.CountByType()[Flag]
+	sf := shared.CountByType()[Flag]
+	if sf >= pf {
+		t.Fatalf("sharing did not reduce flags: %d vs %d", sf, pf)
+	}
+	if shared.EffectiveRate() <= plain.EffectiveRate() {
+		t.Fatal("sharing should improve effective rate")
+	}
+	t.Logf("flags %d -> %d, Reff %.4f -> %.4f", pf, sf, plain.EffectiveRate(), shared.EffectiveRate())
+}
+
+func TestDegreeBound(t *testing.T) {
+	code := hyper55(t)
+	n, err := Build(code, Options{UseFlags: true, FlagSharing: true, MaxDegree: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.MaxDegreeUsed() > 4 {
+		t.Fatalf("max degree %d exceeds bound", n.MaxDegreeUsed())
+	}
+}
+
+func TestOddWeightLeavesDirect(t *testing.T) {
+	// Weight-5 checks: X vertices of the {5,5} code.
+	code := hyper55(t)
+	n, err := Build(code, Options{UseFlags: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range n.Wiring {
+		weight := len(code.Checks[w.Check].Support)
+		want := weight / 2
+		if len(w.Groups) != want {
+			t.Fatalf("check weight %d: %d groups, want %d", weight, len(w.Groups), want)
+		}
+		if weight%2 == 1 && len(w.Direct) != 1 {
+			t.Fatalf("odd check should have 1 direct qubit, got %d", len(w.Direct))
+		}
+	}
+}
+
+func TestProxyPath(t *testing.T) {
+	code := hyper55(t)
+	n, err := Build(code, Options{UseFlags: true, FlagSharing: true, MaxDegree: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every wiring interaction must have a proxy path.
+	for _, w := range n.Wiring {
+		p := n.ParityQubit[w.Check]
+		for _, g := range w.Groups {
+			if path := n.ProxyPath(g.Flag, p); path == nil {
+				t.Fatalf("no proxy path flag %d -> parity %d", g.Flag, p)
+			}
+			for _, d := range g.Data {
+				if path := n.ProxyPath(d, g.Flag); path == nil {
+					t.Fatalf("no proxy path data %d -> flag %d", d, g.Flag)
+				}
+			}
+		}
+		for _, d := range w.Direct {
+			if path := n.ProxyPath(d, p); path == nil {
+				t.Fatalf("no proxy path data %d -> parity %d", d, p)
+			}
+		}
+	}
+}
+
+func TestProxyPathInteriorIsProxyOnly(t *testing.T) {
+	code := hyper55(t)
+	n, err := Build(code, Options{UseFlags: true, FlagSharing: true, MaxDegree: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range n.Wiring {
+		p := n.ParityQubit[w.Check]
+		for _, g := range w.Groups {
+			path := n.ProxyPath(g.Flag, p)
+			for _, q := range path[1 : len(path)-1] {
+				if n.Types[q] != Proxy {
+					t.Fatalf("interior vertex %d is %v", q, n.Types[q])
+				}
+			}
+		}
+	}
+}
+
+func TestEffectiveRateBeatsPlanar(t *testing.T) {
+	// Headline claim sanity: the shared-flag [[30,8,3,3]] FPN should beat
+	// the d=5 planar surface code's 1/49 effective rate.
+	code := hyper55(t)
+	n, err := Build(code, Options{UseFlags: true, FlagSharing: true, MaxDegree: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.EffectiveRate() <= 1.0/49 {
+		t.Fatalf("Reff = %.4f not better than 1/49", n.EffectiveRate())
+	}
+}
+
+func TestRotatedSurfaceDirectDegrees(t *testing.T) {
+	l, err := surface.Rotated(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Build(l.Code, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Standard implementation: N = 2d^2 - 1.
+	if n.NumQubits() != 49 {
+		t.Fatalf("N = %d, want 49", n.NumQubits())
+	}
+	if n.MaxDegreeUsed() > 4 {
+		t.Fatalf("planar surface code degree %d > 4", n.MaxDegreeUsed())
+	}
+	// Paper Table I: d=5 mean degree 3.26.
+	mean := n.MeanDegree()
+	if mean < 3.2 || mean > 3.3 {
+		t.Fatalf("mean degree %.3f, want ≈3.26", mean)
+	}
+}

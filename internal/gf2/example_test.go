@@ -1,0 +1,28 @@
+package gf2_test
+
+import (
+	"fmt"
+
+	"github.com/fpn/flagproxy/internal/gf2"
+)
+
+func ExampleSolve() {
+	// The Steane code's X-check matrix applied to a single-qubit error:
+	// solving H x = s recovers a consistent error pattern.
+	h := gf2.MatrixFromSupports(3, 7, [][]int{
+		{0, 1, 2, 3}, {1, 2, 4, 5}, {2, 3, 5, 6},
+	})
+	err := gf2.VecFromSupport(7, []int{2})
+	s := h.MulVec(err)
+	x, ok := gf2.Solve(h, s)
+	fmt.Println(ok, h.MulVec(x).Equal(s))
+	// Output: true true
+}
+
+func ExampleNullspaceBasis() {
+	// ker of a 2x4 parity check has dimension 2.
+	h := gf2.MatrixFromSupports(2, 4, [][]int{{0, 1}, {2, 3}})
+	basis := gf2.NullspaceBasis(h)
+	fmt.Println(len(basis))
+	// Output: 2
+}

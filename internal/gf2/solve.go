@@ -1,0 +1,133 @@
+package gf2
+
+// Echelon holds the result of Gaussian elimination over GF(2): a
+// row-reduced copy of the input, the pivot column of each nonzero row,
+// and the rank.
+type Echelon struct {
+	M      *Matrix // row-reduced (RREF) matrix
+	Pivots []int   // Pivots[r] = pivot column of row r, for r < Rank
+	Rank   int
+}
+
+// RowReduce computes the reduced row echelon form of m, leaving m intact.
+func RowReduce(m *Matrix) *Echelon {
+	r := m.Clone()
+	pivots := make([]int, 0, min(r.rows, r.cols))
+	row := 0
+	for col := 0; col < r.cols && row < r.rows; col++ {
+		// Find a pivot.
+		sel := -1
+		for i := row; i < r.rows; i++ {
+			if r.data[i].Get(col) {
+				sel = i
+				break
+			}
+		}
+		if sel < 0 {
+			continue
+		}
+		r.data[row], r.data[sel] = r.data[sel], r.data[row]
+		// Eliminate everywhere else (full reduction).
+		for i := 0; i < r.rows; i++ {
+			if i != row && r.data[i].Get(col) {
+				r.data[i].Xor(r.data[row])
+			}
+		}
+		pivots = append(pivots, col)
+		row++
+	}
+	return &Echelon{M: r, Pivots: pivots, Rank: row}
+}
+
+// Rank returns the GF(2) rank of m.
+func Rank(m *Matrix) int { return RowReduce(m).Rank }
+
+// Solve finds one solution x of M x = b, or reports none exists.
+// M is the coefficient matrix (rows = equations).
+func Solve(m *Matrix, b Vec) (Vec, bool) {
+	if b.Len() != m.rows {
+		panic("gf2: rhs length mismatch in Solve")
+	}
+	// Augment with b as an extra column.
+	aug := NewMatrix(m.rows, m.cols+1)
+	for i := 0; i < m.rows; i++ {
+		row := aug.data[i]
+		copy(row.words, m.data[i].words)
+		// Clear any spill bits beyond m.cols (none: widths differ, so copy
+		// word-level then re-set the b bit explicitly).
+		if b.Get(i) {
+			row.Set(m.cols, true)
+		}
+	}
+	e := RowReduce(aug)
+	x := NewVec(m.cols)
+	for r := 0; r < e.Rank; r++ {
+		p := e.Pivots[r]
+		if p == m.cols {
+			return Vec{}, false // inconsistent: pivot in the b column
+		}
+		if e.M.data[r].Get(m.cols) {
+			x.Set(p, true)
+		}
+	}
+	return x, true
+}
+
+// InRowSpace reports whether v lies in the row space of a previously
+// reduced matrix. The receiver must come from RowReduce.
+func (e *Echelon) InRowSpace(v Vec) bool {
+	if v.Len() != e.M.cols {
+		panic("gf2: length mismatch in InRowSpace")
+	}
+	w := v.Clone()
+	for r := 0; r < e.Rank; r++ {
+		if w.Get(e.Pivots[r]) {
+			w.Xor(e.M.data[r])
+		}
+	}
+	return w.IsZero()
+}
+
+// Reduce returns v reduced modulo the row space of e (the canonical coset
+// representative under the pivot ordering).
+func (e *Echelon) Reduce(v Vec) Vec {
+	w := v.Clone()
+	for r := 0; r < e.Rank; r++ {
+		if w.Get(e.Pivots[r]) {
+			w.Xor(e.M.data[r])
+		}
+	}
+	return w
+}
+
+// NullspaceBasis returns a basis for {x : M x = 0}.
+func NullspaceBasis(m *Matrix) []Vec {
+	e := RowReduce(m)
+	isPivot := make([]bool, m.cols)
+	for _, p := range e.Pivots {
+		isPivot[p] = true
+	}
+	var basis []Vec
+	for col := 0; col < m.cols; col++ {
+		if isPivot[col] {
+			continue
+		}
+		// Free variable col = 1, pivots determined by back-substitution.
+		v := NewVec(m.cols)
+		v.Set(col, true)
+		for r := 0; r < e.Rank; r++ {
+			if e.M.data[r].Get(col) {
+				v.Set(e.Pivots[r], true)
+			}
+		}
+		basis = append(basis, v)
+	}
+	return basis
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,373 @@
+package group
+
+import "fmt"
+
+// ffield is a small finite field F_q with q = p^e, represented by
+// Zech-style tables only for prime q here; prime powers 4, 8, 9 are
+// supported via explicit polynomial arithmetic.
+type ffield struct {
+	q   int
+	add [][]int
+	mul [][]int
+	neg []int
+	inv []int // inv[0] unused
+}
+
+// newPrimeField builds F_p for prime p.
+func newPrimeField(p int) *ffield {
+	f := &ffield{q: p}
+	f.add = make([][]int, p)
+	f.mul = make([][]int, p)
+	f.neg = make([]int, p)
+	f.inv = make([]int, p)
+	for a := 0; a < p; a++ {
+		f.add[a] = make([]int, p)
+		f.mul[a] = make([]int, p)
+		for b := 0; b < p; b++ {
+			f.add[a][b] = (a + b) % p
+			f.mul[a][b] = (a * b) % p
+		}
+		f.neg[a] = (p - a) % p
+	}
+	for a := 1; a < p; a++ {
+		for b := 1; b < p; b++ {
+			if a*b%p == 1 {
+				f.inv[a] = b
+			}
+		}
+	}
+	return f
+}
+
+// newExtField builds F_{p^e} as polynomials modulo an irreducible
+// polynomial given by its non-leading coefficients (lowest degree
+// first). Elements are encoded in base p.
+func newExtField(p, e int, modulus []int) *ffield {
+	q := 1
+	for i := 0; i < e; i++ {
+		q *= p
+	}
+	decode := func(x int) []int {
+		c := make([]int, e)
+		for i := 0; i < e; i++ {
+			c[i] = x % p
+			x /= p
+		}
+		return c
+	}
+	encode := func(c []int) int {
+		x := 0
+		for i := e - 1; i >= 0; i-- {
+			x = x*p + c[i]
+		}
+		return x
+	}
+	mulPoly := func(a, b []int) []int {
+		prod := make([]int, 2*e-1)
+		for i, ai := range a {
+			if ai == 0 {
+				continue
+			}
+			for j, bj := range b {
+				prod[i+j] = (prod[i+j] + ai*bj) % p
+			}
+		}
+		// Reduce using x^e = modulus(x).
+		for d := 2*e - 2; d >= e; d-- {
+			c := prod[d]
+			if c == 0 {
+				continue
+			}
+			prod[d] = 0
+			for i := 0; i < e; i++ {
+				prod[d-e+i] = (prod[d-e+i] + c*modulus[i]) % p
+			}
+		}
+		return prod[:e]
+	}
+	f := &ffield{q: q}
+	f.add = make([][]int, q)
+	f.mul = make([][]int, q)
+	f.neg = make([]int, q)
+	f.inv = make([]int, q)
+	for a := 0; a < q; a++ {
+		f.add[a] = make([]int, q)
+		f.mul[a] = make([]int, q)
+		ca := decode(a)
+		nc := make([]int, e)
+		for i := range ca {
+			nc[i] = (p - ca[i]) % p
+		}
+		f.neg[a] = encode(nc)
+		for b := 0; b < q; b++ {
+			cb := decode(b)
+			sc := make([]int, e)
+			for i := range ca {
+				sc[i] = (ca[i] + cb[i]) % p
+			}
+			f.add[a][b] = encode(sc)
+			f.mul[a][b] = encode(mulPoly(ca, cb))
+		}
+	}
+	for a := 1; a < q; a++ {
+		for b := 1; b < q; b++ {
+			if f.mul[a][b] == 1 {
+				f.inv[a] = b
+			}
+		}
+	}
+	return f
+}
+
+// fieldFor returns F_q for the supported q values.
+func fieldFor(q int) (*ffield, error) {
+	switch q {
+	case 2, 3, 5, 7, 11, 13, 17, 19, 23:
+		return newPrimeField(q), nil
+	case 4:
+		return newExtField(2, 2, []int{1, 1}), nil // x^2 = x + 1
+	case 8:
+		return newExtField(2, 3, []int{1, 1, 0}), nil // x^3 = x + 1
+	case 9:
+		return newExtField(3, 2, []int{2, 0}), nil // x^2 = -1 (x^2+1 irreducible over F_3)
+	default:
+		return nil, fmt.Errorf("group: unsupported field size %d", q)
+	}
+}
+
+// PSL2 constructs PSL(2,q) as a permutation group on the q+1 points of
+// the projective line P^1(F_q).
+func PSL2(q int) (*Group, error) {
+	f, err := fieldFor(q)
+	if err != nil {
+		return nil, err
+	}
+	// Points: 0..q-1 are finite points, q is infinity.
+	// Generators of SL(2,q): translations T_1 and T_g (g primitive, needed
+	// for extension fields where T_1 only reaches the prime subfield) and
+	// the inversion S = [[0,-1],[1,0]].
+	t1 := mobiusPerm(f, 1, 1, 0, 1)
+	tg := mobiusPerm(f, 1, primitiveElement(f), 0, 1)
+	s := mobiusPerm(f, 0, f.neg[1], 1, 0)
+	order := pslOrder(q)
+	g, err := Generate(fmt.Sprintf("PSL(2,%d)", q), []Perm{t1, tg, s}, order+1)
+	if err != nil {
+		return nil, err
+	}
+	if g.Order() != order {
+		return nil, fmt.Errorf("group: PSL(2,%d) enumeration gave %d elements, want %d", q, g.Order(), order)
+	}
+	return g, nil
+}
+
+// PGL2 constructs PGL(2,q) on the projective line (only differs from
+// PSL(2,q) for odd q).
+func PGL2(q int) (*Group, error) {
+	f, err := fieldFor(q)
+	if err != nil {
+		return nil, err
+	}
+	t := mobiusPerm(f, 1, 1, 0, 1)
+	s := mobiusPerm(f, 0, f.neg[1], 1, 0)
+	// A scaling map x → gx where g is a primitive element.
+	prim := primitiveElement(f)
+	d := mobiusPerm(f, prim, 0, 0, 1)
+	order := q * (q + 1) * (q - 1)
+	g, err := Generate(fmt.Sprintf("PGL(2,%d)", q), []Perm{t, s, d}, order+1)
+	if err != nil {
+		return nil, err
+	}
+	if g.Order() != order {
+		return nil, fmt.Errorf("group: PGL(2,%d) enumeration gave %d elements, want %d", q, g.Order(), order)
+	}
+	return g, nil
+}
+
+func pslOrder(q int) int {
+	n := q * (q + 1) * (q - 1)
+	if q%2 == 1 {
+		n /= 2
+	}
+	return n
+}
+
+func primitiveElement(f *ffield) int {
+	for g := 2; g < f.q; g++ {
+		seen := map[int]bool{}
+		x := 1
+		for i := 0; i < f.q-1; i++ {
+			x = f.mul[x][g]
+			seen[x] = true
+		}
+		if len(seen) == f.q-1 {
+			return g
+		}
+	}
+	return 1
+}
+
+// mobiusPerm returns the action of the Möbius transform
+// x → (a x + b) / (c x + d) on P^1(F_q), with point q = infinity.
+func mobiusPerm(f *ffield, a, b, c, d int) Perm {
+	q := f.q
+	p := make(Perm, q+1)
+	for x := 0; x <= q; x++ {
+		var num, den int
+		if x == q { // infinity maps to a/c
+			num, den = a, c
+		} else {
+			num = f.add[f.mul[a][x]][b]
+			den = f.add[f.mul[c][x]][d]
+		}
+		if den == 0 {
+			p[x] = q
+		} else {
+			p[x] = f.mul[num][f.inv[den]]
+		}
+	}
+	return p
+}
+
+// GL2 constructs GL(2,q) as a permutation group on the q²−1 nonzero
+// vectors of F_q². GL(2,3) (order 48) is the rotation group of the Bolza
+// surface's {3,8} tiling, the smallest {4,6} hyperbolic color substrate.
+func GL2(q int) (*Group, error) {
+	f, err := fieldFor(q)
+	if err != nil {
+		return nil, err
+	}
+	type vec struct{ x, y int }
+	var pts []vec
+	index := map[vec]int{}
+	for x := 0; x < q; x++ {
+		for y := 0; y < q; y++ {
+			if x == 0 && y == 0 {
+				continue
+			}
+			index[vec{x, y}] = len(pts)
+			pts = append(pts, vec{x, y})
+		}
+	}
+	matPerm := func(a, b, c, d int) Perm {
+		p := make(Perm, len(pts))
+		for i, v := range pts {
+			nx := f.add[f.mul[a][v.x]][f.mul[b][v.y]]
+			ny := f.add[f.mul[c][v.x]][f.mul[d][v.y]]
+			p[i] = index[vec{nx, ny}]
+		}
+		return p
+	}
+	prim := primitiveElement(f)
+	// GL(2,q) is generated by a transvection and a diagonal with a
+	// primitive entry together with the Weyl element.
+	t := matPerm(1, 1, 0, 1)
+	s := matPerm(0, f.neg[1], 1, 0)
+	d := matPerm(prim, 0, 0, 1)
+	order := (q*q - 1) * (q*q - q)
+	g, err := Generate(fmt.Sprintf("GL(2,%d)", q), []Perm{t, s, d}, order+1)
+	if err != nil {
+		return nil, err
+	}
+	if g.Order() != order {
+		return nil, fmt.Errorf("group: GL(2,%d) enumeration gave %d elements, want %d", q, g.Order(), order)
+	}
+	return g, nil
+}
+
+// Affine constructs the affine group AGL(1, Z_m) = {x → ux+v : gcd(u,m)=1}
+// acting on Z_m; a cheap source of small groups with high-order elements.
+func Affine(m int) (*Group, error) {
+	if m < 3 {
+		return nil, fmt.Errorf("group: Affine(%d) unsupported", m)
+	}
+	var gens []Perm
+	// Translation.
+	tr := make(Perm, m)
+	for i := range tr {
+		tr[i] = (i + 1) % m
+	}
+	gens = append(gens, tr)
+	// All multiplications by units (generators suffice, but including all
+	// units keeps this simple and m is tiny).
+	for u := 2; u < m; u++ {
+		if gcd(u, m) != 1 {
+			continue
+		}
+		p := make(Perm, m)
+		for i := range p {
+			p[i] = (u * i) % m
+		}
+		gens = append(gens, p)
+	}
+	phi := 0
+	for u := 1; u < m; u++ {
+		if gcd(u, m) == 1 {
+			phi++
+		}
+	}
+	return Generate(fmt.Sprintf("Aff(%d)", m), gens, m*phi+1)
+}
+
+// Sym constructs the symmetric group S_n (n ≤ 8 to keep sizes sane).
+func Sym(n int) (*Group, error) {
+	if n < 2 || n > 8 {
+		return nil, fmt.Errorf("group: Sym(%d) unsupported", n)
+	}
+	cyc := FromCycles(n, [][]int{rangeInts(n)})
+	swap := FromCycles(n, [][]int{{0, 1}})
+	return Generate(fmt.Sprintf("S%d", n), []Perm{cyc, swap}, factorial(n)+1)
+}
+
+// Alt constructs the alternating group A_n (n ≤ 8).
+func Alt(n int) (*Group, error) {
+	if n < 3 || n > 8 {
+		return nil, fmt.Errorf("group: Alt(%d) unsupported", n)
+	}
+	var gens []Perm
+	// 3-cycles (0,1,2), (0,1,3), ..., (0,1,n-1) generate A_n.
+	for k := 2; k < n; k++ {
+		gens = append(gens, FromCycles(n, [][]int{{0, 1, k}}))
+	}
+	return Generate(fmt.Sprintf("A%d", n), gens, factorial(n)/2+1)
+}
+
+// DirectProduct returns G × H acting on the disjoint union of points.
+func DirectProduct(g, h *Group, limit int) (*Group, error) {
+	dg := len(g.Elements[0])
+	dh := len(h.Elements[0])
+	var gens []Perm
+	for _, x := range g.gens {
+		p := Identity(dg + dh)
+		copy(p[:dg], x)
+		gens = append(gens, p)
+	}
+	for _, y := range h.gens {
+		p := Identity(dg + dh)
+		for i, v := range y {
+			p[dg+i] = dg + v
+		}
+		gens = append(gens, p)
+	}
+	return Generate(g.Name+"x"+h.Name, gens, limit)
+}
+
+// Cyclic returns the cyclic group C_n.
+func Cyclic(n int) (*Group, error) {
+	return Generate(fmt.Sprintf("C%d", n), []Perm{FromCycles(n, [][]int{rangeInts(n)})}, n+1)
+}
+
+func rangeInts(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+func factorial(n int) int {
+	f := 1
+	for i := 2; i <= n; i++ {
+		f *= i
+	}
+	return f
+}

@@ -1,0 +1,131 @@
+// Package hgp builds hypergraph product (HGP) codes (Tillich–Zémor),
+// the QLDPC family targeted by Tremblay et al.'s thin-planar
+// architecture that the paper compares against in §VII-A. The product of
+// two classical parity-check matrices H1 (r1×n1) and H2 (r2×n2) is a
+// CSS code with n = n1·n2 + r1·r2 data qubits:
+//
+//	HX = [ H1 ⊗ I_n2 | I_r1 ⊗ H2ᵀ ]
+//	HZ = [ I_n1 ⊗ H2 | H1ᵀ ⊗ I_r2 ]
+//
+// The toric code is the HGP of two cyclic repetition codes; expander
+// HGP codes come from random sparse H's. The package exists to
+// reproduce the architectural comparison: HGP codes need up to degree-8
+// connectivity where the paper's hyperbolic FPNs stay at degree 4.
+package hgp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/fpn/flagproxy/internal/css"
+	"github.com/fpn/flagproxy/internal/gf2"
+)
+
+// Classical is a binary linear code given by its parity-check matrix.
+type Classical struct {
+	H *gf2.Matrix
+}
+
+// Repetition returns the cyclic repetition code of length n (the ring
+// Z_n), whose HGP square is the toric code.
+func Repetition(n int) Classical {
+	h := gf2.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		h.Set(i, i, true)
+		h.Set(i, (i+1)%n, true)
+	}
+	return Classical{H: h}
+}
+
+// RandomLDPC returns a random (dv, dc)-biregular parity-check matrix
+// with r rows and n = r·dc/dv columns, built by a configuration-model
+// edge matching. Multi-edges are cancelled mod 2, so row/column weights
+// can dip slightly below the target.
+func RandomLDPC(r, dv, dc int, rng *rand.Rand) (Classical, error) {
+	if (r*dc)%dv != 0 {
+		return Classical{}, fmt.Errorf("hgp: r·dc must be divisible by dv")
+	}
+	n := r * dc / dv
+	// Stubs: each row appears dc times, each column dv times.
+	var rowStubs, colStubs []int
+	for i := 0; i < r; i++ {
+		for k := 0; k < dc; k++ {
+			rowStubs = append(rowStubs, i)
+		}
+	}
+	for j := 0; j < n; j++ {
+		for k := 0; k < dv; k++ {
+			colStubs = append(colStubs, j)
+		}
+	}
+	rng.Shuffle(len(colStubs), func(i, j int) { colStubs[i], colStubs[j] = colStubs[j], colStubs[i] })
+	h := gf2.NewMatrix(r, n)
+	for k := range rowStubs {
+		i, j := rowStubs[k], colStubs[k]
+		h.Set(i, j, !h.Get(i, j)) // mod-2 cancellation of multi-edges
+	}
+	return Classical{H: h}, nil
+}
+
+// Product returns the hypergraph product CSS code of c1 and c2.
+func Product(c1, c2 Classical, name string) (*css.Code, error) {
+	h1, h2 := c1.H, c2.H
+	r1, n1 := h1.Rows(), h1.Cols()
+	r2, n2 := h2.Rows(), h2.Cols()
+	n := n1*n2 + r1*r2
+	// Qubit layout: block A = (i1, i2) ∈ n1×n2 at index i1*n2 + i2;
+	// block B = (j1, j2) ∈ r1×r2 at index n1*n2 + j1*r2 + j2.
+	qa := func(i1, i2 int) int { return i1*n2 + i2 }
+	qb := func(j1, j2 int) int { return n1*n2 + j1*r2 + j2 }
+
+	var checks []css.Check
+	// X checks: indexed by (j1 ∈ r1, i2 ∈ n2):
+	// support = {A(i1,i2) : H1[j1,i1]=1} ∪ {B(j1,j2) : H2[j2,i2]=1}.
+	for j1 := 0; j1 < r1; j1++ {
+		for i2 := 0; i2 < n2; i2++ {
+			var sup []int
+			for _, i1 := range h1.Row(j1).Support() {
+				sup = append(sup, qa(i1, i2))
+			}
+			for j2 := 0; j2 < r2; j2++ {
+				if h2.Get(j2, i2) {
+					sup = append(sup, qb(j1, j2))
+				}
+			}
+			if len(sup) > 0 {
+				checks = append(checks, css.Check{Basis: css.X, Support: sup, Color: -1})
+			}
+		}
+	}
+	// Z checks: indexed by (i1 ∈ n1, j2 ∈ r2):
+	// support = {A(i1,i2) : H2[j2,i2]=1} ∪ {B(j1,j2) : H1[j1,i1]=1}.
+	for i1 := 0; i1 < n1; i1++ {
+		for j2 := 0; j2 < r2; j2++ {
+			var sup []int
+			for _, i2 := range h2.Row(j2).Support() {
+				sup = append(sup, qa(i1, i2))
+			}
+			for j1 := 0; j1 < r1; j1++ {
+				if h1.Get(j1, i1) {
+					sup = append(sup, qb(j1, j2))
+				}
+			}
+			if len(sup) > 0 {
+				checks = append(checks, css.Check{Basis: css.Z, Support: sup, Color: -1})
+			}
+		}
+	}
+	return css.New(name, "hypergraph-product", n, checks)
+}
+
+// ExpectedK returns the HGP dimension formula
+// k = k1·k2 + k1ᵀ·k2ᵀ where k = n − rank(H) and kᵀ = r − rank(H).
+func ExpectedK(c1, c2 Classical) int {
+	r1, n1 := c1.H.Rows(), c1.H.Cols()
+	r2, n2 := c2.H.Rows(), c2.H.Cols()
+	rk1 := gf2.Rank(c1.H)
+	rk2 := gf2.Rank(c2.H)
+	k1, k1t := n1-rk1, r1-rk1
+	k2, k2t := n2-rk2, r2-rk2
+	return k1*k2 + k1t*k2t
+}

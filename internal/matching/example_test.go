@@ -1,0 +1,35 @@
+package matching_test
+
+import (
+	"fmt"
+
+	"github.com/fpn/flagproxy/internal/matching"
+)
+
+func ExampleMinWeightPerfect() {
+	// Four flipped syndrome bits with pairwise path weights: the decoder
+	// pairs (0,1) and (2,3) at total weight 3 instead of (0,2)+(1,3) at 8.
+	edges := []matching.Edge{
+		{U: 0, V: 1, W: 1}, {U: 2, V: 3, W: 2},
+		{U: 0, V: 2, W: 4}, {U: 1, V: 3, W: 4},
+		{U: 0, V: 3, W: 5}, {U: 1, V: 2, W: 5},
+	}
+	mate, err := matching.MinWeightPerfect(4, edges)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(mate)
+	// Output: [1 0 3 2]
+}
+
+func ExampleMaxWeight() {
+	// A triangle with a pendant: max-weight matching takes the heavy
+	// edge (1,2) and pairs 0 with 3.
+	edges := []matching.Edge{
+		{U: 0, V: 1, W: 6}, {U: 1, V: 2, W: 10},
+		{U: 2, V: 0, W: 5}, {U: 0, V: 3, W: 4},
+	}
+	fmt.Println(matching.MaxWeight(4, edges, false))
+	// Output: [3 2 1 0]
+}

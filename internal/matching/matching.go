@@ -1,0 +1,703 @@
+// Package matching implements maximum-weight matching on general graphs
+// via Edmonds' blossom algorithm in the O(V^3) primal-dual formulation
+// (Galil 1986, following van Rantwijk's well-known reference
+// implementation). It is the engine behind both minimum-weight
+// perfect-matching decoding and the flag-sharing optimizer.
+//
+// Weights are int64; callers with float weights should quantize (the
+// decoders in this repository multiply -log probabilities by a fixed
+// scale). Internally all weights are doubled so that every dual update
+// stays integral.
+package matching
+
+import "fmt"
+
+// Edge is an undirected weighted edge between vertices U and V.
+// Self-loops are not allowed. Parallel edges are permitted; only the one
+// with maximum weight can ever be matched.
+type Edge struct {
+	U, V int
+	W    int64
+}
+
+const (
+	labelFree = 0
+	labelS    = 1
+	labelT    = 2
+	// labelBreadcrumb marks S-blossoms visited during scanBlossom.
+	labelBreadcrumb = 5
+)
+
+type matcher struct {
+	nvertex int
+	edges   []Edge // weights doubled
+
+	endpoint  []int   // endpoint[p] = vertex at endpoint p (p = 2k or 2k+1 of edge k)
+	neighbend [][]int // neighbend[v] = remote endpoints of edges incident to v
+
+	mate             []int // mate[v] = remote endpoint of matched edge, or -1
+	label            []int
+	labelend         []int
+	inblossom        []int
+	blossomparent    []int
+	blossomchilds    [][]int
+	blossombase      []int
+	blossomendps     [][]int
+	bestedge         []int
+	blossombestedges [][]int
+	unusedblossoms   []int
+	dualvar          []int64
+	allowedge        []bool
+	queue            []int
+
+	maxCardinality bool
+}
+
+// MaxWeight computes a maximum-weight matching of the graph on vertices
+// 0..n-1 with the given edges. If maxCardinality is true, only matchings
+// of maximum cardinality are considered (and the heaviest such matching
+// is returned). The result maps each vertex to its partner, or -1 if
+// unmatched.
+func MaxWeight(n int, edges []Edge, maxCardinality bool) []int {
+	mate := make([]int, n)
+	for i := range mate {
+		mate[i] = -1
+	}
+	if len(edges) == 0 || n == 0 {
+		return mate
+	}
+	m := newMatcher(n, edges, maxCardinality)
+	m.run()
+	for v := 0; v < n; v++ {
+		if m.mate[v] >= 0 {
+			mate[v] = m.endpoint[m.mate[v]]
+		}
+	}
+	return mate
+}
+
+// MinWeightPerfect computes a minimum-weight perfect matching of the
+// graph on vertices 0..n-1. It returns an error if no perfect matching
+// exists (including when n is odd).
+func MinWeightPerfect(n int, edges []Edge) ([]int, error) {
+	if n%2 != 0 {
+		return nil, fmt.Errorf("matching: no perfect matching on %d (odd) vertices", n)
+	}
+	// Flip weights so minimum weight becomes maximum weight, then demand
+	// max cardinality. Shift so all transformed weights are positive.
+	var maxW int64
+	for _, e := range edges {
+		if e.W > maxW {
+			maxW = e.W
+		}
+	}
+	flipped := make([]Edge, len(edges))
+	for i, e := range edges {
+		flipped[i] = Edge{U: e.U, V: e.V, W: maxW + 1 - e.W}
+	}
+	mate := MaxWeight(n, flipped, true)
+	for v := 0; v < n; v++ {
+		if mate[v] < 0 {
+			return nil, fmt.Errorf("matching: graph has no perfect matching (vertex %d unmatched)", v)
+		}
+	}
+	return mate, nil
+}
+
+func newMatcher(n int, edges []Edge, maxCardinality bool) *matcher {
+	m := &matcher{nvertex: n, maxCardinality: maxCardinality}
+	m.edges = make([]Edge, len(edges))
+	var maxweight int64
+	for i, e := range edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			panic(fmt.Sprintf("matching: edge endpoint out of range: %+v (n=%d)", e, n))
+		}
+		if e.U == e.V {
+			panic(fmt.Sprintf("matching: self-loop at vertex %d", e.U))
+		}
+		m.edges[i] = Edge{U: e.U, V: e.V, W: 2 * e.W} // double for integral duals
+		if m.edges[i].W > maxweight {
+			maxweight = m.edges[i].W
+		}
+	}
+	nedge := len(m.edges)
+	m.endpoint = make([]int, 2*nedge)
+	m.neighbend = make([][]int, n)
+	for k, e := range m.edges {
+		m.endpoint[2*k] = e.U
+		m.endpoint[2*k+1] = e.V
+		m.neighbend[e.U] = append(m.neighbend[e.U], 2*k+1)
+		m.neighbend[e.V] = append(m.neighbend[e.V], 2*k)
+	}
+	m.mate = fill(n, -1)
+	m.label = make([]int, 2*n)
+	m.labelend = fill(2*n, -1)
+	m.inblossom = iota2(n)
+	m.blossomparent = fill(2*n, -1)
+	m.blossomchilds = make([][]int, 2*n)
+	m.blossombase = append(iota2(n), fill(n, -1)...)
+	m.blossomendps = make([][]int, 2*n)
+	m.bestedge = fill(2*n, -1)
+	m.blossombestedges = make([][]int, 2*n)
+	m.unusedblossoms = make([]int, 0, n)
+	for b := n; b < 2*n; b++ {
+		m.unusedblossoms = append(m.unusedblossoms, b)
+	}
+	m.dualvar = make([]int64, 2*n)
+	for v := 0; v < n; v++ {
+		m.dualvar[v] = maxweight
+	}
+	m.allowedge = make([]bool, nedge)
+	return m
+}
+
+func fill(n, v int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+func iota2(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+// slack returns the reduced cost of edge k (always even).
+func (m *matcher) slack(k int) int64 {
+	e := m.edges[k]
+	return m.dualvar[e.U] + m.dualvar[e.V] - 2*e.W
+}
+
+// blossomLeaves appends all ground vertices contained in blossom b.
+func (m *matcher) blossomLeaves(b int, out []int) []int {
+	if b < m.nvertex {
+		return append(out, b)
+	}
+	for _, t := range m.blossomchilds[b] {
+		out = m.blossomLeaves(t, out)
+	}
+	return out
+}
+
+// assignLabel labels vertex w's top-level blossom with t, entered through
+// remote endpoint p.
+func (m *matcher) assignLabel(w, t, p int) {
+	b := m.inblossom[w]
+	if m.label[w] != labelFree || m.label[b] != labelFree {
+		panic("matching: assignLabel on labeled vertex")
+	}
+	m.label[w], m.label[b] = t, t
+	m.labelend[w], m.labelend[b] = p, p
+	m.bestedge[w], m.bestedge[b] = -1, -1
+	if t == labelS {
+		m.queue = m.blossomLeaves(b, m.queue)
+	} else if t == labelT {
+		base := m.blossombase[b]
+		if m.mate[base] < 0 {
+			panic("matching: T-label on unmatched base")
+		}
+		m.assignLabel(m.endpoint[m.mate[base]], labelS, m.mate[base]^1)
+	}
+}
+
+// scanBlossom traces back from v and w to discover either a new blossom
+// base or an augmenting path (base -1).
+func (m *matcher) scanBlossom(v, w int) int {
+	var path []int
+	base := -1
+	for v != -1 || w != -1 {
+		b := m.inblossom[v]
+		if m.label[b]&4 != 0 {
+			base = m.blossombase[b]
+			break
+		}
+		path = append(path, b)
+		m.label[b] = labelBreadcrumb
+		if m.labelend[b] == -1 {
+			v = -1
+		} else {
+			v = m.endpoint[m.labelend[b]]
+			b = m.inblossom[v]
+			v = m.endpoint[m.labelend[b]]
+		}
+		if w != -1 {
+			v, w = w, v
+		}
+	}
+	for _, b := range path {
+		m.label[b] = labelS
+	}
+	return base
+}
+
+// addBlossom constructs a new blossom with the given base, through edge k
+// joining two S-blossoms.
+func (m *matcher) addBlossom(base, k int) {
+	v, w := m.edges[k].U, m.edges[k].V
+	bb := m.inblossom[base]
+	bv := m.inblossom[v]
+	bw := m.inblossom[w]
+	b := m.unusedblossoms[len(m.unusedblossoms)-1]
+	m.unusedblossoms = m.unusedblossoms[:len(m.unusedblossoms)-1]
+	m.blossombase[b] = base
+	m.blossomparent[b] = -1
+	m.blossomparent[bb] = b
+	var path, endps []int
+	for bv != bb {
+		m.blossomparent[bv] = b
+		path = append(path, bv)
+		endps = append(endps, m.labelend[bv])
+		v = m.endpoint[m.labelend[bv]]
+		bv = m.inblossom[v]
+	}
+	path = append(path, bb)
+	reverse(path)
+	reverse(endps)
+	endps = append(endps, 2*k)
+	for bw != bb {
+		m.blossomparent[bw] = b
+		path = append(path, bw)
+		endps = append(endps, m.labelend[bw]^1)
+		w = m.endpoint[m.labelend[bw]]
+		bw = m.inblossom[w]
+	}
+	m.blossomchilds[b] = path
+	m.blossomendps[b] = endps
+	if m.label[bb] != labelS {
+		panic("matching: blossom base not S-labeled")
+	}
+	m.label[b] = labelS
+	m.labelend[b] = m.labelend[bb]
+	m.dualvar[b] = 0
+	for _, lv := range m.blossomLeaves(b, nil) {
+		if m.label[m.inblossom[lv]] == labelT {
+			m.queue = append(m.queue, lv)
+		}
+		m.inblossom[lv] = b
+	}
+	// Recompute best edges to neighbouring S-blossoms.
+	bestedgeto := fill(2*m.nvertex, -1)
+	for _, sb := range path {
+		var nblists [][]int
+		if m.blossombestedges[sb] == nil {
+			for _, lv := range m.blossomLeaves(sb, nil) {
+				ks := make([]int, len(m.neighbend[lv]))
+				for i, p := range m.neighbend[lv] {
+					ks[i] = p / 2
+				}
+				nblists = append(nblists, ks)
+			}
+		} else {
+			nblists = [][]int{m.blossombestedges[sb]}
+		}
+		for _, nblist := range nblists {
+			for _, ek := range nblist {
+				i, j := m.edges[ek].U, m.edges[ek].V
+				if m.inblossom[j] == b {
+					i, j = j, i
+				}
+				_ = i
+				bj := m.inblossom[j]
+				if bj != b && m.label[bj] == labelS &&
+					(bestedgeto[bj] == -1 || m.slack(ek) < m.slack(bestedgeto[bj])) {
+					bestedgeto[bj] = ek
+				}
+			}
+		}
+		m.blossombestedges[sb] = nil
+		m.bestedge[sb] = -1
+	}
+	var best []int
+	for _, ek := range bestedgeto {
+		if ek != -1 {
+			best = append(best, ek)
+		}
+	}
+	m.blossombestedges[b] = best
+	m.bestedge[b] = -1
+	for _, ek := range best {
+		if m.bestedge[b] == -1 || m.slack(ek) < m.slack(m.bestedge[b]) {
+			m.bestedge[b] = ek
+		}
+	}
+}
+
+// expandBlossom undoes blossom b, either at the end of a stage (endstage)
+// or mid-stage when its dual hits zero.
+func (m *matcher) expandBlossom(b int, endstage bool) {
+	for _, s := range m.blossomchilds[b] {
+		m.blossomparent[s] = -1
+		if s < m.nvertex {
+			m.inblossom[s] = s
+		} else if endstage && m.dualvar[s] == 0 {
+			m.expandBlossom(s, endstage)
+		} else {
+			for _, lv := range m.blossomLeaves(s, nil) {
+				m.inblossom[lv] = s
+			}
+		}
+	}
+	if !endstage && m.label[b] == labelT {
+		// The expanding blossom is a T-blossom: relabel its path.
+		entrychild := m.inblossom[m.endpoint[m.labelend[b]^1]]
+		j := indexOf(m.blossomchilds[b], entrychild)
+		var jstep, endptrick int
+		if j&1 != 0 {
+			j -= len(m.blossomchilds[b])
+			jstep = 1
+			endptrick = 0
+		} else {
+			jstep = -1
+			endptrick = 1
+		}
+		p := m.labelend[b]
+		for j != 0 {
+			m.label[m.endpoint[p^1]] = labelFree
+			m.label[m.endpoint[at(m.blossomendps[b], j-endptrick)^endptrick^1]] = labelFree
+			m.assignLabel(m.endpoint[p^1], labelT, p)
+			m.allowedge[at(m.blossomendps[b], j-endptrick)/2] = true
+			j += jstep
+			p = at(m.blossomendps[b], j-endptrick) ^ endptrick
+			m.allowedge[p/2] = true
+			j += jstep
+		}
+		bv := at(m.blossomchilds[b], j)
+		m.label[m.endpoint[p^1]] = labelT
+		m.label[bv] = labelT
+		m.labelend[m.endpoint[p^1]] = p
+		m.labelend[bv] = p
+		m.bestedge[bv] = -1
+		j += jstep
+		for at(m.blossomchilds[b], j) != entrychild {
+			bv = at(m.blossomchilds[b], j)
+			if m.label[bv] == labelS {
+				j += jstep
+				continue
+			}
+			var lv int
+			for _, lv = range m.blossomLeaves(bv, nil) {
+				if m.label[lv] != labelFree {
+					break
+				}
+			}
+			if m.label[lv] != labelFree {
+				if m.label[lv] != labelT || m.inblossom[lv] != bv {
+					panic("matching: inconsistent label during expand")
+				}
+				m.label[lv] = labelFree
+				m.label[m.endpoint[m.mate[m.blossombase[bv]]]] = labelFree
+				m.assignLabel(lv, labelT, m.labelend[lv])
+			}
+			j += jstep
+		}
+	}
+	m.label[b] = -1
+	m.labelend[b] = -1
+	m.blossomchilds[b] = nil
+	m.blossomendps[b] = nil
+	m.blossombase[b] = -1
+	m.blossombestedges[b] = nil
+	m.bestedge[b] = -1
+	m.unusedblossoms = append(m.unusedblossoms, b)
+}
+
+// at indexes a slice with Python-style negative wrap-around.
+func at(s []int, i int) int {
+	if i < 0 {
+		return s[len(s)+i]
+	}
+	return s[i]
+}
+
+func indexOf(s []int, v int) int {
+	for i, x := range s {
+		if x == v {
+			return i
+		}
+	}
+	panic("matching: element not found")
+}
+
+func reverse(s []int) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// augmentBlossom swaps matched and unmatched edges around blossom b so
+// that vertex v becomes its new base.
+func (m *matcher) augmentBlossom(b, v int) {
+	t := v
+	for m.blossomparent[t] != b {
+		t = m.blossomparent[t]
+	}
+	if t >= m.nvertex {
+		m.augmentBlossom(t, v)
+	}
+	i := indexOf(m.blossomchilds[b], t)
+	j := i
+	var jstep, endptrick int
+	if i&1 != 0 {
+		j -= len(m.blossomchilds[b])
+		jstep = 1
+		endptrick = 0
+	} else {
+		jstep = -1
+		endptrick = 1
+	}
+	for j != 0 {
+		j += jstep
+		t = at(m.blossomchilds[b], j)
+		p := at(m.blossomendps[b], j-endptrick) ^ endptrick
+		if t >= m.nvertex {
+			m.augmentBlossom(t, m.endpoint[p])
+		}
+		j += jstep
+		t = at(m.blossomchilds[b], j)
+		if t >= m.nvertex {
+			m.augmentBlossom(t, m.endpoint[p^1])
+		}
+		m.mate[m.endpoint[p]] = p ^ 1
+		m.mate[m.endpoint[p^1]] = p
+	}
+	m.blossomchilds[b] = rotate(m.blossomchilds[b], i)
+	m.blossomendps[b] = rotate(m.blossomendps[b], i)
+	m.blossombase[b] = m.blossombase[m.blossomchilds[b][0]]
+	if m.blossombase[b] != v {
+		panic("matching: augmentBlossom base mismatch")
+	}
+}
+
+func rotate(s []int, i int) []int {
+	out := make([]int, 0, len(s))
+	out = append(out, s[i:]...)
+	out = append(out, s[:i]...)
+	return out
+}
+
+// augmentMatching augments the matching along the path through edge k.
+func (m *matcher) augmentMatching(k int) {
+	starts := [2][2]int{{m.edges[k].U, 2*k + 1}, {m.edges[k].V, 2 * k}}
+	for _, sp := range starts {
+		s, p := sp[0], sp[1]
+		for {
+			bs := m.inblossom[s]
+			if m.label[bs] != labelS {
+				panic("matching: augment through non-S blossom")
+			}
+			if bs >= m.nvertex {
+				m.augmentBlossom(bs, s)
+			}
+			m.mate[s] = p
+			if m.labelend[bs] == -1 {
+				break
+			}
+			t := m.endpoint[m.labelend[bs]]
+			bt := m.inblossom[t]
+			if m.label[bt] != labelT {
+				panic("matching: augment path expected T blossom")
+			}
+			s = m.endpoint[m.labelend[bt]]
+			j := m.endpoint[m.labelend[bt]^1]
+			if m.blossombase[bt] != t {
+				panic("matching: T-blossom base mismatch")
+			}
+			if bt >= m.nvertex {
+				m.augmentBlossom(bt, j)
+			}
+			m.mate[j] = m.labelend[bt]
+			p = m.labelend[bt] ^ 1
+		}
+	}
+}
+
+func (m *matcher) run() {
+	n := m.nvertex
+	for stage := 0; stage < n; stage++ {
+		for i := range m.label {
+			m.label[i] = labelFree
+		}
+		for i := range m.bestedge {
+			m.bestedge[i] = -1
+		}
+		for i := n; i < 2*n; i++ {
+			m.blossombestedges[i] = nil
+		}
+		for i := range m.allowedge {
+			m.allowedge[i] = false
+		}
+		m.queue = m.queue[:0]
+		for v := 0; v < n; v++ {
+			if m.mate[v] == -1 && m.label[m.inblossom[v]] == labelFree {
+				m.assignLabel(v, labelS, -1)
+			}
+		}
+		augmented := false
+		for {
+			for len(m.queue) > 0 && !augmented {
+				v := m.queue[len(m.queue)-1]
+				m.queue = m.queue[:len(m.queue)-1]
+				for _, p := range m.neighbend[v] {
+					k := p / 2
+					w := m.endpoint[p]
+					if m.inblossom[v] == m.inblossom[w] {
+						continue
+					}
+					var kslack int64
+					if !m.allowedge[k] {
+						kslack = m.slack(k)
+						if kslack <= 0 {
+							m.allowedge[k] = true
+						}
+					}
+					if m.allowedge[k] {
+						if m.label[m.inblossom[w]] == labelFree {
+							m.assignLabel(w, labelT, p^1)
+						} else if m.label[m.inblossom[w]] == labelS {
+							base := m.scanBlossom(v, w)
+							if base >= 0 {
+								m.addBlossom(base, k)
+							} else {
+								m.augmentMatching(k)
+								augmented = true
+								break
+							}
+						} else if m.label[w] == labelFree {
+							m.label[w] = labelT
+							m.labelend[w] = p ^ 1
+						}
+					} else if m.label[m.inblossom[w]] == labelS {
+						b := m.inblossom[v]
+						if m.bestedge[b] == -1 || kslack < m.slack(m.bestedge[b]) {
+							m.bestedge[b] = k
+						}
+					} else if m.label[w] == labelFree {
+						if m.bestedge[w] == -1 || kslack < m.slack(m.bestedge[w]) {
+							m.bestedge[w] = k
+						}
+					}
+				}
+			}
+			if augmented {
+				break
+			}
+			// Compute the dual adjustment delta.
+			deltatype := -1
+			var delta int64
+			deltaedge, deltablossom := -1, -1
+			if !m.maxCardinality {
+				deltatype = 1
+				delta = m.dualvar[0]
+				for v := 1; v < n; v++ {
+					if m.dualvar[v] < delta {
+						delta = m.dualvar[v]
+					}
+				}
+			}
+			for v := 0; v < n; v++ {
+				if m.label[m.inblossom[v]] == labelFree && m.bestedge[v] != -1 {
+					d := m.slack(m.bestedge[v])
+					if deltatype == -1 || d < delta {
+						delta = d
+						deltatype = 2
+						deltaedge = m.bestedge[v]
+					}
+				}
+			}
+			for b := 0; b < 2*n; b++ {
+				if m.blossomparent[b] == -1 && m.label[b] == labelS && m.bestedge[b] != -1 {
+					kslack := m.slack(m.bestedge[b])
+					if kslack%2 != 0 {
+						panic("matching: odd slack for S-S edge")
+					}
+					d := kslack / 2
+					if deltatype == -1 || d < delta {
+						delta = d
+						deltatype = 3
+						deltaedge = m.bestedge[b]
+					}
+				}
+			}
+			for b := n; b < 2*n; b++ {
+				if m.blossombase[b] >= 0 && m.blossomparent[b] == -1 &&
+					m.label[b] == labelT && (deltatype == -1 || m.dualvar[b] < delta) {
+					delta = m.dualvar[b]
+					deltatype = 4
+					deltablossom = b
+				}
+			}
+			if deltatype == -1 {
+				// No progress possible: the max-cardinality optimum is
+				// reached. A final non-negative delta keeps duals valid.
+				if !m.maxCardinality {
+					panic("matching: stuck without maxCardinality")
+				}
+				deltatype = 1
+				minDual := m.dualvar[0]
+				for v := 1; v < n; v++ {
+					if m.dualvar[v] < minDual {
+						minDual = m.dualvar[v]
+					}
+				}
+				delta = 0
+				if minDual > 0 {
+					delta = minDual
+				}
+			}
+			// Apply delta to duals.
+			for v := 0; v < n; v++ {
+				switch m.label[m.inblossom[v]] {
+				case labelS:
+					m.dualvar[v] -= delta
+				case labelT:
+					m.dualvar[v] += delta
+				}
+			}
+			for b := n; b < 2*n; b++ {
+				if m.blossombase[b] >= 0 && m.blossomparent[b] == -1 {
+					switch m.label[b] {
+					case labelS:
+						m.dualvar[b] += delta
+					case labelT:
+						m.dualvar[b] -= delta
+					}
+				}
+			}
+			// Act on the argmin.
+			switch deltatype {
+			case 1:
+				// Optimum reached.
+			case 2:
+				m.allowedge[deltaedge] = true
+				i := m.edges[deltaedge].U
+				if m.label[m.inblossom[i]] == labelFree {
+					i = m.edges[deltaedge].V
+				}
+				m.queue = append(m.queue, i)
+			case 3:
+				m.allowedge[deltaedge] = true
+				m.queue = append(m.queue, m.edges[deltaedge].U)
+			case 4:
+				m.expandBlossom(deltablossom, false)
+			}
+			if deltatype == 1 {
+				break
+			}
+		}
+		if !augmented {
+			break
+		}
+		// End of stage: expand all S-blossoms with zero dual.
+		for b := n; b < 2*n; b++ {
+			if m.blossomparent[b] == -1 && m.blossombase[b] >= 0 &&
+				m.label[b] == labelS && m.dualvar[b] == 0 {
+				m.expandBlossom(b, true)
+			}
+		}
+	}
+}

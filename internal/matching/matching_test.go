@@ -1,0 +1,371 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteMaxWeight exhaustively finds the best matching weight by trying
+// all subsets of edges (only viable for tiny graphs).
+func bruteMaxWeight(n int, edges []Edge, maxCardinality bool) (int64, int) {
+	bestW := int64(0)
+	bestCard := 0
+	var recur func(idx int, used []bool, w int64, card int)
+	recur = func(idx int, used []bool, w int64, card int) {
+		better := false
+		if maxCardinality {
+			if card > bestCard || (card == bestCard && w > bestW) {
+				better = true
+			}
+		} else if w > bestW || (w == bestW && card < bestCard && false) {
+			better = true
+		}
+		if better {
+			bestW, bestCard = w, card
+		}
+		for k := idx; k < len(edges); k++ {
+			e := edges[k]
+			if used[e.U] || used[e.V] {
+				continue
+			}
+			used[e.U], used[e.V] = true, true
+			recur(k+1, used, w+e.W, card+1)
+			used[e.U], used[e.V] = false, false
+		}
+	}
+	recur(0, make([]bool, n), 0, 0)
+	return bestW, bestCard
+}
+
+func matchingStats(t *testing.T, n int, edges []Edge, mate []int) (int64, int) {
+	t.Helper()
+	// Validity: symmetric, partner in range.
+	for v := 0; v < n; v++ {
+		if mate[v] == -1 {
+			continue
+		}
+		if mate[v] < 0 || mate[v] >= n || mate[mate[v]] != v || mate[v] == v {
+			t.Fatalf("invalid mate array: %v", mate)
+		}
+	}
+	// Weight: each matched pair must correspond to an edge; use the
+	// heaviest parallel edge.
+	var w int64
+	card := 0
+	for v := 0; v < n; v++ {
+		u := mate[v]
+		if u == -1 || u < v {
+			continue
+		}
+		best := int64(-1 << 62)
+		found := false
+		for _, e := range edges {
+			if (e.U == v && e.V == u) || (e.U == u && e.V == v) {
+				found = true
+				if e.W > best {
+					best = e.W
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("matched pair (%d,%d) has no edge", v, u)
+		}
+		w += best
+		card++
+	}
+	return w, card
+}
+
+func randGraph(rng *rand.Rand, maxN, maxW int) (int, []Edge) {
+	n := 2 + rng.Intn(maxN-1)
+	var edges []Edge
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < 0.6 {
+				edges = append(edges, Edge{u, v, int64(rng.Intn(maxW + 1))})
+			}
+		}
+	}
+	return n, edges
+}
+
+func TestMaxWeightEmpty(t *testing.T) {
+	mate := MaxWeight(3, nil, false)
+	for _, x := range mate {
+		if x != -1 {
+			t.Fatal("empty graph should have empty matching")
+		}
+	}
+}
+
+func TestMaxWeightSingleEdge(t *testing.T) {
+	mate := MaxWeight(2, []Edge{{0, 1, 5}}, false)
+	if mate[0] != 1 || mate[1] != 0 {
+		t.Fatalf("mate = %v", mate)
+	}
+}
+
+func TestMaxWeightZeroWeightEdgeSkipped(t *testing.T) {
+	// Without maxCardinality a zero-weight edge gains nothing; either
+	// answer is optimal, but weight must be maximal (0).
+	mate := MaxWeight(2, []Edge{{0, 1, 0}}, false)
+	w, _ := matchingStatsNoT(2, []Edge{{0, 1, 0}}, mate)
+	if w != 0 {
+		t.Fatalf("weight = %d", w)
+	}
+	// With maxCardinality the edge must be used.
+	mate = MaxWeight(2, []Edge{{0, 1, 0}}, true)
+	if mate[0] != 1 {
+		t.Fatalf("maxCardinality should match zero edge, mate=%v", mate)
+	}
+}
+
+func matchingStatsNoT(n int, edges []Edge, mate []int) (int64, int) {
+	var w int64
+	card := 0
+	for v := 0; v < n; v++ {
+		u := mate[v]
+		if u == -1 || u < v {
+			continue
+		}
+		for _, e := range edges {
+			if (e.U == v && e.V == u) || (e.U == u && e.V == v) {
+				w += e.W
+				break
+			}
+		}
+		card++
+	}
+	return w, card
+}
+
+func TestMaxWeightPathPrefersMiddleOrEnds(t *testing.T) {
+	// Path 0-1-2 with weights 2, 3: best is single edge (1,2) w=3 ... but
+	// 0-1 (2) + nothing else; max is 3.
+	mate := MaxWeight(3, []Edge{{0, 1, 2}, {1, 2, 3}}, false)
+	if mate[1] != 2 || mate[2] != 1 || mate[0] != -1 {
+		t.Fatalf("mate = %v", mate)
+	}
+}
+
+func TestMaxWeightTriangleBlossom(t *testing.T) {
+	// Classic blossom trigger: odd cycle plus pendant.
+	edges := []Edge{{0, 1, 6}, {1, 2, 10}, {2, 0, 5}, {2, 3, 4}}
+	mate := MaxWeight(4, edges, false)
+	w, _ := matchingStatsNoT(4, edges, mate)
+	bw, _ := bruteMaxWeight(4, edges, false)
+	if w != bw {
+		t.Fatalf("weight %d, brute %d, mate %v", w, bw, mate)
+	}
+}
+
+func TestMaxWeightNestedBlossoms(t *testing.T) {
+	// Known tricky cases from van Rantwijk's test suite.
+	cases := []struct {
+		n     int
+		edges []Edge
+		want  []int
+	}{
+		// test_s_blossom
+		{6, []Edge{{1, 2, 8}, {1, 3, 9}, {2, 3, 10}, {3, 4, 7}, {1, 6 - 1, 5}, {4, 6 - 1, 6}},
+			nil},
+		// test_s_nest: create S-blossom, relabel as T, use for augmentation
+		{7, []Edge{{1, 2, 9}, {1, 3, 9}, {2, 3, 10}, {2, 4, 8}, {3, 5, 8}, {4, 5, 10}, {5, 6, 6}},
+			[]int{-1, 3, 4, 1, 2, 6, 5}},
+		// test_nest_t_expand: create nested S-blossom, augment, expand recursively
+		{9, []Edge{{1, 2, 19}, {1, 3, 20}, {1, 8, 8}, {2, 3, 25}, {2, 4, 18}, {3, 5, 18}, {4, 5, 13}, {4, 7, 7}, {5, 6, 7}},
+			nil},
+	}
+	for ci, c := range cases {
+		mate := MaxWeight(c.n, c.edges, false)
+		w, _ := matchingStatsNoT(c.n, c.edges, mate)
+		bw, _ := bruteMaxWeight(c.n, c.edges, false)
+		if w != bw {
+			t.Fatalf("case %d: weight %d, brute %d, mate %v", ci, w, bw, mate)
+		}
+		if c.want != nil {
+			for v, u := range c.want {
+				if mate[v] != u {
+					t.Fatalf("case %d: mate=%v want %v", ci, mate, c.want)
+				}
+			}
+		}
+	}
+}
+
+func TestMaxWeightRandomAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 400; trial++ {
+		n, edges := randGraph(rng, 8, 12)
+		mate := MaxWeight(n, edges, false)
+		w, _ := matchingStats(t, n, edges, mate)
+		bw, _ := bruteMaxWeight(n, edges, false)
+		if w != bw {
+			t.Fatalf("trial %d: n=%d edges=%v got weight %d want %d (mate %v)",
+				trial, n, edges, w, bw, mate)
+		}
+	}
+}
+
+func TestMaxCardinalityRandomAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 400; trial++ {
+		n, edges := randGraph(rng, 8, 12)
+		mate := MaxWeight(n, edges, true)
+		w, card := matchingStats(t, n, edges, mate)
+		bw, bcard := bruteMaxWeight(n, edges, true)
+		if card != bcard || w != bw {
+			t.Fatalf("trial %d: n=%d edges=%v got (w=%d,c=%d) want (w=%d,c=%d) mate %v",
+				trial, n, edges, w, card, bw, bcard, mate)
+		}
+	}
+}
+
+func TestMinWeightPerfectCompleteGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 * (1 + rng.Intn(4)) // 2,4,6,8
+		var edges []Edge
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				edges = append(edges, Edge{u, v, int64(rng.Intn(50))})
+			}
+		}
+		mate, err := MinWeightPerfect(n, edges)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		var w int64
+		for v := 0; v < n; v++ {
+			if mate[v] == -1 {
+				t.Fatal("not perfect")
+			}
+			if mate[v] > v {
+				for _, e := range edges {
+					if (e.U == v && e.V == mate[v]) || (e.V == v && e.U == mate[v]) {
+						w += e.W
+					}
+				}
+			}
+		}
+		// Brute force min perfect matching.
+		best := bruteMinPerfect(n, edges)
+		if w != best {
+			t.Fatalf("trial %d: got %d want %d", trial, w, best)
+		}
+	}
+}
+
+func bruteMinPerfect(n int, edges []Edge) int64 {
+	wt := make([][]int64, n)
+	for i := range wt {
+		wt[i] = make([]int64, n)
+		for j := range wt[i] {
+			wt[i][j] = 1 << 60
+		}
+	}
+	for _, e := range edges {
+		if e.W < wt[e.U][e.V] {
+			wt[e.U][e.V], wt[e.V][e.U] = e.W, e.W
+		}
+	}
+	var recur func(used int) int64
+	memo := map[int]int64{}
+	recur = func(used int) int64 {
+		if used == (1<<n)-1 {
+			return 0
+		}
+		if v, ok := memo[used]; ok {
+			return v
+		}
+		first := 0
+		for used&(1<<first) != 0 {
+			first++
+		}
+		best := int64(1 << 60)
+		for j := first + 1; j < n; j++ {
+			if used&(1<<j) != 0 || wt[first][j] >= 1<<60 {
+				continue
+			}
+			sub := recur(used | 1<<first | 1<<j)
+			if sub < 1<<60 && wt[first][j]+sub < best {
+				best = wt[first][j] + sub
+			}
+		}
+		memo[used] = best
+		return best
+	}
+	return recur(0)
+}
+
+func TestMinWeightPerfectOddVertices(t *testing.T) {
+	if _, err := MinWeightPerfect(3, []Edge{{0, 1, 1}, {1, 2, 1}}); err == nil {
+		t.Fatal("expected error for odd vertex count")
+	}
+}
+
+func TestMinWeightPerfectNoPerfectMatching(t *testing.T) {
+	// Star K_{1,3}: 4 vertices, no perfect matching.
+	edges := []Edge{{0, 1, 1}, {0, 2, 1}, {0, 3, 1}}
+	if _, err := MinWeightPerfect(4, edges); err == nil {
+		t.Fatal("expected error when no perfect matching exists")
+	}
+}
+
+// Property: the algorithm's matching weight equals brute force on random
+// small graphs, for both modes.
+func TestPropertyMatchesBruteForce(t *testing.T) {
+	f := func(seed int64, maxCard bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, edges := randGraph(rng, 7, 9)
+		mate := MaxWeight(n, edges, maxCard)
+		w, card := matchingStatsNoT(n, edges, mate)
+		bw, bcard := bruteMaxWeight(n, edges, maxCard)
+		if maxCard {
+			return card == bcard && w == bw
+		}
+		return w == bw
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeRandomPerfectMatchingRuns(t *testing.T) {
+	// Smoke test at a decoder-realistic size.
+	rng := rand.New(rand.NewSource(99))
+	n := 60
+	var edges []Edge
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, Edge{u, v, int64(1 + rng.Intn(1000))})
+		}
+	}
+	mate, err := MinWeightPerfect(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < n; v++ {
+		if mate[v] == -1 || mate[mate[v]] != v {
+			t.Fatal("imperfect or asymmetric matching")
+		}
+	}
+}
+
+func BenchmarkMinWeightPerfectK40(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n := 40
+	var edges []Edge
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, Edge{u, v, int64(1 + rng.Intn(1000))})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MinWeightPerfect(n, edges); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package noise
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestT1T2Relationship(t *testing.T) {
+	m := Model{P: 1e-3}
+	if m.T1Ns() != 1e6 {
+		t.Fatalf("T1 = %g ns, want 1e6 (1000 µs at p=1e-3)", m.T1Ns())
+	}
+	if m.T2Ns() != 0.5*m.T1Ns() {
+		t.Fatal("T2 must be T1/2")
+	}
+}
+
+func TestPauliTwirlZeroTime(t *testing.T) {
+	m := Model{P: 1e-3}
+	px, py, pz := m.PauliTwirl(0)
+	if px != 0 || py != 0 || pz != 0 {
+		t.Fatal("zero idle time must give zero error")
+	}
+}
+
+func TestPauliTwirlLongTimeLimit(t *testing.T) {
+	m := Model{P: 1e-3}
+	px, py, pz := m.PauliTwirl(1e12) // t >> T1
+	// Fully mixed limit: pX = pY = 1/4, pZ = 1/4.
+	if math.Abs(px-0.25) > 1e-6 || math.Abs(py-0.25) > 1e-6 || math.Abs(pz-0.25) > 1e-6 {
+		t.Fatalf("long-time limit px=%g py=%g pz=%g, want 0.25 each", px, py, pz)
+	}
+}
+
+func TestPauliTwirlShortTimeExpansion(t *testing.T) {
+	// For t << T1: pX ≈ t/(4 T1); pZ ≈ (2 t/T2 − t/T1)/4 = 3t/(4 T1).
+	m := Model{P: 1e-3}
+	tNs := 1000.0
+	px, _, pz := m.PauliTwirl(tNs)
+	wantX := tNs / (4 * m.T1Ns())
+	wantZ := 3 * tNs / (4 * m.T1Ns())
+	if math.Abs(px-wantX)/wantX > 0.01 {
+		t.Fatalf("px = %g, want ≈ %g", px, wantX)
+	}
+	if math.Abs(pz-wantZ)/wantZ > 0.01 {
+		t.Fatalf("pz = %g, want ≈ %g", pz, wantZ)
+	}
+}
+
+func TestGateRates(t *testing.T) {
+	m := Model{P: 2e-3}
+	if m.Depol1() != 2e-4 || m.ResetFlip() != 2e-4 || m.Idle() != 2e-4 {
+		t.Fatal("0.1p rates wrong")
+	}
+	if m.Depol2() != 2e-3 || m.MeasFlip() != 2e-3 {
+		t.Fatal("p rates wrong")
+	}
+}
+
+// Property: twirl probabilities are valid and monotone in t.
+func TestPropertyTwirlValidMonotone(t *testing.T) {
+	m := Model{P: 1e-3}
+	f := func(a, b uint16) bool {
+		t1 := float64(a)
+		t2 := t1 + float64(b)
+		px1, py1, pz1 := m.PauliTwirl(t1)
+		px2, py2, pz2 := m.PauliTwirl(t2)
+		valid := px1 >= 0 && py1 >= 0 && pz1 >= 0 && px1+py1+pz1 <= 1
+		mono := px2 >= px1 && py2 >= py1 && pz2 >= pz1
+		return valid && mono
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

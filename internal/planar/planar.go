@@ -1,0 +1,415 @@
+// Package planar implements graph planarity testing with the
+// Demoucron–Malgrange–Pertuiset (DMP) face-embedding algorithm, applied
+// per biconnected component. It backs the reproduction of the paper's
+// appendix claim that the listed Flag-Proxy Networks are biplanar
+// (edge-partitionable into two planar layers).
+package planar
+
+import "sort"
+
+// IsPlanar reports whether the undirected graph on n vertices is planar.
+// Self-loops are rejected as non-planar input errors (we have none);
+// parallel edges are deduplicated (they never affect planarity).
+func IsPlanar(n int, edges [][2]int) bool {
+	dedup := map[[2]int]bool{}
+	var es [][2]int
+	for _, e := range edges {
+		if e[0] == e[1] {
+			continue
+		}
+		a, b := e[0], e[1]
+		if a > b {
+			a, b = b, a
+		}
+		k := [2]int{a, b}
+		if !dedup[k] {
+			dedup[k] = true
+			es = append(es, k)
+		}
+	}
+	if len(es) <= 2 {
+		return true
+	}
+	// Global Euler bound.
+	if len(es) > 3*n-6 {
+		return false
+	}
+	for _, block := range biconnectedComponents(n, es) {
+		if !dmpPlanar(block) {
+			return false
+		}
+	}
+	return true
+}
+
+// biconnectedComponents returns the edge sets of the biconnected
+// components (Hopcroft–Tarjan).
+func biconnectedComponents(n int, edges [][2]int) [][][2]int {
+	adj := make([][]int, n) // edge indices
+	for ei, e := range edges {
+		adj[e[0]] = append(adj[e[0]], ei)
+		adj[e[1]] = append(adj[e[1]], ei)
+	}
+	disc := make([]int, n)
+	low := make([]int, n)
+	for i := range disc {
+		disc[i] = -1
+	}
+	var stack []int // edge indices
+	var blocks [][][2]int
+	timer := 0
+	type frame struct {
+		v, parentEdge, iter int
+	}
+	for start := 0; start < n; start++ {
+		if disc[start] != -1 {
+			continue
+		}
+		frames := []frame{{v: start, parentEdge: -1}}
+		disc[start] = timer
+		low[start] = timer
+		timer++
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.iter < len(adj[f.v]) {
+				ei := adj[f.v][f.iter]
+				f.iter++
+				if ei == f.parentEdge {
+					continue
+				}
+				e := edges[ei]
+				to := e[0] + e[1] - f.v
+				if disc[to] == -1 {
+					stack = append(stack, ei)
+					disc[to] = timer
+					low[to] = timer
+					timer++
+					frames = append(frames, frame{v: to, parentEdge: ei})
+				} else if disc[to] < disc[f.v] {
+					stack = append(stack, ei)
+					if disc[to] < low[f.v] {
+						low[f.v] = disc[to]
+					}
+				}
+			} else {
+				frames = frames[:len(frames)-1]
+				if len(frames) == 0 {
+					continue
+				}
+				p := &frames[len(frames)-1]
+				if low[f.v] < low[p.v] {
+					low[p.v] = low[f.v]
+				}
+				if low[f.v] >= disc[p.v] {
+					// p.v is an articulation point (or root): pop a block.
+					var block [][2]int
+					for len(stack) > 0 {
+						ei := stack[len(stack)-1]
+						stack = stack[:len(stack)-1]
+						block = append(block, edges[ei])
+						if ei == f.parentEdge {
+							break
+						}
+					}
+					if len(block) > 0 {
+						blocks = append(blocks, block)
+					}
+				}
+			}
+		}
+	}
+	return blocks
+}
+
+// dmpPlanar runs the DMP embedding on one biconnected component.
+func dmpPlanar(block [][2]int) bool {
+	if len(block) <= 3 {
+		return true
+	}
+	// Relabel vertices densely.
+	label := map[int]int{}
+	for _, e := range block {
+		for _, v := range e {
+			if _, ok := label[v]; !ok {
+				label[v] = len(label)
+			}
+		}
+	}
+	n := len(label)
+	if len(block) > 3*n-6 {
+		return false
+	}
+	adj := make([][]int, n)
+	edgeSet := map[[2]int]bool{}
+	for _, e := range block {
+		a, b := label[e[0]], label[e[1]]
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+		if a > b {
+			a, b = b, a
+		}
+		edgeSet[[2]int{a, b}] = true
+	}
+	// Find an initial cycle by walking until a vertex repeats.
+	cycle := findCycle(n, adj)
+	if cycle == nil {
+		return true // a tree (should not happen in a 2-connected block)
+	}
+	embedded := make([]bool, n) // vertex embedded
+	inEmb := map[[2]int]bool{}  // embedded edges
+	addEmb := func(a, b int) {
+		if a > b {
+			a, b = b, a
+		}
+		inEmb[[2]int{a, b}] = true
+	}
+	for i, v := range cycle {
+		embedded[v] = true
+		addEmb(v, cycle[(i+1)%len(cycle)])
+	}
+	// Faces as vertex cycles.
+	faces := [][]int{append([]int(nil), cycle...), reversed(cycle)}
+
+	for {
+		frags := fragments(n, adj, embedded, inEmb)
+		if len(frags) == 0 {
+			return true
+		}
+		// For each fragment, find admissible faces.
+		bestIdx := -1
+		var bestFaces []int
+		for fi, fr := range frags {
+			var adm []int
+			for fc, face := range faces {
+				if containsAll(face, fr.attach) {
+					adm = append(adm, fc)
+				}
+			}
+			if len(adm) == 0 {
+				return false
+			}
+			if bestIdx == -1 || len(adm) < len(bestFaces) {
+				bestIdx = fi
+				bestFaces = adm
+			}
+		}
+		fr := frags[bestIdx]
+		face := faces[bestFaces[0]]
+		// Find a path through the fragment between two attachments.
+		path := fr.attachPath()
+		// Embed the path's interior vertices and all path edges.
+		for i := 0; i < len(path); i++ {
+			embedded[path[i]] = true
+			if i+1 < len(path) {
+				addEmb(path[i], path[i+1])
+			}
+		}
+		// Split the face along the path.
+		u, v := path[0], path[len(path)-1]
+		iu, iv := indexIn(face, u), indexIn(face, v)
+		if iu == -1 || iv == -1 {
+			return false // inconsistent state; treat as non-planar
+		}
+		arc1 := arc(face, iu, iv)
+		arc2 := arc(face, iv, iu)
+		rev := reversed(path)
+		f1 := append(append([]int(nil), arc1...), rev[1:len(rev)-1]...)
+		f2 := append(append([]int(nil), arc2...), path[1:len(path)-1]...)
+		faces[bestFaces[0]] = f1
+		faces = append(faces, f2)
+	}
+}
+
+type fragment struct {
+	verts  []int // interior (non-embedded) vertices, may be empty
+	edges  [][2]int
+	attach []int // embedded attachment vertices, sorted
+	adj    map[int][]int
+}
+
+// attachPath returns a path between two attachment vertices through the
+// fragment (for a single-edge fragment, just the edge).
+func (f *fragment) attachPath() []int {
+	u := f.attach[0]
+	// BFS from u through fragment edges until another attachment.
+	prev := map[int]int{u: u}
+	queue := []int{u}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, to := range f.adj[cur] {
+			if _, seen := prev[to]; seen {
+				continue
+			}
+			prev[to] = cur
+			if to != u && contains(f.attach, to) {
+				var path []int
+				for x := to; x != u; x = prev[x] {
+					path = append(path, x)
+				}
+				path = append(path, u)
+				return reversed(path)
+			}
+			// Only continue through interior vertices.
+			if !contains(f.attach, to) {
+				queue = append(queue, to)
+			}
+		}
+	}
+	return []int{u} // degenerate; cannot happen in 2-connected blocks
+}
+
+// fragments computes the bridges of the embedded subgraph.
+func fragments(n int, adj [][]int, embedded []bool, inEmb map[[2]int]bool) []*fragment {
+	var frags []*fragment
+	isEmbEdge := func(a, b int) bool {
+		if a > b {
+			a, b = b, a
+		}
+		return inEmb[[2]int{a, b}]
+	}
+	// Single-edge fragments: non-embedded edges between embedded vertices.
+	seenEdge := map[[2]int]bool{}
+	for v := 0; v < n; v++ {
+		if !embedded[v] {
+			continue
+		}
+		for _, to := range adj[v] {
+			if !embedded[to] || isEmbEdge(v, to) {
+				continue
+			}
+			a, b := v, to
+			if a > b {
+				a, b = b, a
+			}
+			if seenEdge[[2]int{a, b}] {
+				continue
+			}
+			seenEdge[[2]int{a, b}] = true
+			fr := &fragment{attach: []int{a, b}, edges: [][2]int{{a, b}},
+				adj: map[int][]int{a: {b}, b: {a}}}
+			sort.Ints(fr.attach)
+			frags = append(frags, fr)
+		}
+	}
+	// Component fragments: components of non-embedded vertices.
+	visited := make([]bool, n)
+	for s := 0; s < n; s++ {
+		if embedded[s] || visited[s] {
+			continue
+		}
+		fr := &fragment{adj: map[int][]int{}}
+		attach := map[int]bool{}
+		stack := []int{s}
+		visited[s] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			fr.verts = append(fr.verts, v)
+			for _, to := range adj[v] {
+				fr.adj[v] = append(fr.adj[v], to)
+				fr.adj[to] = append(fr.adj[to], v)
+				if embedded[to] {
+					attach[to] = true
+				} else if !visited[to] {
+					visited[to] = true
+					stack = append(stack, to)
+				}
+			}
+		}
+		for a := range attach {
+			fr.attach = append(fr.attach, a)
+		}
+		sort.Ints(fr.attach)
+		frags = append(frags, fr)
+	}
+	return frags
+}
+
+func findCycle(n int, adj [][]int) []int {
+	parent := make([]int, n)
+	state := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	var cyc []int
+	var dfs func(v, p int) bool
+	dfs = func(v, p int) bool {
+		state[v] = 1
+		for _, to := range adj[v] {
+			if to == p {
+				p = -2 // allow revisiting parent through a parallel edge only once
+				continue
+			}
+			if state[to] == 1 {
+				// Back edge: extract cycle to..v.
+				cyc = []int{to}
+				for x := v; x != to; x = parent[x] {
+					cyc = append(cyc, x)
+				}
+				return true
+			}
+			if state[to] == 0 {
+				parent[to] = v
+				if dfs(to, v) {
+					return true
+				}
+			}
+		}
+		state[v] = 2
+		return false
+	}
+	for s := 0; s < n; s++ {
+		if state[s] == 0 && dfs(s, -1) {
+			return cyc
+		}
+	}
+	return nil
+}
+
+func reversed(s []int) []int {
+	out := make([]int, len(s))
+	for i, v := range s {
+		out[len(s)-1-i] = v
+	}
+	return out
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func containsAll(s []int, vs []int) bool {
+	for _, v := range vs {
+		if !contains(s, v) {
+			return false
+		}
+	}
+	return true
+}
+
+func indexIn(s []int, v int) int {
+	for i, x := range s {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// arc returns face[i..j] walking forward cyclically (inclusive).
+func arc(face []int, i, j int) []int {
+	var out []int
+	for k := i; ; k = (k + 1) % len(face) {
+		out = append(out, face[k])
+		if k == j {
+			break
+		}
+	}
+	return out
+}

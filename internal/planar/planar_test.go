@@ -1,0 +1,188 @@
+package planar_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/fpn/flagproxy/internal/fpn"
+	"github.com/fpn/flagproxy/internal/planar"
+	"github.com/fpn/flagproxy/internal/surface"
+)
+
+func complete(n int) [][2]int {
+	var es [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			es = append(es, [2]int{i, j})
+		}
+	}
+	return es
+}
+
+func TestCompleteGraphs(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		if !planar.IsPlanar(n, complete(n)) {
+			t.Fatalf("K%d should be planar", n)
+		}
+	}
+	for n := 5; n <= 7; n++ {
+		if planar.IsPlanar(n, complete(n)) {
+			t.Fatalf("K%d should be non-planar", n)
+		}
+	}
+}
+
+func TestK33(t *testing.T) {
+	var es [][2]int
+	for i := 0; i < 3; i++ {
+		for j := 3; j < 6; j++ {
+			es = append(es, [2]int{i, j})
+		}
+	}
+	if planar.IsPlanar(6, es) {
+		t.Fatal("K3,3 should be non-planar")
+	}
+	// Removing one edge makes it planar.
+	if !planar.IsPlanar(6, es[1:]) {
+		t.Fatal("K3,3 minus an edge should be planar")
+	}
+}
+
+func TestPetersen(t *testing.T) {
+	outer := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}
+	spokes := [][2]int{{0, 5}, {1, 6}, {2, 7}, {3, 8}, {4, 9}}
+	inner := [][2]int{{5, 7}, {7, 9}, {9, 6}, {6, 8}, {8, 5}}
+	es := append(append(outer, spokes...), inner...)
+	if planar.IsPlanar(10, es) {
+		t.Fatal("Petersen graph should be non-planar")
+	}
+}
+
+func TestGridPlanar(t *testing.T) {
+	n := 6
+	var es [][2]int
+	id := func(r, c int) int { return r*n + c }
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			if c+1 < n {
+				es = append(es, [2]int{id(r, c), id(r, c+1)})
+			}
+			if r+1 < n {
+				es = append(es, [2]int{id(r, c), id(r+1, c)})
+			}
+		}
+	}
+	if !planar.IsPlanar(n*n, es) {
+		t.Fatal("grid should be planar")
+	}
+}
+
+func TestTreesAndCycles(t *testing.T) {
+	// Random tree.
+	rng := rand.New(rand.NewSource(1))
+	n := 40
+	var es [][2]int
+	for v := 1; v < n; v++ {
+		es = append(es, [2]int{rng.Intn(v), v})
+	}
+	if !planar.IsPlanar(n, es) {
+		t.Fatal("trees are planar")
+	}
+	// Cycle.
+	var cyc [][2]int
+	for v := 0; v < n; v++ {
+		cyc = append(cyc, [2]int{v, (v + 1) % n})
+	}
+	if !planar.IsPlanar(n, cyc) {
+		t.Fatal("cycles are planar")
+	}
+}
+
+func TestDisconnectedWithNonPlanarPart(t *testing.T) {
+	// K5 plus an isolated triangle (shifted labels).
+	es := complete(5)
+	es = append(es, [2]int{5, 6}, [2]int{6, 7}, [2]int{7, 5})
+	if planar.IsPlanar(8, es) {
+		t.Fatal("graph containing K5 must be non-planar")
+	}
+}
+
+func TestParallelAndSelfLoopsIgnored(t *testing.T) {
+	es := [][2]int{{0, 1}, {1, 0}, {0, 1}, {2, 2}, {1, 2}, {2, 0}}
+	if !planar.IsPlanar(3, es) {
+		t.Fatal("triangle with duplicates should be planar")
+	}
+}
+
+func TestPlanarSurfaceCodeCouplingGraph(t *testing.T) {
+	// The rotated surface code's coupling graph is planar by design.
+	l, err := surface.Rotated(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := fpn.Build(l.Code, fpn.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var es [][2]int
+	for q := 0; q < net.NumQubits(); q++ {
+		for _, v := range net.Neighbors(q) {
+			if v > q {
+				es = append(es, [2]int{q, v})
+			}
+		}
+	}
+	if !planar.IsPlanar(net.NumQubits(), es) {
+		t.Fatal("rotated surface code coupling graph must be planar")
+	}
+}
+
+// Property: removing edges preserves planarity (monotone property).
+func TestPropertyEdgeDeletionMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 6 + rng.Intn(6)
+		var es [][2]int
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.5 {
+					es = append(es, [2]int{i, j})
+				}
+			}
+		}
+		if planar.IsPlanar(n, es) {
+			// Any subgraph stays planar.
+			for k := 0; k < 3 && len(es) > 0; k++ {
+				idx := rng.Intn(len(es))
+				sub := append(append([][2]int{}, es[:idx]...), es[idx+1:]...)
+				if !planar.IsPlanar(n, sub) {
+					t.Fatalf("edge deletion broke planarity (n=%d)", n)
+				}
+			}
+		}
+	}
+}
+
+// Property: adding a K5 on fresh vertices makes any graph non-planar.
+func TestPropertyK5Poisoning(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(8)
+		var es [][2]int
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.3 {
+					es = append(es, [2]int{i, j})
+				}
+			}
+		}
+		for i := n; i < n+5; i++ {
+			for j := i + 1; j < n+5; j++ {
+				es = append(es, [2]int{i, j})
+			}
+		}
+		if planar.IsPlanar(n+5, es) {
+			t.Fatal("graph with K5 component reported planar")
+		}
+	}
+}

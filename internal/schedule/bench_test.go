@@ -1,0 +1,46 @@
+package schedule
+
+import (
+	"testing"
+
+	"github.com/fpn/flagproxy/internal/fpn"
+	"github.com/fpn/flagproxy/internal/surface"
+)
+
+func BenchmarkGreedyRotatedD7(b *testing.B) {
+	l, err := surface.Rotated(7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := fpn.Build(l.Code, fpn.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Greedy(net); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildRoundPlanRotatedD7(b *testing.B) {
+	l, err := surface.Rotated(7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := fpn.Build(l.Code, fpn.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := Greedy(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildRoundPlan(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package schedule
+
+import (
+	"fmt"
+
+	"github.com/fpn/flagproxy/internal/fpn"
+	"github.com/fpn/flagproxy/internal/surface"
+)
+
+// CanonicalRotated builds the hand-crafted fault-tolerant schedule of
+// the rotated planar surface code (Tomita & Svore): every check
+// interacts with its data qubits in four timesteps using the "Z"/"S"
+// corner patterns, which keeps hook errors off the logical operators.
+// It is the reference point the greedy algorithm is compared against on
+// planar codes.
+func CanonicalRotated(l *surface.RotatedLayout) (*Schedule, *fpn.Network, error) {
+	net, err := fpn.Build(l.Code, fpn.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	windows := buildWindows(net)
+	s := &Schedule{Net: net, Windows: windows}
+	phase := Phase{Times: map[WD]int{}}
+	// windows are direct, one per check, in check order.
+	if len(windows) != len(l.Code.Checks) {
+		return nil, nil, fmt.Errorf("schedule: unexpected window structure for rotated code")
+	}
+	for wi, w := range windows {
+		if len(w.Checks) != 1 || w.Flag != -1 {
+			return nil, nil, fmt.Errorf("schedule: window %d is not a direct check window", wi)
+		}
+		ci := w.Checks[0]
+		order := l.CanonicalCNOTOrder(ci)
+		// Boundary checks skip missing corners but keep the slot of the
+		// surviving corners so that commutation with bulk checks holds:
+		// recompute the absolute corner slots.
+		slots := canonicalSlots(l, ci)
+		if len(order) != len(slots) {
+			return nil, nil, fmt.Errorf("schedule: slot/order mismatch for check %d", ci)
+		}
+		for k, q := range order {
+			phase.Times[WD{wi, q}] = slots[k]
+		}
+		phase.Windows = append(phase.Windows, wi)
+	}
+	for _, t := range phase.Times {
+		if t > phase.Steps {
+			phase.Steps = t
+		}
+	}
+	s.Phases = []Phase{phase}
+	if err := s.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("schedule: canonical rotated schedule invalid: %w", err)
+	}
+	return s, net, nil
+}
+
+// canonicalSlots returns the absolute timestep (1..4) of each present
+// corner in the canonical order: X checks sweep NW,NE,SW,SE over slots
+// 1..4 and Z checks NW,SW,NE,SE; a missing boundary corner frees its
+// slot but does not shift the others.
+func canonicalSlots(l *surface.RotatedLayout, check int) []int {
+	i, j := l.CheckPos[check][0], l.CheckPos[check][1]
+	d := l.D
+	present := func(r, c int) bool { return r >= 0 && r < d && c >= 0 && c < d }
+	type corner struct{ r, c int }
+	nw := corner{i - 1, j - 1}
+	ne := corner{i - 1, j}
+	sw := corner{i, j - 1}
+	se := corner{i, j}
+	var seq []corner
+	if l.Code.Checks[check].Basis == 'X' {
+		seq = []corner{nw, ne, sw, se}
+	} else {
+		seq = []corner{nw, sw, ne, se}
+	}
+	var out []int
+	for slot, cr := range seq {
+		if present(cr.r, cr.c) {
+			out = append(out, slot+1)
+		}
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package schedule
+
+import (
+	"testing"
+
+	"github.com/fpn/flagproxy/internal/surface"
+)
+
+func TestCanonicalRotatedValid(t *testing.T) {
+	for _, d := range []int{3, 5, 7} {
+		l, err := surface.Rotated(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, _, err := CanonicalRotated(l)
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		if s.Steps() != 4 {
+			t.Fatalf("d=%d: canonical schedule has %d steps, want 4", d, s.Steps())
+		}
+	}
+}
+
+func TestCanonicalRotatedPlan(t *testing.T) {
+	l, err := surface.Rotated(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, err := CanonicalRotated(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := BuildRoundPlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.CXLayers != 4 {
+		t.Fatalf("CX layers = %d, want 4", plan.CXLayers)
+	}
+	// 1050 ns: the theoretical shortest for δ=4.
+	if plan.LatencyNs != TheoreticalShortestNs(4) {
+		t.Fatalf("latency %.0f, want %.0f", plan.LatencyNs, TheoreticalShortestNs(4))
+	}
+}
+
+func TestCanonicalBeatsGreedyOnPlanar(t *testing.T) {
+	l, err := surface.Rotated(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, net, err := CanonicalRotated(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := Greedy(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon.Steps() > greedy.Steps() {
+		t.Fatalf("canonical (%d) worse than greedy (%d)", canon.Steps(), greedy.Steps())
+	}
+	t.Logf("canonical %d steps vs greedy %d", canon.Steps(), greedy.Steps())
+}

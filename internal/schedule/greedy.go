@@ -1,0 +1,413 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/fpn/flagproxy/internal/css"
+	"github.com/fpn/flagproxy/internal/fpn"
+)
+
+// solverBudget bounds the branch-and-bound node count per check. The
+// first depth-first descent already produces a greedy-feasible
+// assignment, so the budget mostly controls how hard the solver works at
+// proving optimality; a modest cap keeps large codes fast at negligible
+// quality cost. If no solution at all is found within the budget, the
+// greedy algorithm falls back to appending at fresh timesteps (always
+// feasible, worst-case depth).
+const solverBudget = 60_000
+
+// Greedy runs Algorithm 1 on a network: checks are scheduled one at a
+// time, each by an exact branch-and-bound solve of its local CSP under
+// the constraints imposed by already-scheduled checks. When any physical
+// flag serves both bases, the round is split into a Z phase followed by
+// an X phase (the flag cannot hold both bases at once), which also
+// discharges the commutation constraints.
+func Greedy(net *fpn.Network) (*Schedule, error) {
+	windows := buildWindows(net)
+	s := &Schedule{Net: net, Windows: windows, Split: needsSplit(windows)}
+	if !s.Split {
+		// Try a fully interleaved schedule first. Codes whose X and Z
+		// checks share large supports (color codes) make the commutation
+		// constraints so restrictive that interleaving degenerates past
+		// the disjoint worst case; in that regime measure the bases
+		// separately, as the paper does for the hyperbolic color codes.
+		phase := Phase{Times: map[WD]int{}}
+		for wi := range windows {
+			phase.Windows = append(phase.Windows, wi)
+		}
+		if err := s.schedulePhase(&phase, true); err != nil {
+			return nil, err
+		}
+		worst := s.Net.Code.MaxWeight(css.X) + s.Net.Code.MaxWeight(css.Z)
+		if phase.Steps <= worst {
+			s.Phases = []Phase{phase}
+			if err := s.Validate(); err != nil {
+				return nil, fmt.Errorf("schedule: greedy produced invalid schedule: %w", err)
+			}
+			return s, nil
+		}
+		// Re-schedule the bases disjointly but keep a single measurement
+		// phase: Z checks first, X checks shifted past them (every
+		// commutation product is then positive).
+		merged := Phase{Times: map[WD]int{}}
+		for wi := range windows {
+			merged.Windows = append(merged.Windows, wi)
+		}
+		shift := 0
+		for _, b := range []css.Basis{css.Z, css.X} {
+			sub := Phase{Basis: b, Times: map[WD]int{}}
+			for wi, w := range windows {
+				if w.Basis == b {
+					sub.Windows = append(sub.Windows, wi)
+				}
+			}
+			if err := s.schedulePhase(&sub, false); err != nil {
+				return nil, err
+			}
+			for wd, t := range sub.Times {
+				merged.Times[wd] = t + shift
+			}
+			shift += sub.Steps
+		}
+		merged.Steps = shift
+		s.Phases = []Phase{merged}
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("schedule: greedy produced invalid schedule: %w", err)
+		}
+		return s, nil
+	}
+	for _, b := range []css.Basis{css.Z, css.X} {
+		phase := Phase{Basis: b, Times: map[WD]int{}}
+		for wi, w := range windows {
+			if w.Basis == b {
+				phase.Windows = append(phase.Windows, wi)
+			}
+		}
+		if err := s.schedulePhase(&phase, false); err != nil {
+			return nil, err
+		}
+		s.Phases = append(s.Phases, phase)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("schedule: greedy produced invalid schedule: %w", err)
+	}
+	return s, nil
+}
+
+// schedulePhase schedules all checks whose windows lie in the phase.
+func (s *Schedule) schedulePhase(phase *Phase, commute bool) error {
+	code := s.Net.Code
+	// Deterministic check order: alternate Z and X checks so the solver
+	// can interleave the bases instead of stacking one after the other
+	// (scheduling all Z checks first forces the X checks into late
+	// timesteps and degenerates to the disjoint worst case).
+	var checks []int
+	seen := map[int]bool{}
+	for _, wi := range phase.Windows {
+		for _, c := range s.Windows[wi].Checks {
+			if !seen[c] {
+				seen[c] = true
+				checks = append(checks, c)
+			}
+		}
+	}
+	sort.Ints(checks)
+	var zs, xs []int
+	for _, c := range checks {
+		if code.Checks[c].Basis == css.Z {
+			zs = append(zs, c)
+		} else {
+			xs = append(xs, c)
+		}
+	}
+	checks = checks[:0]
+	for i := 0; i < len(zs) || i < len(xs); i++ {
+		if i < len(zs) {
+			checks = append(checks, zs[i])
+		}
+		if i < len(xs) {
+			checks = append(checks, xs[i])
+		}
+	}
+	// windowOf[check] = windows serving it (within phase).
+	windowOf := map[int][]int{}
+	for _, wi := range phase.Windows {
+		for _, c := range s.Windows[wi].Checks {
+			windowOf[c] = append(windowOf[c], wi)
+		}
+	}
+	deltaMax := 0
+	for _, ci := range checks {
+		if w := len(code.Checks[ci].Support); w > deltaMax {
+			deltaMax = w
+		}
+	}
+	qubitTimes := map[int]map[int]bool{} // data qubit -> occupied times
+	scheduled := map[int]bool{}          // checks done
+	for _, ci := range checks {
+		if err := s.scheduleCheck(phase, ci, windowOf[ci], qubitTimes, scheduled, commute, deltaMax); err != nil {
+			return err
+		}
+		scheduled[ci] = true
+	}
+	// Phase step count.
+	for _, t := range phase.Times {
+		if t > phase.Steps {
+			phase.Steps = t
+		}
+	}
+	return nil
+}
+
+// commConstraint is one commutation constraint against a scheduled
+// opposite-basis check: the product over shared qubits of
+// (t_this(q) − fixedOther(q)) must be positive.
+type commConstraint struct {
+	vars  []WD  // entries of this check's assignment involved (may be fixed)
+	other []int // the already-scheduled partner's times, aligned with vars
+}
+
+func (s *Schedule) scheduleCheck(phase *Phase, ci int, wins []int, qubitTimes map[int]map[int]bool, scheduled map[int]bool, commute bool, deltaMax int) error {
+	code := s.Net.Code
+	// Collect this check's (window, qubit) slots; some may be fixed
+	// already by shared windows scheduled through an earlier check.
+	var vars []WD
+	fixed := map[WD]int{}
+	for _, wi := range wins {
+		for _, q := range s.Windows[wi].Data {
+			wd := WD{wi, q}
+			if t, ok := phase.Times[wd]; ok {
+				fixed[wd] = t
+			} else {
+				vars = append(vars, wd)
+			}
+		}
+	}
+	// Commutation constraints against scheduled opposite-basis checks.
+	var comms []commConstraint
+	if commute {
+		myQubits := map[int][]WD{} // data qubit -> slots of this check
+		for _, wi := range wins {
+			for _, q := range s.Windows[wi].Data {
+				myQubits[q] = append(myQubits[q], WD{wi, q})
+			}
+		}
+		for cj := range scheduled {
+			if code.Checks[cj].Basis == code.Checks[ci].Basis {
+				continue
+			}
+			tj := s.checkTimes(phase, cj)
+			var cc commConstraint
+			for q, t2 := range tj {
+				if slots, ok := myQubits[q]; ok {
+					cc.vars = append(cc.vars, slots[0])
+					cc.other = append(cc.other, t2)
+				}
+			}
+			if len(cc.vars) > 0 {
+				comms = append(comms, cc)
+			}
+		}
+	}
+	band := 2 * deltaMax
+	// The band must at least cover window-internal congestion: a shared
+	// window's fixed times may already exceed it.
+	for _, t := range fixed {
+		if t+len(vars) > band {
+			band = t + len(vars)
+		}
+	}
+	assign := solveCheck(vars, fixed, comms, qubitTimes, phase, s, band)
+	if assign == nil {
+		assign = fallbackAssign(vars, fixed, comms, qubitTimes, phase, s)
+		if assign == nil {
+			return fmt.Errorf("schedule: no feasible schedule for check %d", ci)
+		}
+	}
+	for wd, t := range assign {
+		phase.Times[wd] = t
+		if qubitTimes[wd.Q] == nil {
+			qubitTimes[wd.Q] = map[int]bool{}
+		}
+		qubitTimes[wd.Q][t] = true
+	}
+	return nil
+}
+
+// solveCheck is the exact branch-and-bound CSP solver (the CPLEX
+// stand-in): minimize the check's tmax subject to data-qubit uniqueness,
+// window-internal distinctness and commutation constraints.
+func solveCheck(vars []WD, fixed map[WD]int, comms []commConstraint, qubitTimes map[int]map[int]bool, phase *Phase, s *Schedule, band int) map[WD]int {
+	if len(vars) == 0 {
+		return map[WD]int{}
+	}
+	// Window occupancy within this check (fixed times count).
+	winUsed := map[int]map[int]bool{}
+	markWin := func(w, t int, on bool) {
+		if winUsed[w] == nil {
+			winUsed[w] = map[int]bool{}
+		}
+		winUsed[w][t] = on
+	}
+	fixedMax := 0
+	for wd, t := range fixed {
+		markWin(wd.W, t, true)
+		if t > fixedMax {
+			fixedMax = t
+		}
+	}
+	// Also respect times used by the same window from other checks
+	// already in phase.Times (shared windows).
+	for _, wi := range phase.Windows {
+		for _, q := range s.Windows[wi].Data {
+			if t, ok := phase.Times[WD{wi, q}]; ok {
+				markWin(wi, t, true)
+			}
+		}
+	}
+	cur := map[WD]int{}
+	bestMax := band + 1
+	var best map[WD]int
+	nodes := 0
+
+	valueOf := func(wd WD) (int, bool) {
+		if t, ok := cur[wd]; ok {
+			return t, true
+		}
+		if t, ok := fixed[wd]; ok {
+			return t, true
+		}
+		return 0, false
+	}
+	checkComms := func(lastVar WD) bool {
+		for _, cc := range comms {
+			relevant := false
+			complete := true
+			neg := 0
+			for i, wd := range cc.vars {
+				if wd == lastVar {
+					relevant = true
+				}
+				t, ok := valueOf(wd)
+				if !ok {
+					complete = false
+					break
+				}
+				if t < cc.other[i] {
+					neg++
+				}
+			}
+			if relevant && complete && neg%2 != 0 {
+				return false
+			}
+		}
+		return true
+	}
+
+	var dfs func(idx, curMax int) bool // returns false on budget exhaustion
+	dfs = func(idx, curMax int) bool {
+		if nodes++; nodes > solverBudget {
+			return false
+		}
+		if curMax >= bestMax {
+			return true
+		}
+		if idx == len(vars) {
+			bestMax = curMax
+			best = map[WD]int{}
+			for k, v := range cur {
+				best[k] = v
+			}
+			return true
+		}
+		wd := vars[idx]
+		for t := 1; t <= band && t < bestMax; t++ {
+			if qubitTimes[wd.Q][t] {
+				continue
+			}
+			if winUsed[wd.W][t] {
+				continue
+			}
+			// A data qubit appearing in several windows of this check
+			// (rare) must also self-avoid.
+			conflict := false
+			for prev, pt := range cur {
+				if prev.Q == wd.Q && pt == t {
+					conflict = true
+					break
+				}
+			}
+			if conflict {
+				continue
+			}
+			cur[wd] = t
+			markWin(wd.W, t, true)
+			if checkComms(wd) {
+				nm := curMax
+				if t > nm {
+					nm = t
+				}
+				if !dfs(idx+1, nm) {
+					delete(cur, wd)
+					markWin(wd.W, t, false)
+					return false
+				}
+			}
+			delete(cur, wd)
+			markWin(wd.W, t, false)
+		}
+		return true
+	}
+	dfs(0, fixedMax)
+	return best
+}
+
+// fallbackAssign places the unassigned slots at fresh timesteps past
+// every existing assignment, then verifies commutation; it is the
+// guaranteed-feasible worst-case placement.
+func fallbackAssign(vars []WD, fixed map[WD]int, comms []commConstraint, qubitTimes map[int]map[int]bool, phase *Phase, s *Schedule) map[WD]int {
+	maxT := 0
+	for _, t := range phase.Times {
+		if t > maxT {
+			maxT = t
+		}
+	}
+	for _, t := range fixed {
+		if t > maxT {
+			maxT = t
+		}
+	}
+	assign := map[WD]int{}
+	t := maxT
+	for _, wd := range vars {
+		t++
+		assign[wd] = t
+	}
+	// Verify commutation with the combined assignment.
+	lookup := func(wd WD) (int, bool) {
+		if v, ok := assign[wd]; ok {
+			return v, true
+		}
+		if v, ok := fixed[wd]; ok {
+			return v, true
+		}
+		return 0, false
+	}
+	for _, cc := range comms {
+		neg := 0
+		for i, wd := range cc.vars {
+			v, ok := lookup(wd)
+			if !ok {
+				return nil
+			}
+			if v < cc.other[i] {
+				neg++
+			}
+		}
+		if neg%2 != 0 {
+			return nil
+		}
+	}
+	return assign
+}

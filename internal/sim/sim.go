@@ -1,0 +1,291 @@
+// Package sim is the Pauli-frame sampler (the Stim substitute): it
+// propagates X/Z error frames through Clifford circuits with 64 shots
+// bit-packed per machine word, samples the paper's noise channels with
+// geometric skip-sampling, and reads out detector and observable flips.
+// A deterministic injection mode drives the detector-error-model
+// extraction in package dem.
+package sim
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/fpn/flagproxy/internal/circuit"
+)
+
+// Result holds per-shot detector and observable flip bits, packed 64
+// shots per word.
+type Result struct {
+	Shots       int
+	Words       int
+	Detectors   [][]uint64 // [detector][word]
+	Observables [][]uint64
+	MeasFlips   [][]uint64 // [measurement][word]
+}
+
+// DetectorBit reports whether detector d fired in shot s.
+func (r *Result) DetectorBit(d, s int) bool {
+	return r.Detectors[d][s/64]>>(uint(s)%64)&1 == 1
+}
+
+// ObservableBit reports whether observable o flipped in shot s.
+func (r *Result) ObservableBit(o, s int) bool {
+	return r.Observables[o][s/64]>>(uint(s)%64)&1 == 1
+}
+
+// Pauli is a sparse Pauli operator used for deterministic injection.
+type Pauli struct {
+	Qubit int
+	X, Z  bool
+}
+
+// Injection plants a Pauli error (or measurement flip) in a given lane
+// immediately after op OpIndex executes.
+type Injection struct {
+	OpIndex int
+	Lane    int
+	Paulis  []Pauli
+	// IsMeasFlip flips measurement record FlipMeas instead of injecting a
+	// Pauli (used for misread faults). The flip is applied after the
+	// whole circuit runs, so it cannot be clobbered by the measurement.
+	IsMeasFlip bool
+	FlipMeas   int
+}
+
+type frameSim struct {
+	c      *circuit.Circuit
+	words  int
+	shots  int
+	fx, fz [][]uint64
+	meas   [][]uint64
+	rng    *rand.Rand
+
+	measBases []int // lazily computed first-measurement index per op
+}
+
+// Run samples the circuit with its annotated noise for the given number
+// of shots.
+func Run(c *circuit.Circuit, shots int, seed int64) *Result {
+	fs := newFrameSim(c, shots, seed)
+	for oi, op := range c.Ops {
+		fs.apply(oi, op, true, nil)
+	}
+	return fs.result()
+}
+
+// RunDeterministic executes the circuit with all noise channels disabled
+// and the given faults injected; lane l of the result reflects exactly
+// the faults with Lane == l.
+func RunDeterministic(c *circuit.Circuit, shots int, inj []Injection) *Result {
+	fs := newFrameSim(c, shots, 0)
+	byOp := map[int][]Injection{}
+	var measFlips []Injection
+	for _, in := range inj {
+		if in.IsMeasFlip {
+			measFlips = append(measFlips, in)
+			continue
+		}
+		byOp[in.OpIndex] = append(byOp[in.OpIndex], in)
+	}
+	for oi, op := range c.Ops {
+		fs.apply(oi, op, false, byOp[oi])
+	}
+	for _, in := range measFlips {
+		setBit(fs.meas[in.FlipMeas], in.Lane)
+	}
+	return fs.result()
+}
+
+func newFrameSim(c *circuit.Circuit, shots int, seed int64) *frameSim {
+	words := (shots + 63) / 64
+	fs := &frameSim{c: c, words: words, shots: shots, rng: rand.New(rand.NewSource(seed))}
+	fs.fx = make([][]uint64, c.NumQubits)
+	fs.fz = make([][]uint64, c.NumQubits)
+	for q := range fs.fx {
+		fs.fx[q] = make([]uint64, words)
+		fs.fz[q] = make([]uint64, words)
+	}
+	fs.meas = make([][]uint64, c.NumMeas)
+	for m := range fs.meas {
+		fs.meas[m] = make([]uint64, words)
+	}
+	return fs
+}
+
+func (fs *frameSim) result() *Result {
+	r := &Result{Shots: fs.shots, Words: fs.words, MeasFlips: fs.meas}
+	for _, d := range fs.c.Detectors {
+		acc := make([]uint64, fs.words)
+		for _, m := range d.Meas {
+			for w := range acc {
+				acc[w] ^= fs.meas[m][w]
+			}
+		}
+		r.Detectors = append(r.Detectors, acc)
+	}
+	for _, o := range fs.c.Observables {
+		acc := make([]uint64, fs.words)
+		for _, m := range o {
+			for w := range acc {
+				acc[w] ^= fs.meas[m][w]
+			}
+		}
+		r.Observables = append(r.Observables, acc)
+	}
+	return r
+}
+
+// forEachLane visits lanes selected i.i.d. with probability p, using
+// geometric skip-sampling so the cost is proportional to the number of
+// hits rather than the number of shots.
+func (fs *frameSim) forEachLane(p float64, f func(lane int)) {
+	if p <= 0 {
+		return
+	}
+	if p >= 1 {
+		for l := 0; l < fs.shots; l++ {
+			f(l)
+		}
+		return
+	}
+	logq := math.Log1p(-p)
+	l := 0
+	for {
+		u := fs.rng.Float64()
+		skip := int(math.Log(1-u) / logq)
+		l += skip
+		if l >= fs.shots {
+			return
+		}
+		f(l)
+		l++
+	}
+}
+
+func setBit(row []uint64, lane int) { row[lane/64] ^= 1 << (uint(lane) % 64) }
+
+func (fs *frameSim) apply(opIndex int, op circuit.Op, noisy bool, inj []Injection) {
+	switch op.Kind {
+	case circuit.OpCX:
+		for _, p := range op.Pairs {
+			c, t := p[0], p[1]
+			for w := 0; w < fs.words; w++ {
+				fs.fx[t][w] ^= fs.fx[c][w]
+				fs.fz[c][w] ^= fs.fz[t][w]
+			}
+		}
+	case circuit.OpH:
+		for _, q := range op.Qubits {
+			fs.fx[q], fs.fz[q] = fs.fz[q], fs.fx[q]
+		}
+	case circuit.OpReset:
+		for _, q := range op.Qubits {
+			for w := 0; w < fs.words; w++ {
+				fs.fx[q][w] = 0
+				fs.fz[q][w] = 0
+			}
+		}
+	case circuit.OpMR, circuit.OpM:
+		meas := fs.measBase(opIndex)
+		for i, q := range op.Qubits {
+			m := meas + i
+			copy(fs.meas[m], fs.fx[q])
+			if noisy && op.FlipProb > 0 {
+				fs.forEachLane(op.FlipProb, func(l int) { setBit(fs.meas[m], l) })
+			}
+			if op.Kind == circuit.OpMR {
+				for w := 0; w < fs.words; w++ {
+					fs.fx[q][w] = 0
+					fs.fz[q][w] = 0
+				}
+			} else {
+				// Terminal measurement: frame beyond is irrelevant.
+				for w := 0; w < fs.words; w++ {
+					fs.fz[q][w] = 0
+				}
+			}
+		}
+	case circuit.OpPauli1:
+		if noisy {
+			for _, q := range op.Qubits {
+				fs.forEachLane(op.PX, func(l int) { setBit(fs.fx[q], l) })
+				fs.forEachLane(op.PY, func(l int) { setBit(fs.fx[q], l); setBit(fs.fz[q], l) })
+				fs.forEachLane(op.PZ, func(l int) { setBit(fs.fz[q], l) })
+			}
+		}
+	case circuit.OpDepol1:
+		if noisy {
+			for _, q := range op.Qubits {
+				fs.forEachLane(op.P, func(l int) {
+					switch fs.rng.Intn(3) {
+					case 0:
+						setBit(fs.fx[q], l)
+					case 1:
+						setBit(fs.fx[q], l)
+						setBit(fs.fz[q], l)
+					case 2:
+						setBit(fs.fz[q], l)
+					}
+				})
+			}
+		}
+	case circuit.OpDepol2:
+		if noisy {
+			for _, pr := range op.Pairs {
+				a, b := pr[0], pr[1]
+				fs.forEachLane(op.P, func(l int) {
+					k := 1 + fs.rng.Intn(15) // 2-qubit Pauli index, base 4, skipping II
+					pa, pb := k/4, k%4
+					fs.injectPauliIndex(a, pa, l)
+					fs.injectPauliIndex(b, pb, l)
+				})
+			}
+		}
+	case circuit.OpXFlip:
+		if noisy {
+			for _, q := range op.Qubits {
+				fs.forEachLane(op.P, func(l int) { setBit(fs.fx[q], l) })
+			}
+		}
+	}
+	// Deterministic injections occur after the op's own action.
+	for _, in := range inj {
+		for _, p := range in.Paulis {
+			if p.X {
+				setBit(fs.fx[p.Qubit], in.Lane)
+			}
+			if p.Z {
+				setBit(fs.fz[p.Qubit], in.Lane)
+			}
+		}
+	}
+}
+
+// injectPauliIndex applies Pauli index 0=I,1=X,2=Y,3=Z to lane l.
+func (fs *frameSim) injectPauliIndex(q, idx, l int) {
+	switch idx {
+	case 1:
+		setBit(fs.fx[q], l)
+	case 2:
+		setBit(fs.fx[q], l)
+		setBit(fs.fz[q], l)
+	case 3:
+		setBit(fs.fz[q], l)
+	}
+}
+
+// measBase returns the measurement index of the first measurement of the
+// op at opIndex, caching the scan.
+func (fs *frameSim) measBase(opIndex int) int {
+	if fs.measBases == nil {
+		fs.measBases = make([]int, len(fs.c.Ops))
+		n := 0
+		for i, op := range fs.c.Ops {
+			fs.measBases[i] = n
+			if op.Kind == circuit.OpMR || op.Kind == circuit.OpM {
+				n += len(op.Qubits)
+			}
+		}
+	}
+	return fs.measBases[opIndex]
+}

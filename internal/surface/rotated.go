@@ -1,0 +1,105 @@
+package surface
+
+import (
+	"fmt"
+
+	"github.com/fpn/flagproxy/internal/css"
+)
+
+// RotatedLayout records the geometry of a rotated planar surface code so
+// that the scheduler can use the canonical fault-tolerant CNOT ordering.
+type RotatedLayout struct {
+	D    int
+	Code *css.Code
+	// CheckPos[i] = plaquette coordinate (row, col) of check i in
+	// Code.Checks; data qubit r*d+c sits at (r, c).
+	CheckPos [][2]int
+}
+
+// Rotated constructs the [[d^2, 1, d]] rotated planar surface code.
+// Data qubit (r, c) has index r*d+c. Plaquette (i, j), 0 ≤ i, j ≤ d,
+// covers the up-to-four data qubits {i-1, i} × {j-1, j}; bulk plaquettes
+// alternate X/Z by parity of i+j, and only X plaquettes survive on the
+// top/bottom boundary and Z plaquettes on the left/right boundary.
+func Rotated(d int) (*RotatedLayout, error) {
+	if d < 2 {
+		return nil, fmt.Errorf("surface: rotated code needs d ≥ 2, got %d", d)
+	}
+	var checks []css.Check
+	var pos [][2]int
+	for i := 0; i <= d; i++ {
+		for j := 0; j <= d; j++ {
+			var sup []int
+			for _, r := range []int{i - 1, i} {
+				for _, c := range []int{j - 1, j} {
+					if r >= 0 && r < d && c >= 0 && c < d {
+						sup = append(sup, r*d+c)
+					}
+				}
+			}
+			if len(sup) < 2 {
+				continue
+			}
+			basis := css.Z
+			if (i+j)%2 == 0 {
+				basis = css.X
+			}
+			if len(sup) == 2 {
+				onTopBottom := i == 0 || i == d
+				onLeftRight := j == 0 || j == d
+				if onTopBottom && basis != css.X {
+					continue
+				}
+				if onLeftRight && basis != css.Z {
+					continue
+				}
+			}
+			checks = append(checks, css.Check{Basis: basis, Support: sup, Color: -1})
+			pos = append(pos, [2]int{i, j})
+		}
+	}
+	code, err := css.New(fmt.Sprintf("rotated-d%d", d), "planar-surface", d*d, checks)
+	if err != nil {
+		return nil, err
+	}
+	if code.K != 1 {
+		return nil, fmt.Errorf("surface: rotated d=%d has k=%d, want 1", d, code.K)
+	}
+	code.DX, code.DZ = d, d
+	code.DXExact, code.DZExact = true, true
+	return &RotatedLayout{D: d, Code: code, CheckPos: pos}, nil
+}
+
+// CanonicalCNOTOrder returns, for check i of the rotated code, the data
+// qubits in the canonical fault-tolerant interaction order (Tomita &
+// Svore): X checks sweep in a "Z" pattern (NW, NE, SW, SE) and Z checks
+// in an "S" pattern (NW, SW, NE, SE), which prevents hook errors from
+// aligning with the logical operators. Missing (boundary) corners are
+// skipped, preserving the relative order.
+func (l *RotatedLayout) CanonicalCNOTOrder(check int) []int {
+	i, j := l.CheckPos[check][0], l.CheckPos[check][1]
+	d := l.D
+	corner := func(r, c int) int {
+		if r >= 0 && r < d && c >= 0 && c < d {
+			return r*d + c
+		}
+		return -1
+	}
+	nw := corner(i-1, j-1)
+	ne := corner(i-1, j)
+	sw := corner(i, j-1)
+	se := corner(i, j)
+	var order []int
+	if l.Code.Checks[check].Basis == css.X {
+		order = []int{nw, ne, sw, se}
+	} else {
+		order = []int{nw, sw, ne, se}
+	}
+	var out []int
+	for _, q := range order {
+		if q >= 0 {
+			out = append(out, q)
+		}
+	}
+	return out
+}

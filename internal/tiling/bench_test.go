@@ -1,0 +1,36 @@
+package tiling
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkSquareTorus16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := SquareTorus(16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubdivideL3(b *testing.B) {
+	m, err := SquareTorus(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Subdivide(m, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchTetrahedron(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		if Search(3, 3, 12, rng, 500_000) == nil {
+			b.Fatal("search failed")
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package tiling
+
+import "fmt"
+
+// Face colors of a 3-colorable tiling.
+const (
+	Red = iota
+	Green
+	Blue
+)
+
+// ColorFace is one plaquette of a color tiling: its color and the data
+// qubits (vertices of the trivalent tiling) on its boundary.
+type ColorFace struct {
+	Color  int
+	Qubits []int
+}
+
+// ColorTiling is a trivalent, 3-face-colorable closed tiling: the
+// substrate of a color code. Qubits are the vertices; every qubit lies on
+// exactly one face of each color.
+type ColorTiling struct {
+	NQubits int
+	Faces   []ColorFace
+}
+
+// Truncate converts an {s/2, 2r} map into the {r, s}-subfamily color
+// tiling (the paper's convention: red plaquettes are 2r-gons from the
+// vertices of m, green/blue plaquettes are s-gons from the faces of m).
+// The qubits of the result are the darts of m. It fails when the faces of
+// m cannot be 2-colored (non-bipartite face adjacency), which is a
+// topological obstruction on some quotients.
+func Truncate(m *Map) (*ColorTiling, error) {
+	// Red faces: sigma-orbits (vertex faces), qubits are the darts in
+	// rotation order — each original vertex of degree 2r yields a 2r-gon.
+	ct := &ColorTiling{NQubits: m.NDarts}
+	for _, v := range m.Vertices {
+		ct.Faces = append(ct.Faces, ColorFace{Color: Red, Qubits: append([]int(nil), v...)})
+	}
+	// Face faces: each original face (phi-orbit of length p) yields a
+	// 2p-gon with qubits {d, alpha(d)} for darts d on the walk. Two face
+	// faces are adjacent iff the originals share an edge of m.
+	adj := make([][]int, m.F())
+	for _, darts := range m.Edges {
+		f1, f2 := m.DartFace[darts[0]], m.DartFace[darts[1]]
+		if f1 == f2 {
+			return nil, fmt.Errorf("tiling: face glued to itself along an edge; not 3-colorable")
+		}
+		adj[f1] = append(adj[f1], f2)
+		adj[f2] = append(adj[f2], f1)
+	}
+	color := make([]int, m.F())
+	for i := range color {
+		color[i] = -1
+	}
+	for start := range adj {
+		if color[start] >= 0 {
+			continue
+		}
+		color[start] = 0
+		queue := []int{start}
+		for len(queue) > 0 {
+			f := queue[0]
+			queue = queue[1:]
+			for _, g := range adj[f] {
+				if color[g] < 0 {
+					color[g] = 1 - color[f]
+					queue = append(queue, g)
+				} else if color[g] == color[f] {
+					return nil, fmt.Errorf("tiling: face adjacency not bipartite; tiling not 3-colorable")
+				}
+			}
+		}
+	}
+	for f, darts := range m.Faces {
+		qubits := make([]int, 0, 2*len(darts))
+		for _, d := range darts {
+			qubits = append(qubits, d, m.Alpha[d])
+		}
+		c := Green
+		if color[f] == 1 {
+			c = Blue
+		}
+		ct.Faces = append(ct.Faces, ColorFace{Color: c, Qubits: qubits})
+	}
+	if err := ct.Validate(); err != nil {
+		return nil, err
+	}
+	return ct, nil
+}
+
+// Validate checks the color-code well-formedness conditions: every qubit
+// on exactly one face of each color, every face with at least 4 distinct
+// qubits, and any two faces sharing an even number of qubits (needed for
+// X/Z check commutation).
+func (ct *ColorTiling) Validate() error {
+	perColor := make([][]int, 3)
+	for c := range perColor {
+		perColor[c] = make([]int, ct.NQubits)
+		for i := range perColor[c] {
+			perColor[c][i] = -1
+		}
+	}
+	for fi, f := range ct.Faces {
+		seen := map[int]bool{}
+		for _, q := range f.Qubits {
+			if q < 0 || q >= ct.NQubits {
+				return fmt.Errorf("tiling: face %d references qubit %d out of range", fi, q)
+			}
+			if seen[q] {
+				return fmt.Errorf("tiling: face %d repeats qubit %d", fi, q)
+			}
+			seen[q] = true
+			if perColor[f.Color][q] >= 0 {
+				return fmt.Errorf("tiling: qubit %d on two %d-colored faces", q, f.Color)
+			}
+			perColor[f.Color][q] = fi
+		}
+		if len(f.Qubits) < 4 {
+			return fmt.Errorf("tiling: face %d has only %d qubits", fi, len(f.Qubits))
+		}
+	}
+	for c := 0; c < 3; c++ {
+		for q, fi := range perColor[c] {
+			if fi < 0 {
+				return fmt.Errorf("tiling: qubit %d missing a color-%d face", q, c)
+			}
+		}
+	}
+	for i := 0; i < len(ct.Faces); i++ {
+		qi := map[int]bool{}
+		for _, q := range ct.Faces[i].Qubits {
+			qi[q] = true
+		}
+		for j := i + 1; j < len(ct.Faces); j++ {
+			shared := 0
+			for _, q := range ct.Faces[j].Qubits {
+				if qi[q] {
+					shared++
+				}
+			}
+			if shared%2 != 0 {
+				return fmt.Errorf("tiling: faces %d and %d share %d qubits (odd)", i, j, shared)
+			}
+		}
+	}
+	return nil
+}
+
+// FaceSizes returns the multiset of face sizes per color.
+func (ct *ColorTiling) FaceSizes() map[int][]int {
+	out := map[int][]int{}
+	for _, f := range ct.Faces {
+		out[f.Color] = append(out[f.Color], len(f.Qubits))
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package tiling
+
+import "math/rand"
+
+// Search backtracks over dart pairings to find an {r,s} map with the
+// given number of darts (so nDarts/2 edges). Sigma is fixed to the
+// canonical product of nDarts/s consecutive s-cycles, which is without
+// loss of generality because relabeling darts conjugates both
+// permutations. The rng shuffles the candidate order so different seeds
+// explore different maps. Returns nil if no map is found within
+// maxSteps backtracking steps.
+func Search(r, s, nDarts int, rng *rand.Rand, maxSteps int) *Map {
+	if nDarts%2 != 0 || nDarts%s != 0 || nDarts%r != 0 {
+		return nil
+	}
+	sigma := make([]int, nDarts)
+	for v := 0; v < nDarts/s; v++ {
+		for i := 0; i < s; i++ {
+			sigma[v*s+i] = v*s + (i+1)%s
+		}
+	}
+	alpha := make([]int, nDarts)
+	for i := range alpha {
+		alpha[i] = -1
+	}
+	steps := 0
+	var try func() *Map
+	try = func() *Map {
+		if steps++; steps > maxSteps {
+			return nil
+		}
+		// Find the first unpaired dart.
+		d := -1
+		for i := 0; i < nDarts; i++ {
+			if alpha[i] < 0 {
+				d = i
+				break
+			}
+		}
+		if d < 0 {
+			m, err := New(sigma, alpha)
+			if err == nil && m.IsEquivelar(r, s) && m.NonDegenerate() {
+				return m
+			}
+			return nil
+		}
+		// Candidate partners, shuffled for diversity.
+		cands := make([]int, 0, nDarts)
+		for e := 0; e < nDarts; e++ {
+			if e != d && alpha[e] < 0 {
+				cands = append(cands, e)
+			}
+		}
+		rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+		for _, e := range cands {
+			alpha[d], alpha[e] = e, d
+			if partialFacesOK(sigma, alpha, r) {
+				if m := try(); m != nil {
+					return m
+				}
+			}
+			alpha[d], alpha[e] = -1, -1
+			if steps > maxSteps {
+				return nil
+			}
+		}
+		return nil
+	}
+	return try()
+}
+
+// partialFacesOK checks that no partially-formed face walk is already
+// inconsistent with all faces having length exactly r. A face walk
+// follows phi(d) = sigma[alpha[d]] while alpha is defined. Defined darts
+// form disjoint chains and cycles under phi; a closed cycle must have
+// length exactly r and an open chain length at most r.
+func partialFacesOK(sigma, alpha []int, r int) bool {
+	n := len(sigma)
+	// pred counts how many defined darts map onto each dart.
+	hasPred := make([]bool, n)
+	for e := 0; e < n; e++ {
+		if alpha[e] >= 0 {
+			hasPred[sigma[alpha[e]]] = true
+		}
+	}
+	visited := make([]bool, n)
+	// Open chains start at darts with alpha defined and no predecessor.
+	for h := 0; h < n; h++ {
+		if alpha[h] < 0 || hasPred[h] {
+			continue
+		}
+		length := 0
+		d := h
+		for alpha[d] >= 0 {
+			visited[d] = true
+			length++
+			if length > r {
+				return false
+			}
+			d = sigma[alpha[d]]
+		}
+	}
+	// Remaining unvisited darts with alpha defined lie on pure cycles.
+	for start := 0; start < n; start++ {
+		if visited[start] || alpha[start] < 0 {
+			continue
+		}
+		length := 0
+		d := start
+		for {
+			visited[d] = true
+			length++
+			if length > r {
+				return false
+			}
+			d = sigma[alpha[d]]
+			if d == start {
+				break
+			}
+		}
+		if length != r {
+			return false
+		}
+	}
+	return true
+}

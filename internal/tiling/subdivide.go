@@ -1,0 +1,135 @@
+package tiling
+
+import "fmt"
+
+// Subdivide fine-grains a quadrangulated map: every square face becomes
+// an l×l grid of squares. Applied to a {4,s} hyperbolic map this yields
+// the semi-hyperbolic tilings of Breuckmann, Vuillot, Campbell, Krishna
+// and Terhal — the code family the paper cites as the scalable
+// alternative between planar and fully hyperbolic codes. The genus (and
+// hence the code dimension) is preserved while distances grow ≈ l-fold.
+func Subdivide(m *Map, l int) (*Map, error) {
+	if l < 1 {
+		return nil, fmt.Errorf("tiling: subdivision factor %d must be ≥ 1", l)
+	}
+	if l == 1 {
+		return New(m.Sigma, m.Alpha)
+	}
+	for _, f := range m.Faces {
+		if len(f) != 4 {
+			return nil, fmt.Errorf("tiling: Subdivide requires square faces, found a %d-gon", len(f))
+		}
+	}
+	// New vertex ids: original vertices, then l-1 interior points per
+	// original edge, then (l-1)² interior points per face.
+	nV := m.V()
+	edgeBase := nV
+	faceBase := edgeBase + m.E()*(l-1)
+	// Edge interior points are stored oriented from the endpoint of the
+	// edge's lower-numbered dart.
+	edgePoint := func(edge, i int) int { return edgeBase + edge*(l-1) + (i - 1) } // 1 ≤ i ≤ l-1
+	facePoint := func(face, a, b int) int {
+		return faceBase + face*(l-1)*(l-1) + (a-1)*(l-1) + (b - 1) // 1 ≤ a,b ≤ l-1
+	}
+	// pointOnEdge returns the vertex at position i (0..l) walking the
+	// edge of dart d from its source vertex.
+	pointOnEdge := func(d, i int) int {
+		if i == 0 {
+			return m.DartVertex[d]
+		}
+		if i == l {
+			return m.DartVertex[m.Alpha[d]]
+		}
+		e := m.DartEdge[d]
+		if d == min2(d, m.Alpha[d]) {
+			return edgePoint(e, i)
+		}
+		return edgePoint(e, l-i)
+	}
+	// For each face, lay out an (l+1)×(l+1) vertex grid whose boundary
+	// follows the face walk v0→v1→v2→v3: (a,b) with a along v0→v1 and b
+	// along v0→v3.
+	var quads [][4]int
+	for fi, darts := range m.Faces {
+		d0, d1, d2, d3 := darts[0], darts[1], darts[2], darts[3]
+		grid := make([][]int, l+1)
+		for a := range grid {
+			grid[a] = make([]int, l+1)
+		}
+		for a := 0; a <= l; a++ {
+			grid[a][0] = pointOnEdge(d0, a)   // v0→v1
+			grid[a][l] = pointOnEdge(d2, l-a) // v2→v3 walked backward gives v3→v2
+		}
+		for b := 0; b <= l; b++ {
+			grid[l][b] = pointOnEdge(d1, b)   // v1→v2
+			grid[0][b] = pointOnEdge(d3, l-b) // v3→v0 walked backward gives v0→v3
+		}
+		for a := 1; a < l; a++ {
+			for b := 1; b < l; b++ {
+				grid[a][b] = facePoint(fi, a, b)
+			}
+		}
+		// Cells, oriented like the parent face walk.
+		for a := 0; a < l; a++ {
+			for b := 0; b < l; b++ {
+				quads = append(quads, [4]int{
+					grid[a][b], grid[a+1][b], grid[a+1][b+1], grid[a][b+1],
+				})
+			}
+		}
+	}
+	return mapFromOrientedFaces(quads)
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// mapFromOrientedFaces reconstructs a combinatorial map from coherently
+// oriented face boundary cycles: every undirected edge must appear in
+// exactly two faces, once in each direction. Darts are the directed
+// boundary edges; Alpha pairs the two directions and Sigma = Phi∘Alpha.
+func mapFromOrientedFaces(faces [][4]int) (*Map, error) {
+	type dedge struct{ u, v int }
+	var dartFrom []dedge
+	index := map[dedge]int{}
+	for _, q := range faces {
+		for i := 0; i < 4; i++ {
+			de := dedge{q[i], q[(i+1)%4]}
+			if de.u == de.v {
+				return nil, fmt.Errorf("tiling: degenerate face edge at vertex %d", de.u)
+			}
+			if _, dup := index[de]; dup {
+				return nil, fmt.Errorf("tiling: directed edge (%d,%d) used twice; orientation inconsistent", de.u, de.v)
+			}
+			index[de] = len(dartFrom)
+			dartFrom = append(dartFrom, de)
+		}
+	}
+	n := len(dartFrom)
+	alpha := make([]int, n)
+	phi := make([]int, n)
+	for di, de := range dartFrom {
+		rev, ok := index[dedge{de.v, de.u}]
+		if !ok {
+			return nil, fmt.Errorf("tiling: edge (%d,%d) has no reverse; faces do not close up", de.u, de.v)
+		}
+		alpha[di] = rev
+	}
+	for fi := range faces {
+		for i := 0; i < 4; i++ {
+			cur := index[dedge{faces[fi][i], faces[fi][(i+1)%4]}]
+			next := index[dedge{faces[fi][(i+1)%4], faces[fi][(i+2)%4]}]
+			phi[cur] = next
+		}
+	}
+	// Phi = Sigma∘Alpha, so Sigma = Phi∘Alpha (Alpha is an involution).
+	sigma := make([]int, n)
+	for d := range sigma {
+		sigma[d] = phi[alpha[d]]
+	}
+	return New(sigma, alpha)
+}

@@ -1,0 +1,100 @@
+package tiling
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/fpn/flagproxy/internal/group"
+)
+
+func TestSubdivideTorus(t *testing.T) {
+	m, err := SquareTorus(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range []int{1, 2, 3} {
+		s, err := Subdivide(m, l)
+		if err != nil {
+			t.Fatalf("l=%d: %v", l, err)
+		}
+		if s.E() != l*l*m.E() {
+			t.Fatalf("l=%d: E=%d, want %d", l, s.E(), l*l*m.E())
+		}
+		if s.EulerChar() != m.EulerChar() {
+			t.Fatalf("l=%d: χ changed %d → %d", l, m.EulerChar(), s.EulerChar())
+		}
+		if !s.IsEquivelar(4, 4) {
+			t.Fatalf("l=%d: subdivided torus should stay {4,4}", l)
+		}
+		if !s.NonDegenerate() {
+			t.Fatalf("l=%d: degenerate subdivision", l)
+		}
+	}
+}
+
+func TestSubdivideSemiHyperbolic(t *testing.T) {
+	// {4,5} map from S5: subdividing keeps genus (k) and mixes degree-4
+	// and degree-5 vertices — the semi-hyperbolic family.
+	g, err := group.Sym(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	var m *Map
+	for _, p := range group.FindRSPairs(g, 5, 4, rng, 5000, 8, 120) {
+		if p.Sub.Order() != 120 {
+			continue
+		}
+		mm, err := FromGroupPair(p)
+		if err != nil || !mm.NonDegenerate() {
+			continue
+		}
+		m = mm
+		break
+	}
+	if m == nil {
+		t.Skip("no {4,5} map found")
+	}
+	s, err := Subdivide(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.E() != 4*m.E() {
+		t.Fatalf("E=%d, want %d", s.E(), 4*m.E())
+	}
+	if s.Genus() != m.Genus() {
+		t.Fatalf("genus changed %d → %d", m.Genus(), s.Genus())
+	}
+	deg4, deg5 := 0, 0
+	for _, v := range s.Vertices {
+		switch len(v) {
+		case 4:
+			deg4++
+		case 5:
+			deg5++
+		default:
+			t.Fatalf("unexpected vertex degree %d", len(v))
+		}
+	}
+	if deg5 != m.V() {
+		t.Fatalf("degree-5 vertices %d, want %d (the original vertices)", deg5, m.V())
+	}
+	if deg4 == 0 {
+		t.Fatal("no degree-4 vertices created")
+	}
+	for _, f := range s.Faces {
+		if len(f) != 4 {
+			t.Fatalf("face of length %d after subdivision", len(f))
+		}
+	}
+}
+
+func TestSubdivideRejectsNonQuad(t *testing.T) {
+	m, err := TriangularTorus(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Subdivide(m, 2); err == nil {
+		t.Fatal("expected rejection of triangular faces")
+	}
+}

@@ -1,0 +1,53 @@
+package tiling
+
+import "fmt"
+
+// SquareTorus returns the {4,4} map of an n×n square torus.
+func SquareTorus(n int) (*Map, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("tiling: square torus needs n ≥ 2")
+	}
+	idx := func(x, y, dir int) int { return 4*((y%n)*n+(x%n)) + dir }
+	nd := 4 * n * n
+	sigma := make([]int, nd)
+	alpha := make([]int, nd)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			for dir := 0; dir < 4; dir++ {
+				sigma[idx(x, y, dir)] = idx(x, y, (dir+1)%4)
+			}
+			alpha[idx(x, y, 0)] = idx(x+1, y, 2)
+			alpha[idx(x, y, 2)] = idx(x+n-1, y, 0)
+			alpha[idx(x, y, 1)] = idx(x, y+1, 3)
+			alpha[idx(x, y, 3)] = idx(x, y+n-1, 1)
+		}
+	}
+	return New(sigma, alpha)
+}
+
+// TriangularTorus returns the {3,6} map of an L×L triangular-lattice
+// torus: L² vertices of degree 6 and 2L² triangular faces. Truncating it
+// yields the hexagonal (6.6.6) color tiling on the torus.
+func TriangularTorus(l int) (*Map, error) {
+	if l < 2 {
+		return nil, fmt.Errorf("tiling: triangular torus needs L ≥ 2")
+	}
+	// Directions in counterclockwise rotation order on the triangular
+	// lattice; dir k reverses to k+3.
+	dirs := [6][2]int{{1, 0}, {0, 1}, {-1, 1}, {-1, 0}, {0, -1}, {1, -1}}
+	idx := func(x, y, k int) int {
+		return 6*((((y%l)+l)%l)*l+(((x%l)+l)%l)) + k
+	}
+	nd := 6 * l * l
+	sigma := make([]int, nd)
+	alpha := make([]int, nd)
+	for y := 0; y < l; y++ {
+		for x := 0; x < l; x++ {
+			for k := 0; k < 6; k++ {
+				sigma[idx(x, y, k)] = idx(x, y, (k+1)%6)
+				alpha[idx(x, y, k)] = idx(x+dirs[k][0], y+dirs[k][1], (k+3)%6)
+			}
+		}
+	}
+	return New(sigma, alpha)
+}
