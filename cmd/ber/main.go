@@ -5,7 +5,10 @@
 // Figure 20 (flagged vs Chamberland-style Restriction decoding).
 //
 // Shot counts default to laptop scale; raise -shots (and sweep -ps) to
-// approach the paper's cluster-scale statistics.
+// approach the paper's cluster-scale statistics. The sharded engine
+// spreads every point over -workers cores with bounded memory, and
+// -target-errors / -max-ci stop a point early once its estimate is good
+// enough — see EXPERIMENTS.md for a worked deep-BER example.
 package main
 
 import (
@@ -27,10 +30,14 @@ import (
 
 func main() {
 	figFlag := flag.String("fig", "19", "figure to reproduce: 17, 18, 19 or 20")
-	shots := flag.Int("shots", 2000, "shots per point")
-	seed := flag.Int64("seed", 1, "base RNG seed")
+	shots := flag.Int("shots", 2000, "shots per point (upper bound when early stopping is on)")
+	seed := flag.Int64("seed", 1, "base RNG seed; every point derives its own stream from it")
 	psFlag := flag.String("ps", "5e-4,1e-3", "comma-separated physical error rates")
 	maxN := flag.Int("maxn", 64, "largest hyperbolic blocklength simulated (figs 17/18)")
+	workers := flag.Int("workers", 0, "shard workers per point (0 = GOMAXPROCS)")
+	shard := flag.Int("shard", 0, "shots per work shard (0 = 1024); results are identical for any value")
+	targetErrors := flag.Int("target-errors", 0, "stop a point after this many logical errors (0 = off)")
+	maxCI := flag.Float64("max-ci", 0, "stop a point when the Wilson 95% CI half-width reaches this (0 = off)")
 	flag.Parse()
 
 	var ps []float64
@@ -43,15 +50,25 @@ func main() {
 		ps = append(ps, p)
 	}
 
+	r := &runner{
+		sweep:        experiment.NewSweep(),
+		fig:          *figFlag,
+		shots:        *shots,
+		seed:         *seed,
+		workers:      *workers,
+		shard:        *shard,
+		targetErrors: *targetErrors,
+		maxCI:        *maxCI,
+	}
 	switch *figFlag {
 	case "17":
-		fig17(ps, *shots, *seed, *maxN)
+		fig17(r, ps, *maxN)
 	case "18":
-		fig18(ps, *shots, *seed, *maxN)
+		fig18(r, ps, *maxN)
 	case "19":
-		fig19(ps, *shots, *seed)
+		fig19(r, ps)
 	case "20":
-		fig20(ps, *shots, *seed)
+		fig20(r, ps)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figFlag)
 		os.Exit(2)
@@ -60,26 +77,51 @@ func main() {
 
 var fpnArch = fpn.Options{UseFlags: true, FlagSharing: true, MaxDegree: 4}
 
-func runPoint(code *css.Code, arch fpn.Options, dec experiment.DecoderKind, basis css.Basis, p float64, shots int, seed int64) {
-	runPointSched(code, arch, nil, dec, basis, p, shots, seed)
+// runner carries the sweep-wide knobs and the pipeline cache, so every
+// (decoder, basis, p) point of a figure reuses the p-independent
+// network/schedule/round-plan artifacts of its code.
+type runner struct {
+	sweep        *experiment.Sweep
+	fig          string
+	shots        int
+	seed         int64
+	workers      int
+	shard        int
+	targetErrors int
+	maxCI        float64
 }
 
-func runPointSched(code *css.Code, arch fpn.Options, sched *schedule.Schedule, dec experiment.DecoderKind, basis css.Basis, p float64, shots int, seed int64) {
-	res, err := experiment.Run(experiment.Config{
+func (r *runner) point(code *css.Code, arch fpn.Options, dec experiment.DecoderKind, basis css.Basis, p float64) {
+	r.pointSched(code, arch, nil, dec, basis, p)
+}
+
+func (r *runner) pointSched(code *css.Code, arch fpn.Options, sched *schedule.Schedule, dec experiment.DecoderKind, basis css.Basis, p float64) {
+	// Each point gets its own seed: reusing the base seed verbatim
+	// would give every point of the sweep an identical RNG stream and
+	// statistically correlated estimates. The code name joins the
+	// figure tag so same-figure points on different codes decouple too.
+	pointSeed := experiment.PointSeed(r.seed, "fig"+r.fig+":"+code.Name, dec, basis, p)
+	res, err := r.sweep.Run(experiment.Config{
 		Code: code, Arch: arch, Basis: basis, P: p,
-		Shots: shots, Seed: seed, Decoder: dec, Schedule: sched,
+		Shots: r.shots, Seed: pointSeed, Decoder: dec, Schedule: sched,
+		Workers: r.workers, ShardShots: r.shard,
+		TargetErrors: r.targetErrors, MaxCI: r.maxCI,
 	})
 	if err != nil {
 		fmt.Printf("%-18s %-22s %c p=%-8.1e error: %v\n", code.Name, dec, basis, p, err)
 		return
 	}
-	fmt.Printf("%-18s %-22s %c p=%-8.1e BER=%.5f BERnorm=%.5f [%0.5f,%0.5f] (%d/%d)\n",
+	mark := ""
+	if res.EarlyStopped {
+		mark = " early-stop"
+	}
+	fmt.Printf("%-18s %-22s %c p=%-8.1e BER=%.5f BERnorm=%.5f [%0.5f,%0.5f] (%d/%d)%s\n",
 		code.Name, dec, basis, p, res.BER, res.BERNorm, res.CILow, res.CIHigh,
-		res.LogicalErrors, res.Shots)
+		res.LogicalErrors, res.Shots, mark)
 }
 
 // fig17 compares hyperbolic surface codes against planar d=5, d=7.
-func fig17(ps []float64, shots int, seed int64, maxN int) {
+func fig17(r *runner, ps []float64, maxN int) {
 	fmt.Println("Figure 17: BER_norm of surface codes (flagged MWPM; planar uses the canonical Tomita-Svore schedule)")
 	for _, d := range []int{5, 7} {
 		l, err := surface.Rotated(d)
@@ -93,7 +135,7 @@ func fig17(ps []float64, shots int, seed int64, maxN int) {
 		}
 		for _, basis := range []css.Basis{css.X, css.Z} {
 			for _, p := range ps {
-				runPointSched(l.Code, fpn.Options{}, sched, experiment.FlaggedMWPM, basis, p, shots, seed)
+				r.pointSched(l.Code, fpn.Options{}, sched, experiment.FlaggedMWPM, basis, p)
 			}
 		}
 	}
@@ -103,17 +145,17 @@ func fig17(ps []float64, shots int, seed int64, maxN int) {
 		}
 		for _, basis := range []css.Basis{css.X, css.Z} {
 			for _, p := range ps {
-				runPoint(e.Code, fpnArch, experiment.FlaggedMWPM, basis, p, shots, seed)
+				r.point(e.Code, fpnArch, experiment.FlaggedMWPM, basis, p)
 			}
 		}
 	}
 }
 
 // fig18 compares hyperbolic color codes against the toric 6.6.6 baseline.
-func fig18(ps []float64, shots int, seed int64, maxN int) {
+func fig18(r *runner, ps []float64, maxN int) {
 	fmt.Println("Figure 18: BER_norm of color codes (flagged Restriction decoder)")
 	var codes []*css.Code
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewSource(r.seed))
 	for _, l := range []int{2, 3} {
 		c, err := color.HexagonalToric(l)
 		if err != nil {
@@ -130,14 +172,14 @@ func fig18(ps []float64, shots int, seed int64, maxN int) {
 	for _, code := range codes {
 		for _, basis := range []css.Basis{css.X, css.Z} {
 			for _, p := range ps {
-				runPoint(code, fpnArch, experiment.FlaggedRestriction, basis, p, shots, seed)
+				r.point(code, fpnArch, experiment.FlaggedRestriction, basis, p)
 			}
 		}
 	}
 }
 
 // fig19: flagged MWPM vs plain MWPM on the [[30,8,3,3]] {5,5} code.
-func fig19(ps []float64, shots int, seed int64) {
+func fig19(r *runner, ps []float64) {
 	fmt.Println("Figure 19: [[30,8,3,3]] hyperbolic surface code, flagged vs plain MWPM")
 	code := findCode("surface", 30)
 	if code == nil {
@@ -147,7 +189,7 @@ func fig19(ps []float64, shots int, seed int64) {
 	for _, dec := range []experiment.DecoderKind{experiment.FlaggedMWPM, experiment.PlainMWPM} {
 		for _, basis := range []css.Basis{css.X, css.Z} {
 			for _, p := range ps {
-				runPoint(code, fpnArch, dec, basis, p, shots, seed)
+				r.point(code, fpnArch, dec, basis, p)
 			}
 		}
 	}
@@ -155,7 +197,7 @@ func fig19(ps []float64, shots int, seed int64) {
 
 // fig20: flagged vs Chamberland-style Restriction on a small {4,6}
 // hyperbolic color code.
-func fig20(ps []float64, shots int, seed int64) {
+func fig20(r *runner, ps []float64) {
 	fmt.Println("Figure 20: {4,6} hyperbolic color code, flagged vs Chamberland-style Restriction")
 	code := findCode("color", 48)
 	if code == nil {
@@ -165,7 +207,7 @@ func fig20(ps []float64, shots int, seed int64) {
 	for _, dec := range []experiment.DecoderKind{experiment.FlaggedRestriction, experiment.BaselineRestriction} {
 		for _, basis := range []css.Basis{css.X, css.Z} {
 			for _, p := range ps {
-				runPoint(code, fpnArch, dec, basis, p, shots, seed)
+				r.point(code, fpnArch, dec, basis, p)
 			}
 		}
 	}

@@ -1,0 +1,358 @@
+// Sharded streaming Monte-Carlo engine. A run's shots are split into
+// fixed 64-shot sampling blocks (one bit-packed word each); workers
+// claim shards — contiguous runs of blocks — from an atomic counter and
+// own each shard end-to-end: simulate, decode, count. A shard is
+// sampled in one multi-word pass, but every block inside it consumes
+// its own RNG stream seeded seedmix.Derive(cfg.Seed, blockIndex), so
+// the sampled error stream of a block depends only on (circuit, base
+// seed, block index) and the run's outcome is bit-identical for any
+// worker count and any shard size. Peak memory is O(workers ×
+// shardShots × detectors) instead of the former O(shots × detectors).
+//
+// Early stopping is deterministic too: block results are committed
+// strictly in block order, and the stop criteria (target logical-error
+// count, Wilson CI half-width) are evaluated only against the committed
+// prefix. Blocks simulated past the stop point are discarded, so the
+// reported (Shots, LogicalErrors) pair does not depend on scheduling.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/fpn/flagproxy/internal/circuit"
+	"github.com/fpn/flagproxy/internal/css"
+	"github.com/fpn/flagproxy/internal/dem"
+	"github.com/fpn/flagproxy/internal/fpn"
+	"github.com/fpn/flagproxy/internal/noise"
+	"github.com/fpn/flagproxy/internal/schedule"
+	"github.com/fpn/flagproxy/internal/seedmix"
+	"github.com/fpn/flagproxy/internal/sim"
+)
+
+// blockShots is the atomic sampling unit: one bit-packed word. RNG
+// seeds are derived per block, never per shard, so shard size is a pure
+// scheduling knob with no statistical footprint.
+const blockShots = 64
+
+// defaultShardShots is the work-claiming granularity when
+// Config.ShardShots is zero: large enough to amortize the claim and
+// commit synchronization, small enough to load-balance tail shards.
+const defaultShardShots = 1024
+
+// Pipeline caches the p-independent artifacts of a memory experiment —
+// the FPN network, the schedule and the lowered round plan — so a sweep
+// over p-points and bases pays the architecture and scheduling cost
+// once. Pipelines are safe for concurrent Run calls.
+type Pipeline struct {
+	Code  *css.Code
+	Arch  fpn.Options
+	Net   *fpn.Network
+	Sched *schedule.Schedule
+	Plan  *schedule.RoundPlan
+}
+
+// NewPipeline builds the network, greedy schedule and round plan for
+// (code, arch) once, for reuse across many Run configurations.
+func NewPipeline(code *css.Code, arch fpn.Options) (*Pipeline, error) {
+	net, err := fpn.Build(code, arch)
+	if err != nil {
+		return nil, err
+	}
+	s, err := schedule.Greedy(net)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := schedule.BuildRoundPlan(s)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{Code: code, Arch: arch, Net: net, Sched: s, Plan: plan}, nil
+}
+
+// NewPipelineFromSchedule wraps an externally built schedule (e.g. the
+// canonical rotated-surface-code ordering) in a reusable pipeline. The
+// schedule's network must have been built for code.
+func NewPipelineFromSchedule(code *css.Code, s *schedule.Schedule) (*Pipeline, error) {
+	plan, err := schedule.BuildRoundPlan(s)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{Code: code, Net: s.Net, Sched: s, Plan: plan}, nil
+}
+
+// Run executes the p-dependent tail of the pipeline — circuit, detector
+// error model, decoder — and samples cfg.Shots shots with the sharded
+// engine. cfg.Code, cfg.Arch and cfg.Schedule are ignored in favor of
+// the pipeline's cached artifacts (cfg.Code must match pl.Code).
+func (pl *Pipeline) Run(cfg Config) (*Result, error) {
+	cfg.Code = pl.Code
+	cfg.Schedule = pl.Sched
+	if err := validate(cfg); err != nil {
+		return nil, err
+	}
+	if cfg.CodeCapacity {
+		cfg.Rounds = 1
+	}
+	if cfg.Rounds == 0 {
+		cfg.Rounds = cfg.Code.DX
+		if cfg.Code.DZ < cfg.Rounds {
+			cfg.Rounds = cfg.Code.DZ
+		}
+		if cfg.Rounds < 1 {
+			return nil, fmt.Errorf("experiment: code has no distance metadata; set Rounds")
+		}
+	}
+	nm := &noise.Model{P: cfg.P, FixedIdle: cfg.FixedIdle}
+	var c *circuit.Circuit
+	var err error
+	if cfg.CodeCapacity {
+		c, err = circuit.BuildCodeCapacity(pl.Plan, cfg.Basis, cfg.P)
+	} else {
+		c, err = circuit.BuildMemory(circuit.MemorySpec{Plan: pl.Plan, Basis: cfg.Basis, Rounds: cfg.Rounds, Noise: nm})
+	}
+	if err != nil {
+		return nil, err
+	}
+	model, err := dem.Extract(c)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := newDecoder(cfg.Decoder, model, cfg.Basis, nm.MeasFlip())
+	if err != nil {
+		return nil, err
+	}
+	shots, errors, early := runEngine(c, dec, cfg)
+	lo, hi := wilson(errors, shots)
+	ber := float64(errors) / float64(shots)
+	return &Result{
+		Config:        cfg,
+		Net:           pl.Net,
+		LatencyNs:     pl.Plan.LatencyNs,
+		Shots:         shots,
+		LogicalErrors: errors,
+		BER:           ber,
+		BERNorm:       ber / float64(cfg.Code.K),
+		CILow:         lo,
+		CIHigh:        hi,
+		EarlyStopped:  early,
+	}, nil
+}
+
+// validate rejects configurations that would previously have poisoned a
+// sweep silently: Shots <= 0 used to divide 0/0 into a NaN BER, and
+// K <= 0 turned BERNorm into ±Inf.
+func validate(cfg Config) error {
+	if cfg.Code == nil {
+		return fmt.Errorf("experiment: Config.Code is nil")
+	}
+	if cfg.Shots <= 0 {
+		return fmt.Errorf("experiment: Shots must be positive (got %d)", cfg.Shots)
+	}
+	if cfg.Code.K <= 0 {
+		return fmt.Errorf("experiment: code %q has k=%d logical qubits, BER_norm = BER/k is undefined (missing rank/distance metadata?)", cfg.Code.Name, cfg.Code.K)
+	}
+	if cfg.TargetErrors < 0 {
+		return fmt.Errorf("experiment: TargetErrors must be >= 0 (got %d)", cfg.TargetErrors)
+	}
+	if cfg.MaxCI < 0 || cfg.MaxCI >= 1 {
+		return fmt.Errorf("experiment: MaxCI must be in [0, 1) (got %g)", cfg.MaxCI)
+	}
+	if cfg.ShardShots < 0 {
+		return fmt.Errorf("experiment: ShardShots must be >= 0 (got %d)", cfg.ShardShots)
+	}
+	if cfg.Workers < 0 {
+		return fmt.Errorf("experiment: Workers must be >= 0 (got %d)", cfg.Workers)
+	}
+	return nil
+}
+
+// runEngine is the sharded simulate→decode→count loop. It returns the
+// committed shot count (== cfg.Shots unless early stopping fired), the
+// committed logical-error count, and whether a stop criterion fired.
+func runEngine(c *circuit.Circuit, dec Decoder, cfg Config) (shots, logical int, early bool) {
+	totalBlocks := (cfg.Shots + blockShots - 1) / blockShots
+	shardShots := cfg.ShardShots
+	if shardShots <= 0 {
+		shardShots = defaultShardShots
+	}
+	shardBlocks := (shardShots + blockShots - 1) / blockShots
+	numShards := (totalBlocks + shardBlocks - 1) / shardBlocks
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > numShards {
+		workers = numShards
+	}
+	blockLen := func(b int) int {
+		if n := cfg.Shots - b*blockShots; n < blockShots {
+			return n
+		}
+		return blockShots
+	}
+
+	// blockErrs[b] holds the block's logical-error count + 1 once the
+	// block is done; 0 means pending.
+	blockErrs := make([]int32, totalBlocks)
+	var (
+		nextShard atomic.Int64
+		stop      atomic.Bool
+
+		mu        sync.Mutex
+		committed int // blocks committed, in strict block order
+		comShots  int
+		comErrs   int
+		finalized bool // a stop criterion fired; commits are frozen
+	)
+	tryCommit := func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for !finalized && committed < totalBlocks {
+			v := atomic.LoadInt32(&blockErrs[committed])
+			if v == 0 {
+				return
+			}
+			comErrs += int(v - 1)
+			comShots += blockLen(committed)
+			committed++
+			if comShots < cfg.Shots && stopSatisfied(cfg, comErrs, comShots) {
+				finalized = true
+				stop.Store(true)
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			smp := sim.NewBlockSampler(c, shardBlocks)
+			for !stop.Load() {
+				sh := int(nextShard.Add(1) - 1)
+				if sh >= numShards {
+					return
+				}
+				first := sh * shardBlocks
+				end := first + shardBlocks
+				if end > totalBlocks {
+					end = totalBlocks
+				}
+				// One multi-word pass samples the whole shard; each
+				// 64-shot word still consumes its own Derive(seed,
+				// block) stream, so batching is invisible to results.
+				shardLen := blockLen(end-1) + (end-first-1)*blockShots
+				res := smp.Run(first, shardLen, cfg.Seed)
+				for b := first; b < end && !stop.Load(); b++ {
+					n := countShots(c, dec, res, (b-first)*blockShots, blockLen(b))
+					atomic.StoreInt32(&blockErrs[b], int32(n)+1)
+				}
+				tryCommit()
+			}
+		}()
+	}
+	wg.Wait()
+	tryCommit()
+	return comShots, comErrs, finalized
+}
+
+// stopSatisfied evaluates the early-stop criteria on the committed
+// prefix. The CI criterion requires at least one observed error so that
+// deep-BER points (whose whole purpose is resolving a tiny rate) run
+// their full shot budget instead of stopping on an empty estimate.
+func stopSatisfied(cfg Config, errs, shots int) bool {
+	if cfg.TargetErrors > 0 && errs >= cfg.TargetErrors {
+		return true
+	}
+	if cfg.MaxCI > 0 && errs > 0 {
+		lo, hi := wilson(errs, shots)
+		if (hi-lo)/2 <= cfg.MaxCI {
+			return true
+		}
+	}
+	return false
+}
+
+// countShots decodes shots lanes starting at laneLo of a sampled shard
+// and counts logical errors. A decoding failure counts as a logical
+// error, as before.
+func countShots(c *circuit.Circuit, dec Decoder, res *sim.Result, laneLo, shots int) int {
+	errs := 0
+	for s := laneLo; s < laneLo+shots; s++ {
+		corr, err := dec.Decode(func(d int) bool { return res.DetectorBit(d, s) })
+		if err != nil {
+			errs++
+			continue
+		}
+		for o := range c.Observables {
+			if corr[o] != res.ObservableBit(o, s) {
+				errs++
+				break
+			}
+		}
+	}
+	return errs
+}
+
+// Sweep caches pipelines across the points of a figure: all (decoder,
+// basis, p) points sharing a (code, arch) or (code, schedule) pair
+// reuse one network/schedule/round-plan build. Safe for concurrent use.
+type Sweep struct {
+	mu    sync.Mutex
+	pipes map[sweepKey]*Pipeline
+}
+
+type sweepKey struct {
+	code  *css.Code
+	sched *schedule.Schedule
+	arch  fpn.Options
+}
+
+// NewSweep returns an empty pipeline cache.
+func NewSweep() *Sweep { return &Sweep{pipes: map[sweepKey]*Pipeline{}} }
+
+// Run behaves like the package-level Run but reuses the cached
+// p-independent artifacts for cfg's (code, arch, schedule) triple.
+func (sw *Sweep) Run(cfg Config) (*Result, error) {
+	pl, err := sw.pipeline(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return pl.Run(cfg)
+}
+
+func (sw *Sweep) pipeline(cfg Config) (*Pipeline, error) {
+	if cfg.Code == nil {
+		return nil, fmt.Errorf("experiment: Config.Code is nil")
+	}
+	key := sweepKey{code: cfg.Code, sched: cfg.Schedule, arch: cfg.Arch}
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if pl, ok := sw.pipes[key]; ok {
+		return pl, nil
+	}
+	var pl *Pipeline
+	var err error
+	if cfg.Schedule != nil {
+		pl, err = NewPipelineFromSchedule(cfg.Code, cfg.Schedule)
+	} else {
+		pl, err = NewPipeline(cfg.Code, cfg.Arch)
+	}
+	if err != nil {
+		return nil, err
+	}
+	sw.pipes[key] = pl
+	return pl, nil
+}
+
+// PointSeed derives a statistically independent base seed for one sweep
+// point from the run's base seed and the point's identity, using the
+// same splitmix64 mixer as the shard engine. Sweep drivers must not
+// pass one base seed verbatim to every point: the points would share
+// identical RNG streams and their estimates would be correlated.
+func PointSeed(base int64, fig string, dec DecoderKind, basis css.Basis, p float64) int64 {
+	return seedmix.Derive(base, seedmix.String(fig), uint64(dec), uint64(basis), seedmix.Float(p))
+}

@@ -7,17 +7,12 @@ package experiment
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
-	"github.com/fpn/flagproxy/internal/circuit"
 	"github.com/fpn/flagproxy/internal/css"
 	"github.com/fpn/flagproxy/internal/decoder"
 	"github.com/fpn/flagproxy/internal/dem"
 	"github.com/fpn/flagproxy/internal/fpn"
-	"github.com/fpn/flagproxy/internal/noise"
 	"github.com/fpn/flagproxy/internal/schedule"
-	"github.com/fpn/flagproxy/internal/sim"
 )
 
 // DecoderKind selects the decoding algorithm.
@@ -72,6 +67,24 @@ type Config struct {
 	// FixedIdle selects the prior-work decoherence convention (flat p
 	// per round) instead of the paper's latency-scaled T1/T2 model.
 	FixedIdle bool
+
+	// Workers bounds the shard workers (0 → GOMAXPROCS). The result is
+	// bit-identical for any worker count.
+	Workers int
+	// ShardShots is the work-claiming granularity in shots (0 → 1024,
+	// rounded up to whole 64-shot blocks). Purely a scheduling knob:
+	// RNG streams are derived per 64-shot block, so the result is
+	// bit-identical for any shard size.
+	ShardShots int
+	// TargetErrors, when > 0, stops the run once the committed logical
+	// error count reaches it — the standard deep-BER trick: spend shots
+	// where errors are rare, not where they are plentiful.
+	TargetErrors int
+	// MaxCI, when > 0, stops the run once the Wilson 95% CI half-width
+	// of the committed BER estimate drops to it or below. It only
+	// fires after at least one logical error has been committed, so
+	// zero-error deep points still run their full shot budget.
+	MaxCI float64
 }
 
 // Result is the outcome of a memory experiment.
@@ -84,108 +97,30 @@ type Result struct {
 	BER           float64
 	BERNorm       float64
 	CILow, CIHigh float64 // Wilson 95% interval on BER
+	// EarlyStopped reports that TargetErrors or MaxCI halted the run
+	// before cfg.Shots; Shots then holds the committed count.
+	EarlyStopped bool
 }
 
 // Run executes the full pipeline: architecture, schedule, circuit,
-// detector error model, sampling and decoding.
+// detector error model, sharded sampling and decoding. Sweeps that
+// revisit a (code, arch) or (code, schedule) pair should use a Sweep
+// (or hold a Pipeline) to reuse the p-independent artifacts.
 func Run(cfg Config) (*Result, error) {
-	if cfg.CodeCapacity {
-		cfg.Rounds = 1
+	if err := validate(cfg); err != nil {
+		return nil, err
 	}
-	if cfg.Rounds == 0 {
-		cfg.Rounds = cfg.Code.DX
-		if cfg.Code.DZ < cfg.Rounds {
-			cfg.Rounds = cfg.Code.DZ
-		}
-		if cfg.Rounds < 1 {
-			return nil, fmt.Errorf("experiment: code has no distance metadata; set Rounds")
-		}
-	}
-	var net *fpn.Network
-	var s *schedule.Schedule
+	var pl *Pipeline
+	var err error
 	if cfg.Schedule != nil {
-		s = cfg.Schedule
-		net = s.Net
+		pl, err = NewPipelineFromSchedule(cfg.Code, cfg.Schedule)
 	} else {
-		var err error
-		net, err = fpn.Build(cfg.Code, cfg.Arch)
-		if err != nil {
-			return nil, err
-		}
-		s, err = schedule.Greedy(net)
-		if err != nil {
-			return nil, err
-		}
-	}
-	plan, err := schedule.BuildRoundPlan(s)
-	if err != nil {
-		return nil, err
-	}
-	nm := &noise.Model{P: cfg.P, FixedIdle: cfg.FixedIdle}
-	var c *circuit.Circuit
-	if cfg.CodeCapacity {
-		c, err = circuit.BuildCodeCapacity(plan, cfg.Basis, cfg.P)
-	} else {
-		c, err = circuit.BuildMemory(circuit.MemorySpec{Plan: plan, Basis: cfg.Basis, Rounds: cfg.Rounds, Noise: nm})
+		pl, err = NewPipeline(cfg.Code, cfg.Arch)
 	}
 	if err != nil {
 		return nil, err
 	}
-	model, err := dem.Extract(c)
-	if err != nil {
-		return nil, err
-	}
-	dec, err := newDecoder(cfg.Decoder, model, cfg.Basis, nm.MeasFlip())
-	if err != nil {
-		return nil, err
-	}
-	res := sim.Run(c, cfg.Shots, cfg.Seed)
-	// Decode shots in parallel: the decoders share only read-only state
-	// across Decode calls.
-	workers := runtime.GOMAXPROCS(0)
-	if workers > cfg.Shots {
-		workers = cfg.Shots
-	}
-	counts := make([]int, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for shot := w; shot < cfg.Shots; shot += workers {
-				corr, err := dec.Decode(func(d int) bool { return res.DetectorBit(d, shot) })
-				if err != nil {
-					// A decoding failure counts as a logical error.
-					counts[w]++
-					continue
-				}
-				for o := range c.Observables {
-					if corr[o] != res.ObservableBit(o, shot) {
-						counts[w]++
-						break
-					}
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	errors := 0
-	for _, n := range counts {
-		errors += n
-	}
-	ber := float64(errors) / float64(cfg.Shots)
-	lo, hi := wilson(errors, cfg.Shots)
-	return &Result{
-		Config:        cfg,
-		Net:           net,
-		LatencyNs:     plan.LatencyNs,
-		Shots:         cfg.Shots,
-		LogicalErrors: errors,
-		BER:           ber,
-		BERNorm:       ber / float64(cfg.Code.K),
-		CILow:         lo,
-		CIHigh:        hi,
-	}, nil
+	return pl.Run(cfg)
 }
 
 // Decoder is the common decode interface of both decoder families.

@@ -11,7 +11,7 @@ import (
 	"github.com/fpn/flagproxy/internal/tiling"
 )
 
-func hyper55(t *testing.T) *css.Code {
+func hyper55(t testing.TB) *css.Code {
 	t.Helper()
 	g, err := group.Alt(5)
 	if err != nil {

@@ -1,0 +1,58 @@
+package seedmix
+
+import "testing"
+
+func TestMix64Avalanche(t *testing.T) {
+	// Sequential inputs must map to well-separated outputs.
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 10000; i++ {
+		h := Mix64(i)
+		if seen[h] {
+			t.Fatalf("collision at input %d", i)
+		}
+		seen[h] = true
+	}
+	if Mix64(0) == 0 {
+		t.Fatal("Mix64(0) must not be the fixed point 0")
+	}
+}
+
+func TestDeriveOrderAndArity(t *testing.T) {
+	base := int64(42)
+	if Derive(base) == base {
+		t.Fatal("Derive with no words must still mix the base seed")
+	}
+	if Derive(base, 1, 2) == Derive(base, 2, 1) {
+		t.Fatal("Derive must be order-sensitive")
+	}
+	if Derive(base, 1) == Derive(base, 1, 0) {
+		t.Fatal("Derive must be arity-sensitive")
+	}
+	if Derive(base, 7) != Derive(base, 7) {
+		t.Fatal("Derive must be deterministic")
+	}
+	if Derive(base, 7) == Derive(base+1, 7) {
+		t.Fatal("Derive must depend on the base seed")
+	}
+}
+
+func TestBlockSeedsDistinct(t *testing.T) {
+	// The shard engine's usage pattern: one seed per 64-shot block.
+	seen := map[int64]int{}
+	for b := 0; b < 1_000_000; b++ {
+		s := Derive(1, uint64(b))
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("block seed collision: blocks %d and %d", prev, b)
+		}
+		seen[s] = b
+	}
+}
+
+func TestStringAndFloatWords(t *testing.T) {
+	if String("fig17") == String("fig18") {
+		t.Fatal("String words must distinguish figure tags")
+	}
+	if Float(5e-4) == Float(1e-3) {
+		t.Fatal("Float words must distinguish error rates")
+	}
+}

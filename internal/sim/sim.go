@@ -53,12 +53,23 @@ type Injection struct {
 }
 
 type frameSim struct {
-	c      *circuit.Circuit
-	words  int
-	shots  int
-	fx, fz [][]uint64
-	meas   [][]uint64
-	rng    *rand.Rand
+	c        *circuit.Circuit
+	words    int // words active in the current run
+	capWords int // words allocated (capacity ceiling)
+	shots    int
+	fx, fz   [][]uint64
+	meas     [][]uint64
+	src      rand.Source
+	rng      *rand.Rand
+
+	// Block mode (BlockSampler): every 64-shot word consumes its own
+	// RNG stream so a block's outcome is independent of how blocks are
+	// batched into passes. nil in classic whole-run mode.
+	wordSrcs []rand.Source
+	wordRngs []*rand.Rand
+	// cur is the stream noise channels must draw from: the run-wide rng
+	// in classic mode, the active word's rng in block mode.
+	cur *rand.Rand
 
 	measBases []int // lazily computed first-measurement index per op
 }
@@ -98,7 +109,9 @@ func RunDeterministic(c *circuit.Circuit, shots int, inj []Injection) *Result {
 
 func newFrameSim(c *circuit.Circuit, shots int, seed int64) *frameSim {
 	words := (shots + 63) / 64
-	fs := &frameSim{c: c, words: words, shots: shots, rng: rand.New(rand.NewSource(seed))}
+	src := rand.NewSource(seed)
+	fs := &frameSim{c: c, words: words, capWords: words, shots: shots, src: src, rng: rand.New(src)}
+	fs.cur = fs.rng
 	fs.fx = make([][]uint64, c.NumQubits)
 	fs.fz = make([][]uint64, c.NumQubits)
 	for q := range fs.fx {
@@ -112,49 +125,115 @@ func newFrameSim(c *circuit.Circuit, shots int, seed int64) *frameSim {
 	return fs
 }
 
+// reset rewinds the simulator for a fresh run of shots lanes (at most
+// the allocated capacity) with a new RNG seed, reusing every buffer.
+func (fs *frameSim) reset(shots int, seed int64) {
+	fs.shots = shots
+	fs.words = (shots + 63) / 64
+	for q := range fs.fx {
+		clear(fs.fx[q])
+		clear(fs.fz[q])
+	}
+	fs.src.Seed(seed)
+}
+
 func (fs *frameSim) result() *Result {
-	r := &Result{Shots: fs.shots, Words: fs.words, MeasFlips: fs.meas}
-	for _, d := range fs.c.Detectors {
-		acc := make([]uint64, fs.words)
-		for _, m := range d.Meas {
-			for w := range acc {
-				acc[w] ^= fs.meas[m][w]
-			}
-		}
-		r.Detectors = append(r.Detectors, acc)
-	}
-	for _, o := range fs.c.Observables {
-		acc := make([]uint64, fs.words)
-		for _, m := range o {
-			for w := range acc {
-				acc[w] ^= fs.meas[m][w]
-			}
-		}
-		r.Observables = append(r.Observables, acc)
-	}
+	r := &Result{}
+	fs.resultInto(r)
 	return r
+}
+
+// resultInto accumulates detector and observable rows into r, reusing
+// r's buffers when it has been filled by this frameSim before. The
+// result aliases fs.meas.
+func (fs *frameSim) resultInto(r *Result) {
+	r.Shots = fs.shots
+	r.Words = fs.words
+	r.MeasFlips = fs.meas
+	if r.Detectors == nil {
+		r.Detectors = make([][]uint64, len(fs.c.Detectors))
+		for d := range r.Detectors {
+			r.Detectors[d] = make([]uint64, fs.capWords)
+		}
+		r.Observables = make([][]uint64, len(fs.c.Observables))
+		for o := range r.Observables {
+			r.Observables[o] = make([]uint64, fs.capWords)
+		}
+	}
+	for d, det := range fs.c.Detectors {
+		acc := r.Detectors[d][:fs.words]
+		clear(acc)
+		for _, m := range det.Meas {
+			row := fs.meas[m]
+			for w := range acc {
+				acc[w] ^= row[w]
+			}
+		}
+	}
+	for o, obs := range fs.c.Observables {
+		acc := r.Observables[o][:fs.words]
+		clear(acc)
+		for _, m := range obs {
+			row := fs.meas[m]
+			for w := range acc {
+				acc[w] ^= row[w]
+			}
+		}
+	}
 }
 
 // forEachLane visits lanes selected i.i.d. with probability p, using
 // geometric skip-sampling so the cost is proportional to the number of
-// hits rather than the number of shots.
+// hits rather than the number of shots. In block mode every 64-lane
+// word is scanned with its own RNG stream.
 func (fs *frameSim) forEachLane(p float64, f func(lane int)) {
 	if p <= 0 {
 		return
 	}
+	if fs.wordRngs == nil {
+		if p >= 1 {
+			for l := 0; l < fs.shots; l++ {
+				f(l)
+			}
+			return
+		}
+		geomScan(fs.rng, math.Log1p(-p), 0, fs.shots, f)
+		return
+	}
 	if p >= 1 {
-		for l := 0; l < fs.shots; l++ {
-			f(l)
+		for wi := 0; wi < fs.words; wi++ {
+			fs.cur = fs.wordRngs[wi]
+			hi := wi*64 + 64
+			if hi > fs.shots {
+				hi = fs.shots
+			}
+			for l := wi * 64; l < hi; l++ {
+				f(l)
+			}
 		}
 		return
 	}
 	logq := math.Log1p(-p)
-	l := 0
+	for wi := 0; wi < fs.words; wi++ {
+		lo := wi * 64
+		hi := lo + 64
+		if hi > fs.shots {
+			hi = fs.shots
+		}
+		fs.cur = fs.wordRngs[wi]
+		geomScan(fs.cur, logq, lo, hi, f)
+	}
+}
+
+// geomScan visits lanes of [lo, hi) selected i.i.d. with hit
+// probability p = 1 - exp(logq) by geometric skip-sampling on rng.
+func geomScan(rng *rand.Rand, logq float64, lo, hi int, f func(lane int)) {
+	l := lo
 	for {
-		u := fs.rng.Float64()
+		u := rng.Float64()
 		skip := int(math.Log(1-u) / logq)
 		l += skip
-		if l >= fs.shots {
+		if l >= hi {
 			return
 		}
 		f(l)
@@ -217,7 +296,7 @@ func (fs *frameSim) apply(opIndex int, op circuit.Op, noisy bool, inj []Injectio
 		if noisy {
 			for _, q := range op.Qubits {
 				fs.forEachLane(op.P, func(l int) {
-					switch fs.rng.Intn(3) {
+					switch fs.cur.Intn(3) {
 					case 0:
 						setBit(fs.fx[q], l)
 					case 1:
@@ -234,7 +313,7 @@ func (fs *frameSim) apply(opIndex int, op circuit.Op, noisy bool, inj []Injectio
 			for _, pr := range op.Pairs {
 				a, b := pr[0], pr[1]
 				fs.forEachLane(op.P, func(l int) {
-					k := 1 + fs.rng.Intn(15) // 2-qubit Pauli index, base 4, skipping II
+					k := 1 + fs.cur.Intn(15) // 2-qubit Pauli index, base 4, skipping II
 					pa, pb := k/4, k%4
 					fs.injectPauliIndex(a, pa, l)
 					fs.injectPauliIndex(b, pb, l)
