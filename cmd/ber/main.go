@@ -29,50 +29,104 @@ import (
 )
 
 func main() {
-	figFlag := flag.String("fig", "19", "figure to reproduce: 17, 18, 19 or 20")
-	shots := flag.Int("shots", 2000, "shots per point (upper bound when early stopping is on)")
-	seed := flag.Int64("seed", 1, "base RNG seed; every point derives its own stream from it")
-	psFlag := flag.String("ps", "5e-4,1e-3", "comma-separated physical error rates")
-	maxN := flag.Int("maxn", 64, "largest hyperbolic blocklength simulated (figs 17/18)")
-	workers := flag.Int("workers", 0, "shard workers per point (0 = GOMAXPROCS)")
-	shard := flag.Int("shard", 0, "shots per work shard (0 = 1024); results are identical for any value")
-	targetErrors := flag.Int("target-errors", 0, "stop a point after this many logical errors (0 = off)")
-	maxCI := flag.Float64("max-ci", 0, "stop a point when the Wilson 95% CI half-width reaches this (0 = off)")
-	flag.Parse()
+	cfg, err := parseArgs(os.Args[1:])
+	if err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		os.Exit(2)
+	}
+	r := &runner{
+		sweep:        experiment.NewSweep(),
+		fig:          cfg.fig,
+		shots:        cfg.shots,
+		seed:         cfg.seed,
+		workers:      cfg.workers,
+		shard:        cfg.shard,
+		targetErrors: cfg.targetErrors,
+		maxCI:        cfg.maxCI,
+	}
+	switch cfg.fig {
+	case "17":
+		fig17(r, cfg.ps, cfg.maxN)
+	case "18":
+		fig18(r, cfg.ps, cfg.maxN)
+	case "19":
+		fig19(r, cfg.ps)
+	case "20":
+		fig20(r, cfg.ps)
+	}
+}
 
+// cliConfig is the parsed and validated command line.
+type cliConfig struct {
+	fig          string
+	shots        int
+	seed         int64
+	ps           []float64
+	maxN         int
+	workers      int
+	shard        int
+	targetErrors int
+	maxCI        float64
+}
+
+// parseArgs parses and validates the ber command line. Engine knobs are
+// checked eagerly with the same rules as experiment.Config validation,
+// so a bad flag fails the run with one clear message instead of
+// poisoning every sweep point with the same error.
+func parseArgs(args []string) (*cliConfig, error) {
+	fs := flag.NewFlagSet("ber", flag.ContinueOnError)
+	figFlag := fs.String("fig", "19", "figure to reproduce: 17, 18, 19 or 20")
+	shots := fs.Int("shots", 2000, "shots per point (upper bound when early stopping is on)")
+	seed := fs.Int64("seed", 1, "base RNG seed; every point derives its own stream from it")
+	psFlag := fs.String("ps", "5e-4,1e-3", "comma-separated physical error rates")
+	maxN := fs.Int("maxn", 64, "largest hyperbolic blocklength simulated (figs 17/18)")
+	workers := fs.Int("workers", 0, "shard workers per point (0 = GOMAXPROCS)")
+	shard := fs.Int("shard", 0, "shots per work shard (0 = 1024); results are identical for any value")
+	targetErrors := fs.Int("target-errors", 0, "stop a point after this many logical errors (0 = off)")
+	maxCI := fs.Float64("max-ci", 0, "stop a point when the Wilson 95% CI half-width reaches this (0 = off)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	switch *figFlag {
+	case "17", "18", "19", "20":
+	default:
+		return nil, fmt.Errorf("unknown figure %q (want 17, 18, 19 or 20)", *figFlag)
+	}
+	if *shots <= 0 {
+		return nil, fmt.Errorf("-shots must be positive (got %d)", *shots)
+	}
+	if *maxN <= 0 {
+		return nil, fmt.Errorf("-maxn must be positive (got %d)", *maxN)
+	}
+	if *workers < 0 {
+		return nil, fmt.Errorf("-workers must be >= 0 (got %d)", *workers)
+	}
+	if *shard < 0 {
+		return nil, fmt.Errorf("-shard must be >= 0 (got %d)", *shard)
+	}
+	if *targetErrors < 0 {
+		return nil, fmt.Errorf("-target-errors must be >= 0 (got %d)", *targetErrors)
+	}
+	if *maxCI < 0 || *maxCI >= 1 {
+		return nil, fmt.Errorf("-max-ci must be in [0, 1) (got %g)", *maxCI)
+	}
 	var ps []float64
 	for _, s := range strings.Split(*psFlag, ",") {
 		p, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "bad -ps entry %q: %v\n", s, err)
-			os.Exit(2)
+			return nil, fmt.Errorf("bad -ps entry %q: %v", s, err)
+		}
+		if p <= 0 || p >= 1 {
+			return nil, fmt.Errorf("-ps entry %g is not a physical error rate in (0, 1)", p)
 		}
 		ps = append(ps, p)
 	}
-
-	r := &runner{
-		sweep:        experiment.NewSweep(),
-		fig:          *figFlag,
-		shots:        *shots,
-		seed:         *seed,
-		workers:      *workers,
-		shard:        *shard,
-		targetErrors: *targetErrors,
-		maxCI:        *maxCI,
-	}
-	switch *figFlag {
-	case "17":
-		fig17(r, ps, *maxN)
-	case "18":
-		fig18(r, ps, *maxN)
-	case "19":
-		fig19(r, ps)
-	case "20":
-		fig20(r, ps)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figFlag)
-		os.Exit(2)
-	}
+	return &cliConfig{
+		fig: *figFlag, shots: *shots, seed: *seed, ps: ps, maxN: *maxN,
+		workers: *workers, shard: *shard, targetErrors: *targetErrors, maxCI: *maxCI,
+	}, nil
 }
 
 var fpnArch = fpn.Options{UseFlags: true, FlagSharing: true, MaxDegree: 4}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseArgsDefaults(t *testing.T) {
+	cfg, err := parseArgs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.fig != "19" || cfg.shots != 2000 || cfg.seed != 1 || cfg.maxN != 64 {
+		t.Errorf("unexpected defaults: %+v", cfg)
+	}
+	if len(cfg.ps) != 2 || cfg.ps[0] != 5e-4 || cfg.ps[1] != 1e-3 {
+		t.Errorf("default -ps parsed as %v", cfg.ps)
+	}
+	if cfg.workers != 0 || cfg.shard != 0 || cfg.targetErrors != 0 || cfg.maxCI != 0 {
+		t.Errorf("engine knobs should default to 0: %+v", cfg)
+	}
+}
+
+func TestParseArgsValid(t *testing.T) {
+	cfg, err := parseArgs([]string{
+		"-fig", "17", "-shots", "50000", "-seed", "7",
+		"-ps", " 1e-3 ,2e-3,5e-3", "-maxn", "160",
+		"-workers", "4", "-shard", "4096",
+		"-target-errors", "100", "-max-ci", "0.02",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.fig != "17" || cfg.shots != 50000 || cfg.seed != 7 || cfg.maxN != 160 ||
+		cfg.workers != 4 || cfg.shard != 4096 || cfg.targetErrors != 100 ||
+		math.Abs(cfg.maxCI-0.02) > 1e-15 {
+		t.Errorf("parsed %+v", cfg)
+	}
+	want := []float64{1e-3, 2e-3, 5e-3}
+	if len(cfg.ps) != len(want) {
+		t.Fatalf("-ps parsed as %v", cfg.ps)
+	}
+	for i, p := range want {
+		if cfg.ps[i] != p {
+			t.Errorf("-ps[%d] = %g, want %g", i, cfg.ps[i], p)
+		}
+	}
+}
+
+func TestParseArgsInvalid(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"unknown fig", []string{"-fig", "21"}, "unknown figure"},
+		{"fig garbage", []string{"-fig", "nineteen"}, "unknown figure"},
+		{"zero shots", []string{"-shots", "0"}, "-shots must be positive"},
+		{"negative shots", []string{"-shots", "-5"}, "-shots must be positive"},
+		{"zero maxn", []string{"-maxn", "0"}, "-maxn must be positive"},
+		{"negative workers", []string{"-workers", "-1"}, "-workers must be >= 0"},
+		{"negative shard", []string{"-shard", "-64"}, "-shard must be >= 0"},
+		{"negative target-errors", []string{"-target-errors", "-2"}, "-target-errors must be >= 0"},
+		{"negative max-ci", []string{"-max-ci", "-0.1"}, "-max-ci must be in [0, 1)"},
+		{"max-ci at one", []string{"-max-ci", "1"}, "-max-ci must be in [0, 1)"},
+		{"unparsable ps", []string{"-ps", "1e-3,banana"}, "bad -ps entry"},
+		{"empty ps entry", []string{"-ps", "1e-3,,2e-3"}, "bad -ps entry"},
+		{"ps zero", []string{"-ps", "0"}, "not a physical error rate"},
+		{"ps at one", []string{"-ps", "1"}, "not a physical error rate"},
+		{"ps negative", []string{"-ps", "-1e-3"}, "not a physical error rate"},
+		{"non-integer workers", []string{"-workers", "two"}, "invalid value"},
+		{"unknown flag", []string{"-frobnicate"}, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseArgs(tc.args)
+			if err == nil {
+				t.Fatalf("parseArgs(%v) accepted invalid input", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("parseArgs(%v) error %q, want it to mention %q", tc.args, err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"github.com/fpn/flagproxy/internal/noise"
 	"github.com/fpn/flagproxy/internal/schedule"
 	"github.com/fpn/flagproxy/internal/sim"
+	"github.com/fpn/flagproxy/internal/surface"
 )
 
 // decoderFixture prepares a decoding workload: the [[30,8,3,3]] FPN
@@ -142,4 +143,154 @@ func BenchmarkDecoderBPOSDThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(f.shots)*float64(b.N)/b.Elapsed().Seconds(), "shots/s")
 	b.ReportMetric(ber, "BER")
+}
+
+// planarFixture prepares the rotated d=5 surface-code workload under the
+// canonical Tomita-Svore schedule (the standard MWPM benchmark point).
+func planarFixture(b *testing.B) *decoderFixture {
+	b.Helper()
+	l, err := surface.Rotated(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, _, err := schedule.CanonicalRotated(l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := schedule.BuildRoundPlan(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nm := &noise.Model{P: 1e-3}
+	c, err := circuit.BuildMemory(circuit.MemorySpec{Plan: plan, Basis: css.Z, Rounds: 5, Noise: nm})
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := dem.Extract(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shots := 512
+	return &decoderFixture{c: c, model: model, res: sim.Run(c, shots, 42), shots: shots}
+}
+
+// benchDecodeShots measures the per-shot decode cost (and allocations)
+// of one decoder on pre-sampled realistic shots, cycling the shot set.
+func benchDecodeShots(b *testing.B, f *decoderFixture, dec interface {
+	Decode(func(int) bool) ([]bool, error)
+}) {
+	b.Helper()
+	sc := decoder.NewScratch()
+	sd, scratched := dec.(decoder.ScratchDecoder)
+	// Warm the shortest-path-tree cache and size the scratch arenas so
+	// the timed region is the steady state.
+	for shot := 0; shot < f.shots; shot++ {
+		bit := func(d int) bool { return f.res.DetectorBit(d, shot) }
+		var err error
+		if scratched {
+			_, err = sd.DecodeWith(sc, bit)
+		} else {
+			_, err = dec.Decode(bit)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	shot := 0
+	bit := func(d int) bool { return f.res.DetectorBit(d, shot) }
+	for i := 0; i < b.N; i++ {
+		var err error
+		if scratched {
+			_, err = sd.DecodeWith(sc, bit)
+		} else {
+			_, err = dec.Decode(bit)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		shot++
+		if shot == f.shots {
+			shot = 0
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "shots/s")
+}
+
+// BenchmarkDecodeMWPMPlanarD5 is the acceptance benchmark: plain MWPM on
+// the rotated d=5 surface code, per-shot cost and steady-state allocs.
+func BenchmarkDecodeMWPMPlanarD5(b *testing.B) {
+	f := planarFixture(b)
+	dec, err := decoder.NewMWPM(f.model, css.Z, 1e-3, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDecodeShots(b, f, dec)
+}
+
+// BenchmarkDecodeMWPM measures the flagged MWPM decoder per shot on the
+// [[30,8,3,3]] FPN workload.
+func BenchmarkDecodeMWPM(b *testing.B) {
+	f := newDecoderFixture(b)
+	dec, err := decoder.NewMWPM(f.model, css.Z, 1e-3, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDecodeShots(b, f, dec)
+}
+
+// BenchmarkDecodeRestriction measures the flagged Restriction decoder
+// per shot on the {4,6} color-code FPN workload.
+func BenchmarkDecodeRestriction(b *testing.B) {
+	code := catalogCode(b, "color", 48)
+	net, err := fpn.Build(code, fpnArch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := schedule.Greedy(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := schedule.BuildRoundPlan(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nm := &noise.Model{P: 1e-3}
+	c, err := circuit.BuildMemory(circuit.MemorySpec{Plan: plan, Basis: css.Z, Rounds: 3, Noise: nm})
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := dem.Extract(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := &decoderFixture{c: c, model: model, res: sim.Run(c, 512, 42), shots: 512}
+	dec, err := decoder.NewRestriction(model, css.Z, 1e-3, true, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDecodeShots(b, f, dec)
+}
+
+// BenchmarkDecodeUnionFind measures the union-find decoder per shot on
+// the [[30,8,3,3]] FPN workload.
+func BenchmarkDecodeUnionFind(b *testing.B) {
+	f := newDecoderFixture(b)
+	dec, err := decoder.NewUnionFind(f.model, css.Z, 1e-3, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDecodeShots(b, f, dec)
+}
+
+// BenchmarkDecodeBPOSD measures the BP+OSD decoder per shot on the
+// [[30,8,3,3]] FPN workload.
+func BenchmarkDecodeBPOSD(b *testing.B) {
+	f := newDecoderFixture(b)
+	dec, err := decoder.NewBPOSD(f.model, css.Z, 30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDecodeShots(b, f, dec)
 }

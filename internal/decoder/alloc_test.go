@@ -1,0 +1,159 @@
+package decoder
+
+// Allocation regression gates: after a warm-up pass has built the
+// shortest-path-tree caches and sized the scratch arenas, the
+// steady-state DecodeWith loop must not touch the heap. CI runs these
+// (they are ordinary tests, not benchmarks, so `go test` enforces them
+// on every push).
+
+import (
+	"testing"
+
+	"github.com/fpn/flagproxy/internal/circuit"
+	"github.com/fpn/flagproxy/internal/color"
+	"github.com/fpn/flagproxy/internal/css"
+	"github.com/fpn/flagproxy/internal/dem"
+	"github.com/fpn/flagproxy/internal/noise"
+	"github.com/fpn/flagproxy/internal/schedule"
+	"github.com/fpn/flagproxy/internal/sim"
+	"github.com/fpn/flagproxy/internal/surface"
+)
+
+// planarModel builds the rotated d=5 surface-code memory circuit under
+// the canonical schedule (the acceptance benchmark's workload).
+func planarModel(t *testing.T, rounds int, p float64) (*dem.Model, *circuit.Circuit) {
+	t.Helper()
+	l, err := surface.Rotated(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, err := schedule.CanonicalRotated(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := schedule.BuildRoundPlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := circuit.BuildMemory(circuit.MemorySpec{Plan: plan, Basis: css.Z, Rounds: rounds, Noise: &noise.Model{P: p}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := dem.Extract(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model, c
+}
+
+// allocsPerDecode warms the decoder over all shots, then measures
+// steady-state allocations per decode for each shot individually and
+// returns the per-shot counts.
+func allocsPerDecode(t *testing.T, dec ScratchDecoder, res *sim.Result, shots int) []float64 {
+	t.Helper()
+	sc := NewScratch()
+	for s := 0; s < shots; s++ {
+		s := s
+		if _, err := dec.DecodeWith(sc, func(d int) bool { return res.DetectorBit(d, s) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := make([]float64, shots)
+	for s := 0; s < shots; s++ {
+		s := s
+		bit := func(d int) bool { return res.DetectorBit(d, s) }
+		out[s] = testing.AllocsPerRun(10, func() {
+			if _, err := dec.DecodeWith(sc, bit); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	return out
+}
+
+func maxAllocs(counts []float64) float64 {
+	m := 0.0
+	for _, c := range counts {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// TestDecodeSteadyStateZeroAlloc gates the matching-family hot paths at
+// exactly zero steady-state allocations on realistic sampled shots.
+func TestDecodeSteadyStateZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation gate needs the full shot sweep")
+	}
+	const shots = 128
+	model, c := planarModel(t, 5, 1e-3)
+	res := sim.Run(c, shots, 42)
+	plain, err := NewMWPM(model, css.Z, 1e-3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := maxAllocs(allocsPerDecode(t, plain, res, shots)); m != 0 {
+		t.Errorf("plain MWPM (planar d=5): %v allocs/op in steady state, want 0", m)
+	}
+
+	fcode := hyper55(t)
+	fmodel, fc := buildModel(t, fcode, diffOptions, css.Z, 3, 1e-3)
+	fres := sim.Run(fc, shots, 43)
+	flagged, err := NewMWPM(fmodel, css.Z, 1e-3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := maxAllocs(allocsPerDecode(t, flagged, fres, shots)); m != 0 {
+		t.Errorf("flagged MWPM ([[30,8,3,3]]): %v allocs/op in steady state, want 0", m)
+	}
+	ufd, err := NewUnionFind(fmodel, css.Z, 1e-3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := maxAllocs(allocsPerDecode(t, ufd, fres, shots)); m != 0 {
+		t.Errorf("union-find ([[30,8,3,3]]): %v allocs/op in steady state, want 0", m)
+	}
+	ccode, err := color.HexagonalToric(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmodel, cc := buildModel(t, ccode, diffOptions, css.Z, 3, 1e-3)
+	cres := sim.Run(cc, shots, 44)
+	rest, err := NewRestriction(cmodel, css.Z, 1e-3, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The matching stage is allocation-free; only the residual-repair
+	// cold path (three matchings disagreeing) may allocate, so gate the
+	// common case: most shots must decode without touching the heap.
+	rcounts := allocsPerDecode(t, rest, cres, shots)
+	rzero := 0
+	for _, ct := range rcounts {
+		if ct == 0 {
+			rzero++
+		}
+	}
+	if rzero < shots/2 {
+		t.Errorf("restriction: only %d/%d shots decode allocation-free", rzero, shots)
+	}
+
+	bposd, err := NewBPOSD(fmodel, css.Z, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BP-converged shots must be allocation-free; the OSD fallback is
+	// allowed to allocate, so gate the minimum over shots at 0 and the
+	// typical (median) shot too.
+	counts := allocsPerDecode(t, bposd, fres, shots)
+	zero := 0
+	for _, ct := range counts {
+		if ct == 0 {
+			zero++
+		}
+	}
+	if zero < shots/2 {
+		t.Errorf("BP+OSD: only %d/%d shots decode allocation-free", zero, shots)
+	}
+}

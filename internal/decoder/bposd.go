@@ -17,6 +17,12 @@ import (
 // decoding stack (Panteleev–Kalachev / Roffe style) included as an
 // extension: unlike matching it needs no graph-like structure, so it
 // also applies to the hypergraph-product codes of §VII-A.
+//
+// The Tanner-graph structure (slot offsets, check adjacency, prior
+// LLRs) is fixed per run and precomputed at construction; per-shot
+// message storage comes flattened out of a DecodeScratch, so the BP
+// iteration path is allocation-free. Only the OSD-0 fallback (BP
+// non-convergence) allocates.
 type BPOSD struct {
 	Basis css.Basis
 	// Iters is the number of min-sum iterations before OSD (default 30).
@@ -29,7 +35,16 @@ type BPOSD struct {
 	varObs [][]int // variable -> observables flipped
 	prior  []float64
 	h      *gf2.Matrix // rows = dets, cols = variables
+
+	varOff   []int     // variable -> first message slot (len nv+1)
+	priorLLR []float64 // log((1-p)/p) per variable
+	rowRefs  []slotRef // flattened check adjacency
+	rowOff   []int     // row -> first index into rowRefs (len rows+1)
 }
+
+// slotRef addresses one Tanner-graph edge: variable v, position k in its
+// row list (message slot varOff[v]+k).
+type slotRef struct{ v, k int }
 
 // NewBPOSD builds the decoder for one syndrome basis; flag detectors are
 // included as checks so the flag protocol is used implicitly.
@@ -68,6 +83,32 @@ func NewBPOSD(model *dem.Model, basis css.Basis, iters int) (*BPOSD, error) {
 		d.prior = append(d.prior, p)
 	}
 	d.h = gf2.MatrixFromSupports(len(d.dets), len(d.varDet), transposeSupports(len(d.dets), d.varDet))
+	nv := len(d.varDet)
+	d.varOff = make([]int, nv+1)
+	d.priorLLR = make([]float64, nv)
+	for v := 0; v < nv; v++ {
+		d.varOff[v+1] = d.varOff[v] + len(d.varDet[v])
+		d.priorLLR[v] = math.Log((1 - d.prior[v]) / d.prior[v])
+	}
+	counts := make([]int, len(d.dets))
+	for v := 0; v < nv; v++ {
+		for _, r := range d.varDet[v] {
+			counts[r]++
+		}
+	}
+	d.rowOff = make([]int, len(d.dets)+1)
+	for r := range counts {
+		d.rowOff[r+1] = d.rowOff[r] + counts[r]
+	}
+	d.rowRefs = make([]slotRef, d.rowOff[len(d.dets)])
+	fillPos := make([]int, len(d.dets))
+	copy(fillPos, d.rowOff[:len(d.dets)])
+	for v := 0; v < nv; v++ {
+		for k, r := range d.varDet[v] {
+			d.rowRefs[fillPos[r]] = slotRef{v, k}
+			fillPos[r]++
+		}
+	}
 	return d, nil
 }
 
@@ -85,46 +126,49 @@ func transposeSupports(rows int, varDet [][]int) [][]int {
 
 // Decode runs min-sum BP on the Tanner graph of (detectors × error
 // mechanisms); if the hard decision does not reproduce the syndrome, an
-// OSD-0 pass solves for the most reliable consistent error set.
+// OSD-0 pass solves for the most reliable consistent error set. It
+// allocates a private scratch per call; hot loops should hold a
+// DecodeScratch and call DecodeWith.
 func (d *BPOSD) Decode(detBit func(int) bool) ([]bool, error) {
-	correction := make([]bool, d.numObs)
-	syndrome := make([]bool, len(d.dets))
+	return d.DecodeWith(NewScratch(), detBit)
+}
+
+// DecodeWith is Decode drawing the BP message storage from sc. The
+// returned slice aliases sc and is valid until sc's next use.
+func (d *BPOSD) DecodeWith(sc *DecodeScratch, detBit func(int) bool) ([]bool, error) {
+	sc.reset(d.numObs)
+	correction := sc.correction
+	nv := len(d.varDet)
+	bp := &sc.bp
+	bp.ensure(len(d.dets), nv, d.varOff[nv])
+	syndrome := bp.syndrome
 	any := false
 	for r, det := range d.dets {
-		if detBit(det) {
-			syndrome[r] = true
+		syndrome[r] = detBit(det)
+		if syndrome[r] {
 			any = true
 		}
 	}
 	if !any {
 		return correction, nil
 	}
-	nv := len(d.varDet)
-	// Message storage indexed by (variable, position in its row list).
-	v2c := make([][]float64, nv)
-	c2v := make([][]float64, nv)
-	priorLLR := make([]float64, nv)
+	// Message storage indexed by (variable, position in its row list),
+	// flattened at the precomputed slot offsets.
+	v2c := bp.v2c
+	c2v := bp.c2v
 	for v := 0; v < nv; v++ {
-		priorLLR[v] = math.Log((1 - d.prior[v]) / d.prior[v])
-		v2c[v] = make([]float64, len(d.varDet[v]))
-		c2v[v] = make([]float64, len(d.varDet[v]))
-		for k := range v2c[v] {
-			v2c[v][k] = priorLLR[v]
+		lo, hi := d.varOff[v], d.varOff[v+1]
+		for i := lo; i < hi; i++ {
+			v2c[i] = d.priorLLR[v]
+			c2v[i] = 0
 		}
 	}
-	// Check adjacency: row -> list of (variable, slot).
-	type slotRef struct{ v, k int }
-	rowVars := make([][]slotRef, len(d.dets))
-	for v := 0; v < nv; v++ {
-		for k, r := range d.varDet[v] {
-			rowVars[r] = append(rowVars[r], slotRef{v, k})
-		}
-	}
-	posterior := make([]float64, nv)
-	hard := make([]bool, nv)
+	posterior := bp.posterior
+	hard := bp.hard
 	for iter := 0; iter < d.Iters; iter++ {
 		// Check update (min-sum with sign from syndrome).
-		for r, refs := range rowVars {
+		for r := range d.dets {
+			refs := d.rowRefs[d.rowOff[r]:d.rowOff[r+1]]
 			sign := 1.0
 			if syndrome[r] {
 				sign = -1.0
@@ -133,7 +177,7 @@ func (d *BPOSD) Decode(detBit func(int) bool) ([]bool, error) {
 			arg1 := -1
 			prod := sign
 			for i, ref := range refs {
-				m := v2c[ref.v][ref.k]
+				m := v2c[d.varOff[ref.v]+ref.k]
 				if m < 0 {
 					prod = -prod
 				}
@@ -152,29 +196,30 @@ func (d *BPOSD) Decode(detBit func(int) bool) ([]bool, error) {
 					mag = min2
 				}
 				s := prod
-				if v2c[ref.v][ref.k] < 0 {
+				if v2c[d.varOff[ref.v]+ref.k] < 0 {
 					s = -s
 				}
-				c2v[ref.v][ref.k] = 0.75 * s * mag // normalized min-sum
+				c2v[d.varOff[ref.v]+ref.k] = 0.75 * s * mag // normalized min-sum
 			}
 		}
 		// Variable update and hard decision.
 		satisfied := true
 		for v := 0; v < nv; v++ {
-			total := priorLLR[v]
-			for k := range c2v[v] {
-				total += c2v[v][k]
+			total := d.priorLLR[v]
+			lo, hi := d.varOff[v], d.varOff[v+1]
+			for i := lo; i < hi; i++ {
+				total += c2v[i]
 			}
 			posterior[v] = total
 			hard[v] = total < 0
-			for k := range v2c[v] {
-				v2c[v][k] = total - c2v[v][k]
+			for i := lo; i < hi; i++ {
+				v2c[i] = total - c2v[i]
 			}
 		}
 		// Syndrome check for early exit.
-		for r, refs := range rowVars {
+		for r := range d.dets {
 			par := false
-			for _, ref := range refs {
+			for _, ref := range d.rowRefs[d.rowOff[r]:d.rowOff[r+1]] {
 				if hard[ref.v] {
 					par = !par
 				}
@@ -196,7 +241,8 @@ func (d *BPOSD) Decode(detBit func(int) bool) ([]bool, error) {
 		}
 	}
 	// OSD-0: order variables by reliability (most-likely-error first) and
-	// solve H·e = s on the reliable information set.
+	// solve H·e = s on the reliable information set. BP failed to
+	// converge to reach here, so this fallback is rare and may allocate.
 	order := make([]int, nv)
 	for v := range order {
 		order[v] = v
@@ -209,8 +255,8 @@ func (d *BPOSD) Decode(detBit func(int) bool) ([]bool, error) {
 		}
 	}
 	s := gf2.NewVec(d.h.Rows())
-	for r, bit := range syndrome {
-		if bit {
+	for r := 0; r < len(d.dets); r++ {
+		if syndrome[r] {
 			s.Set(r, true)
 		}
 	}

@@ -56,11 +56,26 @@ func collectFlagList(classes []dem.Class) []int {
 func minWeightPerfect(n int, edges []matchEdge) ([]int, error) {
 	qedges := make([]matching.Edge, len(edges))
 	for i, e := range edges {
-		w := e.w
-		if math.IsInf(w, 1) || w > 1e12 {
-			w = 1e12
-		}
-		qedges[i] = matching.Edge{U: e.u, V: e.v, W: int64(w * weightScale)}
+		qedges[i] = quantizeEdge(e)
 	}
 	return matching.MinWeightPerfect(n, qedges)
+}
+
+// minWeightPerfectWS is minWeightPerfect drawing the quantized edge list
+// and the blossom matcher's state from the scratch arena. The returned
+// mate slice aliases the scratch.
+func minWeightPerfectWS(sc *DecodeScratch, n int, edges []matchEdge) ([]int, error) {
+	sc.qedges = sc.qedges[:0]
+	for _, e := range edges {
+		sc.qedges = append(sc.qedges, quantizeEdge(e))
+	}
+	return sc.match.MinWeightPerfect(n, sc.qedges)
+}
+
+func quantizeEdge(e matchEdge) matching.Edge {
+	w := e.w
+	if math.IsInf(w, 1) || w > 1e12 {
+		w = 1e12
+	}
+	return matching.Edge{U: e.u, V: e.v, W: int64(w * weightScale)}
 }

@@ -1,0 +1,38 @@
+//go:build !race
+
+package decoder
+
+// Default differential matrix: every catalog code small enough to keep
+// the suite fast (model extraction for the n≥300 entries takes several
+// seconds each). Set FPN_DIFF_FULL=1 to sweep the entire catalog.
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"github.com/fpn/flagproxy/internal/catalog"
+)
+
+func diffCases(t *testing.T) []diffCase {
+	t.Helper()
+	maxN := 64
+	if os.Getenv("FPN_DIFF_FULL") != "" {
+		maxN = 1 << 30
+	}
+	var out []diffCase
+	for _, e := range catalog.Standard() {
+		if e.Code.N > maxN {
+			continue
+		}
+		out = append(out, diffCase{
+			name:  fmt.Sprintf("%s-%d_%d-n%d", e.Family, e.Subfamily[0], e.Subfamily[1], e.Code.N),
+			code:  e.Code,
+			color: e.Family == "color",
+		})
+	}
+	if len(out) == 0 {
+		t.Fatal("no catalog codes under the size cap")
+	}
+	return out
+}

@@ -1,0 +1,25 @@
+//go:build race
+
+package decoder
+
+// Under the race detector the catalog sweep is far too slow; the
+// differential matrix shrinks to one hand-built code per family.
+
+import (
+	"testing"
+
+	"github.com/fpn/flagproxy/internal/color"
+)
+
+func diffCases(t *testing.T) []diffCase {
+	t.Helper()
+	surf := hyper55(t)
+	col, err := color.HexagonalToric(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []diffCase{
+		{name: "surface-5_5-n30", code: surf, color: false},
+		{name: "color-hex-toric-2", code: col, color: true},
+	}
+}

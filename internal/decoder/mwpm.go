@@ -1,7 +1,6 @@
 package decoder
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -18,6 +17,12 @@ const weightScale = 1000.0
 // from every error equivalence class, builds the weighted decoding
 // graph, matches the flipped syndrome bits along shortest paths, and
 // lifts the matched paths back to Pauli-frame corrections.
+//
+// Edge weights are fixed for an entire run except under observed flags,
+// so the shortest-path trees of the flagless steady state are computed
+// once per source (lazily, under a per-source sync.Once) and shared
+// read-only by all workers; only flagged shots re-run Dijkstra, into
+// per-worker scratch.
 type MWPM struct {
 	Basis css.Basis
 	// UseFlags selects the flag protocol; when false the decoder is the
@@ -43,6 +48,8 @@ type MWPM struct {
 	baseRep    []dem.ProjEvent // flagless representative per class
 	baseWeight []float64
 	flagIndex  map[int][]int // flag detector -> class ids with members on it
+
+	spt *sptCache // base-weight shortest-path trees, one per source
 }
 
 type graphEdge struct {
@@ -121,6 +128,13 @@ func NewMWPM(model *dem.Model, basis css.Basis, pM float64, useFlags bool) (*MWP
 			}
 		}
 	}
+	d.spt = newSPTCache(nv, func(s int) ([]float64, []int) {
+		dist := make([]float64, nv)
+		prev := make([]int, nv)
+		var pq floatHeap
+		dijkstraInto(s, d.baseWeight, d.edges, d.adj, dist, prev, &pq)
+		return dist, prev
+	})
 	return d, nil
 }
 
@@ -138,22 +152,32 @@ func weightOf(p float64) float64 {
 func (d *MWPM) NumClasses() int { return len(d.classes) }
 
 // Decode maps a shot's detector bits to predicted observable flips.
-// detBit must return whether detector id fired.
+// detBit must return whether detector id fired. It allocates a private
+// scratch per call; hot loops should hold a DecodeScratch and call
+// DecodeWith.
 func (d *MWPM) Decode(detBit func(int) bool) ([]bool, error) {
+	return d.DecodeWith(NewScratch(), detBit)
+}
+
+// DecodeWith is Decode drawing every per-shot buffer from sc. The
+// returned slice aliases sc and is valid until sc's next use.
+func (d *MWPM) DecodeWith(sc *DecodeScratch, detBit func(int) bool) ([]bool, error) {
+	sc.reset(d.numObs)
+	correction := sc.correction
 	// Flipped syndrome vertices and observed flags.
-	var src []int
 	for vi, det := range d.verts {
 		if detBit(det) {
-			src = append(src, vi)
+			sc.src = append(sc.src, vi)
 		}
 	}
-	correction := make([]bool, d.numObs)
-	flags := map[int]bool{}
+	src := sc.src
 	nFlags := 0
 	if d.UseFlags {
+		// The unflagged baseline skips flag bookkeeping entirely: no flag
+		// reads, no flag-set bookkeeping, no per-class reweighting.
 		for _, f := range d.flagAll {
 			if detBit(f) {
-				flags[f] = true
+				sc.flags[f] = true
 				nFlags++
 			}
 		}
@@ -163,7 +187,7 @@ func (d *MWPM) Decode(detBit func(int) bool) ([]bool, error) {
 		// the empty-syndrome equivalence class (flag-only propagation
 		// errors) or are "no error".
 		if d.UseFlags {
-			applyEmptyClass(d.empty, flags, nFlags, correction)
+			applyEmptyClass(d.empty, sc.flags, nFlags, correction)
 		}
 		return correction, nil
 	}
@@ -171,8 +195,7 @@ func (d *MWPM) Decode(detBit func(int) bool) ([]bool, error) {
 	rep := d.baseRep
 	weight := d.baseWeight
 	if nFlags > 0 {
-		rep = make([]dem.ProjEvent, len(d.classes))
-		weight = make([]float64, len(d.classes))
+		rep, weight = sc.ensureClassOverlay(len(d.classes))
 		copy(rep, d.baseRep)
 		wM := weightOf(d.pM)
 		for ci := range d.classes {
@@ -186,17 +209,17 @@ func (d *MWPM) Decode(detBit func(int) bool) ([]bool, error) {
 		}
 		// Classes with members touching an observed flag re-select their
 		// representative against the actual flag set.
-		adjusted := map[int]bool{}
-		for f := range flags {
+		for f := range sc.flags {
 			for _, ci := range d.flagIndex[f] {
-				adjusted[ci] = true
+				sc.adjusted[ci] = true
 			}
 		}
-		for ci := range adjusted {
-			r, p := d.classes[ci].Representative(flags, nFlags, d.pM)
+		for ci := range sc.adjusted {
+			r, p := d.classes[ci].Representative(sc.flags, nFlags, d.pM)
 			rep[ci] = r
 			weight[ci] = weightOf(p)
 		}
+		clear(sc.adjusted)
 		if d.DisableRenorm {
 			for ci := range d.classes {
 				weight[ci] = weightOf(rep[ci].P)
@@ -207,32 +230,40 @@ func (d *MWPM) Decode(detBit func(int) bool) ([]bool, error) {
 	if d.boundary < 0 && len(src)%2 != 0 {
 		return nil, fmt.Errorf("decoder: odd syndrome weight %d on a closed code", len(src))
 	}
-	// Dijkstra from each source.
-	dist := make([][]float64, len(src))
-	prevEdge := make([][]int, len(src))
-	for i, s := range src {
-		dist[i], prevEdge[i] = d.dijkstra(s, weight, nv)
+	// Shortest-path trees from each source: cached for the flagless
+	// steady state, per-shot Dijkstra into scratch under observed flags.
+	k := len(src)
+	dist, prevEdge := sc.ensureTreeTables(k)
+	if nFlags > 0 {
+		sc.dij.ensure(k, nv)
+		for i, s := range src {
+			di, pi := sc.dij.row(i)
+			dijkstraInto(s, weight, d.edges, d.adj, di, pi, &sc.dij.heap)
+			dist[i], prevEdge[i] = di, pi
+		}
+	} else {
+		for i, s := range src {
+			dist[i], prevEdge[i] = d.spt.tree(s)
+		}
 	}
 	// Matching instance: real nodes 0..k-1, virtual boundary nodes
 	// k..2k-1 when a boundary exists.
-	k := len(src)
-	var medges []matchEdge
 	for i := 0; i < k; i++ {
 		for j := i + 1; j < k; j++ {
 			if w := dist[i][src[j]]; !math.IsInf(w, 1) {
-				medges = append(medges, matchEdge{i, j, w})
+				sc.medges = append(sc.medges, matchEdge{i, j, w})
 			}
 		}
 	}
 	if d.boundary >= 0 {
 		for i := 0; i < k; i++ {
 			if w := dist[i][d.boundary]; !math.IsInf(w, 1) {
-				medges = append(medges, matchEdge{i, k + i, w})
+				sc.medges = append(sc.medges, matchEdge{i, k + i, w})
 			}
 		}
 		for i := 0; i < k; i++ {
 			for j := i + 1; j < k; j++ {
-				medges = append(medges, matchEdge{k + i, k + j, 0})
+				sc.medges = append(sc.medges, matchEdge{k + i, k + j, 0})
 			}
 		}
 	}
@@ -240,7 +271,7 @@ func (d *MWPM) Decode(detBit func(int) bool) ([]bool, error) {
 	if d.boundary >= 0 {
 		total = 2 * k
 	}
-	mate, err := minWeightPerfect(total, medges)
+	mate, err := minWeightPerfectWS(sc, total, sc.medges)
 	if err != nil {
 		return nil, err
 	}
@@ -278,24 +309,24 @@ func (d *MWPM) Decode(detBit func(int) bool) ([]bool, error) {
 	return correction, nil
 }
 
-// dijkstra computes shortest paths from s over the decoding graph with
-// the given per-class weights.
-func (d *MWPM) dijkstra(s int, weight []float64, nv int) ([]float64, []int) {
-	dist := make([]float64, nv)
-	prev := make([]int, nv)
+// dijkstraInto computes shortest paths from s over a decoding graph
+// with per-class weights, writing into caller-provided rows (resized by
+// the caller to the vertex count). pq is reset and reused.
+func dijkstraInto(s int, weight []float64, edges []graphEdge, adj [][]int, dist []float64, prev []int, pq *floatHeap) {
 	for i := range dist {
 		dist[i] = math.Inf(1)
 		prev[i] = -1
 	}
 	dist[s] = 0
-	pq := &floatHeap{{0, s}}
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(heapItem)
+	*pq = (*pq)[:0]
+	pq.push(heapItem{0, s})
+	for len(*pq) > 0 {
+		it := pq.pop()
 		if it.d > dist[it.v] {
 			continue
 		}
-		for _, ei := range d.adj[it.v] {
-			e := d.edges[ei]
+		for _, ei := range adj[it.v] {
+			e := edges[ei]
 			to := e.u
 			if to == it.v {
 				to = e.v
@@ -304,11 +335,10 @@ func (d *MWPM) dijkstra(s int, weight []float64, nv int) ([]float64, []int) {
 			if nd < dist[to] {
 				dist[to] = nd
 				prev[to] = ei
-				heap.Push(pq, heapItem{nd, to})
+				pq.push(heapItem{nd, to})
 			}
 		}
 	}
-	return dist, prev
 }
 
 type heapItem struct {
@@ -316,16 +346,47 @@ type heapItem struct {
 	v int
 }
 
+// floatHeap is a hand-rolled binary min-heap on (d, v) items. It mirrors
+// container/heap's sift-up/sift-down exactly (same comparisons, same
+// swap order) so pop order — and therefore every tie-broken shortest
+// path — is identical to the former heap.Push/heap.Pop code, without
+// the per-push interface boxing allocation.
 type floatHeap []heapItem
 
-func (h floatHeap) Len() int            { return len(h) }
-func (h floatHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
-func (h floatHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *floatHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
-func (h *floatHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h *floatHeap) push(it heapItem) {
+	*h = append(*h, it)
+	s := *h
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(s[j].d < s[i].d) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+}
+
+func (h *floatHeap) pop() heapItem {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && s[j2].d < s[j].d {
+			j = j2
+		}
+		if !(s[j].d < s[i].d) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	it := s[n]
+	*h = s[:n]
+	return it
 }

@@ -1,0 +1,657 @@
+package decoder
+
+// Naive reference decoders: byte-for-byte copies of the pre-optimization
+// Decode bodies (container/heap Dijkstra per shot, fresh allocations
+// everywhere, package-level blossom matching). The differential harness
+// asserts the cached/scratch hot paths are bit-identical to these.
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/fpn/flagproxy/internal/dem"
+	"github.com/fpn/flagproxy/internal/gf2"
+)
+
+// refHeap is the old container/heap priority queue.
+type refHeap []heapItem
+
+func (h refHeap) Len() int            { return len(h) }
+func (h refHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// refDijkstra is the old MWPM.dijkstra: fresh slices, container/heap.
+func refDijkstra(edges []graphEdge, adj [][]int, s int, weight []float64, nv int) ([]float64, []int) {
+	dist := make([]float64, nv)
+	prev := make([]int, nv)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[s] = 0
+	pq := &refHeap{{0, s}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(heapItem)
+		if it.d > dist[it.v] {
+			continue
+		}
+		for _, ei := range adj[it.v] {
+			e := edges[ei]
+			to := e.u
+			if to == it.v {
+				to = e.v
+			}
+			nd := it.d + weight[e.class]
+			if nd < dist[to] {
+				dist[to] = nd
+				prev[to] = ei
+				heap.Push(pq, heapItem{nd, to})
+			}
+		}
+	}
+	return dist, prev
+}
+
+// naiveMWPMDecode is the pre-optimization MWPM.Decode.
+func naiveMWPMDecode(d *MWPM, detBit func(int) bool) ([]bool, error) {
+	var src []int
+	for vi, det := range d.verts {
+		if detBit(det) {
+			src = append(src, vi)
+		}
+	}
+	correction := make([]bool, d.numObs)
+	flags := map[int]bool{}
+	nFlags := 0
+	if d.UseFlags {
+		for _, f := range d.flagAll {
+			if detBit(f) {
+				flags[f] = true
+				nFlags++
+			}
+		}
+	}
+	if len(src) == 0 {
+		if d.UseFlags {
+			applyEmptyClass(d.empty, flags, nFlags, correction)
+		}
+		return correction, nil
+	}
+	rep := d.baseRep
+	weight := d.baseWeight
+	if nFlags > 0 {
+		rep = make([]dem.ProjEvent, len(d.classes))
+		weight = make([]float64, len(d.classes))
+		copy(rep, d.baseRep)
+		wM := weightOf(d.pM)
+		for ci := range d.classes {
+			exp := float64(len(d.classes[ci].Dets) - 1)
+			if exp < 1 {
+				exp = 1
+			}
+			weight[ci] = d.baseWeight[ci]*exp + float64(nFlags)*wM
+		}
+		adjusted := map[int]bool{}
+		for f := range flags {
+			for _, ci := range d.flagIndex[f] {
+				adjusted[ci] = true
+			}
+		}
+		for ci := range adjusted {
+			r, p := d.classes[ci].Representative(flags, nFlags, d.pM)
+			rep[ci] = r
+			weight[ci] = weightOf(p)
+		}
+		if d.DisableRenorm {
+			for ci := range d.classes {
+				weight[ci] = weightOf(rep[ci].P)
+			}
+		}
+	}
+	nv := len(d.adj)
+	if d.boundary < 0 && len(src)%2 != 0 {
+		return nil, fmt.Errorf("decoder: odd syndrome weight %d on a closed code", len(src))
+	}
+	dist := make([][]float64, len(src))
+	prevEdge := make([][]int, len(src))
+	for i, s := range src {
+		dist[i], prevEdge[i] = refDijkstra(d.edges, d.adj, s, weight, nv)
+	}
+	k := len(src)
+	var medges []matchEdge
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			if w := dist[i][src[j]]; !math.IsInf(w, 1) {
+				medges = append(medges, matchEdge{i, j, w})
+			}
+		}
+	}
+	if d.boundary >= 0 {
+		for i := 0; i < k; i++ {
+			if w := dist[i][d.boundary]; !math.IsInf(w, 1) {
+				medges = append(medges, matchEdge{i, k + i, w})
+			}
+		}
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				medges = append(medges, matchEdge{k + i, k + j, 0})
+			}
+		}
+	}
+	total := k
+	if d.boundary >= 0 {
+		total = 2 * k
+	}
+	mate, err := minWeightPerfect(total, medges)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < k; i++ {
+		j := mate[i]
+		if j < i && j < k {
+			continue
+		}
+		var target int
+		if j < k {
+			target = src[j]
+		} else if j == k+i {
+			target = d.boundary
+		} else {
+			return nil, fmt.Errorf("decoder: real node matched to foreign virtual node")
+		}
+		cur := target
+		for cur != src[i] {
+			ei := prevEdge[i][cur]
+			if ei < 0 {
+				return nil, fmt.Errorf("decoder: broken shortest-path tree")
+			}
+			e := d.edges[ei]
+			for _, o := range rep[e.class].Obs {
+				correction[o] = !correction[o]
+			}
+			if e.u == cur {
+				cur = e.v
+			} else {
+				cur = e.u
+			}
+		}
+	}
+	return correction, nil
+}
+
+// naiveRestrictionDecode is the pre-optimization Restriction.Decode.
+func naiveRestrictionDecode(d *Restriction, detBit func(int) bool) ([]bool, error) {
+	correction := make([]bool, d.numObs)
+	var flipped []int
+	for det := range d.detColor {
+		if detBit(det) {
+			flipped = append(flipped, det)
+		}
+	}
+	sort.Ints(flipped)
+	flags := map[int]bool{}
+	nFlags := 0
+	if d.UseFlags {
+		for _, f := range d.flagAll {
+			if detBit(f) {
+				flags[f] = true
+				nFlags++
+			}
+		}
+	}
+	if len(flipped) == 0 {
+		if d.UseFlags && d.FlagLifting {
+			applyEmptyClass(d.empty, flags, nFlags, correction)
+		}
+		return correction, nil
+	}
+	rep := d.baseRep
+	weight := d.baseWeight
+	if nFlags > 0 {
+		rep = make([]dem.ProjEvent, len(d.classes))
+		weight = make([]float64, len(d.classes))
+		copy(rep, d.baseRep)
+		wM := weightOf(d.pM)
+		for ci := range d.classes {
+			weight[ci] = d.baseWeight[ci] + float64(nFlags)*wM
+		}
+		adjusted := map[int]bool{}
+		for f := range flags {
+			for _, ci := range d.flagIndex[f] {
+				adjusted[ci] = true
+			}
+		}
+		for ci := range adjusted {
+			r, diff := d.classes[ci].Select(flags, nFlags)
+			rep[ci] = r
+			weight[ci] = weightOf(r.P) + float64(diff)*wM
+		}
+	}
+	em := map[int]int{}
+	for li, pair := range latticePairs {
+		var src []int
+		for _, det := range flipped {
+			c := d.detColor[det]
+			if c != pair[0] && c != pair[1] {
+				continue
+			}
+			vi, ok := d.latVertOf[li][det]
+			if !ok {
+				return nil, fmt.Errorf("decoder: flipped detector %d not in lattice %d", det, li)
+			}
+			src = append(src, vi)
+		}
+		if len(src) == 0 {
+			continue
+		}
+		if len(src)%2 != 0 {
+			return nil, fmt.Errorf("decoder: odd syndrome weight %d in restricted lattice %d", len(src), li)
+		}
+		dists := make([][]float64, len(src))
+		prevs := make([][]int, len(src))
+		for i, s := range src {
+			dists[i], prevs[i] = refDijkstra(d.latEdges[li], d.latAdj[li], s, weight, len(d.latAdj[li]))
+		}
+		var medges []matchEdge
+		for i := 0; i < len(src); i++ {
+			for j := i + 1; j < len(src); j++ {
+				if w := dists[i][src[j]]; !math.IsInf(w, 1) {
+					medges = append(medges, matchEdge{i, j, w})
+				}
+			}
+		}
+		mate, err := minWeightPerfect(len(src), medges)
+		if err != nil {
+			return nil, fmt.Errorf("decoder: lattice %d matching: %w", li, err)
+		}
+		for i := range src {
+			j := mate[i]
+			if j < i {
+				continue
+			}
+			cur := src[j]
+			for cur != src[i] {
+				ei := prevs[i][cur]
+				if ei < 0 {
+					return nil, fmt.Errorf("decoder: broken path in lattice %d", li)
+				}
+				e := d.latEdges[li][ei]
+				em[e.class]++
+				if e.u == cur {
+					cur = e.v
+				} else {
+					cur = e.u
+				}
+			}
+		}
+	}
+	applyClass := func(ci int) {
+		r := rep[ci]
+		if !d.FlagLifting {
+			r = d.baseRep[ci]
+		}
+		for _, o := range r.Obs {
+			correction[o] = !correction[o]
+		}
+	}
+	applied := map[int]bool{}
+	if d.FlagLifting {
+		for ci, count := range em {
+			if count >= 2 && len(rep[ci].Flags) > 0 {
+				applyClass(ci)
+				applied[ci] = true
+				delete(em, ci)
+			}
+		}
+	}
+	for ci, count := range em {
+		if count >= 2 {
+			applyClass(ci)
+			applied[ci] = true
+			delete(em, ci)
+		}
+	}
+	residual := map[int]bool{}
+	for _, det := range flipped {
+		residual[det] = true
+	}
+	for ci := range applied {
+		for _, det := range d.classes[ci].Dets {
+			toggle(residual, det)
+		}
+	}
+	if len(residual) > 0 {
+		cover := d.coverResidual(residual, em, applied, weight)
+		for _, ci := range cover {
+			applyClass(ci)
+		}
+	}
+	return correction, nil
+}
+
+func refNewUF(n int) *uf {
+	u := &uf{parent: make([]int, n), rank: make([]int, n), parity: make([]int, n), bound: make([]bool, n)}
+	for i := range u.parent {
+		u.parent[i] = i
+	}
+	return u
+}
+
+// naiveUnionFindDecode is the pre-optimization UnionFind.Decode.
+func naiveUnionFindDecode(d *UnionFind, detBit func(int) bool) ([]bool, error) {
+	correction := make([]bool, d.numObs)
+	defect := make([]bool, len(d.adj))
+	var defects []int
+	for vi, det := range d.verts {
+		if detBit(det) {
+			defect[vi] = true
+			defects = append(defects, vi)
+		}
+	}
+	flags := map[int]bool{}
+	nFlags := 0
+	if d.UseFlags {
+		for _, f := range d.flagAll {
+			if detBit(f) {
+				flags[f] = true
+				nFlags++
+			}
+		}
+	}
+	if len(defects) == 0 {
+		if d.UseFlags {
+			applyEmptyClass(d.empty, flags, nFlags, correction)
+		}
+		return correction, nil
+	}
+	rep := d.baseRep
+	if nFlags > 0 {
+		rep = make([]dem.ProjEvent, len(d.classes))
+		copy(rep, d.baseRep)
+		adjusted := map[int]bool{}
+		for f := range flags {
+			for _, ci := range d.flagIndex[f] {
+				adjusted[ci] = true
+			}
+		}
+		for ci := range adjusted {
+			r, _ := d.classes[ci].Representative(flags, nFlags, d.pM)
+			rep[ci] = r
+		}
+	}
+	u := refNewUF(len(d.adj))
+	for _, v := range defects {
+		u.parity[v] = 1
+	}
+	if d.boundary >= 0 {
+		u.bound[d.boundary] = true
+	}
+	growth := make([]int, len(d.edges))
+	inCluster := make([]bool, len(d.adj))
+	for _, v := range defects {
+		inCluster[v] = true
+	}
+	grownEdges := []int{}
+	for stage := 0; stage < 2*len(d.edges)+2; stage++ {
+		active := false
+		var toGrow []int
+		for ei, e := range d.edges {
+			if growth[ei] >= 2 {
+				continue
+			}
+			uIn := inCluster[e.u] && !u.neutral(e.u)
+			vIn := inCluster[e.v] && !u.neutral(e.v)
+			if uIn || vIn {
+				toGrow = append(toGrow, ei)
+			}
+		}
+		for _, ei := range toGrow {
+			e := d.edges[ei]
+			growth[ei]++
+			if growth[ei] == 2 {
+				inCluster[e.u] = true
+				inCluster[e.v] = true
+				u.union(e.u, e.v)
+				grownEdges = append(grownEdges, ei)
+			}
+			active = true
+		}
+		if !active {
+			break
+		}
+		allNeutral := true
+		for _, v := range defects {
+			if !u.neutral(v) {
+				allNeutral = false
+				break
+			}
+		}
+		if allNeutral {
+			break
+		}
+	}
+	for _, v := range defects {
+		if !u.neutral(v) {
+			return nil, fmt.Errorf("decoder: union-find failed to neutralize all clusters")
+		}
+	}
+	sort.Ints(grownEdges)
+	treeAdj := make([][]int, len(d.adj))
+	for _, ei := range grownEdges {
+		e := d.edges[ei]
+		treeAdj[e.u] = append(treeAdj[e.u], ei)
+		treeAdj[e.v] = append(treeAdj[e.v], ei)
+	}
+	visited := make([]bool, len(d.adj))
+	var order []int
+	parentEdge := make([]int, len(d.adj))
+	for i := range parentEdge {
+		parentEdge[i] = -1
+	}
+	bfs := func(root int) {
+		if visited[root] {
+			return
+		}
+		visited[root] = true
+		queue := []int{root}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			for _, ei := range treeAdj[v] {
+				e := d.edges[ei]
+				to := e.u
+				if to == v {
+					to = e.v
+				}
+				if !visited[to] {
+					visited[to] = true
+					parentEdge[to] = ei
+					queue = append(queue, to)
+				}
+			}
+		}
+	}
+	if d.boundary >= 0 {
+		bfs(d.boundary)
+	}
+	for _, v := range defects {
+		bfs(v)
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		if !defect[v] || parentEdge[v] < 0 {
+			continue
+		}
+		ei := parentEdge[v]
+		e := d.edges[ei]
+		to := e.u
+		if to == v {
+			to = e.v
+		}
+		for _, o := range rep[e.class].Obs {
+			correction[o] = !correction[o]
+		}
+		defect[v] = false
+		if to != d.boundary {
+			defect[to] = !defect[to]
+		}
+	}
+	for _, v := range defects {
+		if defect[v] {
+			return nil, fmt.Errorf("decoder: peeling left an unmatched defect")
+		}
+	}
+	return correction, nil
+}
+
+// naiveBPOSDDecode is the pre-optimization BPOSD.Decode.
+func naiveBPOSDDecode(d *BPOSD, detBit func(int) bool) ([]bool, error) {
+	correction := make([]bool, d.numObs)
+	syndrome := make([]bool, len(d.dets))
+	any := false
+	for r, det := range d.dets {
+		if detBit(det) {
+			syndrome[r] = true
+			any = true
+		}
+	}
+	if !any {
+		return correction, nil
+	}
+	nv := len(d.varDet)
+	v2c := make([][]float64, nv)
+	c2v := make([][]float64, nv)
+	priorLLR := make([]float64, nv)
+	for v := 0; v < nv; v++ {
+		priorLLR[v] = math.Log((1 - d.prior[v]) / d.prior[v])
+		v2c[v] = make([]float64, len(d.varDet[v]))
+		c2v[v] = make([]float64, len(d.varDet[v]))
+		for k := range v2c[v] {
+			v2c[v][k] = priorLLR[v]
+		}
+	}
+	rowVars := make([][]slotRef, len(d.dets))
+	for v := 0; v < nv; v++ {
+		for k, r := range d.varDet[v] {
+			rowVars[r] = append(rowVars[r], slotRef{v, k})
+		}
+	}
+	posterior := make([]float64, nv)
+	hard := make([]bool, nv)
+	for iter := 0; iter < d.Iters; iter++ {
+		for r, refs := range rowVars {
+			sign := 1.0
+			if syndrome[r] {
+				sign = -1.0
+			}
+			min1, min2 := math.Inf(1), math.Inf(1)
+			arg1 := -1
+			prod := sign
+			for i, ref := range refs {
+				m := v2c[ref.v][ref.k]
+				if m < 0 {
+					prod = -prod
+				}
+				a := math.Abs(m)
+				if a < min1 {
+					min2 = min1
+					min1 = a
+					arg1 = i
+				} else if a < min2 {
+					min2 = a
+				}
+			}
+			for i, ref := range refs {
+				mag := min1
+				if i == arg1 {
+					mag = min2
+				}
+				s := prod
+				if v2c[ref.v][ref.k] < 0 {
+					s = -s
+				}
+				c2v[ref.v][ref.k] = 0.75 * s * mag
+			}
+		}
+		satisfied := true
+		for v := 0; v < nv; v++ {
+			total := priorLLR[v]
+			for k := range c2v[v] {
+				total += c2v[v][k]
+			}
+			posterior[v] = total
+			hard[v] = total < 0
+			for k := range v2c[v] {
+				v2c[v][k] = total - c2v[v][k]
+			}
+		}
+		for r, refs := range rowVars {
+			par := false
+			for _, ref := range refs {
+				if hard[ref.v] {
+					par = !par
+				}
+			}
+			if par != syndrome[r] {
+				satisfied = false
+				break
+			}
+		}
+		if satisfied {
+			for v := 0; v < nv; v++ {
+				if hard[v] {
+					for _, o := range d.varObs[v] {
+						correction[o] = !correction[o]
+					}
+				}
+			}
+			return correction, nil
+		}
+	}
+	order := make([]int, nv)
+	for v := range order {
+		order[v] = v
+	}
+	sort.Slice(order, func(i, j int) bool { return posterior[order[i]] < posterior[order[j]] })
+	perm := gf2.NewMatrix(d.h.Rows(), nv)
+	for newCol, v := range order {
+		for _, r := range d.varDet[v] {
+			perm.Set(r, newCol, true)
+		}
+	}
+	s := gf2.NewVec(d.h.Rows())
+	for r, bit := range syndrome {
+		if bit {
+			s.Set(r, true)
+		}
+	}
+	sol, ok := gf2.Solve(perm, s)
+	if !ok {
+		for v := 0; v < nv; v++ {
+			if hard[v] {
+				for _, o := range d.varObs[v] {
+					correction[o] = !correction[o]
+				}
+			}
+		}
+		return correction, nil
+	}
+	for _, newCol := range sol.Support() {
+		v := order[newCol]
+		for _, o := range d.varObs[v] {
+			correction[o] = !correction[o]
+		}
+	}
+	return correction, nil
+}

@@ -1,7 +1,6 @@
 package decoder
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -17,6 +16,10 @@ var latticePairs = [3][2]int{{0, 1}, {0, 2}, {1, 2}}
 // matches flipped syndrome bits on the three color-restricted lattices,
 // removes doubly-selected flag edges immediately (the paper's key rule),
 // and lifts the remaining matched edges to Pauli-frame corrections.
+//
+// Like MWPM, it caches the flagless shortest-path trees of each
+// restricted lattice (weights are fixed per run unless flags fire) and
+// draws all per-shot state from a caller-owned DecodeScratch.
 type Restriction struct {
 	Basis css.Basis
 	// UseFlags enables flag-conditioned representative selection in the
@@ -36,6 +39,7 @@ type Restriction struct {
 	numObs  int
 
 	detColor map[int]int
+	detAll   []int // sorted syndrome detectors of this basis
 
 	// Per lattice: vertices, adjacency, edges referencing classes.
 	latVerts  [3][]int
@@ -48,6 +52,8 @@ type Restriction struct {
 	flagIndex  map[int][]int
 	empty      *dem.Class // empty-syndrome equivalence class, if any
 	flagAll    []int      // every flag detector mentioned by any class
+
+	spt [3]*sptCache // base-weight trees per restricted lattice
 }
 
 // NewRestriction builds the decoder for one basis of a color-code model.
@@ -74,8 +80,10 @@ func NewRestriction(model *dem.Model, basis css.Basis, pM float64, useFlags, fla
 				return nil, fmt.Errorf("decoder: detector %d lacks a color", di)
 			}
 			d.detColor[di] = det.Color
+			d.detAll = append(d.detAll, di)
 		}
 	}
+	sort.Ints(d.detAll)
 	for li := range latticePairs {
 		d.latVertOf[li] = map[int]int{}
 	}
@@ -131,25 +139,46 @@ func NewRestriction(model *dem.Model, basis css.Basis, pM float64, useFlags, fla
 			}
 		}
 	}
+	for li := range latticePairs {
+		li := li
+		nv := len(d.latAdj[li])
+		d.spt[li] = newSPTCache(nv, func(s int) ([]float64, []int) {
+			dist := make([]float64, nv)
+			prev := make([]int, nv)
+			var pq floatHeap
+			dijkstraInto(s, d.baseWeight, d.latEdges[li], d.latAdj[li], dist, prev, &pq)
+			return dist, prev
+		})
+	}
 	return d, nil
 }
 
-// Decode maps detector bits to predicted observable flips.
+// Decode maps detector bits to predicted observable flips. It allocates
+// a private scratch per call; hot loops should hold a DecodeScratch and
+// call DecodeWith.
 func (d *Restriction) Decode(detBit func(int) bool) ([]bool, error) {
-	correction := make([]bool, d.numObs)
-	var flipped []int
-	for det := range d.detColor {
+	return d.DecodeWith(NewScratch(), detBit)
+}
+
+// DecodeWith is Decode drawing every per-shot buffer from sc. The
+// returned slice aliases sc and is valid until sc's next use.
+func (d *Restriction) DecodeWith(sc *DecodeScratch, detBit func(int) bool) ([]bool, error) {
+	sc.reset(d.numObs)
+	rs := &sc.rest
+	rs.ensure()
+	correction := sc.correction
+	rs.flipped = rs.flipped[:0]
+	for _, det := range d.detAll {
 		if detBit(det) {
-			flipped = append(flipped, det)
+			rs.flipped = append(rs.flipped, det)
 		}
 	}
-	sort.Ints(flipped)
-	flags := map[int]bool{}
+	flipped := rs.flipped
 	nFlags := 0
 	if d.UseFlags {
 		for _, f := range d.flagAll {
 			if detBit(f) {
-				flags[f] = true
+				sc.flags[f] = true
 				nFlags++
 			}
 		}
@@ -158,7 +187,7 @@ func (d *Restriction) Decode(detBit func(int) bool) ([]bool, error) {
 		// No parity check fired: only the empty-syndrome equivalence
 		// class (flag-only propagation errors) can explain the flags.
 		if d.UseFlags && d.FlagLifting {
-			applyEmptyClass(d.empty, flags, nFlags, correction)
+			applyEmptyClass(d.empty, sc.flags, nFlags, correction)
 		}
 		return correction, nil
 	}
@@ -169,29 +198,28 @@ func (d *Restriction) Decode(detBit func(int) bool) ([]bool, error) {
 		// the flag-similarity penalty (Equation 9's pM term); the
 		// π^{|σ|−1} exponent is specific to the pairwise matching graph
 		// and would double-count 3-detector data classes here.
-		rep = make([]dem.ProjEvent, len(d.classes))
-		weight = make([]float64, len(d.classes))
+		rep, weight = sc.ensureClassOverlay(len(d.classes))
 		copy(rep, d.baseRep)
 		wM := weightOf(d.pM)
 		for ci := range d.classes {
 			weight[ci] = d.baseWeight[ci] + float64(nFlags)*wM
 		}
-		adjusted := map[int]bool{}
-		for f := range flags {
+		for f := range sc.flags {
 			for _, ci := range d.flagIndex[f] {
-				adjusted[ci] = true
+				sc.adjusted[ci] = true
 			}
 		}
-		for ci := range adjusted {
-			r, diff := d.classes[ci].Select(flags, nFlags)
+		for ci := range sc.adjusted {
+			r, diff := d.classes[ci].Select(sc.flags, nFlags)
 			rep[ci] = r
 			weight[ci] = weightOf(r.P) + float64(diff)*wM
 		}
+		clear(sc.adjusted)
 	}
 	// Matching on the three restricted lattices; EM counts class picks.
-	em := map[int]int{}
+	em := rs.em
 	for li, pair := range latticePairs {
-		var src []int
+		rs.latSrc = rs.latSrc[:0]
 		for _, det := range flipped {
 			c := d.detColor[det]
 			if c != pair[0] && c != pair[1] {
@@ -201,28 +229,39 @@ func (d *Restriction) Decode(detBit func(int) bool) ([]bool, error) {
 			if !ok {
 				return nil, fmt.Errorf("decoder: flipped detector %d not in lattice %d", det, li)
 			}
-			src = append(src, vi)
+			rs.latSrc = append(rs.latSrc, vi)
 		}
+		src := rs.latSrc
 		if len(src) == 0 {
 			continue
 		}
 		if len(src)%2 != 0 {
 			return nil, fmt.Errorf("decoder: odd syndrome weight %d in restricted lattice %d", len(src), li)
 		}
-		dists := make([][]float64, len(src))
-		prevs := make([][]int, len(src))
-		for i, s := range src {
-			dists[i], prevs[i] = latDijkstra(s, weight, d.latEdges[li], d.latAdj[li])
+		k := len(src)
+		dists, prevs := sc.ensureTreeTables(k)
+		if nFlags > 0 {
+			nv := len(d.latAdj[li])
+			sc.dij.ensure(k, nv)
+			for i, s := range src {
+				di, pi := sc.dij.row(i)
+				dijkstraInto(s, weight, d.latEdges[li], d.latAdj[li], di, pi, &sc.dij.heap)
+				dists[i], prevs[i] = di, pi
+			}
+		} else {
+			for i, s := range src {
+				dists[i], prevs[i] = d.spt[li].tree(s)
+			}
 		}
-		var medges []matchEdge
+		sc.medges = sc.medges[:0]
 		for i := 0; i < len(src); i++ {
 			for j := i + 1; j < len(src); j++ {
 				if w := dists[i][src[j]]; !math.IsInf(w, 1) {
-					medges = append(medges, matchEdge{i, j, w})
+					sc.medges = append(sc.medges, matchEdge{i, j, w})
 				}
 			}
 		}
-		mate, err := minWeightPerfect(len(src), medges)
+		mate, err := minWeightPerfectWS(sc, len(src), sc.medges)
 		if err != nil {
 			return nil, fmt.Errorf("decoder: lattice %d matching: %w", li, err)
 		}
@@ -261,7 +300,7 @@ func (d *Restriction) Decode(detBit func(int) bool) ([]bool, error) {
 			correction[o] = !correction[o]
 		}
 	}
-	applied := map[int]bool{}
+	applied := rs.applied
 	if d.FlagLifting {
 		// Paper rule: flag edges appearing at least twice in EM are
 		// corrected immediately and removed.
@@ -283,7 +322,7 @@ func (d *Restriction) Decode(detBit func(int) bool) ([]bool, error) {
 	// Residual repair: classes selected by only one lattice (or missed
 	// entirely) are applied greedily while they reduce the residual
 	// syndrome.
-	residual := map[int]bool{}
+	residual := rs.residual
 	for _, det := range flipped {
 		residual[det] = true
 	}
@@ -304,12 +343,33 @@ func (d *Restriction) Decode(detBit func(int) bool) ([]bool, error) {
 	return correction, nil
 }
 
+// ensure lazily creates the Restriction maps of a scratch and clears
+// the per-shot state.
+func (rs *restScratch) ensure() {
+	if rs.em == nil {
+		rs.em = map[int]int{}
+		rs.applied = map[int]bool{}
+		rs.residual = map[int]bool{}
+	}
+	if len(rs.em) > 0 {
+		clear(rs.em)
+	}
+	if len(rs.applied) > 0 {
+		clear(rs.applied)
+	}
+	if len(rs.residual) > 0 {
+		clear(rs.residual)
+	}
+}
+
 // coverResidual searches for a minimum-weight subset of classes whose
 // detector footprints XOR exactly to the residual. Candidates are the
 // classes fully contained in the residual, with classes selected by a
 // single lattice matching discounted so they are preferred. The residual
 // from near-distance fault patterns is small, so a bounded DFS suffices;
-// an empty result means the repair gave up.
+// an empty result means the repair gave up. This path only runs when the
+// three matchings disagree — rare at experiment noise rates — so it is
+// allowed to allocate.
 func (d *Restriction) coverResidual(residual map[int]bool, em map[int]int, applied map[int]bool, weight []float64) []int {
 	type cand struct {
 		ci int
@@ -382,36 +442,4 @@ func subset(dets []int, set map[int]bool) bool {
 		}
 	}
 	return true
-}
-
-func latDijkstra(s int, weight []float64, edges []graphEdge, adj [][]int) ([]float64, []int) {
-	nv := len(adj)
-	dist := make([]float64, nv)
-	prev := make([]int, nv)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-		prev[i] = -1
-	}
-	dist[s] = 0
-	pq := &floatHeap{{0, s}}
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(heapItem)
-		if it.d > dist[it.v] {
-			continue
-		}
-		for _, ei := range adj[it.v] {
-			e := edges[ei]
-			to := e.u
-			if to == it.v {
-				to = e.v
-			}
-			nd := it.d + weight[e.class]
-			if nd < dist[to] {
-				dist[to] = nd
-				prev[to] = ei
-				heap.Push(pq, heapItem{nd, to})
-			}
-		}
-	}
-	return dist, prev
 }

@@ -106,19 +106,13 @@ func NewUnionFind(model *dem.Model, basis css.Basis, pM float64, useFlags bool) 
 }
 
 // uf is a union-find forest over graph vertices with cluster metadata.
+// Its slices are borrowed from a ufScratch, so the forest itself carries
+// no allocation.
 type uf struct {
 	parent []int
 	rank   []int
 	parity []int  // number of unmatched defects in the cluster, mod 2
 	bound  []bool // cluster touches the boundary
-}
-
-func newUF(n int) *uf {
-	u := &uf{parent: make([]int, n), rank: make([]int, n), parity: make([]int, n), bound: make([]bool, n)}
-	for i := range u.parent {
-		u.parent[i] = i
-	}
-	return u
 }
 
 func (u *uf) find(x int) int {
@@ -152,23 +146,38 @@ func (u *uf) neutral(x int) bool {
 	return u.parity[r] == 0 || u.bound[r]
 }
 
-// Decode maps detector bits to predicted observable flips.
+// Decode maps detector bits to predicted observable flips. It allocates
+// a private scratch per call; hot loops should hold a DecodeScratch and
+// call DecodeWith.
 func (d *UnionFind) Decode(detBit func(int) bool) ([]bool, error) {
-	correction := make([]bool, d.numObs)
-	defect := make([]bool, len(d.adj))
-	var defects []int
+	return d.DecodeWith(NewScratch(), detBit)
+}
+
+// DecodeWith is Decode drawing every per-shot buffer from sc. The
+// returned slice aliases sc and is valid until sc's next use.
+func (d *UnionFind) DecodeWith(sc *DecodeScratch, detBit func(int) bool) ([]bool, error) {
+	sc.reset(d.numObs)
+	us := &sc.uf
+	correction := sc.correction
+	nv := len(d.adj)
+	us.defect = growBools(us.defect, nv)
+	for i := range us.defect {
+		us.defect[i] = false
+	}
+	defect := us.defect
+	us.defects = us.defects[:0]
 	for vi, det := range d.verts {
 		if detBit(det) {
 			defect[vi] = true
-			defects = append(defects, vi)
+			us.defects = append(us.defects, vi)
 		}
 	}
-	flags := map[int]bool{}
+	defects := us.defects
 	nFlags := 0
 	if d.UseFlags {
 		for _, f := range d.flagAll {
 			if detBit(f) {
-				flags[f] = true
+				sc.flags[f] = true
 				nFlags++
 			}
 		}
@@ -176,27 +185,37 @@ func (d *UnionFind) Decode(detBit func(int) bool) ([]bool, error) {
 	if len(defects) == 0 {
 		// Flag-only shots decode through the empty-syndrome class.
 		if d.UseFlags {
-			applyEmptyClass(d.empty, flags, nFlags, correction)
+			applyEmptyClass(d.empty, sc.flags, nFlags, correction)
 		}
 		return correction, nil
 	}
 	rep := d.baseRep
 	if nFlags > 0 {
-		rep = make([]dem.ProjEvent, len(d.classes))
+		rep, _ = sc.ensureClassOverlay(len(d.classes))
 		copy(rep, d.baseRep)
-		adjusted := map[int]bool{}
-		for f := range flags {
+		for f := range sc.flags {
 			for _, ci := range d.flagIndex[f] {
-				adjusted[ci] = true
+				sc.adjusted[ci] = true
 			}
 		}
-		for ci := range adjusted {
-			r, _ := d.classes[ci].Representative(flags, nFlags, d.pM)
+		for ci := range sc.adjusted {
+			r, _ := d.classes[ci].Representative(sc.flags, nFlags, d.pM)
 			rep[ci] = r
 		}
+		clear(sc.adjusted)
 	}
 
-	u := newUF(len(d.adj))
+	us.parent = growInts(us.parent, nv)
+	us.rank = growInts(us.rank, nv)
+	us.parity = growInts(us.parity, nv)
+	us.bound = growBools(us.bound, nv)
+	for i := 0; i < nv; i++ {
+		us.parent[i] = i
+		us.rank[i] = 0
+		us.parity[i] = 0
+		us.bound[i] = false
+	}
+	u := &uf{parent: us.parent, rank: us.rank, parity: us.parity, bound: us.bound}
 	for _, v := range defects {
 		u.parity[v] = 1
 	}
@@ -205,15 +224,23 @@ func (d *UnionFind) Decode(detBit func(int) bool) ([]bool, error) {
 	}
 	// Edge growth: 0 (untouched), 1 (half), 2 (grown). Grow all edges on
 	// the frontier of non-neutral clusters by one half-step per stage.
-	growth := make([]int, len(d.edges))
-	inCluster := make([]bool, len(d.adj))
+	us.growth = growInts(us.growth, len(d.edges))
+	for i := range us.growth {
+		us.growth[i] = 0
+	}
+	growth := us.growth
+	us.inCluster = growBools(us.inCluster, nv)
+	for i := range us.inCluster {
+		us.inCluster[i] = false
+	}
+	inCluster := us.inCluster
 	for _, v := range defects {
 		inCluster[v] = true
 	}
-	grownEdges := []int{}
+	us.grownEdges = us.grownEdges[:0]
 	for stage := 0; stage < 2*len(d.edges)+2; stage++ {
 		active := false
-		var toGrow []int
+		us.toGrow = us.toGrow[:0]
 		for ei, e := range d.edges {
 			if growth[ei] >= 2 {
 				continue
@@ -221,17 +248,17 @@ func (d *UnionFind) Decode(detBit func(int) bool) ([]bool, error) {
 			uIn := inCluster[e.u] && !u.neutral(e.u)
 			vIn := inCluster[e.v] && !u.neutral(e.v)
 			if uIn || vIn {
-				toGrow = append(toGrow, ei)
+				us.toGrow = append(us.toGrow, ei)
 			}
 		}
-		for _, ei := range toGrow {
+		for _, ei := range us.toGrow {
 			e := d.edges[ei]
 			growth[ei]++
 			if growth[ei] == 2 {
 				inCluster[e.u] = true
 				inCluster[e.v] = true
 				u.union(e.u, e.v)
-				grownEdges = append(grownEdges, ei)
+				us.grownEdges = append(us.grownEdges, ei)
 			}
 			active = true
 		}
@@ -256,29 +283,43 @@ func (d *UnionFind) Decode(detBit func(int) bool) ([]bool, error) {
 	}
 	// Peeling: build a spanning forest of the grown subgraph, rooted at
 	// the boundary where available, and peel leaves inward.
+	grownEdges := us.grownEdges
 	sort.Ints(grownEdges)
-	treeAdj := make([][]int, len(d.adj))
+	if len(us.treeAdj) < nv {
+		us.treeAdj = append(us.treeAdj, make([][]int, nv-len(us.treeAdj))...)
+	}
+	treeAdj := us.treeAdj
+	for _, ei := range grownEdges {
+		e := d.edges[ei]
+		treeAdj[e.u] = treeAdj[e.u][:0]
+		treeAdj[e.v] = treeAdj[e.v][:0]
+	}
 	for _, ei := range grownEdges {
 		e := d.edges[ei]
 		treeAdj[e.u] = append(treeAdj[e.u], ei)
 		treeAdj[e.v] = append(treeAdj[e.v], ei)
 	}
-	visited := make([]bool, len(d.adj))
-	var order []int // vertices in BFS order
-	parentEdge := make([]int, len(d.adj))
-	for i := range parentEdge {
-		parentEdge[i] = -1
+	us.visited = growBools(us.visited, nv)
+	for i := range us.visited {
+		us.visited[i] = false
 	}
+	visited := us.visited
+	us.order = us.order[:0]
+	us.parentEdge = growInts(us.parentEdge, nv)
+	for i := range us.parentEdge {
+		us.parentEdge[i] = -1
+	}
+	parentEdge := us.parentEdge
 	bfs := func(root int) {
 		if visited[root] {
 			return
 		}
 		visited[root] = true
-		queue := []int{root}
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
-			order = append(order, v)
+		us.queue = us.queue[:0]
+		us.queue = append(us.queue, root)
+		for head := 0; head < len(us.queue); head++ {
+			v := us.queue[head]
+			us.order = append(us.order, v)
 			for _, ei := range treeAdj[v] {
 				e := d.edges[ei]
 				to := e.u
@@ -288,7 +329,7 @@ func (d *UnionFind) Decode(detBit func(int) bool) ([]bool, error) {
 				if !visited[to] {
 					visited[to] = true
 					parentEdge[to] = ei
-					queue = append(queue, to)
+					us.queue = append(us.queue, to)
 				}
 			}
 		}
@@ -301,6 +342,7 @@ func (d *UnionFind) Decode(detBit func(int) bool) ([]bool, error) {
 	}
 	// Peel from the leaves (reverse BFS order): a defective vertex sends
 	// its defect up its parent edge, applying that edge's Pauli frames.
+	order := us.order
 	for i := len(order) - 1; i >= 0; i-- {
 		v := order[i]
 		if !defect[v] || parentEdge[v] < 0 {

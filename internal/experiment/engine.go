@@ -24,6 +24,7 @@ import (
 
 	"github.com/fpn/flagproxy/internal/circuit"
 	"github.com/fpn/flagproxy/internal/css"
+	"github.com/fpn/flagproxy/internal/decoder"
 	"github.com/fpn/flagproxy/internal/dem"
 	"github.com/fpn/flagproxy/internal/fpn"
 	"github.com/fpn/flagproxy/internal/noise"
@@ -169,6 +170,65 @@ func validate(cfg Config) error {
 	return nil
 }
 
+// DecoderPool shares one immutable decoder across worker goroutines
+// while giving each worker a private decoder.DecodeScratch, so the
+// steady-state decode loop stays allocation-free without any locking.
+// Decoders built by this package (NewMWPM, NewRestriction, NewUnionFind,
+// NewBPOSD) are read-only after construction and safe to share; all
+// per-shot mutable state lives in the scratch.
+type DecoderPool struct {
+	dec     Decoder
+	scratch decoder.ScratchDecoder // non-nil iff dec supports scratch decoding
+	free    sync.Pool              // *decoder.DecodeScratch
+}
+
+// NewDecoderPool wraps dec. Decoders implementing
+// decoder.ScratchDecoder get per-worker scratch arenas; anything else
+// falls back to plain Decode.
+func NewDecoderPool(dec Decoder) *DecoderPool {
+	p := &DecoderPool{dec: dec}
+	if sd, ok := dec.(decoder.ScratchDecoder); ok {
+		p.scratch = sd
+		p.free.New = func() any { return decoder.NewScratch() }
+	}
+	return p
+}
+
+// Get borrows a worker-local handle. The handle is not safe for
+// concurrent use; call Release when the worker is done so the scratch
+// (and its warmed buffers) returns to the pool.
+func (p *DecoderPool) Get() *PooledDecoder {
+	d := &PooledDecoder{pool: p}
+	if p.scratch != nil {
+		d.sc = p.free.Get().(*decoder.DecodeScratch)
+	}
+	return d
+}
+
+// PooledDecoder is one worker's view of a DecoderPool: the shared
+// immutable decoder plus a private scratch arena.
+type PooledDecoder struct {
+	pool *DecoderPool
+	sc   *decoder.DecodeScratch
+}
+
+// Decode routes through the zero-allocation DecodeWith hot path when
+// the pooled decoder supports it.
+func (d *PooledDecoder) Decode(bit func(int) bool) ([]bool, error) {
+	if d.sc != nil {
+		return d.pool.scratch.DecodeWith(d.sc, bit)
+	}
+	return d.pool.dec.Decode(bit)
+}
+
+// Release returns the scratch to the pool for the next worker.
+func (d *PooledDecoder) Release() {
+	if d.sc != nil {
+		d.pool.free.Put(d.sc)
+		d.sc = nil
+	}
+}
+
 // runEngine is the sharded simulate→decode→count loop. It returns the
 // committed shot count (== cfg.Shots unless early stopping fired), the
 // committed logical-error count, and whether a stop criterion fired.
@@ -225,12 +285,16 @@ func runEngine(c *circuit.Circuit, dec Decoder, cfg Config) (shots, logical int,
 		}
 	}
 
+	pool := NewDecoderPool(dec)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			smp := sim.NewBlockSampler(c, shardBlocks)
+			sc := shotCounter{c: c, dec: pool.Get()}
+			defer sc.dec.Release()
+			sc.bit = sc.detectorBit // one closure per worker, not per shot
 			for !stop.Load() {
 				sh := int(nextShard.Add(1) - 1)
 				if sh >= numShards {
@@ -245,9 +309,9 @@ func runEngine(c *circuit.Circuit, dec Decoder, cfg Config) (shots, logical int,
 				// 64-shot word still consumes its own Derive(seed,
 				// block) stream, so batching is invisible to results.
 				shardLen := blockLen(end-1) + (end-first-1)*blockShots
-				res := smp.Run(first, shardLen, cfg.Seed)
+				sc.res = smp.Run(first, shardLen, cfg.Seed)
 				for b := first; b < end && !stop.Load(); b++ {
-					n := countShots(c, dec, res, (b-first)*blockShots, blockLen(b))
+					n := sc.countShots((b-first)*blockShots, blockLen(b))
 					atomic.StoreInt32(&blockErrs[b], int32(n)+1)
 				}
 				tryCommit()
@@ -276,19 +340,32 @@ func stopSatisfied(cfg Config, errs, shots int) bool {
 	return false
 }
 
-// countShots decodes shots lanes starting at laneLo of a sampled shard
-// and counts logical errors. A decoding failure counts as a logical
-// error, as before.
-func countShots(c *circuit.Circuit, dec Decoder, res *sim.Result, laneLo, shots int) int {
+// shotCounter is one worker's decode-and-count state. The detector-bit
+// closure is built once per worker and reads the mutable (res, shot)
+// fields, so the per-shot loop allocates nothing.
+type shotCounter struct {
+	c    *circuit.Circuit
+	dec  *PooledDecoder
+	res  *sim.Result
+	shot int
+	bit  func(int) bool
+}
+
+func (sc *shotCounter) detectorBit(d int) bool { return sc.res.DetectorBit(d, sc.shot) }
+
+// countShots decodes shots lanes starting at laneLo of the current
+// sampled shard and counts logical errors. A decoding failure counts as
+// a logical error, as before.
+func (sc *shotCounter) countShots(laneLo, shots int) int {
 	errs := 0
-	for s := laneLo; s < laneLo+shots; s++ {
-		corr, err := dec.Decode(func(d int) bool { return res.DetectorBit(d, s) })
+	for sc.shot = laneLo; sc.shot < laneLo+shots; sc.shot++ {
+		corr, err := sc.dec.Decode(sc.bit)
 		if err != nil {
 			errs++
 			continue
 		}
-		for o := range c.Observables {
-			if corr[o] != res.ObservableBit(o, s) {
+		for o := range sc.c.Observables {
+			if corr[o] != sc.res.ObservableBit(o, sc.shot) {
 				errs++
 				break
 			}

@@ -1,0 +1,102 @@
+package matching
+
+// Fuzzing the blossom matcher against a brute-force perfect-matching
+// enumerator. For n ≤ 8 the O(n!!) enumeration is cheap, so random
+// graphs exercise blossom formation, expansion and dual adjustment
+// against ground truth: the matcher must find a perfect matching
+// exactly when one exists, and its total weight must be minimal.
+// The Workspace path must additionally be bit-identical to the
+// package-level entry point.
+
+import (
+	"testing"
+)
+
+// fuzzGraph decodes fuzz bytes into a graph on n ∈ {2,4,6,8} vertices
+// with deduplicated undirected edges and small non-negative weights.
+func fuzzGraph(data []byte) (int, []Edge, map[int]int64) {
+	if len(data) == 0 {
+		return 0, nil, nil
+	}
+	n := 2 + 2*(int(data[0])%4)
+	data = data[1:]
+	weights := map[int]int64{}
+	var edges []Edge
+	for len(data) >= 3 {
+		u := int(data[0]) % n
+		v := int(data[1]) % n
+		w := int64(data[2])
+		data = data[3:]
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if _, dup := weights[u*n+v]; dup {
+			continue
+		}
+		weights[u*n+v] = w
+		edges = append(edges, Edge{U: u, V: v, W: w})
+	}
+	return n, edges, weights
+}
+
+func FuzzMinWeightPerfect(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 5})                                                                // n=2, single edge
+	f.Add([]byte{1, 0, 1, 3, 2, 3, 4, 0, 2, 1, 1, 3, 1})                                     // n=4, two matchings
+	f.Add([]byte{2, 0, 1, 9, 1, 2, 9, 2, 0, 9, 3, 4, 1, 4, 5, 1, 5, 3, 1})                   // n=6, two triangles (no perfect matching across)
+	f.Add([]byte{3, 0, 1, 2, 2, 3, 2, 4, 5, 2, 6, 7, 2, 0, 7, 1, 1, 2, 1, 3, 4, 1, 5, 6, 1}) // n=8, cycle vs chords
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, edges, weights := fuzzGraph(data)
+		if n == 0 {
+			t.Skip()
+		}
+		want := bruteMinPerfect(n, edges) // matching_test.go's memoized enumerator
+		feasible := want < 1<<60
+
+		mate, err := MinWeightPerfect(n, edges)
+		if !feasible {
+			if err == nil {
+				t.Fatalf("n=%d edges=%v: matcher found a perfect matching where brute force found none", n, edges)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("n=%d edges=%v: matcher failed (%v) but brute force found weight %d", n, edges, err, want)
+		}
+		// mate must be a valid perfect matching over the given edges.
+		var got int64
+		for u := 0; u < n; u++ {
+			v := mate[u]
+			if v < 0 || v >= n || mate[v] != u || v == u {
+				t.Fatalf("n=%d edges=%v: invalid mate array %v", n, edges, mate)
+			}
+			if u < v {
+				w, ok := weights[u*n+v]
+				if !ok {
+					t.Fatalf("n=%d edges=%v: mate pairs %d-%d along a non-edge", n, edges, u, v)
+				}
+				got += w
+			}
+		}
+		if got != want {
+			t.Fatalf("n=%d edges=%v: matcher weight %d, brute-force minimum %d (mate %v)", n, edges, got, want, mate)
+		}
+
+		// The Workspace path must agree bit for bit with the package-level
+		// entry point, including across reuse.
+		var ws Workspace
+		for round := 0; round < 2; round++ {
+			wmate, werr := ws.MinWeightPerfect(n, edges)
+			if werr != nil {
+				t.Fatalf("workspace round %d: %v", round, werr)
+			}
+			for v := range mate {
+				if wmate[v] != mate[v] {
+					t.Fatalf("workspace round %d: mate %v differs from package-level %v", round, wmate, mate)
+				}
+			}
+		}
+	})
+}

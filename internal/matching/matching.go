@@ -51,6 +51,20 @@ type matcher struct {
 	queue            []int
 
 	maxCardinality bool
+
+	// Reusable backing for the blossom-formation paths, so steady-state
+	// runs stay allocation-free. childsbuf/endpsbuf/bestbuf hold the
+	// per-slot rows behind blossomchilds/blossomendps/blossombestedges
+	// (the visible arrays keep their exact nil semantics; the buffers
+	// just retain capacity when a slot is freed and reused). scanpath,
+	// leaves, rotbuf and bestedgeto are call-local scratch.
+	childsbuf  [][]int
+	endpsbuf   [][]int
+	bestbuf    [][]int
+	scanpath   []int
+	leaves     []int
+	rotbuf     []int
+	bestedgeto []int
 }
 
 // MaxWeight computes a maximum-weight matching of the graph on vertices
@@ -59,112 +73,37 @@ type matcher struct {
 // is returned). The result maps each vertex to its partner, or -1 if
 // unmatched.
 func MaxWeight(n int, edges []Edge, maxCardinality bool) []int {
-	mate := make([]int, n)
-	for i := range mate {
-		mate[i] = -1
-	}
-	if len(edges) == 0 || n == 0 {
-		return mate
-	}
-	m := newMatcher(n, edges, maxCardinality)
-	m.run()
-	for v := 0; v < n; v++ {
-		if m.mate[v] >= 0 {
-			mate[v] = m.endpoint[m.mate[v]]
-		}
-	}
-	return mate
+	var w Workspace
+	return append([]int(nil), w.MaxWeight(n, edges, maxCardinality)...)
 }
 
 // MinWeightPerfect computes a minimum-weight perfect matching of the
 // graph on vertices 0..n-1. It returns an error if no perfect matching
 // exists (including when n is odd).
 func MinWeightPerfect(n int, edges []Edge) ([]int, error) {
-	if n%2 != 0 {
-		return nil, fmt.Errorf("matching: no perfect matching on %d (odd) vertices", n)
+	var w Workspace
+	mate, err := w.MinWeightPerfect(n, edges)
+	if err != nil {
+		return nil, err
 	}
-	// Flip weights so minimum weight becomes maximum weight, then demand
-	// max cardinality. Shift so all transformed weights are positive.
-	var maxW int64
-	for _, e := range edges {
-		if e.W > maxW {
-			maxW = e.W
-		}
-	}
-	flipped := make([]Edge, len(edges))
-	for i, e := range edges {
-		flipped[i] = Edge{U: e.U, V: e.V, W: maxW + 1 - e.W}
-	}
-	mate := MaxWeight(n, flipped, true)
-	for v := 0; v < n; v++ {
-		if mate[v] < 0 {
-			return nil, fmt.Errorf("matching: graph has no perfect matching (vertex %d unmatched)", v)
-		}
-	}
-	return mate, nil
+	return append([]int(nil), mate...), nil
 }
 
-func newMatcher(n int, edges []Edge, maxCardinality bool) *matcher {
-	m := &matcher{nvertex: n, maxCardinality: maxCardinality}
-	m.edges = make([]Edge, len(edges))
-	var maxweight int64
-	for i, e := range edges {
-		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
-			panic(fmt.Sprintf("matching: edge endpoint out of range: %+v (n=%d)", e, n))
-		}
-		if e.U == e.V {
-			panic(fmt.Sprintf("matching: self-loop at vertex %d", e.U))
-		}
-		m.edges[i] = Edge{U: e.U, V: e.V, W: 2 * e.W} // double for integral duals
-		if m.edges[i].W > maxweight {
-			maxweight = m.edges[i].W
-		}
-	}
-	nedge := len(m.edges)
-	m.endpoint = make([]int, 2*nedge)
-	m.neighbend = make([][]int, n)
-	for k, e := range m.edges {
-		m.endpoint[2*k] = e.U
-		m.endpoint[2*k+1] = e.V
-		m.neighbend[e.U] = append(m.neighbend[e.U], 2*k+1)
-		m.neighbend[e.V] = append(m.neighbend[e.V], 2*k)
-	}
-	m.mate = fill(n, -1)
-	m.label = make([]int, 2*n)
-	m.labelend = fill(2*n, -1)
-	m.inblossom = iota2(n)
-	m.blossomparent = fill(2*n, -1)
-	m.blossomchilds = make([][]int, 2*n)
-	m.blossombase = append(iota2(n), fill(n, -1)...)
-	m.blossomendps = make([][]int, 2*n)
-	m.bestedge = fill(2*n, -1)
-	m.blossombestedges = make([][]int, 2*n)
-	m.unusedblossoms = make([]int, 0, n)
-	for b := n; b < 2*n; b++ {
-		m.unusedblossoms = append(m.unusedblossoms, b)
-	}
-	m.dualvar = make([]int64, 2*n)
-	for v := 0; v < n; v++ {
-		m.dualvar[v] = maxweight
-	}
-	m.allowedge = make([]bool, nedge)
-	return m
+func errOddVertices(n int) error {
+	return fmt.Errorf("matching: no perfect matching on %d (odd) vertices", n)
 }
 
-func fill(n, v int) []int {
-	s := make([]int, n)
-	for i := range s {
-		s[i] = v
-	}
-	return s
+func errNoPerfect(v int) error {
+	return fmt.Errorf("matching: graph has no perfect matching (vertex %d unmatched)", v)
 }
 
-func iota2(n int) []int {
-	s := make([]int, n)
-	for i := range s {
-		s[i] = i
+func checkEdge(e Edge, n int) {
+	if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+		panic(fmt.Sprintf("matching: edge endpoint out of range: %+v (n=%d)", e, n))
 	}
-	return s
+	if e.U == e.V {
+		panic(fmt.Sprintf("matching: self-loop at vertex %d", e.U))
+	}
 }
 
 // slack returns the reduced cost of edge k (always even).
@@ -208,7 +147,7 @@ func (m *matcher) assignLabel(w, t, p int) {
 // scanBlossom traces back from v and w to discover either a new blossom
 // base or an augmenting path (base -1).
 func (m *matcher) scanBlossom(v, w int) int {
-	var path []int
+	path := m.scanpath[:0]
 	base := -1
 	for v != -1 || w != -1 {
 		b := m.inblossom[v]
@@ -232,6 +171,7 @@ func (m *matcher) scanBlossom(v, w int) int {
 	for _, b := range path {
 		m.label[b] = labelS
 	}
+	m.scanpath = path
 	return base
 }
 
@@ -247,7 +187,8 @@ func (m *matcher) addBlossom(base, k int) {
 	m.blossombase[b] = base
 	m.blossomparent[b] = -1
 	m.blossomparent[bb] = b
-	var path, endps []int
+	path := m.childsbuf[b][:0]
+	endps := m.endpsbuf[b][:0]
 	for bv != bb {
 		m.blossomparent[bv] = b
 		path = append(path, bv)
@@ -266,6 +207,8 @@ func (m *matcher) addBlossom(base, k int) {
 		w = m.endpoint[m.labelend[bw]]
 		bw = m.inblossom[w]
 	}
+	m.childsbuf[b] = path
+	m.endpsbuf[b] = endps
 	m.blossomchilds[b] = path
 	m.blossomendps[b] = endps
 	if m.label[bb] != labelS {
@@ -274,51 +217,60 @@ func (m *matcher) addBlossom(base, k int) {
 	m.label[b] = labelS
 	m.labelend[b] = m.labelend[bb]
 	m.dualvar[b] = 0
-	for _, lv := range m.blossomLeaves(b, nil) {
+	m.leaves = m.blossomLeaves(b, m.leaves[:0])
+	for _, lv := range m.leaves {
 		if m.label[m.inblossom[lv]] == labelT {
 			m.queue = append(m.queue, lv)
 		}
 		m.inblossom[lv] = b
 	}
-	// Recompute best edges to neighbouring S-blossoms.
-	bestedgeto := fill(2*m.nvertex, -1)
+	// Recompute best edges to neighbouring S-blossoms. Edge candidates
+	// are visited in the same order as the former materialized nblists
+	// (per leaf, per incident endpoint), just without building them.
+	m.bestedgeto = growFill(m.bestedgeto, 2*m.nvertex, -1)
+	bestedgeto := m.bestedgeto
+	scanEdge := func(ek int) {
+		i, j := m.edges[ek].U, m.edges[ek].V
+		if m.inblossom[j] == b {
+			i, j = j, i
+		}
+		_ = i
+		bj := m.inblossom[j]
+		if bj != b && m.label[bj] == labelS &&
+			(bestedgeto[bj] == -1 || m.slack(ek) < m.slack(bestedgeto[bj])) {
+			bestedgeto[bj] = ek
+		}
+	}
 	for _, sb := range path {
-		var nblists [][]int
 		if m.blossombestedges[sb] == nil {
-			for _, lv := range m.blossomLeaves(sb, nil) {
-				ks := make([]int, len(m.neighbend[lv]))
-				for i, p := range m.neighbend[lv] {
-					ks[i] = p / 2
+			m.leaves = m.blossomLeaves(sb, m.leaves[:0])
+			for _, lv := range m.leaves {
+				for _, p := range m.neighbend[lv] {
+					scanEdge(p / 2)
 				}
-				nblists = append(nblists, ks)
 			}
 		} else {
-			nblists = [][]int{m.blossombestedges[sb]}
-		}
-		for _, nblist := range nblists {
-			for _, ek := range nblist {
-				i, j := m.edges[ek].U, m.edges[ek].V
-				if m.inblossom[j] == b {
-					i, j = j, i
-				}
-				_ = i
-				bj := m.inblossom[j]
-				if bj != b && m.label[bj] == labelS &&
-					(bestedgeto[bj] == -1 || m.slack(ek) < m.slack(bestedgeto[bj])) {
-					bestedgeto[bj] = ek
-				}
+			for _, ek := range m.blossombestedges[sb] {
+				scanEdge(ek)
 			}
 		}
 		m.blossombestedges[sb] = nil
 		m.bestedge[sb] = -1
 	}
-	var best []int
+	best := m.bestbuf[b][:0]
 	for _, ek := range bestedgeto {
 		if ek != -1 {
 			best = append(best, ek)
 		}
 	}
-	m.blossombestedges[b] = best
+	m.bestbuf[b] = best
+	if len(best) == 0 {
+		// The fresh code built best by appending to a nil slice, so an
+		// empty result was stored as nil ("not computed") — preserve that.
+		m.blossombestedges[b] = nil
+	} else {
+		m.blossombestedges[b] = best
+	}
 	m.bestedge[b] = -1
 	for _, ek := range best {
 		if m.bestedge[b] == -1 || m.slack(ek) < m.slack(m.bestedge[b]) {
@@ -337,7 +289,8 @@ func (m *matcher) expandBlossom(b int, endstage bool) {
 		} else if endstage && m.dualvar[s] == 0 {
 			m.expandBlossom(s, endstage)
 		} else {
-			for _, lv := range m.blossomLeaves(s, nil) {
+			m.leaves = m.blossomLeaves(s, m.leaves[:0])
+			for _, lv := range m.leaves {
 				m.inblossom[lv] = s
 			}
 		}
@@ -380,7 +333,8 @@ func (m *matcher) expandBlossom(b int, endstage bool) {
 				continue
 			}
 			var lv int
-			for _, lv = range m.blossomLeaves(bv, nil) {
+			m.leaves = m.blossomLeaves(bv, m.leaves[:0])
+			for _, lv = range m.leaves {
 				if m.label[lv] != labelFree {
 					break
 				}
@@ -465,19 +419,20 @@ func (m *matcher) augmentBlossom(b, v int) {
 		m.mate[m.endpoint[p]] = p ^ 1
 		m.mate[m.endpoint[p^1]] = p
 	}
-	m.blossomchilds[b] = rotate(m.blossomchilds[b], i)
-	m.blossomendps[b] = rotate(m.blossomendps[b], i)
+	m.rotateInPlace(m.blossomchilds[b], i)
+	m.rotateInPlace(m.blossomendps[b], i)
 	m.blossombase[b] = m.blossombase[m.blossomchilds[b][0]]
 	if m.blossombase[b] != v {
 		panic("matching: augmentBlossom base mismatch")
 	}
 }
 
-func rotate(s []int, i int) []int {
-	out := make([]int, 0, len(s))
-	out = append(out, s[i:]...)
-	out = append(out, s[:i]...)
-	return out
+// rotateInPlace left-rotates s by i through the matcher's scratch buffer
+// (the contents end up exactly as the former rotate-into-fresh-slice).
+func (m *matcher) rotateInPlace(s []int, i int) {
+	m.rotbuf = append(m.rotbuf[:0], s[i:]...)
+	m.rotbuf = append(m.rotbuf, s[:i]...)
+	copy(s, m.rotbuf)
 }
 
 // augmentMatching augments the matching along the path through edge k.

@@ -1,0 +1,196 @@
+package matching
+
+// Workspace owns the reusable buffers of one blossom matcher, so that a
+// caller decoding millions of small matching instances does not pay a
+// fresh set of O(V + E) allocations per instance. A Workspace may be
+// reused across instances of any size (buffers grow to the largest
+// instance served and are then retained) but must not be shared between
+// goroutines. The zero value is ready to use.
+//
+// Results computed through a Workspace are bit-identical to the
+// package-level MaxWeight / MinWeightPerfect: the workspace only
+// recycles backing arrays, every cell is re-initialized to the fresh
+// matcher's state before each run.
+type Workspace struct {
+	m       matcher
+	flipped []Edge
+	mateOut []int
+}
+
+// MaxWeight behaves like the package-level MaxWeight but recycles the
+// workspace buffers. The returned slice aliases the workspace and is
+// valid only until its next call.
+func (w *Workspace) MaxWeight(n int, edges []Edge, maxCardinality bool) []int {
+	w.mateOut = growFill(w.mateOut, n, -1)
+	if len(edges) == 0 || n == 0 {
+		return w.mateOut
+	}
+	m := w.prepare(n, edges, maxCardinality)
+	m.run()
+	for v := 0; v < n; v++ {
+		if m.mate[v] >= 0 {
+			w.mateOut[v] = m.endpoint[m.mate[v]]
+		}
+	}
+	return w.mateOut
+}
+
+// MinWeightPerfect behaves like the package-level MinWeightPerfect but
+// recycles the workspace buffers. The returned slice aliases the
+// workspace and is valid only until its next call.
+func (w *Workspace) MinWeightPerfect(n int, edges []Edge) ([]int, error) {
+	if n%2 != 0 {
+		return nil, errOddVertices(n)
+	}
+	var maxW int64
+	for _, e := range edges {
+		if e.W > maxW {
+			maxW = e.W
+		}
+	}
+	if cap(w.flipped) < len(edges) {
+		w.flipped = make([]Edge, len(edges))
+	}
+	w.flipped = w.flipped[:len(edges)]
+	for i, e := range edges {
+		w.flipped[i] = Edge{U: e.U, V: e.V, W: maxW + 1 - e.W}
+	}
+	mate := w.MaxWeight(n, w.flipped, true)
+	for v := 0; v < n; v++ {
+		if mate[v] < 0 {
+			return nil, errNoPerfect(v)
+		}
+	}
+	return mate, nil
+}
+
+// prepare re-initializes the workspace matcher to the exact state a
+// fresh newMatcher would produce for (n, edges, maxCardinality).
+func (w *Workspace) prepare(n int, edges []Edge, maxCardinality bool) *matcher {
+	m := &w.m
+	m.nvertex = n
+	m.maxCardinality = maxCardinality
+	if cap(m.edges) < len(edges) {
+		m.edges = make([]Edge, len(edges))
+	}
+	m.edges = m.edges[:len(edges)]
+	var maxweight int64
+	for i, e := range edges {
+		checkEdge(e, n)
+		m.edges[i] = Edge{U: e.U, V: e.V, W: 2 * e.W} // double for integral duals
+		if m.edges[i].W > maxweight {
+			maxweight = m.edges[i].W
+		}
+	}
+	nedge := len(m.edges)
+	m.endpoint = growInts(m.endpoint, 2*nedge)
+	if cap(m.neighbend) < n {
+		grown := make([][]int, n)
+		copy(grown, m.neighbend)
+		m.neighbend = grown
+	}
+	m.neighbend = m.neighbend[:n]
+	for v := range m.neighbend {
+		m.neighbend[v] = m.neighbend[v][:0]
+	}
+	for k, e := range m.edges {
+		m.endpoint[2*k] = e.U
+		m.endpoint[2*k+1] = e.V
+		m.neighbend[e.U] = append(m.neighbend[e.U], 2*k+1)
+		m.neighbend[e.V] = append(m.neighbend[e.V], 2*k)
+	}
+	m.mate = growFill(m.mate, n, -1)
+	m.label = growFill(m.label, 2*n, 0)
+	m.labelend = growFill(m.labelend, 2*n, -1)
+	m.inblossom = growInts(m.inblossom, n)
+	for i := range m.inblossom {
+		m.inblossom[i] = i
+	}
+	m.blossomparent = growFill(m.blossomparent, 2*n, -1)
+	m.blossomchilds = growNilRows(m.blossomchilds, 2*n)
+	m.childsbuf = growRows(m.childsbuf, 2*n)
+	m.endpsbuf = growRows(m.endpsbuf, 2*n)
+	m.bestbuf = growRows(m.bestbuf, 2*n)
+	m.blossombase = growInts(m.blossombase, 2*n)
+	for i := 0; i < n; i++ {
+		m.blossombase[i] = i
+	}
+	for i := n; i < 2*n; i++ {
+		m.blossombase[i] = -1
+	}
+	m.blossomendps = growNilRows(m.blossomendps, 2*n)
+	m.bestedge = growFill(m.bestedge, 2*n, -1)
+	m.blossombestedges = growNilRows(m.blossombestedges, 2*n)
+	m.unusedblossoms = m.unusedblossoms[:0]
+	for b := n; b < 2*n; b++ {
+		m.unusedblossoms = append(m.unusedblossoms, b)
+	}
+	m.dualvar = growInt64s(m.dualvar, 2*n)
+	for v := 0; v < n; v++ {
+		m.dualvar[v] = maxweight
+	}
+	for b := n; b < 2*n; b++ {
+		m.dualvar[b] = 0
+	}
+	m.allowedge = growBools(m.allowedge, nedge)
+	for i := range m.allowedge {
+		m.allowedge[i] = false
+	}
+	m.queue = m.queue[:0]
+	return m
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growInt64s(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growFill(s []int, n, v int) []int {
+	s = growInts(s, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+// growNilRows resizes a slice of rows and resets every row to nil, the
+// fresh matcher's state. The visible blossom arrays must keep exact nil
+// semantics (nil marks "no blossom here" / "best edges not computed");
+// the retained backing lives in the matcher's *buf arrays instead.
+func growNilRows(s [][]int, n int) [][]int {
+	if cap(s) < n {
+		return make([][]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = nil
+	}
+	return s
+}
+
+// growRows resizes a slice of rows, preserving existing row backing so
+// per-slot buffers keep their capacity across runs.
+func growRows(s [][]int, n int) [][]int {
+	if cap(s) < n {
+		grown := make([][]int, n)
+		copy(grown, s)
+		return grown
+	}
+	return s[:n]
+}
