@@ -12,14 +12,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"github.com/fpn/flagproxy/internal/catalog"
+	"github.com/fpn/flagproxy/internal/checkpoint"
 	"github.com/fpn/flagproxy/internal/color"
 	"github.com/fpn/flagproxy/internal/css"
 	"github.com/fpn/flagproxy/internal/experiment"
@@ -27,6 +31,12 @@ import (
 	"github.com/fpn/flagproxy/internal/schedule"
 	"github.com/fpn/flagproxy/internal/surface"
 )
+
+// exitInterrupted is the status for a sweep cut short by SIGINT or
+// SIGTERM after flushing completed points and checkpoints — distinct
+// from 1 (point errors) and 2 (usage errors) so wrappers can tell a
+// clean kill-and-resume cycle from a real failure.
+const exitInterrupted = 130
 
 func main() {
 	cfg, err := parseArgs(os.Args[1:])
@@ -36,7 +46,14 @@ func main() {
 		}
 		os.Exit(2)
 	}
+	// First SIGINT/SIGTERM cancels the sweep context: workers stop at
+	// shard boundaries, the current point's committed prefix is
+	// checkpointed, and completed points stay printed. A second signal
+	// kills the process the default way.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	r := &runner{
+		ctx:          ctx,
 		sweep:        experiment.NewSweep(),
 		fig:          cfg.fig,
 		shots:        cfg.shots,
@@ -45,6 +62,15 @@ func main() {
 		shard:        cfg.shard,
 		targetErrors: cfg.targetErrors,
 		maxCI:        cfg.maxCI,
+		resume:       cfg.resume,
+	}
+	if cfg.checkpointDir != "" {
+		store, err := checkpoint.Open(cfg.checkpointDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		r.store = store
 	}
 	switch cfg.fig {
 	case "17":
@@ -56,19 +82,29 @@ func main() {
 	case "20":
 		fig20(r, cfg.ps)
 	}
+	if ctx.Err() != nil {
+		msg := "ber: interrupted; completed points were flushed"
+		if r.store != nil {
+			msg += "; partial progress checkpointed (rerun with -resume)"
+		}
+		fmt.Fprintln(os.Stderr, msg)
+		os.Exit(exitInterrupted)
+	}
 }
 
 // cliConfig is the parsed and validated command line.
 type cliConfig struct {
-	fig          string
-	shots        int
-	seed         int64
-	ps           []float64
-	maxN         int
-	workers      int
-	shard        int
-	targetErrors int
-	maxCI        float64
+	fig           string
+	shots         int
+	seed          int64
+	ps            []float64
+	maxN          int
+	workers       int
+	shard         int
+	targetErrors  int
+	maxCI         float64
+	checkpointDir string
+	resume        bool
 }
 
 // parseArgs parses and validates the ber command line. Engine knobs are
@@ -86,8 +122,13 @@ func parseArgs(args []string) (*cliConfig, error) {
 	shard := fs.Int("shard", 0, "shots per work shard (0 = 1024); results are identical for any value")
 	targetErrors := fs.Int("target-errors", 0, "stop a point after this many logical errors (0 = off)")
 	maxCI := fs.Float64("max-ci", 0, "stop a point when the Wilson 95% CI half-width reaches this (0 = off)")
+	checkpointDir := fs.String("checkpoint", "", "directory for crash-safe sweep checkpoints (empty = off)")
+	resume := fs.Bool("resume", false, "skip finished points and resume partial ones from -checkpoint")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
+	}
+	if *resume && *checkpointDir == "" {
+		return nil, fmt.Errorf("-resume requires -checkpoint <dir>")
 	}
 	switch *figFlag {
 	case "17", "18", "19", "20":
@@ -126,15 +167,24 @@ func parseArgs(args []string) (*cliConfig, error) {
 	return &cliConfig{
 		fig: *figFlag, shots: *shots, seed: *seed, ps: ps, maxN: *maxN,
 		workers: *workers, shard: *shard, targetErrors: *targetErrors, maxCI: *maxCI,
+		checkpointDir: *checkpointDir, resume: *resume,
 	}, nil
 }
 
 var fpnArch = fpn.Options{UseFlags: true, FlagSharing: true, MaxDegree: 4}
 
+// checkpointEveryBlocks throttles mid-run checkpoint writes: a partial
+// prefix is persisted whenever it has grown by this many 64-shot blocks
+// since the last write. A SIGKILL therefore loses at most ~16k shots of
+// progress per point, while the atomic file rewrite stays far off the
+// hot path.
+const checkpointEveryBlocks = 256
+
 // runner carries the sweep-wide knobs and the pipeline cache, so every
 // (decoder, basis, p) point of a figure reuses the p-independent
 // network/schedule/round-plan artifacts of its code.
 type runner struct {
+	ctx          context.Context
 	sweep        *experiment.Sweep
 	fig          string
 	shots        int
@@ -143,6 +193,8 @@ type runner struct {
 	shard        int
 	targetErrors int
 	maxCI        float64
+	store        *checkpoint.Store
+	resume       bool
 }
 
 func (r *runner) point(code *css.Code, arch fpn.Options, dec experiment.DecoderKind, basis css.Basis, p float64) {
@@ -150,24 +202,87 @@ func (r *runner) point(code *css.Code, arch fpn.Options, dec experiment.DecoderK
 }
 
 func (r *runner) pointSched(code *css.Code, arch fpn.Options, sched *schedule.Schedule, dec experiment.DecoderKind, basis css.Basis, p float64) {
+	if r.ctx.Err() != nil {
+		return // interrupted: fall through to the exit path without starting new points
+	}
 	// Each point gets its own seed: reusing the base seed verbatim
 	// would give every point of the sweep an identical RNG stream and
 	// statistically correlated estimates. The code name joins the
 	// figure tag so same-figure points on different codes decouple too.
 	pointSeed := experiment.PointSeed(r.seed, "fig"+r.fig+":"+code.Name, dec, basis, p)
-	res, err := r.sweep.Run(experiment.Config{
+	cfg := experiment.Config{
 		Code: code, Arch: arch, Basis: basis, P: p,
 		Shots: r.shots, Seed: pointSeed, Decoder: dec, Schedule: sched,
 		Workers: r.workers, ShardShots: r.shard,
 		TargetErrors: r.targetErrors, MaxCI: r.maxCI,
-	})
+	}
+	var key string
+	if r.store != nil {
+		key = cfg.Fingerprint()
+		if rec, ok := r.store.Lookup(key); ok && r.resume {
+			if rec.Done {
+				// Finished in an earlier run: report it exactly as that
+				// run did, without resampling a single shot.
+				r.print(code, dec, basis, p, experiment.Reconstruct(cfg, rec.Blocks, rec.Shots, rec.Errors, rec.EarlyStopped))
+				return
+			}
+			cfg.Resume = &experiment.Resume{Blocks: rec.Blocks, Shots: rec.Shots, Errors: rec.Errors}
+		}
+		// Persist the growing prefix so a SIGKILL mid-point resumes at
+		// the last committed watermark instead of restarting the point.
+		lastSaved := 0
+		if cfg.Resume != nil {
+			lastSaved = cfg.Resume.Blocks
+		}
+		cfg.OnCommit = func(pr experiment.Progress) {
+			if pr.Blocks-lastSaved < checkpointEveryBlocks {
+				return
+			}
+			lastSaved = pr.Blocks
+			if err := r.store.Put(checkpoint.Record{Key: key, Blocks: pr.Blocks, Shots: pr.Shots, Errors: pr.Errors}); err != nil {
+				fmt.Fprintln(os.Stderr, "ber: checkpoint write failed:", err)
+			}
+		}
+	}
+	res, err := r.sweep.RunContext(r.ctx, cfg)
 	if err != nil {
 		fmt.Printf("%-18s %-22s %c p=%-8.1e error: %v\n", code.Name, dec, basis, p, err)
 		return
 	}
+	for i := range res.ShardErrors {
+		fmt.Fprintln(os.Stderr, "ber: "+res.ShardErrors[i].Error())
+	}
+	if r.store != nil {
+		rec := checkpoint.Record{
+			Key: key, Blocks: res.Blocks, Shots: res.Shots, Errors: res.LogicalErrors,
+			EarlyStopped: res.EarlyStopped,
+			Done:         !res.Interrupted && len(res.ShardErrors) == 0,
+		}
+		if err := r.store.Put(rec); err != nil {
+			fmt.Fprintln(os.Stderr, "ber: checkpoint write failed:", err)
+		}
+	}
+	if res.Interrupted {
+		fmt.Fprintf(os.Stderr, "ber: %s %s %c p=%.1e interrupted at %d/%d shots\n",
+			code.Name, dec, basis, p, res.Shots, r.shots)
+		return
+	}
+	r.print(code, dec, basis, p, res)
+}
+
+// print emits one point's result line. The format is a pure function of
+// the committed (shots, errors) counts, so a point replayed from a
+// checkpoint prints byte-identically to the run that computed it.
+func (r *runner) print(code *css.Code, dec experiment.DecoderKind, basis css.Basis, p float64, res *experiment.Result) {
 	mark := ""
 	if res.EarlyStopped {
 		mark = " early-stop"
+	}
+	if n := len(res.ShardErrors); n > 0 {
+		mark += fmt.Sprintf(" shard-failures=%d", n)
+	}
+	if res.FallbackBlocks > 0 {
+		mark += fmt.Sprintf(" fallback-blocks=%d", res.FallbackBlocks)
 	}
 	fmt.Printf("%-18s %-22s %c p=%-8.1e BER=%.5f BERnorm=%.5f [%0.5f,%0.5f] (%d/%d)%s\n",
 		code.Name, dec, basis, p, res.BER, res.BERNorm, res.CILow, res.CIHigh,

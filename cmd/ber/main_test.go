@@ -84,3 +84,31 @@ func TestParseArgsInvalid(t *testing.T) {
 		})
 	}
 }
+
+func TestParseArgsCheckpointFlags(t *testing.T) {
+	cfg, err := parseArgs([]string{"-checkpoint", "/tmp/ckpt", "-resume"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.checkpointDir != "/tmp/ckpt" || !cfg.resume {
+		t.Errorf("checkpoint flags parsed as %+v", cfg)
+	}
+	// -checkpoint alone (fresh sweep, record as you go) is legal.
+	cfg, err = parseArgs([]string{"-checkpoint", "/tmp/ckpt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.checkpointDir != "/tmp/ckpt" || cfg.resume {
+		t.Errorf("checkpoint-only parsed as %+v", cfg)
+	}
+}
+
+func TestParseArgsResumeRequiresCheckpoint(t *testing.T) {
+	_, err := parseArgs([]string{"-resume"})
+	if err == nil {
+		t.Fatal("-resume without -checkpoint was accepted")
+	}
+	if !strings.Contains(err.Error(), "-checkpoint") {
+		t.Errorf("error %q should point at the missing -checkpoint flag", err)
+	}
+}

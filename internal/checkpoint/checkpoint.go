@@ -1,0 +1,181 @@
+// Package checkpoint persists the committed prefix of long Monte-Carlo
+// sweeps so a killed run resumes where it stopped instead of starting
+// over. The store is a single JSONL file — one record per line, keyed
+// by an opaque fingerprint string (experiment.Config.Fingerprint) —
+// rewritten atomically on every update via a temp file and os.Rename.
+// A reader therefore always sees either the previous complete state or
+// the new complete state, never a torn write: SIGKILL at any instant
+// loses at most the blocks committed since the last Put.
+//
+// The format is deliberately engine-agnostic: records carry only the
+// block-aligned committed prefix (blocks, shots, errors) plus the
+// done/early-stopped markers. Everything else — what the key means,
+// whether a prefix is resumable — is the caller's contract.
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// FileName is the store's file inside its directory.
+const FileName = "sweep.jsonl"
+
+// Record is one sweep point's committed prefix.
+type Record struct {
+	// Key identifies the exact run configuration (and engine version)
+	// the prefix belongs to; see experiment.Config.Fingerprint.
+	Key string `json:"key"`
+	// Blocks/Shots/Errors are the committed prefix: a valid resume
+	// point of the run, block-aligned by construction.
+	Blocks int `json:"blocks"`
+	Shots  int `json:"shots"`
+	Errors int `json:"errors"`
+	// EarlyStopped mirrors Result.EarlyStopped for finished points so a
+	// resumed sweep reports them exactly as the original run did.
+	EarlyStopped bool `json:"early_stopped,omitempty"`
+	// Done marks the point finished: resuming skips it entirely.
+	Done bool `json:"done,omitempty"`
+}
+
+// Store is an atomic on-disk map from fingerprint to Record. It is safe
+// for concurrent use by multiple goroutines of one process; it does not
+// arbitrate between processes (two sweeps sharing a directory will
+// last-writer-win whole files, never corrupt them).
+type Store struct {
+	mu    sync.Mutex
+	path  string
+	recs  map[string]Record
+	order []string // first-seen key order, for stable file output
+}
+
+// Open creates dir if needed and loads any existing records from it.
+// Unparsable lines (e.g. a torn line from a pre-rename crash of a
+// foreign writer) are skipped rather than failing the sweep; for
+// duplicate keys the last record wins.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	s := &Store{path: filepath.Join(dir, FileName), recs: map[string]Record{}}
+	f, err := os.Open(s.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return s, nil
+		}
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var r Record
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil || r.Key == "" {
+			continue
+		}
+		if _, seen := s.recs[r.Key]; !seen {
+			s.order = append(s.order, r.Key)
+		}
+		s.recs[r.Key] = r
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("checkpoint: reading %s: %w", s.path, err)
+	}
+	return s, nil
+}
+
+// Lookup returns the record stored for key, if any.
+func (s *Store) Lookup(key string) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.recs[key]
+	return r, ok
+}
+
+// Len reports the number of stored records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}
+
+// Keys returns the stored keys in stable (first-seen) order.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.order...)
+}
+
+// Put upserts rec and atomically rewrites the store file: the new
+// content is written to a temp file in the same directory, fsynced,
+// and renamed over the old file. A crash at any point leaves the
+// previous complete file in place.
+func (s *Store) Put(rec Record) error {
+	if rec.Key == "" {
+		return fmt.Errorf("checkpoint: record has an empty key")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, seen := s.recs[rec.Key]; !seen {
+		s.order = append(s.order, rec.Key)
+	}
+	s.recs[rec.Key] = rec
+	return s.flushLocked()
+}
+
+func (s *Store) flushLocked() error {
+	dir := filepath.Dir(s.path)
+	tmp, err := os.CreateTemp(dir, FileName+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	w := bufio.NewWriter(tmp)
+	enc := json.NewEncoder(w)
+	for _, key := range s.order {
+		if err := enc.Encode(s.recs[key]); err != nil {
+			tmp.Close()
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	// Durability of the rename itself needs a directory fsync; treat a
+	// failure as best-effort (some filesystems reject dir syncs) — the
+	// data file is already consistent either way.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// Sorted returns all records ordered by key, for deterministic
+// inspection and tests.
+func (s *Store) Sorted() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Record, 0, len(s.recs))
+	for _, r := range s.recs {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

@@ -1,0 +1,151 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Key: "a", Blocks: 10, Shots: 640, Errors: 3},
+		{Key: "b", Blocks: 16, Shots: 1000, Errors: 7, EarlyStopped: true, Done: true},
+	}
+	for _, r := range recs {
+		if err := s.Put(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A fresh Open must see exactly what was put.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != len(recs) {
+		t.Fatalf("reloaded %d records, want %d", s2.Len(), len(recs))
+	}
+	for _, want := range recs {
+		got, ok := s2.Lookup(want.Key)
+		if !ok {
+			t.Fatalf("key %q missing after reload", want.Key)
+		}
+		if got != want {
+			t.Errorf("key %q: reloaded %+v, want %+v", want.Key, got, want)
+		}
+	}
+}
+
+func TestPutOverwritesAndPersistsLatest(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for blocks := 1; blocks <= 5; blocks++ {
+		if err := s.Put(Record{Key: "pt", Blocks: blocks, Shots: blocks * 64, Errors: blocks - 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Lookup("pt")
+	if !ok || got.Blocks != 5 || got.Shots != 320 || got.Errors != 4 {
+		t.Fatalf("latest record not persisted: %+v (ok=%v)", got, ok)
+	}
+	// The file must hold exactly one line per key, not an append log.
+	data, err := os.ReadFile(filepath.Join(dir, FileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(data), "\n"); n != 1 {
+		t.Fatalf("store file has %d lines, want 1:\n%s", n, data)
+	}
+}
+
+func TestOpenToleratesCorruptLines(t *testing.T) {
+	dir := t.TempDir()
+	content := `{"key":"good","blocks":4,"shots":256,"errors":1}
+not json at all
+{"blocks":9,"shots":576,"errors":0}
+{"key":"tail","blocks":2,"shots":128,"errors":0,"done":true}
+{"key":"torn","blo`
+	if err := os.WriteFile(filepath.Join(dir, FileName), []byte(content), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("loaded %d records from a partially corrupt file, want 2 (good, tail)", s.Len())
+	}
+	if _, ok := s.Lookup("good"); !ok {
+		t.Error("record before the corruption was dropped")
+	}
+	if r, ok := s.Lookup("tail"); !ok || !r.Done {
+		t.Errorf("record after the corruption was dropped or mangled: %+v (ok=%v)", r, ok)
+	}
+}
+
+func TestDuplicateKeysLastWins(t *testing.T) {
+	dir := t.TempDir()
+	content := `{"key":"p","blocks":1,"shots":64,"errors":0}
+{"key":"p","blocks":7,"shots":448,"errors":2}
+`
+	if err := os.WriteFile(filepath.Join(dir, FileName), []byte(content), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := s.Lookup("p")
+	if !ok || r.Blocks != 7 {
+		t.Fatalf("duplicate key resolution: got %+v (ok=%v), want the later record", r, ok)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("duplicate key counted twice: Len=%d", s.Len())
+	}
+}
+
+func TestRejectsEmptyKey(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Record{Blocks: 1, Shots: 64}); err == nil {
+		t.Fatal("Put accepted a record with an empty key")
+	}
+}
+
+func TestNoTempFilesLeftBehind(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Put(Record{Key: "k", Blocks: i + 1, Shots: (i + 1) * 64}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != FileName {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory holds %v, want only %s", names, FileName)
+	}
+}

@@ -134,8 +134,10 @@ func (d *BPOSD) Decode(detBit func(int) bool) ([]bool, error) {
 }
 
 // DecodeWith is Decode drawing the BP message storage from sc. The
-// returned slice aliases sc and is valid until sc's next use.
-func (d *BPOSD) DecodeWith(sc *DecodeScratch, detBit func(int) bool) ([]bool, error) {
+// returned slice aliases sc and is valid until sc's next use. Internal
+// panics are recovered into returned errors.
+func (d *BPOSD) DecodeWith(sc *DecodeScratch, detBit func(int) bool) (corr []bool, err error) {
+	defer Recover(&err)
 	sc.reset(d.numObs)
 	correction := sc.correction
 	nv := len(d.varDet)

@@ -1,12 +1,36 @@
 package decoder
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
 	"github.com/fpn/flagproxy/internal/dem"
 	"github.com/fpn/flagproxy/internal/matching"
 )
+
+// Recover converts a panic unwinding through a decode call into an
+// error carrying the panic message. Every Decode/DecodeWith entry point
+// in this package defers it, so internal invariant panics (e.g.
+// "matching: stuck without maxCardinality" from the blossom matcher)
+// surface to callers as ordinary decode failures — which Monte-Carlo
+// engines already count conservatively as logical errors — instead of
+// killing a multi-hour sweep. Custom Decoder implementations may defer
+// it the same way:
+//
+//	func (d *myDecoder) Decode(bit func(int) bool) (corr []bool, err error) {
+//		defer decoder.Recover(&err)
+//		...
+//	}
+func Recover(err *error) {
+	if r := recover(); r != nil {
+		if e, ok := r.(error); ok {
+			*err = fmt.Errorf("decoder: recovered panic: %w", e)
+			return
+		}
+		*err = fmt.Errorf("decoder: recovered panic: %v", r)
+	}
+}
 
 // matchEdge is a float-weighted edge of a per-shot matching instance.
 type matchEdge struct {

@@ -160,8 +160,10 @@ func (d *MWPM) Decode(detBit func(int) bool) ([]bool, error) {
 }
 
 // DecodeWith is Decode drawing every per-shot buffer from sc. The
-// returned slice aliases sc and is valid until sc's next use.
-func (d *MWPM) DecodeWith(sc *DecodeScratch, detBit func(int) bool) ([]bool, error) {
+// returned slice aliases sc and is valid until sc's next use. Panics
+// from the matching layer are recovered into returned errors.
+func (d *MWPM) DecodeWith(sc *DecodeScratch, detBit func(int) bool) (corr []bool, err error) {
+	defer Recover(&err)
 	sc.reset(d.numObs)
 	correction := sc.correction
 	// Flipped syndrome vertices and observed flags.

@@ -1,0 +1,89 @@
+package decoder
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/fpn/flagproxy/internal/color"
+	"github.com/fpn/flagproxy/internal/css"
+	"github.com/fpn/flagproxy/internal/fpn"
+)
+
+// A panic raised anywhere below Decode/DecodeWith — here injected
+// through the detector-bit callback, the same unwinding path a matching
+// invariant panic takes — must surface as a returned error, not crash
+// the caller. Multi-hour Monte-Carlo sweeps count such failures
+// conservatively instead of dying.
+func TestDecodeRecoversPanicsIntoErrors(t *testing.T) {
+	code := hyper55(t)
+	model, _ := buildModel(t, code, fpn.Options{UseFlags: true, FlagSharing: true, MaxDegree: 4}, css.Z, 2, 1e-3)
+	mw, err := NewMWPM(model, css.Z, 1e-3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uf, err := NewUnionFind(model, css.Z, 1e-3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Restriction decoder wants a 3-colorable check structure.
+	ccode, err := color.HexagonalToric(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmodel, _ := buildModel(t, ccode, fpn.Options{UseFlags: true, FlagSharing: true, MaxDegree: 4}, css.Z, 2, 1e-3)
+	rs, err := NewRestriction(cmodel, css.Z, 1e-3, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := NewBPOSD(model, css.Z, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := func(int) bool { panic("matching: stuck without maxCardinality") }
+	decs := map[string]interface {
+		Decode(func(int) bool) ([]bool, error)
+	}{"mwpm": mw, "unionfind": uf, "restriction": rs, "bposd": bp}
+	for name, d := range decs {
+		corr, err := d.Decode(boom)
+		if err == nil {
+			t.Errorf("%s: panic below Decode was not recovered into an error", name)
+			continue
+		}
+		if corr != nil {
+			t.Errorf("%s: recovered Decode returned a non-nil correction", name)
+		}
+		if !strings.Contains(err.Error(), "recovered panic") || !strings.Contains(err.Error(), "maxCardinality") {
+			t.Errorf("%s: recovered error %q lost the panic message", name, err)
+		}
+	}
+	// A healthy shot must still decode after a recovered panic on the
+	// same decoder and scratch: recovery must not poison shared state.
+	sc := NewScratch()
+	if _, err := mw.DecodeWith(sc, boom); err == nil {
+		t.Fatal("DecodeWith did not recover the injected panic")
+	}
+	if corr, err := mw.DecodeWith(sc, func(int) bool { return false }); err != nil || corr == nil {
+		t.Fatalf("decode after a recovered panic failed: corr=%v err=%v", corr, err)
+	}
+}
+
+// Recover preserves error-typed panic values via %w so callers can
+// still match them with errors.Is/As.
+func TestRecoverWrapsErrorValues(t *testing.T) {
+	sentinel := errors.New("sentinel failure")
+	var err error
+	func() {
+		defer Recover(&err)
+		panic(sentinel)
+	}()
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("recovered error %v does not wrap the panic value", err)
+	}
+	// Non-panicking paths must leave err untouched.
+	err = nil
+	func() { defer Recover(&err) }()
+	if err != nil {
+		t.Fatalf("Recover invented an error on a clean path: %v", err)
+	}
+}

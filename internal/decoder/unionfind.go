@@ -154,8 +154,10 @@ func (d *UnionFind) Decode(detBit func(int) bool) ([]bool, error) {
 }
 
 // DecodeWith is Decode drawing every per-shot buffer from sc. The
-// returned slice aliases sc and is valid until sc's next use.
-func (d *UnionFind) DecodeWith(sc *DecodeScratch, detBit func(int) bool) ([]bool, error) {
+// returned slice aliases sc and is valid until sc's next use. Internal
+// panics are recovered into returned errors.
+func (d *UnionFind) DecodeWith(sc *DecodeScratch, detBit func(int) bool) (corr []bool, err error) {
+	defer Recover(&err)
 	sc.reset(d.numObs)
 	us := &sc.uf
 	correction := sc.correction

@@ -14,11 +14,26 @@
 // count, Wilson CI half-width) are evaluated only against the committed
 // prefix. Blocks simulated past the stop point are discarded, so the
 // reported (Shots, LogicalErrors) pair does not depend on scheduling.
+//
+// The engine is crash-safe in three independent ways. Cancellation: a
+// context threaded through RunContext is observed at shard boundaries
+// and the committed prefix is returned as a partial Result
+// (Result.Interrupted) instead of being discarded. Panic isolation: a
+// per-shard recover converts decoder/matching/sampler panics into a
+// structured ShardError carrying an exact (seed, firstBlock) repro;
+// the failed shard is quarantined — optionally retried with a fallback
+// decoder chain — while the healthy prefix keeps committing. Resume:
+// because any committed prefix is block-aligned and every block's RNG
+// stream depends only on (circuit, seed, blockIndex), a run restarted
+// from Config.Resume is bit-identical to one that never stopped.
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -42,6 +57,56 @@ const blockShots = 64
 // Config.ShardShots is zero: large enough to amortize the claim and
 // commit synchronization, small enough to load-balance tail shards.
 const defaultShardShots = 1024
+
+// Resume restarts the engine from a previously committed prefix: the
+// first Blocks 64-shot blocks are taken as already counted, holding
+// Shots shots and Errors logical errors. Because every block's RNG
+// stream depends only on (circuit, seed, blockIndex), a resumed run is
+// bit-identical to one that was never interrupted. Shots must equal
+// min(Blocks*64, Config.Shots) — the shot count a committed prefix of
+// that many blocks necessarily holds — or validation fails, catching
+// checkpoints replayed against a mismatched configuration.
+type Resume struct {
+	Blocks int // committed 64-shot blocks
+	Shots  int // shots in those blocks: min(Blocks*64, Config.Shots)
+	Errors int // logical errors observed in those blocks
+}
+
+// Progress is a snapshot of the committed prefix, delivered to
+// Config.OnCommit each time the commit frontier advances. Snapshots are
+// monotone and block-aligned, so any of them is a valid Resume state.
+type Progress struct {
+	Blocks int
+	Shots  int
+	Errors int
+}
+
+// ShardError describes a worker panic (or sampler-contract violation)
+// that was quarantined to a single shard instead of crashing the run.
+// Because block RNG streams depend only on (seed, blockIndex), the pair
+// (Seed, FirstBlock) pins down the exact failing input: rerunning the
+// point with ShardShots=64 and a Resume at FirstBlock replays it.
+type ShardError struct {
+	Seed       int64  // base seed of the run
+	Shard      int    // shard index within this (possibly resumed) run
+	FirstBlock int    // absolute index of the shard's first 64-shot block
+	Blocks     int    // 64-shot blocks covered by the shard
+	Decoder    string // decoder active when the panic fired
+	PanicValue any
+	Stack      []byte // stack captured at recover time
+}
+
+// Error formats the quarantine report with the repro coordinates.
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("experiment: shard %d (blocks %d..%d, decoder %s) panicked: %v; repro: seed=%d firstBlock=%d",
+		e.Shard, e.FirstBlock, e.FirstBlock+e.Blocks-1, e.Decoder, e.PanicValue, e.Seed, e.FirstBlock)
+}
+
+// Repro returns just the (seed, firstBlock) coordinates that replay the
+// failing shard deterministically.
+func (e *ShardError) Repro() string {
+	return fmt.Sprintf("seed=%d firstBlock=%d", e.Seed, e.FirstBlock)
+}
 
 // Pipeline caches the p-independent artifacts of a memory experiment —
 // the FPN network, the schedule and the lowered round plan — so a sweep
@@ -89,6 +154,14 @@ func NewPipelineFromSchedule(code *css.Code, s *schedule.Schedule) (*Pipeline, e
 // engine. cfg.Code, cfg.Arch and cfg.Schedule are ignored in favor of
 // the pipeline's cached artifacts (cfg.Code must match pl.Code).
 func (pl *Pipeline) Run(cfg Config) (*Result, error) {
+	return pl.RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run under a context. When ctx is cancelled, workers
+// stop at the next shard boundary and the committed prefix is returned
+// as a partial Result with Interrupted set — a valid Resume point —
+// rather than an error.
+func (pl *Pipeline) RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	cfg.Code = pl.Code
 	cfg.Schedule = pl.Sched
 	if err := validate(cfg); err != nil {
@@ -125,20 +198,32 @@ func (pl *Pipeline) Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	shots, errors, early := runEngine(c, dec, cfg)
-	lo, hi := wilson(errors, shots)
-	ber := float64(errors) / float64(shots)
+	// Fallback decoders share the circuit's error model; they are built
+	// lazily, only when a shard actually panics.
+	mk := func(k DecoderKind) (Decoder, error) {
+		return newDecoder(k, model, cfg.Basis, nm.MeasFlip())
+	}
+	out := runEngine(ctx, c, dec, mk, cfg)
+	ber := 0.0
+	if out.shots > 0 {
+		ber = float64(out.errs) / float64(out.shots)
+	}
+	lo, hi := wilson(out.errs, out.shots)
 	return &Result{
-		Config:        cfg,
-		Net:           pl.Net,
-		LatencyNs:     pl.Plan.LatencyNs,
-		Shots:         shots,
-		LogicalErrors: errors,
-		BER:           ber,
-		BERNorm:       ber / float64(cfg.Code.K),
-		CILow:         lo,
-		CIHigh:        hi,
-		EarlyStopped:  early,
+		Config:         cfg,
+		Net:            pl.Net,
+		LatencyNs:      pl.Plan.LatencyNs,
+		Shots:          out.shots,
+		Blocks:         out.blocks,
+		LogicalErrors:  out.errs,
+		BER:            ber,
+		BERNorm:        ber / float64(cfg.Code.K),
+		CILow:          lo,
+		CIHigh:         hi,
+		EarlyStopped:   out.early,
+		Interrupted:    out.interrupted,
+		FallbackBlocks: out.fallbackBlocks,
+		ShardErrors:    out.shardErrs,
 	}, nil
 }
 
@@ -166,6 +251,30 @@ func validate(cfg Config) error {
 	}
 	if cfg.Workers < 0 {
 		return fmt.Errorf("experiment: Workers must be >= 0 (got %d)", cfg.Workers)
+	}
+	for _, k := range cfg.Fallback {
+		if k < FlaggedMWPM || k > BPOSD {
+			return fmt.Errorf("experiment: unknown fallback decoder kind %d", k)
+		}
+	}
+	if r := cfg.Resume; r != nil {
+		if r.Blocks < 0 || r.Shots < 0 || r.Errors < 0 {
+			return fmt.Errorf("experiment: negative Resume field (%+v)", *r)
+		}
+		if r.Errors > r.Shots {
+			return fmt.Errorf("experiment: Resume.Errors %d exceeds Resume.Shots %d", r.Errors, r.Shots)
+		}
+		total := (cfg.Shots + blockShots - 1) / blockShots
+		if r.Blocks > total {
+			return fmt.Errorf("experiment: Resume.Blocks %d exceeds the run's %d blocks (checkpoint from a different Shots?)", r.Blocks, total)
+		}
+		want := r.Blocks * blockShots
+		if want > cfg.Shots {
+			want = cfg.Shots
+		}
+		if r.Shots != want {
+			return fmt.Errorf("experiment: Resume.Shots %d inconsistent with %d committed blocks (want %d; checkpoint from a different configuration?)", r.Shots, r.Blocks, want)
+		}
 	}
 	return nil
 }
@@ -229,17 +338,49 @@ func (d *PooledDecoder) Release() {
 	}
 }
 
-// runEngine is the sharded simulate→decode→count loop. It returns the
-// committed shot count (== cfg.Shots unless early stopping fired), the
-// committed logical-error count, and whether a stop criterion fired.
-func runEngine(c *circuit.Circuit, dec Decoder, cfg Config) (shots, logical int, early bool) {
+// engineOut is the raw outcome of runEngine: the committed prefix, the
+// stop/interrupt flags, and any quarantined shards.
+type engineOut struct {
+	blocks         int // committed 64-shot blocks (including a resumed prefix)
+	shots          int
+	errs           int
+	early          bool // a stop criterion fired
+	interrupted    bool // ctx cancelled before the run finished
+	fallbackBlocks int  // blocks rescued by the fallback decoder chain
+	shardErrs      []ShardError
+}
+
+// runEngine is the sharded simulate→decode→count loop. mkDecoder builds
+// fallback decoders on demand (nil disables the fallback chain). The
+// committed prefix is returned even when the run is cancelled or a
+// shard is quarantined; it is always a valid Resume point.
+func runEngine(ctx context.Context, c *circuit.Circuit, dec Decoder, mkDecoder func(DecoderKind) (Decoder, error), cfg Config) engineOut {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	totalBlocks := (cfg.Shots + blockShots - 1) / blockShots
+	start, comShots, comErrs := 0, 0, 0
+	if cfg.Resume != nil {
+		start = cfg.Resume.Blocks
+		comShots = cfg.Resume.Shots
+		comErrs = cfg.Resume.Errors
+	}
+	if start >= totalBlocks {
+		return engineOut{blocks: start, shots: comShots, errs: comErrs}
+	}
+	// A checkpoint may have been written exactly at a stop boundary the
+	// writer did not evaluate; honoring it here keeps a resumed run
+	// bit-identical to an uninterrupted one.
+	if comShots < cfg.Shots && stopSatisfied(cfg, comErrs, comShots) {
+		return engineOut{blocks: start, shots: comShots, errs: comErrs, early: true}
+	}
 	shardShots := cfg.ShardShots
 	if shardShots <= 0 {
 		shardShots = defaultShardShots
 	}
 	shardBlocks := (shardShots + blockShots - 1) / blockShots
-	numShards := (totalBlocks + shardBlocks - 1) / shardBlocks
+	remBlocks := totalBlocks - start
+	numShards := (remBlocks + shardBlocks - 1) / shardBlocks
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -254,26 +395,35 @@ func runEngine(c *circuit.Circuit, dec Decoder, cfg Config) (shots, logical int,
 		return blockShots
 	}
 
-	// blockErrs[b] holds the block's logical-error count + 1 once the
-	// block is done; 0 means pending.
-	blockErrs := make([]int32, totalBlocks)
+	// blockErrs[b-start] holds block b's logical-error count + 1 once
+	// the block is done; 0 means pending.
+	blockErrs := make([]int32, remBlocks)
 	var (
-		nextShard atomic.Int64
-		stop      atomic.Bool
+		nextShard  atomic.Int64
+		stop       atomic.Bool
+		quarantine atomic.Int64 // first block of the lowest failed shard
 
 		mu        sync.Mutex
-		committed int // blocks committed, in strict block order
-		comShots  int
-		comErrs   int
-		finalized bool // a stop criterion fired; commits are frozen
+		committed = start // blocks committed, in strict block order
+		finalized bool    // a stop criterion fired; commits are frozen
+		fbBlocks  int
+		serrs     []ShardError
+
+		fbMu    sync.Mutex
+		fbPools map[DecoderKind]*DecoderPool
 	)
+	quarantine.Store(int64(totalBlocks))
 	tryCommit := func() {
 		mu.Lock()
 		defer mu.Unlock()
-		for !finalized && committed < totalBlocks {
-			v := atomic.LoadInt32(&blockErrs[committed])
+		prev := committed
+		// Blocks at or past a quarantined shard can never commit: the
+		// prefix would no longer be contiguous.
+		limit := int(quarantine.Load())
+		for !finalized && committed < limit {
+			v := atomic.LoadInt32(&blockErrs[committed-start])
 			if v == 0 {
-				return
+				break
 			}
 			comErrs += int(v - 1)
 			comShots += blockLen(committed)
@@ -283,6 +433,63 @@ func runEngine(c *circuit.Circuit, dec Decoder, cfg Config) (shots, logical int,
 				stop.Store(true)
 			}
 		}
+		if cfg.OnCommit != nil && committed > prev {
+			cfg.OnCommit(Progress{Blocks: committed, Shots: comShots, Errors: comErrs})
+		}
+	}
+	// fallbackPool lazily builds the shared pool for one fallback kind;
+	// a kind whose construction fails is remembered as nil and skipped.
+	fallbackPool := func(k DecoderKind) *DecoderPool {
+		fbMu.Lock()
+		defer fbMu.Unlock()
+		if p, ok := fbPools[k]; ok {
+			return p
+		}
+		var p *DecoderPool
+		if mkDecoder != nil {
+			if d, err := mkDecoder(k); err == nil {
+				p = NewDecoderPool(d)
+			}
+		}
+		if fbPools == nil {
+			fbPools = map[DecoderKind]*DecoderPool{}
+		}
+		fbPools[k] = p
+		return p
+	}
+	// runShard samples and counts blocks [first, end) into the worker's
+	// private counts buffer, converting any panic below it — decoder,
+	// matching, sampler — into a ShardError instead of unwinding the
+	// process. Counts are flushed to the shared blockErrs array only on
+	// success, so a failed attempt (later retried by a fallback decoder)
+	// never publishes a half-decoded shard.
+	runShard := func(smp *sim.BlockSampler, sc *shotCounter, counts []int32, sh, first, end int, decName string) (serr *ShardError) {
+		fail := func(v any) *ShardError {
+			return &ShardError{
+				Seed: cfg.Seed, Shard: sh, FirstBlock: first, Blocks: end - first,
+				Decoder: decName, PanicValue: v, Stack: debug.Stack(),
+			}
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				serr = fail(r)
+			}
+		}()
+		shardLen := blockLen(end-1) + (end-first-1)*blockShots
+		if err := smp.Validate(first, shardLen); err != nil {
+			// Guarded call site: an impossible shard shape is an engine
+			// bug; quarantine it instead of tripping the sampler panic.
+			return fail(err)
+		}
+		sc.res = smp.Run(first, shardLen, cfg.Seed)
+		done := first
+		for ; done < end && !stop.Load(); done++ {
+			counts[done-first] = int32(sc.countShots((done-first)*blockShots, blockLen(done)))
+		}
+		for b := first; b < done; b++ {
+			atomic.StoreInt32(&blockErrs[b-start], counts[b-first]+1)
+		}
+		return nil
 	}
 
 	pool := NewDecoderPool(dec)
@@ -292,27 +499,61 @@ func runEngine(c *circuit.Circuit, dec Decoder, cfg Config) (shots, logical int,
 		go func() {
 			defer wg.Done()
 			smp := sim.NewBlockSampler(c, shardBlocks)
+			counts := make([]int32, shardBlocks)
 			sc := shotCounter{c: c, dec: pool.Get()}
 			defer sc.dec.Release()
 			sc.bit = sc.detectorBit // one closure per worker, not per shot
 			for !stop.Load() {
+				if ctx.Err() != nil {
+					// Cancellation is observed at shard boundaries; the
+					// committed prefix survives as a partial result.
+					stop.Store(true)
+					return
+				}
 				sh := int(nextShard.Add(1) - 1)
 				if sh >= numShards {
 					return
 				}
-				first := sh * shardBlocks
+				first := start + sh*shardBlocks
+				if int64(first) >= quarantine.Load() {
+					// Nothing at or past a failed shard can ever commit.
+					return
+				}
 				end := first + shardBlocks
 				if end > totalBlocks {
 					end = totalBlocks
 				}
-				// One multi-word pass samples the whole shard; each
-				// 64-shot word still consumes its own Derive(seed,
-				// block) stream, so batching is invisible to results.
-				shardLen := blockLen(end-1) + (end-first-1)*blockShots
-				sc.res = smp.Run(first, shardLen, cfg.Seed)
-				for b := first; b < end && !stop.Load(); b++ {
-					n := sc.countShots((b-first)*blockShots, blockLen(b))
-					atomic.StoreInt32(&blockErrs[b], int32(n)+1)
+				serr := runShard(smp, &sc, counts, sh, first, end, cfg.Decoder.String())
+				if serr != nil {
+					for _, k := range cfg.Fallback {
+						fp := fallbackPool(k)
+						if fp == nil {
+							continue
+						}
+						fsc := shotCounter{c: c, dec: fp.Get()}
+						fsc.bit = fsc.detectorBit
+						ferr := runShard(smp, &fsc, counts, sh, first, end, k.String())
+						fsc.dec.Release()
+						if ferr == nil {
+							mu.Lock()
+							fbBlocks += end - first
+							mu.Unlock()
+							serr = nil
+							break
+						}
+					}
+				}
+				if serr != nil {
+					mu.Lock()
+					serrs = append(serrs, *serr)
+					mu.Unlock()
+					for {
+						q := quarantine.Load()
+						if int64(first) >= q || quarantine.CompareAndSwap(q, int64(first)) {
+							break
+						}
+					}
+					continue
 				}
 				tryCommit()
 			}
@@ -320,7 +561,18 @@ func runEngine(c *circuit.Circuit, dec Decoder, cfg Config) (shots, logical int,
 	}
 	wg.Wait()
 	tryCommit()
-	return comShots, comErrs, finalized
+	mu.Lock()
+	defer mu.Unlock()
+	sort.Slice(serrs, func(i, j int) bool { return serrs[i].FirstBlock < serrs[j].FirstBlock })
+	return engineOut{
+		blocks:         committed,
+		shots:          comShots,
+		errs:           comErrs,
+		early:          finalized,
+		interrupted:    ctx.Err() != nil && !finalized && committed < totalBlocks,
+		fallbackBlocks: fbBlocks,
+		shardErrs:      serrs,
+	}
 }
 
 // stopSatisfied evaluates the early-stop criteria on the committed
@@ -355,7 +607,8 @@ func (sc *shotCounter) detectorBit(d int) bool { return sc.res.DetectorBit(d, sc
 
 // countShots decodes shots lanes starting at laneLo of the current
 // sampled shard and counts logical errors. A decoding failure counts as
-// a logical error, as before.
+// a logical error, as before — including matching panics that the
+// decoder package recovers into errors at its Decode boundary.
 func (sc *shotCounter) countShots(laneLo, shots int) int {
 	errs := 0
 	for sc.shot = laneLo; sc.shot < laneLo+shots; sc.shot++ {
@@ -394,11 +647,17 @@ func NewSweep() *Sweep { return &Sweep{pipes: map[sweepKey]*Pipeline{}} }
 // Run behaves like the package-level Run but reuses the cached
 // p-independent artifacts for cfg's (code, arch, schedule) triple.
 func (sw *Sweep) Run(cfg Config) (*Result, error) {
+	return sw.RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run under a context; see Pipeline.RunContext for the
+// cancellation contract.
+func (sw *Sweep) RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	pl, err := sw.pipeline(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return pl.Run(cfg)
+	return pl.RunContext(ctx, cfg)
 }
 
 func (sw *Sweep) pipeline(cfg Config) (*Pipeline, error) {

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"testing"
 
 	"github.com/fpn/flagproxy/internal/circuit"
@@ -51,7 +52,7 @@ func benchmarkEngine(b *testing.B, workers int) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		runEngine(c, dec, cfg)
+		runEngine(context.Background(), c, dec, nil, cfg)
 	}
 	b.ReportMetric(float64(benchShots)*float64(b.N)/b.Elapsed().Seconds(), "shots/s")
 }

@@ -5,6 +5,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -85,6 +86,24 @@ type Config struct {
 	// fires after at least one logical error has been committed, so
 	// zero-error deep points still run their full shot budget.
 	MaxCI float64
+
+	// Resume, when non-nil, restarts the run from a previously
+	// committed prefix (see the Resume type). The continuation is
+	// bit-identical to a run that was never interrupted.
+	Resume *Resume
+	// Fallback lists decoder kinds to retry a shard with, in order,
+	// when the primary decoder panics on it (graceful degradation, e.g.
+	// BPOSD→MWPM). A rescued shard's blocks are decoded by the fallback
+	// — Result.FallbackBlocks counts them — so the run completes at the
+	// cost of mixed-decoder statistics on those blocks. Shards that
+	// exhaust the chain are quarantined as ShardErrors.
+	Fallback []DecoderKind
+	// OnCommit, when non-nil, is invoked with a snapshot of the
+	// committed prefix each time the commit frontier advances. Every
+	// snapshot is block-aligned and therefore a valid Resume point —
+	// this is the checkpointing hook. It is called with the engine's
+	// commit lock held: keep it fast and do not call back into the run.
+	OnCommit func(Progress)
 }
 
 // Result is the outcome of a memory experiment.
@@ -100,6 +119,20 @@ type Result struct {
 	// EarlyStopped reports that TargetErrors or MaxCI halted the run
 	// before cfg.Shots; Shots then holds the committed count.
 	EarlyStopped bool
+	// Blocks is the committed 64-shot block count (including a resumed
+	// prefix); Resume{Blocks, Shots, LogicalErrors} continues this run.
+	Blocks int
+	// Interrupted reports that the context was cancelled before the run
+	// finished; Shots/LogicalErrors hold the committed prefix, which is
+	// a valid Resume point.
+	Interrupted bool
+	// FallbackBlocks counts blocks whose shard panicked under the
+	// primary decoder and was rescued by the Fallback chain.
+	FallbackBlocks int
+	// ShardErrors lists shards quarantined after a panic that no
+	// fallback decoder could rescue, in block order. The run's result
+	// is then the committed prefix before the first failed shard.
+	ShardErrors []ShardError
 }
 
 // Run executes the full pipeline: architecture, schedule, circuit,
@@ -107,6 +140,13 @@ type Result struct {
 // revisit a (code, arch) or (code, schedule) pair should use a Sweep
 // (or hold a Pipeline) to reuse the p-independent artifacts.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run under a context: cancellation is observed at shard
+// boundaries and the committed prefix is returned as a partial Result
+// with Interrupted set instead of being discarded.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if err := validate(cfg); err != nil {
 		return nil, err
 	}
@@ -120,7 +160,28 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return pl.Run(cfg)
+	return pl.RunContext(ctx, cfg)
+}
+
+// Reconstruct rebuilds the statistical fields of a Result from a
+// committed (shots, logicalErrors) pair — e.g. a checkpoint record of a
+// finished point — without rerunning anything. Net and LatencyNs are
+// left zero; everything derivable from the counts (BER, BERNorm, the
+// Wilson interval) matches what the original run reported.
+func Reconstruct(cfg Config, blocks, shots, logicalErrors int, earlyStopped bool) *Result {
+	ber := 0.0
+	if shots > 0 {
+		ber = float64(logicalErrors) / float64(shots)
+	}
+	berNorm := 0.0
+	if cfg.Code != nil && cfg.Code.K > 0 {
+		berNorm = ber / float64(cfg.Code.K)
+	}
+	lo, hi := wilson(logicalErrors, shots)
+	return &Result{
+		Config: cfg, Shots: shots, Blocks: blocks, LogicalErrors: logicalErrors,
+		BER: ber, BERNorm: berNorm, CILow: lo, CIHigh: hi, EarlyStopped: earlyStopped,
+	}
 }
 
 // Decoder is the common decode interface of both decoder families.

@@ -1,0 +1,87 @@
+// Checkpoint fingerprints. A checkpoint record is only a valid resume
+// point for the exact run that wrote it: same code, same architecture
+// and schedule, same noise point, same seed, same stop criteria, and
+// the same engine generation. Fingerprint folds all of that into one
+// stable key so a stale or mismatched record can never be replayed into
+// the wrong run — it simply won't be found.
+package experiment
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"sort"
+
+	"github.com/fpn/flagproxy/internal/schedule"
+)
+
+// EngineVersion names the current result-affecting engine generation.
+// Bump it whenever a change alters the bit-exact (Shots, LogicalErrors)
+// stream of a configuration — seed derivation, block size, commit
+// order, decoder semantics — so old checkpoints are orphaned instead of
+// silently merged into runs they no longer match.
+const EngineVersion = "fpn-engine/2"
+
+// Fingerprint returns a stable hex key identifying every
+// result-affecting field of the configuration plus EngineVersion.
+// Scheduling knobs that are provably invisible to results — Workers,
+// ShardShots — and the runtime hooks (Resume, OnCommit, Fallback) are
+// deliberately excluded: a checkpoint taken at 4 workers must resume at
+// 16.
+func (cfg Config) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|basis=%c|rounds=%d|p=%.17g|shots=%d|seed=%d|dec=%s|cc=%t|fixedidle=%t|target=%d|maxci=%.17g|",
+		EngineVersion, cfg.Basis, cfg.Rounds, cfg.P, cfg.Shots, cfg.Seed,
+		cfg.Decoder, cfg.CodeCapacity, cfg.FixedIdle, cfg.TargetErrors, cfg.MaxCI)
+	fmt.Fprintf(h, "arch=%+v|", cfg.Arch)
+	hashCode(h, cfg)
+	hashSchedule(h, cfg.Schedule)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// hashCode digests the code's full check structure, not just its name:
+// two catalogue entries could share a label while differing in the
+// stabilizers that determine every sampled syndrome.
+func hashCode(h hash.Hash, cfg Config) {
+	code := cfg.Code
+	if code == nil {
+		fmt.Fprint(h, "code=nil|")
+		return
+	}
+	fmt.Fprintf(h, "code=%s n=%d k=%d dx=%d dz=%d checks=%d|", code.Name, code.N, code.K, code.DX, code.DZ, len(code.Checks))
+	for _, c := range code.Checks {
+		fmt.Fprintf(h, "%c%d:%v;", c.Basis, c.Color, c.Support)
+	}
+}
+
+// hashSchedule digests an override schedule's window/phase structure;
+// the CNOT ordering decides which fault propagations the circuit can
+// exhibit, so two schedules over the same code are different runs.
+func hashSchedule(h hash.Hash, s *schedule.Schedule) {
+	if s == nil {
+		fmt.Fprint(h, "sched=greedy|")
+		return
+	}
+	fmt.Fprintf(h, "sched=override split=%t windows=%d phases=%d|", s.Split, len(s.Windows), len(s.Phases))
+	for _, w := range s.Windows {
+		fmt.Fprintf(h, "w%c f=%d p=%v c=%v d=%v;", w.Basis, w.Flag, w.Parities, w.Checks, w.Data)
+	}
+	for _, ph := range s.Phases {
+		fmt.Fprintf(h, "ph%c steps=%d win=%v times=", ph.Basis, ph.Steps, ph.Windows)
+		keys := make([]schedule.WD, 0, len(ph.Times))
+		for k := range ph.Times {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].W != keys[j].W {
+				return keys[i].W < keys[j].W
+			}
+			return keys[i].Q < keys[j].Q
+		})
+		for _, k := range keys {
+			fmt.Fprintf(h, "%d.%d=%d,", k.W, k.Q, ph.Times[k])
+		}
+		fmt.Fprint(h, ";")
+	}
+}

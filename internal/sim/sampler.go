@@ -24,14 +24,26 @@ func NewSampler(c *circuit.Circuit, maxShots int) *Sampler {
 	return &Sampler{fs: newFrameSim(c, maxShots, 0), max: maxShots}
 }
 
+// Validate reports whether a Run call with this shot count would be
+// legal: shots must lie in (0, maxShots]. Callers that receive shot
+// counts from external input should Validate first — Run treats an
+// out-of-range count as a programming error and panics.
+func (s *Sampler) Validate(shots int) error {
+	if shots <= 0 || shots > s.max {
+		return fmt.Errorf("sim: Sampler shots %d outside (0, %d]", shots, s.max)
+	}
+	return nil
+}
+
 // Run samples the circuit with its annotated noise for shots lanes
 // using the given RNG seed. The stream is fully determined by (circuit,
 // shots, seed): reusing a Sampler yields bit-identical results to a
 // fresh one. The returned Result aliases the sampler's buffers and is
-// valid only until the next Run call.
+// valid only until the next Run call. Run panics if shots is out of
+// range; use Validate to check untrusted counts.
 func (s *Sampler) Run(shots int, seed int64) *Result {
-	if shots <= 0 || shots > s.max {
-		panic(fmt.Sprintf("sim: Sampler.Run shots %d outside (0, %d]", shots, s.max))
+	if err := s.Validate(shots); err != nil {
+		panic(err)
 	}
 	s.fs.reset(shots, seed)
 	for oi, op := range s.fs.c.Ops {
@@ -68,13 +80,29 @@ func NewBlockSampler(c *circuit.Circuit, maxBlocks int) *BlockSampler {
 	return &BlockSampler{fs: fs, max: maxBlocks}
 }
 
+// Validate reports whether a Run call with these arguments would be
+// legal: firstBlock must be non-negative and shots must lie in
+// (0, maxBlocks*64]. Callers that receive shot counts from external
+// input should Validate first — Run treats out-of-range arguments as a
+// programming error and panics.
+func (s *BlockSampler) Validate(firstBlock, shots int) error {
+	if firstBlock < 0 {
+		return fmt.Errorf("sim: BlockSampler firstBlock %d is negative", firstBlock)
+	}
+	if shots <= 0 || shots > s.max*64 {
+		return fmt.Errorf("sim: BlockSampler shots %d outside (0, %d]", shots, s.max*64)
+	}
+	return nil
+}
+
 // Run samples shots lanes as consecutive blocks firstBlock,
 // firstBlock+1, …; lane l belongs to block firstBlock + l/64. The
 // returned Result aliases the sampler's buffers and is valid only until
-// the next Run call.
+// the next Run call. Run panics if the arguments are out of range; use
+// Validate to check untrusted counts.
 func (s *BlockSampler) Run(firstBlock, shots int, base int64) *Result {
-	if shots <= 0 || shots > s.max*64 {
-		panic(fmt.Sprintf("sim: BlockSampler.Run shots %d outside (0, %d]", shots, s.max*64))
+	if err := s.Validate(firstBlock, shots); err != nil {
+		panic(err)
 	}
 	s.fs.reset(shots, 0)
 	for wi := 0; wi < s.fs.words; wi++ {

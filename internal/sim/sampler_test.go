@@ -138,3 +138,67 @@ func snapshot(r *Result) [][]uint64 {
 	}
 	return out
 }
+
+// Validate must accept exactly the (0, max] shot range and reject the
+// boundary violations on either side, for both sampler flavours.
+func TestSamplerValidateBoundaries(t *testing.T) {
+	code := steane(t)
+	c := memoryCircuitWithNoise(t, code, fpn.Options{}, css.Z, 2, 0.01)
+	s := NewSampler(c, 128)
+	for _, tc := range []struct {
+		name  string
+		shots int
+		ok    bool
+	}{
+		{"zero", 0, false},
+		{"negative", -1, false},
+		{"one", 1, true},
+		{"max", 128, true},
+		{"max-plus-one", 129, false},
+	} {
+		err := s.Validate(tc.shots)
+		if (err == nil) != tc.ok {
+			t.Errorf("Sampler.Validate(%s=%d): err=%v, want ok=%v", tc.name, tc.shots, err, tc.ok)
+		}
+	}
+}
+
+func TestBlockSamplerValidateBoundaries(t *testing.T) {
+	code := steane(t)
+	c := memoryCircuitWithNoise(t, code, fpn.Options{}, css.Z, 2, 0.01)
+	s := NewBlockSampler(c, 2) // capacity 128 shots
+	for _, tc := range []struct {
+		name       string
+		firstBlock int
+		shots      int
+		ok         bool
+	}{
+		{"zero-shots", 0, 0, false},
+		{"negative-shots", 0, -64, false},
+		{"one-shot", 0, 1, true},
+		{"max-shots", 0, 128, true},
+		{"max-plus-one", 0, 129, false},
+		{"negative-block", -1, 64, false},
+		{"deep-block", 1 << 30, 64, true},
+	} {
+		err := s.Validate(tc.firstBlock, tc.shots)
+		if (err == nil) != tc.ok {
+			t.Errorf("BlockSampler.Validate(%s: first=%d shots=%d): err=%v, want ok=%v",
+				tc.name, tc.firstBlock, tc.shots, err, tc.ok)
+		}
+	}
+}
+
+// Run must refuse out-of-range counts loudly (panic with the Validate
+// error) rather than silently sampling garbage lanes.
+func TestSamplerRunPanicsOutOfRange(t *testing.T) {
+	code := steane(t)
+	c := memoryCircuitWithNoise(t, code, fpn.Options{}, css.Z, 2, 0.01)
+	s := NewSampler(c, 64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run(65) on a 64-lane sampler did not panic")
+		}
+	}()
+	s.Run(65, 1)
+}

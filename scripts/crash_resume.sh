@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Crash/resume integration check: run a checkpointed BER sweep, SIGKILL
+# it mid-sweep (no chance to clean up — the same failure mode as OOM
+# kills and node preemption), resume from the checkpoint directory, and
+# require the resumed stdout to be byte-identical to a golden run that
+# was never interrupted. Exercises the whole stack: atomic JSONL
+# checkpoint writes, config fingerprinting, block-prefix resume, and
+# byte-stable result reconstruction for finished points.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+# 20000 shots/point = 313 blocks, comfortably past the 256-block
+# checkpoint cadence, so the killed run leaves a *partial* record for
+# the in-flight point, not just done-markers for finished ones.
+args=(-fig 19 -ps 1e-3 -shots 20000 -workers 4 -seed 3)
+
+go build -o "$work/ber" ./cmd/ber
+
+echo "== golden run (uninterrupted)"
+"$work/ber" "${args[@]}" >"$work/golden.txt"
+
+echo "== checkpointed run, SIGKILL mid-sweep"
+ckpt="$work/ckpt"
+"$work/ber" "${args[@]}" -checkpoint "$ckpt" >"$work/killed.txt" 2>&1 &
+pid=$!
+# Kill as soon as the first checkpoint record lands, to leave most of
+# the sweep outstanding for the resume leg.
+for _ in $(seq 1 600); do
+    [ -s "$ckpt/sweep.jsonl" ] && break
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -9 "$pid" 2>/dev/null; then
+    wait "$pid" 2>/dev/null || true
+    echo "   killed pid $pid"
+else
+    echo "FAIL: sweep finished before it could be killed; grow -shots" >&2
+    exit 1
+fi
+if [ ! -s "$ckpt/sweep.jsonl" ]; then
+    echo "FAIL: SIGKILL'd run left no checkpoint records" >&2
+    exit 1
+fi
+echo "   checkpoint records: $(wc -l <"$ckpt/sweep.jsonl")"
+
+echo "== resumed run"
+"$work/ber" "${args[@]}" -checkpoint "$ckpt" -resume >"$work/resumed.txt"
+
+echo "== diff vs golden"
+if ! diff -u "$work/golden.txt" "$work/resumed.txt"; then
+    echo "FAIL: resumed sweep is not bit-identical to the golden run" >&2
+    exit 1
+fi
+echo "OK: resumed sweep byte-identical to the uninterrupted run"
