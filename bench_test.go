@@ -6,7 +6,6 @@
 package flagproxy
 
 import (
-	"math/rand"
 	"testing"
 
 	"github.com/fpn/flagproxy/internal/catalog"
@@ -379,7 +378,6 @@ func BenchmarkAblationRenormalization(b *testing.B) {
 	}
 	b.ReportMetric(withBER, "eq9-on-BER")
 	b.ReportMetric(withoutBER, "eq9-off-BER")
-	_ = rand.Int
 }
 
 // BenchmarkAblationLatencyAwareIdle contrasts the paper's latency-scaled

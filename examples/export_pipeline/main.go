@@ -47,7 +47,7 @@ func main() {
 		log.Fatal(err)
 	}
 	back, err := catalog.ReadJSON(in)
-	in.Close()
+	_ = in.Close() // read side; ReadJSON already consumed the data
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,8 @@ import (
 	"log"
 	"math/rand"
 
+	"github.com/fpn/flagproxy/internal/seedmix"
+
 	"github.com/fpn/flagproxy/internal/css"
 	"github.com/fpn/flagproxy/internal/experiment"
 	"github.com/fpn/flagproxy/internal/fpn"
@@ -27,7 +29,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(3))
+	rng := rand.New(rand.NewSource(seedmix.Derive(3, seedmix.String("quickstart-code-search"))))
 	var code *css.Code
 	for _, p := range group.FindRSPairs(g, 5, 5, rng, 3000, 5, 60) {
 		if p.Sub.Order() != 60 {

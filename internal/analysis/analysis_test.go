@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadSimple loads the driver's own fixture package once per test.
+func loadSimple(t *testing.T) (*Program, *Package) {
+	t.Helper()
+	prog, err := Load(LoadConfig{Dir: filepath.Join("testdata", "simple")}, ".")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(prog.Packages) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(prog.Packages))
+	}
+	return prog, prog.Packages[0]
+}
+
+func TestLoadResolvesModuleAndStdlib(t *testing.T) {
+	prog, pkg := loadSimple(t)
+	if prog.ModulePath != "github.com/fpn/flagproxy" {
+		t.Errorf("ModulePath = %q", prog.ModulePath)
+	}
+	if pkg.Name != "simple" {
+		t.Errorf("package name = %q, want simple", pkg.Name)
+	}
+	wantPath := prog.ModulePath + "/internal/analysis/testdata/simple"
+	if pkg.Path != wantPath {
+		t.Errorf("package path = %q, want %q", pkg.Path, wantPath)
+	}
+	// The stdlib "sort" import must have been type-checked from source:
+	// sort.Ints in helper resolves to a *types.Func with full signature.
+	fn := findFunc(t, pkg, "helper")
+	sig := fn.Type().(*types.Signature)
+	if got := sig.Results().Len(); got != 1 {
+		t.Errorf("helper results = %d, want 1", got)
+	}
+	if pkg.Types.Scope().Lookup("Options") == nil {
+		t.Error("Options not in package scope")
+	}
+}
+
+func TestDirectiveIndexing(t *testing.T) {
+	prog, pkg := loadSimple(t)
+
+	rootDecl, _ := prog.DeclOf(findFunc(t, pkg, "Root"))
+	if rootDecl == nil {
+		t.Fatal("DeclOf(Root) = nil")
+	}
+	if !prog.FuncHasDirective(DirHotpath, rootDecl) {
+		t.Error("Root should carry fpn:hotpath")
+	}
+	helperDecl, helperPkg := prog.DeclOf(findFunc(t, pkg, "helper"))
+	if helperPkg != pkg {
+		t.Errorf("DeclOf(helper) package = %v, want the fixture package", helperPkg)
+	}
+	if prog.FuncHasDirective(DirHotpath, helperDecl) {
+		t.Error("helper should not carry fpn:hotpath")
+	}
+
+	// fpnvet:sched sits above the Verbose field and must cover it but
+	// not its sibling Depth.
+	verbose, depth := findField(t, pkg, "Verbose"), findField(t, pkg, "Depth")
+	if !prog.HasDirective(DirSched, verbose.Pos()) {
+		t.Error("Verbose should carry fpnvet:sched")
+	}
+	if prog.HasDirective(DirSched, depth.Pos()) {
+		t.Error("Depth should not carry fpnvet:sched")
+	}
+
+	// fpnvet:orderless sits above the map range in keys.
+	rng := findRange(t, prog, pkg, "keys")
+	if !prog.HasDirective(DirOrderless, rng.Pos()) {
+		t.Error("map range in keys should carry fpnvet:orderless")
+	}
+	if prog.HasDirective(DirColdpath, rng.Pos()) {
+		t.Error("map range in keys should not carry fpnvet:coldpath")
+	}
+}
+
+func TestRunDedupesAndFormats(t *testing.T) {
+	prog, pkg := loadSimple(t)
+	pos := findFunc(t, pkg, "Root").Pos()
+	// Two analyzers report the same finding at the same position (as
+	// hotalloc does when call graphs rooted in different packages meet);
+	// Run must keep a single copy. The differently-named finding stays.
+	report := func(pass *Pass) error {
+		pass.Report(pos, "duplicate finding")
+		return nil
+	}
+	a := &Analyzer{Name: "dup", Run: report}
+	b := &Analyzer{Name: "dup", Run: report}
+	c := &Analyzer{Name: "other", Run: func(pass *Pass) error {
+		pass.Report(pos, "distinct finding")
+		return nil
+	}}
+	diags, err := Run(prog, []*Analyzer{a, b, c})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (dedupe failed): %v", len(diags), diags)
+	}
+	// Sorted by position then analyzer name: "dup" before "other".
+	if diags[0].Analyzer != "dup" || diags[1].Analyzer != "other" {
+		t.Errorf("diagnostic order = [%s %s], want [dup other]", diags[0].Analyzer, diags[1].Analyzer)
+	}
+	got := diags[0].String()
+	wantSuffix := "simple.go:7: [dup] duplicate finding"
+	if !strings.HasSuffix(got, wantSuffix) {
+		t.Errorf("Diagnostic.String() = %q, want suffix %q", got, wantSuffix)
+	}
+}
+
+func TestResultAffecting(t *testing.T) {
+	_, pkg := loadSimple(t)
+	if ResultAffecting(pkg) {
+		t.Error("fixture package simple must not be result-affecting")
+	}
+	for _, name := range []string{"sim", "experiment", "decoder", "dem", "catalog", "tiling", "group"} {
+		if !ResultAffecting(&Package{Name: name}) {
+			t.Errorf("package %s must be result-affecting", name)
+		}
+	}
+	if ResultAffecting(&Package{Name: "checkpoint"}) {
+		t.Error("harness package checkpoint must not be result-affecting")
+	}
+}
+
+// findFunc returns the *types.Func for a top-level function by name.
+func findFunc(t *testing.T, pkg *Package, name string) *types.Func {
+	t.Helper()
+	obj := pkg.Types.Scope().Lookup(name)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		t.Fatalf("function %s not found (got %v)", name, obj)
+	}
+	return fn
+}
+
+// findField returns the named struct field of the fixture's Options type.
+func findField(t *testing.T, pkg *Package, name string) *types.Var {
+	t.Helper()
+	obj := pkg.Types.Scope().Lookup("Options")
+	st := obj.Type().Underlying().(*types.Struct)
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); f.Name() == name {
+			return f
+		}
+	}
+	t.Fatalf("field Options.%s not found", name)
+	return nil
+}
+
+// findRange returns the first range statement in the named function.
+func findRange(t *testing.T, prog *Program, pkg *Package, fn string) *ast.RangeStmt {
+	t.Helper()
+	decl, _ := prog.DeclOf(findFunc(t, pkg, fn))
+	var rng *ast.RangeStmt
+	ast.Inspect(decl, func(n ast.Node) bool {
+		if r, ok := n.(*ast.RangeStmt); ok && rng == nil {
+			rng = r
+		}
+		return rng == nil
+	})
+	if rng == nil {
+		t.Fatalf("no range statement in %s", fn)
+	}
+	return rng
+}

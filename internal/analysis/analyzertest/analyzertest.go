@@ -1,0 +1,116 @@
+// Package analyzertest runs one analyzer over a fixture package and
+// checks its findings against expectations written in the fixture
+// source itself: a line that should be flagged carries a trailing
+//
+//	// want "regexp"
+//
+// comment whose pattern must match the diagnostic message reported on
+// that line. Findings without a matching want comment, and want
+// comments without a matching finding, both fail the test — so every
+// fixture simultaneously proves a true positive (the flagged line) and
+// a clean pass (every unannotated line).
+package analyzertest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/fpn/flagproxy/internal/analysis"
+)
+
+// wantRe extracts the quoted pattern of a want comment.
+var wantRe = regexp.MustCompile(`// want (".*")\s*$`)
+
+// expectation is one want comment of the fixture.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package rooted at dir (usually "testdata/<x>"),
+// applies the analyzer, and compares findings against want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := analysis.Load(analysis.LoadConfig{Dir: abs}, ".")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(prog, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	wants := collectWants(t, prog, abs)
+	for _, d := range diags {
+		if !strings.HasPrefix(d.Pos.Filename, abs+string(filepath.Separator)) {
+			// Findings in dependency packages pulled in by the fixture
+			// are outside the fixture's contract.
+			continue
+		}
+		if w := matchWant(wants, d.Pos.Filename, d.Pos.Line, d.Message); w == nil {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected a %s finding matching %q, got none",
+				w.file, w.line, a.Name, w.pattern)
+		}
+	}
+}
+
+// collectWants scans the fixture package's files for want comments.
+func collectWants(t *testing.T, prog *analysis.Program, root string) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, pkg := range prog.Packages {
+		if !strings.HasPrefix(pkg.Dir, root) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pat, err := strconv.Unquote(m[1])
+					if err != nil {
+						t.Fatalf("bad want comment %q: %v", c.Text, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("bad want pattern %q: %v", pat, err)
+					}
+					pos := prog.Fset.Position(c.Slash)
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// matchWant finds and consumes the first unmatched expectation on the
+// diagnostic's line whose pattern matches its message.
+func matchWant(wants []*expectation, file string, line int, msg string) *expectation {
+	for _, w := range wants {
+		if w.matched || w.file != file || w.line != line {
+			continue
+		}
+		if w.pattern.MatchString(msg) {
+			w.matched = true
+			return w
+		}
+	}
+	return nil
+}

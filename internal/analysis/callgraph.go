@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Callees returns every statically resolvable function or method called
+// inside node: direct calls to package-level functions and calls to
+// methods on concrete receivers, looked up through the type-checker.
+// Dynamic calls (interface methods, function-typed fields and
+// variables) resolve to no *types.Func declaration and are skipped —
+// analyzers that need them must reason about the concrete values
+// separately.
+func (pkg *Package) Callees(node ast.Node) []*types.Func {
+	var out []*types.Func
+	ast.Inspect(node, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := pkg.calleeOf(call); fn != nil {
+			out = append(out, fn)
+		}
+		return true
+	})
+	return out
+}
+
+// calleeOf resolves a call expression to the *types.Func it statically
+// invokes, or nil for dynamic and built-in calls.
+func (pkg *Package) calleeOf(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pkg.TypesInfo.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.TypesInfo.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.Fn(...)
+		if fn, ok := pkg.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// Reachable walks the static call graph from the given roots,
+// visiting every function of the loaded program reachable from them
+// (including the roots themselves). Visit is called once per reached
+// declaration and returns whether to descend into that function's
+// callees; interface dispatch and function values are never followed.
+func (p *Program) Reachable(roots []*types.Func, visit func(fn *types.Func, decl *ast.FuncDecl, pkg *Package) bool) {
+	seen := map[*types.Func]bool{}
+	var walk func(fn *types.Func)
+	walk = func(fn *types.Func) {
+		if seen[fn] {
+			return
+		}
+		seen[fn] = true
+		decl, pkg := p.DeclOf(fn)
+		if decl == nil || decl.Body == nil {
+			return
+		}
+		if !visit(fn, decl, pkg) {
+			return
+		}
+		for _, callee := range pkg.Callees(decl.Body) {
+			walk(callee)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+}

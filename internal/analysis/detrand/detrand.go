@@ -1,0 +1,153 @@
+// Package detrand forbids nondeterministic random-number use in the
+// result-affecting packages (sim, experiment, decoder, dem, catalog,
+// tiling, group). Every RNG stream there must be reproducible from one
+// base seed, which in this repository means it is either derived with
+// package seedmix or threaded in explicitly by the caller:
+//
+//   - calls to math/rand's global-source functions (rand.Intn,
+//     rand.Float64, rand.Perm, rand.Seed, ...) are always findings —
+//     the global source is shared, lockable state whose consumption
+//     order depends on goroutine scheduling;
+//   - rand.NewSource(expr) is clean when expr contains a seedmix call
+//     (seedmix.Derive, seedmix.Mix64, ...), when expr is a plain
+//     identifier or field selector (a pass-through seed whose
+//     provenance is the caller's responsibility), or when expr is the
+//     literal 0 (a placeholder source that is re-seeded before use);
+//   - any other seed expression — a nonzero literal, or arithmetic like
+//     seed+1 that collides across derivation sites — is a finding.
+package detrand
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/fpn/flagproxy/internal/analysis"
+)
+
+// Analyzer is the detrand check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc:  "forbid math/rand global state and underived RNG seeds in result-affecting packages",
+	Run:  run,
+}
+
+// globalFns are the math/rand package-level functions backed by the
+// shared global source.
+var globalFns = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true, "N": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.ResultAffecting(pass.Pkg) {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, ok := packageQualifier(pass, sel)
+			if !ok || (pkgPath != "math/rand" && pkgPath != "math/rand/v2") {
+				return true
+			}
+			name := sel.Sel.Name
+			if globalFns[name] {
+				pass.Report(call.Pos(),
+					"call to math/rand global-source function rand.%s; derive a local source via seedmix instead", name)
+				return true
+			}
+			if name == "NewSource" && len(call.Args) == 1 {
+				if !seedAllowed(pass, call.Args[0]) {
+					pass.Report(call.Pos(),
+						"rand.NewSource seed %q is neither seedmix-derived nor a pass-through seed variable; use seedmix.Derive", exprString(pass, call.Args[0]))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// packageQualifier resolves sel's X to an imported package path, if the
+// selector is a package-qualified reference.
+func packageQualifier(pass *analysis.Pass, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := pass.Pkg.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}
+
+// seedAllowed reports whether a NewSource argument is acceptable.
+func seedAllowed(pass *analysis.Pass, arg ast.Expr) bool {
+	arg = ast.Unparen(arg)
+	// Literal 0: placeholder source, re-seeded before any draw.
+	if lit, ok := arg.(*ast.BasicLit); ok && lit.Kind == token.INT && lit.Value == "0" {
+		return true
+	}
+	switch e := arg.(type) {
+	case *ast.Ident:
+		// Pass-through seed parameter or variable.
+		return true
+	case *ast.SelectorExpr:
+		// Pass-through seed field (cfg.Seed, opt.Seed) — but not a
+		// package-level variable of math/rand itself.
+		if path, ok := packageQualifier(pass, e); ok {
+			return path != "math/rand" && path != "math/rand/v2"
+		}
+		return true
+	}
+	// Anything else must contain a seedmix derivation.
+	return containsSeedmixCall(pass, arg)
+}
+
+// containsSeedmixCall reports whether any call to the seedmix package
+// appears inside expr.
+func containsSeedmixCall(pass *analysis.Pass, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if path, ok := packageQualifier(pass, sel); ok &&
+				path == "github.com/fpn/flagproxy/internal/seedmix" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// exprString renders a short structural form of expr for finding text.
+func exprString(pass *analysis.Pass, expr ast.Expr) string {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(pass, e.X) + "." + e.Sel.Name
+	case *ast.BinaryExpr:
+		return exprString(pass, e.X) + " " + e.Op.String() + " " + exprString(pass, e.Y)
+	case *ast.CallExpr:
+		return exprString(pass, e.Fun) + "(...)"
+	}
+	return "<expr>"
+}

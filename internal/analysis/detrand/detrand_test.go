@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"github.com/fpn/flagproxy/internal/analysis/analyzertest"
+	"github.com/fpn/flagproxy/internal/analysis/detrand"
+)
+
+func TestFixture(t *testing.T) {
+	analyzertest.Run(t, detrand.Analyzer, "testdata/sim")
+}

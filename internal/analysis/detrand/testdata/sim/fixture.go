@@ -1,0 +1,32 @@
+// Package sim is a detrand fixture masquerading as a result-affecting
+// package (the analyzer matches on package name).
+package sim
+
+import (
+	"math/rand"
+
+	"github.com/fpn/flagproxy/internal/seedmix"
+)
+
+// Global-source functions are always findings.
+func globals() int {
+	rand.Seed(42)       // want "global-source function rand.Seed"
+	x := rand.Intn(10)  // want "global-source function rand.Intn"
+	f := rand.Float64() // want "global-source function rand.Float64"
+	p := rand.Perm(4)   // want "global-source function rand.Perm"
+	return x + int(f) + p[0]
+}
+
+// Seeds must be seedmix-derived, pass-through, or the literal 0.
+func sources(seed int64, cfg struct{ Seed int64 }) *rand.Rand {
+	bad1 := rand.New(rand.NewSource(3))            // want "neither seedmix-derived nor a pass-through"
+	bad2 := rand.New(rand.NewSource(seed + 1))     // want "neither seedmix-derived nor a pass-through"
+	bad3 := rand.New(rand.NewSource(cfg.Seed * 2)) // want "neither seedmix-derived nor a pass-through"
+	good1 := rand.New(rand.NewSource(seed))        // pass-through parameter
+	good2 := rand.New(rand.NewSource(cfg.Seed))    // pass-through field
+	good3 := rand.New(rand.NewSource(0))           // placeholder, reseeded later
+	good4 := rand.New(rand.NewSource(seedmix.Derive(seed, 7)))
+	good5 := rand.New(rand.NewSource(seedmix.Derive(seed, seedmix.String("stream")) + 0))
+	_ = []*rand.Rand{bad1, bad2, bad3, good1, good2, good3, good4}
+	return good5
+}

@@ -1,0 +1,113 @@
+package analysis
+
+// Annotation directives. Three comment forms let code opt in to or out
+// of specific analyzers:
+//
+//	//fpn:hotpath              — on a function declaration: this function
+//	                             is a decode hot-path root; hotalloc
+//	                             walks its whole call graph.
+//	//fpnvet:orderless <why>   — on (or immediately above) a statement
+//	                             that ranges over a map: the loop body is
+//	                             order-insensitive, so maporder skips it.
+//	//fpnvet:sched <why>       — on a struct field: the field only
+//	                             shapes scheduling/IO, never results, so
+//	                             fingerprintcover does not require it in
+//	                             the checkpoint fingerprint.
+//	//fpnvet:coldpath <why>    — on a function: a sanctioned rare
+//	                             fallback (OSD-0, residual repair) that
+//	                             may allocate; hotalloc prunes its whole
+//	                             subgraph.
+//
+// Directives are matched by file position: a directive covers the source
+// line it sits on and the line directly below it, which handles both
+// end-of-line and above-the-statement placement.
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const (
+	DirHotpath   = "fpn:hotpath"
+	DirOrderless = "fpnvet:orderless"
+	DirSched     = "fpnvet:sched"
+	DirColdpath  = "fpnvet:coldpath"
+)
+
+// noteKey identifies one source line of one file.
+type noteKey struct {
+	file string
+	line int
+}
+
+// noteIndex maps (file, line) to the directives present there.
+type noteIndex struct {
+	at map[noteKey][]string
+}
+
+// indexNotes scans every comment of every loaded file for directives.
+func indexNotes(prog *Program) *noteIndex {
+	idx := &noteIndex{at: map[noteKey][]string{}}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					name, ok := directiveName(text)
+					if !ok {
+						continue
+					}
+					pos := prog.Fset.Position(c.Slash)
+					k := noteKey{file: pos.Filename, line: pos.Line}
+					idx.at[k] = append(idx.at[k], name)
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// directiveName extracts the directive identifier from a comment body,
+// if any. Directives are machine comments: no space after "//".
+func directiveName(text string) (string, bool) {
+	for _, d := range []string{DirHotpath, DirOrderless, DirSched, DirColdpath} {
+		if text == d || strings.HasPrefix(text, d+" ") {
+			return d, true
+		}
+	}
+	return "", false
+}
+
+// has reports whether directive name is attached to the given line of
+// file (on the line itself, e.g. a trailing comment, or the line above).
+func (idx *noteIndex) has(name, file string, line int) bool {
+	for _, l := range []int{line, line - 1} {
+		for _, d := range idx.at[noteKey{file: file, line: l}] {
+			if d == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// HasDirective reports whether the directive is attached to the source
+// line containing pos (or the line above it).
+func (p *Program) HasDirective(name string, pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	return p.notes.has(name, position.Filename, position.Line)
+}
+
+// FuncHasDirective reports whether a function declaration carries the
+// directive in its doc comment or on its declaration line.
+func (p *Program) FuncHasDirective(name string, fd *ast.FuncDecl) bool {
+	if fd.Doc != nil {
+		for _, c := range fd.Doc.List {
+			if d, ok := directiveName(strings.TrimPrefix(c.Text, "//")); ok && d == name {
+				return true
+			}
+		}
+	}
+	return p.HasDirective(name, fd.Pos())
+}

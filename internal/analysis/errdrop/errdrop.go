@@ -1,0 +1,129 @@
+// Package errdrop flags silently dropped errors: a call used as a bare
+// expression statement whose last result is an error. Checkpoint
+// integrity depends on every Sync/Close/Flush error surfacing (a
+// swallowed write error can commit a truncated resume file), so unlike
+// go vet's errcheck-adjacent heuristics this is a repo-wide rule.
+// Deliberate discards stay readable and legal in two forms: `_ = f()`
+// (visible discard) and `defer f()` (cleanup on an already-failing
+// path). Calls into package fmt are exempt — diagnostic prints to
+// stderr are not checkpoint state.
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/fpn/flagproxy/internal/analysis"
+)
+
+// Analyzer is the errdrop check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc:  "forbid calls whose error result is silently dropped",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fmtCall(pass, call) || neverFails(pass, call) {
+				return true
+			}
+			if lastResultIsError(pass, call) {
+				pass.Report(call.Pos(),
+					"error result of %s is silently dropped; handle it or discard explicitly with _ =", calleeName(call))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// fmtCall reports whether the call targets package fmt.
+func fmtCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.Pkg.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "fmt"
+}
+
+// neverFails reports whether the call is a method on a writer
+// documented to never return a non-nil error (strings.Builder,
+// bytes.Buffer), whose error results exist only to satisfy io
+// interfaces.
+func neverFails(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s, ok := pass.Pkg.TypesInfo.Selections[sel]
+	if !ok {
+		return false
+	}
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	return full == "strings.Builder" || full == "bytes.Buffer"
+}
+
+// lastResultIsError inspects the call's type: a lone error or a tuple
+// ending in error.
+func lastResultIsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.Pkg.TypesInfo.Types[call]
+	if !ok {
+		return false
+	}
+	var last types.Type
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		if t.Len() == 0 {
+			return false
+		}
+		last = t.At(t.Len() - 1).Type()
+	default:
+		last = t
+	}
+	return isErrorType(last)
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// calleeName renders the called function for the finding text.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

@@ -1,0 +1,12 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"github.com/fpn/flagproxy/internal/analysis/analyzertest"
+	"github.com/fpn/flagproxy/internal/analysis/errdrop"
+)
+
+func TestFixture(t *testing.T) {
+	analyzertest.Run(t, errdrop.Analyzer, "testdata/checkpoint")
+}

@@ -1,0 +1,31 @@
+// Package checkpoint is an errdrop fixture: dropped, discarded,
+// deferred, and handled error returns.
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func flush(f *os.File) error {
+	f.Sync() // want "error result of f.Sync is silently dropped"
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	_ = f.Close() // explicit discard: fine
+	return nil
+}
+
+func report(sb *strings.Builder, n int) string {
+	sb.WriteString("shots=") // strings.Builder never fails: fine
+	fmt.Fprintf(sb, "%d", n) // fmt is exempt
+	return sb.String()
+}
+
+func noError() {
+	helper() // no error result: fine
+}
+
+func helper() {}

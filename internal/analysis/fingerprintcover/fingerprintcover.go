@@ -1,0 +1,156 @@
+// Package fingerprintcover enforces checkpoint-key completeness: every
+// field of a Config struct that has a Fingerprint method must be read
+// somewhere in the fingerprint computation — directly in Fingerprint()
+// or transitively through same-module helpers it calls (hashCode,
+// hashSchedule, ...) — or be explicitly tagged //fpnvet:sched with a
+// reason. A physics knob missing from the fingerprint is a silent
+// checkpoint-poisoning bug: two runs with different physics would share
+// a resume key and splice incompatible tallies; this analyzer makes
+// adding a Config field without deciding its fingerprint status a CI
+// failure. Fields of embedded structs count transitively.
+package fingerprintcover
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/fpn/flagproxy/internal/analysis"
+)
+
+// Analyzer is the fingerprintcover check.
+var Analyzer = &analysis.Analyzer{
+	Name: "fingerprintcover",
+	Doc:  "require every Config field to be hashed in Fingerprint() or tagged //fpnvet:sched",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != "Config" {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				checkConfig(pass, ts, st)
+			}
+		}
+	}
+	return nil
+}
+
+// checkConfig verifies one Config struct against its Fingerprint method.
+func checkConfig(pass *analysis.Pass, ts *ast.TypeSpec, st *ast.StructType) {
+	obj, ok := pass.Pkg.TypesInfo.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		return
+	}
+	fp := lookupMethod(named, "Fingerprint")
+	if fp == nil {
+		return
+	}
+	covered := coveredFields(pass, fp)
+	reportUncovered(pass, named, covered, map[*types.Named]bool{})
+}
+
+// lookupMethod finds a method by name on the named type (value or
+// pointer receiver).
+func lookupMethod(named *types.Named, name string) *types.Func {
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); m.Name() == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// coveredFields collects every struct field object selected anywhere in
+// the code statically reachable from Fingerprint. Helper functions the
+// fingerprint delegates to (hashCode(h, cfg), hashSchedule(h, s)) are
+// part of the reachable set, so fields they read count as covered.
+func coveredFields(pass *analysis.Pass, fp *types.Func) map[*types.Var]bool {
+	covered := map[*types.Var]bool{}
+	pass.Prog.Reachable([]*types.Func{fp}, func(fn *types.Func, decl *ast.FuncDecl, pkg *analysis.Package) bool {
+		ast.Inspect(decl, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s, ok := pkg.TypesInfo.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			// An embedded-path selection (cfg.X reaching through an
+			// embedded struct) records every implicit step, so mark
+			// the final field and let reportUncovered handle nesting.
+			covered[s.Obj().(*types.Var)] = true
+			return true
+		})
+		return true
+	})
+	return covered
+}
+
+// reportUncovered walks the Config struct's fields — recursing into
+// embedded structs declared in this module — and reports any field that
+// is neither covered nor tagged //fpnvet:sched.
+func reportUncovered(pass *analysis.Pass, named *types.Named, covered map[*types.Var]bool, seen map[*types.Named]bool) {
+	if seen[named] {
+		return
+	}
+	seen[named] = true
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Embedded() {
+			if en, ok := derefNamed(f.Type()); ok {
+				// The embedded struct's own fields must each be
+				// covered; covering the embedded value as a whole
+				// (hashing cfg.Inner wholesale) also suffices.
+				if !covered[f] {
+					reportUncovered(pass, en, covered, seen)
+				}
+				continue
+			}
+		}
+		if covered[f] {
+			continue
+		}
+		if pass.Prog.HasDirective(analysis.DirSched, f.Pos()) {
+			continue
+		}
+		pass.Report(f.Pos(),
+			"field %s.%s is not hashed by Fingerprint(); hash it or tag //fpnvet:sched <why> if it cannot affect results",
+			named.Obj().Name(), f.Name())
+	}
+}
+
+// derefNamed unwraps *T / T to the named struct type, if any.
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	if _, ok := n.Underlying().(*types.Struct); !ok {
+		return nil, false
+	}
+	return n, true
+}

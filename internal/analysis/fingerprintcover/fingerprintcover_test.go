@@ -1,0 +1,26 @@
+package fingerprintcover_test
+
+import (
+	"testing"
+
+	"github.com/fpn/flagproxy/internal/analysis/analyzertest"
+	"github.com/fpn/flagproxy/internal/analysis/fingerprintcover"
+)
+
+// TestMissingField proves a Config field absent from Fingerprint() is a
+// finding even when other fields are hashed through helpers.
+func TestMissingField(t *testing.T) {
+	analyzertest.Run(t, fingerprintcover.Analyzer, "testdata/missing")
+}
+
+// TestTaggedField proves //fpnvet:sched exempts scheduling-only fields.
+func TestTaggedField(t *testing.T) {
+	analyzertest.Run(t, fingerprintcover.Analyzer, "testdata/tagged")
+}
+
+// TestEmbeddedStruct proves embedded-struct fields are required
+// transitively, and that hashing the embedded value wholesale covers
+// its fields.
+func TestEmbeddedStruct(t *testing.T) {
+	analyzertest.Run(t, fingerprintcover.Analyzer, "testdata/embedded")
+}

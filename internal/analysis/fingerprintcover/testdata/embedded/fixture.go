@@ -1,0 +1,33 @@
+// Package embedded is a fingerprintcover fixture: fields of embedded
+// structs are required transitively. Noise.P is hashed through the
+// embedded path, Noise.PM is not; Arch is covered wholesale by hashing
+// the embedded value itself.
+package embedded
+
+import (
+	"crypto/sha256"
+	"fmt"
+)
+
+type Noise struct {
+	P  float64
+	PM float64 // want "field Noise.PM is not hashed by Fingerprint"
+}
+
+type Arch struct {
+	MaxDegree int
+	Sharing   bool
+}
+
+type Config struct {
+	Noise
+	Arch
+	Rounds int
+}
+
+func (c Config) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "p=%v|rounds=%d|", c.P, c.Rounds)
+	fmt.Fprintf(h, "arch=%v|", c.Arch)
+	return fmt.Sprintf("%x", h.Sum(nil))
+}

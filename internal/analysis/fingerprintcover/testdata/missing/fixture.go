@@ -1,0 +1,27 @@
+// Package missing is a fingerprintcover fixture: one Config field is
+// hashed directly, one through a helper, and one not at all.
+package missing
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"hash"
+)
+
+type Config struct {
+	P     float64
+	Seed  int64
+	Shots int // want "field Config.Shots is not hashed by Fingerprint"
+}
+
+func (c Config) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "p=%v|", c.P)
+	hashSeed(h, c)
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// hashSeed is a helper the coverage walk must follow.
+func hashSeed(h hash.Hash, c Config) {
+	fmt.Fprintf(h, "seed=%d|", c.Seed)
+}

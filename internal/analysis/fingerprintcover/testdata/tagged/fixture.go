@@ -1,0 +1,22 @@
+// Package tagged is a fingerprintcover fixture: a scheduling-only
+// field carries the //fpnvet:sched tag and is exempt.
+package tagged
+
+import (
+	"crypto/sha256"
+	"fmt"
+)
+
+type Config struct {
+	P float64
+	//fpnvet:sched worker count regroups shards without changing streams
+	Workers int
+	//fpnvet:sched progress callback observes results only
+	OnCommit func()
+}
+
+func (c Config) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "p=%v|", c.P)
+	return fmt.Sprintf("%x", h.Sum(nil))
+}

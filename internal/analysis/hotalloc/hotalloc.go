@@ -1,0 +1,304 @@
+// Package hotalloc enforces the repository's zero-allocation decode
+// guarantee statically. Functions annotated //fpn:hotpath are decode
+// hot-path roots (the DecodeWith entry points); hotalloc walks their
+// entire statically-resolvable call graph — across packages — and flags
+// every construct that heap-allocates per shot:
+//
+//   - make and new calls,
+//   - pointer-to-composite (&T{...}), slice, and map literals,
+//   - append whose result is not assigned back to the appended slice
+//     (self-appends are the amortized-growth idiom and stay),
+//   - calls into package fmt outside return statements and panics
+//     (error formatting on failure paths is fine; formatting per shot
+//     is not).
+//
+// The one sanctioned escape hatch is the guarded-growth idiom: an
+// allocation inside an if-statement whose condition reads cap() or
+// len() is amortized capacity growth (growBools, FlagSet.Add,
+// ensureClassOverlay, ...) and is allowed. The runtime allocation gate
+// (TestDecodeSteadyStateZeroAlloc) proves the steady state allocates
+// nothing; this analyzer explains *why* and catches regressions at
+// review time, before a benchmark ever runs.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/fpn/flagproxy/internal/analysis"
+)
+
+// Analyzer is the hotalloc check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbid per-shot heap allocation in //fpn:hotpath call graphs",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Roots are collected per package; the walk then crosses package
+	// boundaries freely (decoder → dem → matching).
+	var roots []*types.Func
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if !pass.Prog.FuncHasDirective(analysis.DirHotpath, fd) {
+				continue
+			}
+			if fn, ok := pass.Pkg.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				roots = append(roots, fn)
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+	pass.Prog.Reachable(roots, func(fn *types.Func, decl *ast.FuncDecl, pkg *analysis.Package) bool {
+		if pass.Prog.FuncHasDirective(analysis.DirColdpath, decl) {
+			return false
+		}
+		checkFunc(pass, pkg, fn, decl)
+		return true
+	})
+	return nil
+}
+
+// checkFunc scans one reached function body for per-shot allocations.
+func checkFunc(pass *analysis.Pass, pkg *analysis.Package, fn *types.Func, decl *ast.FuncDecl) {
+	parents := parentMap(decl)
+	where := fn.Name()
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			switch callName(pkg, e) {
+			case "make":
+				if !growthGuarded(parents, e) {
+					pass.Report(e.Pos(), "make in hot path %s allocates per shot; reuse scratch storage or guard growth with a cap()/len() check", where)
+				}
+			case "new":
+				if !growthGuarded(parents, e) {
+					pass.Report(e.Pos(), "new in hot path %s allocates per shot; reuse scratch storage", where)
+				}
+			case "append":
+				if !selfAppend(parents, e) && !passThroughAppend(parents, e) && !growthGuarded(parents, e) {
+					pass.Report(e.Pos(), "append in hot path %s does not write back to the appended slice; only self-appends amortize", where)
+				}
+			}
+			if fmtCall(pkg, e) && !onFailurePath(parents, e) {
+				pass.Report(e.Pos(), "fmt call in hot path %s boxes arguments per shot; format only on return/panic failure paths", where)
+			}
+		case *ast.CompositeLit:
+			if allocatingLiteral(pkg, parents, e) && !growthGuarded(parents, e) {
+				pass.Report(e.Pos(), "composite literal in hot path %s escapes to the heap; reuse scratch storage", where)
+			}
+		}
+		return true
+	})
+}
+
+// parentMap records each node's syntactic parent inside decl.
+func parentMap(decl *ast.FuncDecl) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(decl, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// callName returns the builtin name a call invokes, or "".
+func callName(pkg *analysis.Package, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := pkg.TypesInfo.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// fmtCall reports whether the call targets package fmt.
+func fmtCall(pkg *analysis.Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pkg.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "fmt"
+}
+
+// growthGuarded reports whether n sits inside an if-statement whose
+// condition inspects cap() or len() (the amortized-growth idiom) or
+// compares against nil (lazy one-time initialization of reused
+// storage).
+func growthGuarded(parents map[ast.Node]ast.Node, n ast.Node) bool {
+	for p := parents[n]; p != nil; p = parents[p] {
+		ifs, ok := p.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		guarded := false
+		ast.Inspect(ifs.Cond, func(c ast.Node) bool {
+			switch e := c.(type) {
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && (id.Name == "cap" || id.Name == "len") {
+					guarded = true
+					return false
+				}
+			case *ast.BinaryExpr:
+				if isNil(e.X) || isNil(e.Y) {
+					guarded = true
+					return false
+				}
+			}
+			return true
+		})
+		if guarded {
+			return true
+		}
+	}
+	return false
+}
+
+// isNil reports whether e is the predeclared nil.
+func isNil(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// onFailurePath reports whether n is inside a return statement, a
+// panic call, or a block guarded by recover() — the contexts where
+// error formatting is acceptable because the shot already failed.
+func onFailurePath(parents map[ast.Node]ast.Node, n ast.Node) bool {
+	for p := parents[n]; p != nil; p = parents[p] {
+		if _, ok := p.(*ast.ReturnStmt); ok {
+			return true
+		}
+		if call, ok := p.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+		if ifs, ok := p.(*ast.IfStmt); ok && guardsRecover(ifs) {
+			return true
+		}
+	}
+	return false
+}
+
+// guardsRecover reports whether the if-statement's init or condition
+// calls recover() — the body only runs when a panic is in flight.
+func guardsRecover(ifs *ast.IfStmt) bool {
+	found := false
+	check := func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		ast.Inspect(n, func(c ast.Node) bool {
+			if call, ok := c.(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "recover" {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	check(ifs.Init)
+	check(ifs.Cond)
+	return found
+}
+
+// selfAppend reports whether the append call's result is assigned back
+// to the slice being appended to: x = append(x, ...), including the
+// reslice-and-refill form x = append(x[:0], ...).
+func selfAppend(parents map[ast.Node]ast.Node, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	asg, ok := parents[call].(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	arg := ast.Unparen(call.Args[0])
+	if sl, ok := arg.(*ast.SliceExpr); ok {
+		arg = sl.X
+	}
+	for i, rhs := range asg.Rhs {
+		if ast.Unparen(rhs) == call && i < len(asg.Lhs) {
+			return sameLValue(asg.Lhs[i], arg)
+		}
+	}
+	return false
+}
+
+// passThroughAppend reports whether the append call is the expression
+// of a return statement — the `return append(out, v)` idiom where the
+// caller assigns the result back to its own slice.
+func passThroughAppend(parents map[ast.Node]ast.Node, call *ast.CallExpr) bool {
+	_, ok := parents[call].(*ast.ReturnStmt)
+	return ok
+}
+
+// sameLValue compares ident/selector/index/deref chains structurally.
+func sameLValue(a, b ast.Expr) bool {
+	a, b = ast.Unparen(a), ast.Unparen(b)
+	switch x := a.(type) {
+	case *ast.Ident:
+		y, ok := b.(*ast.Ident)
+		return ok && x.Name == y.Name
+	case *ast.SelectorExpr:
+		y, ok := b.(*ast.SelectorExpr)
+		return ok && x.Sel.Name == y.Sel.Name && sameLValue(x.X, y.X)
+	case *ast.IndexExpr:
+		y, ok := b.(*ast.IndexExpr)
+		return ok && sameLValue(x.X, y.X) && sameLValue(x.Index, y.Index)
+	case *ast.StarExpr:
+		y, ok := b.(*ast.StarExpr)
+		return ok && sameLValue(x.X, y.X)
+	}
+	return false
+}
+
+// allocatingLiteral reports whether a composite literal heap-allocates:
+// slice and map literals always do; struct literals only when their
+// address is taken. Nested literals inside a flagged outer literal are
+// not re-reported.
+func allocatingLiteral(pkg *analysis.Package, parents map[ast.Node]ast.Node, lit *ast.CompositeLit) bool {
+	if _, inLit := parents[lit].(*ast.CompositeLit); inLit {
+		return false
+	}
+	if kv, ok := parents[lit].(*ast.KeyValueExpr); ok {
+		if _, inLit := parents[kv].(*ast.CompositeLit); inLit {
+			return false
+		}
+	}
+	tv, ok := pkg.TypesInfo.Types[lit]
+	if !ok {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	if u, ok := parents[lit].(*ast.UnaryExpr); ok && u.Op.String() == "&" {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"github.com/fpn/flagproxy/internal/analysis/analyzertest"
+	"github.com/fpn/flagproxy/internal/analysis/hotalloc"
+)
+
+func TestFixture(t *testing.T) {
+	analyzertest.Run(t, hotalloc.Analyzer, "testdata/decoder")
+}

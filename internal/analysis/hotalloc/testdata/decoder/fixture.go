@@ -1,0 +1,62 @@
+// Package decoder is a hotalloc fixture: hot-path roots, helpers the
+// call graph must reach, sanctioned growth idioms, and a cold path the
+// walk must prune.
+package decoder
+
+import "fmt"
+
+type scratch struct {
+	buf  []int
+	m    map[int]int
+	heap []float64
+}
+
+// DecodeWith is a hot-path root; its whole call graph is checked.
+//
+//fpn:hotpath
+func DecodeWith(sc *scratch, n int) ([]int, error) {
+	direct := make([]int, n) // want "make in hot path DecodeWith"
+	sc.buf = grow(sc.buf, n)
+	sc.buf = append(sc.buf[:0], direct...)
+	helper(sc, n)
+	if n < 0 {
+		return nil, fmt.Errorf("decoder: negative shot size %d", n) // failure path: fine
+	}
+	if n > 1<<20 {
+		return rare(sc, n), nil
+	}
+	return sc.buf, nil
+}
+
+// helper is reached transitively from the root.
+func helper(sc *scratch, n int) {
+	sc.heap = append(sc.heap, float64(n)) // self-append: fine
+	other := append(sc.buf, n)            // want "append in hot path helper"
+	lit := []int{n}                       // want "composite literal in hot path helper"
+	if sc.m == nil {
+		sc.m = map[int]int{} // lazy init behind nil guard: fine
+	}
+	fmt.Println(other, lit) // want "fmt call in hot path helper"
+}
+
+// grow is the sanctioned amortized-growth idiom.
+func grow(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// rare is a sanctioned fallback; the walk stops here.
+//
+//fpnvet:coldpath fixture cold path may allocate
+func rare(sc *scratch, n int) []int {
+	out := make([]int, n)
+	copy(out, sc.buf)
+	return out
+}
+
+// unreached is not in any hot call graph, so it may allocate freely.
+func unreached(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,327 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package of the module
+// under analysis.
+type Package struct {
+	Path  string // import path ("github.com/fpn/flagproxy/internal/sim")
+	Dir   string // absolute directory
+	Name  string // package name
+	Files []*ast.File
+
+	Types     *types.Package
+	TypesInfo *types.Info
+
+	prog *Program
+}
+
+// Program is the set of packages loaded for one fpnvet run, plus the
+// shared file set and cross-package indexes analyzers need (function
+// declarations by object, annotation directives by position).
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package // in load (dependency) order
+
+	ModulePath string
+	ModuleRoot string
+
+	byPath map[string]*Package
+	decls  map[*types.Func]*funcDecl
+	notes  *noteIndex
+}
+
+// funcDecl ties a function declaration to its defining package.
+type funcDecl struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+// LoadConfig controls where packages are loaded from.
+type LoadConfig struct {
+	// Dir is the working directory patterns are resolved against. It
+	// must be inside a module (a directory tree with a go.mod).
+	Dir string
+}
+
+// Load parses and type-checks the packages matched by patterns.
+// Supported patterns are "./..." (every package under Dir), "./x/..."
+// and plain relative directories ("./internal/sim"). Standard-library
+// imports are type-checked from GOROOT source; module-internal imports
+// are resolved against the module root, so the set of loaded packages
+// is closed under intra-module dependencies.
+func Load(cfg LoadConfig, patterns ...string) (*Program, error) {
+	dir := cfg.Dir
+	if dir == "" {
+		dir = "."
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{
+		Fset:       token.NewFileSet(),
+		ModulePath: modPath,
+		ModuleRoot: root,
+		byPath:     map[string]*Package{},
+		decls:      map[*types.Func]*funcDecl{},
+	}
+	dirs, err := expandPatterns(abs, root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	ld := &loader{prog: prog, parsed: map[string]*parsedPkg{}, loading: map[string]bool{}}
+	for _, d := range dirs {
+		if _, err := ld.load(d); err != nil {
+			if _, ok := err.(*build.NoGoError); ok {
+				continue
+			}
+			return nil, err
+		}
+	}
+	prog.notes = indexNotes(prog)
+	prog.indexDecls()
+	return prog, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, path string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// expandPatterns resolves command-line patterns to package directories.
+func expandPatterns(dir, root string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, p := range patterns {
+		if base, ok := strings.CutSuffix(p, "/..."); ok {
+			start := filepath.Join(dir, base)
+			err := filepath.WalkDir(start, func(path string, de os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !de.IsDir() {
+					return nil
+				}
+				if skipDir(de.Name()) && path != start {
+					return filepath.SkipDir
+				}
+				if hasGoFiles(path) {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		add(filepath.Join(dir, p))
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// skipDir reports whether a directory subtree is excluded from pattern
+// expansion: testdata fixtures, hidden and underscore directories, and
+// vendored code.
+func skipDir(name string) bool {
+	return name == "testdata" || name == "vendor" ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// parsedPkg is a package mid-load: parsed but not yet type-checked.
+type parsedPkg struct {
+	dir     string
+	path    string
+	name    string
+	files   []*ast.File
+	imports []string
+}
+
+type loader struct {
+	prog    *Program
+	parsed  map[string]*parsedPkg
+	loading map[string]bool
+	std     types.Importer
+}
+
+// load parses, recursively loads the module-internal imports of, and
+// type-checks the package in dir. It is memoized by directory.
+func (l *loader) load(dir string) (*Package, error) {
+	if pkg, ok := l.prog.byPath[l.pathOf(dir)]; ok {
+		return pkg, nil
+	}
+	if l.loading[dir] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", dir)
+	}
+	l.loading[dir] = true
+	defer delete(l.loading, dir)
+
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.prog.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	// Load intra-module dependencies first so the type-checker's
+	// importer can serve them from the program.
+	for _, imp := range bp.Imports {
+		if sub, ok := strings.CutPrefix(imp, l.prog.ModulePath); ok {
+			if _, err := l.load(filepath.Join(l.prog.ModuleRoot, filepath.FromSlash(sub))); err != nil {
+				return nil, fmt.Errorf("analysis: loading %s (imported by %s): %w", imp, dir, err)
+			}
+		}
+	}
+	pkg := &Package{
+		Path:  l.pathOf(dir),
+		Dir:   dir,
+		Name:  bp.Name,
+		Files: files,
+		TypesInfo: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		},
+		prog: l.prog,
+	}
+	tcfg := &types.Config{Importer: l}
+	tpkg, err := tcfg.Check(pkg.Path, l.prog.Fset, files, pkg.TypesInfo)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", pkg.Path, err)
+	}
+	pkg.Types = tpkg
+	l.prog.byPath[pkg.Path] = pkg
+	l.prog.Packages = append(l.prog.Packages, pkg)
+	return pkg, nil
+}
+
+// pathOf maps a directory to its import path within the module. Fixture
+// directories outside the module root get a synthetic path.
+func (l *loader) pathOf(dir string) string {
+	rel, err := filepath.Rel(l.prog.ModuleRoot, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(dir)
+	}
+	if rel == "." {
+		return l.prog.ModulePath
+	}
+	return l.prog.ModulePath + "/" + filepath.ToSlash(rel)
+}
+
+// Import implements types.Importer: module-internal packages come from
+// the program, everything else (the standard library) from GOROOT
+// source.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if sub, ok := strings.CutPrefix(path, l.prog.ModulePath); ok {
+		dir := filepath.Join(l.prog.ModuleRoot, filepath.FromSlash(sub))
+		pkg, err := l.load(dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if l.std == nil {
+		l.std = importer.ForCompiler(l.prog.Fset, "source", nil)
+	}
+	return l.std.Import(path)
+}
+
+// indexDecls builds the program-wide *types.Func → declaration map used
+// by call-graph walks.
+func (p *Program) indexDecls() {
+	for _, pkg := range p.Packages {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Name == nil {
+					continue
+				}
+				if obj, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					p.decls[obj] = &funcDecl{pkg: pkg, decl: fd}
+				}
+			}
+		}
+	}
+}
+
+// DeclOf returns the declaration of fn and the package declaring it, or
+// nil if fn is not declared in the loaded program (e.g. stdlib).
+func (p *Program) DeclOf(fn *types.Func) (*ast.FuncDecl, *Package) {
+	if d, ok := p.decls[fn]; ok {
+		return d.decl, d.pkg
+	}
+	return nil, nil
+}
+
+// PackageByPath returns the loaded package with the given import path.
+func (p *Program) PackageByPath(path string) *Package {
+	return p.byPath[path]
+}

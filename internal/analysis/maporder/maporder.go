@@ -1,0 +1,50 @@
+// Package maporder forbids ranging over maps in the result-affecting
+// packages. Go randomizes map iteration order per range statement, so
+// any map range whose body feeds results — building edge lists, seeding
+// RNG streams, emitting events — makes the run irreproducible. Loops
+// whose bodies are genuinely order-insensitive (pure membership tests,
+// commutative accumulation, or collect-then-sort) opt out with an
+// explicit //fpnvet:orderless annotation carrying the reason.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/fpn/flagproxy/internal/analysis"
+)
+
+// Analyzer is the maporder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "forbid unannotated map iteration in result-affecting packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.ResultAffecting(pass.Pkg) {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Pkg.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if pass.Prog.HasDirective(analysis.DirOrderless, rng.Pos()) {
+				return true
+			}
+			pass.Report(rng.Pos(),
+				"range over map has nondeterministic order; iterate a sorted key slice or annotate //fpnvet:orderless <why>")
+			return true
+		})
+	}
+	return nil
+}

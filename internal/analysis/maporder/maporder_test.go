@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"github.com/fpn/flagproxy/internal/analysis/analyzertest"
+	"github.com/fpn/flagproxy/internal/analysis/maporder"
+)
+
+func TestFixture(t *testing.T) {
+	analyzertest.Run(t, maporder.Analyzer, "testdata/decoder")
+}

@@ -1,0 +1,40 @@
+// Package decoder is a maporder fixture masquerading as a
+// result-affecting package (the analyzer matches on package name).
+package decoder
+
+import "sort"
+
+// Unannotated map ranges are findings.
+func bad(m map[int]bool) []int {
+	var out []int
+	for k := range m { // want "range over map has nondeterministic order"
+		out = append(out, k)
+	}
+	return out
+}
+
+// The orderless annotation opts a loop out, trailing or above.
+func annotated(m map[int]int) int {
+	sum := 0
+	//fpnvet:orderless addition commutes
+	for _, v := range m {
+		sum += v
+	}
+	for _, v := range m { //fpnvet:orderless addition commutes
+		sum += v
+	}
+	return sum
+}
+
+// Ranging over slices and channels is always fine.
+func clean(s []int, m map[string]int) []string {
+	for range s {
+	}
+	keys := make([]string, 0, len(m))
+	//fpnvet:orderless collect-then-sort
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

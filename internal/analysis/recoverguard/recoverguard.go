@@ -1,0 +1,145 @@
+// Package recoverguard requires every exported Decode/DecodeWith method
+// to convert internal panics into returned errors. The decoders' hot
+// paths contain invariant panics (the blossom matcher's "stuck without
+// maxCardinality", slice-shape assertions); a Monte-Carlo engine counts
+// decode errors conservatively as logical failures, but an unrecovered
+// panic kills a multi-hour sweep. The repo's convention is
+//
+//	func (d *T) DecodeWith(...) (corr []bool, err error) {
+//		defer decoder.Recover(&err)
+//		...
+//	}
+//
+// so this analyzer flags any exported Decode/DecodeWith method that
+// returns an error but neither defers a Recover call nor trivially
+// delegates (a single return statement) to a guarded sibling method on
+// the same receiver.
+package recoverguard
+
+import (
+	"go/ast"
+
+	"github.com/fpn/flagproxy/internal/analysis"
+)
+
+// Analyzer is the recoverguard check.
+var Analyzer = &analysis.Analyzer{
+	Name: "recoverguard",
+	Doc:  "require Decode/DecodeWith methods to defer decoder.Recover or delegate to one that does",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			if name != "Decode" && name != "DecodeWith" {
+				continue
+			}
+			if !fd.Name.IsExported() || !returnsError(fd) {
+				continue
+			}
+			if defersRecover(fd) || delegates(fd) {
+				continue
+			}
+			pass.Report(fd.Pos(),
+				"%s method does not defer decoder.Recover(&err); an internal panic would kill the whole sweep instead of counting as a decode failure", name)
+		}
+	}
+	return nil
+}
+
+// returnsError reports whether the method's last result is an error.
+func returnsError(fd *ast.FuncDecl) bool {
+	res := fd.Type.Results
+	if res == nil || len(res.List) == 0 {
+		return false
+	}
+	last := res.List[len(res.List)-1]
+	id, ok := last.Type.(*ast.Ident)
+	return ok && id.Name == "error"
+}
+
+// defersRecover reports whether the body contains a defer of a function
+// named Recover (decoder.Recover or a same-package equivalent).
+func defersRecover(fd *ast.FuncDecl) bool {
+	for _, stmt := range fd.Body.List {
+		ds, ok := stmt.(*ast.DeferStmt)
+		if !ok {
+			continue
+		}
+		switch fun := ast.Unparen(ds.Call.Fun).(type) {
+		case *ast.Ident:
+			if fun.Name == "Recover" {
+				return true
+			}
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == "Recover" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// delegates reports whether every return statement of the body hands
+// off to a Decode/DecodeWith call rooted at the method's own receiver —
+// `return d.DecodeWith(...)` (the `Decode allocates a fresh scratch`
+// pattern), `return m.d.Decode(...)` (a wrapper decoder), or a branch
+// over such returns (a pool routing between a scratch hot path and a
+// plain fallback) — where the callees carry the recover guard.
+func delegates(fd *ast.FuncDecl) bool {
+	if len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return false
+	}
+	recv := fd.Recv.List[0].Names[0].Name
+	returns := 0
+	allDelegate := true
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Returns inside nested function literals are not the
+			// method's own returns.
+			return false
+		case *ast.ReturnStmt:
+			returns++
+			if !delegatingReturn(n, recv) {
+				allDelegate = false
+			}
+		}
+		return allDelegate
+	})
+	return returns > 0 && allDelegate
+}
+
+// delegatingReturn reports whether ret is `return <recv-chain>.Decode*(...)`.
+func delegatingReturn(ret *ast.ReturnStmt, recv string) bool {
+	if len(ret.Results) != 1 {
+		return false
+	}
+	call, ok := ast.Unparen(ret.Results[0]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Decode" && sel.Sel.Name != "DecodeWith") {
+		return false
+	}
+	return rootIdent(sel.X) == recv
+}
+
+// rootIdent resolves the leftmost identifier of an ident/selector
+// chain ("m" in m.d.inner), or "" for other expression shapes.
+func rootIdent(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return rootIdent(x.X)
+	}
+	return ""
+}

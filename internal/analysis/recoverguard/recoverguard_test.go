@@ -1,0 +1,12 @@
+package recoverguard_test
+
+import (
+	"testing"
+
+	"github.com/fpn/flagproxy/internal/analysis/analyzertest"
+	"github.com/fpn/flagproxy/internal/analysis/recoverguard"
+)
+
+func TestFixture(t *testing.T) {
+	analyzertest.Run(t, recoverguard.Analyzer, "testdata/decoder")
+}

@@ -1,0 +1,78 @@
+// Package decoder is a recoverguard fixture: guarded, delegating, and
+// unguarded Decode methods.
+package decoder
+
+import "fmt"
+
+// Recover stands in for the real decoder.Recover; the analyzer matches
+// the deferred call by name.
+func Recover(err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("recovered: %v", r)
+	}
+}
+
+type scratch struct{}
+
+type guarded struct{}
+
+// DecodeWith defers Recover directly: clean.
+func (d *guarded) DecodeWith(sc *scratch, bit func(int) bool) (corr []bool, err error) {
+	defer Recover(&err)
+	panic("internal invariant")
+}
+
+// Decode delegates to the guarded DecodeWith in a single return: clean.
+func (d *guarded) Decode(bit func(int) bool) ([]bool, error) {
+	return d.DecodeWith(&scratch{}, bit)
+}
+
+type wrapper struct{ inner *guarded }
+
+// Decode delegates through a receiver field: clean.
+func (w wrapper) Decode(bit func(int) bool) ([]bool, error) {
+	return w.inner.Decode(bit)
+}
+
+type pooled struct {
+	scratch *guarded
+	plain   *guarded
+	sc      *scratch
+}
+
+// Decode routes between two guarded paths; every return delegates, so
+// no local guard is needed: clean.
+func (d *pooled) Decode(bit func(int) bool) ([]bool, error) {
+	if d.sc != nil {
+		return d.scratch.DecodeWith(d.sc, bit)
+	}
+	return d.plain.Decode(bit)
+}
+
+type leaky struct{ inner *guarded }
+
+// Decode delegates on one branch but fabricates a result on the other,
+// so a panic on the second path would escape: finding.
+func (d *leaky) Decode(bit func(int) bool) ([]bool, error) { // want "Decode method does not defer decoder.Recover"
+	if bit(0) {
+		return d.inner.Decode(bit)
+	}
+	return make([]bool, 1), nil
+}
+
+type naked struct{}
+
+// Decode has no guard and no delegation: finding.
+func (d *naked) Decode(bit func(int) bool) ([]bool, error) { // want "Decode method does not defer decoder.Recover"
+	if bit(0) {
+		return []bool{true}, nil
+	}
+	panic("unguarded panic escapes")
+}
+
+type unexported struct{}
+
+// decode is unexported, so the public-API contract does not apply.
+func (d *unexported) decode(bit func(int) bool) ([]bool, error) {
+	panic("internal helper")
+}

@@ -1,0 +1,33 @@
+// Package simple is the driver's own loader/directive fixture.
+package simple
+
+import "sort"
+
+//fpn:hotpath
+func Root(xs []int) int {
+	return helper(xs)
+}
+
+func helper(xs []int) int {
+	sort.Ints(xs)
+	if len(xs) == 0 {
+		return 0
+	}
+	return xs[0]
+}
+
+type Options struct {
+	//fpnvet:sched cosmetic only
+	Verbose bool
+	Depth   int
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	//fpnvet:orderless collect-then-sort
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -8,6 +8,8 @@ package catalog
 import (
 	"fmt"
 	"math/rand"
+
+	"github.com/fpn/flagproxy/internal/seedmix"
 	"sort"
 	"sync"
 
@@ -103,7 +105,7 @@ func ColorCodes(r, s int, opt Options) []Entry {
 	if s%2 != 0 {
 		return nil
 	}
-	rng := rand.New(rand.NewSource(opt.Seed + 1))
+	rng := rand.New(rand.NewSource(seedmix.Derive(opt.Seed, seedmix.String("color-codes"))))
 	var out []Entry
 	seenN := map[int]bool{}
 	for _, m := range group.Menu() {

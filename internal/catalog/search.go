@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 
+	"github.com/fpn/flagproxy/internal/seedmix"
+
 	"github.com/fpn/flagproxy/internal/surface"
 	"github.com/fpn/flagproxy/internal/tiling"
 )
@@ -17,7 +19,7 @@ import (
 func SearchSurfaceCodes(r, s int, dartSizes []int, seed int64, maxSteps int) []Entry {
 	var out []Entry
 	for _, nd := range dartSizes {
-		rng := rand.New(rand.NewSource(seed + int64(nd)))
+		rng := rand.New(rand.NewSource(seedmix.Derive(seed, uint64(nd))))
 		m := tiling.Search(r, s, nd, rng, maxSteps)
 		if m == nil {
 			continue

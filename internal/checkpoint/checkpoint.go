@@ -139,16 +139,16 @@ func (s *Store) flushLocked() error {
 	enc := json.NewEncoder(w)
 	for _, key := range s.order {
 		if err := enc.Encode(s.recs[key]); err != nil {
-			tmp.Close()
+			_ = tmp.Close() // already failing; the encode error wins
 			return fmt.Errorf("checkpoint: %w", err)
 		}
 	}
 	if err := w.Flush(); err != nil {
-		tmp.Close()
+		_ = tmp.Close() // already failing; the flush/sync error wins
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		_ = tmp.Close() // already failing; the flush/sync error wins
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	if err := tmp.Close(); err != nil {

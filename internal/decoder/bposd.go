@@ -136,6 +136,8 @@ func (d *BPOSD) Decode(detBit func(int) bool) ([]bool, error) {
 // DecodeWith is Decode drawing the BP message storage from sc. The
 // returned slice aliases sc and is valid until sc's next use. Internal
 // panics are recovered into returned errors.
+//
+//fpn:hotpath
 func (d *BPOSD) DecodeWith(sc *DecodeScratch, detBit func(int) bool) (corr []bool, err error) {
 	defer Recover(&err)
 	sc.reset(d.numObs)
@@ -242,9 +244,18 @@ func (d *BPOSD) DecodeWith(sc *DecodeScratch, detBit func(int) bool) (corr []boo
 			return correction, nil
 		}
 	}
-	// OSD-0: order variables by reliability (most-likely-error first) and
-	// solve H·e = s on the reliable information set. BP failed to
-	// converge to reach here, so this fallback is rare and may allocate.
+	return d.osd0(syndrome, posterior, hard, correction), nil
+}
+
+// osd0 is the ordered-statistics fallback for BP non-convergence: order
+// variables by reliability (most-likely-error first) and solve H·e = s
+// on the reliable information set. BP failed to converge for this shot,
+// so this cold path is rare and — unlike the BP iterations above — may
+// allocate.
+//
+//fpnvet:coldpath OSD fallback runs on the rare non-converged shot; the alloc gate only bounds its frequency
+func (d *BPOSD) osd0(syndrome []bool, posterior []float64, hard []bool, correction []bool) []bool {
+	nv := len(d.varDet)
 	order := make([]int, nv)
 	for v := range order {
 		order[v] = v
@@ -273,7 +284,7 @@ func (d *BPOSD) DecodeWith(sc *DecodeScratch, detBit func(int) bool) (corr []boo
 				}
 			}
 		}
-		return correction, nil
+		return correction
 	}
 	for _, newCol := range sol.Support() {
 		v := order[newCol]
@@ -281,5 +292,5 @@ func (d *BPOSD) DecodeWith(sc *DecodeScratch, detBit func(int) bool) (corr []boo
 			correction[o] = !correction[o]
 		}
 	}
-	return correction, nil
+	return correction
 }

@@ -43,11 +43,12 @@ type matchEdge struct {
 // members than by "no error" (whose flag difference is |F|), the
 // member's Pauli frames are applied. This is how the flag protocol
 // catches propagation errors that flip no parity check at all.
-func applyEmptyClass(empty *dem.Class, flags map[int]bool, nFlags int, correction []bool) {
+func applyEmptyClass(empty *dem.Class, flags *dem.FlagSet, correction []bool) {
+	nFlags := flags.Len()
 	if empty == nil || nFlags == 0 {
 		return
 	}
-	rep, diff := empty.Select(flags, nFlags)
+	rep, diff := empty.Select(flags)
 	if diff < nFlags {
 		for _, o := range rep.Obs {
 			correction[o] = !correction[o]
@@ -68,6 +69,7 @@ func collectFlagList(classes []dem.Class) []int {
 		}
 	}
 	out := make([]int, 0, len(seen))
+	//fpnvet:orderless collect-then-sort: the slice is sorted before returning
 	for f := range seen {
 		out = append(out, f)
 	}

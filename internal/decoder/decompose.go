@@ -208,6 +208,7 @@ func toggle(m map[int]bool, v int) {
 
 func setToSorted(m map[int]bool) []int {
 	out := make([]int, 0, len(m))
+	//fpnvet:orderless collect-then-sort: the slice is sorted before returning
 	for v := range m {
 		out = append(out, v)
 	}

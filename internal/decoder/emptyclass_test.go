@@ -9,6 +9,15 @@ import (
 	"github.com/fpn/flagproxy/internal/fpn"
 )
 
+// flagSetOf builds a dem.FlagSet holding the given ids, for test brevity.
+func flagSetOf(ids ...int) *dem.FlagSet {
+	s := &dem.FlagSet{}
+	for _, id := range ids {
+		s.Add(id)
+	}
+	return s
+}
+
 func TestApplyEmptyClassSemantics(t *testing.T) {
 	empty := &dem.Class{Members: []dem.ProjEvent{
 		{Flags: []int{10, 11}, Obs: []int{0}, P: 1e-4},
@@ -16,25 +25,25 @@ func TestApplyEmptyClassSemantics(t *testing.T) {
 	}}
 	// Exact flag match fires the member's frames.
 	corr := make([]bool, 2)
-	applyEmptyClass(empty, map[int]bool{10: true, 11: true}, 2, corr)
+	applyEmptyClass(empty, flagSetOf(10, 11), corr)
 	if !corr[0] || corr[1] {
 		t.Fatalf("corr = %v, want [true false]", corr)
 	}
 	// A completely unrelated flag is better explained by "no error":
 	// member diffs (1+2=3, 1+1=2) are not below |F| = 1 → no action.
 	corr = make([]bool, 2)
-	applyEmptyClass(empty, map[int]bool{99: true}, 1, corr)
+	applyEmptyClass(empty, flagSetOf(99), corr)
 	if corr[0] || corr[1] {
 		t.Fatalf("corr = %v, want no action", corr)
 	}
 	// No flags observed: never fires.
 	corr = make([]bool, 2)
-	applyEmptyClass(empty, nil, 0, corr)
+	applyEmptyClass(empty, flagSetOf(), corr)
 	if corr[0] || corr[1] {
 		t.Fatal("empty class fired without flags")
 	}
 	// Nil class is a no-op.
-	applyEmptyClass(nil, map[int]bool{10: true}, 1, corr)
+	applyEmptyClass(nil, flagSetOf(10), corr)
 }
 
 // Flag-only logical errors (zero syndrome, flags fired) exist on the

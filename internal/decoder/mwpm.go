@@ -115,7 +115,7 @@ func NewMWPM(model *dem.Model, basis css.Basis, pM float64, useFlags bool) (*MWP
 	d.baseWeight = make([]float64, len(classes))
 	d.flagIndex = map[int][]int{}
 	for ci := range classes {
-		rep, p := classes[ci].Representative(nil, 0, pM)
+		rep, p := classes[ci].Representative(nil, pM)
 		d.baseRep[ci] = rep
 		d.baseWeight[ci] = weightOf(p)
 		seen := map[int]bool{}
@@ -162,6 +162,8 @@ func (d *MWPM) Decode(detBit func(int) bool) ([]bool, error) {
 // DecodeWith is Decode drawing every per-shot buffer from sc. The
 // returned slice aliases sc and is valid until sc's next use. Panics
 // from the matching layer are recovered into returned errors.
+//
+//fpn:hotpath
 func (d *MWPM) DecodeWith(sc *DecodeScratch, detBit func(int) bool) (corr []bool, err error) {
 	defer Recover(&err)
 	sc.reset(d.numObs)
@@ -173,23 +175,22 @@ func (d *MWPM) DecodeWith(sc *DecodeScratch, detBit func(int) bool) (corr []bool
 		}
 	}
 	src := sc.src
-	nFlags := 0
 	if d.UseFlags {
 		// The unflagged baseline skips flag bookkeeping entirely: no flag
 		// reads, no flag-set bookkeeping, no per-class reweighting.
 		for _, f := range d.flagAll {
 			if detBit(f) {
-				sc.flags[f] = true
-				nFlags++
+				sc.flags.Add(f)
 			}
 		}
 	}
+	nFlags := sc.flags.Len()
 	if len(src) == 0 {
 		// No parity check fired: the only possible explanations live in
 		// the empty-syndrome equivalence class (flag-only propagation
 		// errors) or are "no error".
 		if d.UseFlags {
-			applyEmptyClass(d.empty, sc.flags, nFlags, correction)
+			applyEmptyClass(d.empty, &sc.flags, correction)
 		}
 		return correction, nil
 	}
@@ -211,17 +212,16 @@ func (d *MWPM) DecodeWith(sc *DecodeScratch, detBit func(int) bool) (corr []bool
 		}
 		// Classes with members touching an observed flag re-select their
 		// representative against the actual flag set.
-		for f := range sc.flags {
+		for _, f := range sc.flags.Flags() {
 			for _, ci := range d.flagIndex[f] {
-				sc.adjusted[ci] = true
+				sc.adjusted.add(ci)
 			}
 		}
-		for ci := range sc.adjusted {
-			r, p := d.classes[ci].Representative(sc.flags, nFlags, d.pM)
+		for _, ci := range sc.adjusted.keys() {
+			r, p := d.classes[ci].Representative(&sc.flags, d.pM)
 			rep[ci] = r
 			weight[ci] = weightOf(p)
 		}
-		clear(sc.adjusted)
 		if d.DisableRenorm {
 			for ci := range d.classes {
 				weight[ci] = weightOf(rep[ci].P)

@@ -71,19 +71,18 @@ func naiveMWPMDecode(d *MWPM, detBit func(int) bool) ([]bool, error) {
 		}
 	}
 	correction := make([]bool, d.numObs)
-	flags := map[int]bool{}
-	nFlags := 0
+	flags := &dem.FlagSet{}
 	if d.UseFlags {
 		for _, f := range d.flagAll {
 			if detBit(f) {
-				flags[f] = true
-				nFlags++
+				flags.Add(f)
 			}
 		}
 	}
+	nFlags := flags.Len()
 	if len(src) == 0 {
 		if d.UseFlags {
-			applyEmptyClass(d.empty, flags, nFlags, correction)
+			applyEmptyClass(d.empty, flags, correction)
 		}
 		return correction, nil
 	}
@@ -102,13 +101,13 @@ func naiveMWPMDecode(d *MWPM, detBit func(int) bool) ([]bool, error) {
 			weight[ci] = d.baseWeight[ci]*exp + float64(nFlags)*wM
 		}
 		adjusted := map[int]bool{}
-		for f := range flags {
+		for _, f := range flags.Flags() {
 			for _, ci := range d.flagIndex[f] {
 				adjusted[ci] = true
 			}
 		}
 		for ci := range adjusted {
-			r, p := d.classes[ci].Representative(flags, nFlags, d.pM)
+			r, p := d.classes[ci].Representative(flags, d.pM)
 			rep[ci] = r
 			weight[ci] = weightOf(p)
 		}
@@ -199,19 +198,18 @@ func naiveRestrictionDecode(d *Restriction, detBit func(int) bool) ([]bool, erro
 		}
 	}
 	sort.Ints(flipped)
-	flags := map[int]bool{}
-	nFlags := 0
+	flags := &dem.FlagSet{}
 	if d.UseFlags {
 		for _, f := range d.flagAll {
 			if detBit(f) {
-				flags[f] = true
-				nFlags++
+				flags.Add(f)
 			}
 		}
 	}
+	nFlags := flags.Len()
 	if len(flipped) == 0 {
 		if d.UseFlags && d.FlagLifting {
-			applyEmptyClass(d.empty, flags, nFlags, correction)
+			applyEmptyClass(d.empty, flags, correction)
 		}
 		return correction, nil
 	}
@@ -226,13 +224,13 @@ func naiveRestrictionDecode(d *Restriction, detBit func(int) bool) ([]bool, erro
 			weight[ci] = d.baseWeight[ci] + float64(nFlags)*wM
 		}
 		adjusted := map[int]bool{}
-		for f := range flags {
+		for _, f := range flags.Flags() {
 			for _, ci := range d.flagIndex[f] {
 				adjusted[ci] = true
 			}
 		}
 		for ci := range adjusted {
-			r, diff := d.classes[ci].Select(flags, nFlags)
+			r, diff := d.classes[ci].Select(flags)
 			rep[ci] = r
 			weight[ci] = weightOf(r.P) + float64(diff)*wM
 		}
@@ -358,19 +356,18 @@ func naiveUnionFindDecode(d *UnionFind, detBit func(int) bool) ([]bool, error) {
 			defects = append(defects, vi)
 		}
 	}
-	flags := map[int]bool{}
-	nFlags := 0
+	flags := &dem.FlagSet{}
 	if d.UseFlags {
 		for _, f := range d.flagAll {
 			if detBit(f) {
-				flags[f] = true
-				nFlags++
+				flags.Add(f)
 			}
 		}
 	}
+	nFlags := flags.Len()
 	if len(defects) == 0 {
 		if d.UseFlags {
-			applyEmptyClass(d.empty, flags, nFlags, correction)
+			applyEmptyClass(d.empty, flags, correction)
 		}
 		return correction, nil
 	}
@@ -379,13 +376,13 @@ func naiveUnionFindDecode(d *UnionFind, detBit func(int) bool) ([]bool, error) {
 		rep = make([]dem.ProjEvent, len(d.classes))
 		copy(rep, d.baseRep)
 		adjusted := map[int]bool{}
-		for f := range flags {
+		for _, f := range flags.Flags() {
 			for _, ci := range d.flagIndex[f] {
 				adjusted[ci] = true
 			}
 		}
 		for ci := range adjusted {
-			r, _ := d.classes[ci].Representative(flags, nFlags, d.pM)
+			r, _ := d.classes[ci].Representative(flags, d.pM)
 			rep[ci] = r
 		}
 	}

@@ -61,6 +61,7 @@ func OperationallyRedundantFlags(model *dem.Model, basis css.Basis, pM float64) 
 		return func(d int) bool { return set[d] }
 	}
 	var redundant []int
+	//fpnvet:orderless each flag is judged independently; redundant is sorted after the loop
 	for f, events := range byFlag {
 		masked := maskedMWPM{d: base, flag: f}
 		same := true

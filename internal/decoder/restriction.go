@@ -126,7 +126,7 @@ func NewRestriction(model *dem.Model, basis css.Basis, pM float64, useFlags, fla
 	d.baseRep = make([]dem.ProjEvent, len(classes))
 	d.baseWeight = make([]float64, len(classes))
 	for ci := range classes {
-		rep, p := classes[ci].Representative(nil, 0, pM)
+		rep, p := classes[ci].Representative(nil, pM)
 		d.baseRep[ci] = rep
 		d.baseWeight[ci] = weightOf(p)
 		seen := map[int]bool{}
@@ -163,6 +163,8 @@ func (d *Restriction) Decode(detBit func(int) bool) ([]bool, error) {
 // DecodeWith is Decode drawing every per-shot buffer from sc. The
 // returned slice aliases sc and is valid until sc's next use. Panics
 // from the matching layer are recovered into returned errors.
+//
+//fpn:hotpath
 func (d *Restriction) DecodeWith(sc *DecodeScratch, detBit func(int) bool) (corr []bool, err error) {
 	defer Recover(&err)
 	sc.reset(d.numObs)
@@ -176,20 +178,19 @@ func (d *Restriction) DecodeWith(sc *DecodeScratch, detBit func(int) bool) (corr
 		}
 	}
 	flipped := rs.flipped
-	nFlags := 0
 	if d.UseFlags {
 		for _, f := range d.flagAll {
 			if detBit(f) {
-				sc.flags[f] = true
-				nFlags++
+				sc.flags.Add(f)
 			}
 		}
 	}
+	nFlags := sc.flags.Len()
 	if len(flipped) == 0 {
 		// No parity check fired: only the empty-syndrome equivalence
 		// class (flag-only propagation errors) can explain the flags.
 		if d.UseFlags && d.FlagLifting {
-			applyEmptyClass(d.empty, sc.flags, nFlags, correction)
+			applyEmptyClass(d.empty, &sc.flags, correction)
 		}
 		return correction, nil
 	}
@@ -206,17 +207,16 @@ func (d *Restriction) DecodeWith(sc *DecodeScratch, detBit func(int) bool) (corr
 		for ci := range d.classes {
 			weight[ci] = d.baseWeight[ci] + float64(nFlags)*wM
 		}
-		for f := range sc.flags {
+		for _, f := range sc.flags.Flags() {
 			for _, ci := range d.flagIndex[f] {
-				sc.adjusted[ci] = true
+				sc.adjusted.add(ci)
 			}
 		}
-		for ci := range sc.adjusted {
-			r, diff := d.classes[ci].Select(sc.flags, nFlags)
+		for _, ci := range sc.adjusted.keys() {
+			r, diff := d.classes[ci].Select(&sc.flags)
 			rep[ci] = r
 			weight[ci] = weightOf(r.P) + float64(diff)*wM
 		}
-		clear(sc.adjusted)
 	}
 	// Matching on the three restricted lattices; EM counts class picks.
 	em := rs.em
@@ -306,6 +306,7 @@ func (d *Restriction) DecodeWith(sc *DecodeScratch, detBit func(int) bool) (corr
 	if d.FlagLifting {
 		// Paper rule: flag edges appearing at least twice in EM are
 		// corrected immediately and removed.
+		//fpnvet:orderless each class toggles a disjoint set of correction bits (XOR commutes)
 		for ci, count := range em {
 			if count >= 2 && len(rep[ci].Flags) > 0 {
 				applyClass(ci)
@@ -314,6 +315,7 @@ func (d *Restriction) DecodeWith(sc *DecodeScratch, detBit func(int) bool) (corr
 			}
 		}
 	}
+	//fpnvet:orderless each class toggles its own correction bits (XOR commutes)
 	for ci, count := range em {
 		if count >= 2 {
 			applyClass(ci)
@@ -328,6 +330,7 @@ func (d *Restriction) DecodeWith(sc *DecodeScratch, detBit func(int) bool) (corr
 	for _, det := range flipped {
 		residual[det] = true
 	}
+	//fpnvet:orderless residual toggling is a commutative XOR accumulation
 	for ci := range applied {
 		for _, det := range d.classes[ci].Dets {
 			toggle(residual, det)
@@ -372,6 +375,8 @@ func (rs *restScratch) ensure() {
 // an empty result means the repair gave up. This path only runs when the
 // three matchings disagree — rare at experiment noise rates — so it is
 // allowed to allocate.
+//
+//fpnvet:coldpath residual repair runs only when the three lattice matchings disagree; the alloc gate bounds its frequency
 func (d *Restriction) coverResidual(residual map[int]bool, em map[int]int, applied map[int]bool, weight []float64) []int {
 	type cand struct {
 		ci int
@@ -395,6 +400,7 @@ func (d *Restriction) coverResidual(residual map[int]bool, em map[int]int, appli
 		cands = cands[:40]
 	}
 	target := map[int]bool{}
+	//fpnvet:orderless set copy; no order-dependent state
 	for det := range residual {
 		target[det] = true
 	}

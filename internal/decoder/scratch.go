@@ -31,8 +31,8 @@ type ScratchDecoder interface {
 type DecodeScratch struct {
 	correction []bool
 	src        []int
-	flags      map[int]bool
-	adjusted   map[int]bool // classes whose representative needs re-selection
+	flags      dem.FlagSet // observed flags, in ascending detector order
+	adjusted   markSet     // classes whose representative needs re-selection
 	rep        []dem.ProjEvent
 	weight     []float64
 
@@ -56,7 +56,7 @@ type DecodeScratch struct {
 
 // NewScratch returns an empty scratch arena ready for DecodeWith.
 func NewScratch() *DecodeScratch {
-	return &DecodeScratch{flags: map[int]bool{}, adjusted: map[int]bool{}}
+	return &DecodeScratch{}
 }
 
 // reset prepares the shared buffers for a new shot with numObs
@@ -68,12 +68,47 @@ func (sc *DecodeScratch) reset(numObs int) {
 	}
 	sc.src = sc.src[:0]
 	sc.medges = sc.medges[:0]
-	if len(sc.flags) > 0 {
-		clear(sc.flags)
+	sc.flags.Reset()
+	sc.adjusted.reset()
+}
+
+// markSet is an ordered set over small dense int keys (class indices):
+// a membership array plus an insertion-order list, so iterating the
+// marked classes is deterministic — unlike the map[int]bool it replaced,
+// whose range order varied run to run.
+type markSet struct {
+	marked []bool
+	list   []int
+}
+
+// add marks key k, growing the membership array as needed.
+func (s *markSet) add(k int) {
+	if k >= len(s.marked) {
+		if k < cap(s.marked) {
+			s.marked = s.marked[:k+1]
+		} else {
+			grown := make([]bool, k+1)
+			copy(grown, s.marked)
+			s.marked = grown
+		}
 	}
-	if len(sc.adjusted) > 0 {
-		clear(sc.adjusted)
+	if s.marked[k] {
+		return
 	}
+	s.marked[k] = true
+	s.list = append(s.list, k)
+}
+
+// keys returns the marked keys in insertion order; the slice aliases the
+// set and is valid until the next add or reset.
+func (s *markSet) keys() []int { return s.list }
+
+// reset unmarks everything, keeping storage for reuse.
+func (s *markSet) reset() {
+	for _, k := range s.list {
+		s.marked[k] = false
+	}
+	s.list = s.list[:0]
 }
 
 // ensureClassOverlay sizes the per-shot representative/weight overlays.

@@ -90,7 +90,7 @@ func NewUnionFind(model *dem.Model, basis css.Basis, pM float64, useFlags bool) 
 	d.baseRep = make([]dem.ProjEvent, len(classes))
 	d.flagIndex = map[int][]int{}
 	for ci := range classes {
-		rep, _ := classes[ci].Representative(nil, 0, pM)
+		rep, _ := classes[ci].Representative(nil, pM)
 		d.baseRep[ci] = rep
 		seen := map[int]bool{}
 		for _, m := range classes[ci].Members {
@@ -156,6 +156,8 @@ func (d *UnionFind) Decode(detBit func(int) bool) ([]bool, error) {
 // DecodeWith is Decode drawing every per-shot buffer from sc. The
 // returned slice aliases sc and is valid until sc's next use. Internal
 // panics are recovered into returned errors.
+//
+//fpn:hotpath
 func (d *UnionFind) DecodeWith(sc *DecodeScratch, detBit func(int) bool) (corr []bool, err error) {
 	defer Recover(&err)
 	sc.reset(d.numObs)
@@ -175,36 +177,33 @@ func (d *UnionFind) DecodeWith(sc *DecodeScratch, detBit func(int) bool) (corr [
 		}
 	}
 	defects := us.defects
-	nFlags := 0
 	if d.UseFlags {
 		for _, f := range d.flagAll {
 			if detBit(f) {
-				sc.flags[f] = true
-				nFlags++
+				sc.flags.Add(f)
 			}
 		}
 	}
 	if len(defects) == 0 {
 		// Flag-only shots decode through the empty-syndrome class.
 		if d.UseFlags {
-			applyEmptyClass(d.empty, sc.flags, nFlags, correction)
+			applyEmptyClass(d.empty, &sc.flags, correction)
 		}
 		return correction, nil
 	}
 	rep := d.baseRep
-	if nFlags > 0 {
+	if sc.flags.Len() > 0 {
 		rep, _ = sc.ensureClassOverlay(len(d.classes))
 		copy(rep, d.baseRep)
-		for f := range sc.flags {
+		for _, f := range sc.flags.Flags() {
 			for _, ci := range d.flagIndex[f] {
-				sc.adjusted[ci] = true
+				sc.adjusted.add(ci)
 			}
 		}
-		for ci := range sc.adjusted {
-			r, _ := d.classes[ci].Representative(sc.flags, nFlags, d.pM)
+		for _, ci := range sc.adjusted.keys() {
+			r, _ := d.classes[ci].Representative(&sc.flags, d.pM)
 			rep[ci] = r
 		}
-		clear(sc.adjusted)
 	}
 
 	us.parent = growInts(us.parent, nv)
@@ -217,7 +216,7 @@ func (d *UnionFind) DecodeWith(sc *DecodeScratch, detBit func(int) bool) (corr [
 		us.parity[i] = 0
 		us.bound[i] = false
 	}
-	u := &uf{parent: us.parent, rank: us.rank, parity: us.parity, bound: us.bound}
+	u := uf{parent: us.parent, rank: us.rank, parity: us.parity, bound: us.bound}
 	for _, v := range defects {
 		u.parity[v] = 1
 	}

@@ -43,6 +43,7 @@ func (m *Model) Project(basis css.Basis) []ProjEvent {
 		}
 	}
 	keys := make([]string, 0, len(merged))
+	//fpnvet:orderless collect-then-sort: keys are sorted before emission
 	for k := range merged {
 		keys = append(keys, k)
 	}
@@ -80,12 +81,13 @@ func BuildClasses(events []ProjEvent) []Class {
 
 // Select returns the class member whose flag set is most similar to the
 // observed flags F (minimizing |f(e) ⊕ F|, ties broken by higher
-// probability) together with the achieved flag difference.
-func (c *Class) Select(f map[int]bool, nObservedFlags int) (ProjEvent, int) {
+// probability) together with the achieved flag difference. A nil f is
+// the empty flag set.
+func (c *Class) Select(f *FlagSet) (ProjEvent, int) {
 	best := -1
 	bestDiff := 0
 	for i, m := range c.Members {
-		diff := flagDiff(m.Flags, f, nObservedFlags)
+		diff := flagDiff(m.Flags, f)
 		if best < 0 || diff < bestDiff ||
 			(diff == bestDiff && m.P > c.Members[best].P) {
 			best = i
@@ -97,11 +99,12 @@ func (c *Class) Select(f map[int]bool, nObservedFlags int) (ProjEvent, int) {
 
 // Representative selects the flag-conditioned member and returns it with
 // its Equation 9 renormalized probability:
-// π → pM^{|f⊕F|} · π^{|σ|−1} when |F| > 0.
-func (c *Class) Representative(f map[int]bool, nObservedFlags int, pM float64) (ProjEvent, float64) {
-	rep, bestDiff := c.Select(f, nObservedFlags)
+// π → pM^{|f⊕F|} · π^{|σ|−1} when |F| > 0. A nil f is the empty flag
+// set.
+func (c *Class) Representative(f *FlagSet, pM float64) (ProjEvent, float64) {
+	rep, bestDiff := c.Select(f)
 	p := rep.P
-	if nObservedFlags > 0 {
+	if f.Len() > 0 {
 		p = math.Pow(pM, float64(bestDiff))
 		if len(c.Dets) >= 2 {
 			p *= math.Pow(rep.P, float64(len(c.Dets)-1))
@@ -112,13 +115,13 @@ func (c *Class) Representative(f map[int]bool, nObservedFlags int, pM float64) (
 	return rep, p
 }
 
-// flagDiff computes |flags(e) ⊕ F| where F has nObserved set flags.
-func flagDiff(eventFlags []int, f map[int]bool, nObserved int) int {
+// flagDiff computes |flags(e) ⊕ F|.
+func flagDiff(eventFlags []int, f *FlagSet) int {
 	inter := 0
 	for _, fl := range eventFlags {
-		if f[fl] {
+		if f.Has(fl) {
 			inter++
 		}
 	}
-	return len(eventFlags) + nObserved - 2*inter
+	return len(eventFlags) + f.Len() - 2*inter
 }

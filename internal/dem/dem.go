@@ -137,6 +137,7 @@ func Extract(c *circuit.Circuit) (*Model, error) {
 	}
 	m := &Model{Circuit: c}
 	keys := make([]string, 0, len(merged))
+	//fpnvet:orderless collect-then-sort: keys are sorted before emission
 	for k := range merged {
 		keys = append(keys, k)
 	}

@@ -157,6 +157,15 @@ func TestProjectSplitsBases(t *testing.T) {
 	}
 }
 
+// flagSetOf builds a FlagSet holding the given ids, for test brevity.
+func flagSetOf(ids ...int) *FlagSet {
+	s := &FlagSet{}
+	for _, id := range ids {
+		s.Add(id)
+	}
+	return s
+}
+
 func TestEquivalenceClassRepresentative(t *testing.T) {
 	cl := Class{
 		Dets: []int{1, 2},
@@ -166,12 +175,12 @@ func TestEquivalenceClassRepresentative(t *testing.T) {
 		},
 	}
 	// No flags observed: flagless member wins.
-	rep, p := cl.Representative(nil, 0, 1e-3)
+	rep, p := cl.Representative(nil, 1e-3)
 	if len(rep.Flags) != 0 || p != 0.01 {
 		t.Fatalf("rep = %+v p=%g", rep, p)
 	}
 	// Flag 7 observed: flagged member wins, probability renormalized.
-	rep, p = cl.Representative(map[int]bool{7: true}, 1, 1e-3)
+	rep, p = cl.Representative(flagSetOf(7), 1e-3)
 	if len(rep.Flags) != 1 || rep.Obs[0] != 0 {
 		t.Fatalf("rep = %+v", rep)
 	}
@@ -180,7 +189,7 @@ func TestEquivalenceClassRepresentative(t *testing.T) {
 		t.Fatalf("renormalized p = %g, want 0.002", p)
 	}
 	// Unrelated flag observed: flagless member wins with pM^1 factor.
-	rep, p = cl.Representative(map[int]bool{9: true}, 1, 1e-3)
+	rep, p = cl.Representative(flagSetOf(9), 1e-3)
 	if len(rep.Flags) != 0 {
 		t.Fatalf("rep = %+v", rep)
 	}
@@ -191,14 +200,14 @@ func TestEquivalenceClassRepresentative(t *testing.T) {
 }
 
 func TestFlagDiff(t *testing.T) {
-	f := map[int]bool{1: true, 2: true}
-	if d := flagDiff([]int{1}, f, 2); d != 1 {
+	f := flagSetOf(1, 2)
+	if d := flagDiff([]int{1}, f); d != 1 {
 		t.Fatalf("diff = %d, want 1", d)
 	}
-	if d := flagDiff([]int{1, 2}, f, 2); d != 0 {
+	if d := flagDiff([]int{1, 2}, f); d != 0 {
 		t.Fatalf("diff = %d, want 0", d)
 	}
-	if d := flagDiff([]int{3}, f, 2); d != 3 {
+	if d := flagDiff([]int{3}, f); d != 3 {
 		t.Fatalf("diff = %d, want 3", d)
 	}
 }

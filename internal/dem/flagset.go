@@ -1,0 +1,70 @@
+package dem
+
+// FlagSet is an ordered, reusable set of flag detector ids. It replaces
+// the map[int]bool flag sets the decoders once carried: membership is a
+// bitset probe and iteration (Flags) visits ids in insertion order, so a
+// decode that consults the set — unlike one ranging over a map — is
+// bit-identical from run to run by construction. The zero value is an
+// empty set ready for use. Add grows the bitset to the largest id seen
+// and Reset keeps that capacity, so a set reused across shots stops
+// allocating once warm. Not safe for concurrent use.
+type FlagSet struct {
+	bits []uint64 // membership, indexed by id
+	list []int    // set ids in insertion order
+}
+
+// Reset empties the set, keeping its storage for reuse.
+func (s *FlagSet) Reset() {
+	for _, f := range s.list {
+		s.bits[f>>6] &^= 1 << (uint(f) & 63)
+	}
+	s.list = s.list[:0]
+}
+
+// Add inserts flag id f (a no-op if already present). Callers that need
+// a canonical iteration order insert in that order; the decoders add
+// flags while scanning their sorted flag-detector lists, so their sets
+// iterate in ascending id order.
+func (s *FlagSet) Add(f int) {
+	if w := f >> 6; w >= len(s.bits) {
+		if w < cap(s.bits) {
+			s.bits = s.bits[:w+1]
+		} else {
+			grown := make([]uint64, w+1)
+			copy(grown, s.bits)
+			s.bits = grown
+		}
+	}
+	if s.bits[f>>6]&(1<<(uint(f)&63)) != 0 {
+		return
+	}
+	s.bits[f>>6] |= 1 << (uint(f) & 63)
+	s.list = append(s.list, f)
+}
+
+// Has reports membership of f. A nil set is empty.
+func (s *FlagSet) Has(f int) bool {
+	if s == nil {
+		return false
+	}
+	w := f >> 6
+	return w < len(s.bits) && s.bits[w]&(1<<(uint(f)&63)) != 0
+}
+
+// Len reports the number of set flags. A nil set is empty.
+func (s *FlagSet) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.list)
+}
+
+// Flags returns the set ids in insertion order. The slice aliases the
+// set's storage and is valid until the next Add or Reset; a nil set
+// yields nil.
+func (s *FlagSet) Flags() []int {
+	if s == nil {
+		return nil
+	}
+	return s.list
+}

@@ -3,6 +3,8 @@ package experiment
 import (
 	"fmt"
 	"math/rand"
+
+	"github.com/fpn/flagproxy/internal/seedmix"
 	"sort"
 
 	"github.com/fpn/flagproxy/internal/circuit"
@@ -98,7 +100,7 @@ func MeasureDeff(cfg Config, pairSamples int) (*DeffReport, error) {
 		rep.DeffLowerBound = 3
 	}
 	// Sampled fault pairs.
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := rand.New(rand.NewSource(seedmix.Derive(cfg.Seed, seedmix.String("deff-pairs"))))
 	for i := 0; i < pairSamples && len(relevant) >= 2; i++ {
 		a := relevant[rng.Intn(len(relevant))]
 		b := relevant[rng.Intn(len(relevant))]
@@ -172,6 +174,7 @@ func ambiguousKeys(model *dem.Model) map[string]bool {
 		byKey[k] = append(byKey[k], ev.Obs)
 	}
 	out := map[string]bool{}
+	//fpnvet:orderless builds a set; membership does not depend on visit order
 	for k, list := range byKey {
 		for i := 1; i < len(list); i++ {
 			if fmt.Sprint(list[i]) != fmt.Sprint(list[0]) {

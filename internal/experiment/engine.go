@@ -322,7 +322,13 @@ type PooledDecoder struct {
 }
 
 // Decode routes through the zero-allocation DecodeWith hot path when
-// the pooled decoder supports it.
+// the pooled decoder supports it. It deliberately does NOT recover:
+// the decoder package already converts its own invariant panics into
+// errors at each DecodeWith boundary, and anything that still unwinds
+// through here (a buggy third-party decoder, a sampler-contract
+// violation) must reach runShard's recover so the whole shard is
+// quarantined with a repro instead of miscounted as per-shot logical
+// errors.
 func (d *PooledDecoder) Decode(bit func(int) bool) ([]bool, error) {
 	if d.sc != nil {
 		return d.pool.scratch.DecodeWith(d.sc, bit)

@@ -71,11 +71,13 @@ type Config struct {
 
 	// Workers bounds the shard workers (0 → GOMAXPROCS). The result is
 	// bit-identical for any worker count.
+	//fpnvet:sched parallelism only reshapes scheduling; shard seeding fixes the streams
 	Workers int
 	// ShardShots is the work-claiming granularity in shots (0 → 1024,
 	// rounded up to whole 64-shot blocks). Purely a scheduling knob:
 	// RNG streams are derived per 64-shot block, so the result is
 	// bit-identical for any shard size.
+	//fpnvet:sched shard size only regroups blocks; per-block seeding fixes the streams
 	ShardShots int
 	// TargetErrors, when > 0, stops the run once the committed logical
 	// error count reaches it — the standard deep-BER trick: spend shots
@@ -90,6 +92,7 @@ type Config struct {
 	// Resume, when non-nil, restarts the run from a previously
 	// committed prefix (see the Resume type). The continuation is
 	// bit-identical to a run that was never interrupted.
+	//fpnvet:sched resume wiring consumes fingerprints, it must not change them
 	Resume *Resume
 	// Fallback lists decoder kinds to retry a shard with, in order,
 	// when the primary decoder panics on it (graceful degradation, e.g.
@@ -97,12 +100,14 @@ type Config struct {
 	// — Result.FallbackBlocks counts them — so the run completes at the
 	// cost of mixed-decoder statistics on those blocks. Shards that
 	// exhaust the chain are quarantined as ShardErrors.
+	//fpnvet:sched fallback policy only reacts to decoder construction failure
 	Fallback []DecoderKind
 	// OnCommit, when non-nil, is invoked with a snapshot of the
 	// committed prefix each time the commit frontier advances. Every
 	// snapshot is block-aligned and therefore a valid Resume point —
 	// this is the checkpointing hook. It is called with the engine's
 	// commit lock held: keep it fast and do not call back into the run.
+	//fpnvet:sched progress callback; observes results without affecting them
 	OnCommit func(Progress)
 }
 

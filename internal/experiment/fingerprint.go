@@ -70,6 +70,7 @@ func hashSchedule(h hash.Hash, s *schedule.Schedule) {
 	for _, ph := range s.Phases {
 		fmt.Fprintf(h, "ph%c steps=%d win=%v times=", ph.Basis, ph.Steps, ph.Windows)
 		keys := make([]schedule.WD, 0, len(ph.Times))
+		//fpnvet:orderless collect-then-sort: keys are sorted before hashing
 		for k := range ph.Times {
 			keys = append(keys, k)
 		}

@@ -79,6 +79,7 @@ func (g *Group) OrderHistogram() [][2]int {
 		m[e.Order()]++
 	}
 	keys := make([]int, 0, len(m))
+	//fpnvet:orderless collect-then-sort: the histogram is sorted by order
 	for k := range m {
 		keys = append(keys, k)
 	}
