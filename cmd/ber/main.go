@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"github.com/fpn/flagproxy/internal/catalog"
 	"github.com/fpn/flagproxy/internal/checkpoint"
@@ -62,13 +63,28 @@ func main() {
 		shard:        cfg.shard,
 		targetErrors: cfg.targetErrors,
 		maxCI:        cfg.maxCI,
+		decTimeout:   cfg.decTimeout,
+		fallback:     cfg.fallback,
 		resume:       cfg.resume,
 	}
 	if cfg.checkpointDir != "" {
-		store, err := checkpoint.Open(cfg.checkpointDir)
-		if err != nil {
+		// Probe the directory's whole write protocol up front: a
+		// read-only or misconfigured -checkpoint dir must fail here, not
+		// minutes into the sweep at the first flush.
+		if err := checkpoint.ProbeDir(cfg.checkpointDir); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		store, err := checkpoint.Open(cfg.checkpointDir)
+		if err != nil {
+			// Includes *checkpoint.CorruptRecordError: the store refuses
+			// to resume over damaged state and its message names the
+			// quarantine sidecar and the remediation.
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if store.TornTail() {
+			fmt.Fprintln(os.Stderr, "ber: checkpoint file ended mid-record (torn tail); the fragment was dropped and the sweep resumes from the last durable state")
 		}
 		r.store = store
 	}
@@ -103,6 +119,8 @@ type cliConfig struct {
 	shard         int
 	targetErrors  int
 	maxCI         float64
+	decTimeout    time.Duration
+	fallback      []experiment.DecoderKind
 	checkpointDir string
 	resume        bool
 }
@@ -124,6 +142,8 @@ func parseArgs(args []string) (*cliConfig, error) {
 	maxCI := fs.Float64("max-ci", 0, "stop a point when the Wilson 95% CI half-width reaches this (0 = off)")
 	checkpointDir := fs.String("checkpoint", "", "directory for crash-safe sweep checkpoints (empty = off)")
 	resume := fs.Bool("resume", false, "skip finished points and resume partial ones from -checkpoint")
+	decTimeout := fs.Duration("decode-timeout", 0, "wall-clock budget per decode shard; a hung or crawling shard fails over to -fallback and is counted, instead of stalling the sweep (0 = off)")
+	fallbackFlag := fs.String("fallback", "", "comma-separated decoder kinds that rescue panicking or timed-out shards, in order (e.g. plain-mwpm,bp-osd)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -153,6 +173,19 @@ func parseArgs(args []string) (*cliConfig, error) {
 	if *maxCI < 0 || *maxCI >= 1 {
 		return nil, fmt.Errorf("-max-ci must be in [0, 1) (got %g)", *maxCI)
 	}
+	if *decTimeout < 0 {
+		return nil, fmt.Errorf("-decode-timeout must be >= 0 (got %v)", *decTimeout)
+	}
+	var fallback []experiment.DecoderKind
+	if *fallbackFlag != "" {
+		for _, s := range strings.Split(*fallbackFlag, ",") {
+			k, err := decoderKindByName(strings.TrimSpace(s))
+			if err != nil {
+				return nil, err
+			}
+			fallback = append(fallback, k)
+		}
+	}
 	var ps []float64
 	for _, s := range strings.Split(*psFlag, ",") {
 		p, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
@@ -167,8 +200,20 @@ func parseArgs(args []string) (*cliConfig, error) {
 	return &cliConfig{
 		fig: *figFlag, shots: *shots, seed: *seed, ps: ps, maxN: *maxN,
 		workers: *workers, shard: *shard, targetErrors: *targetErrors, maxCI: *maxCI,
+		decTimeout: *decTimeout, fallback: fallback,
 		checkpointDir: *checkpointDir, resume: *resume,
 	}, nil
+}
+
+// decoderKindByName resolves a -fallback entry against the canonical
+// DecoderKind names (the same strings the result lines print).
+func decoderKindByName(name string) (experiment.DecoderKind, error) {
+	for k := experiment.FlaggedMWPM; k <= experiment.BPOSD; k++ {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown decoder kind %q in -fallback (want one of flagged-mwpm, plain-mwpm, flagged-restriction, baseline-restriction, flagged-unionfind, bp-osd)", name)
 }
 
 var fpnArch = fpn.Options{UseFlags: true, FlagSharing: true, MaxDegree: 4}
@@ -193,6 +238,8 @@ type runner struct {
 	shard        int
 	targetErrors int
 	maxCI        float64
+	decTimeout   time.Duration
+	fallback     []experiment.DecoderKind
 	store        *checkpoint.Store
 	resume       bool
 }
@@ -215,6 +262,7 @@ func (r *runner) pointSched(code *css.Code, arch fpn.Options, sched *schedule.Sc
 		Shots: r.shots, Seed: pointSeed, Decoder: dec, Schedule: sched,
 		Workers: r.workers, ShardShots: r.shard,
 		TargetErrors: r.targetErrors, MaxCI: r.maxCI,
+		DecodeTimeout: r.decTimeout, Fallback: r.fallback,
 	}
 	var key string
 	if r.store != nil {
@@ -283,6 +331,12 @@ func (r *runner) print(code *css.Code, dec experiment.DecoderKind, basis css.Bas
 	}
 	if res.FallbackBlocks > 0 {
 		mark += fmt.Sprintf(" fallback-blocks=%d", res.FallbackBlocks)
+	}
+	if res.TimeoutBlocks > 0 {
+		mark += fmt.Sprintf(" timeout-blocks=%d", res.TimeoutBlocks)
+	}
+	if res.DegradedBlocks > 0 {
+		mark += fmt.Sprintf(" degraded-blocks=%d", res.DegradedBlocks)
 	}
 	fmt.Printf("%-18s %-22s %c p=%-8.1e BER=%.5f BERnorm=%.5f [%0.5f,%0.5f] (%d/%d)%s\n",
 		code.Name, dec, basis, p, res.BER, res.BERNorm, res.CILow, res.CIHigh,

@@ -4,6 +4,9 @@ import (
 	"math"
 	"strings"
 	"testing"
+	"time"
+
+	"github.com/fpn/flagproxy/internal/experiment"
 )
 
 func TestParseArgsDefaults(t *testing.T) {
@@ -70,6 +73,9 @@ func TestParseArgsInvalid(t *testing.T) {
 		{"ps at one", []string{"-ps", "1"}, "not a physical error rate"},
 		{"ps negative", []string{"-ps", "-1e-3"}, "not a physical error rate"},
 		{"non-integer workers", []string{"-workers", "two"}, "invalid value"},
+		{"negative decode-timeout", []string{"-decode-timeout", "-1s"}, "-decode-timeout must be >= 0"},
+		{"unknown fallback kind", []string{"-fallback", "mwpm"}, "unknown decoder kind"},
+		{"fallback typo", []string{"-fallback", "plain-mwpm,bposd"}, "unknown decoder kind"},
 		{"unknown flag", []string{"-frobnicate"}, "flag provided but not defined"},
 	}
 	for _, tc := range cases {
@@ -100,6 +106,33 @@ func TestParseArgsCheckpointFlags(t *testing.T) {
 	}
 	if cfg.checkpointDir != "/tmp/ckpt" || cfg.resume {
 		t.Errorf("checkpoint-only parsed as %+v", cfg)
+	}
+}
+
+func TestParseArgsDeadlineFlags(t *testing.T) {
+	cfg, err := parseArgs([]string{"-decode-timeout", "30s", "-fallback", " plain-mwpm , bp-osd"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.decTimeout != 30*time.Second {
+		t.Errorf("-decode-timeout parsed as %v, want 30s", cfg.decTimeout)
+	}
+	want := []experiment.DecoderKind{experiment.PlainMWPM, experiment.BPOSD}
+	if len(cfg.fallback) != len(want) {
+		t.Fatalf("-fallback parsed as %v", cfg.fallback)
+	}
+	for i, k := range want {
+		if cfg.fallback[i] != k {
+			t.Errorf("-fallback[%d] = %v, want %v", i, cfg.fallback[i], k)
+		}
+	}
+	// Both knobs default to off.
+	cfg, err = parseArgs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.decTimeout != 0 || cfg.fallback != nil {
+		t.Errorf("deadline knobs should default to off: timeout=%v fallback=%v", cfg.decTimeout, cfg.fallback)
 	}
 }
 

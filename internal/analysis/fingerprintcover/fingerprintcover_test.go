@@ -18,6 +18,13 @@ func TestTaggedField(t *testing.T) {
 	analyzertest.Run(t, fingerprintcover.Analyzer, "testdata/tagged")
 }
 
+// TestTimeoutField proves a sched-tagged time.Duration knob (the shape
+// of Config.DecodeTimeout) passes while an untagged sibling of the same
+// type is a finding — the tag, not the type, is what exempts it.
+func TestTimeoutField(t *testing.T) {
+	analyzertest.Run(t, fingerprintcover.Analyzer, "testdata/timeout")
+}
+
 // TestEmbeddedStruct proves embedded-struct fields are required
 // transitively, and that hashing the embedded value wholesale covers
 // its fields.

@@ -1,0 +1,24 @@
+// Package timeout is a fingerprintcover fixture: a decode-deadline
+// knob is scheduling-only — a shard that trips it is re-decoded to the
+// same bits through the fallback chain — so the sched tag exempts it,
+// but an untagged duration field is still a finding.
+package timeout
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"time"
+)
+
+type Config struct {
+	Seed int64
+	//fpnvet:sched deadline reroutes hung shards through the fallback chain; committed streams stay bit-identical
+	DecodeTimeout time.Duration
+	SettleDelay   time.Duration // want "field Config.SettleDelay is not hashed by Fingerprint"
+}
+
+func (c Config) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "seed=%v|", c.Seed)
+	return fmt.Sprintf("%x", h.Sum(nil))
+}

@@ -1,0 +1,44 @@
+// Package chaos is a deterministic fault-injection harness for the
+// sweep engine's three failure boundaries: checkpoint I/O (a
+// checkpoint.FS implementation with transient write failures, plus
+// on-disk corruptors for torn tails, bit rot, truncated and duplicated
+// records), decoder calls (wrappers that hang, crawl, panic or corrupt
+// syndrome bits), and the sampler/decode pipeline they feed. Every
+// decision a fault plan makes — which byte to rot, which call to hang —
+// is derived from (Seed, Name, label) through the same splitmix64 mixer
+// the engine uses for shard RNG, so a failing chaos run replays exactly
+// from its seed; nothing here ever consults wall-clock time or global
+// RNG state for a decision.
+//
+// The package injects faults only through seams the production code
+// already exposes — checkpoint.Options.FS and
+// experiment.Config.WrapDecoder — so the chaos suite exercises the very
+// binaries a sweep runs, not instrumented copies.
+package chaos
+
+import "github.com/fpn/flagproxy/internal/seedmix"
+
+// Plan names one deterministic fault scenario. The zero Name is valid;
+// distinct names yield statistically independent decision streams from
+// the same seed, exactly like the engine's per-block RNG derivation.
+type Plan struct {
+	Seed int64
+	Name string
+}
+
+// Word derives the plan's 64-bit decision word for label, with optional
+// extra indices (e.g. a call number) folded in.
+func (p Plan) Word(label string, idx ...uint64) uint64 {
+	words := make([]uint64, 0, len(idx)+2)
+	words = append(words, seedmix.String(p.Name), seedmix.String(label))
+	words = append(words, idx...)
+	return uint64(seedmix.Derive(p.Seed, words...))
+}
+
+// Pick returns a deterministic value in [0, n); n <= 0 yields 0.
+func (p Plan) Pick(label string, n int, idx ...uint64) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(p.Word(label, idx...) % uint64(n))
+}

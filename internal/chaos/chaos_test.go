@@ -1,0 +1,418 @@
+package chaos_test
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/fpn/flagproxy/internal/chaos"
+	"github.com/fpn/flagproxy/internal/checkpoint"
+	"github.com/fpn/flagproxy/internal/css"
+	"github.com/fpn/flagproxy/internal/experiment"
+	"github.com/fpn/flagproxy/internal/fpn"
+	"github.com/fpn/flagproxy/internal/surface"
+)
+
+// rotated3 is the chaos workload: the [[9,1,3]] rotated surface code,
+// small enough that a full sweep runs in well under a second.
+func rotated3(t testing.TB) *css.Code {
+	t.Helper()
+	l, err := surface.Rotated(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l.Code
+}
+
+var chaosArch = fpn.Options{UseFlags: true, FlagSharing: true, MaxDegree: 4}
+
+// baseConfig is one deterministic sweep point. Workers=1 keeps even the
+// call-indexed fault injectors (hang-at-call-N, corrupt-every-Nth)
+// bit-reproducible.
+func baseConfig(code *css.Code) experiment.Config {
+	return experiment.Config{
+		Code: code, Arch: chaosArch, Basis: css.Z, P: 5e-3, Shots: 640, Seed: 11,
+		Decoder: experiment.FlaggedMWPM, Workers: 1, ShardShots: 64,
+	}
+}
+
+// sweepPoint mirrors cmd/ber's per-point pipeline: open the checkpoint
+// store, resume from any committed prefix, checkpoint every commit, and
+// mark the finished point done. This is the production resume path the
+// fault plans attack.
+func sweepPoint(dir string, cfg experiment.Config, opt checkpoint.Options) (*experiment.Result, error) {
+	st, err := checkpoint.OpenOptions(dir, opt)
+	if err != nil {
+		return nil, err
+	}
+	key := cfg.Fingerprint()
+	if rec, ok := st.Lookup(key); ok {
+		if rec.Done {
+			return experiment.Reconstruct(cfg, rec.Blocks, rec.Shots, rec.Errors, rec.EarlyStopped), nil
+		}
+		cfg.Resume = &experiment.Resume{Blocks: rec.Blocks, Shots: rec.Shots, Errors: rec.Errors}
+	}
+	cfg.OnCommit = func(pr experiment.Progress) {
+		_ = st.Put(checkpoint.Record{Key: key, Blocks: pr.Blocks, Shots: pr.Shots, Errors: pr.Errors})
+	}
+	res, err := experiment.RunContext(context.Background(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	if !res.Interrupted {
+		rec := checkpoint.Record{
+			Key: key, Blocks: res.Blocks, Shots: res.Shots, Errors: res.LogicalErrors,
+			EarlyStopped: res.EarlyStopped, Done: true,
+		}
+		if err := st.Put(rec); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// golden runs the fault-free sweep once per test binary.
+func golden(t *testing.T, code *css.Code) *experiment.Result {
+	t.Helper()
+	res, err := sweepPoint(t.TempDir(), baseConfig(code), checkpoint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LogicalErrors == 0 {
+		t.Fatal("fault-free run saw zero logical errors; bit-identity checks would be vacuous")
+	}
+	return res
+}
+
+func storeFile(dir string) string { return filepath.Join(dir, checkpoint.FileName) }
+
+func TestPlanDeterminism(t *testing.T) {
+	p := chaos.Plan{Seed: 42, Name: "bit-rot"}
+	if p.Word("flip-offset") != p.Word("flip-offset") {
+		t.Fatal("plan words are not stable across calls")
+	}
+	if p.Word("flip-offset") == p.Word("flip-bit") {
+		t.Fatal("distinct labels produced the same decision word")
+	}
+	if p.Word("corrupt-detector", 0) == p.Word("corrupt-detector", 1) {
+		t.Fatal("distinct call indices produced the same decision word")
+	}
+	q := chaos.Plan{Seed: 42, Name: "torn-tail"}
+	if p.Word("flip-offset") == q.Word("flip-offset") {
+		t.Fatal("distinct plan names produced the same decision word")
+	}
+	if (chaos.Plan{}).Pick("anything", 0) != 0 {
+		t.Fatal("Pick(n<=0) must be 0")
+	}
+}
+
+// Fault plan torn-tail: the final record loses its tail mid-byte. The
+// store must drop the fragment, report it via TornTail, and the sweep
+// must recompute to a bit-identical result.
+func TestTornTailSweepRecomputesBitIdentical(t *testing.T) {
+	code := rotated3(t)
+	want := golden(t, code)
+	dir := t.TempDir()
+	if _, err := sweepPoint(dir, baseConfig(code), checkpoint.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := chaos.TearTail(storeFile(dir)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatalf("a torn tail must be tolerated, got %v", err)
+	}
+	if !st.TornTail() {
+		t.Fatal("torn tail was not reported")
+	}
+	if st.Len() != 0 {
+		t.Fatalf("the torn record leaked into the store: %d records", st.Len())
+	}
+	res, err := sweepPoint(dir, baseConfig(code), checkpoint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Net == nil {
+		t.Fatal("sweep served a reconstructed result from a torn record instead of recomputing")
+	}
+	if res.Shots != want.Shots || res.LogicalErrors != want.LogicalErrors {
+		t.Fatalf("recomputed run diverged: got %d/%d, want %d/%d",
+			res.LogicalErrors, res.Shots, want.LogicalErrors, want.Shots)
+	}
+}
+
+// Fault plan bit-rot: one flipped bit mid-record. The store must refuse
+// to load — on every attempt, not just the first — quarantine the file
+// to a sidecar, and only recompute (bit-identically) after the operator
+// removes the damaged file.
+func TestBitRotQuarantinesUntilOperatorIntervenes(t *testing.T) {
+	code := rotated3(t)
+	want := golden(t, code)
+	dir := t.TempDir()
+	if _, err := sweepPoint(dir, baseConfig(code), checkpoint.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	damaged, err := os.ReadFile(storeFile(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := chaos.FlipBit(storeFile(dir), chaos.Plan{Seed: 42, Name: "bit-rot"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	damaged, err = os.ReadFile(storeFile(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		_, err := sweepPoint(dir, baseConfig(code), checkpoint.Options{})
+		var ce *checkpoint.CorruptRecordError
+		if !errors.As(err, &ce) {
+			t.Fatalf("attempt %d: bit rot at offset %d not refused: %v", attempt, off, err)
+		}
+		if ce.Line != 1 || ce.Sidecar == "" {
+			t.Fatalf("attempt %d: quarantine report incomplete: %+v", attempt, ce)
+		}
+		sidecar, err := os.ReadFile(ce.Sidecar)
+		if err != nil {
+			t.Fatalf("attempt %d: sidecar missing: %v", attempt, err)
+		}
+		if string(sidecar) != string(damaged) {
+			t.Fatalf("attempt %d: sidecar is not a byte-identical copy of the damaged file", attempt)
+		}
+	}
+	if err := os.Remove(storeFile(dir)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sweepPoint(dir, baseConfig(code), checkpoint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shots != want.Shots || res.LogicalErrors != want.LogicalErrors {
+		t.Fatalf("post-remediation run diverged: got %d/%d, want %d/%d",
+			res.LogicalErrors, res.Shots, want.LogicalErrors, want.Shots)
+	}
+}
+
+// Fault plan truncated-record: a mid-file record cut short but still
+// newline-terminated must be treated as corruption, never excused as a
+// torn tail.
+func TestTruncatedMidFileRecordRefused(t *testing.T) {
+	code := rotated3(t)
+	dir := t.TempDir()
+	cfgA := baseConfig(code)
+	cfgB := baseConfig(code)
+	cfgB.P = 7e-3 // second record so line 1 is unambiguously mid-file
+	for _, cfg := range []experiment.Config{cfgA, cfgB} {
+		if _, err := sweepPoint(dir, cfg, checkpoint.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := chaos.TruncateRecord(storeFile(dir), 1); err != nil {
+		t.Fatal(err)
+	}
+	_, err := checkpoint.Open(dir)
+	var ce *checkpoint.CorruptRecordError
+	if !errors.As(err, &ce) {
+		t.Fatalf("truncated mid-file record not refused: %v", err)
+	}
+	if ce.Line != 1 {
+		t.Fatalf("corruption reported at line %d, want 1", ce.Line)
+	}
+}
+
+// Fault plan duplicated-record: a byte-identical duplicate line is
+// benign — last wins — and the finished point must still be served from
+// the checkpoint without recomputation.
+func TestDuplicatedRecordIsBenign(t *testing.T) {
+	code := rotated3(t)
+	want := golden(t, code)
+	dir := t.TempDir()
+	if _, err := sweepPoint(dir, baseConfig(code), checkpoint.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := chaos.DuplicateRecord(storeFile(dir), 1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sweepPoint(dir, baseConfig(code), checkpoint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Net != nil {
+		t.Fatal("finished point was recomputed instead of served from the store")
+	}
+	if res.Shots != want.Shots || res.LogicalErrors != want.LogicalErrors {
+		t.Fatalf("reconstructed point diverged: got %d/%d, want %d/%d",
+			res.LogicalErrors, res.Shots, want.LogicalErrors, want.Shots)
+	}
+}
+
+// Fault plan transient-write-errors: the first flushes fail at
+// CreateTemp and Rename. The store's bounded retry must absorb them,
+// the sweep must finish, and a clean reopen must see the done record.
+func TestTransientWriteErrorsRetriedToCompletion(t *testing.T) {
+	code := rotated3(t)
+	want := golden(t, code)
+	dir := t.TempDir()
+	flaky := chaos.NewFlakyFS(checkpoint.OSFS(), 2, 1)
+	opt := checkpoint.Options{FS: flaky, Sleep: func(time.Duration) {}}
+	res, err := sweepPoint(dir, baseConfig(code), opt)
+	if err != nil {
+		t.Fatalf("bounded retry did not absorb transient write errors: %v", err)
+	}
+	if res.Shots != want.Shots || res.LogicalErrors != want.LogicalErrors {
+		t.Fatalf("flaky-FS run diverged: got %d/%d, want %d/%d",
+			res.LogicalErrors, res.Shots, want.LogicalErrors, want.Shots)
+	}
+	if flaky.Creates() < 3 {
+		t.Fatalf("injected create failures were never retried: %d CreateTemp calls", flaky.Creates())
+	}
+	again, err := sweepPoint(dir, baseConfig(code), checkpoint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Net != nil || again.LogicalErrors != want.LogicalErrors {
+		t.Fatalf("store left inconsistent after transient failures: %+v", again)
+	}
+}
+
+// Fault plan hung-decoder: the primary decoder wedges on one call and
+// never panics — only the decode deadline can catch it. The fallback
+// (the same decoder kind, healthy) must rescue the shard within the
+// deadline budget and land bit-identical to the fault-free run, with
+// the degradation explicitly counted.
+func TestHungDecoderRescuedWithinDeadlineBudget(t *testing.T) {
+	code := rotated3(t)
+	want := golden(t, code)
+	release := make(chan struct{})
+	defer close(release)
+	cfg := baseConfig(code)
+	cfg.DecodeTimeout = time.Second
+	cfg.Fallback = []experiment.DecoderKind{experiment.FlaggedMWPM}
+	primaryWrapped := false
+	cfg.WrapDecoder = func(k experiment.DecoderKind, dec experiment.Decoder) experiment.Decoder {
+		// First FlaggedMWPM construction is the primary; the lazy
+		// fallback construction of the same kind stays healthy.
+		if k == experiment.FlaggedMWPM && !primaryWrapped {
+			primaryWrapped = true
+			return &chaos.HungDecoder{Inner: dec, HangAt: 320, Release: release}
+		}
+		return dec
+	}
+	begin := time.Now()
+	res, err := sweepPoint(t.TempDir(), cfg, checkpoint.Options{})
+	elapsed := time.Since(begin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ShardErrors) != 0 {
+		t.Fatalf("hung shard was quarantined instead of rescued: %+v", res.ShardErrors)
+	}
+	if res.TimeoutBlocks != 1 || res.DegradedBlocks != 1 {
+		t.Fatalf("degradation not counted: timeout=%d degraded=%d, want 1/1",
+			res.TimeoutBlocks, res.DegradedBlocks)
+	}
+	if res.Shots != want.Shots || res.LogicalErrors != want.LogicalErrors {
+		t.Fatalf("rescued run diverged: got %d/%d, want %d/%d",
+			res.LogicalErrors, res.Shots, want.LogicalErrors, want.Shots)
+	}
+	if budget := cfg.DecodeTimeout + 30*time.Second; elapsed > budget {
+		t.Fatalf("hung-decoder sweep took %v, exceeding the deadline budget %v", elapsed, budget)
+	}
+}
+
+// Fault plan slow-decoder: a decoder that crawls but finishes under a
+// generous deadline must take the watchdog path without a single bit of
+// drift and without counting any degradation.
+func TestSlowDecoderUnderDeadlineNoDrift(t *testing.T) {
+	code := rotated3(t)
+	want := golden(t, code)
+	cfg := baseConfig(code)
+	cfg.DecodeTimeout = 30 * time.Second
+	cfg.WrapDecoder = func(k experiment.DecoderKind, dec experiment.Decoder) experiment.Decoder {
+		return &chaos.SlowDecoder{Inner: dec, Delay: 20 * time.Microsecond}
+	}
+	res, err := sweepPoint(t.TempDir(), cfg, checkpoint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimeoutBlocks != 0 || res.DegradedBlocks != 0 || len(res.ShardErrors) != 0 {
+		t.Fatalf("slow decoder under a generous deadline degraded: %+v", res)
+	}
+	if res.Shots != want.Shots || res.LogicalErrors != want.LogicalErrors {
+		t.Fatalf("watchdog path changed the result: got %d/%d, want %d/%d",
+			res.LogicalErrors, res.Shots, want.LogicalErrors, want.Shots)
+	}
+}
+
+// Fault plan panicking-decoder: an unrecovered panic mid-sweep loses at
+// most its shard to the (healthy, same-kind) fallback and the result
+// stays bit-identical, with the rescue counted in FallbackBlocks.
+func TestPanickingDecoderFallsBackBitIdentical(t *testing.T) {
+	code := rotated3(t)
+	want := golden(t, code)
+	cfg := baseConfig(code)
+	cfg.Fallback = []experiment.DecoderKind{experiment.FlaggedMWPM}
+	primaryWrapped := false
+	cfg.WrapDecoder = func(k experiment.DecoderKind, dec experiment.Decoder) experiment.Decoder {
+		if k == experiment.FlaggedMWPM && !primaryWrapped {
+			primaryWrapped = true
+			return &chaos.PanicDecoder{Inner: dec, PanicAt: 128}
+		}
+		return dec
+	}
+	res, err := sweepPoint(t.TempDir(), cfg, checkpoint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ShardErrors) != 0 {
+		t.Fatalf("panicking shard was quarantined instead of rescued: %+v", res.ShardErrors)
+	}
+	if res.FallbackBlocks != 1 || res.TimeoutBlocks != 0 || res.DegradedBlocks != 0 {
+		t.Fatalf("rescue accounting wrong: fallback=%d timeout=%d degraded=%d, want 1/0/0",
+			res.FallbackBlocks, res.TimeoutBlocks, res.DegradedBlocks)
+	}
+	if res.Shots != want.Shots || res.LogicalErrors != want.LogicalErrors {
+		t.Fatalf("rescued run diverged: got %d/%d, want %d/%d",
+			res.LogicalErrors, res.Shots, want.LogicalErrors, want.Shots)
+	}
+}
+
+// Fault plan corrupted-syndrome: plan-derived detector-bit flips change
+// what the decoder sees, so the result may legitimately differ from the
+// fault-free run — but it must be reproducible: two sweeps under the
+// same plan are bit-identical to each other.
+func TestCorruptedSyndromeIsDeterministic(t *testing.T) {
+	code := rotated3(t)
+	run := func() (*experiment.Result, int64) {
+		cd := &chaos.CorruptingDecoder{
+			Plan: chaos.Plan{Seed: 42, Name: "corrupted-syndrome"}, Every: 7, Detectors: 16,
+		}
+		cfg := baseConfig(code)
+		cfg.WrapDecoder = func(k experiment.DecoderKind, dec experiment.Decoder) experiment.Decoder {
+			cd.Inner = dec
+			return cd
+		}
+		res, err := sweepPoint(t.TempDir(), cfg, checkpoint.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, cd.Flips()
+	}
+	a, flipsA := run()
+	b, flipsB := run()
+	if flipsA == 0 {
+		t.Fatal("corrupting decoder never fired")
+	}
+	if flipsA != flipsB {
+		t.Fatalf("flip schedules diverged across identical plans: %d vs %d", flipsA, flipsB)
+	}
+	if a.Shots != b.Shots || a.LogicalErrors != b.LogicalErrors {
+		t.Fatalf("identical fault plans produced different results: %d/%d vs %d/%d",
+			a.LogicalErrors, a.Shots, b.LogicalErrors, b.Shots)
+	}
+}

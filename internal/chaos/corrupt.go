@@ -1,0 +1,98 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+)
+
+// TearTail cuts the file's final record roughly in half and drops the
+// trailing newline, imitating a foreign writer killed mid-append or a
+// filesystem-level truncation — the one damage class the checkpoint
+// store must tolerate (dropping the fragment) rather than refuse.
+func TearTail(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("chaos: tear tail: %w", err)
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("chaos: tear tail: %s is empty", path)
+	}
+	body := bytes.TrimSuffix(data, []byte("\n"))
+	lastNL := bytes.LastIndexByte(body, '\n')
+	lastLen := len(body) - (lastNL + 1)
+	if lastLen == 0 {
+		return fmt.Errorf("chaos: tear tail: %s has no final record", path)
+	}
+	cut := lastNL + 1 + (lastLen+1)/2
+	return os.WriteFile(path, body[:cut], 0o666)
+}
+
+// FlipBit flips one plan-chosen bit inside the first record line of the
+// file — a newline-terminated line, so never confusable with a torn
+// tail — and returns the flipped byte offset. Every such flip is
+// detectable: it either breaks the line's JSON structure or changes the
+// checksummed bytes out from under the stored CRC32-C.
+func FlipBit(path string, p Plan) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("chaos: flip bit: %w", err)
+	}
+	firstNL := bytes.IndexByte(data, '\n')
+	if firstNL <= 0 {
+		return 0, fmt.Errorf("chaos: flip bit: %s has no newline-terminated record", path)
+	}
+	off := p.Pick("flip-offset", firstNL)
+	data[off] ^= 1 << p.Pick("flip-bit", 8)
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		return 0, fmt.Errorf("chaos: flip bit: %w", err)
+	}
+	return off, nil
+}
+
+// TruncateRecord cuts the 1-based line-th record roughly in half while
+// keeping its terminating newline: mid-file damage that a torn-tail
+// heuristic must never excuse.
+func TruncateRecord(path string, line int) error {
+	lines, err := splitRecords(path, line)
+	if err != nil {
+		return fmt.Errorf("chaos: truncate record: %w", err)
+	}
+	rec := bytes.TrimSuffix(lines[line-1], []byte("\n"))
+	lines[line-1] = append(rec[:(len(rec)+1)/2:(len(rec)+1)/2], '\n')
+	return os.WriteFile(path, bytes.Join(lines, nil), 0o666)
+}
+
+// DuplicateRecord inserts a byte-identical copy of the 1-based line-th
+// record directly after it — benign damage: the store's last-wins
+// semantics must absorb it without a report.
+func DuplicateRecord(path string, line int) error {
+	lines, err := splitRecords(path, line)
+	if err != nil {
+		return fmt.Errorf("chaos: duplicate record: %w", err)
+	}
+	dup := append([][]byte{}, lines[:line]...)
+	dup = append(dup, lines[line-1])
+	dup = append(dup, lines[line:]...)
+	return os.WriteFile(path, bytes.Join(dup, nil), 0o666)
+}
+
+// splitRecords reads path into newline-inclusive lines and checks that
+// the 1-based line index addresses a newline-terminated record.
+func splitRecords(path string, line int) ([][]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	if n := len(lines); n > 0 && len(lines[n-1]) == 0 {
+		lines = lines[:n-1]
+	}
+	if line < 1 || line > len(lines) {
+		return nil, fmt.Errorf("%s has %d records, no line %d", path, len(lines), line)
+	}
+	if !bytes.HasSuffix(lines[line-1], []byte("\n")) {
+		return nil, fmt.Errorf("%s line %d is not newline-terminated", path, line)
+	}
+	return lines, nil
+}

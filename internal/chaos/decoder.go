@@ -1,0 +1,102 @@
+package chaos
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Decoder mirrors experiment.Decoder structurally, so the wrappers here
+// plug straight into experiment.Config.WrapDecoder without this package
+// importing the engine.
+type Decoder interface {
+	Decode(func(int) bool) ([]bool, error)
+}
+
+// SlowDecoder sleeps before every decode call: a decoder that crawls
+// but finishes. Under a generous Config.DecodeTimeout it must change
+// nothing; under a tight one it trips the deadline path.
+type SlowDecoder struct {
+	Inner Decoder
+	Delay time.Duration
+}
+
+// Decode sleeps Delay, then delegates.
+func (d *SlowDecoder) Decode(bit func(int) bool) ([]bool, error) {
+	time.Sleep(d.Delay)
+	return d.Inner.Decode(bit)
+}
+
+// HungDecoder blocks exactly one decode call (0-based index HangAt)
+// until Release is closed: a decoder that wedges without panicking, the
+// failure mode only Config.DecodeTimeout can catch. Tests must close
+// Release before returning so the abandoned attempt goroutine exits.
+type HungDecoder struct {
+	Inner   Decoder
+	HangAt  int64
+	Release chan struct{}
+	calls   atomic.Int64
+}
+
+// Decode blocks on call HangAt until Release is closed, then delegates.
+func (d *HungDecoder) Decode(bit func(int) bool) ([]bool, error) {
+	if d.calls.Add(1)-1 == d.HangAt {
+		<-d.Release
+	}
+	return d.Inner.Decode(bit)
+}
+
+// Calls reports how many decode calls the wrapper has seen.
+func (d *HungDecoder) Calls() int64 { return d.calls.Load() }
+
+// PanicDecoder panics on exactly one decode call (0-based index
+// PanicAt), imitating an unrecovered invariant failure deep in a
+// third-party decoder — the engine must quarantine or fall back, never
+// die.
+type PanicDecoder struct {
+	Inner   Decoder
+	PanicAt int64
+	calls   atomic.Int64
+}
+
+// Decode panics on call PanicAt, otherwise delegates.
+func (d *PanicDecoder) Decode(bit func(int) bool) ([]bool, error) {
+	if d.calls.Add(1)-1 == d.PanicAt {
+		panic("chaos: injected decoder panic")
+	}
+	return d.Inner.Decode(bit)
+}
+
+// CorruptingDecoder flips one plan-chosen detector bit on every Every-th
+// decode call (calls 0, Every, 2*Every, …) before delegating, modeling
+// corruption between sampler and decoder. The flipped detector is
+// derived from (Plan, call index), so a run replays bit-identically
+// under the same plan — provided the engine runs with Workers=1, since
+// the call→shot mapping depends on worker interleaving otherwise.
+type CorruptingDecoder struct {
+	Inner     Decoder
+	Plan      Plan
+	Every     int64 // corrupt calls where call%Every == 0; <= 0 disables
+	Detectors int   // detector-index range to corrupt within
+	calls     atomic.Int64
+	flips     atomic.Int64
+}
+
+// Decode corrupts the syndrome view on scheduled calls, then delegates.
+func (d *CorruptingDecoder) Decode(bit func(int) bool) ([]bool, error) {
+	n := d.calls.Add(1) - 1
+	if d.Every > 0 && d.Detectors > 0 && n%d.Every == 0 {
+		d.flips.Add(1)
+		flip := d.Plan.Pick("corrupt-detector", d.Detectors, uint64(n))
+		inner := bit
+		bit = func(i int) bool {
+			if i == flip {
+				return !inner(i)
+			}
+			return inner(i)
+		}
+	}
+	return d.Inner.Decode(bit)
+}
+
+// Flips reports how many decode calls were served a corrupted syndrome.
+func (d *CorruptingDecoder) Flips() int64 { return d.flips.Load() }

@@ -1,0 +1,75 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/fpn/flagproxy/internal/checkpoint"
+)
+
+// FlakyFS wraps a checkpoint.FS and fails a configured number of
+// CreateTemp and Rename calls — the two operations of the store's
+// atomic-rename protocol a loaded filesystem actually refuses — so the
+// store's bounded retry is exercised deterministically. Failures are
+// consumed in call order; once the budgets are spent the FS behaves
+// like its inner implementation.
+type FlakyFS struct {
+	checkpoint.FS
+	mu          sync.Mutex
+	failCreates int
+	failRenames int
+	creates     int
+	renames     int
+}
+
+// NewFlakyFS wraps inner, failing the first failCreates CreateTemp and
+// the first failRenames Rename calls with transient errors.
+func NewFlakyFS(inner checkpoint.FS, failCreates, failRenames int) *FlakyFS {
+	return &FlakyFS{FS: inner, failCreates: failCreates, failRenames: failRenames}
+}
+
+// CreateTemp counts the call and either injects a failure or delegates.
+func (f *FlakyFS) CreateTemp(dir, pattern string) (checkpoint.File, error) {
+	f.mu.Lock()
+	f.creates++
+	fail := f.failCreates > 0
+	if fail {
+		f.failCreates--
+	}
+	f.mu.Unlock()
+	if fail {
+		return nil, fmt.Errorf("chaos: injected transient CreateTemp failure")
+	}
+	return f.FS.CreateTemp(dir, pattern)
+}
+
+// Rename counts the call and either injects a failure or delegates.
+func (f *FlakyFS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	f.renames++
+	fail := f.failRenames > 0
+	if fail {
+		f.failRenames--
+	}
+	f.mu.Unlock()
+	if fail {
+		return fmt.Errorf("chaos: injected transient Rename failure")
+	}
+	return f.FS.Rename(oldpath, newpath)
+}
+
+// Creates reports the total CreateTemp calls seen, injected failures
+// included.
+func (f *FlakyFS) Creates() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.creates
+}
+
+// Renames reports the total Rename calls seen, injected failures
+// included.
+func (f *FlakyFS) Renames() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.renames
+}

@@ -7,6 +7,17 @@
 // the new complete state, never a torn write: SIGKILL at any instant
 // loses at most the blocks committed since the last Put.
 //
+// Records are framed with a schema version and a CRC32-C checksum, so
+// the store distinguishes the one tolerable failure mode — a torn
+// final line from an interrupted foreign writer or a filesystem-level
+// truncation — from mid-file corruption (bit-rot, manual editing, a
+// hostile writer). A torn tail is dropped and reported via TornTail;
+// anything else surfaces as a *CorruptRecordError with the offending
+// line number, and the whole file is quarantined to a ".corrupt"
+// sidecar so the evidence survives while no resume is ever silently
+// recomputed over damaged state. Pre-CRC (version-1) files — bare
+// Record JSON per line — still load via the version probe.
+//
 // The format is deliberately engine-agnostic: records carry only the
 // block-aligned committed prefix (blocks, shots, errors) plus the
 // done/early-stopped markers. Everything else — what the key means,
@@ -15,16 +26,27 @@ package checkpoint
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
-	"os"
+	"hash/crc32"
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 )
 
 // FileName is the store's file inside its directory.
 const FileName = "sweep.jsonl"
+
+// Version is the current record-frame schema generation. Version 1 is
+// the pre-CRC format (a bare Record JSON object per line); version 2
+// wraps each record in a {"v","crc","rec"} frame whose crc field is
+// CRC32-C over the exact rec bytes.
+const Version = 2
+
+// castagnoli is the CRC32-C polynomial table shared by every frame.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Record is one sweep point's committed prefix.
 type Record struct {
@@ -43,50 +65,227 @@ type Record struct {
 	Done bool `json:"done,omitempty"`
 }
 
+// frame is the on-disk envelope of one version-2 record line.
+type frame struct {
+	V   int             `json:"v"`
+	CRC uint32          `json:"crc"` // CRC32-C over the raw Rec bytes
+	Rec json.RawMessage `json:"rec"`
+}
+
+// CorruptRecordError reports a record that is damaged in a way a torn
+// tail cannot explain: garbage or a failed checksum on a line that is
+// not the file's final, newline-less fragment. The store refuses to
+// load — resuming over silently dropped records would recompute (and
+// possibly splice) state the operator believes is committed — and the
+// damaged file is copied to Sidecar for forensics before the error is
+// returned.
+type CorruptRecordError struct {
+	Path    string // store file that failed to load
+	Line    int    // 1-based line number of the corrupt record
+	Reason  string // what was wrong with it
+	Sidecar string // copy of the damaged file, "" if the copy failed
+}
+
+func (e *CorruptRecordError) Error() string {
+	msg := fmt.Sprintf("checkpoint: %s:%d: corrupt record (%s); refusing to resume over damaged state", e.Path, e.Line, e.Reason)
+	if e.Sidecar != "" {
+		msg += fmt.Sprintf("; file quarantined to %s — inspect it, then delete %s to start fresh", e.Sidecar, e.Path)
+	}
+	return msg
+}
+
+// Options configures a Store beyond its directory. The zero value is
+// the production configuration: the real filesystem and a small bounded
+// retry for transient write errors.
+type Options struct {
+	// FS supplies the file operations; nil means the real filesystem.
+	// The chaos harness injects failing/corrupting implementations here.
+	FS FS
+	// RetryAttempts is the total number of flush attempts per Put
+	// (first try included) before the error is returned; 0 means 3.
+	RetryAttempts int
+	// RetryBackoff is the pause before the first retry, doubling each
+	// attempt; 0 means 25ms.
+	RetryBackoff time.Duration
+	// Sleep, when non-nil, replaces time.Sleep for the retry backoff so
+	// tests and the chaos suite stay fast and deterministic.
+	Sleep func(time.Duration)
+}
+
 // Store is an atomic on-disk map from fingerprint to Record. It is safe
 // for concurrent use by multiple goroutines of one process; it does not
 // arbitrate between processes (two sweeps sharing a directory will
 // last-writer-win whole files, never corrupt them).
 type Store struct {
-	mu    sync.Mutex
-	path  string
-	recs  map[string]Record
-	order []string // first-seen key order, for stable file output
+	mu       sync.Mutex
+	path     string
+	fs       FS
+	attempts int
+	backoff  time.Duration
+	sleep    func(time.Duration)
+	torn     bool // a trailing partial record was dropped at load
+	recs     map[string]Record
+	order    []string // first-seen key order, for stable file output
 }
 
-// Open creates dir if needed and loads any existing records from it.
-// Unparsable lines (e.g. a torn line from a pre-rename crash of a
-// foreign writer) are skipped rather than failing the sweep; for
-// duplicate keys the last record wins.
+// Open creates dir if needed and loads any existing records from it
+// with the default Options. A torn final line (a pre-rename crash of a
+// foreign writer, a truncated filesystem) is dropped and reported via
+// TornTail; any other damage fails the open with a *CorruptRecordError
+// after quarantining the file to a ".corrupt" sidecar. For duplicate
+// keys the last record wins.
 func Open(dir string) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o777); err != nil {
+	return OpenOptions(dir, Options{})
+}
+
+// OpenOptions is Open with explicit filesystem and retry configuration.
+func OpenOptions(dir string, opt Options) (*Store, error) {
+	fs := opt.FS
+	if fs == nil {
+		fs = OSFS()
+	}
+	attempts := opt.RetryAttempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	backoff := opt.RetryBackoff
+	if backoff <= 0 {
+		backoff = 25 * time.Millisecond
+	}
+	sleep := opt.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	if err := fs.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
-	s := &Store{path: filepath.Join(dir, FileName), recs: map[string]Record{}}
-	f, err := os.Open(s.path)
-	if err != nil {
-		if os.IsNotExist(err) {
-			return s, nil
-		}
-		return nil, fmt.Errorf("checkpoint: %w", err)
+	s := &Store{
+		path: filepath.Join(dir, FileName), fs: fs,
+		attempts: attempts, backoff: backoff, sleep: sleep,
+		recs: map[string]Record{},
 	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	for sc.Scan() {
-		var r Record
-		if err := json.Unmarshal(sc.Bytes(), &r); err != nil || r.Key == "" {
-			continue
-		}
-		if _, seen := s.recs[r.Key]; !seen {
-			s.order = append(s.order, r.Key)
-		}
-		s.recs[r.Key] = r
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("checkpoint: reading %s: %w", s.path, err)
+	if err := s.load(); err != nil {
+		return nil, err
 	}
 	return s, nil
+}
+
+// load reads and verifies the store file. Only a trailing newline-less
+// fragment may fail to parse (torn tail, tolerated and flagged); any
+// mid-file damage quarantines the file and returns *CorruptRecordError.
+func (s *Store) load() error {
+	data, err := s.fs.ReadFile(s.path)
+	if err != nil {
+		if s.fs.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	lines := bytes.Split(data, []byte("\n"))
+	// A well-formed file ends with a newline, so the final split element
+	// is empty; a non-empty final element is a torn-tail candidate.
+	tornCandidate := len(data) > 0 && len(lines[len(lines)-1]) > 0
+	for i, line := range lines {
+		last := i == len(lines)-1
+		if len(line) == 0 {
+			if last {
+				continue // the terminating newline of a healthy file
+			}
+			return s.quarantine(data, i+1, "empty line inside the record stream")
+		}
+		rec, err := decodeLine(line)
+		if err != nil {
+			if last && tornCandidate {
+				// The one tolerable failure: the file ends mid-record
+				// with no trailing newline. The fragment is at most the
+				// newest Put, which a resume recomputes anyway.
+				s.torn = true
+				continue
+			}
+			return s.quarantine(data, i+1, err.Error())
+		}
+		if _, seen := s.recs[rec.Key]; !seen {
+			s.order = append(s.order, rec.Key)
+		}
+		s.recs[rec.Key] = rec
+	}
+	return nil
+}
+
+// quarantine copies the damaged file to a ".corrupt" sidecar and builds
+// the load error. The original stays in place so a rerun keeps failing
+// loudly until the operator inspects and removes it — damaged state is
+// never silently recomputed over.
+func (s *Store) quarantine(data []byte, line int, reason string) error {
+	sidecar := s.path + ".corrupt"
+	if err := s.fs.WriteFile(sidecar, data); err != nil {
+		sidecar = ""
+	}
+	return &CorruptRecordError{Path: s.path, Line: line, Reason: reason, Sidecar: sidecar}
+}
+
+// decodeLine parses one record line of either schema generation.
+func decodeLine(line []byte) (Record, error) {
+	var probe struct {
+		V int `json:"v"`
+	}
+	if err := json.Unmarshal(line, &probe); err != nil {
+		return Record{}, fmt.Errorf("not a JSON record: %v", err)
+	}
+	switch probe.V {
+	case 0:
+		// Legacy version 1: a bare Record object (no frame, no CRC).
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return Record{}, fmt.Errorf("bad v1 record: %v", err)
+		}
+		if rec.Key == "" {
+			return Record{}, fmt.Errorf("v1 record has an empty key")
+		}
+		return rec, nil
+	case Version:
+		var fr frame
+		if err := json.Unmarshal(line, &fr); err != nil {
+			return Record{}, fmt.Errorf("bad v%d frame: %v", Version, err)
+		}
+		if got := crc32.Checksum(fr.Rec, castagnoli); got != fr.CRC {
+			return Record{}, fmt.Errorf("CRC32-C mismatch: stored %08x, computed %08x (bit rot?)", fr.CRC, got)
+		}
+		var rec Record
+		if err := json.Unmarshal(fr.Rec, &rec); err != nil {
+			return Record{}, fmt.Errorf("bad record inside a checksummed frame: %v", err)
+		}
+		if rec.Key == "" {
+			return Record{}, fmt.Errorf("record has an empty key")
+		}
+		return rec, nil
+	default:
+		return Record{}, fmt.Errorf("unsupported record version %d (this binary writes v%d)", probe.V, Version)
+	}
+}
+
+// encodeLine frames rec with the current schema version and its CRC32-C.
+func encodeLine(rec Record) ([]byte, error) {
+	recBytes, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	fr := frame{V: Version, CRC: crc32.Checksum(recBytes, castagnoli), Rec: recBytes}
+	out, err := json.Marshal(fr)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// TornTail reports whether the load dropped a trailing partial record —
+// the expected artifact of a foreign writer killed mid-write. The
+// dropped fragment is at most one Put behind the durable prefix, so
+// resuming is safe; callers may want to tell the operator anyway.
+func (s *Store) TornTail() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.torn
 }
 
 // Lookup returns the record stored for key, if any.
@@ -114,7 +313,10 @@ func (s *Store) Keys() []string {
 // Put upserts rec and atomically rewrites the store file: the new
 // content is written to a temp file in the same directory, fsynced,
 // and renamed over the old file. A crash at any point leaves the
-// previous complete file in place.
+// previous complete file in place. Transient I/O failures are retried
+// with exponential backoff up to the configured attempt budget; the
+// in-memory state keeps the record either way, so a later Put retries
+// the flush implicitly.
 func (s *Store) Put(rec Record) error {
 	if rec.Key == "" {
 		return fmt.Errorf("checkpoint: record has an empty key")
@@ -125,21 +327,36 @@ func (s *Store) Put(rec Record) error {
 		s.order = append(s.order, rec.Key)
 	}
 	s.recs[rec.Key] = rec
-	return s.flushLocked()
+	var err error
+	backoff := s.backoff
+	for attempt := 0; attempt < s.attempts; attempt++ {
+		if attempt > 0 {
+			s.sleep(backoff)
+			backoff *= 2
+		}
+		if err = s.flushLocked(); err == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("checkpoint: flush failed after %d attempts: %w", s.attempts, err)
 }
 
 func (s *Store) flushLocked() error {
 	dir := filepath.Dir(s.path)
-	tmp, err := os.CreateTemp(dir, FileName+".tmp-*")
+	tmp, err := s.fs.CreateTemp(dir, FileName+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	defer func() { _ = s.fs.Remove(tmp.Name()) }() // no-op after a successful rename
 	w := bufio.NewWriter(tmp)
-	enc := json.NewEncoder(w)
 	for _, key := range s.order {
-		if err := enc.Encode(s.recs[key]); err != nil {
+		line, err := encodeLine(s.recs[key])
+		if err != nil {
 			_ = tmp.Close() // already failing; the encode error wins
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+		if _, err := w.Write(line); err != nil {
+			_ = tmp.Close() // already failing; the write error wins
 			return fmt.Errorf("checkpoint: %w", err)
 		}
 	}
@@ -154,16 +371,13 @@ func (s *Store) flushLocked() error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), s.path); err != nil {
+	if err := s.fs.Rename(tmp.Name(), s.path); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	// Durability of the rename itself needs a directory fsync; treat a
 	// failure as best-effort (some filesystems reject dir syncs) — the
 	// data file is already consistent either way.
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		_ = d.Close()
-	}
+	_ = s.fs.SyncDir(dir)
 	return nil
 }
 

@@ -1,10 +1,13 @@
 package checkpoint
 
 import (
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestRoundTrip(t *testing.T) {
@@ -39,6 +42,9 @@ func TestRoundTrip(t *testing.T) {
 			t.Errorf("key %q: reloaded %+v, want %+v", want.Key, got, want)
 		}
 	}
+	if s2.TornTail() {
+		t.Error("clean file reported a torn tail")
+	}
 }
 
 func TestPutOverwritesAndPersistsLatest(t *testing.T) {
@@ -70,39 +76,153 @@ func TestPutOverwritesAndPersistsLatest(t *testing.T) {
 	}
 }
 
-func TestOpenToleratesCorruptLines(t *testing.T) {
-	dir := t.TempDir()
-	content := `{"key":"good","blocks":4,"shots":256,"errors":1}
-not json at all
-{"blocks":9,"shots":576,"errors":0}
-{"key":"tail","blocks":2,"shots":128,"errors":0,"done":true}
-{"key":"torn","blo`
+// writeStore puts raw file content in place for load-path tests.
+func writeStore(t *testing.T, dir, content string) {
+	t.Helper()
 	if err := os.WriteFile(filepath.Join(dir, FileName), []byte(content), 0o666); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// v2Line frames a record exactly as the store writes it.
+func v2Line(t *testing.T, rec Record) string {
+	t.Helper()
+	b, err := encodeLine(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// Legacy (pre-CRC) files — bare Record JSON per line — must still load
+// via the version probe, so old sweeps resume under the new binary.
+func TestLoadsLegacyV1Records(t *testing.T) {
+	dir := t.TempDir()
+	writeStore(t, dir, `{"key":"old-a","blocks":4,"shots":256,"errors":1}
+{"key":"old-b","blocks":2,"shots":128,"errors":0,"done":true}
+`)
 	s, err := Open(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if s.Len() != 2 {
-		t.Fatalf("loaded %d records from a partially corrupt file, want 2 (good, tail)", s.Len())
+		t.Fatalf("loaded %d v1 records, want 2", s.Len())
 	}
-	if _, ok := s.Lookup("good"); !ok {
-		t.Error("record before the corruption was dropped")
+	if r, ok := s.Lookup("old-b"); !ok || !r.Done {
+		t.Fatalf("v1 record mangled: %+v (ok=%v)", r, ok)
 	}
-	if r, ok := s.Lookup("tail"); !ok || !r.Done {
-		t.Errorf("record after the corruption was dropped or mangled: %+v (ok=%v)", r, ok)
+	// A Put rewrites the whole file in the current format; reloading
+	// must keep both records.
+	if err := s.Put(Record{Key: "new", Blocks: 1, Shots: 64}); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 3 {
+		t.Fatalf("v1→v2 rewrite lost records: %d, want 3", s2.Len())
 	}
 }
 
-func TestDuplicateKeysLastWins(t *testing.T) {
+// A trailing newline-less fragment is the expected crash artifact of a
+// foreign writer: tolerated, dropped, and reported via TornTail.
+func TestTornTailToleratedAndReported(t *testing.T) {
 	dir := t.TempDir()
-	content := `{"key":"p","blocks":1,"shots":64,"errors":0}
-{"key":"p","blocks":7,"shots":448,"errors":2}
-`
-	if err := os.WriteFile(filepath.Join(dir, FileName), []byte(content), 0o666); err != nil {
-		t.Fatal(err)
+	good := v2Line(t, Record{Key: "good", Blocks: 4, Shots: 256, Errors: 1})
+	writeStore(t, dir, good+`{"v":2,"crc":123,"rec":{"key":"torn","blo`)
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("torn tail must not fail the open: %v", err)
 	}
+	if s.Len() != 1 {
+		t.Fatalf("loaded %d records, want 1 (the healthy prefix)", s.Len())
+	}
+	if !s.TornTail() {
+		t.Error("torn tail was not reported")
+	}
+	if _, err := os.Stat(filepath.Join(dir, FileName) + ".corrupt"); !os.IsNotExist(err) {
+		t.Error("a tolerable torn tail must not be quarantined")
+	}
+}
+
+// Mid-file garbage — here a line that is not JSON at all — must surface
+// as a CorruptRecordError naming the line, and quarantine the file.
+func TestMidFileGarbageIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	content := v2Line(t, Record{Key: "good", Blocks: 4, Shots: 256, Errors: 1}) +
+		"not json at all\n" +
+		v2Line(t, Record{Key: "tail", Blocks: 2, Shots: 128, Errors: 0, Done: true})
+	writeStore(t, dir, content)
+	_, err := Open(dir)
+	var ce *CorruptRecordError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CorruptRecordError, got %v", err)
+	}
+	if ce.Line != 2 {
+		t.Errorf("corrupt line reported as %d, want 2", ce.Line)
+	}
+	sidecar, err2 := os.ReadFile(ce.Sidecar)
+	if err2 != nil {
+		t.Fatalf("sidecar missing: %v", err2)
+	}
+	if string(sidecar) != content {
+		t.Error("sidecar does not preserve the damaged file byte-for-byte")
+	}
+	// The original must stay: a blind rerun has to keep failing loudly
+	// instead of silently starting fresh.
+	if _, err := os.Stat(filepath.Join(dir, FileName)); err != nil {
+		t.Errorf("damaged store file was removed: %v", err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Error("reopening over damaged state silently succeeded")
+	}
+}
+
+// A flipped bit that still decodes as JSON used to be committed as
+// truth; the CRC32-C frame now catches it as mid-file corruption.
+func TestBitRotFailsCRC(t *testing.T) {
+	dir := t.TempDir()
+	rotted := v2Line(t, Record{Key: "rot", Blocks: 40, Shots: 2560, Errors: 9})
+	// Flip one digit inside the framed record: still valid JSON, wrong
+	// CRC. The blocks count 40 appears in the rec payload.
+	rotted = strings.Replace(rotted, `"blocks":40`, `"blocks":41`, 1)
+	content := rotted + v2Line(t, Record{Key: "after", Blocks: 1, Shots: 64})
+	writeStore(t, dir, content)
+	_, err := Open(dir)
+	var ce *CorruptRecordError
+	if !errors.As(err, &ce) {
+		t.Fatalf("bit rot not detected: %v", err)
+	}
+	if ce.Line != 1 || !strings.Contains(ce.Reason, "CRC32-C") {
+		t.Errorf("unexpected corruption report: line=%d reason=%q", ce.Line, ce.Reason)
+	}
+}
+
+// A mid-file record cut short (truncated, but newline-terminated) is
+// corruption, not a torn tail: tears can only exist at the end.
+func TestTruncatedMidFileRecordIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	full := v2Line(t, Record{Key: "cut", Blocks: 8, Shots: 512, Errors: 2})
+	truncated := full[:len(full)/2] + "\n"
+	writeStore(t, dir, truncated+v2Line(t, Record{Key: "after", Blocks: 1, Shots: 64}))
+	_, err := Open(dir)
+	var ce *CorruptRecordError
+	if !errors.As(err, &ce) {
+		t.Fatalf("mid-file truncation not detected: %v", err)
+	}
+	if ce.Line != 1 {
+		t.Errorf("corrupt line reported as %d, want 1", ce.Line)
+	}
+}
+
+// A fully duplicated record is benign: last wins, exactly like a Put
+// replaying the same key.
+func TestDuplicatedRecordIsBenign(t *testing.T) {
+	dir := t.TempDir()
+	writeStore(t, dir,
+		v2Line(t, Record{Key: "p", Blocks: 1, Shots: 64, Errors: 0})+
+			v2Line(t, Record{Key: "p", Blocks: 7, Shots: 448, Errors: 2}))
 	s, err := Open(dir)
 	if err != nil {
 		t.Fatal(err)
@@ -113,6 +233,22 @@ func TestDuplicateKeysLastWins(t *testing.T) {
 	}
 	if s.Len() != 1 {
 		t.Fatalf("duplicate key counted twice: Len=%d", s.Len())
+	}
+}
+
+// Records from a future schema generation must fail loudly rather than
+// be guessed at.
+func TestUnsupportedVersionIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	writeStore(t, dir, `{"v":9,"crc":0,"rec":{"key":"future"}}
+`)
+	_, err := Open(dir)
+	var ce *CorruptRecordError
+	if !errors.As(err, &ce) {
+		t.Fatalf("future version accepted: %v", err)
+	}
+	if !strings.Contains(ce.Reason, "version 9") {
+		t.Errorf("reason does not name the version: %q", ce.Reason)
 	}
 }
 
@@ -147,5 +283,99 @@ func TestNoTempFilesLeftBehind(t *testing.T) {
 			names[i] = e.Name()
 		}
 		t.Fatalf("directory holds %v, want only %s", names, FileName)
+	}
+}
+
+// flakyFS wraps the real FS and fails the first failCreates CreateTemp
+// calls, imitating transient I/O errors (ENOSPC bursts, NFS hiccups).
+type flakyFS struct {
+	FS
+	failCreates int
+	creates     int
+}
+
+func (f *flakyFS) CreateTemp(dir, pattern string) (File, error) {
+	f.creates++
+	if f.creates <= f.failCreates {
+		return nil, fmt.Errorf("injected transient create failure %d", f.creates)
+	}
+	return f.FS.CreateTemp(dir, pattern)
+}
+
+// Transient write errors must be retried with backoff until the flush
+// lands; the store file then holds the record as if nothing happened.
+func TestPutRetriesTransientWriteErrors(t *testing.T) {
+	dir := t.TempDir()
+	var slept []time.Duration
+	fs := &flakyFS{FS: OSFS(), failCreates: 2}
+	s, err := OpenOptions(dir, Options{
+		FS:            fs,
+		RetryAttempts: 3,
+		RetryBackoff:  time.Millisecond,
+		Sleep:         func(d time.Duration) { slept = append(slept, d) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Record{Key: "r", Blocks: 3, Shots: 192, Errors: 1}); err != nil {
+		t.Fatalf("Put did not survive transient failures: %v", err)
+	}
+	if len(slept) != 2 || slept[0] != time.Millisecond || slept[1] != 2*time.Millisecond {
+		t.Errorf("backoff schedule %v, want [1ms 2ms]", slept)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := s2.Lookup("r"); !ok || r.Blocks != 3 {
+		t.Fatalf("retried flush did not persist: %+v (ok=%v)", r, ok)
+	}
+}
+
+// A failure outlasting the retry budget surfaces; the record stays in
+// memory so the next Put retries the flush implicitly.
+func TestPutExhaustsRetryBudget(t *testing.T) {
+	dir := t.TempDir()
+	fs := &flakyFS{FS: OSFS(), failCreates: 100}
+	s, err := OpenOptions(dir, Options{
+		FS: fs, RetryAttempts: 3, RetryBackoff: time.Millisecond,
+		Sleep: func(time.Duration) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Record{Key: "r", Blocks: 1, Shots: 64}); err == nil {
+		t.Fatal("Put swallowed a persistent write failure")
+	}
+	if fs.creates != 3 {
+		t.Errorf("flush attempted %d times, want 3", fs.creates)
+	}
+	// The write path heals: the next Put lands both records.
+	fs.failCreates = 0
+	if err := s.Put(Record{Key: "r2", Blocks: 2, Shots: 128}); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("healed flush lost records: Len=%d, want 2", s2.Len())
+	}
+}
+
+func TestProbeDir(t *testing.T) {
+	if err := ProbeDir(t.TempDir()); err != nil {
+		t.Fatalf("probe failed on a writable directory: %v", err)
+	}
+	if os.Getuid() == 0 {
+		t.Skip("running as root: read-only directory permissions are not enforced")
+	}
+	ro := filepath.Join(t.TempDir(), "ro")
+	if err := os.Mkdir(ro, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	if err := ProbeDir(ro); err == nil {
+		t.Fatal("probe succeeded on a read-only directory")
 	}
 }

@@ -1,0 +1,110 @@
+// Filesystem seam of the checkpoint store. Production code runs on the
+// real filesystem; the chaos harness and the tests inject FS
+// implementations that fail transiently, corrupt bytes, or tear writes,
+// so every recovery path in the store is exercised deterministically.
+package checkpoint
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// FS is the set of file operations Store performs. Implementations must
+// be safe for concurrent use by the goroutines sharing one Store.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// ReadFile returns the full content of name. A missing file must
+	// return an error recognized by IsNotExist.
+	ReadFile(name string) ([]byte, error)
+	// IsNotExist classifies ReadFile errors for missing files.
+	IsNotExist(err error) bool
+	// WriteFile writes data to name in one call (used for the corrupt
+	// sidecar, never for the store file itself).
+	WriteFile(name string, data []byte) error
+	// CreateTemp creates a new temp file in dir (pattern as os.CreateTemp).
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes name; removing an already-gone file may error (the
+	// store discards that error).
+	Remove(name string) error
+	// SyncDir fsyncs the directory so a rename is durable; best-effort.
+	SyncDir(dir string) error
+}
+
+// File is the writable temp-file handle CreateTemp returns.
+type File interface {
+	io.Writer
+	Name() string
+	Sync() error
+	Close() error
+}
+
+// osFS is the production FS backed by package os.
+type osFS struct{}
+
+// OSFS returns the real-filesystem implementation of FS.
+func OSFS() FS { return osFS{} }
+
+func (osFS) MkdirAll(dir string) error                { return os.MkdirAll(dir, 0o777) }
+func (osFS) ReadFile(name string) ([]byte, error)     { return os.ReadFile(name) }
+func (osFS) IsNotExist(err error) bool                { return os.IsNotExist(err) }
+func (osFS) WriteFile(name string, data []byte) error { return os.WriteFile(name, data, 0o666) }
+func (osFS) Rename(oldpath, newpath string) error     { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                 { return os.Remove(name) }
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		_ = d.Close() // already failing; the sync error wins
+		return err
+	}
+	return d.Close()
+}
+
+// ProbeDir verifies that dir supports the store's whole write protocol
+// — create a temp file, write, sync, rename, remove — so a sweep with a
+// read-only or misconfigured checkpoint directory fails at startup, not
+// at the first flush minutes into the run.
+func ProbeDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return fmt.Errorf("checkpoint: probe: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, FileName+".probe-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: probe: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write([]byte("probe\n")); err != nil {
+		_ = tmp.Close() // already failing; the write error wins
+		_ = os.Remove(name)
+		return fmt.Errorf("checkpoint: probe: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		_ = tmp.Close() // already failing; the sync error wins
+		_ = os.Remove(name)
+		return fmt.Errorf("checkpoint: probe: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(name)
+		return fmt.Errorf("checkpoint: probe: %w", err)
+	}
+	renamed := name + ".renamed"
+	if err := os.Rename(name, renamed); err != nil {
+		_ = os.Remove(name)
+		return fmt.Errorf("checkpoint: probe: %w", err)
+	}
+	if err := os.Remove(renamed); err != nil {
+		return fmt.Errorf("checkpoint: probe: %w", err)
+	}
+	return nil
+}

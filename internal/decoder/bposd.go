@@ -1,6 +1,7 @@
 package decoder
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -29,7 +30,8 @@ type BPOSD struct {
 	Iters int
 
 	numObs int
-	dets   []int // row order: detector ids (syndrome + flag)
+	id     string // kind+config tag attached to decode errors
+	dets   []int  // row order: detector ids (syndrome + flag)
 	rowOf  map[int]int
 	varDet [][]int // variable -> row indices
 	varObs [][]int // variable -> observables flipped
@@ -54,6 +56,7 @@ func NewBPOSD(model *dem.Model, basis css.Basis, iters int) (*BPOSD, error) {
 	}
 	events := model.Project(basis)
 	d := &BPOSD{Basis: basis, Iters: iters, numObs: len(model.Circuit.Observables), rowOf: map[int]int{}}
+	d.id = fmt.Sprintf("bp-osd(basis=%c iters=%d)", basis, iters)
 	addRow := func(det int) int {
 		if r, ok := d.rowOf[det]; ok {
 			return r
@@ -139,6 +142,7 @@ func (d *BPOSD) Decode(detBit func(int) bool) ([]bool, error) {
 //
 //fpn:hotpath
 func (d *BPOSD) DecodeWith(sc *DecodeScratch, detBit func(int) bool) (corr []bool, err error) {
+	defer annotateErr(d.id, &err)
 	defer Recover(&err)
 	sc.reset(d.numObs)
 	correction := sc.correction

@@ -32,6 +32,20 @@ func Recover(err *error) {
 	}
 }
 
+// annotateErr wraps a non-nil decode error with the decoder's identity
+// (kind and configuration), so an error counted by a sweep thousands of
+// shots deep still says which decoder in which configuration produced
+// it. Each decoder defers it BEFORE its Recover defer — defers run
+// last-in-first-out, so Recover converts the panic to an error first
+// and annotateErr then tags it.
+//
+//fpnvet:coldpath error-path only: a nil *err returns before any formatting
+func annotateErr(id string, err *error) {
+	if *err != nil {
+		*err = fmt.Errorf("%s: %w", id, *err)
+	}
+}
+
 // matchEdge is a float-weighted edge of a per-shot matching instance.
 type matchEdge struct {
 	u, v int

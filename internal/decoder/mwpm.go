@@ -36,6 +36,7 @@ type MWPM struct {
 	classes []dem.Class
 	pM      float64
 	numObs  int
+	id      string // kind+config tag attached to decode errors
 
 	verts    []int       // vertex -> syndrome detector id
 	vertOf   map[int]int // detector -> vertex
@@ -72,6 +73,7 @@ func NewMWPM(model *dem.Model, basis css.Basis, pM float64, useFlags bool) (*MWP
 		vertOf:   map[int]int{},
 		boundary: -1,
 	}
+	d.id = fmt.Sprintf("mwpm(basis=%c flags=%v pM=%g)", basis, useFlags, pM)
 	for _, cl := range classes {
 		for _, det := range cl.Dets {
 			if _, ok := d.vertOf[det]; !ok {
@@ -165,6 +167,7 @@ func (d *MWPM) Decode(detBit func(int) bool) ([]bool, error) {
 //
 //fpn:hotpath
 func (d *MWPM) DecodeWith(sc *DecodeScratch, detBit func(int) bool) (corr []bool, err error) {
+	defer annotateErr(d.id, &err)
 	defer Recover(&err)
 	sc.reset(d.numObs)
 	correction := sc.correction

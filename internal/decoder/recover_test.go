@@ -41,11 +41,19 @@ func TestDecodeRecoversPanicsIntoErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	boom := func(int) bool { panic("matching: stuck without maxCardinality") }
-	decs := map[string]interface {
-		Decode(func(int) bool) ([]bool, error)
-	}{"mwpm": mw, "unionfind": uf, "restriction": rs, "bposd": bp}
-	for name, d := range decs {
-		corr, err := d.Decode(boom)
+	decs := map[string]struct {
+		dec interface {
+			Decode(func(int) bool) ([]bool, error)
+		}
+		tag string // decoder identity every counted error must carry
+	}{
+		"mwpm":        {mw, "mwpm(basis=Z flags=true pM=0.001)"},
+		"unionfind":   {uf, "unionfind(basis=Z flags=true pM=0.001)"},
+		"restriction": {rs, "restriction(basis=Z flags=true lifting=true pM=0.001)"},
+		"bposd":       {bp, "bp-osd(basis=Z iters=5)"},
+	}
+	for name, tc := range decs {
+		corr, err := tc.dec.Decode(boom)
 		if err == nil {
 			t.Errorf("%s: panic below Decode was not recovered into an error", name)
 			continue
@@ -55,6 +63,9 @@ func TestDecodeRecoversPanicsIntoErrors(t *testing.T) {
 		}
 		if !strings.Contains(err.Error(), "recovered panic") || !strings.Contains(err.Error(), "maxCardinality") {
 			t.Errorf("%s: recovered error %q lost the panic message", name, err)
+		}
+		if !strings.Contains(err.Error(), tc.tag) {
+			t.Errorf("%s: recovered error %q lost the decoder context %q", name, err, tc.tag)
 		}
 	}
 	// A healthy shot must still decode after a recovered panic on the
@@ -85,5 +96,30 @@ func TestRecoverWrapsErrorValues(t *testing.T) {
 	func() { defer Recover(&err) }()
 	if err != nil {
 		t.Fatalf("Recover invented an error on a clean path: %v", err)
+	}
+}
+
+// annotateErr must tag errors (including ones Recover just produced —
+// defers run LIFO, so Recover fires first) and must stay silent on the
+// happy path.
+func TestAnnotateErrTagsRecoveredPanics(t *testing.T) {
+	sentinel := errors.New("sentinel failure")
+	f := func(explode bool) (err error) {
+		defer annotateErr("mwpm(basis=Z flags=true pM=0.001)", &err)
+		defer Recover(&err)
+		if explode {
+			panic(sentinel)
+		}
+		return nil
+	}
+	err := f(true)
+	if err == nil || !errors.Is(err, sentinel) {
+		t.Fatalf("annotated error %v no longer wraps the panic value", err)
+	}
+	if !strings.Contains(err.Error(), "mwpm(basis=Z flags=true pM=0.001)") {
+		t.Fatalf("annotated error %q lost the decoder identity", err)
+	}
+	if err := f(false); err != nil {
+		t.Fatalf("annotateErr invented an error on a clean path: %v", err)
 	}
 }

@@ -37,6 +37,7 @@ type Restriction struct {
 	classes []dem.Class
 	pM      float64
 	numObs  int
+	id      string // kind+config tag attached to decode errors
 
 	detColor map[int]int
 	detAll   []int // sorted syndrome detectors of this basis
@@ -74,6 +75,7 @@ func NewRestriction(model *dem.Model, basis css.Basis, pM float64, useFlags, fla
 		detColor:    map[int]int{},
 		flagIndex:   map[int][]int{},
 	}
+	d.id = fmt.Sprintf("restriction(basis=%c flags=%v lifting=%v pM=%g)", basis, useFlags, flagLifting, pM)
 	for di, det := range model.Circuit.Detectors {
 		if !det.IsFlag && det.Basis == basis {
 			if det.Color < 0 || det.Color > 2 {
@@ -166,6 +168,7 @@ func (d *Restriction) Decode(detBit func(int) bool) ([]bool, error) {
 //
 //fpn:hotpath
 func (d *Restriction) DecodeWith(sc *DecodeScratch, detBit func(int) bool) (corr []bool, err error) {
+	defer annotateErr(d.id, &err)
 	defer Recover(&err)
 	sc.reset(d.numObs)
 	rs := &sc.rest

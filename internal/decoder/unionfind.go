@@ -21,6 +21,7 @@ type UnionFind struct {
 	classes []dem.Class
 	pM      float64
 	numObs  int
+	id      string // kind+config tag attached to decode errors
 
 	verts    []int
 	vertOf   map[int]int
@@ -48,6 +49,7 @@ func NewUnionFind(model *dem.Model, basis css.Basis, pM float64, useFlags bool) 
 		vertOf:   map[int]int{},
 		boundary: -1,
 	}
+	d.id = fmt.Sprintf("unionfind(basis=%c flags=%v pM=%g)", basis, useFlags, pM)
 	needBoundary := false
 	for _, cl := range classes {
 		for _, det := range cl.Dets {
@@ -159,6 +161,7 @@ func (d *UnionFind) Decode(detBit func(int) bool) ([]bool, error) {
 //
 //fpn:hotpath
 func (d *UnionFind) DecodeWith(sc *DecodeScratch, detBit func(int) bool) (corr []bool, err error) {
+	defer annotateErr(d.id, &err)
 	defer Recover(&err)
 	sc.reset(d.numObs)
 	us := &sc.uf

@@ -415,6 +415,8 @@ func TestFingerprintSensitivity(t *testing.T) {
 		"shard":   func(c *Config) { c.ShardShots = 4096 },
 		"resume":  func(c *Config) { c.Resume = &Resume{Blocks: 1, Shots: 64} },
 		"hook":    func(c *Config) { c.OnCommit = func(Progress) {} },
+		"timeout": func(c *Config) { c.DecodeTimeout = 5 * time.Second },
+		"wrap":    func(c *Config) { c.WrapDecoder = func(_ DecoderKind, d Decoder) Decoder { return d } },
 	}
 	for name, mut := range same {
 		cfg := base

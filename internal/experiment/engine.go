@@ -26,16 +26,25 @@
 // because any committed prefix is block-aligned and every block's RNG
 // stream depends only on (circuit, seed, blockIndex), a run restarted
 // from Config.Resume is bit-identical to one that never stopped.
+//
+// A fourth guard, Config.DecodeTimeout, covers decoders that hang or
+// crawl instead of panicking: a shard attempt that outlives the
+// deadline is abandoned (its goroutine leaks until it returns on its
+// own) and retried deterministically under the fallback chain — same
+// seed, same firstBlock — with every affected block explicitly counted
+// in Result.TimeoutBlocks and Result.DegradedBlocks.
 package experiment
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/fpn/flagproxy/internal/circuit"
 	"github.com/fpn/flagproxy/internal/css"
@@ -81,25 +90,36 @@ type Progress struct {
 	Errors int
 }
 
-// ShardError describes a worker panic (or sampler-contract violation)
-// that was quarantined to a single shard instead of crashing the run.
-// Because block RNG streams depend only on (seed, blockIndex), the pair
-// (Seed, FirstBlock) pins down the exact failing input: rerunning the
-// point with ShardShots=64 and a Resume at FirstBlock replays it.
+// ErrDecodeTimeout is the failure value of a shard attempt abandoned at
+// Config.DecodeTimeout; it appears (wrapped) as the PanicValue of a
+// quarantined ShardError whose Timeout flag is set.
+var ErrDecodeTimeout = errors.New("experiment: decode deadline exceeded")
+
+// ShardError describes a worker panic, sampler-contract violation or
+// decode-deadline expiry that was quarantined to a single shard instead
+// of crashing or stalling the run. Because block RNG streams depend
+// only on (seed, blockIndex), the pair (Seed, FirstBlock) pins down the
+// exact failing input: rerunning the point with ShardShots=64 and a
+// Resume at FirstBlock replays it.
 type ShardError struct {
 	Seed       int64  // base seed of the run
 	Shard      int    // shard index within this (possibly resumed) run
 	FirstBlock int    // absolute index of the shard's first 64-shot block
 	Blocks     int    // 64-shot blocks covered by the shard
-	Decoder    string // decoder active when the panic fired
+	Decoder    string // decoder active when the attempt failed
+	Timeout    bool   // the attempt hit Config.DecodeTimeout instead of panicking
 	PanicValue any
-	Stack      []byte // stack captured at recover time
+	Stack      []byte // stack captured at recover time (empty for timeouts)
 }
 
 // Error formats the quarantine report with the repro coordinates.
 func (e *ShardError) Error() string {
-	return fmt.Sprintf("experiment: shard %d (blocks %d..%d, decoder %s) panicked: %v; repro: seed=%d firstBlock=%d",
-		e.Shard, e.FirstBlock, e.FirstBlock+e.Blocks-1, e.Decoder, e.PanicValue, e.Seed, e.FirstBlock)
+	verb := "panicked"
+	if e.Timeout {
+		verb = "timed out"
+	}
+	return fmt.Sprintf("experiment: shard %d (blocks %d..%d, decoder %s) %s: %v; repro: seed=%d firstBlock=%d",
+		e.Shard, e.FirstBlock, e.FirstBlock+e.Blocks-1, e.Decoder, verb, e.PanicValue, e.Seed, e.FirstBlock)
 }
 
 // Repro returns just the (seed, firstBlock) coordinates that replay the
@@ -198,10 +218,20 @@ func (pl *Pipeline) RunContext(ctx context.Context, cfg Config) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
+	if cfg.WrapDecoder != nil {
+		dec = cfg.WrapDecoder(cfg.Decoder, dec)
+	}
 	// Fallback decoders share the circuit's error model; they are built
-	// lazily, only when a shard actually panics.
+	// lazily, only when a shard actually panics or times out.
 	mk := func(k DecoderKind) (Decoder, error) {
-		return newDecoder(k, model, cfg.Basis, nm.MeasFlip())
+		d, err := newDecoder(k, model, cfg.Basis, nm.MeasFlip())
+		if err != nil {
+			return nil, err
+		}
+		if cfg.WrapDecoder != nil {
+			d = cfg.WrapDecoder(k, d)
+		}
+		return d, nil
 	}
 	out := runEngine(ctx, c, dec, mk, cfg)
 	ber := 0.0
@@ -223,6 +253,8 @@ func (pl *Pipeline) RunContext(ctx context.Context, cfg Config) (*Result, error)
 		EarlyStopped:   out.early,
 		Interrupted:    out.interrupted,
 		FallbackBlocks: out.fallbackBlocks,
+		TimeoutBlocks:  out.timeoutBlocks,
+		DegradedBlocks: out.degradedBlocks,
 		ShardErrors:    out.shardErrs,
 	}, nil
 }
@@ -256,6 +288,9 @@ func validate(cfg Config) error {
 		if k < FlaggedMWPM || k > BPOSD {
 			return fmt.Errorf("experiment: unknown fallback decoder kind %d", k)
 		}
+	}
+	if cfg.DecodeTimeout < 0 {
+		return fmt.Errorf("experiment: DecodeTimeout must be >= 0 (got %v)", cfg.DecodeTimeout)
 	}
 	if r := cfg.Resume; r != nil {
 		if r.Blocks < 0 || r.Shots < 0 || r.Errors < 0 {
@@ -352,7 +387,9 @@ type engineOut struct {
 	errs           int
 	early          bool // a stop criterion fired
 	interrupted    bool // ctx cancelled before the run finished
-	fallbackBlocks int  // blocks rescued by the fallback decoder chain
+	fallbackBlocks int  // blocks rescued by the fallback chain after a panic
+	timeoutBlocks  int  // blocks whose primary attempt hit the decode deadline
+	degradedBlocks int  // blocks committed from a fallback after a timeout
 	shardErrs      []ShardError
 }
 
@@ -412,7 +449,9 @@ func runEngine(ctx context.Context, c *circuit.Circuit, dec Decoder, mkDecoder f
 		mu        sync.Mutex
 		committed = start // blocks committed, in strict block order
 		finalized bool    // a stop criterion fired; commits are frozen
-		fbBlocks  int
+		fbBlocks  int     // rescued after a primary panic
+		toBlocks  int     // primary attempt hit the decode deadline
+		dgBlocks  int     // rescued by a fallback after a timeout
 		serrs     []ShardError
 
 		fbMu    sync.Mutex
@@ -463,13 +502,29 @@ func runEngine(ctx context.Context, c *circuit.Circuit, dec Decoder, mkDecoder f
 		fbPools[k] = p
 		return p
 	}
-	// runShard samples and counts blocks [first, end) into the worker's
-	// private counts buffer, converting any panic below it — decoder,
-	// matching, sampler — into a ShardError instead of unwinding the
-	// process. Counts are flushed to the shared blockErrs array only on
-	// success, so a failed attempt (later retried by a fallback decoder)
-	// never publishes a half-decoded shard.
-	runShard := func(smp *sim.BlockSampler, sc *shotCounter, counts []int32, sh, first, end int, decName string) (serr *ShardError) {
+	// shardRes bundles the resources one shard attempt owns end-to-end:
+	// the sampler, the per-block counts buffer and the decode state.
+	// Without a deadline each worker reuses one shardRes for its whole
+	// life, exactly as before. Under a deadline an attempt that misses it
+	// is abandoned wholesale — the stuck goroutine keeps its shardRes
+	// (and its pooled scratch, deliberately leaked to it) while the
+	// worker builds a fresh one — so no buffer is ever shared between a
+	// live attempt and a dead one.
+	type shardRes struct {
+		smp    *sim.BlockSampler
+		counts []int32
+		sc     shotCounter
+	}
+	newRes := func(p *DecoderPool) *shardRes {
+		r := &shardRes{smp: sim.NewBlockSampler(c, shardBlocks), counts: make([]int32, shardBlocks)}
+		r.sc = shotCounter{c: c, dec: p.Get()}
+		r.sc.bit = r.sc.detectorBit // one closure per attempt owner, not per shot
+		return r
+	}
+	// runShard samples and counts blocks [first, end) into res's private
+	// counts buffer, converting any panic below it — decoder, matching,
+	// sampler — into a ShardError instead of unwinding the process.
+	runShard := func(res *shardRes, sh, first, end int, decName string) (done int, serr *ShardError) {
 		fail := func(v any) *ShardError {
 			return &ShardError{
 				Seed: cfg.Seed, Shard: sh, FirstBlock: first, Blocks: end - first,
@@ -482,20 +537,67 @@ func runEngine(ctx context.Context, c *circuit.Circuit, dec Decoder, mkDecoder f
 			}
 		}()
 		shardLen := blockLen(end-1) + (end-first-1)*blockShots
-		if err := smp.Validate(first, shardLen); err != nil {
+		if err := res.smp.Validate(first, shardLen); err != nil {
 			// Guarded call site: an impossible shard shape is an engine
 			// bug; quarantine it instead of tripping the sampler panic.
-			return fail(err)
+			return first, fail(err)
 		}
-		sc.res = smp.Run(first, shardLen, cfg.Seed)
-		done := first
-		for ; done < end && !stop.Load(); done++ {
-			counts[done-first] = int32(sc.countShots((done-first)*blockShots, blockLen(done)))
+		res.sc.res = res.smp.Run(first, shardLen, cfg.Seed)
+		for done = first; done < end && !stop.Load(); done++ {
+			res.counts[done-first] = int32(res.sc.countShots((done-first)*blockShots, blockLen(done)))
 		}
+		return done, nil
+	}
+	// publish flushes a successful attempt's counts to the shared
+	// blockErrs array. It runs on the worker, never on an attempt
+	// goroutine, so an abandoned (timed-out) attempt can never publish a
+	// half-decoded shard after a fallback's result has already landed.
+	publish := func(res *shardRes, first, done int) {
 		for b := first; b < done; b++ {
-			atomic.StoreInt32(&blockErrs[b-start], counts[b-first]+1)
+			atomic.StoreInt32(&blockErrs[b-start], res.counts[b-first]+1)
 		}
-		return nil
+	}
+	// attempt runs one shard attempt, under Config.DecodeTimeout when it
+	// is set, and publishes the counts on success. timedOut reports that
+	// the attempt was abandoned at the deadline; its res — still owned by
+	// the stuck goroutine — must never be touched again.
+	attempt := func(res *shardRes, sh, first, end int, decName string) (serr *ShardError, timedOut bool) {
+		if cfg.DecodeTimeout <= 0 {
+			done, serr := runShard(res, sh, first, end, decName)
+			if serr == nil {
+				publish(res, first, done)
+			}
+			return serr, false
+		}
+		type outcome struct {
+			done int
+			serr *ShardError
+		}
+		ch := make(chan outcome, 1) // buffered: an abandoned attempt's send never blocks
+		go func() {
+			done, serr := runShard(res, sh, first, end, decName)
+			ch <- outcome{done, serr}
+		}()
+		timer := time.NewTimer(cfg.DecodeTimeout)
+		defer timer.Stop()
+		var o outcome
+		select {
+		case o = <-ch:
+		case <-timer.C:
+			select { // photo finish: a result that just landed beats the deadline
+			case o = <-ch:
+			default:
+				return &ShardError{
+					Seed: cfg.Seed, Shard: sh, FirstBlock: first, Blocks: end - first,
+					Decoder: decName, Timeout: true,
+					PanicValue: fmt.Errorf("%w (DecodeTimeout=%v)", ErrDecodeTimeout, cfg.DecodeTimeout),
+				}, true
+			}
+		}
+		if o.serr == nil {
+			publish(res, first, o.done)
+		}
+		return o.serr, false
 	}
 
 	pool := NewDecoderPool(dec)
@@ -504,11 +606,8 @@ func runEngine(ctx context.Context, c *circuit.Circuit, dec Decoder, mkDecoder f
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			smp := sim.NewBlockSampler(c, shardBlocks)
-			counts := make([]int32, shardBlocks)
-			sc := shotCounter{c: c, dec: pool.Get()}
-			defer sc.dec.Release()
-			sc.bit = sc.detectorBit // one closure per worker, not per shot
+			res := newRes(pool)
+			defer func() { res.sc.dec.Release() }() // res is reassigned after a timeout
 			for !stop.Load() {
 				if ctx.Err() != nil {
 					// Cancellation is observed at shard boundaries; the
@@ -529,20 +628,37 @@ func runEngine(ctx context.Context, c *circuit.Circuit, dec Decoder, mkDecoder f
 				if end > totalBlocks {
 					end = totalBlocks
 				}
-				serr := runShard(smp, &sc, counts, sh, first, end, cfg.Decoder.String())
+				serr, timedOut := attempt(res, sh, first, end, cfg.Decoder.String())
+				if timedOut {
+					res = newRes(pool)
+					mu.Lock()
+					toBlocks += end - first
+					mu.Unlock()
+				}
 				if serr != nil {
 					for _, k := range cfg.Fallback {
 						fp := fallbackPool(k)
 						if fp == nil {
 							continue
 						}
-						fsc := shotCounter{c: c, dec: fp.Get()}
-						fsc.bit = fsc.detectorBit
-						ferr := runShard(smp, &fsc, counts, sh, first, end, k.String())
-						fsc.dec.Release()
+						// Each fallback attempt gets its own shardRes so a
+						// timed-out attempt can be abandoned without
+						// poisoning the next one. The retry is exactly the
+						// primary's work — same seed, same firstBlock — so
+						// a rescued shard is bit-identical to a healthy one
+						// decoded by the fallback from the start.
+						fres := newRes(fp)
+						ferr, fTimedOut := attempt(fres, sh, first, end, k.String())
+						if !fTimedOut {
+							fres.sc.dec.Release()
+						}
 						if ferr == nil {
 							mu.Lock()
-							fbBlocks += end - first
+							if timedOut {
+								dgBlocks += end - first
+							} else {
+								fbBlocks += end - first
+							}
 							mu.Unlock()
 							serr = nil
 							break
@@ -577,6 +693,8 @@ func runEngine(ctx context.Context, c *circuit.Circuit, dec Decoder, mkDecoder f
 		early:          finalized,
 		interrupted:    ctx.Err() != nil && !finalized && committed < totalBlocks,
 		fallbackBlocks: fbBlocks,
+		timeoutBlocks:  toBlocks,
+		degradedBlocks: dgBlocks,
 		shardErrs:      serrs,
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"github.com/fpn/flagproxy/internal/css"
 	"github.com/fpn/flagproxy/internal/decoder"
@@ -102,6 +103,26 @@ type Config struct {
 	// exhaust the chain are quarantined as ShardErrors.
 	//fpnvet:sched fallback policy only reacts to decoder construction failure
 	Fallback []DecoderKind
+	// DecodeTimeout, when > 0, bounds the wall-clock time of one shard
+	// attempt (sample + decode + count). A shard whose primary decoder
+	// hangs or crawls past the deadline is abandoned and retried
+	// deterministically — same seed, same firstBlock — under the
+	// Fallback chain, each attempt under the same deadline, exactly
+	// like the panic path; without it a hung decoder stalls the sweep
+	// forever because nothing ever panics. Timed-out shards are counted
+	// in Result.TimeoutBlocks (and DegradedBlocks when a fallback
+	// rescues them); shards that exhaust the chain are quarantined as
+	// ShardErrors with Timeout set. Size it generously — hundreds of
+	// times the expected shard latency — so only a genuinely wedged
+	// decoder trips it.
+	//fpnvet:sched deadlines only reroute shards through the fallback chain; rescued blocks are explicitly counted in TimeoutBlocks/DegradedBlocks, never silent
+	DecodeTimeout time.Duration
+	// WrapDecoder, when non-nil, wraps every decoder the engine builds
+	// (primary and fallback) before use. It exists for the chaos
+	// harness and tests to inject faulty decoders through the public
+	// API; production sweeps leave it nil.
+	//fpnvet:sched fault-injection seam for the chaos harness; production sweeps leave it nil
+	WrapDecoder func(kind DecoderKind, dec Decoder) Decoder
 	// OnCommit, when non-nil, is invoked with a snapshot of the
 	// committed prefix each time the commit frontier advances. Every
 	// snapshot is block-aligned and therefore a valid Resume point —
@@ -134,9 +155,21 @@ type Result struct {
 	// FallbackBlocks counts blocks whose shard panicked under the
 	// primary decoder and was rescued by the Fallback chain.
 	FallbackBlocks int
-	// ShardErrors lists shards quarantined after a panic that no
-	// fallback decoder could rescue, in block order. The run's result
-	// is then the committed prefix before the first failed shard.
+	// TimeoutBlocks counts blocks whose shard's primary decode attempt
+	// exceeded Config.DecodeTimeout, whether or not a fallback later
+	// rescued the shard. Nonzero TimeoutBlocks means wall-clock
+	// pressure changed the decoding schedule: investigate before
+	// trusting cross-run bit-identity.
+	TimeoutBlocks int
+	// DegradedBlocks counts blocks committed from a fallback decoder
+	// after the primary timed out — the graceful-degradation analogue
+	// of FallbackBlocks for the deadline path. The run completed, but
+	// these blocks carry mixed-decoder statistics.
+	DegradedBlocks int
+	// ShardErrors lists shards quarantined after a panic or deadline
+	// expiry that no fallback decoder could rescue, in block order. The
+	// run's result is then the committed prefix before the first failed
+	// shard.
 	ShardErrors []ShardError
 }
 

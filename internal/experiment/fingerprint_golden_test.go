@@ -1,0 +1,113 @@
+package experiment
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/fpn/flagproxy/internal/css"
+	"github.com/fpn/flagproxy/internal/fpn"
+	"github.com/fpn/flagproxy/internal/surface"
+)
+
+// updateGolden rewrites testdata/fingerprints.golden from the current
+// implementation:
+//
+//	go test ./internal/experiment -run TestFingerprintGolden -update
+//
+// Only do this deliberately, alongside an EngineVersion bump when the
+// drift is a real change to result-affecting inputs.
+var updateGolden = flag.Bool("update", false, "rewrite testdata/fingerprints.golden")
+
+// goldenCase pins one representative configuration's fingerprint.
+type goldenCase struct {
+	name string
+	cfg  Config
+}
+
+func rotatedCode(t *testing.T, d int) *css.Code {
+	t.Helper()
+	lay, err := surface.Rotated(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lay.Code
+}
+
+func goldenCases(t *testing.T) []goldenCase {
+	t.Helper()
+	arch := fpn.Options{UseFlags: true, FlagSharing: true, MaxDegree: 4}
+	d3, d5 := rotatedCode(t, 3), rotatedCode(t, 5)
+	base := Config{
+		Code: d3, Arch: arch, Basis: css.Z, Rounds: 3,
+		P: 1e-3, Shots: 10000, Seed: 7, Decoder: FlaggedMWPM,
+	}
+	xBasis := base
+	xBasis.Basis, xBasis.Seed = css.X, 9
+	earlyStop := base
+	earlyStop.Code, earlyStop.Rounds, earlyStop.Decoder = d5, 5, BPOSD
+	earlyStop.TargetErrors, earlyStop.MaxCI = 100, 0.01
+	codeCap := base
+	codeCap.CodeCapacity, codeCap.FixedIdle, codeCap.Decoder = true, true, PlainMWPM
+	return []goldenCase{
+		{"rotated3-z-flagged-mwpm", base},
+		{"rotated3-x-seed9", xBasis},
+		{"rotated5-bposd-earlystop", earlyStop},
+		{"rotated3-codecap-plain-mwpm", codeCap},
+	}
+}
+
+// TestFingerprintGolden pins Fingerprint outputs byte-for-byte. Any
+// drift — a reordered hash input, a format-verb change, a new field
+// folded in — breaks resumability of every existing checkpoint, so it
+// must show up in review as a golden-file diff plus an EngineVersion
+// bump, never slip through silently.
+func TestFingerprintGolden(t *testing.T) {
+	var buf strings.Builder
+	for _, c := range goldenCases(t) {
+		fmt.Fprintf(&buf, "%s %s\n", c.name, c.cfg.Fingerprint())
+	}
+	got := buf.String()
+
+	path := filepath.Join("testdata", "fingerprints.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden fingerprints (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("fingerprints drifted from %s:\ngot:\n%swant:\n%s"+
+			"an intended hashing change must bump EngineVersion and regenerate with -update",
+			path, got, want)
+	}
+}
+
+// TestFingerprintGoldenSchedulingInvariance re-derives every golden
+// case under different scheduling knobs — workers, shard size, decode
+// deadline, fallback chain, decoder wrapper — and demands the same
+// fingerprints: a checkpoint written on a quiet machine must resume on
+// a loaded one running with a deadline and a rescue chain.
+func TestFingerprintGoldenSchedulingInvariance(t *testing.T) {
+	for _, c := range goldenCases(t) {
+		want := c.cfg.Fingerprint()
+		knobs := c.cfg
+		knobs.Workers, knobs.ShardShots = 16, 4096
+		knobs.DecodeTimeout = 30 * time.Second
+		knobs.Fallback = []DecoderKind{PlainMWPM}
+		knobs.WrapDecoder = func(_ DecoderKind, d Decoder) Decoder { return d }
+		if got := knobs.Fingerprint(); got != want {
+			t.Errorf("%s: scheduling knobs changed fingerprint %s -> %s", c.name, want, got)
+		}
+	}
+}

@@ -5,7 +5,10 @@
 # require the resumed stdout to be byte-identical to a golden run that
 # was never interrupted. Exercises the whole stack: atomic JSONL
 # checkpoint writes, config fingerprinting, block-prefix resume, and
-# byte-stable result reconstruction for finished points.
+# byte-stable result reconstruction for finished points. A second leg
+# corrupts a committed record in place and requires the resume to be
+# refused with a quarantine sidecar, then recomputed bit-identically
+# once the operator clears the damaged store.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -56,3 +59,39 @@ if ! diff -u "$work/golden.txt" "$work/resumed.txt"; then
     exit 1
 fi
 echo "OK: resumed sweep byte-identical to the uninterrupted run"
+
+echo "== mid-file corruption must refuse to resume"
+# Flip the first digit of record 2 — a complete, newline-terminated
+# record, so the damage is bit-rot, not a torn tail — and require the
+# resume to fail loudly instead of silently dropping the record.
+sed -i '2s/[0-9]/X/' "$ckpt/sweep.jsonl"
+if "$work/ber" "${args[@]}" -checkpoint "$ckpt" -resume >"$work/corrupt.txt" 2>&1; then
+    echo "FAIL: resume over a corrupted checkpoint store succeeded" >&2
+    exit 1
+fi
+if ! grep -q "corrupt record" "$work/corrupt.txt"; then
+    echo "FAIL: corruption refusal does not explain itself:" >&2
+    cat "$work/corrupt.txt" >&2
+    exit 1
+fi
+if [ ! -s "$ckpt/sweep.jsonl.corrupt" ]; then
+    echo "FAIL: no quarantine sidecar written for the damaged store" >&2
+    exit 1
+fi
+echo "   refused, sidecar: $(wc -c <"$ckpt/sweep.jsonl.corrupt") bytes"
+
+# The original is kept in place, so a blind rerun keeps failing until an
+# operator looks at the sidecar and removes the damaged store.
+if "$work/ber" "${args[@]}" -checkpoint "$ckpt" -resume >/dev/null 2>&1; then
+    echo "FAIL: second resume over the same damaged store succeeded" >&2
+    exit 1
+fi
+
+echo "== operator remediation: delete store, recompute fresh"
+rm "$ckpt/sweep.jsonl" "$ckpt/sweep.jsonl.corrupt"
+"$work/ber" "${args[@]}" -checkpoint "$ckpt" >"$work/fresh.txt"
+if ! diff -u "$work/golden.txt" "$work/fresh.txt"; then
+    echo "FAIL: post-remediation sweep is not bit-identical to the golden run" >&2
+    exit 1
+fi
+echo "OK: corruption refused with forensics, recompute byte-identical"
