@@ -15,6 +15,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"os/signal"
@@ -86,6 +87,13 @@ func main() {
 		if store.TornTail() {
 			fmt.Fprintln(os.Stderr, "ber: checkpoint file ended mid-record (torn tail); the fragment was dropped and the sweep resumes from the last durable state")
 		}
+		// The scheduling knobs (-decode-timeout, -fallback) are execution
+		// strategy, deliberately outside the per-point fingerprint: a
+		// resumed prefix stays valid under different knobs, but the
+		// rescued-block accounting (timeout/fallback/degraded counts) can
+		// differ from what a fresh run would report. Record them in the
+		// store and warn loudly when a resume changes them mid-sweep.
+		recordSchedKnobs(store, schedSignature(cfg.decTimeout, cfg.fallback), os.Stderr)
 		r.store = store
 	}
 	switch cfg.fig {
@@ -203,6 +211,44 @@ func parseArgs(args []string) (*cliConfig, error) {
 		decTimeout: *decTimeout, fallback: fallback,
 		checkpointDir: *checkpointDir, resume: *resume,
 	}, nil
+}
+
+// schedMetaKey is the checkpoint meta entry holding the sweep's
+// scheduling-knob signature.
+const schedMetaKey = "sched"
+
+// schedSignature renders the scheduling knobs as a canonical, stable
+// string: the value stored in the checkpoint and compared on resume.
+func schedSignature(decTimeout time.Duration, fallback []experiment.DecoderKind) string {
+	names := "none"
+	if len(fallback) > 0 {
+		parts := make([]string, len(fallback))
+		for i, k := range fallback {
+			parts[i] = k.String()
+		}
+		names = strings.Join(parts, ",")
+	}
+	return fmt.Sprintf("decode-timeout=%s fallback=%s", decTimeout, names)
+}
+
+// recordSchedKnobs pins this run's scheduling-knob signature in the
+// checkpoint store, warning loudly on w first if the store was written
+// under different knobs — the resumed prefixes stay bit-identical, but
+// the timeout/fallback shard accounting of points finished across the
+// boundary may differ from a single-setting run.
+func recordSchedKnobs(store *checkpoint.Store, sig string, w io.Writer) {
+	if prev, ok := store.Meta(schedMetaKey); ok && prev != sig {
+		fmt.Fprintf(w,
+			"ber: WARNING: scheduling knobs differ from the ones this checkpoint was written with\n"+
+				"ber: WARNING:   checkpoint: %s\n"+
+				"ber: WARNING:   this run:   %s\n"+
+				"ber: WARNING: resumed points keep their committed prefix (bit-identical by construction), but\n"+
+				"ber: WARNING: timeout/fallback shard accounting may differ from a run done entirely with one setting\n",
+			prev, sig)
+	}
+	if err := store.SetMeta(schedMetaKey, sig); err != nil {
+		fmt.Fprintln(w, "ber: recording scheduling knobs in the checkpoint failed:", err)
+	}
 }
 
 // decoderKindByName resolves a -fallback entry against the canonical

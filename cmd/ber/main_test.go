@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/fpn/flagproxy/internal/checkpoint"
 	"github.com/fpn/flagproxy/internal/experiment"
 )
 
@@ -143,5 +144,61 @@ func TestParseArgsResumeRequiresCheckpoint(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "-checkpoint") {
 		t.Errorf("error %q should point at the missing -checkpoint flag", err)
+	}
+}
+
+func TestSchedSignature(t *testing.T) {
+	if got := schedSignature(0, nil); got != "decode-timeout=0s fallback=none" {
+		t.Errorf("zero knobs: %q", got)
+	}
+	got := schedSignature(2*time.Second, []experiment.DecoderKind{experiment.PlainMWPM, experiment.BPOSD})
+	if got != "decode-timeout=2s fallback=plain-mwpm,bp-osd" {
+		t.Errorf("populated knobs: %q", got)
+	}
+	// The signature must be a pure function of the knobs (it is compared
+	// as a string across processes).
+	if got != schedSignature(2*time.Second, []experiment.DecoderKind{experiment.PlainMWPM, experiment.BPOSD}) {
+		t.Error("signature is not stable")
+	}
+}
+
+// A resumed sweep with different -decode-timeout/-fallback must warn
+// loudly, and the store must end up holding the new signature; matching
+// knobs must stay silent.
+func TestRecordSchedKnobsWarnsOnMismatch(t *testing.T) {
+	dir := t.TempDir()
+	store, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	sig1 := schedSignature(0, nil)
+	recordSchedKnobs(store, sig1, &buf)
+	if buf.Len() != 0 {
+		t.Fatalf("first recording warned: %q", buf.String())
+	}
+	recordSchedKnobs(store, sig1, &buf)
+	if buf.Len() != 0 {
+		t.Fatalf("matching knobs warned: %q", buf.String())
+	}
+	sig2 := schedSignature(5*time.Second, []experiment.DecoderKind{experiment.PlainMWPM})
+	recordSchedKnobs(store, sig2, &buf)
+	out := buf.String()
+	if !strings.Contains(out, "WARNING") || !strings.Contains(out, sig1) || !strings.Contains(out, sig2) {
+		t.Fatalf("mismatch warning missing or incomplete:\n%s", out)
+	}
+	// The warning and the new signature survive a reopen (a second
+	// resume under the new knobs is silent again).
+	store2, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := store2.Meta("sched"); !ok || v != sig2 {
+		t.Fatalf("store holds %q (ok=%v), want the latest signature %q", v, ok, sig2)
+	}
+	var buf2 strings.Builder
+	recordSchedKnobs(store2, sig2, &buf2)
+	if buf2.Len() != 0 {
+		t.Fatalf("re-resume with matching knobs warned: %q", buf2.String())
 	}
 }

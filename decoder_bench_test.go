@@ -218,6 +218,54 @@ func benchDecodeShots(b *testing.B, f *decoderFixture, dec interface {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "shots/s")
 }
 
+// benchDecodeBatch measures the 64-shot batch path on the same
+// pre-sampled shots: one timed iteration decodes one block through
+// decoder.Batch (all-zero fast path, syndrome memo, scalar fallback on
+// cold keys), cycling the block set. Reported shots/s counts lanes, so
+// the number is directly comparable to benchDecodeShots.
+func benchDecodeBatch(b *testing.B, f *decoderFixture, dec decoder.ScratchDecoder) {
+	b.Helper()
+	bat := decoder.NewBatch(dec)
+	sc := decoder.NewScratch()
+	blocks := (f.shots + 63) / 64
+	// Warm the decoder caches, the scratch arenas and the syndrome memo
+	// so the timed region is the steady state the engine runs in.
+	for w := 0; w < blocks; w++ {
+		first := w * 64
+		n := f.shots - first
+		if n > 64 {
+			n = 64
+		}
+		if _, err := bat.DecodeBatch(f.res, first, n, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	lanes := 0
+	w := 0
+	for i := 0; i < b.N; i++ {
+		first := w * 64
+		n := f.shots - first
+		if n > 64 {
+			n = 64
+		}
+		if _, err := bat.DecodeBatch(f.res, first, n, sc); err != nil {
+			b.Fatal(err)
+		}
+		lanes += n
+		w++
+		if w == blocks {
+			w = 0
+		}
+	}
+	b.ReportMetric(float64(lanes)/b.Elapsed().Seconds(), "shots/s")
+	hits, misses := sc.MemoStats()
+	if hits+misses > 0 {
+		b.ReportMetric(float64(hits)/float64(hits+misses), "memo-hit-rate")
+	}
+}
+
 // BenchmarkDecodeMWPMPlanarD5 is the acceptance benchmark: plain MWPM on
 // the rotated d=5 surface code, per-shot cost and steady-state allocs.
 func BenchmarkDecodeMWPMPlanarD5(b *testing.B) {
@@ -227,6 +275,42 @@ func BenchmarkDecodeMWPMPlanarD5(b *testing.B) {
 		b.Fatal(err)
 	}
 	benchDecodeShots(b, f, dec)
+}
+
+// BenchmarkDecodeBatchMWPMPlanarD5 is the batch counterpart of the
+// acceptance benchmark: the same plain-MWPM planar d=5 workload through
+// the 64-shot batch path. The shots/s ratio against
+// BenchmarkDecodeMWPMPlanarD5 is the batch speedup the decode-perf CI
+// gate tracks.
+func BenchmarkDecodeBatchMWPMPlanarD5(b *testing.B) {
+	f := planarFixture(b)
+	dec, err := decoder.NewMWPM(f.model, css.Z, 1e-3, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDecodeBatch(b, f, dec)
+}
+
+// BenchmarkDecodeBatchMWPM measures the flagged MWPM decoder through the
+// batch path on the [[30,8,3,3]] FPN workload.
+func BenchmarkDecodeBatchMWPM(b *testing.B) {
+	f := newDecoderFixture(b)
+	dec, err := decoder.NewMWPM(f.model, css.Z, 1e-3, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDecodeBatch(b, f, dec)
+}
+
+// BenchmarkDecodeBatchUnionFind measures the union-find decoder through
+// the batch path on the [[30,8,3,3]] FPN workload.
+func BenchmarkDecodeBatchUnionFind(b *testing.B) {
+	f := newDecoderFixture(b)
+	dec, err := decoder.NewUnionFind(f.model, css.Z, 1e-3, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDecodeBatch(b, f, dec)
 }
 
 // BenchmarkDecodeMWPM measures the flagged MWPM decoder per shot on the

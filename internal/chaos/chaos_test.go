@@ -416,3 +416,47 @@ func TestCorruptedSyndromeIsDeterministic(t *testing.T) {
 			a.LogicalErrors, a.Shots, b.LogicalErrors, b.Shots)
 	}
 }
+
+// Fault plan memo-poison: the batch decode path's syndrome memo is
+// corrupted through the decoder.Batch MemoFault seam. A poisoned memo
+// must (a) actually change the sweep's outcome — proving the
+// batch-vs-scalar differential tests have teeth against exactly this
+// failure — (b) replay bit-identically under the same plan, and (c) be
+// a strict no-op when the fault is disabled.
+func TestMemoPoisonFaultPlan(t *testing.T) {
+	code := rotated3(t)
+	want := golden(t, code)
+	run := func(every int) (*experiment.Result, int64) {
+		mp := &chaos.MemoPoisoner{Plan: chaos.Plan{Seed: 42, Name: "memo-poison"}, Every: every}
+		cfg := baseConfig(code)
+		cfg.WrapDecoder = func(_ experiment.DecoderKind, dec experiment.Decoder) experiment.Decoder {
+			return mp.Wrap(dec)
+		}
+		res, err := experiment.RunContext(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, mp.Flips()
+	}
+	off, offFlips := run(0)
+	if offFlips != 0 {
+		t.Fatalf("disabled poisoner flipped %d entries", offFlips)
+	}
+	if off.Shots != want.Shots || off.LogicalErrors != want.LogicalErrors {
+		t.Fatalf("disabled poisoner disturbed the run: got %d/%d, want %d/%d",
+			off.LogicalErrors, off.Shots, want.LogicalErrors, want.Shots)
+	}
+	a, flipsA := run(1)
+	if flipsA == 0 {
+		t.Fatal("memo poisoner never fired; the batch path is not engaged")
+	}
+	if a.LogicalErrors == want.LogicalErrors {
+		t.Fatalf("poisoned memo produced the fault-free error count %d; the differential harness would miss this corruption",
+			a.LogicalErrors)
+	}
+	b, flipsB := run(1)
+	if a.Shots != b.Shots || a.LogicalErrors != b.LogicalErrors || flipsA != flipsB {
+		t.Fatalf("identical memo-poison plans diverged: %d/%d (%d flips) vs %d/%d (%d flips)",
+			a.LogicalErrors, a.Shots, flipsA, b.LogicalErrors, b.Shots, flipsB)
+	}
+}

@@ -3,6 +3,8 @@ package chaos
 import (
 	"sync/atomic"
 	"time"
+
+	"github.com/fpn/flagproxy/internal/decoder"
 )
 
 // Decoder mirrors experiment.Decoder structurally, so the wrappers here
@@ -100,3 +102,38 @@ func (d *CorruptingDecoder) Decode(bit func(int) bool) ([]bool, error) {
 
 // Flips reports how many decode calls were served a corrupted syndrome.
 func (d *CorruptingDecoder) Flips() int64 { return d.flips.Load() }
+
+// MemoPoisoner corrupts the batch decode path's syndrome memo through
+// the decoder.Batch MemoFault seam: one in Every memo stores — chosen
+// deterministically by the entry's key hash, so every store of the same
+// syndrome is poisoned identically and the run's outputs stay
+// bit-identical for any worker count — has observable 0 of its cached
+// prediction flipped. A poisoned memo silently mis-predicts repeated
+// syndromes, the exact failure the batch-vs-scalar differential tests
+// exist to catch; the chaos suite uses this to prove they do.
+type MemoPoisoner struct {
+	Plan  Plan
+	Every int // poison stores where the key-hash draw lands on 0; <= 0 disables
+	flips atomic.Int64
+}
+
+// Wrap returns dec with the poisoning fault installed. Decoders without
+// a batch path pass through untouched (their shards decode scalar and
+// never consult a memo).
+func (m *MemoPoisoner) Wrap(dec Decoder) Decoder {
+	b, ok := dec.(*decoder.Batch)
+	if !ok {
+		return dec
+	}
+	pb := decoder.NewBatch(b.Inner())
+	pb.MemoFault = func(keyHash uint64, pred []uint64) {
+		if m.Every > 0 && m.Plan.Pick("poison-memo", m.Every, keyHash) == 0 {
+			m.flips.Add(1)
+			pred[0] ^= 1 // observable 0 always exists
+		}
+	}
+	return pb
+}
+
+// Flips reports how many memo stores were poisoned.
+func (m *MemoPoisoner) Flips() int64 { return m.flips.Load() }

@@ -21,7 +21,10 @@
 // The format is deliberately engine-agnostic: records carry only the
 // block-aligned committed prefix (blocks, shots, errors) plus the
 // done/early-stopped markers. Everything else — what the key means,
-// whether a prefix is resumable — is the caller's contract.
+// whether a prefix is resumable — is the caller's contract. Callers can
+// additionally pin sweep-wide annotations — scheduling knobs, tool
+// versions — as meta key/value pairs (SetMeta/Meta), persisted in the
+// same checksummed frames as the records.
 package checkpoint
 
 import (
@@ -70,6 +73,13 @@ type frame struct {
 	V   int             `json:"v"`
 	CRC uint32          `json:"crc"` // CRC32-C over the raw Rec bytes
 	Rec json.RawMessage `json:"rec"`
+}
+
+// metaPayload is the frame payload of a meta line: sweep-wide key/value
+// annotations instead of a point record. The "meta" field discriminates
+// it from a Record payload (which always carries a non-empty "key").
+type metaPayload struct {
+	Meta map[string]string `json:"meta"`
 }
 
 // CorruptRecordError reports a record that is damaged in a way a torn
@@ -125,7 +135,8 @@ type Store struct {
 	sleep    func(time.Duration)
 	torn     bool // a trailing partial record was dropped at load
 	recs     map[string]Record
-	order    []string // first-seen key order, for stable file output
+	order    []string          // first-seen key order, for stable file output
+	meta     map[string]string // sweep-wide annotations, one meta line on disk
 }
 
 // Open creates dir if needed and loads any existing records from it
@@ -162,7 +173,7 @@ func OpenOptions(dir string, opt Options) (*Store, error) {
 	s := &Store{
 		path: filepath.Join(dir, FileName), fs: fs,
 		attempts: attempts, backoff: backoff, sleep: sleep,
-		recs: map[string]Record{},
+		recs: map[string]Record{}, meta: map[string]string{},
 	}
 	if err := s.load(); err != nil {
 		return nil, err
@@ -193,7 +204,7 @@ func (s *Store) load() error {
 			}
 			return s.quarantine(data, i+1, "empty line inside the record stream")
 		}
-		rec, err := decodeLine(line)
+		rec, meta, err := decodeLine(line)
 		if err != nil {
 			if last && tornCandidate {
 				// The one tolerable failure: the file ends mid-record
@@ -203,6 +214,14 @@ func (s *Store) load() error {
 				continue
 			}
 			return s.quarantine(data, i+1, err.Error())
+		}
+		if meta != nil {
+			// A meta line: merge the annotations (later lines win per
+			// key, exactly like duplicate records).
+			for k, v := range meta {
+				s.meta[k] = v
+			}
+			continue
 		}
 		if _, seen := s.recs[rec.Key]; !seen {
 			s.order = append(s.order, rec.Key)
@@ -215,52 +234,69 @@ func (s *Store) load() error {
 // quarantine copies the damaged file to a ".corrupt" sidecar and builds
 // the load error. The original stays in place so a rerun keeps failing
 // loudly until the operator inspects and removes it — damaged state is
-// never silently recomputed over.
+// never silently recomputed over. Sidecar names never collide: a second
+// quarantine (new damage after the operator replaced the store file, or
+// a rerun over freshly re-damaged state) lands in ".corrupt.1",
+// ".corrupt.2", … so earlier evidence is preserved, not overwritten.
 func (s *Store) quarantine(data []byte, line int, reason string) error {
 	sidecar := s.path + ".corrupt"
+	for i := 1; i < 10000; i++ {
+		if _, err := s.fs.ReadFile(sidecar); s.fs.IsNotExist(err) {
+			break
+		}
+		// The candidate exists (or is unreadable, which we treat the
+		// same way: never overwrite what we cannot inspect).
+		sidecar = fmt.Sprintf("%s.corrupt.%d", s.path, i)
+	}
 	if err := s.fs.WriteFile(sidecar, data); err != nil {
 		sidecar = ""
 	}
 	return &CorruptRecordError{Path: s.path, Line: line, Reason: reason, Sidecar: sidecar}
 }
 
-// decodeLine parses one record line of either schema generation.
-func decodeLine(line []byte) (Record, error) {
+// decodeLine parses one line of either schema generation. Exactly one
+// of the returns is populated: a point Record, or (for a v2 meta line)
+// the annotation map.
+func decodeLine(line []byte) (Record, map[string]string, error) {
 	var probe struct {
 		V int `json:"v"`
 	}
 	if err := json.Unmarshal(line, &probe); err != nil {
-		return Record{}, fmt.Errorf("not a JSON record: %v", err)
+		return Record{}, nil, fmt.Errorf("not a JSON record: %v", err)
 	}
 	switch probe.V {
 	case 0:
 		// Legacy version 1: a bare Record object (no frame, no CRC).
 		var rec Record
 		if err := json.Unmarshal(line, &rec); err != nil {
-			return Record{}, fmt.Errorf("bad v1 record: %v", err)
+			return Record{}, nil, fmt.Errorf("bad v1 record: %v", err)
 		}
 		if rec.Key == "" {
-			return Record{}, fmt.Errorf("v1 record has an empty key")
+			return Record{}, nil, fmt.Errorf("v1 record has an empty key")
 		}
-		return rec, nil
+		return rec, nil, nil
 	case Version:
 		var fr frame
 		if err := json.Unmarshal(line, &fr); err != nil {
-			return Record{}, fmt.Errorf("bad v%d frame: %v", Version, err)
+			return Record{}, nil, fmt.Errorf("bad v%d frame: %v", Version, err)
 		}
 		if got := crc32.Checksum(fr.Rec, castagnoli); got != fr.CRC {
-			return Record{}, fmt.Errorf("CRC32-C mismatch: stored %08x, computed %08x (bit rot?)", fr.CRC, got)
+			return Record{}, nil, fmt.Errorf("CRC32-C mismatch: stored %08x, computed %08x (bit rot?)", fr.CRC, got)
+		}
+		var mp metaPayload
+		if err := json.Unmarshal(fr.Rec, &mp); err == nil && mp.Meta != nil {
+			return Record{}, mp.Meta, nil
 		}
 		var rec Record
 		if err := json.Unmarshal(fr.Rec, &rec); err != nil {
-			return Record{}, fmt.Errorf("bad record inside a checksummed frame: %v", err)
+			return Record{}, nil, fmt.Errorf("bad record inside a checksummed frame: %v", err)
 		}
 		if rec.Key == "" {
-			return Record{}, fmt.Errorf("record has an empty key")
+			return Record{}, nil, fmt.Errorf("record has an empty key")
 		}
-		return rec, nil
+		return rec, nil, nil
 	default:
-		return Record{}, fmt.Errorf("unsupported record version %d (this binary writes v%d)", probe.V, Version)
+		return Record{}, nil, fmt.Errorf("unsupported record version %d (this binary writes v%d)", probe.V, Version)
 	}
 }
 
@@ -270,6 +306,21 @@ func encodeLine(rec Record) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	return frameLine(recBytes)
+}
+
+// encodeMetaLine frames the annotation map as one checksummed meta line.
+// json.Marshal sorts map keys, so the bytes are deterministic.
+func encodeMetaLine(meta map[string]string) ([]byte, error) {
+	recBytes, err := json.Marshal(metaPayload{Meta: meta})
+	if err != nil {
+		return nil, err
+	}
+	return frameLine(recBytes)
+}
+
+// frameLine wraps a payload in the {"v","crc","rec"} envelope.
+func frameLine(recBytes []byte) ([]byte, error) {
 	fr := frame{V: Version, CRC: crc32.Checksum(recBytes, castagnoli), Rec: recBytes}
 	out, err := json.Marshal(fr)
 	if err != nil {
@@ -327,6 +378,35 @@ func (s *Store) Put(rec Record) error {
 		s.order = append(s.order, rec.Key)
 	}
 	s.recs[rec.Key] = rec
+	return s.flushRetryLocked()
+}
+
+// SetMeta upserts one sweep-wide annotation (e.g. the scheduling knobs
+// the sweep ran with) and flushes with the same atomicity and retry
+// policy as Put. A no-op when the value is already stored.
+func (s *Store) SetMeta(key, value string) error {
+	if key == "" {
+		return fmt.Errorf("checkpoint: meta entry has an empty key")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.meta[key]; ok && old == value {
+		return nil
+	}
+	s.meta[key] = value
+	return s.flushRetryLocked()
+}
+
+// Meta returns the annotation stored for key, if any.
+func (s *Store) Meta(key string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.meta[key]
+	return v, ok
+}
+
+// flushRetryLocked runs the atomic rewrite under the retry budget.
+func (s *Store) flushRetryLocked() error {
 	var err error
 	backoff := s.backoff
 	for attempt := 0; attempt < s.attempts; attempt++ {
@@ -349,6 +429,16 @@ func (s *Store) flushLocked() error {
 	}
 	defer func() { _ = s.fs.Remove(tmp.Name()) }() // no-op after a successful rename
 	w := bufio.NewWriter(tmp)
+	if len(s.meta) > 0 {
+		line, err := encodeMetaLine(s.meta)
+		if err == nil {
+			_, err = w.Write(line)
+		}
+		if err != nil {
+			_ = tmp.Close() // already failing; the meta write error wins
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+	}
 	for _, key := range s.order {
 		line, err := encodeLine(s.recs[key])
 		if err != nil {

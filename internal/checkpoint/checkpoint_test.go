@@ -379,3 +379,126 @@ func TestProbeDir(t *testing.T) {
 		t.Fatal("probe succeeded on a read-only directory")
 	}
 }
+
+// Two successive quarantines must not clobber each other: the second
+// lands in a numbered sidecar, so the first incident's evidence
+// survives an operator replacing the store file and hitting new damage.
+func TestSuccessiveQuarantinesKeepDistinctSidecars(t *testing.T) {
+	dir := t.TempDir()
+	first := "first damaged content\n"
+	writeStore(t, dir, first)
+	_, err := Open(dir)
+	var ce1 *CorruptRecordError
+	if !errors.As(err, &ce1) || ce1.Sidecar == "" {
+		t.Fatalf("first quarantine: %v", err)
+	}
+	// The operator replaces the store file; the replacement is damaged
+	// too (or was re-damaged). The quarantine must pick a fresh name.
+	second := "second damaged content, different bytes\n"
+	writeStore(t, dir, second)
+	_, err = Open(dir)
+	var ce2 *CorruptRecordError
+	if !errors.As(err, &ce2) || ce2.Sidecar == "" {
+		t.Fatalf("second quarantine: %v", err)
+	}
+	if ce2.Sidecar == ce1.Sidecar {
+		t.Fatalf("second quarantine reused sidecar %s; the first incident's evidence is gone", ce1.Sidecar)
+	}
+	got1, err := os.ReadFile(ce1.Sidecar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := os.ReadFile(ce2.Sidecar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got1) != first {
+		t.Errorf("first sidecar no longer byte-identical to the first incident")
+	}
+	if string(got2) != second {
+		t.Errorf("second sidecar does not hold the second incident's bytes")
+	}
+	// A third incident keeps counting up.
+	writeStore(t, dir, "third damaged content\n")
+	_, err = Open(dir)
+	var ce3 *CorruptRecordError
+	if !errors.As(err, &ce3) || ce3.Sidecar == "" || ce3.Sidecar == ce1.Sidecar || ce3.Sidecar == ce2.Sidecar {
+		t.Fatalf("third quarantine did not get a fresh sidecar: %v", err)
+	}
+}
+
+// Meta annotations persist alongside records, survive reloads and Puts,
+// and stay out of the record namespace entirely.
+func TestMetaRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Meta("sched"); ok {
+		t.Fatal("fresh store reports a meta entry")
+	}
+	if err := s.SetMeta("sched", "decode-timeout=2s fallback=plain-mwpm"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Record{Key: "pt", Blocks: 2, Shots: 128, Errors: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetMeta("sched", "decode-timeout=2s fallback=plain-mwpm"); err != nil {
+		t.Fatal(err) // idempotent re-set must be a no-op, not an error
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s2.Meta("sched"); !ok || v != "decode-timeout=2s fallback=plain-mwpm" {
+		t.Fatalf("meta did not survive reload: %q (ok=%v)", v, ok)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("meta line leaked into the record namespace: Len=%d, want 1", s2.Len())
+	}
+	if r, ok := s2.Lookup("pt"); !ok || r.Blocks != 2 {
+		t.Fatalf("record mangled next to a meta line: %+v (ok=%v)", r, ok)
+	}
+	// Overwriting a meta value persists the latest.
+	if err := s2.SetMeta("sched", "decode-timeout=0s fallback=none"); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s3.Meta("sched"); v != "decode-timeout=0s fallback=none" {
+		t.Fatalf("meta overwrite lost: %q", v)
+	}
+	if s3.SetMeta("", "x") == nil {
+		t.Fatal("SetMeta accepted an empty key")
+	}
+}
+
+// A meta frame with a flipped bit must fail its CRC like any record.
+func TestMetaLineBitRotFailsCRC(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetMeta("sched", "decode-timeout=40s"); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, FileName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rotted := strings.Replace(string(data), "40s", "41s", 1)
+	if rotted == string(data) {
+		t.Fatal("test setup: payload not found in file")
+	}
+	writeStore(t, dir, rotted)
+	_, err = Open(dir)
+	var ce *CorruptRecordError
+	if !errors.As(err, &ce) || !strings.Contains(ce.Reason, "CRC32-C") {
+		t.Fatalf("rotted meta line not caught by CRC: %v", err)
+	}
+}

@@ -1,0 +1,514 @@
+// Batched decoding: one call decodes a whole 64-shot sampling block
+// (one bit-packed word) instead of unpacking a syndrome per shot. Three
+// effects stack. First, a block whose detector words are all zero — the
+// overwhelmingly common case at useful physical rates — is decoded once
+// and fanned out to all 64 lanes. Second, each shot's syndrome is
+// extracted exactly once, as a compact sorted defect list, by streaming
+// over the packed detector words (O(detectors + defects) per block, not
+// O(64 × detectors)). Third, corrections are memoized by defect list in
+// a per-scratch bounded LRU: at p ≈ 1e-3 most non-empty syndromes
+// repeat a handful of low-weight patterns, so the expensive matching
+// runs only on first sight. The memo is deterministic, scratch-owned
+// and purely an execution-strategy cache — a batch decode is
+// bit-identical to 64 scalar DecodeWith calls by construction, because
+// the decode of a lane is a pure function of its full defect list and
+// cache lookups key on exactly that list.
+package decoder
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/fpn/flagproxy/internal/sim"
+)
+
+// BatchDecoder is implemented by decoders that can decode one 64-shot
+// sampling block per call. Implementations must be bit-identical to
+// decoding each lane with DecodeWith — the batch path is a pure
+// optimization with no statistical footprint.
+type BatchDecoder interface {
+	// DecodeBatch decodes lanes [firstShot, firstShot+n) of res — one
+	// sampling block: firstShot must be 64-aligned and n in (0, 64] —
+	// and returns the number of lanes whose predicted observable flips
+	// disagree with the sampled observables (counting decode failures as
+	// errors, exactly like the scalar loop). A non-nil error reports a
+	// violated call contract, never a per-shot decode failure.
+	DecodeBatch(res *sim.Result, firstShot, n int, sc *DecodeScratch) (int, error)
+}
+
+// Memo geometry. The entry count bounds worst-case memory (the arena is
+// allocated once per scratch); the key bound keeps entries fixed-stride
+// — defect lists longer than memoMaxKey are rare, expensive to compare,
+// and decode scalar without touching the memo.
+const (
+	memoEntries = 512
+	memoTable   = 2048 // open-addressing slots; power of two ≥ 4× entries
+	memoMaxKey  = 16   // defects per memoizable syndrome
+)
+
+// Batch lifts any ScratchDecoder to the BatchDecoder seam. Like the
+// decoders it wraps, a Batch is immutable after construction and safe
+// to share across workers; all mutable batch state (defect extraction
+// buffers, the memo) lives in the caller's DecodeScratch.
+type Batch struct {
+	inner ScratchDecoder
+
+	// MemoFault, when non-nil, is invoked on every memo store with the
+	// entry's key hash and packed observable prediction, which it may
+	// corrupt in place. It is a fault-injection seam for the chaos
+	// harness — a poisoned memo must be caught by the batch-vs-scalar
+	// differential tests — and must be set before the Batch is shared.
+	// Production decoding leaves it nil.
+	MemoFault func(keyHash uint64, pred []uint64)
+}
+
+// NewBatch wraps inner in the batch seam.
+func NewBatch(inner ScratchDecoder) *Batch { return &Batch{inner: inner} }
+
+// Inner returns the wrapped scalar decoder.
+func (b *Batch) Inner() ScratchDecoder { return b.inner }
+
+// Decode decodes a single shot through the wrapped decoder, allocating
+// a private scratch — the convenience path; hot loops use DecodeBatch
+// or DecodeWith.
+func (b *Batch) Decode(detBit func(int) bool) ([]bool, error) {
+	return b.inner.DecodeWith(NewScratch(), detBit)
+}
+
+// DecodeWith forwards the scalar hot path to the wrapped decoder, so a
+// Batch drops into any ScratchDecoder seat unchanged.
+func (b *Batch) DecodeWith(sc *DecodeScratch, detBit func(int) bool) ([]bool, error) {
+	return b.inner.DecodeWith(sc, detBit)
+}
+
+// zeroDetBit is the detector read of an all-zero lane.
+func zeroDetBit(int) bool { return false }
+
+// DecodeBatch decodes one sampling block. Lanes are processed in
+// ascending order and the memo is keyed on each lane's full defect
+// list, so the call sequence — and therefore the memo state and every
+// output — is deterministic for a fixed (res, firstShot, n) stream.
+//
+//fpn:hotpath
+func (b *Batch) DecodeBatch(res *sim.Result, firstShot, n int, sc *DecodeScratch) (int, error) {
+	if res == nil || sc == nil {
+		return 0, fmt.Errorf("decoder: DecodeBatch needs a result and a scratch")
+	}
+	if firstShot < 0 || firstShot%64 != 0 || n < 1 || n > 64 || firstShot+n > res.Shots {
+		return 0, fmt.Errorf("decoder: DecodeBatch(firstShot=%d, n=%d) violates the block contract (Shots=%d)",
+			firstShot, n, res.Shots)
+	}
+	bs := &sc.batch
+	if bs.owner != b || bs.numDet != len(res.Detectors) || bs.numObs != len(res.Observables) {
+		bs.init(b, len(res.Detectors), len(res.Observables))
+	}
+	wi := firstShot >> 6
+	laneMask := ^uint64(0)
+	if n < 64 {
+		laneMask = uint64(1)<<uint(n) - 1
+	}
+	clear(bs.pred)
+	var failW uint64
+
+	// One streaming pass over the packed detector words: per-lane defect
+	// counts, plus the all-zero test for free.
+	var orW uint64
+	total := int32(0)
+	clear(bs.counts[:])
+	for d := 0; d < bs.numDet; d++ {
+		w := res.DetectorWord(d, wi) & laneMask
+		orW |= w
+		for w != 0 {
+			bs.counts[bits.TrailingZeros64(w)]++
+			total++
+			w &= w - 1
+		}
+	}
+	if orW == 0 {
+		// All 64 lanes are syndrome-free: decode the empty lane once and
+		// fan its prediction out to the whole block.
+		if !bs.emptyValid {
+			b.decodeEmpty(sc)
+		}
+		for o := 0; o < bs.numObs; o++ {
+			if bs.emptyPred[o>>6]>>(uint(o)&63)&1 == 1 {
+				bs.pred[o] = laneMask
+			}
+		}
+		if bs.emptyFail {
+			failW = laneMask
+		}
+		bs.hits += uint64(n)
+		return bs.countErrs(res, wi, laneMask, failW), nil
+	}
+
+	// Prefix-sum the counts into per-lane extents, then a second pass
+	// scatters each defect into its lane's slice. Detectors are visited
+	// in ascending id order, so every lane's list comes out sorted — the
+	// canonical memo key — without a sort.
+	bs.off[0] = 0
+	for l := 0; l < 64; l++ {
+		bs.off[l+1] = bs.off[l] + bs.counts[l]
+		bs.counts[l] = 0
+	}
+	if cap(bs.defects) < int(total) {
+		bs.defects = make([]int32, total)
+	}
+	bs.defects = bs.defects[:total]
+	for d := 0; d < bs.numDet; d++ {
+		w := res.DetectorWord(d, wi) & laneMask
+		for w != 0 {
+			l := bits.TrailingZeros64(w)
+			bs.defects[bs.off[l]+bs.counts[l]] = int32(d)
+			bs.counts[l]++
+			w &= w - 1
+		}
+	}
+
+	for l := 0; l < n; l++ {
+		key := bs.defects[bs.off[l]:bs.off[l+1]]
+		if len(key) == 0 {
+			if !bs.emptyValid {
+				b.decodeEmpty(sc)
+			}
+			for o := 0; o < bs.numObs; o++ {
+				if bs.emptyPred[o>>6]>>(uint(o)&63)&1 == 1 {
+					bs.pred[o] |= 1 << uint(l)
+				}
+			}
+			if bs.emptyFail {
+				failW |= 1 << uint(l)
+			}
+			bs.hits++
+			continue
+		}
+		var h uint64
+		memoable := len(key) <= memoMaxKey
+		if memoable {
+			h = keyHash(key)
+			if e := bs.lookup(h, key); e >= 0 {
+				bs.moveFront(e)
+				if bs.applyEntry(e, l) {
+					failW |= 1 << uint(l)
+				}
+				bs.hits++
+				continue
+			}
+		}
+		// Miss: scalar-decode the lane against the sampled result. The
+		// decoder reads detector bits straight from the lane, and the
+		// lane's bits are exactly its defect-list membership, so the
+		// outcome is a pure function of the key we store it under.
+		bs.misses++
+		bs.res, bs.shot = res, firstShot+l
+		if bs.bit == nil {
+			lbs := bs // one closure per scratch, reading the mutable (res, shot) pair
+			bs.bit = func(d int) bool { return lbs.res.DetectorBit(d, lbs.shot) }
+		}
+		corr, err := b.inner.DecodeWith(sc, bs.bit)
+		if !memoable {
+			for o, c := range corr {
+				if c {
+					bs.pred[o] |= 1 << uint(l)
+				}
+			}
+			if err != nil {
+				failW |= 1 << uint(l)
+			}
+			continue
+		}
+		e := bs.insertSlot(h, key)
+		row := bs.epred[int(e)*bs.obsWords : (int(e)+1)*bs.obsWords]
+		for o, c := range corr {
+			if c {
+				row[o>>6] |= 1 << (uint(o) & 63)
+			}
+		}
+		bs.fail[e] = err != nil
+		if b.MemoFault != nil {
+			b.MemoFault(h, row)
+		}
+		if bs.applyEntry(e, l) {
+			failW |= 1 << uint(l)
+		}
+	}
+	return bs.countErrs(res, wi, laneMask, failW), nil
+}
+
+// decodeEmpty computes and caches the decode of a syndrome-free lane
+// (no defects, no flags — every detector reads zero).
+func (b *Batch) decodeEmpty(sc *DecodeScratch) {
+	bs := &sc.batch
+	corr, err := b.inner.DecodeWith(sc, zeroDetBit)
+	clear(bs.emptyPred)
+	for o, c := range corr {
+		if c {
+			bs.emptyPred[o>>6] |= 1 << (uint(o) & 63)
+		}
+	}
+	bs.emptyFail = err != nil
+	bs.emptyValid = true
+	bs.misses++
+	if b.MemoFault != nil {
+		b.MemoFault(keyHash(nil), bs.emptyPred)
+	}
+}
+
+// keyHash is FNV-1a over the defect ids (plus the length, folded in by
+// construction since ids are distinct and sorted).
+func keyHash(key []int32) uint64 {
+	h := uint64(14695981039346656037)
+	for _, d := range key {
+		h ^= uint64(uint32(d))
+		h *= 1099511628211
+	}
+	return h
+}
+
+// batchScratch is the per-scratch state of the batch path: defect
+// extraction buffers, the per-lane prediction accumulators and the
+// bounded LRU memo. It is (re)initialized whenever the scratch meets a
+// new Batch owner or result shape, so a scratch moved between decoders
+// can never replay another decoder's cached corrections.
+type batchScratch struct {
+	owner    *Batch
+	numDet   int
+	numObs   int
+	obsWords int // packed words per observable-prediction row
+
+	// Scalar-fallback lane view: the closure is built once per scratch
+	// and reads the mutable (res, shot) pair, like the engine's
+	// shotCounter.
+	res  *sim.Result
+	shot int
+	bit  func(int) bool
+
+	pred    []uint64  // per-observable predicted-flip lane bits, one word each
+	counts  [64]int32 // per-lane defect counts, then fill cursors
+	off     [65]int32 // per-lane extents into defects
+	defects []int32   // flattened per-lane sorted defect lists
+
+	// Bounded LRU memo: a fixed entry arena (fixed-stride keys and
+	// packed predictions), an open-addressing index with backward-shift
+	// deletion, and an intrusive recency list. No maps, no per-shot
+	// allocation, and every operation is deterministic in the lane
+	// processing order.
+	table  []int32  // slot -> entry+1; 0 = empty
+	hash   []uint64 // per-entry key hash
+	keyLen []int32  // per-entry key length
+	keys   []int32  // memoEntries × memoMaxKey
+	epred  []uint64 // memoEntries × obsWords packed predictions
+	fail   []bool   // per-entry decode-failure flag
+	prev   []int32  // LRU list toward the head (more recent)
+	next   []int32  // LRU list toward the tail (least recent)
+	head   int32    // most recently used entry, -1 when empty
+	tail   int32    // least recently used entry, -1 when empty
+	used   int
+
+	emptyValid bool
+	emptyFail  bool
+	emptyPred  []uint64 // packed prediction of the syndrome-free lane
+
+	hits   uint64
+	misses uint64
+}
+
+// init sizes the arena for a new owner/shape and empties the memo.
+//
+//fpnvet:coldpath one-time arena (re)construction on owner or shape change, not per shot
+func (bs *batchScratch) init(b *Batch, numDet, numObs int) {
+	bs.owner = b
+	bs.numDet, bs.numObs = numDet, numObs
+	bs.obsWords = (numObs + 63) / 64
+	if len(bs.table) != memoTable {
+		bs.table = make([]int32, memoTable)
+		bs.hash = make([]uint64, memoEntries)
+		bs.keyLen = make([]int32, memoEntries)
+		bs.keys = make([]int32, memoEntries*memoMaxKey)
+		bs.fail = make([]bool, memoEntries)
+		bs.prev = make([]int32, memoEntries)
+		bs.next = make([]int32, memoEntries)
+	} else {
+		clear(bs.table)
+	}
+	if need := memoEntries * bs.obsWords; cap(bs.epred) < need {
+		bs.epred = make([]uint64, need)
+	} else {
+		bs.epred = bs.epred[:need]
+	}
+	if cap(bs.pred) < numObs {
+		bs.pred = make([]uint64, numObs)
+	}
+	bs.pred = bs.pred[:numObs]
+	if cap(bs.emptyPred) < bs.obsWords {
+		bs.emptyPred = make([]uint64, bs.obsWords)
+	}
+	bs.emptyPred = bs.emptyPred[:bs.obsWords]
+	bs.head, bs.tail = -1, -1
+	bs.used = 0
+	bs.emptyValid = false
+}
+
+// countErrs folds the per-observable prediction words against the
+// sampled observable words into one error word — bit l set iff lane l
+// is a logical error — and pops its count. Decode-failure lanes (failW)
+// count as errors unconditionally, matching the scalar loop.
+func (bs *batchScratch) countErrs(res *sim.Result, wi int, laneMask, failW uint64) int {
+	errW := failW
+	for o := 0; o < bs.numObs; o++ {
+		errW |= (res.ObservableWord(o, wi) & laneMask) ^ bs.pred[o]
+	}
+	return bits.OnesCount64(errW & laneMask)
+}
+
+// lookup probes the index for an entry with this hash and key,
+// returning -1 on miss.
+func (bs *batchScratch) lookup(h uint64, key []int32) int32 {
+	mask := uint64(len(bs.table) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		t := bs.table[i]
+		if t == 0 {
+			return -1
+		}
+		if e := t - 1; bs.hash[e] == h && bs.keyEq(e, key) {
+			return e
+		}
+	}
+}
+
+func (bs *batchScratch) keyEq(e int32, key []int32) bool {
+	if int(bs.keyLen[e]) != len(key) {
+		return false
+	}
+	ek := bs.keys[int(e)*memoMaxKey:]
+	for i, d := range key {
+		if ek[i] != d {
+			return false
+		}
+	}
+	return true
+}
+
+// insertSlot claims an entry for (h, key) — a fresh one while the arena
+// fills, the least-recently-used one afterwards — indexes it and makes
+// it most recent. The caller fills the prediction row.
+func (bs *batchScratch) insertSlot(h uint64, key []int32) int32 {
+	var e int32
+	if bs.used < memoEntries {
+		e = int32(bs.used)
+		bs.used++
+	} else {
+		e = bs.tail
+		bs.unlink(e)
+		bs.tableRemove(e)
+	}
+	bs.hash[e] = h
+	bs.keyLen[e] = int32(len(key))
+	copy(bs.keys[int(e)*memoMaxKey:int(e)*memoMaxKey+len(key)], key)
+	row := bs.epred[int(e)*bs.obsWords : (int(e)+1)*bs.obsWords]
+	clear(row)
+	bs.fail[e] = false
+	bs.tableInsert(e)
+	bs.pushFront(e)
+	return e
+}
+
+// applyEntry ORs entry e's packed prediction into lane l's accumulator
+// bits and reports whether the memoized decode had failed.
+func (bs *batchScratch) applyEntry(e int32, l int) bool {
+	row := bs.epred[int(e)*bs.obsWords:]
+	for o := 0; o < bs.numObs; o++ {
+		if row[o>>6]>>(uint(o)&63)&1 == 1 {
+			bs.pred[o] |= 1 << uint(l)
+		}
+	}
+	return bs.fail[e]
+}
+
+func (bs *batchScratch) tableInsert(e int32) {
+	mask := uint64(len(bs.table) - 1)
+	i := bs.hash[e] & mask
+	for bs.table[i] != 0 {
+		i = (i + 1) & mask
+	}
+	bs.table[i] = e + 1
+}
+
+// tableRemove deletes e from the open-addressing index with the
+// classic linear-probing backward shift (Knuth 6.4R): entries displaced
+// past the vacated slot are moved back so every probe chain stays
+// unbroken — no tombstones, so the table never degrades.
+func (bs *batchScratch) tableRemove(e int32) {
+	mask := uint64(len(bs.table) - 1)
+	i := bs.hash[e] & mask
+	for bs.table[i] != e+1 {
+		i = (i + 1) & mask
+	}
+	for {
+		bs.table[i] = 0
+		j := i
+		for {
+			j = (j + 1) & mask
+			if bs.table[j] == 0 {
+				return
+			}
+			home := bs.hash[bs.table[j]-1] & mask
+			// Move the entry at j into the gap at i unless its home slot
+			// lies cyclically within (i, j] — then its probe chain does
+			// not cross the gap and it must stay.
+			if (j > i && (home <= i || home > j)) || (j < i && home <= i && home > j) {
+				bs.table[i] = bs.table[j]
+				i = j
+				break
+			}
+		}
+	}
+}
+
+func (bs *batchScratch) pushFront(e int32) {
+	bs.prev[e] = -1
+	bs.next[e] = bs.head
+	if bs.head >= 0 {
+		bs.prev[bs.head] = e
+	}
+	bs.head = e
+	if bs.tail < 0 {
+		bs.tail = e
+	}
+}
+
+func (bs *batchScratch) unlink(e int32) {
+	if bs.prev[e] >= 0 {
+		bs.next[bs.prev[e]] = bs.next[e]
+	} else {
+		bs.head = bs.next[e]
+	}
+	if bs.next[e] >= 0 {
+		bs.prev[bs.next[e]] = bs.prev[e]
+	} else {
+		bs.tail = bs.prev[e]
+	}
+}
+
+func (bs *batchScratch) moveFront(e int32) {
+	if bs.head == e {
+		return
+	}
+	bs.unlink(e)
+	bs.pushFront(e)
+}
+
+// MemoStats reports the cumulative batch-memo hit/miss counters of this
+// scratch (hits include all-zero fast-path lanes; misses include the
+// one-time empty-lane decode and non-memoizable long syndromes).
+func (sc *DecodeScratch) MemoStats() (hits, misses uint64) {
+	return sc.batch.hits, sc.batch.misses
+}
+
+// TakeMemoStats returns the counters and resets them — the
+// accumulate-on-release hook for worker pools.
+func (sc *DecodeScratch) TakeMemoStats() (hits, misses uint64) {
+	hits, misses = sc.batch.hits, sc.batch.misses
+	sc.batch.hits, sc.batch.misses = 0, 0
+	return hits, misses
+}

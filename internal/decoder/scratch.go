@@ -52,6 +52,11 @@ type DecodeScratch struct {
 	uf   ufScratch
 	rest restScratch
 	bp   bpScratch
+
+	// Batch-decode state (defect extraction buffers and the syndrome
+	// memo); untouched by reset, revalidated against its owning Batch on
+	// every DecodeBatch call. See batch.go.
+	batch batchScratch
 }
 
 // NewScratch returns an empty scratch arena ready for DecodeWith.

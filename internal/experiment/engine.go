@@ -218,6 +218,13 @@ func (pl *Pipeline) RunContext(ctx context.Context, cfg Config) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
+	// The batch lift happens before WrapDecoder so the chaos harness
+	// sees (and may fault-inject) the actual production decoder; a
+	// wrapper that hides the BatchDecoder interface simply routes its
+	// shards down the scalar loop.
+	if !cfg.ScalarDecode {
+		dec = batchify(cfg.Decoder, dec)
+	}
 	if cfg.WrapDecoder != nil {
 		dec = cfg.WrapDecoder(cfg.Decoder, dec)
 	}
@@ -227,6 +234,9 @@ func (pl *Pipeline) RunContext(ctx context.Context, cfg Config) (*Result, error)
 		d, err := newDecoder(k, model, cfg.Basis, nm.MeasFlip())
 		if err != nil {
 			return nil, err
+		}
+		if !cfg.ScalarDecode {
+			d = batchify(k, d)
 		}
 		if cfg.WrapDecoder != nil {
 			d = cfg.WrapDecoder(k, d)
@@ -256,6 +266,8 @@ func (pl *Pipeline) RunContext(ctx context.Context, cfg Config) (*Result, error)
 		TimeoutBlocks:  out.timeoutBlocks,
 		DegradedBlocks: out.degradedBlocks,
 		ShardErrors:    out.shardErrs,
+		MemoHits:       out.memoHits,
+		MemoMisses:     out.memoMisses,
 	}, nil
 }
 
@@ -323,19 +335,31 @@ func validate(cfg Config) error {
 type DecoderPool struct {
 	dec     Decoder
 	scratch decoder.ScratchDecoder // non-nil iff dec supports scratch decoding
+	batch   decoder.BatchDecoder   // non-nil iff dec supports 64-shot block decoding
 	free    sync.Pool              // *decoder.DecodeScratch
+
+	memoHits   atomic.Int64 // accumulated from scratches at Release
+	memoMisses atomic.Int64
 }
 
 // NewDecoderPool wraps dec. Decoders implementing
 // decoder.ScratchDecoder get per-worker scratch arenas; anything else
-// falls back to plain Decode.
+// falls back to plain Decode. Decoders additionally implementing
+// decoder.BatchDecoder get the 64-shot block path.
 func NewDecoderPool(dec Decoder) *DecoderPool {
 	p := &DecoderPool{dec: dec}
 	if sd, ok := dec.(decoder.ScratchDecoder); ok {
 		p.scratch = sd
 		p.free.New = func() any { return decoder.NewScratch() }
+		p.batch, _ = dec.(decoder.BatchDecoder)
 	}
 	return p
+}
+
+// MemoStats reports the batch-memo hit/miss counts accumulated from
+// every scratch released back to the pool.
+func (p *DecoderPool) MemoStats() (hits, misses int64) {
+	return p.memoHits.Load(), p.memoMisses.Load()
 }
 
 // Get borrows a worker-local handle. The handle is not safe for
@@ -371,9 +395,30 @@ func (d *PooledDecoder) Decode(bit func(int) bool) ([]bool, error) {
 	return d.pool.dec.Decode(bit)
 }
 
-// Release returns the scratch to the pool for the next worker.
+// DecodeBlock decodes one 64-shot sampling block through the batch
+// seam, returning ok=false when the pooled decoder has no batch path
+// (the caller then runs the scalar loop). A contract error from
+// DecodeBatch is an engine bug, not a per-shot decode failure: it
+// panics so runShard quarantines the whole shard with a repro.
+func (d *PooledDecoder) DecodeBlock(res *sim.Result, firstShot, n int) (errs int, ok bool) {
+	if d.sc == nil || d.pool.batch == nil {
+		return 0, false
+	}
+	errs, err := d.pool.batch.DecodeBatch(res, firstShot, n, d.sc)
+	if err != nil {
+		panic(err)
+	}
+	return errs, true
+}
+
+// Release returns the scratch to the pool for the next worker, folding
+// its memo counters into the pool's totals.
 func (d *PooledDecoder) Release() {
 	if d.sc != nil {
+		if h, m := d.sc.TakeMemoStats(); h != 0 || m != 0 {
+			d.pool.memoHits.Add(int64(h))
+			d.pool.memoMisses.Add(int64(m))
+		}
 		d.pool.free.Put(d.sc)
 		d.sc = nil
 	}
@@ -391,6 +436,8 @@ type engineOut struct {
 	timeoutBlocks  int  // blocks whose primary attempt hit the decode deadline
 	degradedBlocks int  // blocks committed from a fallback after a timeout
 	shardErrs      []ShardError
+	memoHits       int64 // batch syndrome-memo hits across all pools
+	memoMisses     int64
 }
 
 // runEngine is the sharded simulate→decode→count loop. mkDecoder builds
@@ -686,6 +733,15 @@ func runEngine(ctx context.Context, c *circuit.Circuit, dec Decoder, mkDecoder f
 	mu.Lock()
 	defer mu.Unlock()
 	sort.Slice(serrs, func(i, j int) bool { return serrs[i].FirstBlock < serrs[j].FirstBlock })
+	memoH, memoM := pool.MemoStats()
+	//fpnvet:orderless commutative sum of per-pool counters; order cannot affect the total
+	for _, fp := range fbPools {
+		if fp != nil {
+			h, m := fp.MemoStats()
+			memoH += h
+			memoM += m
+		}
+	}
 	return engineOut{
 		blocks:         committed,
 		shots:          comShots,
@@ -696,6 +752,8 @@ func runEngine(ctx context.Context, c *circuit.Circuit, dec Decoder, mkDecoder f
 		timeoutBlocks:  toBlocks,
 		degradedBlocks: dgBlocks,
 		shardErrs:      serrs,
+		memoHits:       memoH,
+		memoMisses:     memoM,
 	}
 }
 
@@ -732,8 +790,17 @@ func (sc *shotCounter) detectorBit(d int) bool { return sc.res.DetectorBit(d, sc
 // countShots decodes shots lanes starting at laneLo of the current
 // sampled shard and counts logical errors. A decoding failure counts as
 // a logical error, as before — including matching panics that the
-// decoder package recovers into errors at its Decode boundary.
+// decoder package recovers into errors at its Decode boundary. Callers
+// hand it exactly one 64-shot block at a time (laneLo is 64-aligned,
+// shots ≤ 64), which is what lets it route whole blocks through the
+// batch seam when the pooled decoder has one; the scalar loop below is
+// the fallback and the bit-identity reference.
 func (sc *shotCounter) countShots(laneLo, shots int) int {
+	if laneLo%blockShots == 0 && shots <= blockShots {
+		if errs, ok := sc.dec.DecodeBlock(sc.res, laneLo, shots); ok {
+			return errs
+		}
+	}
 	errs := 0
 	for sc.shot = laneLo; sc.shot < laneLo+shots; sc.shot++ {
 		corr, err := sc.dec.Decode(sc.bit)

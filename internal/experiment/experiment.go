@@ -123,6 +123,13 @@ type Config struct {
 	// API; production sweeps leave it nil.
 	//fpnvet:sched fault-injection seam for the chaos harness; production sweeps leave it nil
 	WrapDecoder func(kind DecoderKind, dec Decoder) Decoder
+	// ScalarDecode forces the per-shot scalar decode loop even for
+	// decoders with a batch path. The batch path is a pure execution
+	// strategy — bit-identical to scalar by construction — so this knob
+	// exists for differential tests and performance comparisons, not for
+	// changing results.
+	//fpnvet:sched batch/scalar selection is an execution strategy; counts are bit-identical (enforced by the engine differential tests)
+	ScalarDecode bool
 	// OnCommit, when non-nil, is invoked with a snapshot of the
 	// committed prefix each time the commit frontier advances. Every
 	// snapshot is block-aligned and therefore a valid Resume point —
@@ -171,6 +178,12 @@ type Result struct {
 	// run's result is then the committed prefix before the first failed
 	// shard.
 	ShardErrors []ShardError
+	// MemoHits and MemoMisses aggregate the batch-decode syndrome-memo
+	// counters across all worker scratches (best effort: a scratch
+	// deliberately leaked to a timed-out attempt keeps its counts).
+	// Zero on the scalar path. Diagnostics only — they have no
+	// statistical footprint.
+	MemoHits, MemoMisses int64
 }
 
 // Run executes the full pipeline: architecture, schedule, circuit,
@@ -245,6 +258,21 @@ func newDecoder(kind DecoderKind, model *dem.Model, basis css.Basis, pM float64)
 	return nil, fmt.Errorf("experiment: unknown decoder kind %d", kind)
 }
 
+// batchify lifts a freshly built decoder onto the 64-shot batch path
+// when its kind supports it. BPOSD stays scalar: its per-shot cost is
+// dominated by BP message passing whose amortization lives in the
+// scratch, not in syndrome repetition, and keeping one decoder family
+// on the scalar loop preserves a production consumer of that path.
+func batchify(kind DecoderKind, dec Decoder) Decoder {
+	if kind == BPOSD {
+		return dec
+	}
+	if sd, ok := dec.(decoder.ScratchDecoder); ok {
+		return decoder.NewBatch(sd)
+	}
+	return dec
+}
+
 // wilson returns the 95% Wilson score interval for k successes in n
 // trials.
 func wilson(k, n int) (float64, float64) {
@@ -258,10 +286,14 @@ func wilson(k, n int) (float64, float64) {
 	center := (p + z*z/(2*nn)) / denom
 	half := z * math.Sqrt(p*(1-p)/nn+z*z/(4*nn*nn)) / denom
 	lo, hi := center-half, center+half
-	if lo < 0 {
+	// At the k=0 / k=n boundaries the exact bounds are 0 and 1, but
+	// center∓half computes them as a difference of equal-magnitude terms
+	// and can leave ~1e-17 of rounding residue on the wrong side of the
+	// clamp; pin them so a zero-error prefix reports CILow == 0 exactly.
+	if lo < 0 || k == 0 {
 		lo = 0
 	}
-	if hi > 1 {
+	if hi > 1 || k == n {
 		hi = 1
 	}
 	return lo, hi

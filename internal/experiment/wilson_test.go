@@ -1,0 +1,159 @@
+package experiment
+
+// Boundary tests of the Wilson interval and the early-stop predicate —
+// the two small functions every early-stopped sweep point's statistics
+// rest on — plus a resume-then-early-stop differential asserting the
+// committed-prefix confidence interval matches a fresh run exactly.
+
+import (
+	"testing"
+
+	"github.com/fpn/flagproxy/internal/css"
+)
+
+func TestWilsonBoundaries(t *testing.T) {
+	// No data: the interval must be the uninformative [0, 1], not NaN.
+	if lo, hi := wilson(0, 0); lo != 0 || hi != 1 {
+		t.Errorf("wilson(0,0) = [%g,%g], want [0,1]", lo, hi)
+	}
+	// k=0: the lower bound is exactly 0 (clamped), the upper bound is
+	// informative — strictly inside (0, 1) — and tightens with n.
+	prevHi := 1.0
+	for _, n := range []int{1, 10, 100, 10000} {
+		lo, hi := wilson(0, n)
+		if lo != 0 {
+			t.Errorf("wilson(0,%d): lo = %g, want exactly 0", n, lo)
+		}
+		if hi <= 0 || hi >= 1 {
+			t.Errorf("wilson(0,%d): hi = %g, want in (0,1)", n, hi)
+		}
+		if hi >= prevHi {
+			t.Errorf("wilson(0,%d): hi = %g did not shrink below %g", n, hi, prevHi)
+		}
+		prevHi = hi
+	}
+	// k=n: mirror image — the upper bound is pinned at exactly 1, the
+	// lower bound rises with n.
+	prevLo := 0.0
+	for _, n := range []int{1, 10, 100, 10000} {
+		lo, hi := wilson(n, n)
+		if hi != 1 || hi <= lo {
+			t.Errorf("wilson(%d,%d) = [%g,%g]: want lo < hi == 1", n, n, lo, hi)
+		}
+		if lo <= 0 {
+			t.Errorf("wilson(%d,%d): lo = %g, want > 0", n, n, lo)
+		}
+		if lo <= prevLo {
+			t.Errorf("wilson(%d,%d): lo = %g did not rise above %g", n, n, lo, prevLo)
+		}
+		prevLo = lo
+	}
+	// n=1 is the smallest real sample: both outcomes must give a valid,
+	// very wide interval containing the point estimate.
+	for k := 0; k <= 1; k++ {
+		lo, hi := wilson(k, 1)
+		p := float64(k)
+		if lo < 0 || hi > 1 || lo > p || hi < p {
+			t.Errorf("wilson(%d,1) = [%g,%g] does not contain p=%g inside [0,1]", k, lo, hi, p)
+		}
+		if hi-lo < 0.5 {
+			t.Errorf("wilson(%d,1) = [%g,%g]: one shot cannot justify an interval this tight", k, lo, hi)
+		}
+	}
+	// Interior sanity: the interval brackets the point estimate.
+	lo, hi := wilson(7, 448)
+	if p := 7.0 / 448.0; lo >= p || hi <= p {
+		t.Errorf("wilson(7,448) = [%g,%g] does not bracket %g", lo, hi, p)
+	}
+}
+
+func TestStopSatisfiedBoundaries(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   Config
+		errs  int
+		shots int
+		want  bool
+	}{
+		{"no-knobs-never-stops", Config{}, 1000, 1000, false},
+		{"target-one-below", Config{TargetErrors: 10}, 9, 640, false},
+		{"target-exact", Config{TargetErrors: 10}, 10, 640, true},
+		{"target-exceeded", Config{TargetErrors: 10}, 11, 640, true},
+		// k=0: a run with no errors yet must never stop on MaxCI — the
+		// predicate requires at least one observed error, otherwise a
+		// tight-looking all-zero prefix would truncate deep-BER points.
+		{"maxci-zero-errors", Config{MaxCI: 0.5}, 0, 1 << 20, false},
+		// n=1, k=1: the one-shot interval is wider than 0.3 but narrower
+		// than a half.
+		{"maxci-single-shot-loose", Config{MaxCI: 0.5}, 1, 1, true},
+		{"maxci-single-shot-tight", Config{MaxCI: 0.3}, 1, 1, false},
+		// k=n: every shot failed; the interval is narrow around 1.
+		{"maxci-all-errors", Config{MaxCI: 0.05}, 4096, 4096, true},
+		// Ordinary interior case on both sides of the threshold.
+		{"maxci-interior-stop", Config{MaxCI: 0.01}, 50, 100000, true},
+		{"maxci-interior-continue", Config{MaxCI: 0.001}, 50, 10000, false},
+		// Either satisfied knob stops, independent of the other.
+		{"target-wins-over-wide-ci", Config{TargetErrors: 5, MaxCI: 1e-9}, 5, 64, true},
+		{"ci-wins-over-far-target", Config{TargetErrors: 1 << 30, MaxCI: 0.05}, 4096, 4096, true},
+	}
+	for _, tc := range cases {
+		if got := stopSatisfied(tc.cfg, tc.errs, tc.shots); got != tc.want {
+			t.Errorf("%s: stopSatisfied(errs=%d, shots=%d) = %v, want %v",
+				tc.name, tc.errs, tc.shots, got, tc.want)
+		}
+	}
+}
+
+// A MaxCI-stopped point resumed from a committed prefix must report the
+// exact statistics of the fresh run — not just the counts: BER and the
+// Wilson bounds are what the sweep prints, so they are the contract.
+func TestResumeEarlyStopCIMatchesFresh(t *testing.T) {
+	code := hyper55(t)
+	pl, err := NewPipeline(code, engineArch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{
+		Code: code, Basis: css.Z, P: 1e-2, Shots: 100000, Seed: 29,
+		Decoder: FlaggedMWPM, Workers: 1, ShardShots: 64, MaxCI: 0.02,
+	}
+	var states []Progress
+	cfg := base
+	cfg.OnCommit = func(pr Progress) { states = append(states, pr) }
+	fresh, err := pl.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fresh.EarlyStopped {
+		t.Fatal("fresh run did not stop on MaxCI; the differential would be vacuous")
+	}
+	if (fresh.CIHigh-fresh.CILow)/2 > base.MaxCI {
+		t.Fatalf("fresh run stopped with half-width %g > MaxCI %g",
+			(fresh.CIHigh-fresh.CILow)/2, base.MaxCI)
+	}
+	if len(states) < 2 {
+		t.Fatalf("need at least two commit states to resume from, got %d", len(states))
+	}
+	for _, st := range states {
+		resumed := base
+		resumed.Resume = &Resume{Blocks: st.Blocks, Shots: st.Shots, Errors: st.Errors}
+		res, err := pl.Run(resumed)
+		if err != nil {
+			t.Fatalf("resume at block %d: %v", st.Blocks, err)
+		}
+		if res.Shots != fresh.Shots || res.LogicalErrors != fresh.LogicalErrors || !res.EarlyStopped {
+			t.Fatalf("resume at block %d diverged: got (%d/%d early=%v), want (%d/%d)",
+				st.Blocks, res.LogicalErrors, res.Shots, res.EarlyStopped,
+				fresh.LogicalErrors, fresh.Shots)
+		}
+		// Same committed counts through the same pure functions must give
+		// bitwise-equal floats; any drift here means the statistics were
+		// recomputed from different state than the counts.
+		if res.BER != fresh.BER || res.BERNorm != fresh.BERNorm ||
+			res.CILow != fresh.CILow || res.CIHigh != fresh.CIHigh {
+			t.Fatalf("resume at block %d: statistics drifted: got BER=%v norm=%v CI=[%v,%v], want BER=%v norm=%v CI=[%v,%v]",
+				st.Blocks, res.BER, res.BERNorm, res.CILow, res.CIHigh,
+				fresh.BER, fresh.BERNorm, fresh.CILow, fresh.CIHigh)
+		}
+	}
+}

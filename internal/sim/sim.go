@@ -7,6 +7,7 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -15,6 +16,13 @@ import (
 
 // Result holds per-shot detector and observable flip bits, packed 64
 // shots per word.
+//
+// Whole-word readers (the batch decode path) rely on two guarantees
+// that resultInto enforces on every materialization: lanes at or past
+// Shots in the final active word are zero, and — because a reused
+// Result's rows keep the capacity of the largest run they ever held —
+// words at or past Words are zero too. Nothing past Shots is ever
+// garbage, whether the row is read bit-by-bit or word-by-word.
 type Result struct {
 	Shots       int
 	Words       int
@@ -23,15 +31,33 @@ type Result struct {
 	MeasFlips   [][]uint64 // [measurement][word]
 }
 
-// DetectorBit reports whether detector d fired in shot s.
+// DetectorBit reports whether detector d fired in shot s. Shot indexes
+// outside [0, Shots) are a caller bug — typically an off-by-one against
+// a partial tail block — and panic with the offending index rather than
+// silently reading a masked (or stale) lane.
 func (r *Result) DetectorBit(d, s int) bool {
+	if uint(s) >= uint(r.Shots) {
+		panic(fmt.Sprintf("sim: DetectorBit(%d, %d): shot %d outside [0, %d)", d, s, s, r.Shots))
+	}
 	return r.Detectors[d][s/64]>>(uint(s)%64)&1 == 1
 }
 
-// ObservableBit reports whether observable o flipped in shot s.
+// ObservableBit reports whether observable o flipped in shot s. Like
+// DetectorBit it panics, naming the shot index, when s is out of range.
 func (r *Result) ObservableBit(o, s int) bool {
+	if uint(s) >= uint(r.Shots) {
+		panic(fmt.Sprintf("sim: ObservableBit(%d, %d): shot %d outside [0, %d)", o, s, s, r.Shots))
+	}
 	return r.Observables[o][s/64]>>(uint(s)%64)&1 == 1
 }
+
+// DetectorWord returns the 64-lane word w of detector d's row. Lanes at
+// or past Shots are guaranteed zero (see the Result contract).
+func (r *Result) DetectorWord(d, w int) uint64 { return r.Detectors[d][w] }
+
+// ObservableWord returns the 64-lane word w of observable o's row, with
+// the same tail-lane guarantee as DetectorWord.
+func (r *Result) ObservableWord(o, w int) uint64 { return r.Observables[o][w] }
 
 // Pauli is a sparse Pauli operator used for deterministic injection.
 type Pauli struct {
@@ -179,6 +205,29 @@ func (fs *frameSim) resultInto(r *Result) {
 				acc[w] ^= row[w]
 			}
 		}
+	}
+	// Tail-lane guarantee: a reused Result's rows keep the capacity of
+	// the largest run they ever held, so a shorter run would otherwise
+	// leave the previous run's bits in the words past fs.words — garbage
+	// a whole-word reader (the batch decode path, or anything ranging
+	// over a full row) would see past Shots. Mask the unused high lanes
+	// of the final active word and zero every capacity word beyond it.
+	if fs.words == 0 {
+		return
+	}
+	tailMask := ^uint64(0)
+	if tail := uint(fs.shots) % 64; tail != 0 {
+		tailMask = (uint64(1) << tail) - 1
+	}
+	for d := range r.Detectors {
+		row := r.Detectors[d]
+		row[fs.words-1] &= tailMask
+		clear(row[fs.words:])
+	}
+	for o := range r.Observables {
+		row := r.Observables[o]
+		row[fs.words-1] &= tailMask
+		clear(row[fs.words:])
 	}
 }
 

@@ -1,0 +1,137 @@
+#!/usr/bin/env bash
+# Decode-throughput regression gate.
+#
+# Runs the scalar/batch decode benchmark pairs and emits BENCH_decode.json,
+# a machine-readable record of per-workload throughput and the batch/scalar
+# speedup ratio. The gate compares RATIOS, not absolute shots/s: scalar and
+# batch run in the same process on the same machine, so their ratio is
+# robust to runner hardware while absolute numbers are not.
+#
+#   scripts/bench_decode.sh          check against the committed baseline
+#   scripts/bench_decode.sh update   rewrite BENCH_decode.json in place
+#
+# Check mode fails when any workload's batch speedup regresses more than
+# 10% below the committed baseline, or when the planar d=5 MWPM speedup
+# falls below the 2x acceptance floor.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-check}"
+BASELINE=BENCH_decode.json
+FLOOR_PLANAR_D5=2.0
+
+case "$MODE" in
+check | update) ;;
+*)
+  echo "usage: $0 [check|update]" >&2
+  exit 2
+  ;;
+esac
+
+echo "bench_decode: running decode benchmarks (this takes a couple of minutes)..." >&2
+bench_out=$(go test -run '^$' \
+  -bench '^(BenchmarkDecodeMWPMPlanarD5|BenchmarkDecodeBatchMWPMPlanarD5|BenchmarkDecodeMWPM|BenchmarkDecodeBatchMWPM|BenchmarkDecodeUnionFind|BenchmarkDecodeBatchUnionFind)$' \
+  -benchtime 1s -count 1 .)
+echo "$bench_out" >&2
+
+# shots <BenchmarkName> — the value of the shots/s metric for one
+# benchmark (names carry a -GOMAXPROCS suffix in the output).
+shots() {
+  local v
+  v=$(echo "$bench_out" | awk -v name="$1" '
+    $1 ~ "^"name"(-[0-9]+)?$" {
+      for (i = 2; i <= NF; i++) if ($i == "shots/s") { print $(i-1); exit }
+    }')
+  if [ -z "$v" ]; then
+    echo "bench_decode: no shots/s metric for $1 in the benchmark output" >&2
+    exit 1
+  fi
+  echo "$v"
+}
+
+ratio() { awk -v a="$1" -v b="$2" 'BEGIN { printf "%.2f", a / b }'; }
+
+planar_scalar=$(shots BenchmarkDecodeMWPMPlanarD5)
+planar_batch=$(shots BenchmarkDecodeBatchMWPMPlanarD5)
+mwpm_scalar=$(shots BenchmarkDecodeMWPM)
+mwpm_batch=$(shots BenchmarkDecodeBatchMWPM)
+uf_scalar=$(shots BenchmarkDecodeUnionFind)
+uf_batch=$(shots BenchmarkDecodeBatchUnionFind)
+
+planar_speedup=$(ratio "$planar_batch" "$planar_scalar")
+mwpm_speedup=$(ratio "$mwpm_batch" "$mwpm_scalar")
+uf_speedup=$(ratio "$uf_batch" "$uf_scalar")
+
+# The committed baseline is deliberately conservative: 70% of the
+# measured speedup. Speedup ratios this large (the memo-hit path is
+# pure memory traffic, the scalar path is matching compute) shift
+# double-digit percentages between CPU generations, so gating at
+# 90%-of-measured would page on runner hardware, not regressions. A
+# real regression — the memo disengaging, the fast path breaking —
+# collapses the ratio toward 1x and still trips the gate decisively.
+conservative() { awk -v s="$1" 'BEGIN { printf "%.2f", s * 0.7 }'; }
+
+# One workload per line: the check below greps its baseline back out of
+# this file, so the layout is part of the format (schema fpn-bench-decode/1).
+emit() {
+  cat <<EOF
+{
+  "schema": "fpn-bench-decode/1",
+  "note": "batch_speedup is the gated baseline (70% of measured_speedup at update time); speedups are batch shots/s over scalar shots/s in the same process, so they are robust to runner hardware while absolute throughput is informational",
+  "workloads": {
+    "planar-d5-plain-mwpm": {"scalar_shots_per_sec": $planar_scalar, "batch_shots_per_sec": $planar_batch, "measured_speedup": $planar_speedup, "batch_speedup": $(conservative "$planar_speedup")},
+    "hyper-30-8-3-3-flagged-mwpm": {"scalar_shots_per_sec": $mwpm_scalar, "batch_shots_per_sec": $mwpm_batch, "measured_speedup": $mwpm_speedup, "batch_speedup": $(conservative "$mwpm_speedup")},
+    "hyper-30-8-3-3-flagged-unionfind": {"scalar_shots_per_sec": $uf_scalar, "batch_shots_per_sec": $uf_batch, "measured_speedup": $uf_speedup, "batch_speedup": $(conservative "$uf_speedup")}
+  }
+}
+EOF
+}
+
+if [ "$MODE" = update ]; then
+  emit >"$BASELINE"
+  echo "bench_decode: wrote $BASELINE" >&2
+  exit 0
+fi
+
+if [ ! -f "$BASELINE" ]; then
+  echo "bench_decode: no committed $BASELINE; run 'scripts/bench_decode.sh update' and commit it" >&2
+  exit 1
+fi
+
+# baseline_speedup <workload> — the committed batch_speedup for one workload.
+baseline_speedup() {
+  local v
+  v=$(grep "\"$1\"" "$BASELINE" | sed -n 's/.*"batch_speedup": *\([0-9.][0-9.]*\).*/\1/p')
+  if [ -z "$v" ]; then
+    echo "bench_decode: workload $1 missing from $BASELINE; rerun 'scripts/bench_decode.sh update'" >&2
+    exit 1
+  fi
+  echo "$v"
+}
+
+fail=0
+check_workload() {
+  local name="$1" got="$2" floor="$3"
+  local base allowed
+  base=$(baseline_speedup "$name")
+  allowed=$(awk -v b="$base" 'BEGIN { printf "%.2f", b * 0.9 }')
+  echo "bench_decode: $name: batch speedup ${got}x (baseline ${base}x, gate >= ${allowed}x, floor >= ${floor}x)"
+  if awk -v g="$got" -v a="$allowed" 'BEGIN { exit !(g < a) }'; then
+    echo "bench_decode: FAIL: $name regressed more than 10% below the committed baseline" >&2
+    fail=1
+  fi
+  if awk -v g="$got" -v f="$floor" 'BEGIN { exit !(g < f) }'; then
+    echo "bench_decode: FAIL: $name fell below the hard acceptance floor of ${floor}x" >&2
+    fail=1
+  fi
+}
+
+check_workload planar-d5-plain-mwpm "$planar_speedup" "$FLOOR_PLANAR_D5"
+check_workload hyper-30-8-3-3-flagged-mwpm "$mwpm_speedup" 1.0
+check_workload hyper-30-8-3-3-flagged-unionfind "$uf_speedup" 1.0
+
+if [ "$fail" -ne 0 ]; then
+  echo "bench_decode: regression gate failed (if the change is an accepted tradeoff, rerun 'scripts/bench_decode.sh update' and commit the new baseline)" >&2
+  exit 1
+fi
+echo "bench_decode: all workloads within 10% of the committed baseline"
