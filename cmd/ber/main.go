@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -29,6 +31,7 @@ import (
 	"github.com/fpn/flagproxy/internal/color"
 	"github.com/fpn/flagproxy/internal/css"
 	"github.com/fpn/flagproxy/internal/experiment"
+	"github.com/fpn/flagproxy/internal/fabric"
 	"github.com/fpn/flagproxy/internal/fpn"
 	"github.com/fpn/flagproxy/internal/schedule"
 	"github.com/fpn/flagproxy/internal/surface"
@@ -54,6 +57,25 @@ func main() {
 	// kills the process the default way.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
+	if cfg.joinURL != "" {
+		// Worker mode: no sweep of our own — decode shards for the
+		// coordinator at -join until it announces shutdown.
+		id := cfg.workerID
+		if id == "" {
+			host, _ := os.Hostname()
+			id = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+		err := fabric.RunWorker(ctx, fabric.WorkerOptions{URL: cfg.joinURL, ID: id, Log: os.Stderr})
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "ber: worker interrupted; leased shards will be reassigned")
+			os.Exit(exitInterrupted)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ber:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	r := &runner{
 		ctx:          ctx,
 		sweep:        experiment.NewSweep(),
@@ -96,6 +118,34 @@ func main() {
 		recordSchedKnobs(store, schedSignature(cfg.decTimeout, cfg.fallback), os.Stderr)
 		r.store = store
 	}
+	var stopFabric func()
+	if cfg.serveAddr != "" {
+		// Coordinator mode: points are decoded by -join workers instead of
+		// local goroutines, and the coordinator takes over the ledger
+		// bookkeeping (resume, commit-cadence checkpoints, final records).
+		ln, err := net.Listen("tcp", cfg.serveAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ber:", err)
+			os.Exit(1)
+		}
+		co := fabric.NewCoordinator(fabric.Options{
+			LeaseTTL: cfg.leaseTTL, Store: r.store, Resume: cfg.resume,
+			CheckpointEvery: checkpointEveryBlocks, Log: os.Stderr,
+		})
+		srv := &http.Server{Handler: co.Handler()}
+		go func() { _ = srv.Serve(ln) }()
+		// Parsed by scripts (crash_resume.sh) to discover a :0 port.
+		fmt.Fprintf(os.Stderr, "ber: serving fabric on %s\n", ln.Addr())
+		r.fab, r.store, r.resume = co, nil, false
+		stopFabric = func() {
+			co.Shutdown()
+			// Let polling workers observe the shutdown before the
+			// listener goes away, so they exit cleanly instead of
+			// burning their retry budget on a dead socket.
+			time.Sleep(cfg.linger)
+			_ = srv.Close()
+		}
+	}
 	switch cfg.fig {
 	case "17":
 		fig17(r, cfg.ps, cfg.maxN)
@@ -105,6 +155,9 @@ func main() {
 		fig19(r, cfg.ps)
 	case "20":
 		fig20(r, cfg.ps)
+	}
+	if stopFabric != nil {
+		stopFabric()
 	}
 	if ctx.Err() != nil {
 		msg := "ber: interrupted; completed points were flushed"
@@ -131,6 +184,11 @@ type cliConfig struct {
 	fallback      []experiment.DecoderKind
 	checkpointDir string
 	resume        bool
+	serveAddr     string
+	joinURL       string
+	workerID      string
+	leaseTTL      time.Duration
+	linger        time.Duration
 }
 
 // parseArgs parses and validates the ber command line. Engine knobs are
@@ -152,11 +210,31 @@ func parseArgs(args []string) (*cliConfig, error) {
 	resume := fs.Bool("resume", false, "skip finished points and resume partial ones from -checkpoint")
 	decTimeout := fs.Duration("decode-timeout", 0, "wall-clock budget per decode shard; a hung or crawling shard fails over to -fallback and is counted, instead of stalling the sweep (0 = off)")
 	fallbackFlag := fs.String("fallback", "", "comma-separated decoder kinds that rescue panicking or timed-out shards, in order (e.g. plain-mwpm,bp-osd)")
+	serveAddr := fs.String("serve", "", "run as fabric coordinator on this address (e.g. :9911); -join workers decode the points")
+	joinURL := fs.String("join", "", "run as fabric worker for the coordinator at this URL (e.g. http://host:9911)")
+	workerID := fs.String("worker-id", "", "worker name in coordinator logs (-join only; default hostname-pid)")
+	leaseTTL := fs.Duration("lease-ttl", 30*time.Second, "shard lease lifetime before a silent worker's shard is reassigned (-serve only)")
+	linger := fs.Duration("linger", 2*time.Second, "how long the coordinator keeps answering after the sweep so workers see the shutdown (-serve only)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
 	if *resume && *checkpointDir == "" {
 		return nil, fmt.Errorf("-resume requires -checkpoint <dir>")
+	}
+	if *serveAddr != "" && *joinURL != "" {
+		return nil, fmt.Errorf("-serve and -join are mutually exclusive")
+	}
+	if *joinURL != "" && (*checkpointDir != "" || *resume) {
+		return nil, fmt.Errorf("-join is incompatible with -checkpoint/-resume: the coordinator owns the ledger")
+	}
+	if *serveAddr != "" && (*decTimeout != 0 || *fallbackFlag != "") {
+		return nil, fmt.Errorf("-serve is incompatible with -decode-timeout/-fallback: scheduling knobs do not cross the fabric")
+	}
+	if *leaseTTL <= 0 {
+		return nil, fmt.Errorf("-lease-ttl must be positive (got %v)", *leaseTTL)
+	}
+	if *linger < 0 {
+		return nil, fmt.Errorf("-linger must be >= 0 (got %v)", *linger)
 	}
 	switch *figFlag {
 	case "17", "18", "19", "20":
@@ -210,6 +288,8 @@ func parseArgs(args []string) (*cliConfig, error) {
 		workers: *workers, shard: *shard, targetErrors: *targetErrors, maxCI: *maxCI,
 		decTimeout: *decTimeout, fallback: fallback,
 		checkpointDir: *checkpointDir, resume: *resume,
+		serveAddr: *serveAddr, joinURL: *joinURL, workerID: *workerID,
+		leaseTTL: *leaseTTL, linger: *linger,
 	}, nil
 }
 
@@ -288,6 +368,7 @@ type runner struct {
 	fallback     []experiment.DecoderKind
 	store        *checkpoint.Store
 	resume       bool
+	fab          *fabric.Coordinator // non-nil in -serve mode: points run on the fabric
 }
 
 func (r *runner) point(code *css.Code, arch fpn.Options, dec experiment.DecoderKind, basis css.Basis, p float64) {
@@ -309,6 +390,23 @@ func (r *runner) pointSched(code *css.Code, arch fpn.Options, sched *schedule.Sc
 		Workers: r.workers, ShardShots: r.shard,
 		TargetErrors: r.targetErrors, MaxCI: r.maxCI,
 		DecodeTimeout: r.decTimeout, Fallback: r.fallback,
+	}
+	if r.fab != nil {
+		// Fabric mode: the coordinator runs the point on whatever workers
+		// are joined and does the ledger bookkeeping itself; the result
+		// (and thus the printed line) is bit-identical to a local run.
+		res, err := r.fab.RunPoint(r.ctx, cfg)
+		if err != nil {
+			fmt.Printf("%-18s %-22s %c p=%-8.1e error: %v\n", code.Name, dec, basis, p, err)
+			return
+		}
+		if res.Interrupted {
+			fmt.Fprintf(os.Stderr, "ber: %s %s %c p=%.1e interrupted at %d/%d shots\n",
+				code.Name, dec, basis, p, res.Shots, r.shots)
+			return
+		}
+		r.print(code, dec, basis, p, res)
+		return
 	}
 	var key string
 	if r.store != nil {

@@ -78,6 +78,13 @@ func TestParseArgsInvalid(t *testing.T) {
 		{"unknown fallback kind", []string{"-fallback", "mwpm"}, "unknown decoder kind"},
 		{"fallback typo", []string{"-fallback", "plain-mwpm,bposd"}, "unknown decoder kind"},
 		{"unknown flag", []string{"-frobnicate"}, "flag provided but not defined"},
+		{"serve and join", []string{"-serve", ":9911", "-join", "http://h:9911"}, "mutually exclusive"},
+		{"join with checkpoint", []string{"-join", "http://h:9911", "-checkpoint", "/tmp/c"}, "coordinator owns the ledger"},
+		{"join with resume", []string{"-join", "http://h:9911", "-checkpoint", "/tmp/c", "-resume"}, "coordinator owns the ledger"},
+		{"serve with decode-timeout", []string{"-serve", ":9911", "-decode-timeout", "5s"}, "do not cross the fabric"},
+		{"serve with fallback", []string{"-serve", ":9911", "-fallback", "plain-mwpm"}, "do not cross the fabric"},
+		{"zero lease-ttl", []string{"-serve", ":9911", "-lease-ttl", "0s"}, "-lease-ttl must be positive"},
+		{"negative linger", []string{"-serve", ":9911", "-linger", "-1s"}, "-linger must be >= 0"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -107,6 +114,26 @@ func TestParseArgsCheckpointFlags(t *testing.T) {
 	}
 	if cfg.checkpointDir != "/tmp/ckpt" || cfg.resume {
 		t.Errorf("checkpoint-only parsed as %+v", cfg)
+	}
+}
+
+func TestParseArgsFabricFlags(t *testing.T) {
+	cfg, err := parseArgs([]string{"-serve", "127.0.0.1:0", "-checkpoint", "/tmp/c", "-resume", "-lease-ttl", "5s", "-linger", "100ms"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.serveAddr != "127.0.0.1:0" || cfg.leaseTTL != 5*time.Second || cfg.linger != 100*time.Millisecond {
+		t.Errorf("serve flags parsed as %+v", cfg)
+	}
+	cfg, err = parseArgs([]string{"-join", "http://host:9911", "-worker-id", "w7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.joinURL != "http://host:9911" || cfg.workerID != "w7" {
+		t.Errorf("join flags parsed as %+v", cfg)
+	}
+	if cfg.leaseTTL != 30*time.Second || cfg.linger != 2*time.Second {
+		t.Errorf("fabric duration defaults parsed as %+v", cfg)
 	}
 }
 

@@ -3,8 +3,9 @@
 // spot-check — seed-reproducible randomness (detrand), deterministic
 // map handling (maporder), allocation-free decode hot paths (hotalloc),
 // complete checkpoint fingerprints (fingerprintcover), panic-safe
-// decoder entry points (recoverguard), and no silently dropped errors
-// (errdrop).
+// decoder entry points (recoverguard), no silently dropped errors
+// (errdrop), and wall-clock-free result paths in the distributed sweep
+// fabric (leaseguard).
 //
 // Usage:
 //
@@ -25,6 +26,7 @@ import (
 	"github.com/fpn/flagproxy/internal/analysis/errdrop"
 	"github.com/fpn/flagproxy/internal/analysis/fingerprintcover"
 	"github.com/fpn/flagproxy/internal/analysis/hotalloc"
+	"github.com/fpn/flagproxy/internal/analysis/leaseguard"
 	"github.com/fpn/flagproxy/internal/analysis/maporder"
 	"github.com/fpn/flagproxy/internal/analysis/recoverguard"
 )
@@ -37,6 +39,7 @@ var all = []*analysis.Analyzer{
 	fingerprintcover.Analyzer,
 	recoverguard.Analyzer,
 	errdrop.Analyzer,
+	leaseguard.Analyzer,
 }
 
 func main() {

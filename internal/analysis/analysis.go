@@ -107,6 +107,7 @@ var resultAffecting = map[string]bool{
 	"catalog":    true,
 	"tiling":     true,
 	"group":      true,
+	"fabric":     true,
 }
 
 // ResultAffecting reports whether pkg is one of the packages whose

@@ -17,6 +17,11 @@ package analysis
 //	                             fallback (OSD-0, residual repair) that
 //	                             may allocate; hotalloc prunes its whole
 //	                             subgraph.
+//	//fpnvet:wallclock <why>   — on a statement or function in the fabric
+//	                             package: this clock read is pure
+//	                             liveness (polling cadence, lease TTL
+//	                             bookkeeping), never results; leaseguard
+//	                             skips it.
 //
 // Directives are matched by file position: a directive covers the source
 // line it sits on and the line directly below it, which handles both
@@ -33,6 +38,7 @@ const (
 	DirOrderless = "fpnvet:orderless"
 	DirSched     = "fpnvet:sched"
 	DirColdpath  = "fpnvet:coldpath"
+	DirWallclock = "fpnvet:wallclock"
 )
 
 // noteKey identifies one source line of one file.
@@ -71,7 +77,7 @@ func indexNotes(prog *Program) *noteIndex {
 // directiveName extracts the directive identifier from a comment body,
 // if any. Directives are machine comments: no space after "//".
 func directiveName(text string) (string, bool) {
-	for _, d := range []string{DirHotpath, DirOrderless, DirSched, DirColdpath} {
+	for _, d := range []string{DirHotpath, DirOrderless, DirSched, DirColdpath, DirWallclock} {
 		if text == d || strings.HasPrefix(text, d+" ") {
 			return d, true
 		}

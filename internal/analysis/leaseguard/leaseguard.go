@@ -1,0 +1,110 @@
+// Package leaseguard keeps wall-clock reads out of the distributed
+// sweep fabric's result paths. The fabric's bit-identity proof rests on
+// time being pure scheduling: lease expiry flows through an injectable
+// clock, retry budgets are fixed attempt counts, and nothing the merged
+// result depends on ever reads time.Now. This analyzer enforces the
+// boundary mechanically in package fabric:
+//
+//   - every package-qualified call into the clock-bearing part of the
+//     time package (Now, Since, Until, After, AfterFunc, Tick,
+//     NewTicker, NewTimer, Sleep) is a finding;
+//   - a call site (or its whole enclosing function) opts out with
+//     //fpnvet:wallclock <why>, reserved for the handful of sanctioned
+//     liveness sites: the default clock constructor behind the
+//     injectable seam, and polling/heartbeat pacing.
+//
+// Pure-value time.Duration arithmetic and formatting stay free — only
+// the functions that sample or schedule against the machine's clock are
+// guarded.
+package leaseguard
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/fpn/flagproxy/internal/analysis"
+)
+
+// Analyzer is the leaseguard check.
+var Analyzer = &analysis.Analyzer{
+	Name: "leaseguard",
+	Doc:  "forbid unannotated wall-clock reads in the distributed sweep fabric",
+	Run:  run,
+}
+
+// clockFns are the time-package functions that sample or schedule
+// against the wall clock (or the runtime timer heap, which amounts to
+// the same hazard: behavior keyed to real elapsed time).
+var clockFns = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true, "Sleep": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name != "fabric" {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		// stack mirrors the Inspect traversal (every non-nil node pushed,
+		// every nil pops) so the enclosing function of a call is at hand.
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if path, ok := packageQualifier(pass, sel); !ok || path != "time" {
+				return true
+			}
+			if !clockFns[sel.Sel.Name] {
+				return true
+			}
+			if pass.Prog.HasDirective(analysis.DirWallclock, call.Pos()) {
+				return true
+			}
+			if fd := enclosingFunc(stack); fd != nil && pass.Prog.FuncHasDirective(analysis.DirWallclock, fd) {
+				return true
+			}
+			pass.Report(call.Pos(),
+				"wall-clock call time.%s in the fabric; inject the clock (Options.Now / WorkerOptions.Sleep) or annotate the liveness site with //fpnvet:wallclock <why>",
+				sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}
+
+// enclosingFunc returns the innermost function declaration on the
+// traversal stack, if any.
+func enclosingFunc(stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}
+
+// packageQualifier resolves sel's X to an imported package path, if the
+// selector is a package-qualified reference.
+func packageQualifier(pass *analysis.Pass, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := pass.Pkg.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}

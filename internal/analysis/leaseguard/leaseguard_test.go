@@ -1,0 +1,12 @@
+package leaseguard_test
+
+import (
+	"testing"
+
+	"github.com/fpn/flagproxy/internal/analysis/analyzertest"
+	"github.com/fpn/flagproxy/internal/analysis/leaseguard"
+)
+
+func TestFixture(t *testing.T) {
+	analyzertest.Run(t, leaseguard.Analyzer, "testdata/fabric")
+}

@@ -1,0 +1,64 @@
+// Package fabric is a leaseguard fixture masquerading as the real
+// fabric package (the analyzer matches on package name). It pairs true
+// positives (unannotated clock reads) with sanctioned liveness sites
+// and clock-free time handling that must stay clean.
+package fabric
+
+import "time"
+
+// Unannotated clock samples are findings wherever they appear.
+func expiry(granted time.Time) bool {
+	now := time.Now() // want "wall-clock call time.Now"
+	return granted.Before(now)
+}
+
+func pace() {
+	time.Sleep(time.Second)            // want "wall-clock call time.Sleep"
+	elapsed := time.Since(time.Time{}) // want "wall-clock call time.Since"
+	_ = elapsed
+}
+
+// Clock reads inside function literals are findings too.
+var _ = func() {
+	_ = time.Until(time.Time{}) // want "wall-clock call time.Until"
+	<-time.After(time.Second)   // want "wall-clock call time.After"
+	_ = time.NewTimer(0)        // want "wall-clock call time.NewTimer"
+	_ = time.NewTicker(1)       // want "wall-clock call time.NewTicker"
+}
+
+// A statement-level annotation sanctions one liveness site, trailing or
+// above.
+func sanctionedSite() time.Time {
+	//fpnvet:wallclock default clock behind the injectable seam
+	t := time.Now()
+	_ = time.Now() //fpnvet:wallclock lease TTL bookkeeping only
+	return t
+}
+
+// A function-level annotation sanctions the whole body — the shape of
+// the worker's wait helper.
+//
+//fpnvet:wallclock polling cadence is liveness, not results
+func sanctionedFunc(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	<-t.C
+	time.Sleep(d)
+}
+
+// Pure duration values, arithmetic, formatting and parsing never touch
+// the clock and stay clean.
+func cleanDurations(ttl time.Duration) (time.Duration, string, error) {
+	hb := ttl / 3
+	d, err := time.ParseDuration("30s")
+	if err != nil {
+		return 0, "", err
+	}
+	return hb + d + 5*time.Millisecond, ttl.String(), nil
+}
+
+// Method calls on time values (not package-qualified clock reads) are
+// clean: they operate on an instant the caller already holds.
+func cleanInstants(t time.Time, ttl time.Duration) time.Time {
+	return t.Add(ttl)
+}

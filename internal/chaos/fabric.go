@@ -1,0 +1,97 @@
+// Fault injection for the distributed sweep fabric's transport. Fabric
+// wraps an http.RoundTripper and attacks exactly the traffic whose loss
+// the protocol must survive bit-identically: shard completion streams.
+// Three attack modes, all deterministic from the Plan:
+//
+//   - torn streams: the completion body is truncated at a plan-chosen
+//     byte, so the coordinator sees a CRC/trailer violation and must
+//     reject the merge wholesale (the worker then resends);
+//   - dropped responses: the completion is delivered but its response
+//     never reaches the worker, so the worker retries and the
+//     coordinator must treat the duplicate as idempotent;
+//   - duplicated completions: the same stream is delivered twice
+//     back-to-back — the double-completion case — which the coordinator
+//     must answer by content, not by lease state.
+//
+// Like the rest of this package, Fabric injects faults only through a
+// seam production code already exposes (fabric.WorkerOptions.Client),
+// so chaos runs exercise the real worker loop and the real handlers.
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+)
+
+// Fabric is a deterministic fault-injecting http.RoundTripper for
+// fabric workers. Completion requests (POST /v1/complete) are counted,
+// and the Nth request is attacked per the Every knobs; all other
+// traffic passes through untouched. Safe for concurrent use.
+type Fabric struct {
+	Plan  Plan
+	Inner http.RoundTripper // nil means http.DefaultTransport
+
+	// TearEvery, when > 0, truncates every TearEvery-th completion body
+	// at a plan-chosen byte offset before it reaches the coordinator.
+	TearEvery int
+	// DropEvery, when > 0, delivers every DropEvery-th completion but
+	// discards the response, surfacing a transport error to the worker.
+	DropEvery int
+	// DupEvery, when > 0, sends every DupEvery-th completion twice
+	// back-to-back and returns the second response.
+	DupEvery int
+
+	calls   atomic.Int64
+	Torn    atomic.Int64 // completions truncated
+	Dropped atomic.Int64 // completion responses discarded
+	Duped   atomic.Int64 // completions sent twice
+}
+
+// RoundTrip implements http.RoundTripper.
+func (f *Fabric) RoundTrip(req *http.Request) (*http.Response, error) {
+	inner := f.Inner
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	if req.URL.Path != "/v1/complete" || req.Body == nil {
+		return inner.RoundTrip(req)
+	}
+	body, err := io.ReadAll(req.Body)
+	_ = req.Body.Close() // fully consumed (or already failed) either way
+	if err != nil {
+		return nil, err
+	}
+	n := f.calls.Add(1)
+	idx := uint64(n - 1)
+	resend := func(payload []byte) (*http.Response, error) {
+		r2 := req.Clone(req.Context())
+		r2.Body = io.NopCloser(bytes.NewReader(payload))
+		r2.ContentLength = int64(len(payload))
+		return inner.RoundTrip(r2)
+	}
+	if f.TearEvery > 0 && n%int64(f.TearEvery) == 0 && len(body) > 1 {
+		f.Torn.Add(1)
+		cut := 1 + f.Plan.Pick("fabric-tear-offset", len(body)-1, idx)
+		return resend(body[:cut])
+	}
+	if f.DropEvery > 0 && n%int64(f.DropEvery) == 0 {
+		f.Dropped.Add(1)
+		resp, err := resend(body)
+		if err == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+		}
+		return nil, fmt.Errorf("chaos: completion response %d dropped by plan %q", n, f.Plan.Name)
+	}
+	if f.DupEvery > 0 && n%int64(f.DupEvery) == 0 {
+		f.Duped.Add(1)
+		if resp, err := resend(body); err == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+		}
+	}
+	return resend(body)
+}

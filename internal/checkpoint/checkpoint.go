@@ -31,6 +31,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"path/filepath"
@@ -123,9 +124,17 @@ type Options struct {
 }
 
 // Store is an atomic on-disk map from fingerprint to Record. It is safe
-// for concurrent use by multiple goroutines of one process; it does not
-// arbitrate between processes (two sweeps sharing a directory will
-// last-writer-win whole files, never corrupt them).
+// for concurrent use by multiple goroutines of one process. Across
+// processes the file is a merge-able ledger: every flush first folds the
+// on-disk records back into memory, keeping the more-advanced record
+// per key (Done beats in-progress, then the longer committed prefix).
+// That merge is sound because records are deterministic functions of
+// their fingerprint — two writers of the same key can only disagree on
+// how far they got, never on what the counts are — so interleaved
+// writers converge on the union of everyone's progress instead of
+// last-writer-winning whole files. Two writers racing the read→rename
+// window can still each publish their own merge; whichever loses simply
+// re-merges on its next flush, and no record ever moves backward.
 type Store struct {
 	mu       sync.Mutex
 	path     string
@@ -143,8 +152,8 @@ type Store struct {
 // with the default Options. A torn final line (a pre-rename crash of a
 // foreign writer, a truncated filesystem) is dropped and reported via
 // TornTail; any other damage fails the open with a *CorruptRecordError
-// after quarantining the file to a ".corrupt" sidecar. For duplicate
-// keys the last record wins.
+// after quarantining the file to a ".corrupt" sidecar. Duplicate keys
+// resolve to the more-advanced record regardless of line order.
 func Open(dir string) (*Store, error) {
 	return OpenOptions(dir, Options{})
 }
@@ -181,17 +190,21 @@ func OpenOptions(dir string, opt Options) (*Store, error) {
 	return s, nil
 }
 
-// load reads and verifies the store file. Only a trailing newline-less
-// fragment may fail to parse (torn tail, tolerated and flagged); any
-// mid-file damage quarantines the file and returns *CorruptRecordError.
-func (s *Store) load() error {
-	data, err := s.fs.ReadFile(s.path)
-	if err != nil {
-		if s.fs.IsNotExist(err) {
-			return nil
-		}
-		return fmt.Errorf("checkpoint: %w", err)
-	}
+// parsedFile is the verified content of one store file: records in file
+// order (duplicates preserved), the merged annotations, and whether a
+// torn tail was dropped.
+type parsedFile struct {
+	recs []Record
+	meta map[string]string
+	torn bool
+}
+
+// parse reads and verifies one store file's bytes. Only a trailing
+// newline-less fragment may fail to parse (torn tail, tolerated and
+// flagged); any mid-file damage quarantines the file and returns
+// *CorruptRecordError.
+func (s *Store) parse(data []byte) (parsedFile, error) {
+	pf := parsedFile{meta: map[string]string{}}
 	lines := bytes.Split(data, []byte("\n"))
 	// A well-formed file ends with a newline, so the final split element
 	// is empty; a non-empty final element is a torn-tail candidate.
@@ -202,7 +215,7 @@ func (s *Store) load() error {
 			if last {
 				continue // the terminating newline of a healthy file
 			}
-			return s.quarantine(data, i+1, "empty line inside the record stream")
+			return pf, s.quarantine(data, i+1, "empty line inside the record stream")
 		}
 		rec, meta, err := decodeLine(line)
 		if err != nil {
@@ -210,23 +223,108 @@ func (s *Store) load() error {
 				// The one tolerable failure: the file ends mid-record
 				// with no trailing newline. The fragment is at most the
 				// newest Put, which a resume recomputes anyway.
-				s.torn = true
+				pf.torn = true
 				continue
 			}
-			return s.quarantine(data, i+1, err.Error())
+			return pf, s.quarantine(data, i+1, err.Error())
 		}
 		if meta != nil {
 			// A meta line: merge the annotations (later lines win per
 			// key, exactly like duplicate records).
 			for k, v := range meta {
-				s.meta[k] = v
+				pf.meta[k] = v
 			}
 			continue
 		}
-		if _, seen := s.recs[rec.Key]; !seen {
-			s.order = append(s.order, rec.Key)
+		pf.recs = append(pf.recs, rec)
+	}
+	return pf, nil
+}
+
+// load populates a fresh store from the file. Duplicate keys (two
+// processes' worth of concatenated records, replayed lines) resolve to
+// the more-advanced record regardless of line order, so loading is
+// order-independent exactly like the pre-flush merge.
+func (s *Store) load() error {
+	data, err := s.fs.ReadFile(s.path)
+	if err != nil {
+		if s.fs.IsNotExist(err) {
+			return nil
 		}
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	pf, err := s.parse(data)
+	if err != nil {
+		return err
+	}
+	s.torn = pf.torn
+	for k, v := range pf.meta {
+		s.meta[k] = v
+	}
+	for _, rec := range pf.recs {
+		if prev, seen := s.recs[rec.Key]; seen {
+			s.recs[rec.Key] = preferRecord(prev, rec)
+			continue
+		}
+		s.order = append(s.order, rec.Key)
 		s.recs[rec.Key] = rec
+	}
+	return nil
+}
+
+// preferRecord picks the more-advanced of two records for one key.
+// Records are deterministic functions of their fingerprint — two
+// writers can only ever disagree on how far they got, never on what the
+// committed counts are — so "more advanced" is well-defined and the
+// merge is monotone: Done beats in-progress, then the longer committed
+// prefix wins, and on exact ties ours is kept.
+func preferRecord(ours, theirs Record) Record {
+	if ours.Done != theirs.Done {
+		if theirs.Done {
+			return theirs
+		}
+		return ours
+	}
+	if theirs.Blocks > ours.Blocks {
+		return theirs
+	}
+	return ours
+}
+
+// mergeDiskLocked folds the current on-disk file back into memory
+// before a rewrite, so a flush never erases progress another process
+// published since our last read. A torn tail is tolerated exactly as at
+// load; mid-file corruption quarantines the file and aborts the flush
+// with a *CorruptRecordError (non-retryable — overwriting damaged state
+// would destroy the evidence the sidecar just preserved).
+func (s *Store) mergeDiskLocked() error {
+	data, err := s.fs.ReadFile(s.path)
+	if err != nil {
+		if s.fs.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	pf, err := s.parse(data)
+	if err != nil {
+		return err
+	}
+	if pf.torn {
+		s.torn = true
+	}
+	for k, v := range pf.meta {
+		if _, ok := s.meta[k]; !ok {
+			s.meta[k] = v
+		}
+	}
+	for _, rec := range pf.recs {
+		ours, seen := s.recs[rec.Key]
+		if !seen {
+			s.order = append(s.order, rec.Key)
+			s.recs[rec.Key] = rec
+			continue
+		}
+		s.recs[rec.Key] = preferRecord(ours, rec)
 	}
 	return nil
 }
@@ -406,6 +504,9 @@ func (s *Store) Meta(key string) (string, bool) {
 }
 
 // flushRetryLocked runs the atomic rewrite under the retry budget.
+// Mid-file corruption discovered by the pre-flush merge is not a
+// transient I/O failure: retrying would quarantine the same file again
+// and again, so it is returned immediately.
 func (s *Store) flushRetryLocked() error {
 	var err error
 	backoff := s.backoff
@@ -417,11 +518,18 @@ func (s *Store) flushRetryLocked() error {
 		if err = s.flushLocked(); err == nil {
 			return nil
 		}
+		var corrupt *CorruptRecordError
+		if errors.As(err, &corrupt) {
+			return err
+		}
 	}
 	return fmt.Errorf("checkpoint: flush failed after %d attempts: %w", s.attempts, err)
 }
 
 func (s *Store) flushLocked() error {
+	if err := s.mergeDiskLocked(); err != nil {
+		return err
+	}
 	dir := filepath.Dir(s.path)
 	tmp, err := s.fs.CreateTemp(dir, FileName+".tmp-*")
 	if err != nil {

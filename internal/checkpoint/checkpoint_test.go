@@ -216,8 +216,8 @@ func TestTruncatedMidFileRecordIsCorrupt(t *testing.T) {
 	}
 }
 
-// A fully duplicated record is benign: last wins, exactly like a Put
-// replaying the same key.
+// A fully duplicated record is benign: the more-advanced record wins,
+// exactly like a Put replaying the same key.
 func TestDuplicatedRecordIsBenign(t *testing.T) {
 	dir := t.TempDir()
 	writeStore(t, dir,

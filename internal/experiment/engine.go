@@ -182,66 +182,9 @@ func (pl *Pipeline) Run(cfg Config) (*Result, error) {
 // as a partial Result with Interrupted set — a valid Resume point —
 // rather than an error.
 func (pl *Pipeline) RunContext(ctx context.Context, cfg Config) (*Result, error) {
-	cfg.Code = pl.Code
-	cfg.Schedule = pl.Sched
-	if err := validate(cfg); err != nil {
-		return nil, err
-	}
-	if cfg.CodeCapacity {
-		cfg.Rounds = 1
-	}
-	if cfg.Rounds == 0 {
-		cfg.Rounds = cfg.Code.DX
-		if cfg.Code.DZ < cfg.Rounds {
-			cfg.Rounds = cfg.Code.DZ
-		}
-		if cfg.Rounds < 1 {
-			return nil, fmt.Errorf("experiment: code has no distance metadata; set Rounds")
-		}
-	}
-	nm := &noise.Model{P: cfg.P, FixedIdle: cfg.FixedIdle}
-	var c *circuit.Circuit
-	var err error
-	if cfg.CodeCapacity {
-		c, err = circuit.BuildCodeCapacity(pl.Plan, cfg.Basis, cfg.P)
-	} else {
-		c, err = circuit.BuildMemory(circuit.MemorySpec{Plan: pl.Plan, Basis: cfg.Basis, Rounds: cfg.Rounds, Noise: nm})
-	}
+	cfg, c, dec, mk, err := pl.buildTail(cfg)
 	if err != nil {
 		return nil, err
-	}
-	model, err := dem.Extract(c)
-	if err != nil {
-		return nil, err
-	}
-	dec, err := newDecoder(cfg.Decoder, model, cfg.Basis, nm.MeasFlip())
-	if err != nil {
-		return nil, err
-	}
-	// The batch lift happens before WrapDecoder so the chaos harness
-	// sees (and may fault-inject) the actual production decoder; a
-	// wrapper that hides the BatchDecoder interface simply routes its
-	// shards down the scalar loop.
-	if !cfg.ScalarDecode {
-		dec = batchify(cfg.Decoder, dec)
-	}
-	if cfg.WrapDecoder != nil {
-		dec = cfg.WrapDecoder(cfg.Decoder, dec)
-	}
-	// Fallback decoders share the circuit's error model; they are built
-	// lazily, only when a shard actually panics or times out.
-	mk := func(k DecoderKind) (Decoder, error) {
-		d, err := newDecoder(k, model, cfg.Basis, nm.MeasFlip())
-		if err != nil {
-			return nil, err
-		}
-		if !cfg.ScalarDecode {
-			d = batchify(k, d)
-		}
-		if cfg.WrapDecoder != nil {
-			d = cfg.WrapDecoder(k, d)
-		}
-		return d, nil
 	}
 	out := runEngine(ctx, c, dec, mk, cfg)
 	ber := 0.0
@@ -269,6 +212,76 @@ func (pl *Pipeline) RunContext(ctx context.Context, cfg Config) (*Result, error)
 		MemoHits:       out.memoHits,
 		MemoMisses:     out.memoMisses,
 	}, nil
+}
+
+// buildTail validates cfg, normalizes its defaults (Rounds, pipeline
+// artifacts) and constructs the p-dependent tail: the noisy circuit,
+// the primary decoder, and the lazy fallback-decoder factory. It is
+// shared by RunContext and NewBlockRunner so the distributed fabric's
+// workers decode through exactly the production stack.
+func (pl *Pipeline) buildTail(cfg Config) (Config, *circuit.Circuit, Decoder, func(DecoderKind) (Decoder, error), error) {
+	cfg.Code = pl.Code
+	cfg.Schedule = pl.Sched
+	if err := validate(cfg); err != nil {
+		return cfg, nil, nil, nil, err
+	}
+	if cfg.CodeCapacity {
+		cfg.Rounds = 1
+	}
+	if cfg.Rounds == 0 {
+		cfg.Rounds = cfg.Code.DX
+		if cfg.Code.DZ < cfg.Rounds {
+			cfg.Rounds = cfg.Code.DZ
+		}
+		if cfg.Rounds < 1 {
+			return cfg, nil, nil, nil, fmt.Errorf("experiment: code has no distance metadata; set Rounds")
+		}
+	}
+	nm := &noise.Model{P: cfg.P, FixedIdle: cfg.FixedIdle}
+	var c *circuit.Circuit
+	var err error
+	if cfg.CodeCapacity {
+		c, err = circuit.BuildCodeCapacity(pl.Plan, cfg.Basis, cfg.P)
+	} else {
+		c, err = circuit.BuildMemory(circuit.MemorySpec{Plan: pl.Plan, Basis: cfg.Basis, Rounds: cfg.Rounds, Noise: nm})
+	}
+	if err != nil {
+		return cfg, nil, nil, nil, err
+	}
+	model, err := dem.Extract(c)
+	if err != nil {
+		return cfg, nil, nil, nil, err
+	}
+	dec, err := newDecoder(cfg.Decoder, model, cfg.Basis, nm.MeasFlip())
+	if err != nil {
+		return cfg, nil, nil, nil, err
+	}
+	// The batch lift happens before WrapDecoder so the chaos harness
+	// sees (and may fault-inject) the actual production decoder; a
+	// wrapper that hides the BatchDecoder interface simply routes its
+	// shards down the scalar loop.
+	if !cfg.ScalarDecode {
+		dec = batchify(cfg.Decoder, dec)
+	}
+	if cfg.WrapDecoder != nil {
+		dec = cfg.WrapDecoder(cfg.Decoder, dec)
+	}
+	// Fallback decoders share the circuit's error model; they are built
+	// lazily, only when a shard actually panics or times out.
+	mk := func(k DecoderKind) (Decoder, error) {
+		d, err := newDecoder(k, model, cfg.Basis, nm.MeasFlip())
+		if err != nil {
+			return nil, err
+		}
+		if !cfg.ScalarDecode {
+			d = batchify(k, d)
+		}
+		if cfg.WrapDecoder != nil {
+			d = cfg.WrapDecoder(k, d)
+		}
+		return d, nil
+	}
+	return cfg, c, dec, mk, nil
 }
 
 // validate rejects configurations that would previously have poisoned a
@@ -448,21 +461,16 @@ func runEngine(ctx context.Context, c *circuit.Circuit, dec Decoder, mkDecoder f
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	totalBlocks := (cfg.Shots + blockShots - 1) / blockShots
-	start, comShots, comErrs := 0, 0, 0
-	if cfg.Resume != nil {
-		start = cfg.Resume.Blocks
-		comShots = cfg.Resume.Shots
-		comErrs = cfg.Resume.Errors
-	}
-	if start >= totalBlocks {
-		return engineOut{blocks: start, shots: comShots, errs: comErrs}
-	}
-	// A checkpoint may have been written exactly at a stop boundary the
-	// writer did not evaluate; honoring it here keeps a resumed run
-	// bit-identical to an uninterrupted one.
-	if comShots < cfg.Shots && stopSatisfied(cfg, comErrs, comShots) {
-		return engineOut{blocks: start, shots: comShots, errs: comErrs, early: true}
+	fr := NewFrontier(cfg)
+	totalBlocks := fr.Total()
+	start := fr.Start()
+	if fr.Done() {
+		// The resumed prefix already covers the run, or was written
+		// exactly at a stop boundary the writer did not evaluate;
+		// honoring it here keeps a resumed run bit-identical to an
+		// uninterrupted one.
+		p := fr.State()
+		return engineOut{blocks: p.Blocks, shots: p.Shots, errs: p.Errors, early: fr.Finalized()}
 	}
 	shardShots := cfg.ShardShots
 	if shardShots <= 0 {
@@ -485,48 +493,23 @@ func runEngine(ctx context.Context, c *circuit.Circuit, dec Decoder, mkDecoder f
 		return blockShots
 	}
 
-	// blockErrs[b-start] holds block b's logical-error count + 1 once
-	// the block is done; 0 means pending.
-	blockErrs := make([]int32, remBlocks)
 	var (
-		nextShard  atomic.Int64
-		stop       atomic.Bool
-		quarantine atomic.Int64 // first block of the lowest failed shard
+		nextShard atomic.Int64
+		stop      atomic.Bool
 
-		mu        sync.Mutex
-		committed = start // blocks committed, in strict block order
-		finalized bool    // a stop criterion fired; commits are frozen
-		fbBlocks  int     // rescued after a primary panic
-		toBlocks  int     // primary attempt hit the decode deadline
-		dgBlocks  int     // rescued by a fallback after a timeout
-		serrs     []ShardError
+		mu       sync.Mutex
+		fbBlocks int // rescued after a primary panic
+		toBlocks int // primary attempt hit the decode deadline
+		dgBlocks int // rescued by a fallback after a timeout
+		serrs    []ShardError
 
 		fbMu    sync.Mutex
 		fbPools map[DecoderKind]*DecoderPool
 	)
-	quarantine.Store(int64(totalBlocks))
 	tryCommit := func() {
-		mu.Lock()
-		defer mu.Unlock()
-		prev := committed
-		// Blocks at or past a quarantined shard can never commit: the
-		// prefix would no longer be contiguous.
-		limit := int(quarantine.Load())
-		for !finalized && committed < limit {
-			v := atomic.LoadInt32(&blockErrs[committed-start])
-			if v == 0 {
-				break
-			}
-			comErrs += int(v - 1)
-			comShots += blockLen(committed)
-			committed++
-			if comShots < cfg.Shots && stopSatisfied(cfg, comErrs, comShots) {
-				finalized = true
-				stop.Store(true)
-			}
-		}
-		if cfg.OnCommit != nil && committed > prev {
-			cfg.OnCommit(Progress{Blocks: committed, Shots: comShots, Errors: comErrs})
+		fr.Commit()
+		if fr.Finalized() {
+			stop.Store(true)
 		}
 	}
 	// fallbackPool lazily builds the shared pool for one fallback kind;
@@ -595,13 +578,13 @@ func runEngine(ctx context.Context, c *circuit.Circuit, dec Decoder, mkDecoder f
 		}
 		return done, nil
 	}
-	// publish flushes a successful attempt's counts to the shared
-	// blockErrs array. It runs on the worker, never on an attempt
-	// goroutine, so an abandoned (timed-out) attempt can never publish a
-	// half-decoded shard after a fallback's result has already landed.
+	// publish flushes a successful attempt's counts to the frontier. It
+	// runs on the worker, never on an attempt goroutine, so an abandoned
+	// (timed-out) attempt can never publish a half-decoded shard after a
+	// fallback's result has already landed.
 	publish := func(res *shardRes, first, done int) {
 		for b := first; b < done; b++ {
-			atomic.StoreInt32(&blockErrs[b-start], res.counts[b-first]+1)
+			fr.Mark(b, int(res.counts[b-first]))
 		}
 	}
 	// attempt runs one shard attempt, under Config.DecodeTimeout when it
@@ -667,7 +650,7 @@ func runEngine(ctx context.Context, c *circuit.Circuit, dec Decoder, mkDecoder f
 					return
 				}
 				first := start + sh*shardBlocks
-				if int64(first) >= quarantine.Load() {
+				if first >= fr.Limit() {
 					// Nothing at or past a failed shard can ever commit.
 					return
 				}
@@ -716,12 +699,7 @@ func runEngine(ctx context.Context, c *circuit.Circuit, dec Decoder, mkDecoder f
 					mu.Lock()
 					serrs = append(serrs, *serr)
 					mu.Unlock()
-					for {
-						q := quarantine.Load()
-						if int64(first) >= q || quarantine.CompareAndSwap(q, int64(first)) {
-							break
-						}
-					}
+					fr.Quarantine(first)
 					continue
 				}
 				tryCommit()
@@ -742,12 +720,14 @@ func runEngine(ctx context.Context, c *circuit.Circuit, dec Decoder, mkDecoder f
 			memoM += m
 		}
 	}
+	p := fr.State()
+	finalized := fr.Finalized()
 	return engineOut{
-		blocks:         committed,
-		shots:          comShots,
-		errs:           comErrs,
+		blocks:         p.Blocks,
+		shots:          p.Shots,
+		errs:           p.Errors,
 		early:          finalized,
-		interrupted:    ctx.Err() != nil && !finalized && committed < totalBlocks,
+		interrupted:    ctx.Err() != nil && !finalized && p.Blocks < totalBlocks,
 		fallbackBlocks: fbBlocks,
 		timeoutBlocks:  toBlocks,
 		degradedBlocks: dgBlocks,
@@ -762,16 +742,7 @@ func runEngine(ctx context.Context, c *circuit.Circuit, dec Decoder, mkDecoder f
 // deep-BER points (whose whole purpose is resolving a tiny rate) run
 // their full shot budget instead of stopping on an empty estimate.
 func stopSatisfied(cfg Config, errs, shots int) bool {
-	if cfg.TargetErrors > 0 && errs >= cfg.TargetErrors {
-		return true
-	}
-	if cfg.MaxCI > 0 && errs > 0 {
-		lo, hi := wilson(errs, shots)
-		if (hi-lo)/2 <= cfg.MaxCI {
-			return true
-		}
-	}
-	return false
+	return stopCriteria(cfg.TargetErrors, cfg.MaxCI, errs, shots)
 }
 
 // shotCounter is one worker's decode-and-count state. The detector-bit

@@ -1,0 +1,179 @@
+// Block-ordered commit frontier. This is the engine's determinism core,
+// extracted into its own type so the distributed sweep fabric
+// (internal/fabric) merges worker-streamed block results through the
+// exact same commit and early-stopping logic a single-machine run uses
+// — bit-identity of a distributed sweep is then a property of shared
+// code, not of two implementations agreeing.
+//
+// The contract is the one runEngine has always had: per-block
+// logical-error counts are a pure function of (circuit, base seed,
+// block index); the frontier commits blocks in strict block order and
+// evaluates the stop criteria (TargetErrors, MaxCI) only against the
+// committed prefix, so the final (Blocks, Shots, Errors) triple does
+// not depend on which worker produced which block, in which order, or
+// how often a block was (re)computed.
+package experiment
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Frontier tracks which 64-shot blocks of one run have been decoded and
+// commits them in strict block order. Mark may be called from any
+// goroutine; marking the same block again with the same count is an
+// idempotent no-op (block counts are deterministic, so a shard replayed
+// by a second worker always re-derives the same values). Commit
+// advances the committed prefix and freezes it permanently once a stop
+// criterion fires.
+type Frontier struct {
+	shots  int     // total shot budget (Config.Shots)
+	target int     // Config.TargetErrors
+	maxCI  float64 // Config.MaxCI
+
+	start     int          // first uncommitted block at construction (resume prefix)
+	total     int          // total 64-shot blocks in the run
+	blockErrs []int32      // atomic; errs+1 once block is decoded, 0 pending
+	limit     atomic.Int64 // blocks at or past this index never commit (quarantine)
+	onCommit  func(Progress)
+
+	mu        sync.Mutex
+	committed int
+	comShots  int
+	comErrs   int
+	finalized bool // a stop criterion fired; commits are frozen
+}
+
+// NewFrontier builds the commit frontier for cfg, honoring cfg.Resume
+// as the already-committed prefix and cfg.OnCommit as the progress
+// hook (invoked with the frontier lock held, exactly like the engine's
+// checkpoint hook). A resume prefix that already satisfies a stop
+// criterion finalizes the frontier immediately — the same boundary case
+// runEngine has always honored so a checkpoint written exactly at a
+// stop point resumes bit-identically.
+func NewFrontier(cfg Config) *Frontier {
+	total := (cfg.Shots + blockShots - 1) / blockShots
+	f := &Frontier{
+		shots: cfg.Shots, target: cfg.TargetErrors, maxCI: cfg.MaxCI,
+		total: total, onCommit: cfg.OnCommit,
+	}
+	if r := cfg.Resume; r != nil {
+		f.start, f.committed, f.comShots, f.comErrs = r.Blocks, r.Blocks, r.Shots, r.Errors
+	}
+	if f.start < total {
+		f.blockErrs = make([]int32, total-f.start)
+	}
+	f.limit.Store(int64(total))
+	if f.committed < f.total && f.comShots < f.shots && stopCriteria(f.target, f.maxCI, f.comErrs, f.comShots) {
+		f.finalized = true
+	}
+	return f
+}
+
+// Total reports the run's total 64-shot block count.
+func (f *Frontier) Total() int { return f.total }
+
+// Start reports the first block that was uncommitted at construction.
+func (f *Frontier) Start() int { return f.start }
+
+// blockLen is the shot count of block b: 64 except for a short tail.
+func (f *Frontier) blockLen(b int) int {
+	if n := f.shots - b*blockShots; n < blockShots {
+		return n
+	}
+	return blockShots
+}
+
+// Mark records block's decoded logical-error count. The block must lie
+// in [Start, Total); marking outside that range is a caller bug and
+// panics with the offending coordinates.
+func (f *Frontier) Mark(block, errs int) {
+	if block < f.start || block >= f.total {
+		panic(fmt.Sprintf("experiment: Frontier.Mark(%d) outside [%d, %d)", block, f.start, f.total))
+	}
+	atomic.StoreInt32(&f.blockErrs[block-f.start], int32(errs)+1)
+}
+
+// Quarantine forbids commits at or past block: the committed prefix
+// can never include a failed shard's blocks, or anything after them.
+func (f *Frontier) Quarantine(block int) {
+	for {
+		q := f.limit.Load()
+		if int64(block) >= q || f.limit.CompareAndSwap(q, int64(block)) {
+			return
+		}
+	}
+}
+
+// Limit reports the current commit limit: the lowest quarantined block,
+// or Total when nothing is quarantined.
+func (f *Frontier) Limit() int { return int(f.limit.Load()) }
+
+// Commit advances the committed prefix over every contiguously marked
+// block, evaluating the stop criteria after each one, and reports
+// whether the frontier advanced. Once a criterion fires the frontier is
+// finalized and later marks are ignored forever — blocks computed past
+// a deterministic stop point are discarded, never counted.
+func (f *Frontier) Commit() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	prev := f.committed
+	limit := int(f.limit.Load())
+	for !f.finalized && f.committed < limit {
+		v := atomic.LoadInt32(&f.blockErrs[f.committed-f.start])
+		if v == 0 {
+			break
+		}
+		f.comErrs += int(v - 1)
+		f.comShots += f.blockLen(f.committed)
+		f.committed++
+		if f.comShots < f.shots && stopCriteria(f.target, f.maxCI, f.comErrs, f.comShots) {
+			f.finalized = true
+		}
+	}
+	if f.onCommit != nil && f.committed > prev {
+		f.onCommit(Progress{Blocks: f.committed, Shots: f.comShots, Errors: f.comErrs})
+	}
+	return f.committed > prev
+}
+
+// State returns the committed prefix — always block-aligned and
+// therefore a valid Resume point.
+func (f *Frontier) State() Progress {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return Progress{Blocks: f.committed, Shots: f.comShots, Errors: f.comErrs}
+}
+
+// Finalized reports that a stop criterion fired on the committed
+// prefix; the run's result is frozen.
+func (f *Frontier) Finalized() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.finalized
+}
+
+// Done reports that the run is over: every block committed, or a stop
+// criterion finalized the prefix early.
+func (f *Frontier) Done() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.finalized || f.committed >= f.total
+}
+
+// stopCriteria is the early-stop predicate shared by the frontier and
+// the package-level stopSatisfied helper. The CI criterion requires at
+// least one observed error so deep-BER points run their full budget.
+func stopCriteria(target int, maxCI float64, errs, shots int) bool {
+	if target > 0 && errs >= target {
+		return true
+	}
+	if maxCI > 0 && errs > 0 {
+		lo, hi := wilson(errs, shots)
+		if (hi-lo)/2 <= maxCI {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,49 @@
+// Scaling benchmarks behind EXPERIMENTS.md's "distributed sweeps"
+// table: one point decoded by 1/2/4/8 in-process fabric workers over
+// real HTTP, against the same point on the single-machine engine. The
+// delta between BenchmarkSingleMachine and BenchmarkFabricWorkers/1 is
+// the fabric's whole overhead (HTTP, framing, lease traffic, merging).
+package fabric_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/fpn/flagproxy/internal/experiment"
+	"github.com/fpn/flagproxy/internal/fabric"
+)
+
+// benchConfig is a meatier point than the identity suite's: 64000
+// shots (1000 blocks) in default-sized 1024-shot shards, so per-shard
+// protocol overhead and the one-time per-worker pipeline build are
+// measured against a realistic decode-to-chatter ratio.
+func benchConfig(b *testing.B) experiment.Config {
+	cfg := baseConfig(rotated3(b))
+	cfg.Shots = 64000
+	cfg.ShardShots = 0
+	return cfg
+}
+
+func BenchmarkSingleMachine(b *testing.B) {
+	cfg := benchConfig(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunContext(context.Background(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cfg.Shots)*float64(b.N)/b.Elapsed().Seconds(), "shots/s")
+}
+
+func BenchmarkFabricWorkers(b *testing.B) {
+	cfg := benchConfig(b)
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprint(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runFabric(b, cfg, n, fabric.Options{}, nil)
+			}
+			b.ReportMetric(float64(cfg.Shots)*float64(b.N)/b.Elapsed().Seconds(), "shots/s")
+		})
+	}
+}

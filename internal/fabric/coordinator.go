@@ -1,0 +1,400 @@
+// The coordinator side of the fabric: owns the shard plan, the lease
+// table and the commit frontier of one sweep point at a time, and
+// exposes them over four HTTP endpoints. All result-affecting state
+// flows through experiment.Frontier and the deterministic shard plan;
+// the clock only ever decides when an unfinished shard may be handed to
+// another worker, and recomputing a shard is idempotent by determinism
+// — so any lease-expiry schedule yields the same merged result.
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/fpn/flagproxy/internal/checkpoint"
+	"github.com/fpn/flagproxy/internal/experiment"
+)
+
+// Options configures a Coordinator. The zero value serves on the real
+// clock with a 30-second lease TTL and no checkpoint ledger.
+type Options struct {
+	// Now supplies the clock for lease bookkeeping; nil means the wall
+	// clock. The chaos and identity suites inject a fake clock here so
+	// every expiry schedule is reproducible.
+	Now func() time.Time
+	// LeaseTTL is how long a granted shard lease lives without a
+	// heartbeat or completion before it may be reassigned; 0 means 30s.
+	LeaseTTL time.Duration
+	// Store, when non-nil, is the fingerprint-keyed checkpoint ledger
+	// the coordinator merges committed progress into.
+	Store *checkpoint.Store
+	// Resume continues points from the ledger's committed prefix
+	// instead of restarting them.
+	Resume bool
+	// CheckpointEvery is the ledger write cadence in committed blocks;
+	// 0 means 256.
+	CheckpointEvery int
+	// Log, when non-nil, receives one-line operational notes (lease
+	// reassignments, conflicting completions, checkpoint errors).
+	Log io.Writer
+}
+
+// defaultNow is the production clock.
+//
+//fpnvet:wallclock lease TTLs only gate shard reassignment; recomputation is idempotent
+func defaultNow() time.Time { return time.Now() }
+
+// Coordinator distributes sweep points to workers. Serve its Handler
+// somewhere, then call RunPoint once per point (sequentially — one
+// point is in flight at a time, matching the single-machine sweep
+// order) and Shutdown when the sweep is over so workers exit.
+type Coordinator struct {
+	now   func() time.Time
+	ttl   time.Duration
+	store *checkpoint.Store
+	rsm   bool
+	every int
+	log   io.Writer
+
+	mu       sync.Mutex
+	job      *job
+	leaseSeq int64
+	shutdown bool
+}
+
+// job is one sweep point in flight.
+type job struct {
+	fp     string
+	wire   *WireConfig
+	fr     *experiment.Frontier
+	shards []shardState
+	done   chan struct{}
+	closed bool
+}
+
+// shardState is the lease table entry of one contiguous block range.
+type shardState struct {
+	first  int
+	blocks int
+	done   bool
+	digest uint32
+	lease  int64 // 0 = unleased
+	worker string
+	expiry time.Time
+}
+
+// NewCoordinator builds a Coordinator from opt.
+func NewCoordinator(opt Options) *Coordinator {
+	now := opt.Now
+	if now == nil {
+		now = defaultNow
+	}
+	ttl := opt.LeaseTTL
+	if ttl <= 0 {
+		ttl = 30 * time.Second
+	}
+	every := opt.CheckpointEvery
+	if every <= 0 {
+		every = 256
+	}
+	return &Coordinator{now: now, ttl: ttl, store: opt.Store, rsm: opt.Resume, every: every, log: opt.Log}
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.log != nil {
+		fmt.Fprintf(c.log, "fabric: "+format+"\n", args...)
+	}
+}
+
+// Handler returns the coordinator's HTTP surface.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/job", c.handleJob)
+	mux.HandleFunc("POST /v1/lease", c.handleLease)
+	mux.HandleFunc("POST /v1/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /v1/complete", c.handleComplete)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	// An encode failure here means the client is gone; it re-polls.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case c.shutdown:
+		writeJSON(w, jobMsg{Status: statusShutdown})
+	case c.job == nil:
+		writeJSON(w, jobMsg{Status: statusIdle})
+	default:
+		writeJSON(w, jobMsg{
+			Status: statusJob, Fingerprint: c.job.fp,
+			Config: c.job.wire, LeaseTTLMs: c.ttl.Milliseconds(),
+		})
+	}
+}
+
+// handleLease grants the lowest-index shard that is not done and not
+// under a live lease. Expiry is evaluated lazily right here — never
+// from background timers — so tests drive any schedule via the
+// injected clock, and an expired-then-completed shard still merges
+// (completion is validated by content, not by lease liveness).
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	worker := r.URL.Query().Get("worker")
+	fp := r.URL.Query().Get("job")
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.shutdown {
+		writeJSON(w, leaseMsg{Status: statusShutdown})
+		return
+	}
+	jb := c.job
+	if jb == nil || jb.fp != fp {
+		writeJSON(w, leaseMsg{Status: statusIdle})
+		return
+	}
+	if jb.fr.Done() {
+		c.completeLocked(jb)
+		writeJSON(w, leaseMsg{Status: statusDone})
+		return
+	}
+	now := c.now()
+	for i := range jb.shards {
+		sh := &jb.shards[i]
+		if sh.done {
+			continue
+		}
+		if sh.lease != 0 && sh.expiry.After(now) {
+			continue
+		}
+		if sh.lease != 0 {
+			c.logf("lease %d on shard %d (worker %s) expired; reassigning to %s", sh.lease, i, sh.worker, worker)
+		}
+		c.leaseSeq++
+		sh.lease, sh.worker, sh.expiry = c.leaseSeq, worker, now.Add(c.ttl)
+		writeJSON(w, leaseMsg{
+			Status: statusLease, Lease: sh.lease, Shard: i,
+			FirstBlock: sh.first, Blocks: sh.blocks,
+		})
+		return
+	}
+	writeJSON(w, leaseMsg{Status: statusWait})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	fp := r.URL.Query().Get("job")
+	lease, err := strconv.ParseInt(r.URL.Query().Get("lease"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad lease id", http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	jb := c.job
+	if jb == nil || jb.fp != fp {
+		writeJSON(w, ackMsg{Status: statusExpired})
+		return
+	}
+	for i := range jb.shards {
+		sh := &jb.shards[i]
+		if sh.lease == lease && !sh.done {
+			// Still assigned, so still ours: a heartbeat renews even a
+			// lapsed lease as long as no one else claimed the shard.
+			sh.expiry = c.now().Add(c.ttl)
+			writeJSON(w, ackMsg{Status: statusOK})
+			return
+		}
+	}
+	writeJSON(w, ackMsg{Status: statusExpired})
+}
+
+// handleComplete merges one shard's streamed counts. The stream is
+// fully validated before anything is merged — a torn body is a 400 and
+// the worker resends. Completions are accepted by content for the
+// job's shard range regardless of lease liveness (a stale worker's
+// correct result is still correct); a duplicate completion is
+// idempotent when its digest matches and a reported conflict when it
+// does not, with the first completion winning.
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	fp := r.URL.Query().Get("job")
+	shardIdx, err := strconv.Atoi(r.URL.Query().Get("shard"))
+	if err != nil {
+		http.Error(w, "bad shard index", http.StatusBadRequest)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		http.Error(w, "torn result stream: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	jb := c.job
+	if jb == nil || jb.fp != fp {
+		// The point is gone (finished or superseded); nothing to merge.
+		writeJSON(w, ackMsg{Status: statusIdle})
+		return
+	}
+	if shardIdx < 0 || shardIdx >= len(jb.shards) {
+		http.Error(w, "shard index out of range", http.StatusBadRequest)
+		return
+	}
+	sh := &jb.shards[shardIdx]
+	counts, err := readCounts(bytes.NewReader(body), sh.first, sh.blocks)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	digest := countsDigest(counts)
+	if sh.done {
+		if digest == sh.digest {
+			writeJSON(w, ackMsg{Status: statusOK})
+			return
+		}
+		c.logf("conflicting completion for shard %d of %s: digest %08x vs committed %08x (first wins)",
+			shardIdx, fp, digest, sh.digest)
+		writeJSON(w, ackMsg{Status: statusConflict})
+		return
+	}
+	for i, e := range counts {
+		jb.fr.Mark(sh.first+i, e)
+	}
+	sh.done, sh.digest, sh.lease = true, digest, 0
+	jb.fr.Commit()
+	if jb.fr.Done() {
+		c.completeLocked(jb)
+	}
+	writeJSON(w, ackMsg{Status: statusOK})
+}
+
+// completeLocked signals RunPoint that the frontier is done. Idempotent;
+// caller holds c.mu.
+func (c *Coordinator) completeLocked(jb *job) {
+	if !jb.closed {
+		jb.closed = true
+		close(jb.done)
+	}
+}
+
+// RunPoint runs one sweep point to completion on whatever workers join,
+// mirroring Pipeline.RunContext's contract: the committed prefix comes
+// back as a partial Result with Interrupted set when ctx is cancelled,
+// and ledger bookkeeping (resume, periodic checkpoints, the final Done
+// record) happens here when Options.Store is set. The config must
+// survive the wire codec verbatim — RunPoint proves it by fingerprint
+// round-trip before publishing the job.
+func (c *Coordinator) RunPoint(ctx context.Context, cfg experiment.Config) (*experiment.Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	wire, err := MarshalConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := wire.Config()
+	if err != nil {
+		return nil, fmt.Errorf("fabric: config does not survive the wire: %w", err)
+	}
+	fp := cfg.Fingerprint()
+	if got := rt.Fingerprint(); got != fp {
+		return nil, fmt.Errorf("fabric: config is not wire-representable: fingerprint %s round-trips to %s", fp, got)
+	}
+	if c.store != nil {
+		if rec, ok := c.store.Lookup(fp); ok {
+			if rec.Done {
+				return experiment.Reconstruct(cfg, rec.Blocks, rec.Shots, rec.Errors, rec.EarlyStopped), nil
+			}
+			if c.rsm {
+				cfg.Resume = &experiment.Resume{Blocks: rec.Blocks, Shots: rec.Shots, Errors: rec.Errors}
+				if err := cfg.Validate(); err != nil {
+					return nil, fmt.Errorf("fabric: checkpoint does not match the configuration: %w", err)
+				}
+			}
+		}
+		userCommit := cfg.OnCommit
+		last := 0
+		if cfg.Resume != nil {
+			last = cfg.Resume.Blocks
+		}
+		cfg.OnCommit = func(p experiment.Progress) {
+			if userCommit != nil {
+				userCommit(p)
+			}
+			if p.Blocks-last < c.every {
+				return
+			}
+			last = p.Blocks
+			if err := c.store.Put(checkpoint.Record{Key: fp, Blocks: p.Blocks, Shots: p.Shots, Errors: p.Errors}); err != nil {
+				c.logf("checkpoint: %v", err)
+			}
+		}
+	}
+	fr := experiment.NewFrontier(cfg)
+	if !fr.Done() {
+		shardShots := cfg.ShardShots
+		if shardShots <= 0 {
+			shardShots = 1024
+		}
+		shardBlocks := (shardShots + 63) / 64
+		jb := &job{fp: fp, wire: wire, fr: fr, done: make(chan struct{})}
+		for first := fr.Start(); first < fr.Total(); first += shardBlocks {
+			n := shardBlocks
+			if first+n > fr.Total() {
+				n = fr.Total() - first
+			}
+			jb.shards = append(jb.shards, shardState{first: first, blocks: n})
+		}
+		c.mu.Lock()
+		if c.shutdown {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("fabric: coordinator is shut down")
+		}
+		if c.job != nil {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("fabric: a point is already in flight (%s)", c.job.fp)
+		}
+		c.job = jb
+		c.mu.Unlock()
+		select {
+		case <-jb.done:
+		case <-ctx.Done():
+		}
+		c.mu.Lock()
+		c.job = nil
+		c.mu.Unlock()
+	}
+	p := fr.State()
+	res := experiment.Reconstruct(cfg, p.Blocks, p.Shots, p.Errors, fr.Finalized())
+	res.Interrupted = ctx.Err() != nil && !fr.Done()
+	if c.store != nil {
+		rec := checkpoint.Record{Key: fp, Blocks: p.Blocks, Shots: p.Shots, Errors: p.Errors}
+		if fr.Done() {
+			rec.Done, rec.EarlyStopped = true, fr.Finalized()
+		}
+		if err := c.store.Put(rec); err != nil {
+			c.logf("checkpoint: %v", err)
+		}
+	}
+	return res, nil
+}
+
+// Shutdown tells polling workers the sweep is over: subsequent job
+// polls answer "shutdown" and RunPoint refuses new points. Call it
+// after the last RunPoint has returned; it does not interrupt a point
+// in flight (cancel RunPoint's context for that).
+func (c *Coordinator) Shutdown() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.shutdown = true
+}

@@ -1,0 +1,74 @@
+// Package fabric distributes one BER sweep across machines: a
+// coordinator derives the shard plan from an experiment.Config, hands
+// out lease-based shard ranges over HTTP, and merges worker-streamed
+// per-block logical-error counts through experiment.Frontier — the
+// exact commit/early-stopping core a single-machine run uses — into the
+// fingerprint-keyed checkpoint ledger. Workers wrap the production
+// engine via experiment.BlockRunner, stream results with CRC32-C
+// framing, heartbeat their leases, and resume cleanly after a
+// disconnect.
+//
+// Bit-identity is the design invariant, not an aspiration: per-block
+// counts are deterministic functions of (circuit, base seed, block
+// index), shard leases are pure scheduling, and the frontier evaluates
+// the stop criteria only on the committed prefix — so the merged result
+// is byte-identical to experiment.Run for any worker population, any
+// join/leave order, and any lease-expiry schedule. The identity and
+// chaos suites in this package enforce exactly that.
+//
+// Everything result-affecting is wall-clock-free (fpnvet's leaseguard
+// check enforces it): lease expiry flows through an injectable clock
+// and is evaluated lazily on lease traffic, never from background
+// timers, so chaos tests can drive any expiry schedule
+// deterministically. An expired lease only ever causes a shard to be
+// recomputed — recomputation is idempotent by determinism.
+//
+// Protocol (JSON over HTTP, stdlib only):
+//
+//	GET  /v1/job        → {"status":"job","fingerprint":…,"config":…,"lease_ttl_ms":…}
+//	                      | {"status":"idle"} | {"status":"shutdown"}
+//	POST /v1/lease      ?job=FP&worker=ID
+//	                    → {"status":"lease","lease":…,"shard":…,"first_block":…,"blocks":…}
+//	                      | {"status":"wait"} | {"status":"done"} | {"status":"idle"}
+//	POST /v1/heartbeat  ?job=FP&lease=N → {"status":"ok"} | {"status":"expired"}
+//	POST /v1/complete   ?job=FP&shard=N&lease=N, body = CRC-framed count
+//	                    lines + trailer → {"status":"ok"} | {"status":"conflict"}
+//	                      | {"status":"idle"}; HTTP 400 on a torn stream
+package fabric
+
+// Protocol statuses shared by coordinator and worker.
+const (
+	statusJob      = "job"
+	statusIdle     = "idle"
+	statusShutdown = "shutdown"
+	statusLease    = "lease"
+	statusWait     = "wait"
+	statusDone     = "done"
+	statusOK       = "ok"
+	statusExpired  = "expired"
+	statusConflict = "conflict"
+)
+
+// jobMsg answers GET /v1/job: the sweep point currently being worked,
+// if any, as a wire-portable configuration.
+type jobMsg struct {
+	Status      string      `json:"status"`
+	Fingerprint string      `json:"fingerprint,omitempty"`
+	Config      *WireConfig `json:"config,omitempty"`
+	LeaseTTLMs  int64       `json:"lease_ttl_ms,omitempty"`
+}
+
+// leaseMsg answers POST /v1/lease: one shard range the worker now owns
+// until the lease expires or it posts the completion.
+type leaseMsg struct {
+	Status     string `json:"status"`
+	Lease      int64  `json:"lease,omitempty"`
+	Shard      int    `json:"shard,omitempty"`
+	FirstBlock int    `json:"first_block,omitempty"`
+	Blocks     int    `json:"blocks,omitempty"`
+}
+
+// ackMsg answers POST /v1/heartbeat and /v1/complete.
+type ackMsg struct {
+	Status string `json:"status"`
+}

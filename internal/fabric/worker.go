@@ -1,0 +1,310 @@
+// The worker side of the fabric: poll the coordinator for the current
+// sweep point, rebuild the exact Config from the wire (verifying the
+// fingerprint so engine drift between binaries is caught up front),
+// then lease shards, decode them through experiment.BlockRunner — the
+// production stack — and stream the counts back CRC-framed. The worker
+// is stateless across leases and idempotent across retries: a crash,
+// disconnect or expired lease only ever causes a shard to be recomputed
+// somewhere, bit-identically.
+//
+// Timing here (polling cadence, retry pacing, heartbeats) is pure
+// liveness, never results — the retry budget is a fixed attempt count
+// derived from Patience/Poll, so no wall-clock reads are needed and the
+// single annotated wall-clock site is the default sleep.
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"github.com/fpn/flagproxy/internal/experiment"
+)
+
+// WorkerOptions configures RunWorker. URL is required; everything else
+// has serviceable defaults.
+type WorkerOptions struct {
+	// URL is the coordinator's base address, e.g. "http://host:9911".
+	URL string
+	// ID names this worker in coordinator logs and lease records.
+	ID string
+	// Client issues the HTTP requests; nil means a default client. The
+	// chaos suite injects a faulting RoundTripper here.
+	Client *http.Client
+	// Poll is the idle/wait polling cadence and the retry pause; 0
+	// means 200ms.
+	Poll time.Duration
+	// Patience bounds how long an unreachable coordinator is retried
+	// before the worker gives up (as a Patience/Poll attempt budget);
+	// 0 means 2 minutes.
+	Patience time.Duration
+	// Heartbeat is the lease heartbeat cadence; 0 means a third of the
+	// coordinator's lease TTL.
+	Heartbeat time.Duration
+	// MaxShards, when > 0, exits the worker after that many completed
+	// shards — the chaos suite's "killed worker" lever.
+	MaxShards int
+	// Sleep, when non-nil, replaces the default sleep so tests pace
+	// deterministically.
+	Sleep func(time.Duration)
+	// Log, when non-nil, receives one-line operational notes.
+	Log io.Writer
+}
+
+// worker is the resolved option set plus the per-job decode state.
+type worker struct {
+	opt      WorkerOptions
+	client   *http.Client
+	poll     time.Duration
+	attempts int // network retry budget per request: Patience/Poll
+
+	fp     string
+	runner *experiment.BlockRunner
+	ttl    time.Duration
+	fails  map[int]int // per-firstBlock decode failures; two strikes is fatal
+}
+
+// wait pauses for d or until ctx is cancelled, whichever comes first.
+// Pacing is liveness, never results; an injected Sleep (tests) takes
+// over wholesale.
+//
+//fpnvet:wallclock polling cadence is liveness, not results
+func (w *worker) wait(ctx context.Context, d time.Duration) {
+	if w.opt.Sleep != nil {
+		w.opt.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+func (w *worker) logf(format string, args ...any) {
+	if w.opt.Log != nil {
+		fmt.Fprintf(w.opt.Log, "worker %s: "+format+"\n", append([]any{w.opt.ID}, args...)...)
+	}
+}
+
+// RunWorker joins the coordinator at opt.URL and works shards until the
+// coordinator announces shutdown, the context is cancelled, or
+// MaxShards is reached. It returns nil on an orderly exit.
+func RunWorker(ctx context.Context, opt WorkerOptions) error {
+	if opt.URL == "" {
+		return fmt.Errorf("fabric: worker needs a coordinator URL")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	w := &worker{opt: opt, client: opt.Client, poll: opt.Poll, fails: map[int]int{}}
+	if w.client == nil {
+		w.client = &http.Client{}
+	}
+	if w.poll <= 0 {
+		w.poll = 200 * time.Millisecond
+	}
+	patience := opt.Patience
+	if patience <= 0 {
+		patience = 2 * time.Minute
+	}
+	w.attempts = int(patience/w.poll) + 1
+	done := 0
+	for ctx.Err() == nil {
+		var jm jobMsg
+		if err := w.getJSON(ctx, "/v1/job", nil, &jm); err != nil {
+			return err
+		}
+		switch jm.Status {
+		case statusShutdown:
+			return nil
+		case statusIdle:
+			w.wait(ctx, w.poll)
+			continue
+		case statusJob:
+			if err := w.prepare(jm); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("fabric: coordinator answered job poll with %q", jm.Status)
+		}
+		var lm leaseMsg
+		if err := w.getJSON(ctx, "/v1/lease?"+url.Values{"job": {w.fp}, "worker": {w.opt.ID}}.Encode(), []byte{}, &lm); err != nil {
+			return err
+		}
+		switch lm.Status {
+		case statusShutdown:
+			return nil
+		case statusWait, statusDone, statusIdle:
+			// Nothing leasable right now; the job poll above decides
+			// what happens next (a new point, shutdown, or more waiting).
+			w.wait(ctx, w.poll)
+		case statusLease:
+			if err := w.work(ctx, lm); err != nil {
+				return err
+			}
+			done++
+			if w.opt.MaxShards > 0 && done >= w.opt.MaxShards {
+				w.logf("reached MaxShards=%d, exiting", w.opt.MaxShards)
+				return nil
+			}
+		default:
+			return fmt.Errorf("fabric: coordinator answered lease request with %q", lm.Status)
+		}
+	}
+	return ctx.Err()
+}
+
+// prepare (re)builds the decode stack when the coordinator's current
+// point changes, and verifies the locally derived fingerprint matches
+// the coordinator's — the engine-drift tripwire.
+func (w *worker) prepare(jm jobMsg) error {
+	if w.runner != nil && w.fp == jm.Fingerprint {
+		return nil
+	}
+	if jm.Config == nil {
+		return fmt.Errorf("fabric: job %s has no config", jm.Fingerprint)
+	}
+	cfg, err := jm.Config.Config()
+	if err != nil {
+		return err
+	}
+	if got := cfg.Fingerprint(); got != jm.Fingerprint {
+		return fmt.Errorf("fabric: engine drift: coordinator job %s, local rebuild fingerprints to %s (mismatched binaries?)", jm.Fingerprint, got)
+	}
+	var pl *experiment.Pipeline
+	if cfg.Schedule != nil {
+		pl, err = experiment.NewPipelineFromSchedule(cfg.Code, cfg.Schedule)
+	} else {
+		pl, err = experiment.NewPipeline(cfg.Code, cfg.Arch)
+	}
+	if err != nil {
+		return err
+	}
+	br, err := pl.NewBlockRunner(cfg)
+	if err != nil {
+		return err
+	}
+	w.fp, w.runner, w.fails = jm.Fingerprint, br, map[int]int{}
+	w.ttl = time.Duration(jm.LeaseTTLMs) * time.Millisecond
+	w.logf("joined point %s (%d blocks)", jm.Fingerprint, br.TotalBlocks())
+	return nil
+}
+
+// work decodes one leased shard and streams its counts back,
+// heartbeating the lease while the decode runs. A decode failure
+// abandons the lease (the shard is retried elsewhere after expiry);
+// the same shard failing twice on this worker is fatal, because a
+// deterministic panic would otherwise ping-pong forever.
+func (w *worker) work(ctx context.Context, lm leaseMsg) error {
+	hbCtx, stopHB := context.WithCancel(ctx)
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		w.heartbeat(hbCtx, lm.Lease)
+	}()
+	counts, err := w.runner.CountBlocks(ctx, lm.FirstBlock, lm.Blocks)
+	stopHB()
+	<-hbDone
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		w.fails[lm.FirstBlock]++
+		w.logf("shard %d (firstBlock %d) failed: %v", lm.Shard, lm.FirstBlock, err)
+		if w.fails[lm.FirstBlock] >= 2 {
+			return fmt.Errorf("fabric: shard at block %d failed twice, giving up: %w", lm.FirstBlock, err)
+		}
+		return nil // abandon the lease; expiry recycles the shard
+	}
+	var buf bytes.Buffer
+	if err := writeCounts(&buf, lm.FirstBlock, counts); err != nil {
+		return err
+	}
+	q := url.Values{"job": {w.fp}, "shard": {fmt.Sprint(lm.Shard)}, "lease": {fmt.Sprint(lm.Lease)}}
+	var ack ackMsg
+	if err := w.getJSON(ctx, "/v1/complete?"+q.Encode(), buf.Bytes(), &ack); err != nil {
+		return err
+	}
+	if ack.Status == statusConflict {
+		w.logf("shard %d completion conflicted; coordinator kept the first result", lm.Shard)
+	}
+	return nil
+}
+
+// heartbeat renews the lease at the heartbeat cadence until cancelled.
+// Failures are ignored: a missed heartbeat at worst expires the lease,
+// and an expired-then-completed shard still merges by content.
+func (w *worker) heartbeat(ctx context.Context, lease int64) {
+	hb := w.opt.Heartbeat
+	if hb <= 0 {
+		hb = w.ttl / 3
+	}
+	if hb <= 0 {
+		hb = w.poll
+	}
+	q := url.Values{"job": {w.fp}, "lease": {fmt.Sprint(lease)}}.Encode()
+	for {
+		w.wait(ctx, hb)
+		if ctx.Err() != nil {
+			return
+		}
+		var ack ackMsg
+		if err := w.singleJSON(ctx, "/v1/heartbeat?"+q, []byte{}, &ack); err != nil || ack.Status != statusOK {
+			return // lease lost or coordinator unreachable; the decode result still merges by content
+		}
+	}
+}
+
+// getJSON performs one request with the patience-bounded retry budget:
+// network errors and torn-stream rejections (HTTP 400 on /v1/complete,
+// which a fault-injected transport can cause) are retried after a poll
+// pause; anything else is decoded into out. body == nil means GET.
+func (w *worker) getJSON(ctx context.Context, path string, body []byte, out any) error {
+	var err error
+	for attempt := 0; attempt < w.attempts; attempt++ {
+		if attempt > 0 {
+			w.wait(ctx, w.poll)
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if err = w.singleJSON(ctx, path, body, out); err == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("fabric: coordinator unreachable after %d attempts: %w", w.attempts, err)
+}
+
+// singleJSON is one HTTP round trip with no retries.
+func (w *worker) singleJSON(ctx context.Context, path string, body []byte, out any) error {
+	method := http.MethodGet
+	var rd io.Reader
+	if body != nil {
+		method = http.MethodPost
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, w.opt.URL+path, rd)
+	if err != nil {
+		return err
+	}
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fabric: %s: HTTP %d: %s", path, resp.StatusCode, bytes.TrimSpace(data))
+	}
+	return json.Unmarshal(data, out)
+}

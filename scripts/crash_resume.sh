@@ -95,3 +95,78 @@ if ! diff -u "$work/golden.txt" "$work/fresh.txt"; then
     exit 1
 fi
 echo "OK: corruption refused with forensics, recompute byte-identical"
+
+# --- distributed leg: the same SIGKILL-and-resume cycle, but with the
+# sweep spread over fabric workers and the kill hitting the coordinator.
+# The resumed distributed sweep must be byte-identical to the *local*
+# golden run — distribution, the crash, and the resume all invisible.
+
+# wait_for_addr COORD_STDERR: echo the announced listen address.
+wait_for_addr() {
+    local addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's/^ber: serving fabric on //p' "$1" | head -n1)"
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    echo "$addr"
+}
+
+echo "== distributed leg: coordinator SIGKILL mid-sweep"
+dckpt="$work/dckpt"
+"$work/ber" "${args[@]}" -serve 127.0.0.1:0 -checkpoint "$dckpt" \
+    >"$work/dist-killed.txt" 2>"$work/dist-coord1.err" &
+cpid=$!
+addr="$(wait_for_addr "$work/dist-coord1.err")"
+if [ -z "$addr" ]; then
+    echo "FAIL: coordinator never announced its address" >&2
+    exit 1
+fi
+echo "   coordinator at $addr"
+"$work/ber" -join "http://$addr" -worker-id w1 >/dev/null 2>"$work/dist-w1.err" &
+w1=$!
+"$work/ber" -join "http://$addr" -worker-id w2 >/dev/null 2>"$work/dist-w2.err" &
+w2=$!
+for _ in $(seq 1 600); do
+    [ -s "$dckpt/sweep.jsonl" ] && break
+    kill -0 "$cpid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -9 "$cpid" 2>/dev/null; then
+    wait "$cpid" 2>/dev/null || true
+    echo "   killed coordinator pid $cpid"
+else
+    echo "FAIL: distributed sweep finished before it could be killed; grow -shots" >&2
+    exit 1
+fi
+# The orphaned workers would retry the dead socket for their whole
+# patience budget; a SIGTERM is the orderly leave path.
+kill "$w1" "$w2" 2>/dev/null || true
+wait "$w1" "$w2" 2>/dev/null || true
+if [ ! -s "$dckpt/sweep.jsonl" ]; then
+    echo "FAIL: killed coordinator left no checkpoint records" >&2
+    exit 1
+fi
+echo "   checkpoint records: $(wc -l <"$dckpt/sweep.jsonl")"
+
+echo "== distributed resume with fresh workers"
+"$work/ber" "${args[@]}" -serve 127.0.0.1:0 -checkpoint "$dckpt" -resume \
+    >"$work/dist-resumed.txt" 2>"$work/dist-coord2.err" &
+cpid=$!
+addr="$(wait_for_addr "$work/dist-coord2.err")"
+if [ -z "$addr" ]; then
+    echo "FAIL: resumed coordinator never announced its address" >&2
+    exit 1
+fi
+"$work/ber" -join "http://$addr" -worker-id w3 >/dev/null 2>"$work/dist-w3.err" &
+w3=$!
+"$work/ber" -join "http://$addr" -worker-id w4 >/dev/null 2>"$work/dist-w4.err" &
+w4=$!
+wait "$cpid"
+wait "$w3"
+wait "$w4"
+if ! diff -u "$work/golden.txt" "$work/dist-resumed.txt"; then
+    echo "FAIL: resumed distributed sweep is not bit-identical to the local golden run" >&2
+    exit 1
+fi
+echo "OK: coordinator SIGKILL'd mid-sweep; distributed resume byte-identical to the local golden run"
