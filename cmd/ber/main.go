@@ -54,9 +54,21 @@ func main() {
 	// First SIGINT/SIGTERM cancels the sweep context: workers stop at
 	// shard boundaries, the current point's committed prefix is
 	// checkpointed, and completed points stay printed. A second signal
-	// kills the process the default way.
-	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stopSignals()
+	// force-exits immediately with the interrupted status — no waiting
+	// on checkpoint flush — so a stuck teardown can always be escaped.
+	// (signal.NotifyContext would keep swallowing signals after the
+	// first one, making the second Ctrl-C a silent no-op.)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		cancel()
+		<-sigs
+		fmt.Fprintln(os.Stderr, "ber: second signal; forcing exit without checkpoint flush")
+		os.Exit(exitInterrupted)
+	}()
 	if cfg.joinURL != "" {
 		// Worker mode: no sweep of our own — decode shards for the
 		// coordinator at -join until it announces shutdown.

@@ -108,6 +108,7 @@ var resultAffecting = map[string]bool{
 	"tiling":     true,
 	"group":      true,
 	"fabric":     true,
+	"rtd":        true,
 }
 
 // ResultAffecting reports whether pkg is one of the packages whose

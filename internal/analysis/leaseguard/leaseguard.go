@@ -1,9 +1,10 @@
 // Package leaseguard keeps wall-clock reads out of the distributed
-// sweep fabric's result paths. The fabric's bit-identity proof rests on
-// time being pure scheduling: lease expiry flows through an injectable
-// clock, retry budgets are fixed attempt counts, and nothing the merged
-// result depends on ever reads time.Now. This analyzer enforces the
-// boundary mechanically in package fabric:
+// sweep fabric's and the online decode service's result paths. Their
+// bit-identity proofs rest on time being pure scheduling: lease expiry
+// and decode deadlines flow through injectable clocks, retry budgets
+// are fixed attempt counts, and nothing a merged result or a committed
+// correction depends on ever reads time.Now. This analyzer enforces the
+// boundary mechanically in packages fabric and rtd:
 //
 //   - every package-qualified call into the clock-bearing part of the
 //     time package (Now, Since, Until, After, AfterFunc, Tick,
@@ -28,8 +29,14 @@ import (
 // Analyzer is the leaseguard check.
 var Analyzer = &analysis.Analyzer{
 	Name: "leaseguard",
-	Doc:  "forbid unannotated wall-clock reads in the distributed sweep fabric",
+	Doc:  "forbid unannotated wall-clock reads in the sweep fabric and the online decode service",
 	Run:  run,
+}
+
+// guarded lists the packages whose result paths must stay clock-free.
+var guarded = map[string]bool{
+	"fabric": true,
+	"rtd":    true,
 }
 
 // clockFns are the time-package functions that sample or schedule
@@ -42,7 +49,7 @@ var clockFns = map[string]bool{
 }
 
 func run(pass *analysis.Pass) error {
-	if pass.Pkg.Name != "fabric" {
+	if !guarded[pass.Pkg.Name] {
 		return nil
 	}
 	for _, f := range pass.Pkg.Files {
@@ -76,8 +83,8 @@ func run(pass *analysis.Pass) error {
 				return true
 			}
 			pass.Report(call.Pos(),
-				"wall-clock call time.%s in the fabric; inject the clock (Options.Now / WorkerOptions.Sleep) or annotate the liveness site with //fpnvet:wallclock <why>",
-				sel.Sel.Name)
+				"wall-clock call time.%s in package %s; inject the clock (fabric Options.Now / WorkerOptions.Sleep, rtd Options.Clock) or annotate the liveness site with //fpnvet:wallclock <why>",
+				sel.Sel.Name, pass.Pkg.Name)
 			return true
 		})
 	}

@@ -1,0 +1,99 @@
+// Fault injection for the online decode service's syndrome streams.
+// The service fault plan covers the four client-side failure modes the
+// rtd server must survive with deterministic degradation accounting:
+//
+//   - torn request frames: the body is cut at a plan-chosen byte inside
+//     a frame, so the server sees a framing violation mid-stream;
+//   - mid-stream disconnects: the body ends cleanly at a frame boundary
+//     before the trailer — a vanished client, not a corrupted one;
+//   - hung clients: the body stalls after a plan-independent number of
+//     frames and never finishes, tripping the server's read deadline;
+//   - decoder stalls: reuse this package's Hung/Slow decoder wrappers
+//     through experiment.Config.WrapDecoder, exactly as in batch sweeps.
+//
+// The helpers operate on pre-encoded frame lines ([][]byte from
+// rtd.EncodeWindows), so this package stays decoupled from the wire
+// schema: any framed JSONL stream can be attacked the same way.
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"sync"
+)
+
+// TornBody concatenates frames and truncates the result at a
+// plan-chosen byte strictly inside frame tearAt — after its first byte,
+// before its newline — so the cut is always a framing violation, never
+// a clean boundary. tearAt is clamped into range.
+func TornBody(p Plan, frames [][]byte, tearAt int) io.Reader {
+	if tearAt < 0 {
+		tearAt = 0
+	}
+	if tearAt >= len(frames) {
+		tearAt = len(frames) - 1
+	}
+	keep := bytes.Join(frames[:tearAt], nil)
+	tornFrame := frames[tearAt]
+	cut := 1 + p.Pick("service-tear-offset", len(tornFrame)-1, uint64(tearAt))
+	return bytes.NewReader(append(keep, tornFrame[:cut]...))
+}
+
+// DisconnectBody concatenates only the first keepFrames frames: the
+// stream ends at a clean frame boundary with no trailer, the wire
+// signature of a client that vanished mid-stream.
+func DisconnectBody(frames [][]byte, keepFrames int) io.Reader {
+	if keepFrames < 0 {
+		keepFrames = 0
+	}
+	if keepFrames > len(frames) {
+		keepFrames = len(frames)
+	}
+	return bytes.NewReader(bytes.Join(frames[:keepFrames], nil))
+}
+
+// HangingBody serves the first keepFrames frames, then blocks every
+// Read until the transport closes the body (or Release is called) —
+// the hung-client fault. After release it reports EOF, so the server
+// that outwaited it sees a disconnect, not garbage.
+type HangingBody struct {
+	data    []byte
+	off     int
+	release chan struct{}
+	once    sync.Once
+}
+
+// NewHangingBody builds the stalling request body.
+func NewHangingBody(frames [][]byte, keepFrames int) *HangingBody {
+	if keepFrames < 0 {
+		keepFrames = 0
+	}
+	if keepFrames > len(frames) {
+		keepFrames = len(frames)
+	}
+	return &HangingBody{data: bytes.Join(frames[:keepFrames], nil), release: make(chan struct{})}
+}
+
+// Read serves the kept prefix, then blocks until released.
+func (h *HangingBody) Read(p []byte) (int, error) {
+	if h.off < len(h.data) {
+		n := copy(p, h.data[h.off:])
+		h.off += n
+		return n, nil
+	}
+	<-h.release
+	return 0, io.EOF
+}
+
+// Close releases the stall; the HTTP transport calls it when the
+// response completes, so a hung client unblocks itself once the server
+// has given up on it.
+func (h *HangingBody) Close() error {
+	h.Release()
+	return nil
+}
+
+// Release unblocks any pending and future Read.
+func (h *HangingBody) Release() {
+	h.once.Do(func() { close(h.release) })
+}

@@ -127,8 +127,11 @@ func (b *Batch) DecodeBatch(res *sim.Result, firstShot, n int, sc *DecodeScratch
 	if orW == 0 {
 		// All 64 lanes are syndrome-free: decode the empty lane once and
 		// fan its prediction out to the whole block.
-		if !bs.emptyValid {
-			b.decodeEmpty(sc)
+		if !bs.emptyValid && !b.decodeEmpty(sc) {
+			// The empty-lane decode (or the MemoFault seam) panicked: the
+			// cache stays invalid and every lane of this block counts as a
+			// failed decode, exactly like a scalar decode error.
+			return bs.countErrs(res, wi, laneMask, laneMask), nil
 		}
 		for o := 0; o < bs.numObs; o++ {
 			if bs.emptyPred[o>>6]>>(uint(o)&63)&1 == 1 {
@@ -168,8 +171,9 @@ func (b *Batch) DecodeBatch(res *sim.Result, firstShot, n int, sc *DecodeScratch
 	for l := 0; l < n; l++ {
 		key := bs.defects[bs.off[l]:bs.off[l+1]]
 		if len(key) == 0 {
-			if !bs.emptyValid {
-				b.decodeEmpty(sc)
+			if !bs.emptyValid && !b.decodeEmpty(sc) {
+				failW |= 1 << uint(l)
+				continue
 			}
 			for o := 0; o < bs.numObs; o++ {
 				if bs.emptyPred[o>>6]>>(uint(o)&63)&1 == 1 {
@@ -217,28 +221,59 @@ func (b *Batch) DecodeBatch(res *sim.Result, firstShot, n int, sc *DecodeScratch
 			}
 			continue
 		}
-		e := bs.insertSlot(h, key)
-		row := bs.epred[int(e)*bs.obsWords : (int(e)+1)*bs.obsWords]
-		for o, c := range corr {
-			if c {
-				row[o>>6] |= 1 << (uint(o) & 63)
-			}
-		}
-		bs.fail[e] = err != nil
-		if b.MemoFault != nil {
-			b.MemoFault(h, row)
-		}
-		if bs.applyEntry(e, l) {
+		if b.storeLane(bs, h, key, corr, err, l) {
 			failW |= 1 << uint(l)
 		}
 	}
 	return bs.countErrs(res, wi, laneMask, failW), nil
 }
 
+// storeLane memoizes one freshly decoded lane and applies the entry to
+// the lane's prediction bits. It is the panic boundary of the memo
+// store: if the MemoFault chaos seam (or the store itself) panics, the
+// half-written entry is evicted from the index and recency list —
+// nothing replayable survives — and the lane alone counts as a failed
+// decode, exactly like a scalar decode error.
+//
+//fpn:hotpath
+func (b *Batch) storeLane(bs *batchScratch, h uint64, key []int32, corr []bool, decErr error, l int) (failed bool) {
+	e := int32(-1)
+	defer func() {
+		if r := recover(); r != nil {
+			if e >= 0 {
+				bs.evict(e)
+			}
+			failed = true
+		}
+	}()
+	e = bs.insertSlot(h, key)
+	row := bs.epred[int(e)*bs.obsWords : (int(e)+1)*bs.obsWords]
+	for o, c := range corr {
+		if c {
+			row[o>>6] |= 1 << (uint(o) & 63)
+		}
+	}
+	bs.fail[e] = decErr != nil
+	if b.MemoFault != nil {
+		b.MemoFault(h, row)
+	}
+	return bs.applyEntry(e, l)
+}
+
 // decodeEmpty computes and caches the decode of a syndrome-free lane
-// (no defects, no flags — every detector reads zero).
-func (b *Batch) decodeEmpty(sc *DecodeScratch) {
+// (no defects, no flags — every detector reads zero). It reports
+// whether the cache is valid: a panic out of the decode or the
+// MemoFault seam leaves emptyValid false, so nothing half-written is
+// ever fanned out to later lanes.
+func (b *Batch) decodeEmpty(sc *DecodeScratch) (ok bool) {
 	bs := &sc.batch
+	bs.misses++
+	defer func() {
+		if r := recover(); r != nil {
+			bs.emptyValid = false
+			ok = false
+		}
+	}()
 	corr, err := b.inner.DecodeWith(sc, zeroDetBit)
 	clear(bs.emptyPred)
 	for o, c := range corr {
@@ -247,11 +282,11 @@ func (b *Batch) decodeEmpty(sc *DecodeScratch) {
 		}
 	}
 	bs.emptyFail = err != nil
-	bs.emptyValid = true
-	bs.misses++
 	if b.MemoFault != nil {
 		b.MemoFault(keyHash(nil), bs.emptyPred)
 	}
+	bs.emptyValid = true
+	return true
 }
 
 // keyHash is FNV-1a over the defect ids (plus the length, folded in by
@@ -304,6 +339,8 @@ type batchScratch struct {
 	head   int32    // most recently used entry, -1 when empty
 	tail   int32    // least recently used entry, -1 when empty
 	used   int
+	free   []int32 // entries evicted after a faulted store, first to be reused
+	freeN  int
 
 	emptyValid bool
 	emptyFail  bool
@@ -328,9 +365,11 @@ func (bs *batchScratch) init(b *Batch, numDet, numObs int) {
 		bs.fail = make([]bool, memoEntries)
 		bs.prev = make([]int32, memoEntries)
 		bs.next = make([]int32, memoEntries)
+		bs.free = make([]int32, memoEntries)
 	} else {
 		clear(bs.table)
 	}
+	bs.freeN = 0
 	if need := memoEntries * bs.obsWords; cap(bs.epred) < need {
 		bs.epred = make([]uint64, need)
 	} else {
@@ -389,12 +428,16 @@ func (bs *batchScratch) keyEq(e int32, key []int32) bool {
 	return true
 }
 
-// insertSlot claims an entry for (h, key) — a fresh one while the arena
-// fills, the least-recently-used one afterwards — indexes it and makes
-// it most recent. The caller fills the prediction row.
+// insertSlot claims an entry for (h, key) — an evicted free one first,
+// then a fresh one while the arena fills, the least-recently-used one
+// afterwards — indexes it and makes it most recent. The caller fills
+// the prediction row.
 func (bs *batchScratch) insertSlot(h uint64, key []int32) int32 {
 	var e int32
-	if bs.used < memoEntries {
+	if bs.freeN > 0 {
+		bs.freeN--
+		e = bs.free[bs.freeN]
+	} else if bs.used < memoEntries {
 		e = int32(bs.used)
 		bs.used++
 	} else {
@@ -463,6 +506,18 @@ func (bs *batchScratch) tableRemove(e int32) {
 			}
 		}
 	}
+}
+
+// evict removes a half-written entry from the index and the recency
+// list and parks it on the free list, so a store aborted mid-write (a
+// MemoFault panic) can never be replayed and the arena never leaks
+// capacity. The free list is bounded by memoEntries: an entry is only
+// ever parked once before insertSlot reclaims it.
+func (bs *batchScratch) evict(e int32) {
+	bs.tableRemove(e)
+	bs.unlink(e)
+	bs.free[bs.freeN] = e
+	bs.freeN++
 }
 
 func (bs *batchScratch) pushFront(e int32) {

@@ -1,0 +1,127 @@
+package fabric
+
+// Tests for the jittered exponential retry backoff: the pause schedule
+// must be deterministic (seedmix-derived from worker ID, endpoint and
+// attempt — no wall clock, no global RNG), bounded to [½, 1)× of the
+// capped exponential step, and actually be the schedule RunWorker pays
+// when the coordinator is unreachable.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRetryPauseJitteredExponential pins the backoff envelope: each
+// attempt's pause sits in [step/2, step) for the capped exponential
+// step, identical inputs reproduce identical pauses, and distinct
+// worker IDs (a fleet) or endpoints de-synchronize.
+func TestRetryPauseJitteredExponential(t *testing.T) {
+	poll := 10 * time.Millisecond
+	w := &worker{opt: WorkerOptions{ID: "w0"}, poll: poll}
+	step := poll
+	for attempt := 1; attempt <= 12; attempt++ {
+		if attempt > 1 && step < poll*backoffCap {
+			step *= 2
+		}
+		if step > poll*backoffCap {
+			step = poll * backoffCap
+		}
+		got := w.retryPause("/v1/job", attempt)
+		if got < step/2 || got >= step {
+			t.Fatalf("attempt %d: pause %v outside [%v, %v)", attempt, got, step/2, step)
+		}
+		if again := w.retryPause("/v1/job", attempt); again != got {
+			t.Fatalf("attempt %d: pause not reproducible: %v then %v", attempt, got, again)
+		}
+	}
+	// Beyond the cap the step stops growing but the jitter keeps varying.
+	if a, b := w.retryPause("/v1/job", 10), w.retryPause("/v1/job", 11); a == b {
+		t.Fatalf("capped attempts 10 and 11 drew identical jitter %v (draw not attempt-keyed)", a)
+	}
+	// Different workers and different endpoints must draw apart, else a
+	// fleet that lost its coordinator together retries in lockstep.
+	w2 := &worker{opt: WorkerOptions{ID: "w1"}, poll: poll}
+	if a, b := w.retryPause("/v1/job", 3), w2.retryPause("/v1/job", 3); a == b {
+		t.Fatalf("workers w0 and w1 drew identical pause %v at attempt 3", a)
+	}
+	if a, b := w.retryPause("/v1/job", 3), w.retryPause("/v1/lease", 3); a == b {
+		t.Fatalf("endpoints /v1/job and /v1/lease drew identical pause %v at attempt 3", a)
+	}
+}
+
+// TestRetryAttemptsSpansPatience sizes the budget: the worst-case pause
+// schedule (every draw at its step maximum) must cover Patience, and
+// the capped exponential must need far fewer attempts than the old
+// fixed-interval Patience/Poll budget.
+func TestRetryAttemptsSpansPatience(t *testing.T) {
+	poll, patience := 10*time.Millisecond, 2*time.Second
+	n := retryAttempts(poll, patience)
+	var worst time.Duration
+	step := poll
+	for k := 1; k < n; k++ {
+		if k > 1 && step < poll*backoffCap {
+			step *= 2
+		}
+		if step > poll*backoffCap {
+			step = poll * backoffCap
+		}
+		worst += step
+	}
+	if worst < patience {
+		t.Fatalf("budget of %d attempts spans only %v worst-case, want >= %v", n, worst, patience)
+	}
+	if fixed := int(patience/poll) + 1; n >= fixed {
+		t.Fatalf("exponential budget %d attempts is no smaller than the fixed budget %d", n, fixed)
+	}
+	if got := retryAttempts(poll, 0); got != 1 {
+		t.Fatalf("zero patience: %d attempts, want 1 (the free first attempt)", got)
+	}
+}
+
+// TestWorkerRetryPacing drives RunWorker against a coordinator that
+// only ever answers 500 and records the pauses through the injected
+// Sleep: the sequence must be exactly the retryPause schedule for
+// /v1/job, and the run must end with the attempts-exhausted error.
+// With a real clock this many retries would take seconds; the injected
+// Sleep returns instantly, which is the injected-clock determinism the
+// seedmix derivation buys.
+func TestWorkerRetryPacing(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, _ *http.Request) {
+		http.Error(rw, "coordinator down", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	var mu sync.Mutex
+	var pauses []time.Duration
+	opt := WorkerOptions{
+		URL:      srv.URL,
+		ID:       "pacing-worker",
+		Poll:     5 * time.Millisecond,
+		Patience: 300 * time.Millisecond,
+		Sleep: func(d time.Duration) {
+			mu.Lock()
+			pauses = append(pauses, d)
+			mu.Unlock()
+		},
+	}
+	err := RunWorker(context.Background(), opt)
+	if err == nil || !strings.Contains(err.Error(), "coordinator unreachable after") {
+		t.Fatalf("RunWorker against a dead coordinator: err = %v, want attempts-exhausted", err)
+	}
+
+	ref := &worker{opt: opt, poll: opt.Poll}
+	wantN := retryAttempts(opt.Poll, opt.Patience) - 1 // first attempt pays no pause
+	if len(pauses) != wantN {
+		t.Fatalf("recorded %d pauses, want %d", len(pauses), wantN)
+	}
+	for i, got := range pauses {
+		if want := ref.retryPause("/v1/job", i+1); got != want {
+			t.Fatalf("pause %d: slept %v, want retryPause(/v1/job, %d) = %v", i, got, i+1, want)
+		}
+	}
+}

@@ -9,8 +9,11 @@
 //
 // Timing here (polling cadence, retry pacing, heartbeats) is pure
 // liveness, never results — the retry budget is a fixed attempt count
-// derived from Patience/Poll, so no wall-clock reads are needed and the
-// single annotated wall-clock site is the default sleep.
+// sized from Patience against the worst-case backoff schedule, retry
+// pauses are jittered exponential draws derived deterministically from
+// (worker ID, endpoint, attempt) via seedmix, so no wall-clock reads
+// are needed and the single annotated wall-clock site is the default
+// sleep.
 package fabric
 
 import (
@@ -21,9 +24,11 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strings"
 	"time"
 
 	"github.com/fpn/flagproxy/internal/experiment"
+	"github.com/fpn/flagproxy/internal/seedmix"
 )
 
 // WorkerOptions configures RunWorker. URL is required; everything else
@@ -36,12 +41,12 @@ type WorkerOptions struct {
 	// Client issues the HTTP requests; nil means a default client. The
 	// chaos suite injects a faulting RoundTripper here.
 	Client *http.Client
-	// Poll is the idle/wait polling cadence and the retry pause; 0
-	// means 200ms.
+	// Poll is the idle/wait polling cadence and the base of the
+	// jittered exponential retry backoff; 0 means 200ms.
 	Poll time.Duration
 	// Patience bounds how long an unreachable coordinator is retried
-	// before the worker gives up (as a Patience/Poll attempt budget);
-	// 0 means 2 minutes.
+	// before the worker gives up (as an attempt budget whose worst-case
+	// backoff schedule spans Patience); 0 means 2 minutes.
 	Patience time.Duration
 	// Heartbeat is the lease heartbeat cadence; 0 means a third of the
 	// coordinator's lease TTL.
@@ -61,7 +66,7 @@ type worker struct {
 	opt      WorkerOptions
 	client   *http.Client
 	poll     time.Duration
-	attempts int // network retry budget per request: Patience/Poll
+	attempts int // network retry budget per request: Patience against the worst-case backoff
 
 	fp     string
 	runner *experiment.BlockRunner
@@ -114,7 +119,7 @@ func RunWorker(ctx context.Context, opt WorkerOptions) error {
 	if patience <= 0 {
 		patience = 2 * time.Minute
 	}
-	w.attempts = int(patience/w.poll) + 1
+	w.attempts = retryAttempts(w.poll, patience)
 	done := 0
 	for ctx.Err() == nil {
 		var jm jobMsg
@@ -262,15 +267,67 @@ func (w *worker) heartbeat(ctx context.Context, lease int64) {
 	}
 }
 
+// backoffCap bounds the exponential retry pause at this multiple of the
+// poll cadence: long enough to take real pressure off a struggling
+// coordinator, short enough that a recovered one is rediscovered
+// promptly.
+const backoffCap = 16
+
+// retryPause is the pause before retry attempt k (1-based) of one
+// request: exponential growth from the poll cadence, capped at
+// backoffCap×poll, with a deterministic jitter in [½, 1)× of the step
+// so a worker fleet that lost its coordinator together does not hammer
+// it back in lockstep. The draw depends only on (worker ID, endpoint,
+// attempt) through the same splitmix64 mixer as the shard engine —
+// pacing is bit-reproducible under an injected Sleep and never touches
+// the wall clock or the results.
+func (w *worker) retryPause(site string, attempt int) time.Duration {
+	step := w.poll
+	for i := 1; i < attempt && step < w.poll*backoffCap; i++ {
+		step *= 2
+	}
+	if max := w.poll * backoffCap; step > max {
+		step = max
+	}
+	word := uint64(seedmix.Derive(0, seedmix.String(w.opt.ID), seedmix.String(site), uint64(attempt)))
+	frac := float64(word>>11) / float64(1<<53) // uniform in [0, 1)
+	half := step / 2
+	return half + time.Duration(frac*float64(half))
+}
+
+// retryAttempts sizes the per-request retry budget so the worst-case
+// pause schedule (every jitter draw at its maximum) still spans
+// patience — the same guarantee the old fixed-interval budget gave,
+// with far fewer requests once the pauses have grown to the cap.
+func retryAttempts(poll, patience time.Duration) int {
+	n := 1 // the first attempt pays no pause
+	for total := time.Duration(0); total < patience; n++ {
+		step := poll
+		for i := 1; i < n && step < poll*backoffCap; i++ {
+			step *= 2
+		}
+		if max := poll * backoffCap; step > max {
+			step = max
+		}
+		total += step
+	}
+	return n
+}
+
 // getJSON performs one request with the patience-bounded retry budget:
 // network errors and torn-stream rejections (HTTP 400 on /v1/complete,
-// which a fault-injected transport can cause) are retried after a poll
-// pause; anything else is decoded into out. body == nil means GET.
+// which a fault-injected transport can cause) are retried after a
+// jittered exponential pause; anything else is decoded into out.
+// body == nil means GET.
 func (w *worker) getJSON(ctx context.Context, path string, body []byte, out any) error {
+	site := path
+	if i := strings.IndexByte(site, '?'); i >= 0 {
+		site = site[:i] // the endpoint, not the per-lease query values
+	}
 	var err error
 	for attempt := 0; attempt < w.attempts; attempt++ {
 		if attempt > 0 {
-			w.wait(ctx, w.poll)
+			w.wait(ctx, w.retryPause(site, attempt))
 		}
 		if ctx.Err() != nil {
 			return ctx.Err()

@@ -1,0 +1,182 @@
+// Syndrome-stream client: builds healthy request bodies, streams them,
+// and fully validates the response framing — every frame's CRC, strict
+// window order, the counted trailer — so a torn response is an error,
+// never a silently short result set. The chaos suite and the decoded
+// command's load generator both drive the service through this client
+// (the chaos clients damage the encoded body before sending).
+package rtd
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"github.com/fpn/flagproxy/internal/circuit"
+	"github.com/fpn/flagproxy/internal/sim"
+)
+
+// Client posts syndrome streams to a decoded server.
+type Client struct {
+	URL  string       // server base address, e.g. "http://host:9912"
+	HTTP *http.Client // nil means http.DefaultClient
+}
+
+// HTTPError is a non-200 verdict from the service — notably the 429
+// admission refusal and the 503 draining refusal.
+type HTTPError struct {
+	Code int
+	Msg  string
+}
+
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("rtd: HTTP %d: %s", e.Code, e.Msg)
+}
+
+// StreamOutcome is one stream's validated response.
+type StreamOutcome struct {
+	Results []Result
+	Drained bool   // the server ended the stream by draining
+	Fatal   string // server-side verdict that aborted the stream, if any
+}
+
+// Stream encodes wins (per-window, per-round fired detector indices)
+// and posts them as one healthy syndrome stream.
+func (cl *Client) Stream(ctx context.Context, fingerprint string, wins [][][]int) (*StreamOutcome, error) {
+	frames, err := EncodeWindows(fingerprint, wins)
+	if err != nil {
+		return nil, err
+	}
+	return cl.StreamBody(ctx, bytes.NewReader(JoinFrames(frames)))
+}
+
+// StreamBody posts a raw request body — the chaos seam: callers may
+// tear, corrupt or stall the framed bytes — and validates the response.
+func (cl *Client) StreamBody(ctx context.Context, body io.Reader) (*StreamOutcome, error) {
+	hc := cl.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cl.URL+"/v1/stream", body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/jsonl")
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return nil, fmt.Errorf("rtd: torn response: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &HTTPError{Code: resp.StatusCode, Msg: string(bytes.TrimSpace(data))}
+	}
+	return decodeResponse(data)
+}
+
+// JoinFrames concatenates encoded frames into one body.
+func JoinFrames(frames [][]byte) []byte {
+	return bytes.Join(frames, nil)
+}
+
+// decodeResponse validates a complete response stream: newline-
+// terminated framing, per-frame CRC, results in strictly ascending
+// window order, at most one fatal verdict, a trailer counting the
+// results. Any deviation is an error and nothing partial is returned.
+func decodeResponse(data []byte) (*StreamOutcome, error) {
+	if len(data) == 0 || data[len(data)-1] != '\n' {
+		return nil, fmt.Errorf("rtd: torn response: missing terminal newline")
+	}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	out := &StreamOutcome{}
+	sawTrailer := false
+	for line := 1; sc.Scan(); line++ {
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			return nil, fmt.Errorf("rtd: response line %d: empty", line)
+		}
+		if sawTrailer {
+			return nil, fmt.Errorf("rtd: response line %d: data after the trailer", line)
+		}
+		rec, err := decodeFrame(raw)
+		if err != nil {
+			return nil, fmt.Errorf("rtd: response line %d: %v", line, err)
+		}
+		if tr, ok := probeTrailer(rec); ok {
+			if tr.End != len(out.Results) {
+				return nil, fmt.Errorf("rtd: trailer claims %d results, response carried %d", tr.End, len(out.Results))
+			}
+			out.Drained = tr.Drained
+			sawTrailer = true
+			continue
+		}
+		var probe struct {
+			Err    *string `json:"err"`
+			Status *string `json:"st"`
+		}
+		if err := json.Unmarshal(rec, &probe); err != nil {
+			return nil, fmt.Errorf("rtd: response line %d: bad record: %v", line, err)
+		}
+		switch {
+		case probe.Err != nil:
+			if out.Fatal != "" {
+				return nil, fmt.Errorf("rtd: response line %d: second fatal verdict", line)
+			}
+			out.Fatal = *probe.Err
+		case probe.Status != nil:
+			if out.Fatal != "" {
+				return nil, fmt.Errorf("rtd: response line %d: result after a fatal verdict", line)
+			}
+			var res Result
+			if err := json.Unmarshal(rec, &res); err != nil {
+				return nil, fmt.Errorf("rtd: response line %d: bad result: %v", line, err)
+			}
+			if res.Window != len(out.Results) {
+				return nil, fmt.Errorf("rtd: response line %d: window %d out of order (want %d)", line, res.Window, len(out.Results))
+			}
+			out.Results = append(out.Results, res)
+		default:
+			return nil, fmt.Errorf("rtd: response line %d: unrecognized record", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("rtd: torn response: %v", err)
+	}
+	if !sawTrailer {
+		return nil, fmt.Errorf("rtd: torn response: no trailer after %d results", len(out.Results))
+	}
+	return out, nil
+}
+
+// BuildWindows converts n sampled shots (starting at firstShot) into
+// the per-window, per-round fired-detector lists a syndrome stream
+// carries: one window per shot, indices strictly ascending within each
+// round. The inverse of what the service reassembles, so a round-trip
+// is exact.
+func BuildWindows(c *circuit.Circuit, res *sim.Result, firstShot, n int) [][][]int {
+	rpw := 0
+	for _, d := range c.Detectors {
+		if d.Round+1 > rpw {
+			rpw = d.Round + 1
+		}
+	}
+	wins := make([][][]int, n)
+	for s := 0; s < n; s++ {
+		win := make([][]int, rpw)
+		for d := range c.Detectors {
+			if res.DetectorBit(d, firstShot+s) {
+				r := c.Detectors[d].Round
+				win[r] = append(win[r], d)
+			}
+		}
+		wins[s] = win
+	}
+	return wins
+}

@@ -1,0 +1,29 @@
+// The service's injectable clock. Decode latencies, deadlines and
+// read/write timeouts are pure quality-of-service state — they choose
+// between the primary decoder and the fallback chain, never what a
+// correction is — but the degradation *accounting* must still be
+// reproducible under test, so every time read flows through this seam
+// and the wall-clock default is confined to two annotated methods.
+package rtd
+
+import "time"
+
+// Clock is the service's view of time: sampling for latency accounting
+// and deadline arming for decode attempts.
+type Clock interface {
+	Now() time.Time
+	After(d time.Duration) <-chan time.Time
+}
+
+// wallClock is the production Clock.
+type wallClock struct{}
+
+// Now samples the machine clock.
+//
+//fpnvet:wallclock default clock behind the injectable seam
+func (wallClock) Now() time.Time { return time.Now() }
+
+// After arms a runtime timer.
+//
+//fpnvet:wallclock default clock behind the injectable seam
+func (wallClock) After(d time.Duration) <-chan time.Time { return time.After(d) }

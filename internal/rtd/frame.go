@@ -1,0 +1,181 @@
+// Wire framing for the online decode service. Both directions of a
+// syndrome stream are CRC32-C-framed JSONL — one {"v","crc","rec"}
+// envelope per line, checksum over the exact rec bytes, a counted
+// trailer at the end — the same discipline as the fabric's completion
+// streams and the checkpoint store. The trailer turns a connection cut
+// at any byte into a detectable torn stream: every strict prefix of a
+// healthy stream fails validation.
+//
+// Request (client → server): one header record naming the stream kind
+// and the configuration fingerprint, then round records in strictly
+// sequential (window, round) order, then a trailer counting the round
+// records. Response (server → client): one result record per window in
+// strictly ascending window order, at most one fatal error record, then
+// a trailer counting the result records (Drained set when the stream
+// was ended by a server drain).
+package rtd
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// frameVersion is the syndrome-stream schema generation.
+const frameVersion = 1
+
+// StreamName discriminates syndrome streams from unrelated POSTs.
+const StreamName = "rtd-syndrome"
+
+// castagnoli is the CRC32-C table shared by every frame.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// frame is the on-wire envelope of one stream line.
+type frame struct {
+	V   int             `json:"v"`
+	CRC uint32          `json:"crc"` // CRC32-C over the raw Rec bytes
+	Rec json.RawMessage `json:"rec"`
+}
+
+// Header opens a syndrome stream. Fingerprint must match the serving
+// configuration's experiment.Config.Fingerprint — the same engine-drift
+// tripwire the fabric uses, pointed the other way.
+type Header struct {
+	Stream      string `json:"stream"`
+	Fingerprint string `json:"fp"`
+}
+
+// Round carries the detectors that fired in one measurement round of
+// one window. Windows and rounds are strictly sequential: window w
+// sends rounds 0..rpw-1 in order, then window w+1 begins. Fired indices
+// are global detector indices, strictly ascending, and must belong to
+// round Round of the serving circuit.
+type Round struct {
+	Window int   `json:"w"`
+	Round  int   `json:"r"`
+	Fired  []int `json:"f,omitempty"`
+}
+
+// Trailer ends a healthy stream in either direction; End counts the
+// records (round or result) that preceded it. Drained is set by the
+// server when the stream was cut short by an orderly drain rather than
+// by the client's trailer.
+type Trailer struct {
+	End     int  `json:"end"`
+	Drained bool `json:"drained,omitempty"`
+}
+
+// Result statuses, in decreasing order of health.
+const (
+	StatusOK       = "ok"       // primary decoder committed within deadline
+	StatusDegraded = "degraded" // fallback chain committed after a primary timeout or panic
+	StatusError    = "error"    // decoder returned an error; no correction committed
+	StatusDeadline = "deadline" // primary deadline expired and no fallback rescued
+	StatusFailed   = "failed"   // primary panicked and no fallback rescued
+	StatusShed     = "shed"     // admission control refused the window before decoding
+)
+
+// Result reports one window's outcome: the status above, the decoder
+// that produced the correction, and the correction itself as the
+// strictly ascending indices of logical observables to flip.
+type Result struct {
+	Window  int    `json:"w"`
+	Status  string `json:"st"`
+	Decoder string `json:"dec,omitempty"`
+	Flips   []int  `json:"c,omitempty"`
+}
+
+// Committed reports whether a correction was committed for the window.
+func (r Result) Committed() bool {
+	return r.Status == StatusOK || r.Status == StatusDegraded
+}
+
+// Fatal aborts a stream with a server-side verdict (protocol violation,
+// torn request, fingerprint mismatch). It is followed by the trailer.
+type Fatal struct {
+	Err string `json:"err"`
+}
+
+// EncodeFrame wraps payload in the CRC envelope and returns the
+// newline-terminated line. Chaos clients build raw bodies from these
+// and then damage them deliberately.
+func EncodeFrame(payload any) ([]byte, error) {
+	rec, err := json.Marshal(payload)
+	if err != nil {
+		return nil, err
+	}
+	out, err := json.Marshal(frame{V: frameVersion, CRC: crc32.Checksum(rec, castagnoli), Rec: rec})
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// writeFrame encodes payload and writes it as one line.
+func writeFrame(w io.Writer, payload any) error {
+	line, err := EncodeFrame(payload)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(line)
+	return err
+}
+
+// decodeFrame validates one line's envelope — JSON shape, version, CRC —
+// and returns the raw record bytes.
+func decodeFrame(line []byte) (json.RawMessage, error) {
+	var fr frame
+	if err := json.Unmarshal(line, &fr); err != nil {
+		return nil, fmt.Errorf("rtd: bad frame: %v", err)
+	}
+	if fr.V != frameVersion {
+		return nil, fmt.Errorf("rtd: unsupported frame version %d", fr.V)
+	}
+	if got := crc32.Checksum(fr.Rec, castagnoli); got != fr.CRC {
+		return nil, fmt.Errorf("rtd: frame CRC32-C mismatch (stored %08x, computed %08x)", fr.CRC, got)
+	}
+	return fr.Rec, nil
+}
+
+// probeTrailer reports whether rec is a trailer (discriminated by its
+// "end" key, like the fabric's completion trailer).
+func probeTrailer(rec json.RawMessage) (Trailer, bool) {
+	var probe struct {
+		End     *int `json:"end"`
+		Drained bool `json:"drained"`
+	}
+	if err := json.Unmarshal(rec, &probe); err != nil || probe.End == nil {
+		return Trailer{}, false
+	}
+	return Trailer{End: *probe.End, Drained: probe.Drained}, true
+}
+
+// EncodeWindows builds a complete, healthy request body for the given
+// windows: the header, each window's rounds in order, the trailer. Each
+// element of wins holds the per-round fired-detector lists of one
+// window (wins[w][r] = global detector indices fired in round r).
+func EncodeWindows(fingerprint string, wins [][][]int) ([][]byte, error) {
+	frames := make([][]byte, 0, 2)
+	h, err := EncodeFrame(Header{Stream: StreamName, Fingerprint: fingerprint})
+	if err != nil {
+		return nil, err
+	}
+	frames = append(frames, h)
+	rounds := 0
+	for w, win := range wins {
+		for r, fired := range win {
+			line, err := EncodeFrame(Round{Window: w, Round: r, Fired: fired})
+			if err != nil {
+				return nil, err
+			}
+			frames = append(frames, line)
+			rounds++
+		}
+	}
+	t, err := EncodeFrame(Trailer{End: rounds})
+	if err != nil {
+		return nil, err
+	}
+	return append(frames, t), nil
+}

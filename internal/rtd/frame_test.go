@@ -1,0 +1,119 @@
+package rtd
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	line, err := EncodeFrame(Round{Window: 3, Round: 1, Fired: []int{2, 7, 11}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line[len(line)-1] != '\n' {
+		t.Fatal("encoded frame is not newline-terminated")
+	}
+	rec, err := decodeFrame(bytes.TrimSpace(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rr Round
+	if err := json.Unmarshal(rec, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Window != 3 || rr.Round != 1 || len(rr.Fired) != 3 || rr.Fired[2] != 11 {
+		t.Fatalf("round-trip mismatch: %+v", rr)
+	}
+}
+
+func TestFrameCRCCatchesCorruption(t *testing.T) {
+	line, err := EncodeFrame(Header{Stream: StreamName, Fingerprint: "fp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte inside the rec payload (after the "rec": key).
+	i := bytes.Index(line, []byte(StreamName))
+	if i < 0 {
+		t.Fatal("payload not found in frame")
+	}
+	bad := append([]byte(nil), line...)
+	bad[i] ^= 0x01
+	if _, err := decodeFrame(bytes.TrimSpace(bad)); err == nil || !strings.Contains(err.Error(), "CRC32-C mismatch") {
+		t.Fatalf("corrupted frame not rejected: %v", err)
+	}
+}
+
+func TestFrameVersionGate(t *testing.T) {
+	line := []byte(`{"v":99,"crc":0,"rec":{}}`)
+	if _, err := decodeFrame(line); err == nil || !strings.Contains(err.Error(), "unsupported frame version") {
+		t.Fatalf("future version not rejected: %v", err)
+	}
+}
+
+func TestProbeTrailerDiscrimination(t *testing.T) {
+	if _, ok := probeTrailer(json.RawMessage(`{"w":0,"r":0}`)); ok {
+		t.Fatal("round record mistaken for a trailer")
+	}
+	tr, ok := probeTrailer(json.RawMessage(`{"end":7,"drained":true}`))
+	if !ok || tr.End != 7 || !tr.Drained {
+		t.Fatalf("trailer not recognized: %+v ok=%v", tr, ok)
+	}
+}
+
+// Every strict prefix of a healthy encoded stream must fail validation:
+// either the terminal newline is gone, the last line's envelope is cut,
+// or the trailer (with its count) is missing entirely.
+func TestEveryStrictPrefixFailsValidation(t *testing.T) {
+	wins := [][][]int{{{0}, {1, 2}}, {{}, {2}}}
+	frames, err := EncodeWindows("fp", wins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := JoinFrames(frames)
+	validate := func(data []byte) error {
+		if len(data) == 0 || data[len(data)-1] != '\n' {
+			return errNoNewline
+		}
+		lines := bytes.Split(data[:len(data)-1], []byte("\n"))
+		recs := 0
+		sawTrailer := false
+		for _, ln := range lines {
+			rec, err := decodeFrame(ln)
+			if err != nil {
+				return err
+			}
+			if tr, ok := probeTrailer(rec); ok {
+				if tr.End != recs-1 { // header is not counted
+					return errBadCount
+				}
+				sawTrailer = true
+				continue
+			}
+			recs++
+		}
+		if !sawTrailer {
+			return errNoTrailer
+		}
+		return nil
+	}
+	if err := validate(body); err != nil {
+		t.Fatalf("healthy stream rejected: %v", err)
+	}
+	for cut := 0; cut < len(body); cut++ {
+		if err := validate(body[:cut]); err == nil {
+			t.Fatalf("strict prefix of %d/%d bytes passed validation", cut, len(body))
+		}
+	}
+}
+
+var (
+	errNoNewline = &validationError{"missing terminal newline"}
+	errBadCount  = &validationError{"trailer count mismatch"}
+	errNoTrailer = &validationError{"missing trailer"}
+)
+
+type validationError struct{ msg string }
+
+func (e *validationError) Error() string { return e.msg }

@@ -1,0 +1,69 @@
+// Decode-latency histogram: power-of-two buckets over nanoseconds, so
+// recording is one mutex-guarded increment and the p50/p99/p999 the
+// /statz surface reports are conservative (bucket upper bound) without
+// storing samples. Sixty-five buckets cover every possible
+// time.Duration.
+package rtd
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"time"
+)
+
+// Histogram accumulates latency samples into log2 buckets. The zero
+// value is ready to use; methods are safe for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	n       int64
+	buckets [65]int64 // bucket b holds samples with bits.Len64(ns) == b
+}
+
+// Record adds one sample. Negative durations (a clock stepping
+// backwards under test) clamp to zero.
+func (h *Histogram) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	b := bits.Len64(uint64(d))
+	h.mu.Lock()
+	h.buckets[b]++
+	h.n++
+	h.mu.Unlock()
+}
+
+// Quantile returns a conservative upper bound of the q-quantile (q in
+// [0, 1]) of the recorded samples, or 0 when nothing was recorded.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for b, c := range h.buckets {
+		seen += c
+		if seen >= rank {
+			if b == 0 {
+				return 0
+			}
+			if b >= 63 {
+				return time.Duration(math.MaxInt64)
+			}
+			return time.Duration(uint64(1)<<uint(b)) - 1
+		}
+	}
+	return time.Duration(math.MaxInt64)
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}

@@ -1,0 +1,53 @@
+package rtd
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram must report 0")
+	}
+	samples := []time.Duration{
+		100 * time.Nanosecond, 100 * time.Nanosecond,
+		10 * time.Microsecond, 10 * time.Microsecond,
+		5 * time.Millisecond,
+	}
+	for _, d := range samples {
+		h.Record(d)
+	}
+	if got := h.Count(); got != int64(len(samples)) {
+		t.Fatalf("Count = %d, want %d", got, len(samples))
+	}
+	// Quantiles are conservative power-of-two upper bounds: the true
+	// quantile value q* satisfies q* <= Quantile(q) < 2*q*.
+	checks := []struct {
+		q    float64
+		true time.Duration
+	}{
+		{0.50, 10 * time.Microsecond},
+		{0.99, 5 * time.Millisecond},
+		{0.999, 5 * time.Millisecond},
+	}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		if got < c.true || got >= 2*c.true {
+			t.Fatalf("Quantile(%v) = %v, want in [%v, %v)", c.q, got, c.true, 2*c.true)
+		}
+	}
+}
+
+func TestHistogramClampsAndSaturates(t *testing.T) {
+	var h Histogram
+	h.Record(-time.Second)
+	if got := h.Quantile(1); got != 0 {
+		t.Fatalf("negative sample should clamp to 0, Quantile(1) = %v", got)
+	}
+	var h2 Histogram
+	h2.Record(time.Duration(1<<62 + 1))
+	if got := h2.Quantile(1); got <= 0 {
+		t.Fatalf("huge sample must saturate positive, got %v", got)
+	}
+}

@@ -1,0 +1,761 @@
+// Package rtd is the real-time decode service: long-running HTTP
+// streams of per-round syndromes in, per-window corrections out, under
+// an explicit latency SLO. One window is one full round span of the
+// serving circuit (the unit the decoder commits), and the service
+// pipelines windows — window w decodes while the rounds of w+1… are
+// still arriving — over per-connection scratch arenas from the sweep
+// engine's DecoderPool, so a committed correction is bit-identical to
+// what an offline batch sweep would produce for the same syndrome.
+//
+// The SLO is defended at every boundary, and every defense is counted:
+//
+//   - admission: at most MaxStreams concurrent streams (excess requests
+//     get an immediate 429) and a bounded decode queue — a window that
+//     finds the queue full is shed with an explicit per-window verdict
+//     instead of silently adding latency (ShedRounds);
+//   - decode deadlines: a window that outlives DecodeTimeout abandons
+//     its decoder (the engine's leak-and-reacquire discipline) and
+//     walks the fallback chain (TimeoutRounds, DegradedRounds,
+//     FailedRounds);
+//   - slow clients: every read and write carries a deadline, so a hung
+//     client costs one stream slot for ReadTimeout, not forever
+//     (HungClients), and a client that stops reading its corrections is
+//     cut off at WriteTimeout;
+//   - draining: Drain stops intake, finishes every window already
+//     received in full, flushes the results, and closes each stream
+//     with a drained trailer — zero committed rounds are lost.
+//
+// Latency accounting (the /statz p50/p99/p999 histogram) flows through
+// the injectable Clock; the wall-clock default lives behind two
+// annotated methods and nothing the corrections depend on ever reads
+// time.
+package rtd
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/fpn/flagproxy/internal/experiment"
+)
+
+// Options configures NewServer. Online is required; everything else
+// has serviceable defaults.
+type Options struct {
+	// Online is the decode stack to serve (experiment.Pipeline.NewOnline).
+	Online *experiment.Online
+	// MaxStreams caps concurrent syndrome streams; excess requests are
+	// refused with 429. 0 means 16.
+	MaxStreams int
+	// QueueDepth bounds the decode queue shared by all streams; a
+	// window submitted to a full queue is shed. 0 means 64.
+	QueueDepth int
+	// Workers is the decode worker count. 0 means GOMAXPROCS.
+	Workers int
+	// DecodeTimeout is the per-window decode deadline; a primary
+	// attempt that misses it is abandoned to the fallback chain. 0
+	// means the serving Config.DecodeTimeout (possibly none).
+	DecodeTimeout time.Duration
+	// ReadTimeout bounds the wait for each request frame; a client
+	// silent for longer is a hung client and its stream is closed. 0
+	// means 30s.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each response write; a client that stops
+	// reading corrections forfeits the rest of its results. 0 means 30s.
+	WriteTimeout time.Duration
+	// Clock injects time for latency accounting and decode deadlines;
+	// nil means the wall clock.
+	Clock Clock
+	// Log, when non-nil, receives one-line operational notes.
+	Log io.Writer
+	// OnLatency, when non-nil, observes every decoded window (the
+	// latency-log seam; called from decode workers, must be
+	// goroutine-safe).
+	OnLatency func(LatencySample)
+}
+
+// LatencySample is one decoded window's latency record.
+type LatencySample struct {
+	Window  int
+	Status  string
+	Decoder string
+	Ns      int64
+}
+
+// Stats is a point-in-time snapshot of the service counters, the
+// /statz payload. All *Rounds counters are measured in measurement
+// rounds (a window accounts for RoundsPerWindow of them).
+type Stats struct {
+	Decoder         string `json:"decoder"`
+	Fingerprint     string `json:"fingerprint"`
+	RoundsPerWindow int    `json:"rounds_per_window"`
+	Draining        bool   `json:"draining"`
+
+	Streams     int64 `json:"streams"`      // syndrome streams admitted
+	StreamsShed int64 `json:"streams_shed"` // requests refused at admission (429)
+	StreamsTorn int64 `json:"streams_torn"` // streams ended by a framing/protocol violation or disconnect
+	HungClients int64 `json:"hung_clients"` // streams ended by a request read deadline
+
+	RoundsReceived  int64 `json:"rounds_received"`  // round frames accepted
+	CommittedRounds int64 `json:"committed_rounds"` // rounds whose correction was committed (ok + degraded)
+	TimeoutRounds   int64 `json:"timeout_rounds"`   // rounds whose primary decode hit the deadline
+	DegradedRounds  int64 `json:"degraded_rounds"`  // rounds committed by the fallback chain
+	ShedRounds      int64 `json:"shed_rounds"`      // rounds refused by the full decode queue
+	FailedRounds    int64 `json:"failed_rounds"`    // rounds whose whole decoder chain failed
+	DroppedRounds   int64 `json:"dropped_rounds"`   // rounds of windows never completed (torn/hung/drained streams)
+	DecodeErrors    int64 `json:"decode_errors"`    // windows whose decoder returned an error
+
+	Windows int64 `json:"windows"` // windows decoded (latency samples)
+	P50Ns   int64 `json:"p50_ns"`
+	P99Ns   int64 `json:"p99_ns"`
+	P999Ns  int64 `json:"p999_ns"`
+}
+
+type counters struct {
+	streams, streamsShed, streamsTorn, hungClients          atomic.Int64
+	roundsReceived, committedRounds, timeoutRounds          atomic.Int64
+	degradedRounds, shedRounds, failedRounds, droppedRounds atomic.Int64
+	decodeErrors                                            atomic.Int64
+}
+
+// Server is the online decode service. Build with NewServer, expose
+// Handler over any net/http server, Drain on shutdown, then Close.
+type Server struct {
+	opt      Options
+	o        *experiment.Online
+	clock    Clock
+	fp       string
+	decName  string
+	fallback []experiment.DecoderKind
+	rpw      int // rounds per window: the circuit's full round span
+	numDet   int
+	roundOf  []int // detector index → round
+
+	decTimeout, readTimeout, writeTimeout time.Duration
+
+	queue   chan *window
+	admit   chan struct{}
+	hist    Histogram
+	ctrs    counters
+	winPool sync.Pool
+
+	mu        sync.Mutex
+	streams   map[*stream]struct{}
+	draining  bool
+	drained   chan struct{}
+	drainOnce sync.Once
+
+	workersWG   sync.WaitGroup
+	stopWorkers chan struct{}
+	closeOnce   sync.Once
+}
+
+// NewServer builds the service around an online decode stack and starts
+// its decode workers.
+func NewServer(opt Options) (*Server, error) {
+	if opt.Online == nil {
+		return nil, fmt.Errorf("rtd: Options.Online is required")
+	}
+	c := opt.Online.Circuit()
+	if len(c.Detectors) == 0 {
+		return nil, fmt.Errorf("rtd: serving circuit has no detectors")
+	}
+	rpw := 0
+	roundOf := make([]int, len(c.Detectors))
+	for i, d := range c.Detectors {
+		roundOf[i] = d.Round
+		if d.Round+1 > rpw {
+			rpw = d.Round + 1
+		}
+	}
+	cfg := opt.Online.Config()
+	s := &Server{
+		opt:          opt,
+		o:            opt.Online,
+		clock:        opt.Clock,
+		fp:           cfg.Fingerprint(),
+		decName:      cfg.Decoder.String(),
+		fallback:     cfg.Fallback,
+		rpw:          rpw,
+		numDet:       len(c.Detectors),
+		roundOf:      roundOf,
+		decTimeout:   opt.DecodeTimeout,
+		readTimeout:  opt.ReadTimeout,
+		writeTimeout: opt.WriteTimeout,
+		streams:      map[*stream]struct{}{},
+		drained:      make(chan struct{}),
+		stopWorkers:  make(chan struct{}),
+	}
+	if s.clock == nil {
+		s.clock = wallClock{}
+	}
+	if s.decTimeout <= 0 {
+		s.decTimeout = cfg.DecodeTimeout
+	}
+	if s.readTimeout <= 0 {
+		s.readTimeout = 30 * time.Second
+	}
+	if s.writeTimeout <= 0 {
+		s.writeTimeout = 30 * time.Second
+	}
+	maxStreams := opt.MaxStreams
+	if maxStreams <= 0 {
+		maxStreams = 16
+	}
+	depth := opt.QueueDepth
+	if depth <= 0 {
+		depth = 64
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s.admit = make(chan struct{}, maxStreams)
+	s.queue = make(chan *window, depth)
+	words := (s.numDet + 63) / 64
+	s.winPool.New = func() any { return &window{words: make([]uint64, words)} }
+	for i := 0; i < workers; i++ {
+		s.workersWG.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opt.Log != nil {
+		fmt.Fprintf(s.opt.Log, "rtd: "+format+"\n", args...)
+	}
+}
+
+// Stats snapshots the counters and latency quantiles.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Decoder:         s.decName,
+		Fingerprint:     s.fp,
+		RoundsPerWindow: s.rpw,
+		Draining:        s.isDraining(),
+		Streams:         s.ctrs.streams.Load(),
+		StreamsShed:     s.ctrs.streamsShed.Load(),
+		StreamsTorn:     s.ctrs.streamsTorn.Load(),
+		HungClients:     s.ctrs.hungClients.Load(),
+		RoundsReceived:  s.ctrs.roundsReceived.Load(),
+		CommittedRounds: s.ctrs.committedRounds.Load(),
+		TimeoutRounds:   s.ctrs.timeoutRounds.Load(),
+		DegradedRounds:  s.ctrs.degradedRounds.Load(),
+		ShedRounds:      s.ctrs.shedRounds.Load(),
+		FailedRounds:    s.ctrs.failedRounds.Load(),
+		DroppedRounds:   s.ctrs.droppedRounds.Load(),
+		DecodeErrors:    s.ctrs.decodeErrors.Load(),
+		Windows:         s.hist.Count(),
+		P50Ns:           int64(s.hist.Quantile(0.50)),
+		P99Ns:           int64(s.hist.Quantile(0.99)),
+		P999Ns:          int64(s.hist.Quantile(0.999)),
+	}
+}
+
+// Handler routes the service's three endpoints.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/statz", s.handleStatz)
+	mux.HandleFunc("/v1/stream", s.handleStream)
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.isDraining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.Stats())
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain stops intake and blocks until every active stream has flushed:
+// new requests are refused, blocked reads are aborted, windows already
+// received in full still decode, and each stream ends with a drained
+// trailer. Safe to call more than once and from any goroutine.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	//fpnvet:orderless every active stream gets the same abort; order cannot matter
+	for st := range s.streams {
+		st.abortRead()
+	}
+	if len(s.streams) == 0 {
+		s.drainOnce.Do(func() { close(s.drained) })
+	}
+	s.mu.Unlock()
+	<-s.drained
+}
+
+// Close stops the decode workers. Call after Drain; windows still
+// queued by undrained streams would be stranded.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.stopWorkers) })
+	s.workersWG.Wait()
+}
+
+func (s *Server) register(st *stream) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.streams[st] = struct{}{}
+	return true
+}
+
+func (s *Server) unregister(st *stream) {
+	s.mu.Lock()
+	delete(s.streams, st)
+	if s.draining && len(s.streams) == 0 {
+		s.drainOnce.Do(func() { close(s.drained) })
+	}
+	s.mu.Unlock()
+}
+
+// window is one round span's assembled syndrome: a detector bitset plus
+// its position in the stream. Windows are pooled; words are sized once
+// for the serving circuit.
+type window struct {
+	idx   int
+	words []uint64
+	st    *stream
+}
+
+func (w *window) bit(d int) bool { return w.words[d>>6]>>(uint(d)&63)&1 == 1 }
+
+func (s *Server) newWindow(st *stream, idx int) *window {
+	w := s.winPool.Get().(*window)
+	for i := range w.words {
+		w.words[i] = 0
+	}
+	w.idx, w.st = idx, st
+	return w
+}
+
+func (s *Server) releaseWindow(w *window) {
+	w.st = nil
+	s.winPool.Put(w)
+}
+
+// wres is one window's outcome on its way to the stream writer.
+type wres struct {
+	win    int
+	status string
+	dec    string
+	flips  []int
+}
+
+// stream is one live syndrome connection: the reader (handler
+// goroutine) assembles and submits windows; the writer goroutine
+// reorders finished windows and streams the result frames back.
+type stream struct {
+	srv        *Server
+	w          http.ResponseWriter
+	rc         *http.ResponseController
+	results    chan wres
+	noMore     chan struct{} // closed by the reader after its last submission
+	submitted  int           // results the writer must consume; reader-owned until noMore
+	writerDone chan struct{}
+	written    int  // result frames on the wire; writer-owned until writerDone
+	writeErr   bool // the client stopped reading; discard the rest
+	aborted    atomic.Bool
+}
+
+// abortRead forces any pending or future request read to fail
+// immediately — the drain wake-up. The flag closes the race with a
+// reader that is between frames: whichever of the deadline and the next
+// SetReadDeadline lands last, the read still aborts.
+func (st *stream) abortRead() {
+	st.aborted.Store(true)
+	_ = st.rc.SetReadDeadline(time.Unix(1, 0))
+}
+
+func (st *stream) writeFrame(payload any) error {
+	_ = st.rc.SetWriteDeadline(st.srv.clock.Now().Add(st.srv.writeTimeout))
+	if err := writeFrame(st.w, payload); err != nil {
+		return err
+	}
+	return st.rc.Flush()
+}
+
+// writer drains results until every submitted window has reported,
+// writing frames in strictly ascending window order. A write failure
+// (slow or gone client) flips the stream into discard mode — results
+// keep draining so decode workers never block on a dead stream.
+func (st *stream) writer() {
+	defer close(st.writerDone)
+	pending := map[int]wres{}
+	next := 0
+	received := 0
+	done := false
+	for {
+		if done && received == st.submitted {
+			return
+		}
+		var r wres
+		if done {
+			r = <-st.results
+		} else {
+			select {
+			case r = <-st.results:
+			case <-st.noMore:
+				done = true
+				continue
+			}
+		}
+		received++
+		pending[r.win] = r
+		for {
+			q, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if st.writeErr {
+				continue
+			}
+			if err := st.writeFrame(Result{Window: q.win, Status: q.status, Decoder: q.dec, Flips: q.flips}); err != nil {
+				st.writeErr = true
+				st.srv.logf("stream write failed at window %d: %v", q.win, err)
+				continue
+			}
+			st.written++
+		}
+	}
+}
+
+// streamEnd classifies how the reader finished.
+type streamEnd struct {
+	fatal         string // non-empty → written as a Fatal frame
+	torn          bool
+	hung          bool
+	drained       bool
+	droppedRounds int // rounds of a window that never completed
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "rtd: POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	select {
+	case s.admit <- struct{}{}:
+	default:
+		s.ctrs.streamsShed.Add(1)
+		http.Error(w, "rtd: stream limit reached, retry later", http.StatusTooManyRequests)
+		return
+	}
+	defer func() { <-s.admit }()
+	st := &stream{
+		srv:        s,
+		w:          w,
+		rc:         http.NewResponseController(w),
+		results:    make(chan wres, 16),
+		noMore:     make(chan struct{}),
+		writerDone: make(chan struct{}),
+	}
+	if !s.register(st) {
+		http.Error(w, "rtd: draining", http.StatusServiceUnavailable)
+		return
+	}
+	defer s.unregister(st)
+	s.ctrs.streams.Add(1)
+	// Full duplex lets result frames stream back while rounds are still
+	// arriving; without it (non-HTTP/1 transports) they buffer until the
+	// handler returns, which only costs latency, never correctness.
+	_ = st.rc.EnableFullDuplex()
+	w.Header().Set("Content-Type", "application/jsonl")
+
+	go st.writer()
+	end := s.readStream(st, r)
+	close(st.noMore)
+	<-st.writerDone
+
+	if end.torn {
+		s.ctrs.streamsTorn.Add(1)
+	}
+	if end.hung {
+		s.ctrs.hungClients.Add(1)
+	}
+	if end.droppedRounds > 0 {
+		s.ctrs.droppedRounds.Add(int64(end.droppedRounds))
+	}
+	// The reader owns the connection again now that the writer is done:
+	// fatal verdict (if any), then the counted trailer. The trailer
+	// counts result frames only.
+	if end.fatal != "" && !st.writeErr {
+		if err := st.writeFrame(Fatal{Err: end.fatal}); err != nil {
+			st.writeErr = true
+		}
+	}
+	if !st.writeErr {
+		_ = st.writeFrame(Trailer{End: st.written, Drained: end.drained})
+	}
+}
+
+// readStream consumes request frames until the trailer, a violation, a
+// hung client or a drain, assembling windows and submitting each
+// completed one for decode (or shedding it when the queue is full).
+func (s *Server) readStream(st *stream, r *http.Request) streamEnd {
+	br := bufio.NewReaderSize(r.Body, 64*1024)
+	readLine := func() ([]byte, error) {
+		_ = st.rc.SetReadDeadline(s.clock.Now().Add(s.readTimeout))
+		if st.aborted.Load() {
+			_ = st.rc.SetReadDeadline(time.Unix(1, 0))
+		}
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			return nil, err
+		}
+		return line, nil
+	}
+	classify := func(err error, partial int) streamEnd {
+		if errors.Is(err, os.ErrDeadlineExceeded) {
+			if s.isDraining() {
+				return streamEnd{drained: true, droppedRounds: partial}
+			}
+			return streamEnd{hung: true, droppedRounds: partial, fatal: "rtd: hung client: no frame within the read deadline"}
+		}
+		return streamEnd{torn: true, droppedRounds: partial, fatal: fmt.Sprintf("rtd: torn stream: %v", err)}
+	}
+
+	// Header first.
+	line, err := readLine()
+	if err != nil {
+		return classify(err, 0)
+	}
+	rec, err := decodeFrame(line)
+	if err != nil {
+		return streamEnd{torn: true, fatal: err.Error()}
+	}
+	var hdr Header
+	if err := json.Unmarshal(rec, &hdr); err != nil || hdr.Stream != StreamName {
+		return streamEnd{torn: true, fatal: fmt.Sprintf("rtd: stream must open with a %q header", StreamName)}
+	}
+	if hdr.Fingerprint != s.fp {
+		return streamEnd{fatal: fmt.Sprintf("rtd: fingerprint mismatch: client %s, serving %s (mismatched binaries or flags?)", hdr.Fingerprint, s.fp)}
+	}
+
+	var win *window // window being assembled, nil between windows
+	nextWin := 0    // index the next window must carry
+	partial := 0    // rounds buffered in win
+	rounds := 0     // round frames accepted in total
+	for {
+		line, err := readLine()
+		if err != nil {
+			return classify(err, partial)
+		}
+		rec, err := decodeFrame(line)
+		if err != nil {
+			return streamEnd{torn: true, droppedRounds: partial, fatal: err.Error()}
+		}
+		if tr, ok := probeTrailer(rec); ok {
+			if tr.End != rounds {
+				return streamEnd{torn: true, droppedRounds: partial, fatal: fmt.Sprintf("rtd: trailer claims %d rounds, stream carried %d", tr.End, rounds)}
+			}
+			if win != nil {
+				return streamEnd{torn: true, droppedRounds: partial, fatal: fmt.Sprintf("rtd: trailer inside window %d (round %d of %d)", win.idx, partial, s.rpw)}
+			}
+			return streamEnd{drained: s.isDraining()}
+		}
+		var rr Round
+		if err := json.Unmarshal(rec, &rr); err != nil {
+			return streamEnd{torn: true, droppedRounds: partial, fatal: fmt.Sprintf("rtd: bad round record: %v", err)}
+		}
+		if win == nil {
+			if rr.Window != nextWin || rr.Round != 0 {
+				return streamEnd{torn: true, droppedRounds: partial, fatal: fmt.Sprintf("rtd: out-of-order frame (w=%d r=%d, want w=%d r=0)", rr.Window, rr.Round, nextWin)}
+			}
+			win = s.newWindow(st, nextWin)
+			nextWin++
+		} else if rr.Window != win.idx || rr.Round != partial {
+			return streamEnd{torn: true, droppedRounds: partial, fatal: fmt.Sprintf("rtd: out-of-order frame (w=%d r=%d, want w=%d r=%d)", rr.Window, rr.Round, win.idx, partial)}
+		}
+		prev := -1
+		for _, d := range rr.Fired {
+			if d <= prev || d >= s.numDet {
+				s.releaseWindow(win)
+				return streamEnd{torn: true, droppedRounds: partial, fatal: fmt.Sprintf("rtd: window %d round %d: bad detector index %d", rr.Window, rr.Round, d)}
+			}
+			if s.roundOf[d] != rr.Round {
+				s.releaseWindow(win)
+				return streamEnd{torn: true, droppedRounds: partial, fatal: fmt.Sprintf("rtd: window %d round %d: detector %d belongs to round %d", rr.Window, rr.Round, d, s.roundOf[d])}
+			}
+			win.words[d>>6] |= 1 << (uint(d) & 63)
+			prev = d
+		}
+		partial++
+		rounds++
+		s.ctrs.roundsReceived.Add(1)
+		if partial == s.rpw {
+			s.submit(st, win)
+			win, partial = nil, 0
+		}
+	}
+}
+
+// submit hands a completed window to the decode queue, or sheds it with
+// an explicit verdict when the queue is full — bounded latency beats
+// silent backlog.
+func (s *Server) submit(st *stream, win *window) {
+	st.submitted++
+	select {
+	case s.queue <- win:
+	default:
+		s.ctrs.shedRounds.Add(int64(s.rpw))
+		st.results <- wres{win: win.idx, status: StatusShed}
+		s.releaseWindow(win)
+	}
+}
+
+// worker owns one primary decoder handle and decodes queued windows
+// until the server closes. A handle abandoned at a deadline stays with
+// its stuck goroutine; the worker reacquires, exactly like the sweep
+// engine's shard workers.
+func (s *Server) worker() {
+	defer s.workersWG.Done()
+	pd := s.o.Acquire()
+	defer func() { pd.Release() }()
+	for {
+		select {
+		case <-s.stopWorkers:
+			return
+		case win := <-s.queue:
+			res := s.decodeWindow(&pd, win)
+			st := win.st
+			s.releaseWindow(win)
+			st.results <- res
+		}
+	}
+}
+
+// attemptOut is one decode attempt's verdict.
+type attemptOut struct {
+	flips    []int
+	err      error
+	panicked any
+	hasPanic bool
+}
+
+// attempt runs one decode of win on pd, under the decode deadline when
+// one is set. timedOut means the attempt was abandoned: pd now belongs
+// to the stuck goroutine and must not be reused or released.
+func (s *Server) attempt(pd *experiment.PooledDecoder, win *window) (out attemptOut, timedOut bool) {
+	run := func() (o attemptOut) {
+		defer func() {
+			if r := recover(); r != nil {
+				o = attemptOut{hasPanic: true, panicked: r}
+			}
+		}()
+		corr, err := pd.Decode(win.bit)
+		if err != nil {
+			o.err = err
+			return o
+		}
+		// corr aliases the scratch arena; extract the flips before the
+		// handle decodes anything else.
+		for i, c := range corr {
+			if c {
+				o.flips = append(o.flips, i)
+			}
+		}
+		return o
+	}
+	if s.decTimeout <= 0 {
+		return run(), false
+	}
+	ch := make(chan attemptOut, 1) // buffered: an abandoned attempt's send never blocks
+	go func() { ch <- run() }()
+	timer := s.clock.After(s.decTimeout)
+	select {
+	case out = <-ch:
+	case <-timer:
+		select { // photo finish: a result that just landed beats the deadline
+		case out = <-ch:
+		default:
+			return attemptOut{}, true
+		}
+	}
+	return out, false
+}
+
+// decodeWindow runs the full degradation ladder for one window —
+// primary under deadline, then the fallback chain — and accounts for
+// every step. pd is replaced in place when the primary handle is
+// abandoned.
+func (s *Server) decodeWindow(pd **experiment.PooledDecoder, win *window) wres {
+	rpw := int64(s.rpw)
+	start := s.clock.Now()
+	finish := func(status, dec string, flips []int) wres {
+		lat := s.clock.Now().Sub(start)
+		s.hist.Record(lat)
+		if s.opt.OnLatency != nil {
+			s.opt.OnLatency(LatencySample{Window: win.idx, Status: status, Decoder: dec, Ns: int64(lat)})
+		}
+		return wres{win: win.idx, status: status, dec: dec, flips: flips}
+	}
+	out, timedOut := s.attempt(*pd, win)
+	if timedOut {
+		*pd = s.o.Acquire()
+		s.ctrs.timeoutRounds.Add(rpw)
+		s.logf("window %d: primary decode deadline %v exceeded, walking fallback chain", win.idx, s.decTimeout)
+	}
+	if !timedOut && !out.hasPanic {
+		if out.err != nil {
+			s.ctrs.decodeErrors.Add(1)
+			return finish(StatusError, s.decName, nil)
+		}
+		s.ctrs.committedRounds.Add(rpw)
+		return finish(StatusOK, s.decName, out.flips)
+	}
+	if out.hasPanic {
+		s.logf("window %d: primary decoder panicked: %v", win.idx, out.panicked)
+	}
+	for _, k := range s.fallback {
+		fd := s.o.AcquireFallback(k)
+		if fd == nil {
+			continue
+		}
+		fout, fTimedOut := s.attempt(fd, win)
+		if !fTimedOut {
+			fd.Release()
+		}
+		if fTimedOut || fout.hasPanic {
+			continue
+		}
+		if fout.err != nil {
+			s.ctrs.decodeErrors.Add(1)
+			return finish(StatusError, k.String(), nil)
+		}
+		s.ctrs.degradedRounds.Add(rpw)
+		s.ctrs.committedRounds.Add(rpw)
+		return finish(StatusDegraded, k.String(), fout.flips)
+	}
+	s.ctrs.failedRounds.Add(rpw)
+	if timedOut {
+		return finish(StatusDeadline, s.decName, nil)
+	}
+	return finish(StatusFailed, s.decName, nil)
+}

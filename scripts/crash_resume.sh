@@ -149,6 +149,45 @@ if [ ! -s "$dckpt/sweep.jsonl" ]; then
 fi
 echo "   checkpoint records: $(wc -l <"$dckpt/sweep.jsonl")"
 
+echo "== second signal must force-exit immediately (130)"
+# A first SIGINT starts the orderly drain; a second must kill the
+# process right away with the interrupted status — the escape hatch
+# when teardown wedges. The coordinator's -linger sleep is a
+# deterministic wedge: after the first signal the process sits in an
+# uninterruptible 60s pause, so only the force-exit path can explain
+# a prompt exit with the announce line.
+"$work/ber" "${args[@]}" -serve 127.0.0.1:0 -linger 60s \
+    >"$work/twosig.txt" 2>&1 &
+spid=$!
+sleep 1
+kill -INT "$spid" 2>/dev/null
+sleep 1
+kill -INT "$spid" 2>/dev/null
+deadline=$((SECONDS + 10))
+while kill -0 "$spid" 2>/dev/null; do
+    if [ "$SECONDS" -ge "$deadline" ]; then
+        echo "FAIL: doubly-signalled coordinator still alive after 10s (force-exit broken)" >&2
+        kill -9 "$spid" 2>/dev/null
+        exit 1
+    fi
+    sleep 0.1
+done
+set +e
+wait "$spid"
+status=$?
+set -e
+if [ "$status" -ne 130 ]; then
+    echo "FAIL: double SIGINT exited $status, want 130" >&2
+    cat "$work/twosig.txt" >&2
+    exit 1
+fi
+if ! grep -q "second signal; forcing exit" "$work/twosig.txt"; then
+    echo "FAIL: force-exit did not announce itself:" >&2
+    cat "$work/twosig.txt" >&2
+    exit 1
+fi
+echo "OK: second signal force-exited with status 130"
+
 echo "== distributed resume with fresh workers"
 "$work/ber" "${args[@]}" -serve 127.0.0.1:0 -checkpoint "$dckpt" -resume \
     >"$work/dist-resumed.txt" 2>"$work/dist-coord2.err" &
