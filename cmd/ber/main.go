@@ -144,7 +144,15 @@ func main() {
 			LeaseTTL: cfg.leaseTTL, Store: r.store, Resume: cfg.resume,
 			CheckpointEvery: checkpointEveryBlocks, Log: os.Stderr,
 		})
-		srv := &http.Server{Handler: co.Handler()}
+		// Every fabric exchange is one bounded JSON round trip (completion
+		// bodies cap at 16 MiB), so blanket read/write timeouts are safe;
+		// a wedged worker can never pin a coordinator connection open.
+		srv := &http.Server{
+			Handler:           co.Handler(),
+			ReadHeaderTimeout: 10 * time.Second,
+			ReadTimeout:       time.Minute,
+			WriteTimeout:      time.Minute,
+		}
 		go func() { _ = srv.Serve(ln) }()
 		// Parsed by scripts (crash_resume.sh) to discover a :0 port.
 		fmt.Fprintf(os.Stderr, "ber: serving fabric on %s\n", ln.Addr())

@@ -255,7 +255,14 @@ func runServer(cfg *cliConfig, o *experiment.Online) int {
 		fmt.Fprintln(os.Stderr, "decoded:", err)
 		return 1
 	}
-	hsrv := &http.Server{Handler: s.Handler()}
+	// Streams are long-lived by design, so no blanket read/write timeouts
+	// here — the rtd server arms per-frame deadlines itself. The header
+	// and idle timeouts bound everything outside an accepted stream.
+	hsrv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go func() { _ = hsrv.Serve(ln) }()
 	// Parsed by scripts (decoded_drain.sh) to discover a :0 port.
 	fmt.Fprintf(os.Stderr, "decoded: serving on %s (fingerprint %s)\n", ln.Addr(), o.Config().Fingerprint())

@@ -4,16 +4,20 @@
 // map handling (maporder), allocation-free decode hot paths (hotalloc),
 // complete checkpoint fingerprints (fingerprintcover), panic-safe
 // decoder entry points (recoverguard), no silently dropped errors
-// (errdrop), and wall-clock-free result paths in the distributed sweep
-// fabric (leaseguard).
+// (errdrop), wall-clock-free result paths in the distributed sweep
+// fabric (leaseguard), mutex-guarded shared state (guardedby), provable
+// goroutine exit paths (goexit), and deadline-dominated network I/O in
+// the service layers (netdeadline).
 //
 // Usage:
 //
 //	go run ./cmd/fpnvet ./...
 //
-// Findings print as "file:line: [analyzer] message"; the exit status is
-// 1 when there are findings, 2 on load or internal errors, 0 on a clean
-// tree. CI runs it next to go vet.
+// Findings print as "file:line: [analyzer] message"; with -json they
+// print as a JSON array of {file,line,analyzer,message} objects with
+// module-relative paths. The exit status is 1 when there are findings,
+// 2 on load or internal errors, 0 on a clean tree. CI runs it next to
+// go vet.
 package main
 
 import (
@@ -25,9 +29,12 @@ import (
 	"github.com/fpn/flagproxy/internal/analysis/detrand"
 	"github.com/fpn/flagproxy/internal/analysis/errdrop"
 	"github.com/fpn/flagproxy/internal/analysis/fingerprintcover"
+	"github.com/fpn/flagproxy/internal/analysis/goexit"
+	"github.com/fpn/flagproxy/internal/analysis/guardedby"
 	"github.com/fpn/flagproxy/internal/analysis/hotalloc"
 	"github.com/fpn/flagproxy/internal/analysis/leaseguard"
 	"github.com/fpn/flagproxy/internal/analysis/maporder"
+	"github.com/fpn/flagproxy/internal/analysis/netdeadline"
 	"github.com/fpn/flagproxy/internal/analysis/recoverguard"
 )
 
@@ -40,13 +47,17 @@ var all = []*analysis.Analyzer{
 	recoverguard.Analyzer,
 	errdrop.Analyzer,
 	leaseguard.Analyzer,
+	guardedby.Analyzer,
+	goexit.Analyzer,
+	netdeadline.Analyzer,
 }
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	only := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := flag.Bool("json", false, "print findings as a JSON array with module-relative paths")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: fpnvet [-list] [-run name,...] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: fpnvet [-list] [-json] [-run name,...] [packages]\n\n")
 		fmt.Fprintf(os.Stderr, "Runs the flag-proxy repo's static invariants over the given package\n")
 		fmt.Fprintf(os.Stderr, "patterns (default ./...). See EXPERIMENTS.md for the invariant docs.\n\n")
 		flag.PrintDefaults()
@@ -88,8 +99,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fpnvet:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *asJSON {
+		if err := analysis.WriteJSON(os.Stdout, prog.ModuleRoot, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "fpnvet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "fpnvet: %d finding(s)\n", len(diags))

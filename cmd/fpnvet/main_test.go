@@ -1,0 +1,28 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/fpn/flagproxy/internal/analysis"
+)
+
+// BenchmarkFpnvetModule measures one full CI static-analysis pass: load
+// and type-check the whole module, then run every analyzer. The load
+// dominates; the shared standard-library importer (load.go) makes
+// iterations after the first cheap, which is exactly the effect the
+// benchmark exists to watch.
+func BenchmarkFpnvetModule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		prog, err := analysis.Load(analysis.LoadConfig{Dir: "../.."}, "./...")
+		if err != nil {
+			b.Fatal(err)
+		}
+		diags, err := analysis.Run(prog, all)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(diags) != 0 {
+			b.Fatalf("module is not fpnvet-clean: %s (and %d more)", diags[0], len(diags)-1)
+		}
+	}
+}

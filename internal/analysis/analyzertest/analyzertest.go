@@ -5,10 +5,12 @@
 //	// want "regexp"
 //
 // comment whose pattern must match the diagnostic message reported on
-// that line. Findings without a matching want comment, and want
-// comments without a matching finding, both fail the test — so every
-// fixture simultaneously proves a true positive (the flagged line) and
-// a clean pass (every unannotated line).
+// that line. A line expecting several findings lists several quoted
+// patterns in one comment — // want "first" "second" — each of which
+// must be matched by a distinct diagnostic. Findings without a matching
+// want comment, and want comments without a matching finding, both fail
+// the test — so every fixture simultaneously proves a true positive
+// (the flagged line) and a clean pass (every unannotated line).
 package analyzertest
 
 import (
@@ -21,8 +23,13 @@ import (
 	"github.com/fpn/flagproxy/internal/analysis"
 )
 
-// wantRe extracts the quoted pattern of a want comment.
-var wantRe = regexp.MustCompile(`// want (".*")\s*$`)
+// wantRe matches the tail of a want comment: one or more quoted
+// patterns. wantPat then splits the tail into the individual patterns
+// (quote-aware, honoring backslash escapes inside them).
+var (
+	wantRe  = regexp.MustCompile(`// want ((?:"(?:[^"\\]|\\.)*"\s*)+)$`)
+	wantPat = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+)
 
 // expectation is one want comment of the fixture.
 type expectation struct {
@@ -83,16 +90,18 @@ func collectWants(t *testing.T, prog *analysis.Program, root string) []*expectat
 					if m == nil {
 						continue
 					}
-					pat, err := strconv.Unquote(m[1])
-					if err != nil {
-						t.Fatalf("bad want comment %q: %v", c.Text, err)
-					}
-					re, err := regexp.Compile(pat)
-					if err != nil {
-						t.Fatalf("bad want pattern %q: %v", pat, err)
-					}
 					pos := prog.Fset.Position(c.Slash)
-					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+					for _, quoted := range wantPat.FindAllString(m[1], -1) {
+						pat, err := strconv.Unquote(quoted)
+						if err != nil {
+							t.Fatalf("bad want comment %q: %v", c.Text, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("bad want pattern %q: %v", pat, err)
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+					}
 				}
 			}
 		}

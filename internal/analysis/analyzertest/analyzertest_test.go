@@ -1,0 +1,43 @@
+package analyzertest_test
+
+import (
+	"go/ast"
+	"testing"
+
+	"github.com/fpn/flagproxy/internal/analysis"
+	"github.com/fpn/flagproxy/internal/analysis/analyzertest"
+)
+
+// marker is a synthetic analyzer exercising the harness corners: it
+// reports two distinct findings on every return statement and one
+// finding on every call annotated //fpnvet:bounded — so the edge
+// fixture proves multi-pattern want comments, want comments that share
+// a comment with a directive, and build-tag exclusion in one load.
+var marker = &analysis.Analyzer{
+	Name: "marker",
+	Doc:  "synthetic: flags return statements twice and bounded-annotated calls once",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ReturnStmt:
+					pass.Report(n.Pos(), "alpha verdict")
+					pass.Report(n.Pos(), "beta verdict")
+				case *ast.CallExpr:
+					if pass.Prog.HasDirective(analysis.DirBounded, n.Pos()) {
+						pass.Report(n.Pos(), "bounded call")
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// TestEdgeFixture drives the harness over the edge fixture. The build-
+// tagged sibling in the fixture directory redeclares two(), so the test
+// passing also proves the loader and the want scan honor build tags.
+func TestEdgeFixture(t *testing.T) {
+	analyzertest.Run(t, marker, "testdata/edge")
+}

@@ -1,0 +1,16 @@
+// Package edge exercises the harness's corner cases: several expected
+// findings on one line, a want comment sharing its line (and its
+// comment) with an annotation directive, and a build-tagged sibling
+// file that must stay invisible to loading, the directive index and the
+// want scan alike.
+package edge
+
+func two() (int, int) {
+	return 1, 2 // want "alpha verdict" "beta verdict"
+}
+
+func annotated() {
+	sink() //fpnvet:bounded reason lives here // want "bounded call"
+}
+
+func sink() {}

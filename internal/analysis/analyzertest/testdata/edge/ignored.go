@@ -1,0 +1,17 @@
+//go:build ignore
+
+// This file is excluded by its build tag. If the loader ever parsed it,
+// the duplicate declaration of two would fail type-checking; if the
+// want scan ever read it, the stray expectation below would fail the
+// test as unmatched; if the directive index ever saw it, the bounded
+// annotation would not change anything visible (positions are
+// file-local) but the declarations would already have broken the load.
+package edge
+
+func two() (int, int) {
+	return 9, 9 // want "this expectation must never be seen"
+}
+
+func tagged() {
+	sink() //fpnvet:bounded never indexed
+}

@@ -27,6 +27,11 @@ func (pkg *Package) Callees(node ast.Node) []*types.Func {
 	return out
 }
 
+// CalleeOf resolves a call expression to the *types.Func it statically
+// invokes, or nil for dynamic and built-in calls — the per-site variant
+// of Callees, for analyzers that track facts at individual call sites.
+func (pkg *Package) CalleeOf(call *ast.CallExpr) *types.Func { return pkg.calleeOf(call) }
+
 // calleeOf resolves a call expression to the *types.Func it statically
 // invokes, or nil for dynamic and built-in calls.
 func (pkg *Package) calleeOf(call *ast.CallExpr) *types.Func {

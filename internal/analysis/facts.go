@@ -1,0 +1,315 @@
+package analysis
+
+// Interprocedural fact propagation over the static call graph. PR 4's
+// analyzers were intra-procedural (hotalloc walks call graphs but only
+// ever *prunes* on directives); the concurrency analyzers need facts
+// that flow *into* functions from their callers — "every caller holds
+// s.mu here", "the receiver has not been published to another goroutine
+// yet", "a read deadline is armed on this connection" — so helpers like
+// checkpoint.Store.flushLocked can be checked against the lock
+// discipline of their call sites instead of forcing an annotation onto
+// every locked helper.
+//
+// The model is deliberately simple: facts are opaque strings scoped to
+// the callee's frame, and the entry facts of a function are the
+// intersection (meet) over every visible static call site of the facts
+// the analyzer reports holding there. Starting from the empty set and
+// iterating to a fixed point yields the least solution — a fact can only
+// enter the system through an actual intra-procedural source (a Lock
+// call, a composite-literal construction, a SetReadDeadline) in some
+// ancestor, never through circular assumption.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// FactSet is a set of interprocedural facts. Keys are analyzer-chosen
+// strings in the callee's frame (e.g. "held:mu@recv").
+type FactSet map[string]bool
+
+// Clone returns an independent copy of s.
+func (s FactSet) Clone() FactSet {
+	out := make(FactSet, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+// equalFacts reports whether two fact sets hold the same facts.
+func equalFacts(a, b FactSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// meetInto intersects acc with facts, treating a nil acc as "no site
+// seen yet" (the identity of the meet).
+func meetInto(acc FactSet, facts FactSet, first bool) FactSet {
+	if first {
+		return facts.Clone()
+	}
+	for k := range acc {
+		if !facts[k] {
+			delete(acc, k)
+		}
+	}
+	return acc
+}
+
+// FlowFunc is the analyzer-supplied transfer function of EntryFacts: it
+// walks one function body under the given entry facts and calls emit
+// once per statically resolved call site with the facts holding there,
+// already translated into the callee's frame. Call sites inside
+// goroutine launches (`go f()`, calls within a spawned function literal)
+// must be emitted with the facts that survive the goroutine boundary —
+// usually none.
+type FlowFunc func(fn *types.Func, decl *ast.FuncDecl, pkg *Package, entry FactSet, emit func(callee *types.Func, facts FactSet))
+
+// EntryFacts computes, for every function declared in the program, the
+// facts guaranteed to hold on entry. Functions invocable from outside
+// the visible static call graph are pinned to the empty set: exported
+// functions (callable from tests and future packages), address-taken
+// functions (handler registrations, function-typed fields, method
+// values) and goroutine roots (a spawner's facts die at the `go`).
+func (p *Program) EntryFacts(flow FlowFunc) map[*types.Func]FactSet {
+	pinned := map[*types.Func]bool{}
+	for fn := range p.decls {
+		if fn.Exported() {
+			pinned[fn] = true
+		}
+	}
+	for fn := range p.AddressTaken() {
+		pinned[fn] = true
+	}
+	for fn := range p.GoSpawned() {
+		pinned[fn] = true
+	}
+
+	entries := map[*types.Func]FactSet{}
+	// Fixed point: the per-round recomputation is monotone increasing
+	// from the empty solution and the fact universe is finite, so this
+	// terminates; the cap is a backstop, not a tuning knob.
+	for round := 0; round < 64; round++ {
+		next := map[*types.Func]FactSet{}
+		seen := map[*types.Func]bool{}
+		for fn, d := range p.decls {
+			if d.decl.Body == nil {
+				continue
+			}
+			flow(fn, d.decl, d.pkg, entries[fn], func(callee *types.Func, facts FactSet) {
+				if _, ok := p.decls[callee]; !ok {
+					return
+				}
+				next[callee] = meetInto(next[callee], facts, !seen[callee])
+				seen[callee] = true
+			})
+		}
+		for fn := range pinned {
+			delete(next, fn)
+		}
+		stable := len(next) == len(entries)
+		if stable {
+			for fn, facts := range next {
+				if !equalFacts(facts, entries[fn]) {
+					stable = false
+					break
+				}
+			}
+		}
+		entries = next
+		if stable {
+			break
+		}
+	}
+	for fn := range entries {
+		if len(entries[fn]) == 0 {
+			delete(entries, fn)
+		}
+	}
+	return entries
+}
+
+// AddressTaken returns the set of declared functions whose value is
+// taken somewhere in the program — passed as an argument, assigned to a
+// variable or field, registered as a handler. Such functions can be
+// invoked from contexts the static call graph cannot see, so no
+// caller-derived fact may be assumed on their entry, and (for goexit's
+// purposes) they may run on any goroutine.
+func (p *Program) AddressTaken() map[*types.Func]bool {
+	p.factsOnce.Do(p.indexFactRoots)
+	return p.addressTaken
+}
+
+// GoSpawned returns the set of declared functions that appear as the
+// direct callee of a `go` statement anywhere in the program.
+func (p *Program) GoSpawned() map[*types.Func]bool {
+	p.factsOnce.Do(p.indexFactRoots)
+	return p.goSpawned
+}
+
+// GoroutineReachable returns every declared function reachable from a
+// goroutine root: the direct callees of `go` statements, the static
+// callees inside spawned function literals, and address-taken functions
+// (handlers and callbacks run on whatever goroutine invokes them), plus
+// everything they transitively call.
+func (p *Program) GoroutineReachable() map[*types.Func]bool {
+	p.factsOnce.Do(p.indexFactRoots)
+	return p.goReachable
+}
+
+// indexFactRoots scans the program once for address-taken functions, go
+// statement roots and the goroutine-reachable closure.
+func (p *Program) indexFactRoots() {
+	p.addressTaken = map[*types.Func]bool{}
+	p.goSpawned = map[*types.Func]bool{}
+
+	// callFuns collects the expression nodes that appear in call position
+	// so plain references can be told apart from invocations; selIdents
+	// collects the Sel identifier of every selector, whose reference
+	// semantics belong to the enclosing SelectorExpr, not the bare Ident.
+	callFuns := map[ast.Expr]bool{}
+	selIdents := map[*ast.Ident]bool{}
+	var litRoots []*types.Func
+	for _, pkg := range p.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.CallExpr:
+					callFuns[ast.Unparen(x.Fun)] = true
+				case *ast.SelectorExpr:
+					selIdents[x.Sel] = true
+				}
+				return true
+			})
+		}
+	}
+	for _, pkg := range p.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch e := n.(type) {
+				case *ast.GoStmt:
+					if fn := pkg.calleeOf(e.Call); fn != nil {
+						p.goSpawned[fn] = true
+					}
+					if lit, ok := ast.Unparen(e.Call.Fun).(*ast.FuncLit); ok {
+						litRoots = append(litRoots, pkg.Callees(lit.Body)...)
+					}
+				case *ast.Ident:
+					if callFuns[e] || selIdents[e] {
+						return true
+					}
+					if fn, ok := pkg.TypesInfo.Uses[e].(*types.Func); ok {
+						p.addressTaken[fn] = true
+					}
+				case *ast.SelectorExpr:
+					if callFuns[e] {
+						// Still descend: e.X may itself reference a function.
+						return true
+					}
+					if sel, ok := pkg.TypesInfo.Selections[e]; ok {
+						if fn, ok := sel.Obj().(*types.Func); ok {
+							p.addressTaken[fn] = true
+						}
+					} else if fn, ok := pkg.TypesInfo.Uses[e.Sel].(*types.Func); ok {
+						p.addressTaken[fn] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	var roots []*types.Func
+	for fn := range p.goSpawned {
+		roots = append(roots, fn)
+	}
+	for fn := range p.addressTaken {
+		roots = append(roots, fn)
+	}
+	roots = append(roots, litRoots...)
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Pos() < roots[j].Pos() })
+	p.goReachable = map[*types.Func]bool{}
+	p.Reachable(roots, func(fn *types.Func, decl *ast.FuncDecl, pkg *Package) bool {
+		p.goReachable[fn] = true
+		return true
+	})
+}
+
+// FreshLocals returns the objects of local variables in decl that are
+// only ever assigned freshly constructed values — &T{…}, T{…}, new(T) —
+// and therefore cannot have been published to another goroutine while
+// the function still runs (unless the function itself leaks them, which
+// the caller-side facts of EntryFacts account for at call boundaries).
+// Accesses through such variables need no lock: they are the
+// constructor idiom.
+func FreshLocals(pkg *Package, decl *ast.FuncDecl) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	poisoned := map[types.Object]bool{}
+	note := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := pkg.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pkg.TypesInfo.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		if rhs != nil && isFreshExpr(rhs) {
+			fresh[obj] = true
+		} else {
+			poisoned[obj] = true
+		}
+	}
+	ast.Inspect(decl, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if len(asg.Lhs) == len(asg.Rhs) {
+			for i := range asg.Lhs {
+				note(asg.Lhs[i], asg.Rhs[i])
+			}
+		} else {
+			for _, lhs := range asg.Lhs {
+				note(lhs, nil)
+			}
+		}
+		return true
+	})
+	for obj := range poisoned {
+		delete(fresh, obj)
+	}
+	return fresh
+}
+
+// isFreshExpr reports whether e constructs a brand-new value: a
+// composite literal, its address, or a new(T) call.
+func isFreshExpr(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			_, ok := ast.Unparen(x.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "new" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package goexit_test
+
+import (
+	"testing"
+
+	"github.com/fpn/flagproxy/internal/analysis/analyzertest"
+	"github.com/fpn/flagproxy/internal/analysis/goexit"
+)
+
+func TestFixture(t *testing.T) {
+	analyzertest.Run(t, goexit.Analyzer, "testdata/sim")
+}

@@ -1,0 +1,164 @@
+// Package sim is a goexit fixture masquerading as a result-affecting
+// package (the analyzer matches on package name). True positives —
+// exit-less infinite loops, WaitGroup misuse inside goroutines — sit
+// next to every sanctioned shape: for/select workers with done arms,
+// condition- and range-bounded loops, break exits, the Add-before-go /
+// deferred-Done contract, and //fpnvet:bounded escapes.
+package sim
+
+import (
+	"context"
+	"sync"
+)
+
+// The canonical worker: for/select with a ctx.Done return arm.
+func spin(ctx context.Context, jobs chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case j := <-jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+// An exit-less infinite loop in a goroutine literal.
+func leak(jobs chan int) {
+	go func() {
+		for { // want "infinite loop in goroutine-reachable goroutine literal has no return or break"
+			<-jobs
+		}
+	}()
+}
+
+// Direct-call spawns are checked at the callee's declaration.
+func run(ctx context.Context) {
+	go pump(ctx)
+}
+
+func pump(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+	}
+}
+
+func runBad() {
+	go drip()
+}
+
+func drip() {
+	for { // want "infinite loop in goroutine-reachable drip has no return or break"
+	}
+}
+
+// Condition- and range-bounded loops exit with their condition.
+func bounded(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+		}
+		for range make([]int, n) {
+		}
+	}()
+}
+
+// A break is an exit path.
+func poll(stop chan struct{}) {
+	go func() {
+		for {
+			if stopped(stop) {
+				break
+			}
+		}
+	}()
+}
+
+func stopped(stop chan struct{}) bool {
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// A bounded annotation on the go statement sanctions the whole spawn.
+func gen(out chan int) {
+	//fpnvet:bounded the receiver reads exactly once then both sides drop the channel
+	go func() {
+		for {
+			out <- 1
+		}
+	}()
+}
+
+// A bounded annotation on the loop itself sanctions just that loop.
+func churn(c chan int) {
+	go func() {
+		//fpnvet:bounded upstream closes c after one element in every caller
+		for {
+			<-c
+		}
+	}()
+}
+
+// The WaitGroup contract, done right: Add before go, deferred Done.
+func fan(wg *sync.WaitGroup, jobs []int) {
+	for range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+}
+
+// Add inside the goroutine races Wait.
+func addInside(wg *sync.WaitGroup) {
+	go func() { // want "goroutine calls wg.Done but no wg.Add precedes this go statement"
+		wg.Add(1) // want "wg.Add inside the spawned goroutine races Wait"
+		defer wg.Done()
+	}()
+}
+
+// A non-deferred Done leaks the count on panic.
+func eagerDone(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		wg.Done() // want "wg.Done in a spawned goroutine must be deferred"
+	}()
+}
+
+// Done with no Add anywhere before the spawn.
+func missingAdd(wg *sync.WaitGroup) {
+	go func() { // want "goroutine calls wg.Done but no wg.Add precedes this go statement"
+		defer wg.Done()
+	}()
+}
+
+// The struct-worker shape: Add in the spawner, deferred Done in the
+// direct-call worker body, exit through the stop channel.
+type pool struct {
+	wg   sync.WaitGroup
+	stop chan struct{}
+}
+
+func (p *pool) start() {
+	p.wg.Add(1)
+	go p.loop()
+}
+
+func (p *pool) loop() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.stop:
+			return
+		}
+	}
+}

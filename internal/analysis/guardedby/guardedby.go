@@ -1,0 +1,337 @@
+// Package guardedby enforces mutex discipline on the service-layer
+// structs: a field annotated //fpnvet:guardedby <mu> may only be read
+// or written while the named sibling mutex is held, and every other
+// field of a mutex-bearing struct that is touched from more than one
+// goroutine-reachable function must either carry that annotation or
+// //fpnvet:unguarded <why>. The -race detector only catches the
+// interleavings a test happens to schedule; this pins the locking
+// contract itself, so a new accessor added two PRs from now fails CI
+// instead of racing in production.
+//
+// Lock state is tracked intra-procedurally in statement order
+// (mu.Lock()/mu.Unlock() toggle it, defer mu.Unlock() holds to function
+// end, branches see a copy) and flows across static calls through
+// analysis.EntryFacts: an unexported helper whose every visible call
+// site holds s.mu is checked under that assumption — the flushLocked
+// idiom needs no annotation. Two escape hatches are built in: accesses
+// through a freshly constructed local (the constructor idiom) and
+// through a receiver that every caller passed freshly constructed (the
+// Store.load idiom) are exempt, because the value cannot have been
+// published to another goroutine yet. Closure bodies drop all inherited
+// state — a function literal may run on any goroutine at any time — but
+// locks acquired inside one count.
+package guardedby
+
+import (
+	"go/ast"
+	"go/types"
+	"sync"
+
+	"github.com/fpn/flagproxy/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "guardedby",
+	Doc: "fields annotated //fpnvet:guardedby <mu> are only accessed with the mutex held; " +
+		"unannotated fields of mutex-bearing structs shared across goroutines must be annotated",
+	Run: run,
+}
+
+// scope lists the package basenames policed: the concurrent service
+// layers and the stores they share.
+var scope = map[string]bool{
+	"fabric":     true,
+	"rtd":        true,
+	"experiment": true,
+	"checkpoint": true,
+}
+
+// fieldInfo is one field of a mutex-bearing struct.
+type fieldInfo struct {
+	owner    *types.Named
+	v        *types.Var
+	guard    string // mutex name from //fpnvet:guardedby ("" if none)
+	badGuard bool   // guard names no sibling mutex field
+	unguard  bool   // //fpnvet:unguarded present
+	exempt   bool   // internally synchronized type (sync.*, atomic.*, chan)
+
+	// Coverage accounting: the goroutine-reachable functions accessing
+	// the field (spawned-closure accesses count as their own context).
+	accessors map[*types.Func]bool
+	spawnAcc  bool
+}
+
+// progState is the program-wide computation shared by every per-package
+// Run call: the field registry, caller-derived entry facts, and the
+// goroutine-reachable set.
+type progState struct {
+	structs map[*types.Named]map[string]bool // mutex field names per struct
+	fields  map[*types.Var]*fieldInfo
+	entries map[*types.Func]analysis.FactSet
+	goReach map[*types.Func]bool
+}
+
+var states sync.Map // *analysis.Program → *progState
+
+func stateFor(prog *analysis.Program) *progState {
+	if st, ok := states.Load(prog); ok {
+		return st.(*progState)
+	}
+	st := buildState(prog)
+	states.Store(prog, st)
+	return st
+}
+
+func buildState(prog *analysis.Program) *progState {
+	st := &progState{
+		structs: map[*types.Named]map[string]bool{},
+		fields:  map[*types.Var]*fieldInfo{},
+		goReach: prog.GoroutineReachable(),
+	}
+	for _, pkg := range prog.Packages {
+		if !scope[pkg.Name] {
+			continue
+		}
+		sc := pkg.Types.Scope()
+		for _, name := range sc.Names() {
+			tn, ok := sc.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			stru, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			mutexes := map[string]bool{}
+			for i := 0; i < stru.NumFields(); i++ {
+				if isMutex(stru.Field(i).Type()) {
+					mutexes[stru.Field(i).Name()] = true
+				}
+			}
+			if len(mutexes) == 0 {
+				continue
+			}
+			st.structs[named] = mutexes
+			for i := 0; i < stru.NumFields(); i++ {
+				v := stru.Field(i)
+				if isMutex(v.Type()) {
+					continue
+				}
+				fi := &fieldInfo{owner: named, v: v, accessors: map[*types.Func]bool{}}
+				if arg, ok := prog.DirectiveArg(analysis.DirGuardedBy, v.Pos()); ok {
+					fi.guard = arg
+					fi.badGuard = !mutexes[arg]
+				}
+				fi.unguard = prog.HasDirective(analysis.DirUnguarded, v.Pos())
+				fi.exempt = isSelfSynced(v.Type())
+				st.fields[v] = fi
+			}
+		}
+	}
+
+	// Coverage pass: which functions touch each field, and from which
+	// goroutine contexts.
+	eachScopedDecl(prog, func(fn *types.Func, decl *ast.FuncDecl, pkg *analysis.Package) {
+		w := newWalker(pkg, st, decl, nil)
+		w.onAccess = func(sel *ast.SelectorExpr, fi *fieldInfo, held map[string]bool, c ctx) {
+			fi.accessors[fn] = true
+			if c.spawned {
+				fi.spawnAcc = true
+			}
+		}
+		w.walk(decl)
+	})
+
+	// Interprocedural lock facts.
+	st.entries = prog.EntryFacts(func(fn *types.Func, decl *ast.FuncDecl, pkg *analysis.Package, entry analysis.FactSet, emit func(*types.Func, analysis.FactSet)) {
+		if !scope[pkg.Name] {
+			return
+		}
+		w := newWalker(pkg, st, decl, entry)
+		w.onCall = func(call *ast.CallExpr, held map[string]bool, c ctx) {
+			callee := pkg.CalleeOf(call)
+			if callee == nil {
+				return
+			}
+			emit(callee, w.callFacts(call, held, c))
+		}
+		w.walk(decl)
+	})
+	return st
+}
+
+// callFacts computes the facts holding at a call site, translated into
+// the callee's frame. Only method calls on a concrete receiver carry
+// facts; held == nil marks a deferred call, whose run-time lock state is
+// unknowable here.
+func (w *walker) callFacts(call *ast.CallExpr, held map[string]bool, c ctx) analysis.FactSet {
+	facts := analysis.FactSet{}
+	if held == nil {
+		return facts
+	}
+	se, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return facts
+	}
+	msel, ok := w.pkg.TypesInfo.Selections[se]
+	if !ok || msel.Kind() != types.MethodVal {
+		return facts
+	}
+	x := ast.Unparen(se.X)
+	xkey := types.ExprString(x)
+	named := namedOf(msel.Recv())
+	if named == nil {
+		return facts
+	}
+	for mu := range w.state.structs[named] {
+		if held[xkey+"."+mu] || (!c.inLit && w.isRecv(x) && w.entry["held:"+mu+"@recv"]) {
+			facts["held:"+mu+"@recv"] = true
+		}
+	}
+	if !c.inLit && (w.isFresh(x) || (w.isRecv(x) && w.entry["fresh@recv"])) {
+		facts["fresh@recv"] = true
+	}
+	return facts
+}
+
+func run(pass *analysis.Pass) error {
+	st := stateFor(pass.Prog)
+
+	// Field-level findings, reported by the declaring package.
+	if scope[pass.Pkg.Name] {
+		for v, fi := range st.fields {
+			if v.Pkg() != pass.Pkg.Types {
+				continue
+			}
+			if fi.badGuard {
+				pass.Report(v.Pos(), "//fpnvet:guardedby %s on %s.%s names no sibling mutex field",
+					fi.guard, fi.owner.Obj().Name(), v.Name())
+				continue
+			}
+			if fi.guard != "" || fi.unguard || fi.exempt {
+				continue
+			}
+			n := 0
+			for fn := range fi.accessors {
+				if st.goReach[fn] {
+					n++
+				}
+			}
+			if fi.spawnAcc {
+				n++
+			}
+			if n >= 2 {
+				pass.Report(v.Pos(), "field %s.%s of a mutex-bearing struct is accessed from %d goroutine-reachable functions; annotate //fpnvet:guardedby <mu> or //fpnvet:unguarded <why>",
+					fi.owner.Obj().Name(), v.Name(), n)
+			}
+		}
+
+		// Access-level enforcement of annotated fields.
+		for _, f := range pass.Pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pass.Pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				w := newWalker(pass.Pkg, st, fd, st.entries[fn])
+				w.onAccess = func(sel *ast.SelectorExpr, fi *fieldInfo, held map[string]bool, c ctx) {
+					if fi.guard == "" || fi.badGuard {
+						return
+					}
+					x := ast.Unparen(sel.X)
+					if held[types.ExprString(x)+"."+fi.guard] {
+						return
+					}
+					if !c.inLit {
+						if w.isRecv(x) && w.entry["held:"+fi.guard+"@recv"] {
+							return
+						}
+						if w.isFresh(x) || (w.isRecv(x) && w.entry["fresh@recv"]) {
+							return
+						}
+					}
+					pass.Report(sel.Sel.Pos(), "access to %s.%s without holding %s (//fpnvet:guardedby %s)",
+						fi.owner.Obj().Name(), fi.v.Name(), fi.guard, fi.guard)
+				}
+				w.walk(fd)
+			}
+		}
+	}
+	return nil
+}
+
+// eachScopedDecl visits every function declaration of every in-scope
+// package.
+func eachScopedDecl(prog *analysis.Program, visit func(fn *types.Func, decl *ast.FuncDecl, pkg *analysis.Package)) {
+	for _, pkg := range prog.Packages {
+		if !scope[pkg.Name] {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					visit(fn, fd, pkg)
+				}
+			}
+		}
+	}
+}
+
+// isMutex reports whether t is sync.Mutex or sync.RWMutex (possibly
+// behind a pointer).
+func isMutex(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// isSelfSynced reports whether a field of type t needs no external
+// locking: the sync and sync/atomic types carry their own
+// synchronization, and channel operations are synchronized by the
+// runtime.
+func isSelfSynced(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "sync" || path == "sync/atomic"
+}
+
+// namedOf unwraps a (possibly pointer) type to its named form.
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

@@ -1,0 +1,12 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"github.com/fpn/flagproxy/internal/analysis/analyzertest"
+	"github.com/fpn/flagproxy/internal/analysis/guardedby"
+)
+
+func TestFixture(t *testing.T) {
+	analyzertest.Run(t, guardedby.Analyzer, "testdata/rtd")
+}

@@ -1,0 +1,149 @@
+// Package rtd is a guardedby fixture masquerading as the real rtd
+// package (the analyzer matches on package name). It pairs true
+// positives — unlocked accesses to annotated fields, shared unannotated
+// fields, closures relying on a lock they did not take — with every
+// sanctioned access pattern: lock/unlock windows, deferred unlocks,
+// locked helpers proven through call-site facts, constructor freshness,
+// and self-synchronized field types.
+package rtd
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// box exercises enforcement of an annotated field.
+type box struct {
+	mu  sync.Mutex
+	val int //fpnvet:guardedby mu
+}
+
+// Lock/deferred-unlock holds to function end; the locked-helper chain is
+// proven by its call sites.
+func (b *box) set(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.val = v
+	b.setLocked(v)
+}
+
+func (b *box) setLocked(v int) {
+	b.val = v // clean: every caller holds b.mu
+	b.chainLocked(v)
+}
+
+func (b *box) chainLocked(v int) {
+	b.val = v // clean: transitively locked through setLocked
+}
+
+// An explicit unlock ends the window mid-function.
+func (b *box) window() int {
+	b.mu.Lock()
+	v := b.val
+	b.mu.Unlock()
+	return v + b.val // want "access to box.val without holding mu"
+}
+
+// A helper with even one lock-free call site gets no held facts.
+func (b *box) mixed() {
+	b.mu.Lock()
+	b.halfLocked()
+	b.mu.Unlock()
+	b.halfLocked()
+}
+
+func (b *box) halfLocked() {
+	b.val++ // want "access to box.val without holding mu"
+}
+
+// Constructor freshness: a locally built value cannot be shared yet, and
+// that freshness follows the receiver into helpers.
+func newBox() *box {
+	b := &box{}
+	b.val = 1 // clean: fresh local
+	b.initDefaults()
+	return b
+}
+
+func (b *box) initDefaults() {
+	b.val = 2 // clean: receiver is freshly constructed at every call site
+}
+
+// Closures drop inherited lock state but honor their own locking.
+func (b *box) closures() {
+	b.mu.Lock()
+	stale := func() {
+		b.val++ // want "access to box.val without holding mu"
+	}
+	stale()
+	b.mu.Unlock()
+	fine := func() {
+		b.mu.Lock()
+		b.val++ // clean: lock acquired inside the literal
+		b.mu.Unlock()
+	}
+	fine()
+}
+
+// Guards match by access path, not just by field.
+type holder struct{ b *box }
+
+func use(h *holder) {
+	h.b.mu.Lock()
+	h.b.val = 3 // clean: locked through the same path
+	h.b.mu.Unlock()
+	h.b.val = 4 // want "access to box.val without holding mu"
+}
+
+// RLock counts as held for reads.
+type table struct {
+	rw   sync.RWMutex
+	rows map[int]string //fpnvet:guardedby rw
+}
+
+func (t *table) get(k int) string {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.rows[k] // clean
+}
+
+// stats exercises the coverage rule: hits is shared by two
+// goroutine-reachable functions with no annotation, total is sanctioned
+// by //fpnvet:unguarded, and the sync/atomic/chan fields need none.
+type stats struct {
+	mu    sync.Mutex
+	m     map[string]int //fpnvet:guardedby mu
+	hits  int            // want "accessed from 2 goroutine-reachable functions"
+	total int            //fpnvet:unguarded written once before any goroutine starts
+	n     atomic.Int64
+	done  chan struct{}
+}
+
+func (s *stats) bump() { s.hits++ }
+
+func (s *stats) read() int { return s.hits }
+
+func (s *stats) spin() {
+	go s.bump()
+	go func() { _ = s.read() }()
+}
+
+func (s *stats) setup() { s.total = 1 }
+
+func (s *stats) record(k string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		s.m = map[string]int{}
+	}
+	s.m[k]++
+	s.n.Add(1)
+}
+
+// A guardedby annotation must name a sibling mutex.
+type wrong struct {
+	mu sync.Mutex
+	v  int //fpnvet:guardedby lock // want "names no sibling mutex field"
+}
+
+func (w *wrong) get() int { return w.v }

@@ -1,0 +1,219 @@
+package guardedby
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/fpn/flagproxy/internal/analysis"
+)
+
+// ctx situates a point in a body: inLit is true inside any function
+// literal (whose run time is unknowable, so inherited lock state and
+// entry facts are void), spawned additionally marks literals launched by
+// a go statement (their accesses are goroutine-side by construction).
+type ctx struct {
+	inLit   bool
+	spawned bool
+}
+
+// walker simulates one function body in statement order, tracking which
+// lock expressions are held at each point. held is keyed by the printed
+// path of the mutex expression ("s.mu", "c.job.mu"): a guard only
+// matches an access through the same path, which is exactly the
+// discipline the annotation declares.
+type walker struct {
+	pkg   *analysis.Package
+	state *progState
+	entry analysis.FactSet
+	fresh map[types.Object]bool
+	recv  types.Object
+
+	onAccess func(sel *ast.SelectorExpr, fi *fieldInfo, held map[string]bool, c ctx)
+	onCall   func(call *ast.CallExpr, held map[string]bool, c ctx)
+}
+
+func newWalker(pkg *analysis.Package, st *progState, decl *ast.FuncDecl, entry analysis.FactSet) *walker {
+	w := &walker{pkg: pkg, state: st, entry: entry, fresh: analysis.FreshLocals(pkg, decl)}
+	if decl.Recv != nil && len(decl.Recv.List) == 1 && len(decl.Recv.List[0].Names) == 1 {
+		w.recv = pkg.TypesInfo.Defs[decl.Recv.List[0].Names[0]]
+	}
+	return w
+}
+
+func (w *walker) isRecv(x ast.Expr) bool {
+	id, ok := ast.Unparen(x).(*ast.Ident)
+	return ok && w.recv != nil && w.pkg.TypesInfo.Uses[id] == w.recv
+}
+
+func (w *walker) isFresh(x ast.Expr) bool {
+	id, ok := ast.Unparen(x).(*ast.Ident)
+	return ok && w.fresh[w.pkg.TypesInfo.Uses[id]]
+}
+
+func (w *walker) walk(decl *ast.FuncDecl) {
+	w.block(decl.Body.List, map[string]bool{}, ctx{})
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k := range held {
+		out[k] = true
+	}
+	return out
+}
+
+func (w *walker) block(list []ast.Stmt, held map[string]bool, c ctx) {
+	for _, st := range list {
+		w.stmt(st, held, c)
+	}
+}
+
+func (w *walker) stmt(st ast.Stmt, held map[string]bool, c ctx) {
+	switch s := st.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		w.block(s.List, held, c)
+	case *ast.ExprStmt:
+		w.exprs(held, c, s.X)
+		w.applyLock(s.X, held)
+	case *ast.AssignStmt:
+		w.exprs(held, c, s.Rhs...)
+		w.exprs(held, c, s.Lhs...)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					w.exprs(held, c, vs.Values...)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		w.exprs(held, c, s.Results...)
+	case *ast.IncDecStmt:
+		w.exprs(held, c, s.X)
+	case *ast.SendStmt:
+		w.exprs(held, c, s.Chan, s.Value)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held, c)
+	case *ast.IfStmt:
+		w.stmt(s.Init, held, c)
+		w.exprs(held, c, s.Cond)
+		w.block(s.Body.List, copyHeld(held), c)
+		if s.Else != nil {
+			w.stmt(s.Else, copyHeld(held), c)
+		}
+	case *ast.ForStmt:
+		w.stmt(s.Init, held, c)
+		w.exprs(held, c, s.Cond)
+		body := copyHeld(held)
+		w.block(s.Body.List, body, c)
+		w.stmt(s.Post, body, c)
+	case *ast.RangeStmt:
+		w.exprs(held, c, s.X)
+		w.block(s.Body.List, copyHeld(held), c)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init, held, c)
+		w.exprs(held, c, s.Tag)
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CaseClause)
+			h := copyHeld(held)
+			w.exprs(h, c, cc.List...)
+			w.block(cc.Body, h, c)
+		}
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init, held, c)
+		w.stmt(s.Assign, held, c)
+		for _, cl := range s.Body.List {
+			w.block(cl.(*ast.CaseClause).Body, copyHeld(held), c)
+		}
+	case *ast.SelectStmt:
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			h := copyHeld(held)
+			w.stmt(cc.Comm, h, c)
+			w.block(cc.Body, h, c)
+		}
+	case *ast.GoStmt:
+		w.launch(s.Call, held, c, true)
+	case *ast.DeferStmt:
+		w.launch(s.Call, held, c, false)
+	}
+}
+
+// launch handles go and defer: the call's arguments are evaluated now
+// (under the current lock state) but the call itself runs on another
+// goroutine or at return time, so no facts transfer into it. Notably a
+// deferred mu.Unlock leaves held untouched — the lock stays held for the
+// rest of the function, which is the whole point of the idiom.
+func (w *walker) launch(call *ast.CallExpr, held map[string]bool, c ctx, isGo bool) {
+	w.exprs(held, c, call.Args...)
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		w.block(lit.Body.List, map[string]bool{}, ctx{inLit: true, spawned: c.spawned || isGo})
+		return
+	}
+	w.exprs(held, c, call.Fun)
+	if w.onCall != nil {
+		// nil held: lock state at run time is unknowable.
+		w.onCall(call, nil, ctx{inLit: true, spawned: c.spawned || isGo})
+	}
+}
+
+// exprs scans expressions for field accesses and call sites under the
+// current lock state. Function-literal bodies are walked with a clean
+// slate: a closure may be stashed and run on any goroutine later, so
+// only locks it acquires itself count inside it.
+func (w *walker) exprs(held map[string]bool, c ctx, es ...ast.Expr) {
+	for _, e := range es {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				w.block(x.Body.List, map[string]bool{}, ctx{inLit: true, spawned: c.spawned})
+				return false
+			case *ast.CallExpr:
+				if w.onCall != nil {
+					w.onCall(x, held, c)
+				}
+			case *ast.SelectorExpr:
+				sel, ok := w.pkg.TypesInfo.Selections[x]
+				if !ok || sel.Kind() != types.FieldVal {
+					return true
+				}
+				v, ok := sel.Obj().(*types.Var)
+				if !ok {
+					return true
+				}
+				if fi := w.state.fields[v]; fi != nil && w.onAccess != nil {
+					w.onAccess(x, fi, held, c)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// applyLock updates held for a statement-level mu.Lock/RLock/Unlock/
+// RUnlock call on a mutex-typed expression.
+func (w *walker) applyLock(e ast.Expr, held map[string]bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	tv, ok := w.pkg.TypesInfo.Types[sel.X]
+	if !ok || !isMutex(tv.Type) {
+		return
+	}
+	key := types.ExprString(ast.Unparen(sel.X))
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		held[key] = true
+	case "Unlock", "RUnlock":
+		delete(held, key)
+	}
+}

@@ -1,0 +1,42 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+)
+
+// jsonDiagnostic is the machine-readable rendering of one finding. File
+// is module-root-relative with forward slashes so output is stable
+// across checkouts and operating systems — CI can diff two runs
+// directly.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON renders findings as an indented JSON array (empty slice, not
+// null, when there are none). File paths are made relative to moduleRoot
+// when they lie under it.
+func WriteJSON(w io.Writer, moduleRoot string, diags []Diagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if moduleRoot != "" {
+			if rel, err := filepath.Rel(moduleRoot, file); err == nil && filepath.IsLocal(rel) {
+				file = rel
+			}
+		}
+		out = append(out, jsonDiagnostic{
+			File:     filepath.ToSlash(file),
+			Line:     d.Pos.Line,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,61 @@
+package analysis_test
+
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/fpn/flagproxy/internal/analysis"
+)
+
+// TestWriteJSONGolden pins the machine-readable finding format byte for
+// byte: module-relative forward-slash paths, absolute paths left alone
+// when they fall outside the root, and a literal [] (never null) for a
+// clean run — CI consumers diff this output directly.
+func TestWriteJSONGolden(t *testing.T) {
+	root := filepath.FromSlash("/repo")
+	outside := filepath.FromSlash("/elsewhere/vendor.go")
+	diags := []analysis.Diagnostic{
+		{
+			Pos:      token.Position{Filename: filepath.Join(root, "internal", "sim", "engine.go"), Line: 42},
+			Analyzer: "detrand",
+			Message:  `call to math/rand.Int in a result-affecting package; use the seeded *rand.Rand`,
+		},
+		{
+			Pos:      token.Position{Filename: outside, Line: 7},
+			Analyzer: "netdeadline",
+			Message:  "http.Client literal sets no Timeout",
+		},
+	}
+	var sb strings.Builder
+	if err := analysis.WriteJSON(&sb, root, diags); err != nil {
+		t.Fatal(err)
+	}
+	golden := `[
+  {
+    "file": "internal/sim/engine.go",
+    "line": 42,
+    "analyzer": "detrand",
+    "message": "call to math/rand.Int in a result-affecting package; use the seeded *rand.Rand"
+  },
+  {
+    "file": "` + filepath.ToSlash(outside) + `",
+    "line": 7,
+    "analyzer": "netdeadline",
+    "message": "http.Client literal sets no Timeout"
+  }
+]
+`
+	if got := sb.String(); got != golden {
+		t.Errorf("WriteJSON output mismatch:\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+
+	sb.Reset()
+	if err := analysis.WriteJSON(&sb, root, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); got != "[]\n" {
+		t.Errorf("WriteJSON of no findings = %q, want %q", got, "[]\n")
+	}
+}

@@ -10,3 +10,7 @@ import (
 func TestFixture(t *testing.T) {
 	analyzertest.Run(t, leaseguard.Analyzer, "testdata/fabric")
 }
+
+func TestRTDFixture(t *testing.T) {
+	analyzertest.Run(t, leaseguard.Analyzer, "testdata/rtd")
+}

@@ -1,0 +1,76 @@
+// Package rtd is a leaseguard fixture masquerading as the real rtd
+// package (the analyzer matches on package name). It mirrors the
+// service's clock-seam idioms — the injectable Clock interface, the
+// annotated wall-clock default behind it, latency accounting and
+// deadline arming through the seam — next to the unannotated clock
+// reads each of those idioms exists to prevent.
+package rtd
+
+import "time"
+
+// Clock is the seam: everything time-shaped flows through it.
+type Clock interface {
+	Now() time.Time
+	After(d time.Duration) <-chan time.Time
+}
+
+// wallClock is the production Clock, the one sanctioned home of the
+// machine clock.
+type wallClock struct{}
+
+//fpnvet:wallclock default clock behind the injectable seam
+func (wallClock) Now() time.Time { return time.Now() }
+
+//fpnvet:wallclock default clock behind the injectable seam
+func (wallClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+type server struct{ clock Clock }
+
+// Latency accounting goes through the seam; interface method calls are
+// not package-qualified clock reads and stay clean.
+func (s *server) observe(start time.Time) time.Duration {
+	return s.clock.Now().Sub(start) // clean: seam call
+}
+
+func (s *server) observeBad(start time.Time) time.Duration {
+	return time.Since(start) // want "wall-clock call time.Since"
+}
+
+// Deadline arming: seam-derived instants are clean, raw samples are not.
+func (s *server) deadline(d time.Duration) time.Time {
+	return s.clock.Now().Add(d) // clean: seam call plus pure arithmetic
+}
+
+func (s *server) deadlineBad(d time.Duration) time.Time {
+	return time.Now().Add(d) // want "wall-clock call time.Now"
+}
+
+// Decode-attempt timers arm through the seam too.
+func (s *server) decodeTimer(d time.Duration) <-chan time.Time {
+	return s.clock.After(d) // clean: seam call
+}
+
+func rawTimer(d time.Duration) <-chan time.Time {
+	return time.After(d) // want "wall-clock call time.After"
+}
+
+// Periodic stats flushing must not grow its own scheduler.
+func statsLoop(flush func()) {
+	go func() {
+		for range time.Tick(time.Second) { // want "wall-clock call time.Tick"
+			flush()
+		}
+	}()
+	_ = time.AfterFunc(time.Minute, flush) // want "wall-clock call time.AfterFunc"
+}
+
+// Timeout configuration is pure duration values, never the clock.
+func timeouts(read, write time.Duration) time.Duration {
+	if read <= 0 {
+		read = 30 * time.Second
+	}
+	if write <= 0 {
+		write = 30 * time.Second
+	}
+	return read + write
+}

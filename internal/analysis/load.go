@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, parsed and type-checked package of the module
@@ -41,6 +42,12 @@ type Program struct {
 	byPath map[string]*Package
 	decls  map[*types.Func]*funcDecl
 	notes  *noteIndex
+
+	// Lazily built fact-propagation indexes (facts.go).
+	factsOnce    sync.Once
+	addressTaken map[*types.Func]bool
+	goSpawned    map[*types.Func]bool
+	goReachable  map[*types.Func]bool
 }
 
 // funcDecl ties a function declaration to its defining package.
@@ -198,7 +205,6 @@ type loader struct {
 	prog    *Program
 	parsed  map[string]*parsedPkg
 	loading map[string]bool
-	std     types.Importer
 }
 
 // load parses, recursively loads the module-internal imports of, and
@@ -217,13 +223,9 @@ func (l *loader) load(dir string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	var files []*ast.File
-	for _, name := range bp.GoFiles {
-		f, err := parser.ParseFile(l.prog.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
-		if err != nil {
-			return nil, err
-		}
-		files = append(files, f)
+	files, err := parseAll(l.prog.Fset, dir, bp.GoFiles)
+	if err != nil {
+		return nil, err
 	}
 	// Load intra-module dependencies first so the type-checker's
 	// importer can serve them from the program.
@@ -288,10 +290,53 @@ func (l *loader) Import(path string) (*types.Package, error) {
 		}
 		return pkg.Types, nil
 	}
-	if l.std == nil {
-		l.std = importer.ForCompiler(l.prog.Fset, "source", nil)
+	return importStd(path)
+}
+
+// parseAll parses one package's files concurrently. token.FileSet and
+// the parser are safe for concurrent use; the result keeps the input
+// order so downstream indexes are deterministic.
+func parseAll(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			files[i], errs[i] = parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		}(i, name)
 	}
-	return l.std.Import(path)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return files, nil
+}
+
+// The standard library is type-checked from GOROOT source, which costs a
+// couple of seconds — far more than the module itself. The result is
+// immutable and identical for every Load call in a process, so one
+// importer (with its own FileSet) is shared by all of them: the
+// analyzertest suite and the fpnvet driver pay for the stdlib once
+// instead of once per fixture. Module code never resolves positions of
+// stdlib objects, so the separate FileSet is invisible to analyzers.
+var std struct {
+	mu   sync.Mutex
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+func importStd(path string) (*types.Package, error) {
+	std.mu.Lock()
+	defer std.mu.Unlock()
+	if std.imp == nil {
+		std.fset = token.NewFileSet()
+		std.imp = importer.ForCompiler(std.fset, "source", nil)
+	}
+	return std.imp.Import(path)
 }
 
 // indexDecls builds the program-wide *types.Func → declaration map used

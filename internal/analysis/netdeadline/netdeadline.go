@@ -1,0 +1,545 @@
+// Package netdeadline enforces bounded network waits in the service
+// packages (internal/fabric, internal/rtd). A blocking read or write
+// with no deadline lets one slow or wedged peer pin a goroutine — and
+// through it a worker slot, a lease, or a drain — forever. Three checks:
+//
+//  1. Blocking I/O sites must be dominated by a deadline. Sites are
+//     reads on request/response bodies (traced through wrappers like
+//     bufio.NewReaderSize and http.MaxBytesReader into the readers they
+//     return), reads and writes on net.Conn-like values, writes to
+//     http.ResponseWriter (directly or through http.Error, fmt.Fprintf,
+//     io.Copy, json.NewEncoder chains). A site is satisfied by a
+//     SetReadDeadline/SetWriteDeadline/SetDeadline call earlier in the
+//     function (http.NewResponseController arms the underlying
+//     connection the same way), by every caller having armed one
+//     (propagated through analysis.EntryFacts), or by an explicit
+//     //fpnvet:nodeadline <why> on the site or its function — the
+//     honest escape when the bound lives elsewhere, e.g. in the serving
+//     http.Server's timeouts.
+//
+//  2. HTTP clients must bound their requests: an http.Client composite
+//     literal without a Timeout, or any use of http.DefaultClient /
+//     the package-level http.Get family (which have none), is a finding
+//     unless annotated.
+//
+//  3. Module-wide, every http.Server composite literal must set
+//     ReadHeaderTimeout (or ReadTimeout, which subsumes it): without it
+//     an idle peer can hold pre-handler connections open indefinitely,
+//     and the handler-level annotations that cite server timeouts
+//     would cite configuration that does not exist.
+package netdeadline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/fpn/flagproxy/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "netdeadline",
+	Doc: "blocking reads/writes on connections and request/response bodies in the service " +
+		"packages must be dominated by a deadline (or annotated //fpnvet:nodeadline), HTTP " +
+		"clients must set Timeout, and http.Server literals must set ReadHeaderTimeout",
+	Run: run,
+}
+
+// scope lists the packages whose I/O sites are policed.
+var scope = map[string]bool{"fabric": true, "rtd": true}
+
+const (
+	factRead  = "rdeadline"
+	factWrite = "wdeadline"
+)
+
+var entriesCache sync.Map // *analysis.Program → map[*types.Func]analysis.FactSet
+
+func entriesFor(prog *analysis.Program) map[*types.Func]analysis.FactSet {
+	if e, ok := entriesCache.Load(prog); ok {
+		return e.(map[*types.Func]analysis.FactSet)
+	}
+	entries := prog.EntryFacts(func(fn *types.Func, decl *ast.FuncDecl, pkg *analysis.Package, entry analysis.FactSet, emit func(*types.Func, analysis.FactSet)) {
+		if !scope[pkg.Name] {
+			return
+		}
+		sc := scanBody(pkg, decl.Body)
+		for _, c := range sc.calls {
+			callee := pkg.CalleeOf(c.call)
+			if callee == nil {
+				continue
+			}
+			facts := analysis.FactSet{}
+			if !c.launched {
+				if sc.armed(factRead, c.pos, c.scope, entry) {
+					facts[factRead] = true
+				}
+				if sc.armed(factWrite, c.pos, c.scope, entry) {
+					facts[factWrite] = true
+				}
+			}
+			emit(callee, facts)
+		}
+	})
+	entriesCache.Store(prog, entries)
+	return entries
+}
+
+func run(pass *analysis.Pass) error {
+	// Module-wide server hygiene.
+	checkServerLiterals(pass)
+
+	if !scope[pass.Pkg.Name] {
+		return nil
+	}
+	entries := entriesFor(pass.Prog)
+	checkClients(pass)
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if pass.Prog.FuncHasDirective(analysis.DirNodeadline, fd) {
+				continue
+			}
+			var entry analysis.FactSet
+			if fn, _ := pass.Pkg.TypesInfo.Defs[fd.Name].(*types.Func); fn != nil {
+				entry = entries[fn]
+			}
+			sc := scanBody(pass.Pkg, fd.Body)
+			for _, s := range sc.sites {
+				if pass.Prog.HasDirective(analysis.DirNodeadline, s.pos) {
+					continue
+				}
+				if sc.armed(s.kind, s.pos, s.scope, entry) {
+					continue
+				}
+				what := map[string]string{factRead: "read", factWrite: "write"}[s.kind]
+				deadline := map[string]string{factRead: "SetReadDeadline", factWrite: "SetWriteDeadline"}[s.kind]
+				pass.Report(s.pos, "blocking %s %s has no dominating %s; arm a deadline or annotate //fpnvet:nodeadline <why>",
+					what, s.desc, deadline)
+			}
+		}
+	}
+	return nil
+}
+
+// checkServerLiterals flags http.Server composite literals that set
+// neither ReadHeaderTimeout nor ReadTimeout.
+func checkServerLiterals(pass *analysis.Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok || !isNetHTTPType(pass.Pkg.TypesInfo.Types[cl].Type, "Server") {
+				return true
+			}
+			if pass.Prog.HasDirective(analysis.DirNodeadline, cl.Pos()) {
+				return true
+			}
+			for _, elt := range cl.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok &&
+						(id.Name == "ReadHeaderTimeout" || id.Name == "ReadTimeout") {
+						return true
+					}
+				}
+			}
+			pass.Report(cl.Pos(), "http.Server literal sets no ReadHeaderTimeout; an idle peer can hold connections open forever")
+			return true
+		})
+	}
+}
+
+// checkClients flags unbounded HTTP clients: literals without Timeout
+// and uses of the package-level default client.
+func checkClients(pass *analysis.Pass) {
+	defaultFns := map[string]bool{"Get": true, "Post": true, "PostForm": true, "Head": true}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CompositeLit:
+				if !isNetHTTPType(pass.Pkg.TypesInfo.Types[x].Type, "Client") {
+					return true
+				}
+				if pass.Prog.HasDirective(analysis.DirNodeadline, x.Pos()) {
+					return true
+				}
+				for _, elt := range x.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Timeout" {
+							return true
+						}
+					}
+				}
+				pass.Report(x.Pos(), "http.Client literal sets no Timeout; a wedged peer blocks every request forever")
+			case *ast.SelectorExpr:
+				// Only package-qualified references (http.Get, not
+				// client.Get): the X must be the net/http package name.
+				id, ok := ast.Unparen(x.X).(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if _, ok := pass.Pkg.TypesInfo.Uses[id].(*types.PkgName); !ok {
+					return true
+				}
+				obj := pass.Pkg.TypesInfo.Uses[x.Sel]
+				if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "net/http" {
+					return true
+				}
+				if pass.Prog.HasDirective(analysis.DirNodeadline, x.Pos()) {
+					return true
+				}
+				if x.Sel.Name == "DefaultClient" {
+					pass.Report(x.Pos(), "http.DefaultClient has no Timeout; use a client with one or annotate //fpnvet:nodeadline <why>")
+				} else if _, isFn := obj.(*types.Func); isFn && defaultFns[x.Sel.Name] {
+					pass.Report(x.Pos(), "http.%s uses the timeout-less default client; use a client with a Timeout or annotate //fpnvet:nodeadline <why>", x.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// arm is one Set*Deadline call; scope identifies the function literal it
+// sits in ("" for the function body proper).
+type arm struct {
+	kind  string // factRead, factWrite, or "" for SetDeadline (both)
+	pos   token.Pos
+	scope string
+}
+
+// ioSite is one blocking read or write.
+type ioSite struct {
+	kind  string
+	desc  string
+	pos   token.Pos
+	scope string
+}
+
+// callSite is one static call, for fact propagation.
+type callSite struct {
+	call     *ast.CallExpr
+	pos      token.Pos
+	scope    string
+	launched bool // go or defer: runs under unknowable deadline state
+}
+
+type scanResult struct {
+	pkg   *analysis.Package
+	arms  []arm
+	sites []ioSite
+	calls []callSite
+}
+
+// armed reports whether a deadline of the given kind is armed at pos: an
+// entry fact from every caller, or an earlier Set call in the same or an
+// enclosing literal scope (a deadline set on the connection before a
+// closure was created still bounds I/O inside it).
+func (sc *scanResult) armed(kind string, pos token.Pos, scope string, entry analysis.FactSet) bool {
+	if entry[kind] {
+		return true
+	}
+	for _, a := range sc.arms {
+		if a.pos < pos && (a.kind == kind || a.kind == "") && strings.HasPrefix(scope, a.scope) {
+			return true
+		}
+	}
+	return false
+}
+
+// readMethods are methods whose call on a body-tainted value blocks on
+// the network.
+var readMethods = map[string]bool{
+	"Read": true, "ReadByte": true, "ReadBytes": true, "ReadString": true,
+	"ReadSlice": true, "ReadLine": true, "ReadRune": true, "Decode": true,
+}
+
+// writeMethods are methods whose call on a client-facing writer blocks
+// on the network.
+var writeMethods = map[string]bool{
+	"Write": true, "WriteString": true, "Flush": true, "Encode": true, "ReadFrom": true,
+}
+
+// readFuncs are package functions that block reading their tainted
+// argument.
+var readFuncs = map[string]bool{
+	"io.ReadAll": true, "io.ReadFull": true, "io.Copy": true, "io.CopyN": true,
+}
+
+// writeFuncs block writing to the writer passed in the named argument
+// position.
+var writeFuncs = map[string]int{
+	"http.Error": 0, "http.NotFound": 0, "http.Redirect": 0, "http.ServeContent": 0,
+	"fmt.Fprintf": 0, "fmt.Fprintln": 0, "fmt.Fprint": 0,
+	"io.WriteString": 0, "io.Copy": 0, "io.CopyN": 0,
+}
+
+// scanBody walks one function body collecting deadline arms, blocking
+// I/O sites, and call sites, each tagged with its literal scope.
+func scanBody(pkg *analysis.Package, body *ast.BlockStmt) *scanResult {
+	sc := &scanResult{pkg: pkg}
+	taintR := sc.taintedReaders(body)
+	taintW := sc.taintedWriters(body)
+
+	litScope := func(scope string, lit *ast.FuncLit) string {
+		return scope + "/" + strconv.Itoa(int(lit.Pos()))
+	}
+	var walk func(n ast.Node, scope string, launched bool)
+	visit := func(n ast.Node, scope string, launched bool) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			walk(x.Body, litScope(scope, x), launched)
+			return false
+		case *ast.GoStmt, *ast.DeferStmt:
+			var call *ast.CallExpr
+			if g, ok := n.(*ast.GoStmt); ok {
+				call = g.Call
+			} else {
+				call = n.(*ast.DeferStmt).Call
+			}
+			for _, a := range call.Args {
+				walk(a, scope, launched)
+			}
+			if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+				walk(lit.Body, litScope(scope, lit), true)
+			} else {
+				sc.calls = append(sc.calls, callSite{call, call.Pos(), scope, true})
+			}
+			return false
+		case *ast.CallExpr:
+			sc.call(x, scope, launched, taintR, taintW)
+		}
+		return true
+	}
+	walk = func(n ast.Node, scope string, launched bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == nil {
+				return false
+			}
+			return visit(m, scope, launched)
+		})
+	}
+	walk(body, "", false)
+	return sc
+}
+
+// call classifies one call expression: a deadline arm, a blocking site,
+// and/or a static call site for fact propagation.
+func (sc *scanResult) call(call *ast.CallExpr, scope string, launched bool, taintR, taintW map[types.Object]bool) {
+	sc.calls = append(sc.calls, callSite{call, call.Pos(), scope, launched})
+
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		switch sel.Sel.Name {
+		case "SetReadDeadline":
+			sc.arms = append(sc.arms, arm{factRead, call.Pos(), scope})
+			return
+		case "SetWriteDeadline":
+			sc.arms = append(sc.arms, arm{factWrite, call.Pos(), scope})
+			return
+		case "SetDeadline":
+			sc.arms = append(sc.arms, arm{"", call.Pos(), scope})
+			return
+		}
+
+		x := ast.Unparen(sel.X)
+		if readMethods[sel.Sel.Name] {
+			if isConnLike(sc.typeOf(x)) {
+				sc.sites = append(sc.sites, ioSite{factRead, "on the connection", call.Pos(), scope})
+				return
+			}
+			if sc.isTaintedR(x, taintR) {
+				sc.sites = append(sc.sites, ioSite{factRead, "on request/response body", call.Pos(), scope})
+				return
+			}
+		}
+		if writeMethods[sel.Sel.Name] && sc.isTaintedW(x, taintW) {
+			sc.sites = append(sc.sites, ioSite{factWrite, "to the client connection", call.Pos(), scope})
+			return
+		}
+	}
+
+	name := qualifiedName(sc.pkg, call.Fun)
+	if readFuncs[name] {
+		for _, a := range call.Args {
+			if sc.isTaintedR(a, taintR) {
+				sc.sites = append(sc.sites, ioSite{factRead, "on request/response body", call.Pos(), scope})
+				return
+			}
+		}
+	}
+	if idx, ok := writeFuncs[name]; ok && idx < len(call.Args) && sc.isTaintedW(call.Args[idx], taintW) {
+		sc.sites = append(sc.sites, ioSite{factWrite, "to the client connection", call.Pos(), scope})
+	}
+}
+
+// taintedReaders computes the local variables holding (wrappers of) a
+// request or response body. Two passes let a taint flow through one
+// intermediate assignment regardless of statement order.
+func (sc *scanResult) taintedReaders(body *ast.BlockStmt) map[types.Object]bool {
+	tainted := map[types.Object]bool{}
+	isT := func(e ast.Expr) bool { return sc.isTaintedR(e, tainted) }
+	for i := 0; i < 2; i++ {
+		sc.propagate(body, tainted, isT)
+	}
+	return tainted
+}
+
+// taintedWriters computes the local variables holding (wrappers of) a
+// client-facing writer.
+func (sc *scanResult) taintedWriters(body *ast.BlockStmt) map[types.Object]bool {
+	tainted := map[types.Object]bool{}
+	isT := func(e ast.Expr) bool { return sc.isTaintedW(e, tainted) }
+	for i := 0; i < 2; i++ {
+		sc.propagate(body, tainted, isT)
+	}
+	return tainted
+}
+
+// propagate marks assignment targets whose right-hand side is tainted.
+func (sc *scanResult) propagate(body *ast.BlockStmt, tainted map[types.Object]bool, isT func(ast.Expr) bool) {
+	mark := func(lhs, rhs ast.Expr) {
+		if rhs == nil || !isT(rhs) {
+			return
+		}
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+			if obj := sc.pkg.TypesInfo.Defs[id]; obj != nil {
+				tainted[obj] = true
+			} else if obj := sc.pkg.TypesInfo.Uses[id]; obj != nil {
+				tainted[obj] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if asg, ok := n.(*ast.AssignStmt); ok && len(asg.Lhs) == len(asg.Rhs) {
+			for i := range asg.Lhs {
+				mark(asg.Lhs[i], asg.Rhs[i])
+			}
+		}
+		return true
+	})
+}
+
+// isTaintedR reports whether e reads from a request/response body: the
+// .Body selector itself, a tainted local, or a call wrapping a tainted
+// argument (bufio.NewReaderSize, http.MaxBytesReader, io.LimitReader,
+// json.NewDecoder all return readers that still block on the peer).
+func (sc *scanResult) isTaintedR(e ast.Expr, tainted map[types.Object]bool) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return tainted[sc.pkg.TypesInfo.Uses[x]] || tainted[sc.pkg.TypesInfo.Defs[x]]
+	case *ast.SelectorExpr:
+		return x.Sel.Name == "Body" && isReqOrResp(sc.typeOf(x.X))
+	case *ast.CallExpr:
+		for _, a := range x.Args {
+			if sc.isTaintedR(a, tainted) {
+				return true
+			}
+		}
+	case *ast.UnaryExpr:
+		return sc.isTaintedR(x.X, tainted)
+	case *ast.StarExpr:
+		return sc.isTaintedR(x.X, tainted)
+	}
+	return false
+}
+
+// isTaintedW reports whether e writes toward the client: an
+// http.ResponseWriter or net.Conn-like value, a tainted local, or a
+// wrapper call around one (json.NewEncoder, bufio.NewWriter).
+func (sc *scanResult) isTaintedW(e ast.Expr, tainted map[types.Object]bool) bool {
+	if t := sc.typeOf(e); isResponseWriter(t) || isConnLike(t) {
+		return true
+	}
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return tainted[sc.pkg.TypesInfo.Uses[x]] || tainted[sc.pkg.TypesInfo.Defs[x]]
+	case *ast.CallExpr:
+		for _, a := range x.Args {
+			if sc.isTaintedW(a, tainted) {
+				return true
+			}
+		}
+	case *ast.UnaryExpr:
+		return sc.isTaintedW(x.X, tainted)
+	case *ast.StarExpr:
+		return sc.isTaintedW(x.X, tainted)
+	}
+	return false
+}
+
+func (sc *scanResult) typeOf(e ast.Expr) types.Type {
+	tv, ok := sc.pkg.TypesInfo.Types[e]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+// qualifiedName renders pkg.Fn for a package-qualified call expression.
+func qualifiedName(pkg *analysis.Package, fun ast.Expr) string {
+	sel, ok := ast.Unparen(fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := pkg.TypesInfo.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Name() + "." + sel.Sel.Name
+	}
+	return ""
+}
+
+// isReqOrResp matches *http.Request and *http.Response.
+func isReqOrResp(t types.Type) bool {
+	return isNetHTTPType(t, "Request") || isNetHTTPType(t, "Response")
+}
+
+func isResponseWriter(t types.Type) bool {
+	return isNetHTTPType(t, "ResponseWriter")
+}
+
+func isNetHTTPType(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == name
+}
+
+// isConnLike reports whether t carries per-connection deadlines: it has
+// both SetReadDeadline and Read in its method set (net.Conn and every
+// concrete conn type qualify).
+func isConnLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return hasMethod(t, "SetReadDeadline") && hasMethod(t, "Read")
+}
+
+func hasMethod(t types.Type, name string) bool {
+	sets := []*types.MethodSet{types.NewMethodSet(t)}
+	if _, ok := t.(*types.Pointer); !ok {
+		sets = append(sets, types.NewMethodSet(types.NewPointer(t)))
+	}
+	for _, ms := range sets {
+		for i := 0; i < ms.Len(); i++ {
+			if ms.At(i).Obj().Name() == name {
+				return true
+			}
+		}
+	}
+	return false
+}

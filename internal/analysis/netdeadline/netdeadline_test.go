@@ -1,0 +1,12 @@
+package netdeadline_test
+
+import (
+	"testing"
+
+	"github.com/fpn/flagproxy/internal/analysis/analyzertest"
+	"github.com/fpn/flagproxy/internal/analysis/netdeadline"
+)
+
+func TestFixture(t *testing.T) {
+	analyzertest.Run(t, netdeadline.Analyzer, "testdata/rtd")
+}

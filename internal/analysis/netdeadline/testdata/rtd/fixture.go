@@ -1,0 +1,122 @@
+// Package rtd is a netdeadline fixture masquerading as the real rtd
+// package (the analyzer matches on package name). True positives —
+// deadline-less body reads, response writes, raw conn I/O, unbounded
+// clients and servers — sit next to every sanctioned shape: lexically
+// dominating Set*Deadline calls, ResponseController arming, deadlines
+// proven at every call site, and //fpnvet:nodeadline escapes.
+package rtd
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+)
+
+// A body read with no deadline anywhere is a finding; one dominated by a
+// ResponseController read deadline is clean.
+func ingest(w http.ResponseWriter, r *http.Request) {
+	raw, _ := io.ReadAll(r.Body) // want "blocking read on request/response body has no dominating SetReadDeadline"
+	_ = raw
+	rc := http.NewResponseController(w)
+	rc.SetReadDeadline(time.Time{})
+	again, _ := io.ReadAll(r.Body) // clean: read deadline armed above
+	_ = again
+}
+
+// Taint flows through wrappers into the readers they return.
+func buffered(w http.ResponseWriter, r *http.Request) {
+	br := bufio.NewReaderSize(http.MaxBytesReader(w, r.Body, 1<<20), 4096)
+	line, _ := br.ReadBytes('\n') // want "blocking read on request/response body has no dominating SetReadDeadline"
+	_ = line
+}
+
+// Response writes need a write deadline: direct, through http.Error, and
+// through an encoder wrapper.
+func respond(w http.ResponseWriter, ok bool) {
+	if !ok {
+		http.Error(w, "no", http.StatusTeapot) // want "blocking write to the client connection has no dominating SetWriteDeadline"
+		return
+	}
+	_ = json.NewEncoder(w).Encode(struct{}{}) // want "blocking write to the client connection has no dominating SetWriteDeadline"
+}
+
+func respondArmed(w http.ResponseWriter) {
+	rc := http.NewResponseController(w)
+	rc.SetWriteDeadline(time.Time{})
+	fmt.Fprintln(w, "ready") // clean: write deadline armed above
+}
+
+// Raw connections: SetDeadline arms both directions; the un-armed write
+// after it is still clean because deadlines persist.
+func relay(c net.Conn) {
+	buf := make([]byte, 16)
+	if _, err := c.Read(buf); err != nil { // want "blocking read on the connection has no dominating SetReadDeadline"
+		return
+	}
+	c.SetDeadline(time.Time{})
+	_, _ = c.Read(buf)  // clean
+	_, _ = c.Write(buf) // clean
+}
+
+// A deadline armed at every call site reaches the callee's body read
+// through entry facts.
+func armedCaller(w http.ResponseWriter, r *http.Request) {
+	rc := http.NewResponseController(w)
+	rc.SetReadDeadline(time.Time{})
+	rc.SetWriteDeadline(time.Time{})
+	drain(w, r)
+}
+
+func drain(w http.ResponseWriter, r *http.Request) {
+	_, _ = io.ReadAll(r.Body) // clean: every caller arms a read deadline
+	fmt.Fprint(w, "done")     // clean: every caller arms a write deadline
+}
+
+// One caller without a deadline voids the proof.
+func lazyCaller(w http.ResponseWriter, r *http.Request) {
+	slurp(r)
+}
+
+func armedToo(w http.ResponseWriter, r *http.Request) {
+	http.NewResponseController(w).SetReadDeadline(time.Time{})
+	slurp(r)
+}
+
+func slurp(r *http.Request) {
+	_, _ = io.ReadAll(r.Body) // want "blocking read on request/response body has no dominating SetReadDeadline"
+}
+
+// The annotation is the honest escape when the bound lives elsewhere.
+func annotated(w http.ResponseWriter, r *http.Request) {
+	//fpnvet:nodeadline bounded by the serving http.Server ReadTimeout
+	_, _ = io.ReadAll(r.Body)
+	fmt.Fprint(w, "ok") //fpnvet:nodeadline bounded by the serving http.Server WriteTimeout
+}
+
+// Clients must bound their requests.
+func fetch(url string) {
+	cl := &http.Client{} // want "http.Client literal sets no Timeout"
+	_, _ = cl.Get(url)
+	good := &http.Client{Timeout: 5 * time.Second} // clean
+	_, _ = good.Get(url)
+	_, _ = http.Get(url)           // want "uses the timeout-less default client"
+	hc := http.DefaultClient       // want "http.DefaultClient has no Timeout"
+	_ = hc                         //
+	dc := http.DefaultClient       //fpnvet:nodeadline request lifetime bounded by the caller's context
+	_ = dc                         //
+	_, _ = http.Post(url, "", nil) // want "uses the timeout-less default client"
+	_, _ = http.PostForm(url, nil) // want "uses the timeout-less default client"
+	_, _ = http.Head(url)          // want "uses the timeout-less default client"
+}
+
+// Servers must set a header read timeout (ReadTimeout subsumes it).
+func serve(h http.Handler) {
+	bad := &http.Server{Handler: h} // want "http.Server literal sets no ReadHeaderTimeout"
+	good := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
+	alsoGood := &http.Server{Handler: h, ReadTimeout: 5 * time.Second}
+	_, _, _ = bad, good, alsoGood
+}

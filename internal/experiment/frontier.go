@@ -28,21 +28,21 @@ import (
 // advances the committed prefix and freezes it permanently once a stop
 // criterion fires.
 type Frontier struct {
-	shots  int     // total shot budget (Config.Shots)
+	shots  int     //fpnvet:unguarded immutable after NewFrontier (total shot budget, Config.Shots)
 	target int     // Config.TargetErrors
 	maxCI  float64 // Config.MaxCI
 
-	start     int          // first uncommitted block at construction (resume prefix)
-	total     int          // total 64-shot blocks in the run
-	blockErrs []int32      // atomic; errs+1 once block is decoded, 0 pending
+	start     int          //fpnvet:unguarded immutable after NewFrontier (resume prefix)
+	total     int          //fpnvet:unguarded immutable after NewFrontier (total 64-shot blocks)
+	blockErrs []int32      //fpnvet:unguarded atomic element access; the slice header is immutable after NewFrontier
 	limit     atomic.Int64 // blocks at or past this index never commit (quarantine)
 	onCommit  func(Progress)
 
 	mu        sync.Mutex
-	committed int
-	comShots  int
-	comErrs   int
-	finalized bool // a stop criterion fired; commits are frozen
+	committed int  //fpnvet:guardedby mu
+	comShots  int  //fpnvet:guardedby mu
+	comErrs   int  //fpnvet:guardedby mu
+	finalized bool //fpnvet:guardedby mu (a stop criterion fired; commits are frozen)
 }
 
 // NewFrontier builds the commit frontier for cfg, honoring cfg.Resume

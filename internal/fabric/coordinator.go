@@ -56,17 +56,17 @@ func defaultNow() time.Time { return time.Now() }
 // point is in flight at a time, matching the single-machine sweep
 // order) and Shutdown when the sweep is over so workers exit.
 type Coordinator struct {
-	now   func() time.Time
-	ttl   time.Duration
+	now   func() time.Time //fpnvet:unguarded immutable after NewCoordinator
+	ttl   time.Duration    //fpnvet:unguarded immutable after NewCoordinator
 	store *checkpoint.Store
 	rsm   bool
 	every int
 	log   io.Writer
 
 	mu       sync.Mutex
-	job      *job
-	leaseSeq int64
-	shutdown bool
+	job      *job  //fpnvet:guardedby mu
+	leaseSeq int64 //fpnvet:guardedby mu
+	shutdown bool  //fpnvet:guardedby mu
 }
 
 // job is one sweep point in flight.
@@ -123,25 +123,39 @@ func (c *Coordinator) Handler() http.Handler {
 	return mux
 }
 
+// writeJSON and badRequest are the handlers' only response writers, and
+// every handler computes its reply under c.mu, releases, then writes —
+// a slow or dead client must never stall lease bookkeeping for the
+// workers that are still making progress.
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	// An encode failure here means the client is gone; it re-polls.
+	//fpnvet:nodeadline bounded by the serving http.Server WriteTimeout (cmd/ber arms one)
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+func badRequest(w http.ResponseWriter, msg string) {
+	//fpnvet:nodeadline bounded by the serving http.Server WriteTimeout (cmd/ber arms one)
+	http.Error(w, msg, http.StatusBadRequest)
+}
+
 func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, c.jobPoll())
+}
+
+// jobPoll snapshots the current job announcement under the lock.
+func (c *Coordinator) jobPoll() jobMsg {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	switch {
 	case c.shutdown:
-		writeJSON(w, jobMsg{Status: statusShutdown})
+		return jobMsg{Status: statusShutdown}
 	case c.job == nil:
-		writeJSON(w, jobMsg{Status: statusIdle})
-	default:
-		writeJSON(w, jobMsg{
-			Status: statusJob, Fingerprint: c.job.fp,
-			Config: c.job.wire, LeaseTTLMs: c.ttl.Milliseconds(),
-		})
+		return jobMsg{Status: statusIdle}
+	}
+	return jobMsg{
+		Status: statusJob, Fingerprint: c.job.fp,
+		Config: c.job.wire, LeaseTTLMs: c.ttl.Milliseconds(),
 	}
 }
 
@@ -151,23 +165,24 @@ func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
 // injected clock, and an expired-then-completed shard still merges
 // (completion is validated by content, not by lease liveness).
 func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
-	worker := r.URL.Query().Get("worker")
-	fp := r.URL.Query().Get("job")
+	writeJSON(w, c.grantLease(r.URL.Query().Get("worker"), r.URL.Query().Get("job")))
+}
+
+// grantLease does the lease-table walk under the lock and returns the
+// reply for the handler to write after release.
+func (c *Coordinator) grantLease(worker, fp string) leaseMsg {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.shutdown {
-		writeJSON(w, leaseMsg{Status: statusShutdown})
-		return
+		return leaseMsg{Status: statusShutdown}
 	}
 	jb := c.job
 	if jb == nil || jb.fp != fp {
-		writeJSON(w, leaseMsg{Status: statusIdle})
-		return
+		return leaseMsg{Status: statusIdle}
 	}
 	if jb.fr.Done() {
 		c.completeLocked(jb)
-		writeJSON(w, leaseMsg{Status: statusDone})
-		return
+		return leaseMsg{Status: statusDone}
 	}
 	now := c.now()
 	for i := range jb.shards {
@@ -183,28 +198,30 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		}
 		c.leaseSeq++
 		sh.lease, sh.worker, sh.expiry = c.leaseSeq, worker, now.Add(c.ttl)
-		writeJSON(w, leaseMsg{
+		return leaseMsg{
 			Status: statusLease, Lease: sh.lease, Shard: i,
 			FirstBlock: sh.first, Blocks: sh.blocks,
-		})
-		return
+		}
 	}
-	writeJSON(w, leaseMsg{Status: statusWait})
+	return leaseMsg{Status: statusWait}
 }
 
 func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	fp := r.URL.Query().Get("job")
 	lease, err := strconv.ParseInt(r.URL.Query().Get("lease"), 10, 64)
 	if err != nil {
-		http.Error(w, "bad lease id", http.StatusBadRequest)
+		badRequest(w, "bad lease id")
 		return
 	}
+	writeJSON(w, c.renewLease(fp, lease))
+}
+
+func (c *Coordinator) renewLease(fp string, lease int64) ackMsg {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	jb := c.job
 	if jb == nil || jb.fp != fp {
-		writeJSON(w, ackMsg{Status: statusExpired})
-		return
+		return ackMsg{Status: statusExpired}
 	}
 	for i := range jb.shards {
 		sh := &jb.shards[i]
@@ -212,11 +229,10 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 			// Still assigned, so still ours: a heartbeat renews even a
 			// lapsed lease as long as no one else claimed the shard.
 			sh.expiry = c.now().Add(c.ttl)
-			writeJSON(w, ackMsg{Status: statusOK})
-			return
+			return ackMsg{Status: statusOK}
 		}
 	}
-	writeJSON(w, ackMsg{Status: statusExpired})
+	return ackMsg{Status: statusExpired}
 }
 
 // handleComplete merges one shard's streamed counts. The stream is
@@ -230,42 +246,49 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	fp := r.URL.Query().Get("job")
 	shardIdx, err := strconv.Atoi(r.URL.Query().Get("shard"))
 	if err != nil {
-		http.Error(w, "bad shard index", http.StatusBadRequest)
+		badRequest(w, "bad shard index")
 		return
 	}
+	//fpnvet:nodeadline bounded by the serving http.Server ReadTimeout (cmd/ber arms one)
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
 	if err != nil {
-		http.Error(w, "torn result stream: "+err.Error(), http.StatusBadRequest)
+		badRequest(w, "torn result stream: "+err.Error())
 		return
 	}
+	ack, errMsg := c.mergeShard(fp, shardIdx, body)
+	if errMsg != "" {
+		badRequest(w, errMsg)
+		return
+	}
+	writeJSON(w, ack)
+}
+
+// mergeShard validates and merges one completion under the lock; a
+// non-empty second return is a 400 for the handler to send.
+func (c *Coordinator) mergeShard(fp string, shardIdx int, body []byte) (ackMsg, string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	jb := c.job
 	if jb == nil || jb.fp != fp {
 		// The point is gone (finished or superseded); nothing to merge.
-		writeJSON(w, ackMsg{Status: statusIdle})
-		return
+		return ackMsg{Status: statusIdle}, ""
 	}
 	if shardIdx < 0 || shardIdx >= len(jb.shards) {
-		http.Error(w, "shard index out of range", http.StatusBadRequest)
-		return
+		return ackMsg{}, "shard index out of range"
 	}
 	sh := &jb.shards[shardIdx]
 	counts, err := readCounts(bytes.NewReader(body), sh.first, sh.blocks)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+		return ackMsg{}, err.Error()
 	}
 	digest := countsDigest(counts)
 	if sh.done {
 		if digest == sh.digest {
-			writeJSON(w, ackMsg{Status: statusOK})
-			return
+			return ackMsg{Status: statusOK}, ""
 		}
 		c.logf("conflicting completion for shard %d of %s: digest %08x vs committed %08x (first wins)",
 			shardIdx, fp, digest, sh.digest)
-		writeJSON(w, ackMsg{Status: statusConflict})
-		return
+		return ackMsg{Status: statusConflict}, ""
 	}
 	for i, e := range counts {
 		jb.fr.Mark(sh.first+i, e)
@@ -275,7 +298,7 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	if jb.fr.Done() {
 		c.completeLocked(jb)
 	}
-	writeJSON(w, ackMsg{Status: statusOK})
+	return ackMsg{Status: statusOK}, ""
 }
 
 // completeLocked signals RunPoint that the frontier is done. Idempotent;
@@ -361,8 +384,9 @@ func (c *Coordinator) RunPoint(ctx context.Context, cfg experiment.Config) (*exp
 			return nil, fmt.Errorf("fabric: coordinator is shut down")
 		}
 		if c.job != nil {
+			inflight := c.job.fp
 			c.mu.Unlock()
-			return nil, fmt.Errorf("fabric: a point is already in flight (%s)", c.job.fp)
+			return nil, fmt.Errorf("fabric: a point is already in flight (%s)", inflight)
 		}
 		c.job = jb
 		c.mu.Unlock()

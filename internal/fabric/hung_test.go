@@ -1,0 +1,43 @@
+// Regression pin for a liveness bug the netdeadline analyzer surfaced:
+// the worker's default HTTP client had no Timeout, so a coordinator
+// that accepted a connection and then never answered wedged the worker
+// forever — the retry budget never even started counting. The default
+// client now bounds every round trip by Patience.
+package fabric
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestWorkerHungCoordinatorTimesOut(t *testing.T) {
+	// The hung coordinator: accepts every request and answers none. The
+	// handler parks on the request context so the worker's client
+	// timeout, not the test, is what unblocks it.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	}))
+	defer srv.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- RunWorker(context.Background(), WorkerOptions{
+			URL:      srv.URL,
+			ID:       "hung-test",
+			Poll:     time.Millisecond,
+			Patience: 50 * time.Millisecond,
+			Sleep:    func(time.Duration) {},
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("worker returned nil against a coordinator that never answers")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker still blocked after 30s against a hung coordinator; the default client lost its Timeout")
+	}
+}

@@ -108,16 +108,20 @@ func RunWorker(ctx context.Context, opt WorkerOptions) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	w := &worker{opt: opt, client: opt.Client, poll: opt.Poll, fails: map[int]int{}}
-	if w.client == nil {
-		w.client = &http.Client{}
-	}
-	if w.poll <= 0 {
-		w.poll = 200 * time.Millisecond
-	}
 	patience := opt.Patience
 	if patience <= 0 {
 		patience = 2 * time.Minute
+	}
+	w := &worker{opt: opt, client: opt.Client, poll: opt.Poll, fails: map[int]int{}}
+	if w.client == nil {
+		// Every coordinator exchange is one small JSON round trip, so the
+		// retry-ladder bound is also a sane per-request bound. Without a
+		// Timeout a coordinator that accepts the connection and then hangs
+		// wedges the worker forever — the retry budget never even starts.
+		w.client = &http.Client{Timeout: patience}
+	}
+	if w.poll <= 0 {
+		w.poll = 200 * time.Millisecond
 	}
 	w.attempts = retryAttempts(w.poll, patience)
 	done := 0
@@ -356,6 +360,7 @@ func (w *worker) singleJSON(ctx context.Context, path string, body []byte, out a
 		return err
 	}
 	defer func() { _ = resp.Body.Close() }()
+	//fpnvet:nodeadline bounded by the client Timeout and the request context
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 	if err != nil {
 		return err

@@ -58,7 +58,9 @@ func (cl *Client) Stream(ctx context.Context, fingerprint string, wins [][][]int
 func (cl *Client) StreamBody(ctx context.Context, body io.Reader) (*StreamOutcome, error) {
 	hc := cl.HTTP
 	if hc == nil {
-		hc = http.DefaultClient
+		// Streams are long-lived by design, so a blanket client Timeout
+		// would tear healthy ones; the request context is the bound.
+		hc = http.DefaultClient //fpnvet:nodeadline request lifetime is bounded by the caller's context
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cl.URL+"/v1/stream", body)
 	if err != nil {
@@ -70,6 +72,7 @@ func (cl *Client) StreamBody(ctx context.Context, body io.Reader) (*StreamOutcom
 		return nil, err
 	}
 	defer func() { _ = resp.Body.Close() }()
+	//fpnvet:nodeadline stream duration is load-dependent; the request context bounds the read
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
 	if err != nil {
 		return nil, fmt.Errorf("rtd: torn response: %v", err)

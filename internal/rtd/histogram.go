@@ -16,8 +16,8 @@ import (
 // value is ready to use; methods are safe for concurrent use.
 type Histogram struct {
 	mu      sync.Mutex
-	n       int64
-	buckets [65]int64 // bucket b holds samples with bits.Len64(ns) == b
+	n       int64     //fpnvet:guardedby mu
+	buckets [65]int64 //fpnvet:guardedby mu (bucket b holds samples with bits.Len64(ns) == b)
 }
 
 // Record adds one sample. Negative durations (a clock stepping

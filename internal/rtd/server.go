@@ -129,27 +129,27 @@ type counters struct {
 // Server is the online decode service. Build with NewServer, expose
 // Handler over any net/http server, Drain on shutdown, then Close.
 type Server struct {
-	opt      Options
-	o        *experiment.Online
-	clock    Clock
-	fp       string
-	decName  string
+	opt      Options            //fpnvet:unguarded immutable after NewServer
+	o        *experiment.Online //fpnvet:unguarded immutable after NewServer
+	clock    Clock              //fpnvet:unguarded immutable after NewServer
+	fp       string             //fpnvet:unguarded immutable after NewServer
+	decName  string             //fpnvet:unguarded immutable after NewServer
 	fallback []experiment.DecoderKind
-	rpw      int // rounds per window: the circuit's full round span
+	rpw      int //fpnvet:unguarded immutable after NewServer (rounds per window: the circuit's full round span)
 	numDet   int
 	roundOf  []int // detector index → round
 
-	decTimeout, readTimeout, writeTimeout time.Duration
+	decTimeout, readTimeout, writeTimeout time.Duration //fpnvet:unguarded immutable after NewServer
 
 	queue   chan *window
 	admit   chan struct{}
-	hist    Histogram
-	ctrs    counters
+	hist    Histogram //fpnvet:unguarded Histogram carries its own mutex
+	ctrs    counters  //fpnvet:unguarded every field is an atomic
 	winPool sync.Pool
 
 	mu        sync.Mutex
-	streams   map[*stream]struct{}
-	draining  bool
+	streams   map[*stream]struct{} //fpnvet:guardedby mu
+	draining  bool                 //fpnvet:guardedby mu
 	drained   chan struct{}
 	drainOnce sync.Once
 
@@ -271,6 +271,7 @@ func (s *Server) Handler() http.Handler {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	_ = http.NewResponseController(w).SetWriteDeadline(s.clock.Now().Add(s.writeTimeout))
 	if s.isDraining() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
@@ -279,6 +280,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
+	_ = http.NewResponseController(w).SetWriteDeadline(s.clock.Now().Add(s.writeTimeout))
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(s.Stats())
 }
@@ -456,6 +458,10 @@ type streamEnd struct {
 }
 
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	// Rejections and the pre-stream handshake share the write timeout;
+	// once the stream is up, writeFrame re-arms a fresh deadline per
+	// frame and readLine does the same on the read side.
+	_ = http.NewResponseController(w).SetWriteDeadline(s.clock.Now().Add(s.writeTimeout))
 	if r.Method != http.MethodPost {
 		http.Error(w, "rtd: POST required", http.StatusMethodNotAllowed)
 		return
