@@ -13,6 +13,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -23,6 +24,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -42,6 +44,20 @@ import (
 // from 1 (point errors) and 2 (usage errors) so wrappers can tell a
 // clean kill-and-resume cycle from a real failure.
 const exitInterrupted = 130
+
+// exitUnreachable is the status for a -join worker that gave up because
+// every coordinator address stayed dark through its whole retry budget
+// (-max-retries) — distinct from interruption (130) and engine failure
+// (1) so fleet wrappers can re-point or restart the worker instead of
+// treating it as a decode bug.
+const exitUnreachable = 3
+
+// standbyFailThreshold is how many consecutive failed health probes a
+// standby tolerates before declaring the primary dead and taking over.
+// One failure is a blip; three at the probe cadence is a partition or a
+// corpse either way — and a false positive is safe, because epoch
+// fencing stops the fenced-out primary from committing anything.
+const standbyFailThreshold = 3
 
 func main() {
 	cfg, err := parseArgs(os.Args[1:])
@@ -69,18 +85,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ber: second signal; forcing exit without checkpoint flush")
 		os.Exit(exitInterrupted)
 	}()
-	if cfg.joinURL != "" {
+	if len(cfg.joinURLs) > 0 {
 		// Worker mode: no sweep of our own — decode shards for the
-		// coordinator at -join until it announces shutdown.
+		// coordinator at -join (failing over across the address list)
+		// until it announces shutdown.
 		id := cfg.workerID
 		if id == "" {
 			host, _ := os.Hostname()
 			id = fmt.Sprintf("%s-%d", host, os.Getpid())
 		}
-		err := fabric.RunWorker(ctx, fabric.WorkerOptions{URL: cfg.joinURL, ID: id, Log: os.Stderr})
+		err := fabric.RunWorker(ctx, fabric.WorkerOptions{
+			URL: cfg.joinURLs[0], URLs: cfg.joinURLs[1:], ID: id,
+			MaxRetries: cfg.maxRetries, Fallback: cfg.fallback, Log: os.Stderr,
+		})
 		if ctx.Err() != nil {
 			fmt.Fprintln(os.Stderr, "ber: worker interrupted; leased shards will be reassigned")
 			os.Exit(exitInterrupted)
+		}
+		if errors.Is(err, fabric.ErrUnreachable) {
+			fmt.Fprintln(os.Stderr, "ber:", err)
+			os.Exit(exitUnreachable)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ber:", err)
@@ -135,25 +159,54 @@ func main() {
 		// Coordinator mode: points are decoded by -join workers instead of
 		// local goroutines, and the coordinator takes over the ledger
 		// bookkeeping (resume, commit-cadence checkpoints, final records).
+		// The listener goes up before the coordinator exists so a standby
+		// can be in the workers' -join lists from the start: it answers
+		// 503 until the handler is swapped in at takeover.
 		ln, err := net.Listen("tcp", cfg.serveAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ber:", err)
 			os.Exit(1)
 		}
-		co := fabric.NewCoordinator(fabric.Options{
-			LeaseTTL: cfg.leaseTTL, Store: r.store, Resume: cfg.resume,
-			CheckpointEvery: checkpointEveryBlocks, Log: os.Stderr,
-		})
+		var live atomic.Pointer[http.Handler]
 		// Every fabric exchange is one bounded JSON round trip (completion
 		// bodies cap at 16 MiB), so blanket read/write timeouts are safe;
 		// a wedged worker can never pin a coordinator connection open.
 		srv := &http.Server{
-			Handler:           co.Handler(),
+			Handler: http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+				if h := live.Load(); h != nil {
+					(*h).ServeHTTP(w, req)
+					return
+				}
+				http.Error(w, "fabric standby: not serving yet", http.StatusServiceUnavailable)
+			}),
 			ReadHeaderTimeout: 10 * time.Second,
 			ReadTimeout:       time.Minute,
 			WriteTimeout:      time.Minute,
 		}
 		go func() { _ = srv.Serve(ln) }()
+		var failovers int64
+		if cfg.standbyOf != "" {
+			// Parsed by scripts (crash_resume.sh) to discover a :0 port
+			// before promotion.
+			fmt.Fprintf(os.Stderr, "ber: standby fabric on %s (primary %s)\n", ln.Addr(), cfg.standbyOf)
+			if !standbyWait(ctx, cfg.standbyOf, cfg.standbyProbe) {
+				fmt.Fprintln(os.Stderr, "ber: standby interrupted before takeover")
+				os.Exit(exitInterrupted)
+			}
+			failovers = 1
+			fmt.Fprintf(os.Stderr, "ber: primary %s dark for %d probes; standby taking over the sweep\n",
+				cfg.standbyOf, standbyFailThreshold)
+		}
+		// NewCoordinator bumps and persists the ledger epoch, so even if
+		// the primary is merely partitioned (not dead), its later commits
+		// are fenced off — promotion is safe against false positives.
+		co := fabric.NewCoordinator(fabric.Options{
+			LeaseTTL: cfg.leaseTTL, Store: r.store, Resume: cfg.resume,
+			CheckpointEvery: checkpointEveryBlocks, Log: os.Stderr,
+			Failovers: failovers,
+		})
+		h := co.Handler()
+		live.Store(&h)
 		// Parsed by scripts (crash_resume.sh) to discover a :0 port.
 		fmt.Fprintf(os.Stderr, "ber: serving fabric on %s\n", ln.Addr())
 		r.fab, r.store, r.resume = co, nil, false
@@ -205,10 +258,13 @@ type cliConfig struct {
 	checkpointDir string
 	resume        bool
 	serveAddr     string
-	joinURL       string
+	joinURLs      []string
 	workerID      string
+	maxRetries    int
 	leaseTTL      time.Duration
 	linger        time.Duration
+	standbyOf     string
+	standbyProbe  time.Duration
 }
 
 // parseArgs parses and validates the ber command line. Engine knobs are
@@ -231,24 +287,44 @@ func parseArgs(args []string) (*cliConfig, error) {
 	decTimeout := fs.Duration("decode-timeout", 0, "wall-clock budget per decode shard; a hung or crawling shard fails over to -fallback and is counted, instead of stalling the sweep (0 = off)")
 	fallbackFlag := fs.String("fallback", "", "comma-separated decoder kinds that rescue panicking or timed-out shards, in order (e.g. plain-mwpm,bp-osd)")
 	serveAddr := fs.String("serve", "", "run as fabric coordinator on this address (e.g. :9911); -join workers decode the points")
-	joinURL := fs.String("join", "", "run as fabric worker for the coordinator at this URL (e.g. http://host:9911)")
+	joinFlag := fs.String("join", "", "run as fabric worker for the coordinator at this URL; comma-separate standby addresses to fail over across (e.g. http://host:9911,http://standby:9912)")
 	workerID := fs.String("worker-id", "", "worker name in coordinator logs (-join only; default hostname-pid)")
+	maxRetries := fs.Int("max-retries", 0, "worker: attempts per coordinator request before giving up with exit status 3, overriding the patience-derived budget (-join only; 0 = off)")
 	leaseTTL := fs.Duration("lease-ttl", 30*time.Second, "shard lease lifetime before a silent worker's shard is reassigned (-serve only)")
 	linger := fs.Duration("linger", 2*time.Second, "how long the coordinator keeps answering after the sweep so workers see the shutdown (-serve only)")
+	standbyOf := fs.String("standby-of", "", "serve as warm standby for the coordinator at this URL: answer 503 until it goes dark, then take over the sweep from the shared ledger (requires -serve, -checkpoint and -resume)")
+	standbyProbe := fs.Duration("standby-probe", 500*time.Millisecond, "standby health-probe cadence against the primary's /v1/status (-standby-of only)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
 	if *resume && *checkpointDir == "" {
 		return nil, fmt.Errorf("-resume requires -checkpoint <dir>")
 	}
-	if *serveAddr != "" && *joinURL != "" {
+	if *serveAddr != "" && *joinFlag != "" {
 		return nil, fmt.Errorf("-serve and -join are mutually exclusive")
 	}
-	if *joinURL != "" && (*checkpointDir != "" || *resume) {
+	if *joinFlag != "" && (*checkpointDir != "" || *resume) {
 		return nil, fmt.Errorf("-join is incompatible with -checkpoint/-resume: the coordinator owns the ledger")
 	}
 	if *serveAddr != "" && (*decTimeout != 0 || *fallbackFlag != "") {
 		return nil, fmt.Errorf("-serve is incompatible with -decode-timeout/-fallback: scheduling knobs do not cross the fabric")
+	}
+	if *maxRetries < 0 {
+		return nil, fmt.Errorf("-max-retries must be >= 0 (got %d)", *maxRetries)
+	}
+	if *maxRetries > 0 && *joinFlag == "" {
+		return nil, fmt.Errorf("-max-retries only applies to -join worker mode")
+	}
+	if *standbyOf != "" {
+		if *serveAddr == "" {
+			return nil, fmt.Errorf("-standby-of requires -serve <addr>: the standby's own listen address")
+		}
+		if *checkpointDir == "" || !*resume {
+			return nil, fmt.Errorf("-standby-of requires -checkpoint and -resume: a promoted standby rebuilds coordinator state from the shared ledger")
+		}
+	}
+	if *standbyProbe <= 0 {
+		return nil, fmt.Errorf("-standby-probe must be positive (got %v)", *standbyProbe)
 	}
 	if *leaseTTL <= 0 {
 		return nil, fmt.Errorf("-lease-ttl must be positive (got %v)", *leaseTTL)
@@ -292,6 +368,16 @@ func parseArgs(args []string) (*cliConfig, error) {
 			fallback = append(fallback, k)
 		}
 	}
+	var joinURLs []string
+	if *joinFlag != "" {
+		for _, s := range strings.Split(*joinFlag, ",") {
+			s = strings.TrimSpace(s)
+			if s == "" {
+				return nil, fmt.Errorf("-join has an empty address in its list %q", *joinFlag)
+			}
+			joinURLs = append(joinURLs, s)
+		}
+	}
 	var ps []float64
 	for _, s := range strings.Split(*psFlag, ",") {
 		p, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
@@ -308,9 +394,48 @@ func parseArgs(args []string) (*cliConfig, error) {
 		workers: *workers, shard: *shard, targetErrors: *targetErrors, maxCI: *maxCI,
 		decTimeout: *decTimeout, fallback: fallback,
 		checkpointDir: *checkpointDir, resume: *resume,
-		serveAddr: *serveAddr, joinURL: *joinURL, workerID: *workerID,
-		leaseTTL: *leaseTTL, linger: *linger,
+		serveAddr: *serveAddr, joinURLs: joinURLs, workerID: *workerID,
+		maxRetries: *maxRetries, leaseTTL: *leaseTTL, linger: *linger,
+		standbyOf: *standbyOf, standbyProbe: *standbyProbe,
 	}, nil
+}
+
+// standbyWait probes the primary coordinator's /v1/status every probe
+// interval and returns true once standbyFailThreshold consecutive
+// probes fail — the takeover signal. It returns false when ctx is
+// cancelled first. Probe pacing is pure liveness: whoever ends up
+// coordinating, the merged counts are the same by determinism, and the
+// epoch fence makes even a false-positive takeover safe.
+func standbyWait(ctx context.Context, primary string, probe time.Duration) bool {
+	client := &http.Client{Timeout: probe}
+	t := time.NewTicker(probe)
+	defer t.Stop()
+	fails := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return false
+		case <-t.C:
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, primary+"/v1/status", nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ber: bad -standby-of address:", err)
+			return false
+		}
+		resp, err := client.Do(req)
+		ok := err == nil && resp.StatusCode == http.StatusOK
+		if err == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+		}
+		if ok {
+			fails = 0
+			continue
+		}
+		if fails++; fails >= standbyFailThreshold {
+			return true
+		}
+	}
 }
 
 // schedMetaKey is the checkpoint meta entry holding the sweep's
@@ -419,6 +544,11 @@ func (r *runner) pointSched(code *css.Code, arch fpn.Options, sched *schedule.Sc
 		if err != nil {
 			fmt.Printf("%-18s %-22s %c p=%-8.1e error: %v\n", code.Name, dec, basis, p, err)
 			return
+		}
+		// Quarantined shards surface exactly like local shard failures, so
+		// a fleet operator reads the same repro lines either way.
+		for i := range res.ShardErrors {
+			fmt.Fprintln(os.Stderr, "ber: "+res.ShardErrors[i].Error())
 		}
 		if res.Interrupted {
 			fmt.Fprintf(os.Stderr, "ber: %s %s %c p=%.1e interrupted at %d/%d shots\n",

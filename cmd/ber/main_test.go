@@ -85,6 +85,13 @@ func TestParseArgsInvalid(t *testing.T) {
 		{"serve with fallback", []string{"-serve", ":9911", "-fallback", "plain-mwpm"}, "do not cross the fabric"},
 		{"zero lease-ttl", []string{"-serve", ":9911", "-lease-ttl", "0s"}, "-lease-ttl must be positive"},
 		{"negative linger", []string{"-serve", ":9911", "-linger", "-1s"}, "-linger must be >= 0"},
+		{"empty join entry", []string{"-join", "http://a:1,,http://b:2"}, "empty address"},
+		{"negative max-retries", []string{"-join", "http://h:9911", "-max-retries", "-1"}, "-max-retries must be >= 0"},
+		{"max-retries without join", []string{"-max-retries", "5"}, "only applies to -join"},
+		{"standby without serve", []string{"-standby-of", "http://h:9911", "-checkpoint", "/tmp/c", "-resume"}, "requires -serve"},
+		{"standby without ledger", []string{"-serve", ":9912", "-standby-of", "http://h:9911"}, "requires -checkpoint and -resume"},
+		{"standby without resume", []string{"-serve", ":9912", "-standby-of", "http://h:9911", "-checkpoint", "/tmp/c"}, "requires -checkpoint and -resume"},
+		{"zero standby-probe", []string{"-serve", ":9912", "-standby-of", "http://h:9911", "-checkpoint", "/tmp/c", "-resume", "-standby-probe", "0s"}, "-standby-probe must be positive"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -129,11 +136,50 @@ func TestParseArgsFabricFlags(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg.joinURL != "http://host:9911" || cfg.workerID != "w7" {
+	if len(cfg.joinURLs) != 1 || cfg.joinURLs[0] != "http://host:9911" || cfg.workerID != "w7" {
 		t.Errorf("join flags parsed as %+v", cfg)
 	}
 	if cfg.leaseTTL != 30*time.Second || cfg.linger != 2*time.Second {
 		t.Errorf("fabric duration defaults parsed as %+v", cfg)
+	}
+	// A comma-separated -join is a failover list: primary first, then
+	// standbys, whitespace-tolerant like -ps and -fallback.
+	cfg, err = parseArgs([]string{"-join", "http://a:9911, http://b:9912 ,http://c:9913", "-max-retries", "7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"http://a:9911", "http://b:9912", "http://c:9913"}
+	if len(cfg.joinURLs) != len(want) {
+		t.Fatalf("-join list parsed as %v", cfg.joinURLs)
+	}
+	for i, u := range want {
+		if cfg.joinURLs[i] != u {
+			t.Errorf("-join[%d] = %q, want %q", i, cfg.joinURLs[i], u)
+		}
+	}
+	if cfg.maxRetries != 7 {
+		t.Errorf("-max-retries parsed as %d, want 7", cfg.maxRetries)
+	}
+}
+
+func TestParseArgsStandbyFlags(t *testing.T) {
+	cfg, err := parseArgs([]string{
+		"-serve", "127.0.0.1:0", "-checkpoint", "/tmp/c", "-resume",
+		"-standby-of", "http://primary:9911", "-standby-probe", "250ms",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.standbyOf != "http://primary:9911" || cfg.standbyProbe != 250*time.Millisecond {
+		t.Errorf("standby flags parsed as %+v", cfg)
+	}
+	// The probe cadence defaults on and the standby defaults off.
+	cfg, err = parseArgs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.standbyOf != "" || cfg.standbyProbe != 500*time.Millisecond {
+		t.Errorf("standby defaults parsed as %+v", cfg)
 	}
 }
 

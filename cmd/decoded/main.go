@@ -122,7 +122,7 @@ func parseArgs(args []string) (*cliConfig, error) {
 	connect := fs.String("connect", "", "run as client against the decoded server at this URL instead of serving")
 	shots := fs.Int("shots", 64, "windows to stream in client mode")
 	verify := fs.Bool("verify", false, "client mode: recompute every correction offline and require bit-identity")
-	chaosFlag := fs.String("chaos", "", "client mode: send a faulted stream instead of a healthy one (torn, disconnect or hang)")
+	chaosFlag := fs.String("chaos", "", "client mode: send a faulted stream instead of a healthy one (torn, disconnect, hang, or cut — a resumable stream reset mid-body twice and resumed)")
 	showStats := fs.Bool("stats", false, "client mode: print the server's /statz after the stream")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -172,15 +172,19 @@ func parseArgs(args []string) (*cliConfig, error) {
 		return nil, fmt.Errorf("-shots must be positive (got %d)", *shots)
 	}
 	switch *chaosFlag {
-	case "", "torn", "disconnect", "hang":
+	case "", "torn", "disconnect", "hang", "cut":
 	default:
-		return nil, fmt.Errorf("-chaos must be torn, disconnect or hang (got %q)", *chaosFlag)
+		return nil, fmt.Errorf("-chaos must be torn, disconnect, hang or cut (got %q)", *chaosFlag)
 	}
 	if *chaosFlag != "" && *connect == "" {
 		return nil, fmt.Errorf("-chaos requires -connect")
 	}
-	if *verify && *chaosFlag != "" {
-		return nil, fmt.Errorf("-verify needs a healthy stream; drop -chaos")
+	// A cut stream resumes and assembles the complete result set, so
+	// -verify composes with it — that pairing is the whole point of the
+	// resume handshake. The other chaos modes end with a deliberately
+	// incomplete stream, which -verify would always (correctly) fail.
+	if *verify && *chaosFlag != "" && *chaosFlag != "cut" {
+		return nil, fmt.Errorf("-verify needs a complete stream; use -chaos cut or drop -chaos")
 	}
 	return &cliConfig{
 		distance: *d, p: *p, rounds: *rounds, basis: basis,
@@ -309,6 +313,18 @@ func runClient(cfg *cliConfig, o *experiment.Online) int {
 	switch cfg.chaosMode {
 	case "":
 		out, err = cl.Stream(ctx, fp, wins)
+	case "cut":
+		// Partition drill: the transport resets the first two stream
+		// POSTs mid-body at plan-chosen byte offsets, and the resumable
+		// client rides the cuts out — salvage, /v1/resume handshake,
+		// resend of exactly the uncommitted suffix. The assembled result
+		// set must be complete, which is why -verify composes with this
+		// mode and no other chaos mode.
+		cl.HTTP = &http.Client{Transport: &chaos.NetFault{
+			Plan: chaos.Plan{Seed: cfg.seed, Name: "decoded-cut"},
+			Mode: chaos.NetReset, Times: 2, Path: "/v1/stream",
+		}}
+		out, err = cl.StreamResumable(ctx, fp, fmt.Sprintf("cut-%d", cfg.seed), wins, 4)
 	default:
 		frames, ferr := rtd.EncodeWindows(fp, wins)
 		if ferr != nil {
@@ -348,6 +364,9 @@ func runClient(cfg *cliConfig, o *experiment.Online) int {
 	}
 	if out.Drained {
 		fmt.Printf(" drained")
+	}
+	if out.Reconnects > 0 {
+		fmt.Printf(" reconnects=%d", out.Reconnects)
 	}
 	fmt.Println()
 	if out.Fatal != "" {

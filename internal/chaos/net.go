@@ -1,0 +1,280 @@
+// Connection-level fault injection: the network hazards a partition
+// throws at the distributed layers, as deterministic plan-driven
+// stages. Where Fabric attacks one endpoint's payloads, NetFault
+// attacks the connection itself, in the four shapes the fabric and the
+// rtd service must survive:
+//
+//   - refuse: the connection attempt fails outright — nothing is
+//     delivered, the classic dead-host signature;
+//   - reset: the connection dies mid-body — a plan-chosen strict prefix
+//     of the request reaches the server (which must reject the torn
+//     stream), and the client sees a transport error either way, so it
+//     can never tell whether the server acted;
+//   - blackhole: the connection is accepted and then nothing ever
+//     answers — the request is swallowed whole and the caller's own
+//     timeout is what surfaces the failure;
+//   - trickle: everything is delivered, one plan-sized sliver at a
+//     time — pure slowness, which must cost latency and nothing else.
+//
+// Every byte-pick derives from the Plan through the same splitmix64
+// mixer as the shard engine, so a failing chaos run replays exactly.
+// NetFault plugs into seams production code already exposes
+// (fabric.WorkerOptions.Client, rtd.Client.HTTP); CutListener wraps a
+// listener for the server side of the same faults, and the service
+// body helpers (TornBody, DisconnectBody, HangingBody) remain the
+// request-body seam.
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// NetFault modes.
+const (
+	NetRefuse    = "refuse"    // fail the attempt; nothing is delivered
+	NetReset     = "reset"     // deliver a strict prefix, then surface an error
+	NetBlackhole = "blackhole" // swallow the request; answer with a timeout
+	NetTrickle   = "trickle"   // deliver everything, in plan-sized slivers
+)
+
+// NetFault is a deterministic connection-fault http.RoundTripper.
+// Matching requests are counted; attacked ones fault per Mode, the rest
+// pass through untouched. Safe for concurrent use.
+type NetFault struct {
+	Plan  Plan
+	Inner http.RoundTripper // nil means http.DefaultTransport
+	Mode  string            // NetRefuse, NetReset, NetBlackhole or NetTrickle
+
+	// Path, when non-empty, restricts the attack to requests for that
+	// URL path; everything else always passes through.
+	Path string
+	// Times, when > 0, attacks the first Times matching requests and
+	// then stands down — the "partition heals" schedule resume loops
+	// need. Checked before Every.
+	Times int
+	// Every, when > 0 (and Times is 0), attacks every Every-th matching
+	// request — the steady-loss schedule identity suites need.
+	Every int
+	// Sleep paces trickled slivers; nil means no pause (the sliver
+	// boundaries alone exercise partial-read paths). Tests inject a
+	// counting stub; nothing here reads the wall clock.
+	Sleep func(time.Duration)
+	// TrickleDelay is the per-sliver pause handed to Sleep.
+	TrickleDelay time.Duration
+
+	calls       atomic.Int64
+	Refused     atomic.Int64 // attempts failed outright
+	Resets      atomic.Int64 // bodies cut mid-stream
+	Blackholed  atomic.Int64 // requests swallowed whole
+	Trickled    atomic.Int64 // requests delivered in slivers
+	PassedAfter atomic.Int64 // requests passed through once Times expired
+}
+
+// netTimeoutError is the blackhole verdict: a net.Error with
+// Timeout() == true, exactly what a client deadline against a silent
+// peer produces — but synchronously, so chaos runs never wait for real
+// timers.
+type netTimeoutError struct{ msg string }
+
+func (e *netTimeoutError) Error() string   { return e.msg }
+func (e *netTimeoutError) Timeout() bool   { return true }
+func (e *netTimeoutError) Temporary() bool { return true }
+
+// attack reports whether matching request n (1-based) is attacked.
+func (f *NetFault) attack(n int64) bool {
+	if f.Times > 0 {
+		return n <= int64(f.Times)
+	}
+	return f.Every > 0 && n%int64(f.Every) == 0
+}
+
+// RoundTrip implements http.RoundTripper.
+func (f *NetFault) RoundTrip(req *http.Request) (*http.Response, error) {
+	inner := f.Inner
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	if f.Path != "" && req.URL.Path != f.Path {
+		return inner.RoundTrip(req)
+	}
+	n := f.calls.Add(1)
+	if !f.attack(n) {
+		if f.Times > 0 && n > int64(f.Times) {
+			f.PassedAfter.Add(1)
+		}
+		return inner.RoundTrip(req)
+	}
+	// The body is owned by the transport once RoundTrip is called; read
+	// it up front so every mode can replay or cut it deterministically.
+	var body []byte
+	if req.Body != nil {
+		var err error
+		body, err = io.ReadAll(req.Body)
+		_ = req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	idx := uint64(n - 1)
+	send := func(payload []byte) (*http.Response, error) {
+		r2 := req.Clone(req.Context())
+		if payload != nil {
+			r2.Body = io.NopCloser(bytes.NewReader(payload))
+			r2.ContentLength = int64(len(payload))
+		}
+		return inner.RoundTrip(r2)
+	}
+	discard := func(resp *http.Response, err error) {
+		if err == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+		}
+	}
+	switch f.Mode {
+	case NetRefuse:
+		f.Refused.Add(1)
+		return nil, fmt.Errorf("chaos: connection refused by plan %q (request %d)", f.Plan.Name, n)
+	case NetReset:
+		f.Resets.Add(1)
+		if len(body) > 1 {
+			// A strict prefix reaches the server — it must detect the torn
+			// stream — and the client still sees only a dead connection.
+			cut := 1 + f.Plan.Pick("net-reset-offset", len(body)-1, idx)
+			discard(send(body[:cut]))
+		}
+		return nil, fmt.Errorf("chaos: connection reset mid-body by plan %q (request %d)", f.Plan.Name, n)
+	case NetBlackhole:
+		f.Blackholed.Add(1)
+		return nil, &netTimeoutError{msg: fmt.Sprintf("chaos: request %d blackholed by plan %q: timeout awaiting response", n, f.Plan.Name)}
+	case NetTrickle:
+		f.Trickled.Add(1)
+		sliver := 1 + f.Plan.Pick("net-trickle-sliver", 16, idx)
+		r2 := req.Clone(req.Context())
+		if body != nil {
+			r2.Body = io.NopCloser(&trickleReader{data: body, sliver: sliver, sleep: f.Sleep, delay: f.TrickleDelay})
+			r2.ContentLength = int64(len(body))
+		}
+		return inner.RoundTrip(r2)
+	default:
+		return send(body)
+	}
+}
+
+// trickleReader serves its payload sliver bytes at a time, pausing
+// between slivers when a Sleep is configured.
+type trickleReader struct {
+	data   []byte
+	off    int
+	sliver int
+	sleep  func(time.Duration)
+	delay  time.Duration
+}
+
+func (t *trickleReader) Read(p []byte) (int, error) {
+	if t.off >= len(t.data) {
+		return 0, io.EOF
+	}
+	if t.off > 0 && t.sleep != nil {
+		t.sleep(t.delay)
+	}
+	n := t.sliver
+	if n > len(p) {
+		n = len(p)
+	}
+	if rem := len(t.data) - t.off; n > rem {
+		n = rem
+	}
+	copy(p, t.data[t.off:t.off+n])
+	t.off += n
+	return n, nil
+}
+
+// CutListener wraps a net.Listener and kills every Every-th accepted
+// connection after a plan-chosen byte budget (reads + writes combined):
+// the server-side mid-stream cut — a response dying under the client,
+// a request dying under the server — that resume protocols must absorb.
+// The cut lands at a deterministic byte offset; which request trips it
+// depends only on connection order.
+type CutListener struct {
+	net.Listener
+	Plan  Plan
+	Every int // cut every Every-th accepted connection; <= 0 cuts none
+	// MinBytes/MaxBytes bound the byte budget drawn per cut connection.
+	// Zero values default to [256, 4096).
+	MinBytes, MaxBytes int
+
+	accepted atomic.Int64
+	Cut      atomic.Int64 // connections killed mid-stream
+}
+
+// Accept implements net.Listener.
+func (l *CutListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	n := l.accepted.Add(1)
+	if l.Every <= 0 || n%int64(l.Every) != 0 {
+		return c, nil
+	}
+	lo, hi := l.MinBytes, l.MaxBytes
+	if lo <= 0 {
+		lo = 256
+	}
+	if hi <= lo {
+		hi = lo + 3840
+	}
+	budget := lo + l.Plan.Pick("net-cut-budget", hi-lo, uint64(n-1))
+	cc := &cutConn{Conn: c, cut: &l.Cut}
+	cc.budget.Store(int64(budget))
+	return cc, nil
+}
+
+// cutConn closes itself once its byte budget is spent.
+type cutConn struct {
+	net.Conn
+	budget atomic.Int64
+	cut    *atomic.Int64
+	dead   atomic.Bool
+}
+
+func (c *cutConn) spend(n int) error {
+	if c.budget.Add(int64(-n)) <= 0 && c.dead.CompareAndSwap(false, true) {
+		c.cut.Add(1)
+		_ = c.Conn.Close()
+		return io.ErrClosedPipe
+	}
+	return nil
+}
+
+func (c *cutConn) Read(p []byte) (int, error) {
+	if c.dead.Load() {
+		return 0, io.ErrClosedPipe
+	}
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		if cerr := c.spend(n); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return n, err
+}
+
+func (c *cutConn) Write(p []byte) (int, error) {
+	if c.dead.Load() {
+		return 0, io.ErrClosedPipe
+	}
+	n, err := c.Conn.Write(p)
+	if n > 0 {
+		if cerr := c.spend(n); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return n, err
+}

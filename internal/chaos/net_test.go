@@ -1,0 +1,252 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// bodyRecorder is the target server for the RoundTripper tests: it
+// records every request body it receives, in order.
+type bodyRecorder struct {
+	mu     sync.Mutex
+	bodies [][]byte
+}
+
+func (br *bodyRecorder) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	data, _ := io.ReadAll(r.Body)
+	br.mu.Lock()
+	br.bodies = append(br.bodies, data)
+	br.mu.Unlock()
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok"))
+}
+
+func (br *bodyRecorder) got() [][]byte {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	out := make([][]byte, len(br.bodies))
+	copy(out, br.bodies)
+	return out
+}
+
+func postBody(t *testing.T, f *NetFault, url string, body []byte) (*http.Response, error) {
+	t.Helper()
+	client := &http.Client{Transport: f, Timeout: 10 * time.Second}
+	resp, err := client.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err == nil {
+		defer func() { _ = resp.Body.Close() }()
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}
+	return resp, err
+}
+
+func TestNetFaultRefuseTimesThenHeals(t *testing.T) {
+	rec := &bodyRecorder{}
+	srv := httptest.NewServer(rec)
+	defer srv.Close()
+
+	f := &NetFault{Plan: Plan{Seed: 7, Name: "refuse"}, Mode: NetRefuse, Times: 2}
+	for i := 0; i < 2; i++ {
+		if _, err := postBody(t, f, srv.URL+"/v1/lease", []byte("hello")); err == nil {
+			t.Fatalf("request %d: refused request succeeded", i)
+		}
+	}
+	if _, err := postBody(t, f, srv.URL+"/v1/lease", []byte("hello")); err != nil {
+		t.Fatalf("partition healed but request still fails: %v", err)
+	}
+	if got := f.Refused.Load(); got != 2 {
+		t.Errorf("Refused = %d, want 2", got)
+	}
+	if got := f.PassedAfter.Load(); got != 1 {
+		t.Errorf("PassedAfter = %d, want 1", got)
+	}
+	if got := len(rec.got()); got != 1 {
+		t.Errorf("server saw %d requests, want 1 (both refused attempts delivered nothing)", got)
+	}
+}
+
+func TestNetFaultResetDeliversDeterministicStrictPrefix(t *testing.T) {
+	body := []byte(strings.Repeat("0123456789", 20))
+	run := func() []byte {
+		rec := &bodyRecorder{}
+		srv := httptest.NewServer(rec)
+		defer srv.Close()
+		f := &NetFault{Plan: Plan{Seed: 41, Name: "reset"}, Mode: NetReset, Times: 1}
+		if _, err := postBody(t, f, srv.URL+"/v1/complete", body); err == nil {
+			t.Fatal("reset request reported success; the client must never learn whether the server acted")
+		}
+		if got := f.Resets.Load(); got != 1 {
+			t.Fatalf("Resets = %d, want 1", got)
+		}
+		got := rec.got()
+		if len(got) != 1 {
+			t.Fatalf("server saw %d requests, want 1 (the torn prefix)", len(got))
+		}
+		return got[0]
+	}
+	first := run()
+	if len(first) == 0 || len(first) >= len(body) {
+		t.Fatalf("server received %d bytes of %d; want a non-empty strict prefix", len(first), len(body))
+	}
+	if !bytes.Equal(first, body[:len(first)]) {
+		t.Fatal("delivered bytes are not a prefix of the request body")
+	}
+	if second := run(); !bytes.Equal(first, second) {
+		t.Fatalf("same plan cut at %d then %d bytes; byte picks must replay exactly", len(first), len(second))
+	}
+}
+
+func TestNetFaultBlackholeIsTimeout(t *testing.T) {
+	rec := &bodyRecorder{}
+	srv := httptest.NewServer(rec)
+	defer srv.Close()
+
+	f := &NetFault{Plan: Plan{Seed: 3, Name: "blackhole"}, Mode: NetBlackhole, Times: 1}
+	_, err := postBody(t, f, srv.URL+"/v1/heartbeat", []byte("x"))
+	if err == nil {
+		t.Fatal("blackholed request succeeded")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("blackhole error %v is not a net.Error timeout", err)
+	}
+	if got := len(rec.got()); got != 0 {
+		t.Errorf("server saw %d requests, want 0 (blackhole swallows the request whole)", got)
+	}
+	if got := f.Blackholed.Load(); got != 1 {
+		t.Errorf("Blackholed = %d, want 1", got)
+	}
+}
+
+func TestNetFaultTrickleDeliversEverythingSlowly(t *testing.T) {
+	body := []byte(strings.Repeat("abcdefgh", 64))
+	rec := &bodyRecorder{}
+	srv := httptest.NewServer(rec)
+	defer srv.Close()
+
+	var pauses int
+	var paused time.Duration
+	f := &NetFault{
+		Plan: Plan{Seed: 11, Name: "trickle"}, Mode: NetTrickle, Every: 1,
+		Sleep: func(d time.Duration) { pauses++; paused += d }, TrickleDelay: time.Millisecond,
+	}
+	resp, err := postBody(t, f, srv.URL+"/v1/stream", body)
+	if err != nil {
+		t.Fatalf("trickle must cost latency and nothing else, got %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trickled request answered %d", resp.StatusCode)
+	}
+	got := rec.got()
+	if len(got) != 1 || !bytes.Equal(got[0], body) {
+		t.Fatalf("server received %d bytes, want the full %d-byte body intact", len(got[0]), len(body))
+	}
+	if pauses == 0 {
+		t.Error("trickle never paused between slivers")
+	}
+	if paused != time.Duration(pauses)*time.Millisecond {
+		t.Errorf("paused %v over %d pauses, want TrickleDelay each", paused, pauses)
+	}
+	if got := f.Trickled.Load(); got != 1 {
+		t.Errorf("Trickled = %d, want 1", got)
+	}
+}
+
+func TestNetFaultPathFilterAndEverySchedule(t *testing.T) {
+	rec := &bodyRecorder{}
+	srv := httptest.NewServer(rec)
+	defer srv.Close()
+
+	f := &NetFault{Plan: Plan{Seed: 5, Name: "every"}, Mode: NetRefuse, Every: 2, Path: "/v1/complete"}
+	// Non-matching paths never count against the schedule.
+	for i := 0; i < 4; i++ {
+		if _, err := postBody(t, f, srv.URL+"/v1/lease", []byte("x")); err != nil {
+			t.Fatalf("non-matching path attacked: %v", err)
+		}
+	}
+	// Matching requests 1..4: the schedule refuses every 2nd.
+	var errs int
+	for i := 0; i < 4; i++ {
+		if _, err := postBody(t, f, srv.URL+"/v1/complete", []byte("x")); err != nil {
+			errs++
+		}
+	}
+	if errs != 2 {
+		t.Errorf("Every=2 refused %d of 4 matching requests, want 2", errs)
+	}
+	if got := f.Refused.Load(); got != 2 {
+		t.Errorf("Refused = %d, want 2", got)
+	}
+}
+
+func TestCutListenerKillsConnectionsMidStream(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := &CutListener{Listener: inner, Plan: Plan{Seed: 13, Name: "cut"}, Every: 1, MinBytes: 64, MaxBytes: 128}
+	srv := &http.Server{
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			_, _ = io.Copy(io.Discard, r.Body)
+			_, _ = w.Write(bytes.Repeat([]byte("y"), 4096))
+		}),
+		ReadTimeout: 5 * time.Second, WriteTimeout: 5 * time.Second, ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() { _ = srv.Serve(cl) }()
+	defer func() { _ = srv.Close() }()
+
+	client := &http.Client{Timeout: 10 * time.Second, Transport: &http.Transport{DisableKeepAlives: true}}
+	big := bytes.Repeat([]byte("z"), 64<<10)
+	var failures int
+	for i := 0; i < 3; i++ {
+		resp, err := client.Post("http://"+inner.Addr().String()+"/v1/stream", "application/octet-stream", bytes.NewReader(big))
+		if err != nil {
+			failures++
+			continue
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			failures++
+		}
+		_ = resp.Body.Close()
+	}
+	if failures != 3 {
+		t.Errorf("%d of 3 connections survived a budget far below the payload", 3-failures)
+	}
+	if got := cl.Cut.Load(); got != 3 {
+		t.Errorf("Cut = %d, want 3", got)
+	}
+}
+
+func TestCutListenerEveryZeroCutsNone(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := &CutListener{Listener: inner, Plan: Plan{Seed: 13, Name: "cut-none"}}
+	rec := &bodyRecorder{}
+	srv := &http.Server{
+		Handler:     rec,
+		ReadTimeout: 5 * time.Second, WriteTimeout: 5 * time.Second, ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() { _ = srv.Serve(cl) }()
+	defer func() { _ = srv.Close() }()
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Post("http://"+inner.Addr().String()+"/x", "application/octet-stream", bytes.NewReader(bytes.Repeat([]byte("z"), 64<<10)))
+	if err != nil {
+		t.Fatalf("Every=0 must pass every connection through: %v", err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	if got := cl.Cut.Load(); got != 0 {
+		t.Errorf("Cut = %d, want 0", got)
+	}
+}

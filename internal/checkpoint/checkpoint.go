@@ -137,15 +137,15 @@ type Options struct {
 // re-merges on its next flush, and no record ever moves backward.
 type Store struct {
 	mu       sync.Mutex
-	path     string
-	fs       FS
+	path     string //fpnvet:unguarded immutable after OpenOptions
+	fs       FS     //fpnvet:unguarded immutable after OpenOptions
 	attempts int
 	backoff  time.Duration
 	sleep    func(time.Duration)
-	torn     bool // a trailing partial record was dropped at load
-	recs     map[string]Record
-	order    []string          // first-seen key order, for stable file output
-	meta     map[string]string // sweep-wide annotations, one meta line on disk
+	torn     bool              // a trailing partial record was dropped at load
+	recs     map[string]Record //fpnvet:guardedby mu
+	order    []string          //fpnvet:guardedby mu (first-seen key order, for stable file output)
+	meta     map[string]string //fpnvet:guardedby mu (sweep-wide annotations, one meta line on disk)
 }
 
 // Open creates dir if needed and loads any existing records from it

@@ -16,6 +16,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/fpn/flagproxy/internal/checkpoint"
@@ -44,6 +45,24 @@ type Options struct {
 	// Log, when non-nil, receives one-line operational notes (lease
 	// reassignments, conflicting completions, checkpoint errors).
 	Log io.Writer
+	// Epoch forces the coordinator's fencing epoch; 0 derives it from
+	// the ledger (last persisted epoch + 1) or defaults to 1 without a
+	// Store. Leases carry the epoch, and completions/heartbeats fenced
+	// with a different one are rejected — a partitioned predecessor can
+	// never commit into a successor's frontier.
+	Epoch int64
+	// PoisonAfter is the distinct-worker abandonment threshold at which
+	// a shard is suspected poisoned: it then gets exactly one
+	// fallback-flagged retry lease and is quarantined if that fails
+	// too, instead of crash-looping across the fleet forever. Twice the
+	// threshold in total abandonment events also trips it, so a
+	// single-worker fleet cannot livelock below the distinct count.
+	// 0 means 3.
+	PoisonAfter int
+	// Failovers records how many coordinator handoffs preceded this
+	// one; a promoted standby passes its takeover count, and the value
+	// is reported verbatim on /v1/status.
+	Failovers int64
 }
 
 // defaultNow is the production clock.
@@ -56,12 +75,20 @@ func defaultNow() time.Time { return time.Now() }
 // point is in flight at a time, matching the single-machine sweep
 // order) and Shutdown when the sweep is over so workers exit.
 type Coordinator struct {
-	now   func() time.Time //fpnvet:unguarded immutable after NewCoordinator
-	ttl   time.Duration    //fpnvet:unguarded immutable after NewCoordinator
-	store *checkpoint.Store
-	rsm   bool
-	every int
-	log   io.Writer
+	now       func() time.Time //fpnvet:unguarded immutable after NewCoordinator
+	ttl       time.Duration    //fpnvet:unguarded immutable after NewCoordinator
+	store     *checkpoint.Store
+	rsm       bool
+	every     int
+	log       io.Writer
+	epoch     int64 //fpnvet:unguarded immutable after NewCoordinator
+	poison    int   //fpnvet:unguarded immutable after NewCoordinator
+	failovers int64 //fpnvet:unguarded immutable after NewCoordinator
+
+	staleRejects atomic.Int64 // completions/heartbeats fenced off by epoch
+	reassigns    atomic.Int64 // expired leases handed to another worker
+	fbRetries    atomic.Int64 // poison-suspect shards granted a fallback lease
+	quarantined  atomic.Int64 // shards quarantined after the fallback retry failed
 
 	mu       sync.Mutex
 	job      *job  //fpnvet:guardedby mu
@@ -75,6 +102,11 @@ type job struct {
 	wire   *WireConfig
 	fr     *experiment.Frontier
 	shards []shardState
+	seed   int64  // base seed, for quarantine repro lines
+	dec    string // primary decoder name, for degradation accounting
+	quar   int    // shards quarantined in this job
+	serrs  []experiment.ShardError
+	fbBlks int // blocks rescued by a coordinator-flagged fallback retry
 	done   chan struct{}
 	closed bool
 }
@@ -88,9 +120,26 @@ type shardState struct {
 	lease  int64 // 0 = unleased
 	worker string
 	expiry time.Time
+
+	// Poison-shard bookkeeping: which distinct workers walked away from
+	// this shard (lease expiry or explicit abandon), how many times in
+	// total, the last reported failure, and where the shard stands on
+	// the retry-once-then-quarantine ladder.
+	abandons    map[string]bool
+	events      int
+	lastErr     string
+	fallbackTry bool
+	quarantined bool
 }
 
-// NewCoordinator builds a Coordinator from opt.
+// epochMetaKey is the ledger annotation persisting the highest
+// coordinator epoch ever to own the store.
+const epochMetaKey = "fabric-epoch"
+
+// NewCoordinator builds a Coordinator from opt. When a Store is
+// configured, the fencing epoch is read from the ledger, bumped and
+// persisted — a restarted or promoted coordinator automatically fences
+// out its predecessor's traffic.
 func NewCoordinator(opt Options) *Coordinator {
 	now := opt.Now
 	if now == nil {
@@ -104,7 +153,31 @@ func NewCoordinator(opt Options) *Coordinator {
 	if every <= 0 {
 		every = 256
 	}
-	return &Coordinator{now: now, ttl: ttl, store: opt.Store, rsm: opt.Resume, every: every, log: opt.Log}
+	poison := opt.PoisonAfter
+	if poison <= 0 {
+		poison = 3
+	}
+	c := &Coordinator{
+		now: now, ttl: ttl, store: opt.Store, rsm: opt.Resume, every: every,
+		log: opt.Log, poison: poison, failovers: opt.Failovers,
+	}
+	c.epoch = opt.Epoch
+	if c.epoch == 0 {
+		c.epoch = 1
+		if c.store != nil {
+			if prev, ok := c.store.Meta(epochMetaKey); ok {
+				if n, err := strconv.ParseInt(prev, 10, 64); err == nil && n > 0 {
+					c.epoch = n + 1
+				}
+			}
+		}
+	}
+	if c.store != nil {
+		if err := c.store.SetMeta(epochMetaKey, strconv.FormatInt(c.epoch, 10)); err != nil {
+			c.logf("persisting epoch %d: %v", c.epoch, err)
+		}
+	}
+	return c
 }
 
 func (c *Coordinator) logf(format string, args ...any) {
@@ -120,7 +193,25 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/lease", c.handleLease)
 	mux.HandleFunc("POST /v1/heartbeat", c.handleHeartbeat)
 	mux.HandleFunc("POST /v1/complete", c.handleComplete)
+	mux.HandleFunc("POST /v1/abandon", c.handleAbandon)
+	mux.HandleFunc("GET /v1/status", c.handleStatus)
 	return mux
+}
+
+// epochOK fences a request's echoed epoch: empty is accepted unfenced
+// (hand-driven debugging clients), anything else must match exactly —
+// both a fenced-out predecessor and a worker still loyal to one are
+// turned away the same way.
+func (c *Coordinator) epochOK(epoch string) bool {
+	if epoch == "" {
+		return true
+	}
+	n, err := strconv.ParseInt(epoch, 10, 64)
+	if err == nil && n == c.epoch {
+		return true
+	}
+	c.staleRejects.Add(1)
+	return false
 }
 
 // writeJSON and badRequest are the handlers' only response writers, and
@@ -156,6 +247,7 @@ func (c *Coordinator) jobPoll() jobMsg {
 	return jobMsg{
 		Status: statusJob, Fingerprint: c.job.fp,
 		Config: c.job.wire, LeaseTTLMs: c.ttl.Milliseconds(),
+		Epoch: c.epoch,
 	}
 }
 
@@ -169,7 +261,11 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 }
 
 // grantLease does the lease-table walk under the lock and returns the
-// reply for the handler to write after release.
+// reply for the handler to write after release. The walk is also where
+// the poison ladder advances: an expired lease is recorded as an
+// abandonment, a shard past the abandonment threshold gets exactly one
+// fallback-flagged retry, and one that burned the retry too is
+// quarantined right here instead of being handed out again.
 func (c *Coordinator) grantLease(worker, fp string) leaseMsg {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -187,7 +283,7 @@ func (c *Coordinator) grantLease(worker, fp string) leaseMsg {
 	now := c.now()
 	for i := range jb.shards {
 		sh := &jb.shards[i]
-		if sh.done {
+		if sh.done || sh.quarantined {
 			continue
 		}
 		if sh.lease != 0 && sh.expiry.After(now) {
@@ -195,15 +291,106 @@ func (c *Coordinator) grantLease(worker, fp string) leaseMsg {
 		}
 		if sh.lease != 0 {
 			c.logf("lease %d on shard %d (worker %s) expired; reassigning to %s", sh.lease, i, sh.worker, worker)
+			c.reassigns.Add(1)
+			recordAbandon(sh, sh.worker, "lease expired")
+			sh.lease = 0
+		}
+		if c.poisoned(sh) {
+			if sh.fallbackTry {
+				c.quarantineLocked(jb, i, sh)
+				continue
+			}
+			sh.fallbackTry = true
+			c.fbRetries.Add(1)
+			c.leaseSeq++
+			sh.lease, sh.worker, sh.expiry = c.leaseSeq, worker, now.Add(c.ttl)
+			c.logf("shard %d abandoned %d times by %d workers; granting %s one fallback retry",
+				i, sh.events, len(sh.abandons), worker)
+			return leaseMsg{
+				Status: statusLease, Lease: sh.lease, Shard: i,
+				FirstBlock: sh.first, Blocks: sh.blocks,
+				Epoch: c.epoch, Fallback: true,
+			}
 		}
 		c.leaseSeq++
 		sh.lease, sh.worker, sh.expiry = c.leaseSeq, worker, now.Add(c.ttl)
 		return leaseMsg{
 			Status: statusLease, Lease: sh.lease, Shard: i,
-			FirstBlock: sh.first, Blocks: sh.blocks,
+			FirstBlock: sh.first, Blocks: sh.blocks, Epoch: c.epoch,
 		}
 	}
+	if c.allSettledLocked(jb) {
+		// Every shard is merged or quarantined; the frontier can never
+		// finish naturally past a quarantine hole, so release RunPoint
+		// with the committed prefix.
+		c.completeLocked(jb)
+		return leaseMsg{Status: statusDone}
+	}
 	return leaseMsg{Status: statusWait}
+}
+
+// recordAbandon books one walk-away (lease expiry or explicit abandon)
+// against a shard. Caller holds c.mu.
+func recordAbandon(sh *shardState, worker, reason string) {
+	if sh.abandons == nil {
+		sh.abandons = make(map[string]bool)
+	}
+	if worker != "" {
+		sh.abandons[worker] = true
+	}
+	sh.events++
+	if reason != "" {
+		sh.lastErr = reason
+	}
+}
+
+// poisoned reports whether a shard has crossed the abandonment
+// threshold: PoisonAfter distinct workers, or twice that in total
+// events so a single-worker fleet cannot livelock below the distinct
+// count. Caller holds c.mu.
+func (c *Coordinator) poisoned(sh *shardState) bool {
+	return len(sh.abandons) >= c.poison || sh.events >= 2*c.poison
+}
+
+// quarantineLocked writes a shard off: the frontier limit is lowered so
+// the run finishes on the committed prefix, the failure is attached to
+// the job as a ShardError, and a repro line lands in the ledger so the
+// shard can be replayed offline (same fingerprint, same first block —
+// determinism makes the repro exact). Caller holds c.mu.
+func (c *Coordinator) quarantineLocked(jb *job, i int, sh *shardState) {
+	sh.quarantined, sh.lease = true, 0
+	jb.quar++
+	c.quarantined.Add(1)
+	jb.fr.Quarantine(sh.first)
+	jb.serrs = append(jb.serrs, experiment.ShardError{
+		Seed: jb.seed, Shard: i, FirstBlock: sh.first, Blocks: sh.blocks,
+		Decoder: jb.dec, PanicValue: sh.lastErr,
+	})
+	c.logf("quarantining shard %d (blocks %d+%d) after %d abandonments by %d workers; last error: %s",
+		i, sh.first, sh.blocks, sh.events, len(sh.abandons), sh.lastErr)
+	if c.store != nil {
+		key := "quarantine:" + jb.fp + ":" + strconv.Itoa(sh.first)
+		val := fmt.Sprintf("shard=%d first=%d blocks=%d seed=%d decoder=%s events=%d workers=%d err=%q",
+			i, sh.first, sh.blocks, jb.seed, jb.dec, sh.events, len(sh.abandons), sh.lastErr)
+		if err := c.store.SetMeta(key, val); err != nil {
+			c.logf("recording quarantine repro: %v", err)
+		}
+	}
+}
+
+// allSettledLocked reports whether every shard is merged or quarantined
+// — with at least one quarantine, the only way the point ends. Caller
+// holds c.mu.
+func (c *Coordinator) allSettledLocked(jb *job) bool {
+	if jb.quar == 0 {
+		return false
+	}
+	for i := range jb.shards {
+		if sh := &jb.shards[i]; !sh.done && !sh.quarantined {
+			return false
+		}
+	}
+	return true
 }
 
 func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
@@ -213,12 +400,15 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "bad lease id")
 		return
 	}
-	writeJSON(w, c.renewLease(fp, lease))
+	writeJSON(w, c.renewLease(fp, lease, r.URL.Query().Get("epoch")))
 }
 
-func (c *Coordinator) renewLease(fp string, lease int64) ackMsg {
+func (c *Coordinator) renewLease(fp string, lease int64, epoch string) ackMsg {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if !c.epochOK(epoch) {
+		return ackMsg{Status: statusStaleEpoch, Epoch: c.epoch}
+	}
 	jb := c.job
 	if jb == nil || jb.fp != fp {
 		return ackMsg{Status: statusExpired}
@@ -233,6 +423,89 @@ func (c *Coordinator) renewLease(fp string, lease int64) ackMsg {
 		}
 	}
 	return ackMsg{Status: statusExpired}
+}
+
+// handleAbandon releases a lease the worker cannot finish (decode
+// failure, orderly shutdown mid-shard) so the shard recycles
+// immediately instead of waiting out the TTL, and books the abandonment
+// against the poison ladder. A fallback retry that is abandoned
+// quarantines the shard on the spot.
+func (c *Coordinator) handleAbandon(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	shardIdx, err := strconv.Atoi(q.Get("shard"))
+	if err != nil {
+		badRequest(w, "bad shard index")
+		return
+	}
+	lease, err := strconv.ParseInt(q.Get("lease"), 10, 64)
+	if err != nil {
+		badRequest(w, "bad lease id")
+		return
+	}
+	writeJSON(w, c.abandonShard(q.Get("job"), shardIdx, lease, q.Get("worker"), q.Get("epoch"), q.Get("reason")))
+}
+
+func (c *Coordinator) abandonShard(fp string, shardIdx int, lease int64, worker, epoch, reason string) ackMsg {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.epochOK(epoch) {
+		return ackMsg{Status: statusStaleEpoch, Epoch: c.epoch}
+	}
+	jb := c.job
+	if jb == nil || jb.fp != fp {
+		return ackMsg{Status: statusIdle}
+	}
+	if shardIdx < 0 || shardIdx >= len(jb.shards) {
+		return ackMsg{Status: statusExpired}
+	}
+	sh := &jb.shards[shardIdx]
+	if sh.done || sh.quarantined || sh.lease != lease {
+		return ackMsg{Status: statusExpired}
+	}
+	wasFallback := sh.fallbackTry
+	sh.lease = 0
+	recordAbandon(sh, worker, reason)
+	c.logf("worker %s abandoned shard %d: %s", worker, shardIdx, reason)
+	if wasFallback && c.poisoned(sh) {
+		c.quarantineLocked(jb, shardIdx, sh)
+		if c.allSettledLocked(jb) {
+			c.completeLocked(jb)
+		}
+	}
+	return ackMsg{Status: statusOK, Epoch: c.epoch}
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, c.Status())
+}
+
+// Status snapshots the coordinator's identity and resilience counters —
+// what a standby probes to decide the primary is alive, and what an
+// operator reads to see fencing and quarantine at work.
+func (c *Coordinator) Status() statusMsg {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	msg := statusMsg{
+		Status:            statusIdle,
+		Epoch:             c.epoch,
+		Quarantined:       c.quarantined.Load(),
+		StaleEpochRejects: c.staleRejects.Load(),
+		LeaseReassigns:    c.reassigns.Load(),
+		FallbackRetries:   c.fbRetries.Load(),
+		Failovers:         c.failovers,
+	}
+	if c.shutdown {
+		msg.Status = statusShutdown
+	}
+	if jb := c.job; jb != nil {
+		msg.Status, msg.Fingerprint, msg.ShardsTotal = statusJob, jb.fp, len(jb.shards)
+		for i := range jb.shards {
+			if jb.shards[i].done {
+				msg.ShardsDone++
+			}
+		}
+	}
+	return msg
 }
 
 // handleComplete merges one shard's streamed counts. The stream is
@@ -255,7 +528,7 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "torn result stream: "+err.Error())
 		return
 	}
-	ack, errMsg := c.mergeShard(fp, shardIdx, body)
+	ack, errMsg := c.mergeShard(fp, shardIdx, r.URL.Query().Get("epoch"), r.URL.Query().Get("dec"), body)
 	if errMsg != "" {
 		badRequest(w, errMsg)
 		return
@@ -264,10 +537,15 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 }
 
 // mergeShard validates and merges one completion under the lock; a
-// non-empty second return is a 400 for the handler to send.
-func (c *Coordinator) mergeShard(fp string, shardIdx int, body []byte) (ackMsg, string) {
+// non-empty second return is a 400 for the handler to send. The epoch
+// fence comes first: a completion from a worker still fenced to a
+// previous coordinator is rejected before its content is even parsed.
+func (c *Coordinator) mergeShard(fp string, shardIdx int, epoch, dec string, body []byte) (ackMsg, string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if !c.epochOK(epoch) {
+		return ackMsg{Status: statusStaleEpoch, Epoch: c.epoch}, ""
+	}
 	jb := c.job
 	if jb == nil || jb.fp != fp {
 		// The point is gone (finished or superseded); nothing to merge.
@@ -277,6 +555,11 @@ func (c *Coordinator) mergeShard(fp string, shardIdx int, body []byte) (ackMsg, 
 		return ackMsg{}, "shard index out of range"
 	}
 	sh := &jb.shards[shardIdx]
+	if sh.quarantined {
+		// The shard was written off and the frontier limit lowered past
+		// it; a late result can no longer be committed.
+		return ackMsg{Status: statusIdle}, ""
+	}
 	counts, err := readCounts(bytes.NewReader(body), sh.first, sh.blocks)
 	if err != nil {
 		return ackMsg{}, err.Error()
@@ -284,21 +567,25 @@ func (c *Coordinator) mergeShard(fp string, shardIdx int, body []byte) (ackMsg, 
 	digest := countsDigest(counts)
 	if sh.done {
 		if digest == sh.digest {
-			return ackMsg{Status: statusOK}, ""
+			return ackMsg{Status: statusOK, Epoch: c.epoch}, ""
 		}
 		c.logf("conflicting completion for shard %d of %s: digest %08x vs committed %08x (first wins)",
 			shardIdx, fp, digest, sh.digest)
-		return ackMsg{Status: statusConflict}, ""
+		return ackMsg{Status: statusConflict, Epoch: c.epoch}, ""
 	}
 	for i, e := range counts {
 		jb.fr.Mark(sh.first+i, e)
 	}
 	sh.done, sh.digest, sh.lease = true, digest, 0
+	if dec != "" && dec != jb.dec {
+		jb.fbBlks += sh.blocks
+		c.logf("shard %d rescued by fallback decoder %s", shardIdx, dec)
+	}
 	jb.fr.Commit()
-	if jb.fr.Done() {
+	if jb.fr.Done() || c.allSettledLocked(jb) {
 		c.completeLocked(jb)
 	}
-	return ackMsg{Status: statusOK}, ""
+	return ackMsg{Status: statusOK, Epoch: c.epoch}, ""
 }
 
 // completeLocked signals RunPoint that the frontier is done. Idempotent;
@@ -364,13 +651,14 @@ func (c *Coordinator) RunPoint(ctx context.Context, cfg experiment.Config) (*exp
 		}
 	}
 	fr := experiment.NewFrontier(cfg)
+	var jb *job
 	if !fr.Done() {
 		shardShots := cfg.ShardShots
 		if shardShots <= 0 {
 			shardShots = 1024
 		}
 		shardBlocks := (shardShots + 63) / 64
-		jb := &job{fp: fp, wire: wire, fr: fr, done: make(chan struct{})}
+		jb = &job{fp: fp, wire: wire, fr: fr, seed: cfg.Seed, dec: cfg.Decoder.String(), done: make(chan struct{})}
 		for first := fr.Start(); first < fr.Total(); first += shardBlocks {
 			n := shardBlocks
 			if first+n > fr.Total() {
@@ -401,9 +689,18 @@ func (c *Coordinator) RunPoint(ctx context.Context, cfg experiment.Config) (*exp
 	p := fr.State()
 	res := experiment.Reconstruct(cfg, p.Blocks, p.Shots, p.Errors, fr.Finalized())
 	res.Interrupted = ctx.Err() != nil && !fr.Done()
+	if jb != nil {
+		// No handler can reach jb once c.job is nil, so these reads are
+		// safe without the lock.
+		res.ShardErrors = append(res.ShardErrors, jb.serrs...)
+		res.FallbackBlocks += jb.fbBlks
+	}
 	if c.store != nil {
 		rec := checkpoint.Record{Key: fp, Blocks: p.Blocks, Shots: p.Shots, Errors: p.Errors}
 		if fr.Done() {
+			// A quarantined point never reports Done: its record keeps the
+			// committed prefix so a later run (new epoch, fixed decoder)
+			// can resume past the repro line.
 			rec.Done, rec.EarlyStopped = true, fr.Finalized()
 		}
 		if err := c.store.Put(rec); err != nil {

@@ -251,6 +251,7 @@ type rawJob struct {
 	Status      string `json:"status"`
 	Fingerprint string `json:"fingerprint"`
 	LeaseTTLMs  int64  `json:"lease_ttl_ms"`
+	Epoch       int64  `json:"epoch"`
 }
 
 type rawLease struct {
@@ -259,10 +260,13 @@ type rawLease struct {
 	Shard      int    `json:"shard"`
 	FirstBlock int    `json:"first_block"`
 	Blocks     int    `json:"blocks"`
+	Epoch      int64  `json:"epoch"`
+	Fallback   bool   `json:"fallback"`
 }
 
 type rawAck struct {
 	Status string `json:"status"`
+	Epoch  int64  `json:"epoch"`
 }
 
 func rawCall(t *testing.T, method, url string, body []byte, out any) {

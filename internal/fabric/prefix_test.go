@@ -1,0 +1,145 @@
+// The fence, byte by byte: a completion stream must be unable to commit
+// from a partitioned (stale-epoch) worker OR from a torn connection at
+// ANY strict byte prefix. This is the raw-protocol proof behind the
+// acceptance criterion "a partitioned stale-epoch coordinator provably
+// cannot commit" — no package codec in the loop, just bytes on a wire.
+package fabric_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/fpn/flagproxy/internal/experiment"
+	"github.com/fpn/flagproxy/internal/fabric"
+)
+
+// rawPost is rawCall's tolerant sibling: it reports the HTTP status
+// instead of failing on it, because rejection IS the expected outcome.
+func rawPost(t *testing.T, url string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/x-ndjson", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+func TestStaleEpochAndTornPrefixesNeverCommit(t *testing.T) {
+	cfg := baseConfig(rotated3(t))
+	golden, err := experiment.RunContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := experiment.NewPipeline(cfg.Code, cfg.Arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := pl.NewBlockRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	co := fabric.NewCoordinator(fabric.Options{Now: newFakeClock().Now, Epoch: 2, Failovers: 1})
+	srv := httptest.NewServer(co.Handler())
+	defer srv.Close()
+	resCh := make(chan *experiment.Result, 1)
+	go func() {
+		res, err := co.RunPoint(context.Background(), cfg)
+		if err != nil {
+			t.Errorf("RunPoint: %v", err)
+		}
+		resCh <- res
+	}()
+
+	var jm rawJob
+	for jm.Status != "job" {
+		rawCall(t, http.MethodGet, srv.URL+"/v1/job", nil, &jm)
+	}
+	lease := func(worker string) rawLease {
+		var lm rawLease
+		rawCall(t, http.MethodPost, srv.URL+"/v1/lease?job="+jm.Fingerprint+"&worker="+worker, []byte{}, &lm)
+		return lm
+	}
+	completeURL := func(lm rawLease, epoch int64) string {
+		return fmt.Sprintf("%s/v1/complete?job=%s&shard=%d&lease=%d&epoch=%d", srv.URL, jm.Fingerprint, lm.Shard, lm.Lease, epoch)
+	}
+	countsFor := func(lm rawLease) []int {
+		counts, err := br.CountBlocks(context.Background(), lm.FirstBlock, lm.Blocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return counts
+	}
+
+	lm := lease("prefixer")
+	if lm.Status != "lease" || lm.Epoch != 2 {
+		t.Fatalf("lease = %+v, want a lease at epoch 2", lm)
+	}
+	body := rawCompletion(lm.FirstBlock, countsFor(lm))
+
+	// Every strict byte prefix, on both sides of the fence. A torn
+	// stream at the live epoch is a 400; ANY stream at a stale epoch —
+	// torn or whole — is fenced with a well-formed stale-epoch ack
+	// before a byte of counts is parsed.
+	for cut := 0; cut < len(body); cut++ {
+		if code, resp := rawPost(t, completeURL(lm, 2), body[:cut]); code == http.StatusOK {
+			t.Fatalf("torn prefix of %d/%d bytes committed at the live epoch: HTTP %d %s", cut, len(body), code, resp)
+		}
+		code, resp := rawPost(t, completeURL(lm, 1), body[:cut])
+		var ack rawAck
+		if err := json.Unmarshal(resp, &ack); code != http.StatusOK || err != nil || ack.Status != "stale-epoch" || ack.Epoch != 2 {
+			t.Fatalf("stale prefix of %d/%d bytes: HTTP %d %s, want a stale-epoch ack at epoch 2", cut, len(body), code, resp)
+		}
+	}
+	// The whole, perfectly well-formed completion is still refused when
+	// stamped with the dead coordinator's epoch.
+	code, resp := rawPost(t, completeURL(lm, 1), body)
+	var ack rawAck
+	if err := json.Unmarshal(resp, &ack); code != http.StatusOK || err != nil || ack.Status != "stale-epoch" {
+		t.Fatalf("whole stale-epoch completion: HTTP %d %s, want stale-epoch", code, resp)
+	}
+	st := co.Status()
+	if st.ShardsDone != 0 {
+		t.Fatalf("%d shards committed through the fence", st.ShardsDone)
+	}
+	if st.StaleEpochRejects < int64(len(body))+1 {
+		t.Errorf("StaleEpochRejects = %d, want at least %d (one per stale attempt)", st.StaleEpochRejects, len(body)+1)
+	}
+
+	// Only the whole body at the live epoch commits — and the sweep then
+	// drains to the byte-identical single-machine result.
+	code, resp = rawPost(t, completeURL(lm, 2), body)
+	if err := json.Unmarshal(resp, &ack); code != http.StatusOK || err != nil || ack.Status != "ok" {
+		t.Fatalf("live-epoch completion: HTTP %d %s, want ok", code, resp)
+	}
+	if got := co.Status().ShardsDone; got != 1 {
+		t.Fatalf("ShardsDone = %d after the one valid completion, want 1", got)
+	}
+	for {
+		lm := lease("drainer")
+		if lm.Status == "done" || lm.Status == "idle" {
+			break
+		}
+		if lm.Status != "lease" {
+			t.Fatalf("drain lease = %+v", lm)
+		}
+		code, resp := rawPost(t, completeURL(lm, 2), rawCompletion(lm.FirstBlock, countsFor(lm)))
+		if err := json.Unmarshal(resp, &ack); code != http.StatusOK || err != nil || ack.Status != "ok" {
+			t.Fatalf("drain completion for shard %d: HTTP %d %s", lm.Shard, code, resp)
+		}
+	}
+	if got, want := summarize(<-resCh), summarize(golden); got != want {
+		t.Errorf("prefix-bombed run diverged:\n got %s\nwant %s", got, want)
+	}
+}

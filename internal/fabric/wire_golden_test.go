@@ -21,6 +21,7 @@ import (
 	"github.com/fpn/flagproxy/internal/css"
 	"github.com/fpn/flagproxy/internal/experiment"
 	"github.com/fpn/flagproxy/internal/fpn"
+	"github.com/fpn/flagproxy/internal/rtd"
 	"github.com/fpn/flagproxy/internal/schedule"
 	"github.com/fpn/flagproxy/internal/seedmix"
 	"github.com/fpn/flagproxy/internal/surface"
@@ -141,6 +142,66 @@ func TestWireGoldenFingerprintsAndSeeds(t *testing.T) {
 	if got != string(want) {
 		t.Errorf("wire fingerprints drifted from %s:\ngot:\n%swant:\n%s"+
 			"an intended codec change must be proven fingerprint-preserving and regenerated with -update",
+			path, got, want)
+	}
+}
+
+// TestWireProtocolGolden pins the byte encodings that PR 10 added to
+// the wire: epoch-fenced job/lease/ack/status messages, the CRC-framed
+// completion stream, and the rtd resume handshake (header with stream
+// id + start window, resume answer). A partitioned stale coordinator is
+// fenced *by these exact bytes*; any drift must surface as a golden
+// diff in review, never as a silent cross-version split at merge time.
+func TestWireProtocolGolden(t *testing.T) {
+	var buf strings.Builder
+	pin := func(name string, v any) {
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&buf, "%s %s\n", name, data)
+	}
+	pin("job-running", jobMsg{Status: "running", Fingerprint: "fp-cafe", LeaseTTLMs: 15000, Epoch: 3})
+	pin("lease-granted", leaseMsg{Status: "lease", Lease: 42, Shard: 7, FirstBlock: 7, Blocks: 1, Epoch: 3})
+	pin("lease-fallback", leaseMsg{Status: "lease", Lease: 43, Shard: 2, FirstBlock: 2, Blocks: 1, Epoch: 3, Fallback: true})
+	pin("ack-ok", ackMsg{Status: "ok", Epoch: 3})
+	pin("ack-stale-epoch", ackMsg{Status: statusStaleEpoch, Epoch: 3})
+	pin("status", statusMsg{
+		Status: "running", Epoch: 3, Fingerprint: "fp-cafe", ShardsTotal: 10, ShardsDone: 4,
+		Quarantined: 1, StaleEpochRejects: 2, LeaseReassigns: 5, FallbackRetries: 1, Failovers: 1,
+	})
+
+	var comp strings.Builder
+	if err := writeCounts(&comp, 7, []int{0, 3, 1}); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&buf, "completion-frames %q\n", comp.String())
+
+	hdr, err := rtd.EncodeFrame(rtd.Header{Stream: rtd.StreamName, Fingerprint: "fp-cafe", ID: "stream-9", StartWindow: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&buf, "rtd-resume-header %q\n", hdr)
+	pin("rtd-resume-known", rtd.ResumeInfo{Status: rtd.ResumeKnown, NextWindow: 4, Replay: []rtd.Result{{Window: 3, Status: rtd.StatusOK, Decoder: "flagged-mwpm", Flips: []int{1, 5}}}})
+	pin("rtd-resume-unknown", rtd.ResumeInfo{Status: rtd.ResumeUnknown})
+	got := buf.String()
+
+	path := filepath.Join("testdata", "protocol.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden protocol frames (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("wire protocol drifted from %s:\ngot:\n%swant:\n%s"+
+			"an intended protocol change must be shown compatible (or fenced by epoch/version) and regenerated with -update",
 			path, got, want)
 	}
 }

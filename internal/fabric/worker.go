@@ -20,22 +20,36 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/fpn/flagproxy/internal/experiment"
 	"github.com/fpn/flagproxy/internal/seedmix"
 )
 
-// WorkerOptions configures RunWorker. URL is required; everything else
-// has serviceable defaults.
+// ErrUnreachable marks a worker exit caused by every coordinator
+// address staying dark through the whole retry budget — the signal
+// cmd/ber maps to its distinct exit code, as opposed to an interrupt
+// or an engine failure.
+var ErrUnreachable = errors.New("fabric: coordinator unreachable")
+
+// WorkerOptions configures RunWorker. URL (or URLs) is required;
+// everything else has serviceable defaults.
 type WorkerOptions struct {
 	// URL is the coordinator's base address, e.g. "http://host:9911".
 	URL string
+	// URLs, when non-empty, is the failover address list: the primary
+	// coordinator first, standbys after. A request that fails rotates to
+	// the next address before the jittered backoff retry, so a fleet
+	// rides a coordinator handoff without operator action. URL, when
+	// also set, is tried first.
+	URLs []string
 	// ID names this worker in coordinator logs and lease records.
 	ID string
 	// Client issues the HTTP requests; nil means a default client. The
@@ -48,12 +62,21 @@ type WorkerOptions struct {
 	// before the worker gives up (as an attempt budget whose worst-case
 	// backoff schedule spans Patience); 0 means 2 minutes.
 	Patience time.Duration
+	// MaxRetries, when > 0, overrides the Patience-derived attempt
+	// budget with a hard per-request cap: the operator's "fail fast when
+	// nobody answers" knob (ber -max-retries).
+	MaxRetries int
 	// Heartbeat is the lease heartbeat cadence; 0 means a third of the
 	// coordinator's lease TTL.
 	Heartbeat time.Duration
 	// MaxShards, when > 0, exits the worker after that many completed
 	// shards — the chaos suite's "killed worker" lever.
 	MaxShards int
+	// Fallback lists decoder kinds to try, in order, when the
+	// coordinator hands this worker a fallback-flagged lease (a
+	// poison-suspect shard's last chance before quarantine). Empty means
+	// retry with the primary decoder.
+	Fallback []experiment.DecoderKind
 	// Sleep, when non-nil, replaces the default sleep so tests pace
 	// deterministically.
 	Sleep func(time.Duration)
@@ -68,10 +91,20 @@ type worker struct {
 	poll     time.Duration
 	attempts int // network retry budget per request: Patience against the worst-case backoff
 
-	fp     string
-	runner *experiment.BlockRunner
-	ttl    time.Duration
-	fails  map[int]int // per-firstBlock decode failures; two strikes is fatal
+	urls []string     // failover address list; immutable after RunWorker starts
+	cur  atomic.Int64 // index into urls; the heartbeat goroutine reads it concurrently
+
+	// epoch is the highest coordinator epoch seen; the heartbeat
+	// goroutine echoes it concurrently with the main loop.
+	epoch atomic.Int64
+
+	fp      string
+	cfg     experiment.Config
+	pl      *experiment.Pipeline
+	runner  *experiment.BlockRunner
+	rescued map[experiment.DecoderKind]*experiment.BlockRunner // fallback runners, built lazily per point
+	ttl     time.Duration
+	fails   map[int]int // per-firstBlock decode failures; repeats are abandoned without re-decoding
 }
 
 // wait pauses for d or until ctx is cancelled, whichever comes first.
@@ -98,11 +131,18 @@ func (w *worker) logf(format string, args ...any) {
 	}
 }
 
-// RunWorker joins the coordinator at opt.URL and works shards until the
-// coordinator announces shutdown, the context is cancelled, or
-// MaxShards is reached. It returns nil on an orderly exit.
+// RunWorker joins the coordinator at opt.URL (failing over across
+// opt.URLs) and works shards until the coordinator announces shutdown,
+// the context is cancelled, or MaxShards is reached. It returns nil on
+// an orderly exit and an error wrapping ErrUnreachable when every
+// address stayed dark through the retry budget.
 func RunWorker(ctx context.Context, opt WorkerOptions) error {
-	if opt.URL == "" {
+	var urls []string
+	if opt.URL != "" {
+		urls = append(urls, opt.URL)
+	}
+	urls = append(urls, opt.URLs...)
+	if len(urls) == 0 {
 		return fmt.Errorf("fabric: worker needs a coordinator URL")
 	}
 	if ctx == nil {
@@ -112,7 +152,7 @@ func RunWorker(ctx context.Context, opt WorkerOptions) error {
 	if patience <= 0 {
 		patience = 2 * time.Minute
 	}
-	w := &worker{opt: opt, client: opt.Client, poll: opt.Poll, fails: map[int]int{}}
+	w := &worker{opt: opt, client: opt.Client, poll: opt.Poll, urls: urls, fails: map[int]int{}}
 	if w.client == nil {
 		// Every coordinator exchange is one small JSON round trip, so the
 		// retry-ladder bound is also a sane per-request bound. Without a
@@ -124,6 +164,9 @@ func RunWorker(ctx context.Context, opt WorkerOptions) error {
 		w.poll = 200 * time.Millisecond
 	}
 	w.attempts = retryAttempts(w.poll, patience)
+	if opt.MaxRetries > 0 {
+		w.attempts = opt.MaxRetries
+	}
 	done := 0
 	for ctx.Err() == nil {
 		var jm jobMsg
@@ -137,6 +180,17 @@ func RunWorker(ctx context.Context, opt WorkerOptions) error {
 			w.wait(ctx, w.poll)
 			continue
 		case statusJob:
+			if seen := w.epoch.Load(); jm.Epoch != 0 && jm.Epoch < seen {
+				// A fenced-out predecessor is still answering on this
+				// address; rotate away rather than work for a coordinator
+				// whose commits the fleet will reject.
+				w.logf("coordinator at %s announces stale epoch %d (< %d); rotating", w.baseURL(), jm.Epoch, seen)
+				w.rotate()
+				w.wait(ctx, w.poll)
+				continue
+			} else if jm.Epoch > seen {
+				w.epoch.Store(jm.Epoch)
+			}
 			if err := w.prepare(jm); err != nil {
 				return err
 			}
@@ -170,6 +224,27 @@ func RunWorker(ctx context.Context, opt WorkerOptions) error {
 	return ctx.Err()
 }
 
+// baseURL is the coordinator address currently in rotation.
+func (w *worker) baseURL() string {
+	return w.urls[int(w.cur.Load())%len(w.urls)]
+}
+
+// rotate moves to the next coordinator address; a no-op with one.
+func (w *worker) rotate() {
+	if len(w.urls) > 1 {
+		w.cur.Add(1)
+	}
+}
+
+// epochQuery stamps the highest seen coordinator epoch onto a request's
+// query so the coordinator can fence a worker still loyal to a fenced
+// predecessor. Zero (nothing seen yet) stays unstamped.
+func (w *worker) epochQuery(q url.Values) {
+	if e := w.epoch.Load(); e != 0 {
+		q.Set("epoch", fmt.Sprint(e))
+	}
+}
+
 // prepare (re)builds the decode stack when the coordinator's current
 // point changes, and verifies the locally derived fingerprint matches
 // the coordinator's — the engine-drift tripwire.
@@ -200,25 +275,53 @@ func (w *worker) prepare(jm jobMsg) error {
 	if err != nil {
 		return err
 	}
-	w.fp, w.runner, w.fails = jm.Fingerprint, br, map[int]int{}
+	w.fp, w.cfg, w.pl, w.runner = jm.Fingerprint, cfg, pl, br
+	w.fails, w.rescued = map[int]int{}, nil
 	w.ttl = time.Duration(jm.LeaseTTLMs) * time.Millisecond
 	w.logf("joined point %s (%d blocks)", jm.Fingerprint, br.TotalBlocks())
 	return nil
 }
 
+// fallbackRunner lazily builds (and caches for the point) a BlockRunner
+// that decodes with kind instead of the primary decoder — the
+// coordinator counts blocks completed this way as FallbackBlocks.
+func (w *worker) fallbackRunner(kind experiment.DecoderKind) (*experiment.BlockRunner, error) {
+	if br, ok := w.rescued[kind]; ok {
+		return br, nil
+	}
+	cfg := w.cfg
+	cfg.Decoder, cfg.Fallback = kind, nil
+	br, err := w.pl.NewBlockRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if w.rescued == nil {
+		w.rescued = map[experiment.DecoderKind]*experiment.BlockRunner{}
+	}
+	w.rescued[kind] = br
+	return br, nil
+}
+
 // work decodes one leased shard and streams its counts back,
-// heartbeating the lease while the decode runs. A decode failure
-// abandons the lease (the shard is retried elsewhere after expiry);
-// the same shard failing twice on this worker is fatal, because a
-// deterministic panic would otherwise ping-pong forever.
+// heartbeating the lease while the decode runs. A decode failure is
+// reported immediately through /v1/abandon with the failure as the
+// repro reason, instead of killing the worker: the coordinator owns the
+// poison ladder (abandonment threshold, one fallback retry, quarantine)
+// so a deterministic panic can neither ping-pong a shard across the
+// fleet forever nor take the fleet down shard by shard.
 func (w *worker) work(ctx context.Context, lm leaseMsg) error {
+	if !lm.Fallback && w.fails[lm.FirstBlock] >= 2 {
+		// This worker has already proven the shard fails here; don't burn
+		// another decode, tell the coordinator right away.
+		return w.abandon(ctx, lm, "poisoned locally: decode failed twice on this worker")
+	}
 	hbCtx, stopHB := context.WithCancel(ctx)
 	hbDone := make(chan struct{})
 	go func() {
 		defer close(hbDone)
 		w.heartbeat(hbCtx, lm.Lease)
 	}()
-	counts, err := w.runner.CountBlocks(ctx, lm.FirstBlock, lm.Blocks)
+	counts, dec, err := w.decode(ctx, lm)
 	stopHB()
 	<-hbDone
 	if err != nil {
@@ -227,22 +330,77 @@ func (w *worker) work(ctx context.Context, lm leaseMsg) error {
 		}
 		w.fails[lm.FirstBlock]++
 		w.logf("shard %d (firstBlock %d) failed: %v", lm.Shard, lm.FirstBlock, err)
-		if w.fails[lm.FirstBlock] >= 2 {
-			return fmt.Errorf("fabric: shard at block %d failed twice, giving up: %w", lm.FirstBlock, err)
-		}
-		return nil // abandon the lease; expiry recycles the shard
+		return w.abandon(ctx, lm, err.Error())
 	}
 	var buf bytes.Buffer
 	if err := writeCounts(&buf, lm.FirstBlock, counts); err != nil {
 		return err
 	}
 	q := url.Values{"job": {w.fp}, "shard": {fmt.Sprint(lm.Shard)}, "lease": {fmt.Sprint(lm.Lease)}}
+	if dec != "" {
+		q.Set("dec", dec)
+	}
+	w.epochQuery(q)
 	var ack ackMsg
 	if err := w.getJSON(ctx, "/v1/complete?"+q.Encode(), buf.Bytes(), &ack); err != nil {
 		return err
 	}
-	if ack.Status == statusConflict {
+	switch ack.Status {
+	case statusConflict:
 		w.logf("shard %d completion conflicted; coordinator kept the first result", lm.Shard)
+	case statusStaleEpoch:
+		// The fleet failed over while we decoded. Adopt the new epoch and
+		// re-poll; the live coordinator re-grants whatever is missing.
+		w.logf("shard %d completion fenced off: coordinator is at epoch %d", lm.Shard, ack.Epoch)
+		if ack.Epoch > w.epoch.Load() {
+			w.epoch.Store(ack.Epoch)
+		}
+	}
+	return nil
+}
+
+// decode runs the shard under the right decoder: the primary for a
+// normal lease, the fallback chain (or the primary again when none is
+// configured) for a fallback-flagged one. The second return names the
+// rescuing decoder when it differs from the primary.
+func (w *worker) decode(ctx context.Context, lm leaseMsg) ([]int, string, error) {
+	if !lm.Fallback || len(w.opt.Fallback) == 0 {
+		if lm.Fallback {
+			w.logf("fallback lease for shard %d with no fallback chain; retrying the primary decoder", lm.Shard)
+		}
+		counts, err := w.runner.CountBlocks(ctx, lm.FirstBlock, lm.Blocks)
+		return counts, "", err
+	}
+	var err error
+	for _, kind := range w.opt.Fallback {
+		var br *experiment.BlockRunner
+		if br, err = w.fallbackRunner(kind); err != nil {
+			continue
+		}
+		var counts []int
+		if counts, err = br.CountBlocks(ctx, lm.FirstBlock, lm.Blocks); err == nil {
+			w.logf("shard %d rescued by fallback decoder %s", lm.Shard, kind)
+			return counts, kind.String(), nil
+		}
+		if ctx.Err() != nil {
+			return nil, "", err
+		}
+	}
+	return nil, "", fmt.Errorf("fabric: fallback chain exhausted on shard %d: %w", lm.Shard, err)
+}
+
+// abandon hands a lease back with the failure as the repro reason. Best
+// effort by design: if the abandon itself cannot be delivered, the
+// lease expiring carries the same signal, just later.
+func (w *worker) abandon(ctx context.Context, lm leaseMsg, reason string) error {
+	q := url.Values{
+		"job": {w.fp}, "shard": {fmt.Sprint(lm.Shard)},
+		"lease": {fmt.Sprint(lm.Lease)}, "worker": {w.opt.ID}, "reason": {reason},
+	}
+	w.epochQuery(q)
+	var ack ackMsg
+	if err := w.singleJSON(ctx, "/v1/abandon?"+q.Encode(), []byte{}, &ack); err != nil {
+		w.logf("abandon of shard %d undelivered: %v (the lease will expire instead)", lm.Shard, err)
 	}
 	return nil
 }
@@ -258,15 +416,17 @@ func (w *worker) heartbeat(ctx context.Context, lease int64) {
 	if hb <= 0 {
 		hb = w.poll
 	}
-	q := url.Values{"job": {w.fp}, "lease": {fmt.Sprint(lease)}}.Encode()
+	q := url.Values{"job": {w.fp}, "lease": {fmt.Sprint(lease)}}
+	w.epochQuery(q)
+	enc := q.Encode()
 	for {
 		w.wait(ctx, hb)
 		if ctx.Err() != nil {
 			return
 		}
 		var ack ackMsg
-		if err := w.singleJSON(ctx, "/v1/heartbeat?"+q, []byte{}, &ack); err != nil || ack.Status != statusOK {
-			return // lease lost or coordinator unreachable; the decode result still merges by content
+		if err := w.singleJSON(ctx, "/v1/heartbeat?"+enc, []byte{}, &ack); err != nil || ack.Status != statusOK {
+			return // lease lost, fenced off, or coordinator unreachable; the decode result still merges by content
 		}
 	}
 }
@@ -321,8 +481,10 @@ func retryAttempts(poll, patience time.Duration) int {
 // getJSON performs one request with the patience-bounded retry budget:
 // network errors and torn-stream rejections (HTTP 400 on /v1/complete,
 // which a fault-injected transport can cause) are retried after a
-// jittered exponential pause; anything else is decoded into out.
-// body == nil means GET.
+// jittered exponential pause, rotating to the next coordinator address
+// before each retry so a fleet rides a failover without operator
+// action; anything else is decoded into out. body == nil means GET.
+// The budget-exhausted error wraps ErrUnreachable.
 func (w *worker) getJSON(ctx context.Context, path string, body []byte, out any) error {
 	site := path
 	if i := strings.IndexByte(site, '?'); i >= 0 {
@@ -339,8 +501,9 @@ func (w *worker) getJSON(ctx context.Context, path string, body []byte, out any)
 		if err = w.singleJSON(ctx, path, body, out); err == nil {
 			return nil
 		}
+		w.rotate()
 	}
-	return fmt.Errorf("fabric: coordinator unreachable after %d attempts: %w", w.attempts, err)
+	return fmt.Errorf("%w after %d attempts: %v", ErrUnreachable, w.attempts, err)
 }
 
 // singleJSON is one HTTP round trip with no retries.
@@ -351,7 +514,7 @@ func (w *worker) singleJSON(ctx context.Context, path string, body []byte, out a
 		method = http.MethodPost
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, w.opt.URL+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, w.baseURL()+path, rd)
 	if err != nil {
 		return err
 	}

@@ -11,9 +11,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 
 	"github.com/fpn/flagproxy/internal/circuit"
 	"github.com/fpn/flagproxy/internal/sim"
@@ -41,6 +43,9 @@ type StreamOutcome struct {
 	Results []Result
 	Drained bool   // the server ended the stream by draining
 	Fatal   string // server-side verdict that aborted the stream, if any
+	// Reconnects counts the mid-stream cuts StreamResumable rode out;
+	// always 0 for Stream/StreamBody.
+	Reconnects int
 }
 
 // Stream encodes wins (per-window, per-round fired detector indices)
@@ -56,6 +61,15 @@ func (cl *Client) Stream(ctx context.Context, fingerprint string, wins [][][]int
 // StreamBody posts a raw request body — the chaos seam: callers may
 // tear, corrupt or stall the framed bytes — and validates the response.
 func (cl *Client) StreamBody(ctx context.Context, body io.Reader) (*StreamOutcome, error) {
+	data, err := cl.post(ctx, body)
+	if err != nil {
+		return nil, err
+	}
+	return decodeResponse(data)
+}
+
+// post runs one stream POST and returns the raw response bytes.
+func (cl *Client) post(ctx context.Context, body io.Reader) ([]byte, error) {
 	hc := cl.HTTP
 	if hc == nil {
 		// Streams are long-lived by design, so a blanket client Timeout
@@ -80,7 +94,112 @@ func (cl *Client) StreamBody(ctx context.Context, body io.Reader) (*StreamOutcom
 	if resp.StatusCode != http.StatusOK {
 		return nil, &HTTPError{Code: resp.StatusCode, Msg: string(bytes.TrimSpace(data))}
 	}
-	return decodeResponse(data)
+	return data, nil
+}
+
+// StreamResumable streams wins as a named resumable stream and rides
+// out up to maxResumes mid-stream cuts: after each cut it salvages the
+// validated prefix of the torn response, asks /v1/resume what the
+// server committed beyond that, and resends exactly the uncommitted
+// suffix under the same stream id. A partition costs latency and
+// reconnects — never correctness: every committed window is collected
+// exactly once and the assembled result set is validated the same way
+// a healthy stream's is.
+func (cl *Client) StreamResumable(ctx context.Context, fingerprint, id string, wins [][][]int, maxResumes int) (*StreamOutcome, error) {
+	if id == "" {
+		return nil, fmt.Errorf("rtd: a resumable stream needs an id")
+	}
+	out := &StreamOutcome{}
+	sendFrom := 0
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > maxResumes {
+			return nil, fmt.Errorf("rtd: stream %q still cut after %d resumes: %w", id, maxResumes, lastErr)
+		}
+		if attempt > 0 {
+			out.Reconnects++
+		}
+		frames, err := EncodeWindowsAt(fingerprint, id, sendFrom, wins[sendFrom:])
+		if err != nil {
+			return nil, err
+		}
+		data, err := cl.post(ctx, bytes.NewReader(JoinFrames(frames)))
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, err
+			}
+			var he *HTTPError
+			if errors.As(err, &he) {
+				return nil, err // an explicit refusal (429/503), not a cut
+			}
+			lastErr = err
+		} else {
+			seg, err := decodeResponseFrom(data, sendFrom)
+			if err == nil {
+				// A healthy segment ends the stream: adopt its verdicts.
+				out.Results = append(out.Results, seg.Results...)
+				out.Drained, out.Fatal = seg.Drained, seg.Fatal
+				return out, nil
+			}
+			lastErr = err
+			// Salvage the strictly valid prefix of the torn response —
+			// frames after the first damaged byte are untrusted.
+			out.Results = append(out.Results, decodePrefix(data, sendFrom)...)
+		}
+		// Ask the server where the stream actually stands; it may have
+		// committed windows whose results died on the wire.
+		info, err := cl.Resume(ctx, id, len(out.Results))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if info.Status == ResumeKnown {
+			for _, r := range info.Replay {
+				if r.Window != len(out.Results) {
+					return nil, fmt.Errorf("rtd: resume replay out of order: window %d, want %d", r.Window, len(out.Results))
+				}
+				out.Results = append(out.Results, r)
+			}
+			if info.NextWindow != len(out.Results) {
+				return nil, fmt.Errorf("rtd: resume handshake inconsistent: next window %d with %d results", info.NextWindow, len(out.Results))
+			}
+		}
+		sendFrom = len(out.Results)
+		if sendFrom > len(wins) {
+			return nil, fmt.Errorf("rtd: server committed %d windows of a %d-window stream", sendFrom, len(wins))
+		}
+	}
+}
+
+// Resume queries the server's resume handshake for a named stream.
+func (cl *Client) Resume(ctx context.Context, id string, have int) (*ResumeInfo, error) {
+	hc := cl.HTTP
+	if hc == nil {
+		hc = http.DefaultClient //fpnvet:nodeadline request lifetime is bounded by the caller's context
+	}
+	u := cl.URL + "/v1/resume?" + url.Values{"stream": {id}, "have": {fmt.Sprint(have)}}.Encode()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	//fpnvet:nodeadline a resume reply is one small JSON object; the request context bounds the read
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &HTTPError{Code: resp.StatusCode, Msg: string(bytes.TrimSpace(data))}
+	}
+	var info ResumeInfo
+	if err := json.Unmarshal(data, &info); err != nil {
+		return nil, fmt.Errorf("rtd: bad resume reply: %v", err)
+	}
+	return &info, nil
 }
 
 // JoinFrames concatenates encoded frames into one body.
@@ -93,6 +212,12 @@ func JoinFrames(frames [][]byte) []byte {
 // window order, at most one fatal verdict, a trailer counting the
 // results. Any deviation is an error and nothing partial is returned.
 func decodeResponse(data []byte) (*StreamOutcome, error) {
+	return decodeResponseFrom(data, 0)
+}
+
+// decodeResponseFrom is decodeResponse for a resumed segment whose
+// first result must carry absolute window index from.
+func decodeResponseFrom(data []byte, from int) (*StreamOutcome, error) {
 	if len(data) == 0 || data[len(data)-1] != '\n' {
 		return nil, fmt.Errorf("rtd: torn response: missing terminal newline")
 	}
@@ -141,8 +266,8 @@ func decodeResponse(data []byte) (*StreamOutcome, error) {
 			if err := json.Unmarshal(rec, &res); err != nil {
 				return nil, fmt.Errorf("rtd: response line %d: bad result: %v", line, err)
 			}
-			if res.Window != len(out.Results) {
-				return nil, fmt.Errorf("rtd: response line %d: window %d out of order (want %d)", line, res.Window, len(out.Results))
+			if res.Window != from+len(out.Results) {
+				return nil, fmt.Errorf("rtd: response line %d: window %d out of order (want %d)", line, res.Window, from+len(out.Results))
 			}
 			out.Results = append(out.Results, res)
 		default:
@@ -156,6 +281,36 @@ func decodeResponse(data []byte) (*StreamOutcome, error) {
 		return nil, fmt.Errorf("rtd: torn response: no trailer after %d results", len(out.Results))
 	}
 	return out, nil
+}
+
+// decodePrefix salvages the strictly valid result prefix of a torn
+// response: CRC-checked frames in exact window order starting at from,
+// stopping at the first damaged or out-of-order byte. Everything it
+// returns is as trustworthy as a healthy stream's results — the CRC
+// envelope is the same — only completeness is lost.
+func decodePrefix(data []byte, from int) []Result {
+	var results []Result
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			return results
+		}
+		rec, err := decodeFrame(raw)
+		if err != nil {
+			return results
+		}
+		if _, ok := probeTrailer(rec); ok {
+			return results
+		}
+		var res Result
+		if err := json.Unmarshal(rec, &res); err != nil || res.Status == "" || res.Window != from+len(results) {
+			return results
+		}
+		results = append(results, res)
+	}
+	return results
 }
 
 // BuildWindows converts n sampled shots (starting at firstShot) into

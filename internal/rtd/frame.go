@@ -41,9 +41,19 @@ type frame struct {
 // Header opens a syndrome stream. Fingerprint must match the serving
 // configuration's experiment.Config.Fingerprint — the same engine-drift
 // tripwire the fabric uses, pointed the other way.
+//
+// ID and StartWindow are the resume handshake: a client that names its
+// stream can reconnect after a cut and continue from the next
+// uncommitted window. StartWindow is the absolute index of the first
+// window this request body carries; the server accepts it only when it
+// equals the next window it expects for ID, replays nothing, and
+// rejects a StartWindow it has already committed past (a replayed
+// round must never commit twice).
 type Header struct {
 	Stream      string `json:"stream"`
 	Fingerprint string `json:"fp"`
+	ID          string `json:"id,omitempty"`
+	StartWindow int    `json:"sw,omitempty"`
 }
 
 // Round carries the detectors that fired in one measurement round of
@@ -156,8 +166,17 @@ func probeTrailer(rec json.RawMessage) (Trailer, bool) {
 // element of wins holds the per-round fired-detector lists of one
 // window (wins[w][r] = global detector indices fired in round r).
 func EncodeWindows(fingerprint string, wins [][][]int) ([][]byte, error) {
+	return EncodeWindowsAt(fingerprint, "", 0, wins)
+}
+
+// EncodeWindowsAt is EncodeWindows for a resumable stream: the header
+// names the stream id and the absolute index of the first window in
+// wins, and every round frame carries its absolute window index. A
+// fresh stream is start 0; a resumed one continues where the previous
+// segment was cut.
+func EncodeWindowsAt(fingerprint, id string, start int, wins [][][]int) ([][]byte, error) {
 	frames := make([][]byte, 0, 2)
-	h, err := EncodeFrame(Header{Stream: StreamName, Fingerprint: fingerprint})
+	h, err := EncodeFrame(Header{Stream: StreamName, Fingerprint: fingerprint, ID: id, StartWindow: start})
 	if err != nil {
 		return nil, err
 	}
@@ -165,7 +184,7 @@ func EncodeWindows(fingerprint string, wins [][][]int) ([][]byte, error) {
 	rounds := 0
 	for w, win := range wins {
 		for r, fired := range win {
-			line, err := EncodeFrame(Round{Window: w, Round: r, Fired: fired})
+			line, err := EncodeFrame(Round{Window: start + w, Round: r, Fired: fired})
 			if err != nil {
 				return nil, err
 			}
@@ -179,3 +198,20 @@ func EncodeWindows(fingerprint string, wins [][][]int) ([][]byte, error) {
 	}
 	return append(frames, t), nil
 }
+
+// ResumeInfo answers GET /v1/resume (plain JSON, not framed — it is a
+// point query, not a stream): whether the server still holds state for
+// the stream id, the next window it expects, and the results it
+// already committed past the client's high-water mark (decoded while
+// the connection was dying, delivered nowhere).
+type ResumeInfo struct {
+	Status     string   `json:"status"` // "resume" (state held) or "unknown"
+	NextWindow int      `json:"next_window"`
+	Replay     []Result `json:"replay,omitempty"`
+}
+
+// Resume statuses.
+const (
+	ResumeKnown   = "resume"
+	ResumeUnknown = "unknown"
+)

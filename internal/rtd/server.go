@@ -40,6 +40,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,6 +61,10 @@ type Options struct {
 	QueueDepth int
 	// Workers is the decode worker count. 0 means GOMAXPROCS.
 	Workers int
+	// MaxSessions caps how many cut resumable streams the server keeps
+	// state for (oldest evicted first); 0 means 64. A stream consumes a
+	// session slot only when it named an id and died mid-stream.
+	MaxSessions int
 	// DecodeTimeout is the per-window decode deadline; a primary
 	// attempt that misses it is abandoned to the fallback chain. 0
 	// means the serving Config.DecodeTimeout (possibly none).
@@ -104,6 +109,10 @@ type Stats struct {
 	StreamsTorn int64 `json:"streams_torn"` // streams ended by a framing/protocol violation or disconnect
 	HungClients int64 `json:"hung_clients"` // streams ended by a request read deadline
 
+	Reconnects            int64 `json:"reconnects"`              // cut streams adopted by a resume handshake
+	ResumedRounds         int64 `json:"resumed_rounds"`          // rounds carried over a reconnect instead of re-decoded
+	DuplicateRoundRejects int64 `json:"duplicate_round_rejects"` // replayed already-committed windows refused
+
 	RoundsReceived  int64 `json:"rounds_received"`  // round frames accepted
 	CommittedRounds int64 `json:"committed_rounds"` // rounds whose correction was committed (ok + degraded)
 	TimeoutRounds   int64 `json:"timeout_rounds"`   // rounds whose primary decode hit the deadline
@@ -124,6 +133,7 @@ type counters struct {
 	roundsReceived, committedRounds, timeoutRounds          atomic.Int64
 	degradedRounds, shedRounds, failedRounds, droppedRounds atomic.Int64
 	decodeErrors                                            atomic.Int64
+	reconnects, resumedRounds, dupRoundRejects              atomic.Int64
 }
 
 // Server is the online decode service. Build with NewServer, expose
@@ -147,9 +157,13 @@ type Server struct {
 	ctrs    counters  //fpnvet:unguarded every field is an atomic
 	winPool sync.Pool
 
+	maxSessions int //fpnvet:unguarded immutable after NewServer
+
 	mu        sync.Mutex
 	streams   map[*stream]struct{} //fpnvet:guardedby mu
 	draining  bool                 //fpnvet:guardedby mu
+	sessions  map[string]*session  //fpnvet:guardedby mu
+	sessOrder []string             //fpnvet:guardedby mu (stash order, oldest first, for eviction)
 	drained   chan struct{}
 	drainOnce sync.Once
 
@@ -191,8 +205,13 @@ func NewServer(opt Options) (*Server, error) {
 		readTimeout:  opt.ReadTimeout,
 		writeTimeout: opt.WriteTimeout,
 		streams:      map[*stream]struct{}{},
+		sessions:     map[string]*session{},
 		drained:      make(chan struct{}),
 		stopWorkers:  make(chan struct{}),
+	}
+	s.maxSessions = opt.MaxSessions
+	if s.maxSessions <= 0 {
+		s.maxSessions = 64
 	}
 	if s.clock == nil {
 		s.clock = wallClock{}
@@ -238,36 +257,71 @@ func (s *Server) logf(format string, args ...any) {
 // Stats snapshots the counters and latency quantiles.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Decoder:         s.decName,
-		Fingerprint:     s.fp,
-		RoundsPerWindow: s.rpw,
-		Draining:        s.isDraining(),
-		Streams:         s.ctrs.streams.Load(),
-		StreamsShed:     s.ctrs.streamsShed.Load(),
-		StreamsTorn:     s.ctrs.streamsTorn.Load(),
-		HungClients:     s.ctrs.hungClients.Load(),
-		RoundsReceived:  s.ctrs.roundsReceived.Load(),
-		CommittedRounds: s.ctrs.committedRounds.Load(),
-		TimeoutRounds:   s.ctrs.timeoutRounds.Load(),
-		DegradedRounds:  s.ctrs.degradedRounds.Load(),
-		ShedRounds:      s.ctrs.shedRounds.Load(),
-		FailedRounds:    s.ctrs.failedRounds.Load(),
-		DroppedRounds:   s.ctrs.droppedRounds.Load(),
-		DecodeErrors:    s.ctrs.decodeErrors.Load(),
-		Windows:         s.hist.Count(),
-		P50Ns:           int64(s.hist.Quantile(0.50)),
-		P99Ns:           int64(s.hist.Quantile(0.99)),
-		P999Ns:          int64(s.hist.Quantile(0.999)),
+		Decoder:               s.decName,
+		Fingerprint:           s.fp,
+		RoundsPerWindow:       s.rpw,
+		Draining:              s.isDraining(),
+		Streams:               s.ctrs.streams.Load(),
+		StreamsShed:           s.ctrs.streamsShed.Load(),
+		StreamsTorn:           s.ctrs.streamsTorn.Load(),
+		HungClients:           s.ctrs.hungClients.Load(),
+		Reconnects:            s.ctrs.reconnects.Load(),
+		ResumedRounds:         s.ctrs.resumedRounds.Load(),
+		DuplicateRoundRejects: s.ctrs.dupRoundRejects.Load(),
+		RoundsReceived:        s.ctrs.roundsReceived.Load(),
+		CommittedRounds:       s.ctrs.committedRounds.Load(),
+		TimeoutRounds:         s.ctrs.timeoutRounds.Load(),
+		DegradedRounds:        s.ctrs.degradedRounds.Load(),
+		ShedRounds:            s.ctrs.shedRounds.Load(),
+		FailedRounds:          s.ctrs.failedRounds.Load(),
+		DroppedRounds:         s.ctrs.droppedRounds.Load(),
+		DecodeErrors:          s.ctrs.decodeErrors.Load(),
+		Windows:               s.hist.Count(),
+		P50Ns:                 int64(s.hist.Quantile(0.50)),
+		P99Ns:                 int64(s.hist.Quantile(0.99)),
+		P999Ns:                int64(s.hist.Quantile(0.999)),
 	}
 }
 
-// Handler routes the service's three endpoints.
+// Handler routes the service's endpoints.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statz", s.handleStatz)
 	mux.HandleFunc("/v1/stream", s.handleStream)
+	mux.HandleFunc("/v1/resume", s.handleResume)
 	return mux
+}
+
+// handleResume answers the idempotent resume query: does the server
+// still hold state for a named stream, what window comes next, and
+// which results the client missed while the connection was dying. The
+// query never mutates the session — only a stream header that adopts it
+// does — so a client may ask as many times as its retries need.
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	_ = http.NewResponseController(w).SetWriteDeadline(s.clock.Now().Add(s.writeTimeout))
+	id := r.URL.Query().Get("stream")
+	have, err := strconv.Atoi(r.URL.Query().Get("have"))
+	if id == "" || err != nil || have < 0 {
+		http.Error(w, "rtd: resume needs stream=<id> and have=<result count>", http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.resumeInfo(id, have))
+}
+
+func (s *Server) resumeInfo(id string, have int) ResumeInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return ResumeInfo{Status: ResumeUnknown}
+	}
+	info := ResumeInfo{Status: ResumeKnown, NextWindow: len(sess.results)}
+	if have < len(sess.results) {
+		info.Replay = append([]Result(nil), sess.results[have:]...)
+	}
+	return info
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -368,6 +422,13 @@ type wres struct {
 	flips  []int
 }
 
+// session is the stashed state of a cut resumable stream: every result
+// committed so far, in window order. len(results) is the next window
+// the resumed stream must start at.
+type session struct {
+	results []Result
+}
+
 // stream is one live syndrome connection: the reader (handler
 // goroutine) assembles and submits windows; the writer goroutine
 // reorders finished windows and streams the result frames back.
@@ -382,6 +443,14 @@ type stream struct {
 	written    int  // result frames on the wire; writer-owned until writerDone
 	writeErr   bool // the client stopped reading; discard the rest
 	aborted    atomic.Bool
+
+	// Resume state. id and start are set while the header is processed,
+	// before the writer goroutine exists; keep accumulates every
+	// committed result in window order (writer-owned until writerDone)
+	// so a cut stream can be stashed as a session.
+	id    string
+	start int // absolute index of this segment's first window
+	keep  []Result
 }
 
 // abortRead forces any pending or future request read to fail
@@ -408,7 +477,7 @@ func (st *stream) writeFrame(payload any) error {
 func (st *stream) writer() {
 	defer close(st.writerDone)
 	pending := map[int]wres{}
-	next := 0
+	next := st.start
 	received := 0
 	done := false
 	for {
@@ -435,10 +504,16 @@ func (st *stream) writer() {
 			}
 			delete(pending, next)
 			next++
+			res := Result{Window: q.win, Status: q.status, Decoder: q.dec, Flips: q.flips}
+			if st.id != "" {
+				// Keep the committed result even when the wire is dead:
+				// the resume handshake replays it instead of re-decoding.
+				st.keep = append(st.keep, res)
+			}
 			if st.writeErr {
 				continue
 			}
-			if err := st.writeFrame(Result{Window: q.win, Status: q.status, Decoder: q.dec, Flips: q.flips}); err != nil {
+			if err := st.writeFrame(res); err != nil {
 				st.writeErr = true
 				st.srv.logf("stream write failed at window %d: %v", q.win, err)
 				continue
@@ -494,10 +569,16 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	_ = st.rc.EnableFullDuplex()
 	w.Header().Set("Content-Type", "application/jsonl")
 
-	go st.writer()
-	end := s.readStream(st, r)
-	close(st.noMore)
-	<-st.writerDone
+	br := bufio.NewReaderSize(r.Body, 64*1024)
+	end, headerOK := s.readHeader(st, br)
+	if headerOK {
+		// The writer starts only after the header (and any resume
+		// adoption) has fixed st.start and st.keep.
+		go st.writer()
+		end = s.readRounds(st, br)
+		close(st.noMore)
+		<-st.writerDone
+	}
 
 	if end.torn {
 		s.ctrs.streamsTorn.Add(1)
@@ -507,6 +588,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	if end.droppedRounds > 0 {
 		s.ctrs.droppedRounds.Add(int64(end.droppedRounds))
+	}
+	if st.id != "" && headerOK && (end.torn || end.hung || st.writeErr) {
+		// The stream died mid-flight: stash what was committed so the
+		// client's resume handshake can continue instead of restarting.
+		s.stash(st)
 	}
 	// The reader owns the connection again now that the writer is done:
 	// fatal verdict (if any), then the counted trailer. The trailer
@@ -521,57 +607,128 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// readStream consumes request frames until the trailer, a violation, a
-// hung client or a drain, assembling windows and submitting each
-// completed one for decode (or shedding it when the queue is full).
-func (s *Server) readStream(st *stream, r *http.Request) streamEnd {
-	br := bufio.NewReaderSize(r.Body, 64*1024)
-	readLine := func() ([]byte, error) {
-		_ = st.rc.SetReadDeadline(s.clock.Now().Add(s.readTimeout))
-		if st.aborted.Load() {
-			_ = st.rc.SetReadDeadline(time.Unix(1, 0))
-		}
-		line, err := br.ReadBytes('\n')
-		if err != nil {
-			return nil, err
-		}
-		return line, nil
+// readLine reads one request frame under a fresh read deadline.
+func (s *Server) readLine(st *stream, br *bufio.Reader) ([]byte, error) {
+	_ = st.rc.SetReadDeadline(s.clock.Now().Add(s.readTimeout))
+	if st.aborted.Load() {
+		_ = st.rc.SetReadDeadline(time.Unix(1, 0))
 	}
-	classify := func(err error, partial int) streamEnd {
-		if errors.Is(err, os.ErrDeadlineExceeded) {
-			if s.isDraining() {
-				return streamEnd{drained: true, droppedRounds: partial}
-			}
-			return streamEnd{hung: true, droppedRounds: partial, fatal: "rtd: hung client: no frame within the read deadline"}
-		}
-		return streamEnd{torn: true, droppedRounds: partial, fatal: fmt.Sprintf("rtd: torn stream: %v", err)}
-	}
+	return br.ReadBytes('\n')
+}
 
-	// Header first.
-	line, err := readLine()
+// classifyReadErr sorts a request read failure into drain, hung client
+// or torn stream.
+func (s *Server) classifyReadErr(err error, partial int) streamEnd {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		if s.isDraining() {
+			return streamEnd{drained: true, droppedRounds: partial}
+		}
+		return streamEnd{hung: true, droppedRounds: partial, fatal: "rtd: hung client: no frame within the read deadline"}
+	}
+	return streamEnd{torn: true, droppedRounds: partial, fatal: fmt.Sprintf("rtd: torn stream: %v", err)}
+}
+
+// readHeader consumes and validates the stream header, including the
+// resume adoption for named streams. ok=false means the stream is over
+// before any round was read; end carries the verdict.
+func (s *Server) readHeader(st *stream, br *bufio.Reader) (end streamEnd, ok bool) {
+	line, err := s.readLine(st, br)
 	if err != nil {
-		return classify(err, 0)
+		return s.classifyReadErr(err, 0), false
 	}
 	rec, err := decodeFrame(line)
 	if err != nil {
-		return streamEnd{torn: true, fatal: err.Error()}
+		return streamEnd{torn: true, fatal: err.Error()}, false
 	}
 	var hdr Header
 	if err := json.Unmarshal(rec, &hdr); err != nil || hdr.Stream != StreamName {
-		return streamEnd{torn: true, fatal: fmt.Sprintf("rtd: stream must open with a %q header", StreamName)}
+		return streamEnd{torn: true, fatal: fmt.Sprintf("rtd: stream must open with a %q header", StreamName)}, false
 	}
 	if hdr.Fingerprint != s.fp {
-		return streamEnd{fatal: fmt.Sprintf("rtd: fingerprint mismatch: client %s, serving %s (mismatched binaries or flags?)", hdr.Fingerprint, s.fp)}
+		return streamEnd{fatal: fmt.Sprintf("rtd: fingerprint mismatch: client %s, serving %s (mismatched binaries or flags?)", hdr.Fingerprint, s.fp)}, false
 	}
+	if hdr.ID == "" {
+		if hdr.StartWindow != 0 {
+			return streamEnd{torn: true, fatal: "rtd: a start window needs a stream id to resume"}, false
+		}
+		return streamEnd{}, true
+	}
+	return s.adopt(st, hdr)
+}
 
-	var win *window // window being assembled, nil between windows
-	nextWin := 0    // index the next window must carry
-	partial := 0    // rounds buffered in win
-	rounds := 0     // round frames accepted in total
+// adopt matches a named stream header against the session table. A held
+// session resumes if and only if the header's start window is exactly
+// the next uncommitted one: lower is a replay of committed rounds
+// (refused — they must never commit twice), higher is a gap. An unknown
+// id is accepted at its declared start — the restarted-server case,
+// where idempotence comes from the client resending exactly the
+// uncommitted suffix.
+func (s *Server) adopt(st *stream, hdr Header) (streamEnd, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st.id = hdr.ID
+	sess, ok := s.sessions[hdr.ID]
+	if !ok {
+		st.start = hdr.StartWindow
+		return streamEnd{}, true
+	}
+	have := len(sess.results)
+	switch {
+	case hdr.StartWindow < have:
+		s.ctrs.dupRoundRejects.Add(1)
+		st.id = "" // refuse adoption; the session stays for a correct retry
+		return streamEnd{torn: true, fatal: fmt.Sprintf("rtd: replayed window: stream %q already committed windows up to %d, resume must start there (got %d)", hdr.ID, have, hdr.StartWindow)}, false
+	case hdr.StartWindow > have:
+		st.id = ""
+		return streamEnd{torn: true, fatal: fmt.Sprintf("rtd: window gap: stream %q has %d committed windows, cannot resume at %d", hdr.ID, have, hdr.StartWindow)}, false
+	}
+	delete(s.sessions, hdr.ID)
+	s.dropOrderLocked(hdr.ID)
+	st.start, st.keep = have, sess.results
+	s.ctrs.reconnects.Add(1)
+	s.ctrs.resumedRounds.Add(int64(have) * int64(s.rpw))
+	return streamEnd{}, true
+}
+
+// stash parks a cut stream's committed results in the session table,
+// evicting the oldest session over MaxSessions.
+func (s *Server) stash(st *stream) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sessions[st.id]; !ok {
+		s.sessOrder = append(s.sessOrder, st.id)
+	}
+	s.sessions[st.id] = &session{results: st.keep}
+	for len(s.sessions) > s.maxSessions && len(s.sessOrder) > 0 {
+		evict := s.sessOrder[0]
+		s.sessOrder = s.sessOrder[1:]
+		delete(s.sessions, evict)
+		s.logf("session %q evicted (session table over %d)", evict, s.maxSessions)
+	}
+}
+
+// dropOrderLocked removes id from the eviction order. Caller holds mu.
+func (s *Server) dropOrderLocked(id string) {
+	for i, v := range s.sessOrder {
+		if v == id {
+			s.sessOrder = append(s.sessOrder[:i], s.sessOrder[i+1:]...)
+			return
+		}
+	}
+}
+
+// readRounds consumes round frames until the trailer, a violation, a
+// hung client or a drain, assembling windows and submitting each
+// completed one for decode (or shedding it when the queue is full).
+func (s *Server) readRounds(st *stream, br *bufio.Reader) streamEnd {
+	var win *window     // window being assembled, nil between windows
+	nextWin := st.start // index the next window must carry
+	partial := 0        // rounds buffered in win
+	rounds := 0         // round frames accepted in total
 	for {
-		line, err := readLine()
+		line, err := s.readLine(st, br)
 		if err != nil {
-			return classify(err, partial)
+			return s.classifyReadErr(err, partial)
 		}
 		rec, err := decodeFrame(line)
 		if err != nil {
@@ -591,6 +748,10 @@ func (s *Server) readStream(st *stream, r *http.Request) streamEnd {
 			return streamEnd{torn: true, droppedRounds: partial, fatal: fmt.Sprintf("rtd: bad round record: %v", err)}
 		}
 		if win == nil {
+			if rr.Window < nextWin {
+				s.ctrs.dupRoundRejects.Add(1)
+				return streamEnd{torn: true, droppedRounds: partial, fatal: fmt.Sprintf("rtd: replayed round (w=%d already committed, next is w=%d)", rr.Window, nextWin)}
+			}
 			if rr.Window != nextWin || rr.Round != 0 {
 				return streamEnd{torn: true, droppedRounds: partial, fatal: fmt.Sprintf("rtd: out-of-order frame (w=%d r=%d, want w=%d r=0)", rr.Window, rr.Round, nextWin)}
 			}

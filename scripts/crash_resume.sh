@@ -8,7 +8,11 @@
 # byte-stable result reconstruction for finished points. A second leg
 # corrupts a committed record in place and requires the resume to be
 # refused with a quarantine sidecar, then recomputed bit-identically
-# once the operator clears the damaged store.
+# once the operator clears the damaged store. Distributed legs repeat
+# the cycle with the sweep spread over fabric workers: first a manual
+# coordinator restart, then a warm standby that must promote itself
+# from the shared ledger at a fenced epoch with no operator in the
+# loop.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -209,3 +213,69 @@ if ! diff -u "$work/golden.txt" "$work/dist-resumed.txt"; then
     exit 1
 fi
 echo "OK: coordinator SIGKILL'd mid-sweep; distributed resume byte-identical to the local golden run"
+
+# --- failover leg: this time nobody restarts anything by hand. A warm
+# standby coordinator shares the primary's ledger, answers 503 until the
+# primary goes dark, then promotes itself — rebuilding state from the
+# ledger at a bumped epoch so the dead primary's stragglers are fenced.
+# Workers are given both addresses up front and must ride the handoff.
+# The promoted standby's stdout must still be byte-identical to the
+# local golden run: the kill, the promotion and the fencing all cost
+# wall-clock, never bits.
+
+echo "== failover leg: SIGKILL primary, standby promotes from the shared ledger"
+fckpt="$work/fckpt"
+"$work/ber" "${args[@]}" -serve 127.0.0.1:0 -checkpoint "$fckpt" \
+    >"$work/failover-primary.txt" 2>"$work/failover-pri.err" &
+ppid=$!
+paddr="$(wait_for_addr "$work/failover-pri.err")"
+if [ -z "$paddr" ]; then
+    echo "FAIL: failover primary never announced its address" >&2
+    exit 1
+fi
+"$work/ber" "${args[@]}" -serve 127.0.0.1:0 -checkpoint "$fckpt" -resume \
+    -standby-of "http://$paddr" -standby-probe 100ms \
+    >"$work/failover.txt" 2>"$work/failover-sb.err" &
+sbpid=$!
+sbaddr=""
+for _ in $(seq 1 100); do
+    sbaddr="$(sed -n 's/^ber: standby fabric on \(.*\) (primary.*/\1/p' "$work/failover-sb.err" | head -n1)"
+    [ -n "$sbaddr" ] && break
+    sleep 0.1
+done
+if [ -z "$sbaddr" ]; then
+    echo "FAIL: standby never announced itself" >&2
+    exit 1
+fi
+echo "   primary at $paddr, standby at $sbaddr"
+"$work/ber" -join "http://$paddr,http://$sbaddr" -worker-id f1 >/dev/null 2>"$work/failover-f1.err" &
+f1=$!
+"$work/ber" -join "http://$paddr,http://$sbaddr" -worker-id f2 >/dev/null 2>"$work/failover-f2.err" &
+f2=$!
+for _ in $(seq 1 600); do
+    [ -s "$fckpt/sweep.jsonl" ] && break
+    kill -0 "$ppid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -9 "$ppid" 2>/dev/null; then
+    wait "$ppid" 2>/dev/null || true
+    echo "   killed primary pid $ppid"
+else
+    echo "FAIL: failover sweep finished before the primary could be killed; grow -shots" >&2
+    exit 1
+fi
+# The standby must notice the dark primary, promote, and finish the
+# sweep with the same fleet — no operator in the loop from here on.
+wait "$sbpid"
+wait "$f1"
+wait "$f2"
+if ! grep -q "standby taking over the sweep" "$work/failover-sb.err"; then
+    echo "FAIL: standby never promoted itself:" >&2
+    cat "$work/failover-sb.err" >&2
+    exit 1
+fi
+if ! diff -u "$work/golden.txt" "$work/failover.txt"; then
+    echo "FAIL: promoted standby's sweep is not bit-identical to the local golden run" >&2
+    exit 1
+fi
+echo "OK: primary SIGKILL'd, standby promoted at a fenced epoch; sweep byte-identical to the local golden run"
